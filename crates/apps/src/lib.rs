@@ -1,0 +1,25 @@
+//! # antipode-app
+//!
+//! The benchmark applications of the paper's evaluation (§7.1), built on the
+//! simulated runtime and datastores:
+//!
+//! - [`post_notification`]: the serverless Post-Notification microbenchmark
+//!   (Table 1, Fig 6, Fig 7);
+//! - [`social`]: the DeathStarBench-style social network compose-post flow
+//!   (Fig 8);
+//! - [`train_ticket`]: the TrainTicket cancel/refund flow (Fig 9);
+//! - [`acl`]: the §5.1 ACL `transfer` scenario (Alice blocks Bob);
+//! - [`hotel`]: the hotel-reservation negative control (no cross-datastore
+//!   references, hence no XCY violations — §7.1 footnote).
+//!
+//! Every application runs in a *baseline* variant (reproducing the paper's
+//! observed XCY violations) and an *Antipode* variant (shims + barriers)
+//! that eliminates them.
+
+#![warn(missing_docs)]
+
+pub mod acl;
+pub mod hotel;
+pub mod post_notification;
+pub mod social;
+pub mod train_ticket;

@@ -1,0 +1,162 @@
+//! Criterion microbenchmarks for the Antipode API hot paths: lineage
+//! serialization (the per-write datastore-propagation cost), baggage
+//! injection/extraction (the per-RPC cost), envelope framing, the barrier
+//! fast path, and the simulator's scheduling overhead. These quantify the
+//! "limited programming effort, low overhead" claim at the API level.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use antipode::{Antipode, Lineage, LineageId, WriteId};
+use antipode_lineage::Baggage;
+use antipode_sim::dist::Dist;
+use antipode_sim::net::regions::{EU, US};
+use antipode_sim::{Network, Sim};
+use antipode_store::replica::{KvProfile, KvStore};
+use antipode_store::shim::KvShim;
+use antipode_store::Envelope;
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn lineage_with_deps(n: usize) -> Lineage {
+    let mut l = Lineage::new(LineageId(0xBEEF));
+    for i in 0..n {
+        l.append(WriteId::new(
+            format!("store-{}", i % 4),
+            format!("key-{i}"),
+            i as u64 + 1,
+        ));
+    }
+    l
+}
+
+fn bench_lineage_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lineage_codec");
+    for n in [1usize, 4, 16, 64] {
+        let l = lineage_with_deps(n);
+        let bytes = l.serialize();
+        group.bench_with_input(BenchmarkId::new("serialize", n), &l, |b, l| {
+            b.iter(|| black_box(l.serialize()));
+        });
+        group.bench_with_input(BenchmarkId::new("deserialize", n), &bytes, |b, bytes| {
+            b.iter(|| black_box(Lineage::deserialize(bytes).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_baggage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baggage");
+    let l = lineage_with_deps(4);
+    group.bench_function("inject", |b| {
+        b.iter(|| {
+            let mut bag = Baggage::new();
+            bag.set_lineage(black_box(&l));
+            black_box(bag)
+        });
+    });
+    let mut bag = Baggage::new();
+    bag.set_lineage(&l);
+    let header = bag.to_header();
+    group.bench_function("to_header", |b| {
+        b.iter(|| black_box(bag.to_header()));
+    });
+    group.bench_function("from_header_and_extract", |b| {
+        b.iter(|| {
+            let bag = Baggage::from_header(black_box(&header));
+            black_box(bag.lineage().unwrap())
+        });
+    });
+    group.finish();
+}
+
+fn bench_envelope(c: &mut Criterion) {
+    let mut group = c.benchmark_group("envelope");
+    let l = lineage_with_deps(4);
+    for size in [128usize, 4096, 65_536] {
+        let env = Envelope::with_lineage(Bytes::from(vec![7u8; size]), l.clone());
+        let enc = env.encode();
+        group.bench_with_input(BenchmarkId::new("encode", size), &env, |b, env| {
+            b.iter(|| black_box(env.encode()));
+        });
+        group.bench_with_input(BenchmarkId::new("decode", size), &enc, |b, enc| {
+            b.iter(|| black_box(Envelope::decode(enc).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_barrier_fast_path(c: &mut Criterion) {
+    // Dependencies already visible: the barrier's no-wait cost.
+    let sim = Sim::new(1);
+    let net = Rc::new(Network::global_triangle());
+    let store = KvStore::new(
+        &sim,
+        net,
+        "db",
+        &[EU, US],
+        KvProfile {
+            replication: Dist::constant_ms(1.0),
+            ..KvProfile::default()
+        },
+    );
+    let shim = KvShim::new(store.clone());
+    let mut ap = Antipode::new(sim.clone());
+    ap.register(Rc::new(shim.clone()));
+    let lineage = {
+        let shim = shim.clone();
+        let sim2 = sim.clone();
+        let l = sim.block_on(async move {
+            let mut l = Lineage::new(LineageId(1));
+            for i in 0..4 {
+                shim.write(EU, &format!("k{i}"), Bytes::new(), &mut l)
+                    .await
+                    .unwrap();
+            }
+            sim2.sleep(Duration::from_secs(5)).await; // let replication land
+            l
+        });
+        sim.run();
+        l
+    };
+    c.bench_function("barrier_fast_path_4_deps", |b| {
+        b.iter(|| {
+            let ap = ap.clone();
+            let l = lineage.clone();
+            let report = sim.block_on(async move { ap.barrier(&l, US).await.unwrap() });
+            black_box(report)
+        });
+    });
+    c.bench_function("dry_run_4_deps", |b| {
+        b.iter(|| black_box(ap.dry_run(&lineage, US)));
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.bench_function("spawn_and_run_1000_timers", |b| {
+        b.iter(|| {
+            let sim = Sim::new(7);
+            for i in 0..1000u64 {
+                let s = sim.clone();
+                sim.spawn(async move {
+                    s.sleep(Duration::from_micros(i)).await;
+                });
+            }
+            sim.run();
+            black_box(sim.now())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lineage_codec,
+    bench_baggage,
+    bench_envelope,
+    bench_barrier_fast_path,
+    bench_simulator
+);
+criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! Criterion benchmarks for the simulated datastore hot paths: raw puts and
+//! gets, shim-wrapped writes and reads (quantifying the shim's cost over the
+//! raw store — the mechanism behind the paper's ≤ 2 % overhead), queue
+//! publish/delivery, and the store-specific `wait`.
+
+use std::hint::black_box;
+use std::rc::Rc;
+use std::time::Duration;
+
+use antipode_lineage::{Lineage, LineageId, WriteId};
+use antipode_sim::dist::Dist;
+use antipode_sim::net::regions::{EU, US};
+use antipode_sim::{Network, Sim};
+use antipode_store::replica::{KvProfile, KvStore};
+use antipode_store::shim::{KvShim, QueueShim};
+use antipode_store::QueueStore;
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fast_profile() -> KvProfile {
+    KvProfile {
+        local_write: Dist::ZERO,
+        local_read: Dist::ZERO,
+        replication: Dist::constant_ms(1.0),
+        rtt_hops: 0.0,
+        retry_interval: Dist::constant_ms(1.0),
+    }
+}
+
+fn setup_kv() -> (Sim, KvStore, KvShim) {
+    let sim = Sim::new(1);
+    let net = Rc::new(Network::global_triangle());
+    let store = KvStore::new(&sim, net, "bench-db", &[EU, US], fast_profile());
+    let shim = KvShim::new(store.clone());
+    (sim, store, shim)
+}
+
+fn bench_kv_raw(c: &mut Criterion) {
+    let (sim, store, _) = setup_kv();
+    let body = Bytes::from(vec![0u8; 256]);
+    c.bench_function("kv_raw_put_get", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let store = store.clone();
+            let body = body.clone();
+            let key = format!("k{}", i % 128);
+            let got = sim.block_on(async move {
+                store.put(EU, &key, body).await.unwrap();
+                store.get(EU, &key).await.unwrap()
+            });
+            black_box(got)
+        });
+    });
+}
+
+fn bench_kv_shim(c: &mut Criterion) {
+    let (sim, _, shim) = setup_kv();
+    let body = Bytes::from(vec![0u8; 256]);
+    c.bench_function("kv_shim_write_read", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let shim = shim.clone();
+            let body = body.clone();
+            let key = format!("k{}", i % 128);
+            let got = sim.block_on(async move {
+                let mut lineage = Lineage::new(LineageId(i));
+                lineage.append(WriteId::new("upstream", "dep", 1));
+                shim.write(EU, &key, body, &mut lineage).await.unwrap();
+                shim.read(EU, &key).await.unwrap()
+            });
+            black_box(got)
+        });
+    });
+}
+
+fn bench_wait_visible(c: &mut Criterion) {
+    let (sim, store, _) = setup_kv();
+    c.bench_function("kv_wait_cross_region", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let store = store.clone();
+            let key = format!("w{i}");
+            sim.block_on(async move {
+                let v = store.put(EU, &key, Bytes::new()).await.unwrap();
+                store.wait_visible(US, &key, v).await.unwrap();
+            });
+        });
+    });
+}
+
+fn bench_queue(c: &mut Criterion) {
+    let sim = Sim::new(2);
+    let net = Rc::new(Network::global_triangle());
+    let q = QueueStore::new(
+        &sim,
+        net,
+        "bench-q",
+        &[EU, US],
+        antipode_store::QueueProfile {
+            local_publish: Dist::ZERO,
+            delivery: Dist::constant_ms(1.0),
+            local_delivery: Dist::ZERO,
+            rtt_hops: 0.0,
+        },
+    );
+    let shim = QueueShim::new(q);
+    c.bench_function("queue_publish_deliver", |b| {
+        b.iter(|| {
+            let shim = shim.clone();
+            sim.block_on(async move {
+                let mut sub = shim.subscribe(US).unwrap();
+                let mut lineage = Lineage::new(LineageId(1));
+                shim.publish(EU, Bytes::from_static(b"msg"), &mut lineage)
+                    .await
+                    .unwrap();
+                black_box(sub.recv().await.unwrap())
+            });
+        });
+    });
+}
+
+fn bench_many_keys_replication(c: &mut Criterion) {
+    // 1000 writes replicating to a remote region: executor + store pressure.
+    c.bench_function("kv_1000_writes_full_replication", |b| {
+        b.iter(|| {
+            let (sim, store, _) = setup_kv();
+            for i in 0..1000u64 {
+                let store = store.clone();
+                sim.spawn(async move {
+                    store.put(EU, &format!("k{i}"), Bytes::new()).await.unwrap();
+                });
+            }
+            sim.run();
+            assert!(sim.now().since(antipode_sim::SimTime::ZERO) >= Duration::from_millis(1));
+            black_box(store.get_sync(US, "k999"))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_kv_raw,
+    bench_kv_shim,
+    bench_wait_visible,
+    bench_queue,
+    bench_many_keys_replication
+);
+criterion_main!(benches);

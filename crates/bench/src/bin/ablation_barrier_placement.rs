@@ -1,0 +1,6 @@
+//! Ablation: early vs naïve read-path barrier placement (§6.3).
+fn main() {
+    antipode_bench::experiments::ablation_barrier::run_experiment(
+        antipode_bench::experiments::quick_flag(),
+    );
+}

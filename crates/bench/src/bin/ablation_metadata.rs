@@ -1,0 +1,6 @@
+//! Ablation: lineage dependency sets vs vector clocks (§3.2).
+fn main() {
+    antipode_bench::experiments::ablation_metadata::run_experiment(
+        antipode_bench::experiments::quick_flag(),
+    );
+}

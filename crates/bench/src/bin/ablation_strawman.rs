@@ -1,0 +1,6 @@
+//! Ablation: synchronous replication vs Antipode (§3.3).
+fn main() {
+    antipode_bench::experiments::ablation_strawman::run_experiment(
+        antipode_bench::experiments::quick_flag(),
+    );
+}

@@ -1,0 +1,5 @@
+//! Reproduces Fig 1 of the paper (Alibaba trace CDFs). Pass `--quick` for a
+//! smaller corpus.
+fn main() {
+    antipode_bench::experiments::fig1::run(antipode_bench::experiments::quick_flag());
+}

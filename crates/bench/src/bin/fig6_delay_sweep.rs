@@ -1,0 +1,4 @@
+//! Reproduces Fig 6 (inconsistencies vs artificial notification delay).
+fn main() {
+    antipode_bench::experiments::fig6::run_experiment(antipode_bench::experiments::quick_flag());
+}

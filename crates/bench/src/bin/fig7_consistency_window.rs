@@ -1,0 +1,4 @@
+//! Reproduces Fig 7 (consistency window, original vs Antipode).
+fn main() {
+    antipode_bench::experiments::fig7::run_experiment(antipode_bench::experiments::quick_flag());
+}

@@ -1,0 +1,4 @@
+//! Reproduces Fig 8 (DeathStarBench throughput/latency + consistency window).
+fn main() {
+    antipode_bench::experiments::fig8::run_experiment(antipode_bench::experiments::quick_flag());
+}

@@ -1,0 +1,5 @@
+//! Reproduces Fig 9 (TrainTicket throughput/latency with the barrier on the
+//! critical path).
+fn main() {
+    antipode_bench::experiments::fig9::run_experiment(antipode_bench::experiments::quick_flag());
+}

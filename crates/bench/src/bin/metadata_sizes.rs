@@ -1,0 +1,4 @@
+//! Reproduces the §7.4 lineage-metadata size analysis.
+fn main() {
+    antipode_bench::experiments::metadata::run_experiment(antipode_bench::experiments::quick_flag());
+}

@@ -1,0 +1,18 @@
+//! Runs every experiment in sequence (the full evaluation). Pass `--quick`
+//! to shrink each experiment.
+fn main() {
+    use antipode_bench::experiments as e;
+    let q = e::quick_flag();
+    e::fig1::run(q);
+    e::table1::run_experiment(q);
+    e::fig6::run_experiment(q);
+    e::fig7::run_experiment(q);
+    e::fig8::run_experiment(q);
+    e::fig9::run_experiment(q);
+    e::table3::run_experiment(q);
+    e::metadata::run_experiment(q);
+    e::ablation_metadata::run_experiment(q);
+    e::ablation_barrier::run_experiment(q);
+    e::ablation_strawman::run_experiment(q);
+    println!("\nAll experiments complete; artifacts in target/experiments/.");
+}

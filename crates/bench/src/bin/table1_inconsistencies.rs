@@ -1,0 +1,5 @@
+//! Reproduces Table 1 (inconsistency matrix). Pass `--quick` for fewer
+//! requests per cell.
+fn main() {
+    antipode_bench::experiments::table1::run_experiment(antipode_bench::experiments::quick_flag());
+}

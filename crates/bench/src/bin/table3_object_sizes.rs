@@ -1,0 +1,4 @@
+//! Reproduces Table 3 (per-store object-size increase from lineage metadata).
+fn main() {
+    antipode_bench::experiments::table3::run_experiment(antipode_bench::experiments::quick_flag());
+}

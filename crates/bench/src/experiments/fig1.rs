@@ -1,0 +1,79 @@
+//! Fig 1: CDFs of (left) calls to stateful services per request and (right)
+//! unique stateful services per request, over the Alibaba-like trace.
+
+use antipode_trace::{generate_many, stats};
+use serde::Serialize;
+
+/// One CDF as (x, P[X ≤ x]) points.
+#[derive(Clone, Debug, Serialize)]
+pub struct Cdf {
+    /// What the CDF is over.
+    pub label: String,
+    /// The curve.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// The Fig 1 result.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig1 {
+    /// Number of synthetic requests analyzed.
+    pub requests: usize,
+    /// CDF of stateful calls per request (Fig 1 left).
+    pub stateful_calls: Cdf,
+    /// CDF of unique stateful services per request (Fig 1 right).
+    pub unique_stateful: Cdf,
+}
+
+/// Runs the experiment. `quick` shrinks the corpus.
+pub fn run(quick: bool) -> Fig1 {
+    let n = if quick { 10_000 } else { 100_000 };
+    crate::header(&format!("Fig 1 — Alibaba-like trace CDFs ({n} requests)"));
+    let graphs = generate_many(0xF1, n);
+
+    let calls: Vec<f64> = graphs.iter().map(|g| g.stateful_calls() as f64).collect();
+    let unique: Vec<f64> = graphs
+        .iter()
+        .map(|g| g.unique_stateful_services() as f64)
+        .collect();
+    let xs: Vec<f64> = [1, 2, 3, 5, 8, 10, 15, 20, 30, 50, 80, 120, 200]
+        .iter()
+        .map(|&v| v as f64)
+        .collect();
+
+    let left = stats::cdf_points(&calls, &xs);
+    let right = stats::cdf_points(&unique, &xs);
+
+    println!(
+        "{:>8} {:>24} {:>28}",
+        "x", "P[stateful calls <= x]", "P[unique stateful <= x]"
+    );
+    for ((x, cl), (_, cr)) in left.iter().zip(&right) {
+        println!("{x:>8.0} {cl:>24.3} {cr:>28.3}");
+    }
+    let frac = |data: &[f64], pred: &dyn Fn(f64) -> bool| {
+        data.iter().filter(|&&v| pred(v)).count() as f64 / data.len() as f64 * 100.0
+    };
+    println!(
+        "paper anchors: >20% of requests make >=20 stateful calls (ours: {:.0}%),",
+        frac(&calls, &|v| v >= 20.0)
+    );
+    println!(
+        "  >50% touch >=5 unique stateful services (ours: {:.0}%), ~10% more than 20 (ours: {:.0}%)",
+        frac(&unique, &|v| v >= 5.0),
+        frac(&unique, &|v| v > 20.0)
+    );
+
+    let out = Fig1 {
+        requests: n,
+        stateful_calls: Cdf {
+            label: "stateful calls per request".into(),
+            points: left,
+        },
+        unique_stateful: Cdf {
+            label: "unique stateful services per request".into(),
+            points: right,
+        },
+    };
+    crate::write_artifact("fig1_alibaba_cdf", &out);
+    out
+}

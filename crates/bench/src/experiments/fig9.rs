@@ -1,0 +1,144 @@
+//! Fig 9: TrainTicket cancel/refund. (Left) average throughput vs latency
+//! with and without Antipode — the barrier sits on the request's critical
+//! path, so the consistency wait shows up directly (§7.4: ≈15 % throughput,
+//! ≈17 % latency overhead). (Right) consistency window at peak. Also the
+//! §7.3 baseline violation rate (≈0.57 %).
+
+use std::time::Duration;
+
+use antipode_app::train_ticket::{run, TrainTicketConfig};
+use serde::Serialize;
+
+/// One throughput/latency point.
+#[derive(Clone, Debug, Serialize)]
+pub struct LoadPoint {
+    /// Offered load (req/s).
+    pub offered_rps: f64,
+    /// Achieved throughput (req/s).
+    pub throughput_rps: f64,
+    /// Mean latency (ms).
+    pub latency_mean_ms: f64,
+    /// p99 latency (ms).
+    pub latency_p99_ms: f64,
+    /// Violations (%).
+    pub violations_pct: f64,
+    /// Consistency window mean (ms).
+    pub window_mean_ms: f64,
+}
+
+/// One variant curve.
+#[derive(Clone, Debug, Serialize)]
+pub struct Curve {
+    /// "original" or "antipode".
+    pub variant: String,
+    /// The points.
+    pub points: Vec<LoadPoint>,
+}
+
+/// The Fig 9 result.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig9 {
+    /// Issue window per point (seconds).
+    pub duration_s: u64,
+    /// Both curves.
+    pub curves: Vec<Curve>,
+    /// Latency overhead at peak (fraction, antipode vs original).
+    pub latency_overhead_at_peak: f64,
+    /// Throughput change at peak (fraction).
+    pub throughput_delta_at_peak: f64,
+}
+
+/// Runs the experiment.
+pub fn run_experiment(quick: bool) -> Fig9 {
+    let duration = Duration::from_secs(if quick { 60 } else { 300 });
+    let rates: &[f64] = if quick {
+        &[120.0, 300.0, 640.0]
+    } else {
+        &[60.0, 120.0, 200.0, 300.0, 360.0, 420.0, 480.0, 560.0, 640.0]
+    };
+    // Latency overhead is measured below the knee (300 rps); the
+    // throughput penalty appears past the Antipode capacity knee (480 rps).
+    let peak = 300.0;
+    let sat = 640.0;
+    crate::header(&format!(
+        "Fig 9 — TrainTicket cancel/refund ({}s windows)",
+        duration.as_secs()
+    ));
+    let mut curves = Vec::new();
+    let mut peak_points: Vec<LoadPoint> = Vec::new();
+    let mut sat_points: Vec<LoadPoint> = Vec::new();
+    for antipode in [false, true] {
+        let variant = if antipode { "antipode" } else { "original" };
+        println!("--- {variant} ---");
+        println!(
+            "{:>9} {:>12} {:>13} {:>12} {:>11} {:>12}",
+            "rps", "tput(rps)", "lat-mean(ms)", "lat-p99(ms)", "violations", "window(ms)"
+        );
+        let mut points = Vec::new();
+        for &rate in rates {
+            let mut cfg = TrainTicketConfig::new(rate).with_duration(duration);
+            if antipode {
+                cfg = cfg.with_antipode();
+            }
+            let r = run(&cfg);
+            let lat = r.client.latency().expect("requests completed");
+            let win = r
+                .consistency_window
+                .summary()
+                .map(|s| s.mean)
+                .unwrap_or(0.0);
+            let pt = LoadPoint {
+                offered_rps: rate,
+                throughput_rps: r.client.throughput(),
+                latency_mean_ms: lat.mean * 1e3,
+                latency_p99_ms: lat.p99 * 1e3,
+                violations_pct: r.violations.percent(),
+                window_mean_ms: win * 1e3,
+            };
+            println!(
+                "{:>9.0} {:>12.1} {:>13.2} {:>12.2} {:>10.2}% {:>12.2}",
+                rate,
+                pt.throughput_rps,
+                pt.latency_mean_ms,
+                pt.latency_p99_ms,
+                pt.violations_pct,
+                pt.window_mean_ms
+            );
+            if rate == peak {
+                peak_points.push(pt.clone());
+            }
+            if rate == sat {
+                sat_points.push(pt.clone());
+            }
+            points.push(pt);
+        }
+        curves.push(Curve {
+            variant: variant.into(),
+            points,
+        });
+    }
+    let lat_overhead = if peak_points.len() == 2 {
+        (peak_points[1].latency_mean_ms - peak_points[0].latency_mean_ms)
+            / peak_points[0].latency_mean_ms
+    } else {
+        0.0
+    };
+    let tput_delta = if sat_points.len() == 2 {
+        (sat_points[1].throughput_rps - sat_points[0].throughput_rps) / sat_points[0].throughput_rps
+    } else {
+        0.0
+    };
+    println!(
+        "latency overhead at {peak} rps: {:.0}% (paper ≈17%); throughput delta at {sat} rps: {:.0}% (paper ≈-15%)",
+        lat_overhead * 100.0,
+        tput_delta * 100.0
+    );
+    let out = Fig9 {
+        duration_s: duration.as_secs(),
+        curves,
+        latency_overhead_at_peak: lat_overhead,
+        throughput_delta_at_peak: tput_delta,
+    };
+    crate::write_artifact("fig9_trainticket", &out);
+    out
+}

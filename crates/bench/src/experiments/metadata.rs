@@ -1,0 +1,58 @@
+//! §7.4 metadata-size analysis: lineage sizes observed in DeathStarBench
+//! (< 200 B) and the worst-case projection over the Alibaba-like trace
+//! (average ≈ 200 B, p99 < 1 KB).
+
+use std::time::Duration;
+
+use antipode_app::social::{run as run_social, SocialConfig};
+use antipode_sim::net::regions::EU;
+use antipode_trace::{analyze, generate_many};
+use serde::Serialize;
+
+/// The metadata analysis result.
+#[derive(Clone, Debug, Serialize)]
+pub struct MetadataSizes {
+    /// Largest lineage observed in the DeathStarBench run (bytes).
+    pub dsb_max_bytes: usize,
+    /// Trace corpus size.
+    pub trace_requests: usize,
+    /// Worst-case mean over the trace (bytes).
+    pub trace_mean_bytes: f64,
+    /// Worst-case p99 over the trace (bytes).
+    pub trace_p99_bytes: f64,
+    /// Worst-case max over the trace (bytes).
+    pub trace_max_bytes: f64,
+}
+
+/// Runs the analysis.
+pub fn run_experiment(quick: bool) -> MetadataSizes {
+    crate::header("§7.4 — lineage metadata sizes");
+    // DeathStarBench observation.
+    let social = run_social(
+        &SocialConfig::new(EU, 50.0)
+            .with_duration(Duration::from_secs(if quick { 30 } else { 120 }))
+            .with_antipode(),
+    );
+    println!(
+        "DeathStarBench: max lineage {} B (paper: below 200 B)",
+        social.max_lineage_bytes
+    );
+
+    // Alibaba worst case.
+    let n = if quick { 10_000 } else { 100_000 };
+    let graphs = generate_many(0x4E7A, n);
+    let report = analyze(&graphs);
+    println!(
+        "Alibaba-like worst case over {} requests: mean {:.0} B (paper ≈200 B), p99 {:.0} B (paper <1 KB), max {:.0} B",
+        report.requests, report.mean_bytes, report.p99_bytes, report.max_bytes
+    );
+    let out = MetadataSizes {
+        dsb_max_bytes: social.max_lineage_bytes,
+        trace_requests: report.requests,
+        trace_mean_bytes: report.mean_bytes,
+        trace_p99_bytes: report.p99_bytes,
+        trace_max_bytes: report.max_bytes,
+    };
+    crate::write_artifact("metadata_sizes", &out);
+    out
+}

@@ -1,0 +1,19 @@
+//! One module per reproduced table/figure; each exposes a `run`/
+//! `run_experiment(quick)` returning the serialized result.
+
+pub mod ablation_barrier;
+pub mod ablation_metadata;
+pub mod ablation_strawman;
+pub mod fig1;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod metadata;
+pub mod table1;
+pub mod table3;
+
+/// Parses the common `--quick` flag from the process args.
+pub fn quick_flag() -> bool {
+    std::env::args().any(|a| a == "--quick" || a == "-q")
+}

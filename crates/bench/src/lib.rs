@@ -1,0 +1,69 @@
+//! # antipode-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper's
+//! evaluation, each printing the same rows/series the paper reports and
+//! writing a JSON artifact under `target/experiments/`.
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `fig1_alibaba_cdf` | Fig 1 (stateful-call CDFs over the trace) |
+//! | `table1_inconsistencies` | Table 1 (post-storage × notifier matrix) |
+//! | `fig6_delay_sweep` | Fig 6 (inconsistencies vs artificial delay) |
+//! | `fig7_consistency_window` | Fig 7 (consistency window per store) |
+//! | `fig8_deathstarbench` | Fig 8 (DSB throughput/latency + window) |
+//! | `fig9_trainticket` | Fig 9 (TrainTicket throughput/latency + window) |
+//! | `table3_object_sizes` | Table 3 (per-store object-size increase) |
+//! | `metadata_sizes` | §7.4 lineage-metadata analysis |
+//! | `run_all` | all of the above in sequence |
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// Directory where experiment artifacts are written.
+pub fn artifact_dir() -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Serializes an experiment result to `target/experiments/<name>.json`.
+pub fn write_artifact<T: Serialize>(name: &str, value: &T) {
+    let path = artifact_dir().join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("[artifact] {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifacts_round_trip() {
+        #[derive(Serialize)]
+        struct T {
+            x: u32,
+        }
+        write_artifact("selftest", &T { x: 7 });
+        let content = fs::read_to_string(artifact_dir().join("selftest.json")).unwrap();
+        assert!(content.contains("\"x\": 7"));
+    }
+}

@@ -1,0 +1,489 @@
+//! The Core API: `barrier(ℒ)` and its variants (paper §6.3).
+//!
+//! `barrier` unpacks the write identifiers carried by a lineage, groups them
+//! by datastore, and calls each store's `wait` against the replica co-located
+//! with the caller. It returns once every dependency is visible (or
+//! superseded). Variants: a timeout form, an asynchronous form that invokes a
+//! callback, and a **dry-run** mode that only reports which dependencies are
+//! not yet visible — the passive consistency checker developers use to find
+//! barrier placements.
+
+use std::fmt;
+use std::rc::Rc;
+use std::time::Duration;
+
+use antipode_lineage::{Lineage, WriteId};
+use antipode_sim::{Region, Sim};
+
+use crate::registry::{ShimRegistry, UnknownStorePolicy};
+use crate::wait::{WaitError, WaitTarget};
+
+/// Errors from [`Antipode::barrier`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BarrierError {
+    /// A lineage dependency names a datastore with no registered shim and
+    /// the policy is [`UnknownStorePolicy::Fail`].
+    UnknownStore(String),
+    /// A datastore-specific wait failed.
+    Wait(WaitError),
+    /// The timeout elapsed before all dependencies became visible
+    /// ([`Antipode::barrier_with_timeout`] only).
+    Timeout {
+        /// Dependencies still not visible when the deadline passed.
+        unmet: Vec<WriteId>,
+    },
+}
+
+impl fmt::Display for BarrierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BarrierError::UnknownStore(s) => write!(f, "no shim registered for datastore {s}"),
+            BarrierError::Wait(e) => write!(f, "wait failed: {e}"),
+            BarrierError::Timeout { unmet } => {
+                write!(
+                    f,
+                    "barrier timed out with {} unmet dependencies",
+                    unmet.len()
+                )
+            }
+        }
+    }
+}
+impl std::error::Error for BarrierError {}
+
+impl From<WaitError> for BarrierError {
+    fn from(e: WaitError) -> Self {
+        BarrierError::Wait(e)
+    }
+}
+
+/// What a completed barrier did.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BarrierReport {
+    /// Dependencies that were already visible when the barrier started.
+    pub already_visible: usize,
+    /// Dependencies the barrier had to wait for.
+    pub waited_for: usize,
+    /// Dependencies skipped under [`UnknownStorePolicy::Skip`].
+    pub skipped: usize,
+    /// Virtual time spent blocked in the barrier.
+    pub blocked: Duration,
+}
+
+/// Result of a dry-run barrier: the passive consistency checker of §6.3.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct DryRunReport {
+    /// Dependencies visible at the caller's region right now.
+    pub visible: Vec<WriteId>,
+    /// Dependencies **not** visible — each one is a potential XCY violation
+    /// were the execution to proceed without a barrier here.
+    pub unmet: Vec<WriteId>,
+    /// Dependencies on datastores this service has no shim for.
+    pub unknown: Vec<WriteId>,
+}
+
+impl DryRunReport {
+    /// Whether proceeding without a barrier would be safe right now.
+    pub fn is_satisfied(&self) -> bool {
+        self.unmet.is_empty()
+    }
+}
+
+/// The Antipode client of one service: a shim registry plus the simulation
+/// handle. Cheap to clone.
+#[derive(Clone)]
+pub struct Antipode {
+    sim: Sim,
+    registry: ShimRegistry,
+    policy: UnknownStorePolicy,
+}
+
+impl Antipode {
+    /// Creates a client with the default [`UnknownStorePolicy::Fail`].
+    pub fn new(sim: Sim) -> Self {
+        Antipode {
+            sim,
+            registry: ShimRegistry::new(),
+            policy: UnknownStorePolicy::default(),
+        }
+    }
+
+    /// Sets the unknown-store policy.
+    pub fn with_policy(mut self, policy: UnknownStorePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Registers a datastore shim.
+    pub fn register(&mut self, shim: Rc<dyn WaitTarget>) {
+        self.registry.register(shim);
+    }
+
+    /// The shim registry.
+    pub fn registry(&self) -> &ShimRegistry {
+        &self.registry
+    }
+
+    /// The simulation handle.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// Enforces the lineage's dependencies: blocks until every write in the
+    /// lineage is visible at `region` (paper §6.3). Returns a report of what
+    /// was enforced.
+    pub async fn barrier(
+        &self,
+        lineage: &Lineage,
+        region: Region,
+    ) -> Result<BarrierReport, BarrierError> {
+        let start = self.sim.now();
+        let mut report = BarrierReport {
+            already_visible: 0,
+            waited_for: 0,
+            skipped: 0,
+            blocked: Duration::ZERO,
+        };
+        for dep in lineage.deps() {
+            let Some(shim) = self.registry.get(&dep.datastore) else {
+                match self.policy {
+                    UnknownStorePolicy::Fail => {
+                        return Err(BarrierError::UnknownStore(dep.datastore.clone()))
+                    }
+                    UnknownStorePolicy::Skip => {
+                        report.skipped += 1;
+                        continue;
+                    }
+                }
+            };
+            if shim.is_visible(dep, region) {
+                report.already_visible += 1;
+            } else {
+                shim.wait(dep, region).await?;
+                report.waited_for += 1;
+            }
+        }
+        report.blocked = self.sim.now().since(start);
+        Ok(report)
+    }
+
+    /// Enforces the lineage's dependencies in **several** regions at once —
+    /// global enforcement, as opposed to the geo-local optimization of §6.3
+    /// ("enforce dependencies only from replicas that are co-located with
+    /// its caller"). Useful when the caller's output will be consumed from
+    /// multiple regions.
+    pub async fn barrier_regions(
+        &self,
+        lineage: &Lineage,
+        regions: &[Region],
+    ) -> Result<BarrierReport, BarrierError> {
+        let start = self.sim.now();
+        let mut merged = BarrierReport {
+            already_visible: 0,
+            waited_for: 0,
+            skipped: 0,
+            blocked: Duration::ZERO,
+        };
+        for region in regions {
+            let r = self.barrier(lineage, *region).await?;
+            merged.already_visible += r.already_visible;
+            merged.waited_for += r.waited_for;
+            merged.skipped += r.skipped;
+        }
+        merged.blocked = self.sim.now().since(start);
+        Ok(merged)
+    }
+
+    /// [`Antipode::barrier`] with a deadline. On timeout, reports the
+    /// dependencies still unmet.
+    pub async fn barrier_with_timeout(
+        &self,
+        lineage: &Lineage,
+        region: Region,
+        timeout: Duration,
+    ) -> Result<BarrierReport, BarrierError> {
+        let fut = self.barrier(lineage, region);
+        match antipode_sim::timeout(&self.sim, timeout, fut).await {
+            Ok(res) => res,
+            Err(_) => {
+                let dry = self.dry_run(lineage, region);
+                Err(BarrierError::Timeout { unmet: dry.unmet })
+            }
+        }
+    }
+
+    /// Asynchronous barrier: returns immediately; `callback` runs once the
+    /// dependencies are visible (paper §6.3's callback variant).
+    pub fn barrier_async(
+        &self,
+        lineage: Lineage,
+        region: Region,
+        callback: impl FnOnce(Result<BarrierReport, BarrierError>) + 'static,
+    ) {
+        let this = self.clone();
+        self.sim.spawn(async move {
+            let res = this.barrier(&lineage, region).await;
+            callback(res);
+        });
+    }
+
+    /// Dry-run mode (§6.3): simulates enforcement without blocking,
+    /// reporting which dependencies would have stalled the barrier. Unknown
+    /// stores are reported rather than failing, regardless of policy.
+    pub fn dry_run(&self, lineage: &Lineage, region: Region) -> DryRunReport {
+        let mut report = DryRunReport::default();
+        for dep in lineage.deps() {
+            match self.registry.get(&dep.datastore) {
+                None => report.unknown.push(dep.clone()),
+                Some(shim) => {
+                    if shim.is_visible(dep, region) {
+                        report.visible.push(dep.clone());
+                    } else {
+                        report.unmet.push(dep.clone());
+                    }
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wait::LocalBoxFuture;
+    use antipode_lineage::LineageId;
+    use std::cell::RefCell;
+    use std::collections::HashSet;
+
+    const HERE: Region = Region("test-region");
+
+    /// A WaitTarget whose visibility is flipped externally at a given time.
+    struct TestStore {
+        name: String,
+        sim: Sim,
+        visible: Rc<RefCell<HashSet<(String, u64)>>>,
+    }
+
+    impl TestStore {
+        fn new(sim: &Sim, name: &str) -> Rc<Self> {
+            Rc::new(TestStore {
+                name: name.to_string(),
+                sim: sim.clone(),
+                visible: Rc::new(RefCell::new(HashSet::new())),
+            })
+        }
+
+        /// Make (key, version) visible after `d`.
+        fn visible_after(&self, key: &str, version: u64, d: Duration) {
+            let visible = self.visible.clone();
+            let key = key.to_string();
+            let sim = self.sim.clone();
+            self.sim.spawn(async move {
+                sim.sleep(d).await;
+                visible.borrow_mut().insert((key, version));
+            });
+        }
+    }
+
+    impl WaitTarget for TestStore {
+        fn datastore_name(&self) -> &str {
+            &self.name
+        }
+        fn wait<'a>(
+            &'a self,
+            write: &'a WriteId,
+            region: Region,
+        ) -> LocalBoxFuture<'a, Result<(), WaitError>> {
+            Box::pin(async move {
+                // Poll-based wait; production shims subscribe instead, but
+                // for tests 1ms polling is fine.
+                while !self.is_visible(write, region) {
+                    self.sim.sleep(Duration::from_millis(1)).await;
+                }
+                Ok(())
+            })
+        }
+        fn is_visible(&self, write: &WriteId, _region: Region) -> bool {
+            self.visible
+                .borrow()
+                .contains(&(write.key.clone(), write.version))
+        }
+    }
+
+    fn lineage_with(deps: &[(&str, &str, u64)]) -> Lineage {
+        let mut l = Lineage::new(LineageId(1));
+        for (s, k, v) in deps {
+            l.append(WriteId::new(*s, *k, *v));
+        }
+        l
+    }
+
+    #[test]
+    fn barrier_blocks_until_visible() {
+        let sim = Sim::new(0);
+        let store = TestStore::new(&sim, "db");
+        store.visible_after("k", 1, Duration::from_millis(500));
+        let mut ap = Antipode::new(sim.clone());
+        ap.register(store);
+        let l = lineage_with(&[("db", "k", 1)]);
+        let report = sim.block_on(async move { ap.barrier(&l, HERE).await.unwrap() });
+        assert_eq!(report.waited_for, 1);
+        assert_eq!(report.already_visible, 0);
+        assert!(report.blocked >= Duration::from_millis(500));
+        assert!(sim.now().since(antipode_sim::SimTime::ZERO) >= Duration::from_millis(500));
+    }
+
+    #[test]
+    fn barrier_fast_path_when_already_visible() {
+        let sim = Sim::new(0);
+        let store = TestStore::new(&sim, "db");
+        store.visible_after("k", 1, Duration::ZERO);
+        sim.run(); // let visibility land
+        let mut ap = Antipode::new(sim.clone());
+        ap.register(store);
+        let l = lineage_with(&[("db", "k", 1)]);
+        let report = sim.block_on(async move { ap.barrier(&l, HERE).await.unwrap() });
+        assert_eq!(report.already_visible, 1);
+        assert_eq!(report.blocked, Duration::ZERO);
+    }
+
+    #[test]
+    fn barrier_spans_multiple_stores() {
+        let sim = Sim::new(0);
+        let a = TestStore::new(&sim, "a");
+        let b = TestStore::new(&sim, "b");
+        a.visible_after("x", 1, Duration::from_millis(100));
+        b.visible_after("y", 2, Duration::from_millis(300));
+        let mut ap = Antipode::new(sim.clone());
+        ap.register(a);
+        ap.register(b);
+        let l = lineage_with(&[("a", "x", 1), ("b", "y", 2)]);
+        let report = sim.block_on(async move { ap.barrier(&l, HERE).await.unwrap() });
+        assert_eq!(report.already_visible + report.waited_for, 2);
+        assert!(report.blocked >= Duration::from_millis(300));
+    }
+
+    #[test]
+    fn barrier_regions_waits_for_all() {
+        let sim = Sim::new(0);
+        let store = TestStore::new(&sim, "db");
+        // The same write becomes visible at different times per "region" —
+        // the TestStore ignores regions, so emulate by two writes with
+        // different delays.
+        store.visible_after("k1", 1, Duration::from_millis(100));
+        store.visible_after("k2", 1, Duration::from_millis(400));
+        let mut ap = Antipode::new(sim.clone());
+        ap.register(store);
+        let l = lineage_with(&[("db", "k1", 1), ("db", "k2", 1)]);
+        let report = sim.block_on(async move {
+            ap.barrier_regions(&l, &[Region("r1"), Region("r2")])
+                .await
+                .unwrap()
+        });
+        // 2 deps × 2 regions.
+        assert_eq!(report.already_visible + report.waited_for, 4);
+        assert!(report.blocked >= Duration::from_millis(400));
+    }
+
+    #[test]
+    fn unknown_store_fails_by_default() {
+        let sim = Sim::new(0);
+        let ap = Antipode::new(sim.clone());
+        let l = lineage_with(&[("ghost", "k", 1)]);
+        let err = sim.block_on(async move { ap.barrier(&l, HERE).await.unwrap_err() });
+        assert_eq!(err, BarrierError::UnknownStore("ghost".into()));
+    }
+
+    #[test]
+    fn unknown_store_skipped_under_policy() {
+        let sim = Sim::new(0);
+        let ap = Antipode::new(sim.clone()).with_policy(UnknownStorePolicy::Skip);
+        let l = lineage_with(&[("ghost", "k", 1)]);
+        let report = sim.block_on(async move { ap.barrier(&l, HERE).await.unwrap() });
+        assert_eq!(report.skipped, 1);
+    }
+
+    #[test]
+    fn barrier_with_timeout_reports_unmet() {
+        let sim = Sim::new(0);
+        let store = TestStore::new(&sim, "slow");
+        store.visible_after("k", 1, Duration::from_secs(60));
+        let mut ap = Antipode::new(sim.clone());
+        ap.register(store);
+        let l = lineage_with(&[("slow", "k", 1)]);
+        let err = sim.block_on(async move {
+            ap.barrier_with_timeout(&l, HERE, Duration::from_secs(1))
+                .await
+                .unwrap_err()
+        });
+        match err {
+            BarrierError::Timeout { unmet } => {
+                assert_eq!(unmet, vec![WriteId::new("slow", "k", 1)]);
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn barrier_with_timeout_succeeds_in_time() {
+        let sim = Sim::new(0);
+        let store = TestStore::new(&sim, "db");
+        store.visible_after("k", 1, Duration::from_millis(10));
+        let mut ap = Antipode::new(sim.clone());
+        ap.register(store);
+        let l = lineage_with(&[("db", "k", 1)]);
+        let report = sim.block_on(async move {
+            ap.barrier_with_timeout(&l, HERE, Duration::from_secs(1))
+                .await
+                .unwrap()
+        });
+        assert_eq!(report.waited_for, 1);
+    }
+
+    #[test]
+    fn barrier_async_invokes_callback() {
+        let sim = Sim::new(0);
+        let store = TestStore::new(&sim, "db");
+        store.visible_after("k", 1, Duration::from_millis(50));
+        let mut ap = Antipode::new(sim.clone());
+        ap.register(store);
+        let l = lineage_with(&[("db", "k", 1)]);
+        let done: Rc<RefCell<Option<BarrierReport>>> = Rc::new(RefCell::new(None));
+        let slot = done.clone();
+        ap.barrier_async(l, HERE, move |res| {
+            *slot.borrow_mut() = Some(res.unwrap());
+        });
+        sim.run();
+        assert!(done.borrow().is_some());
+    }
+
+    #[test]
+    fn dry_run_classifies_dependencies() {
+        let sim = Sim::new(0);
+        let store = TestStore::new(&sim, "db");
+        store.visible_after("seen", 1, Duration::ZERO);
+        sim.run();
+        let mut ap = Antipode::new(sim.clone());
+        ap.register(store);
+        let l = lineage_with(&[("db", "seen", 1), ("db", "pending", 2), ("ghost", "k", 1)]);
+        let report = ap.dry_run(&l, HERE);
+        assert_eq!(report.visible, vec![WriteId::new("db", "seen", 1)]);
+        assert_eq!(report.unmet, vec![WriteId::new("db", "pending", 2)]);
+        assert_eq!(report.unknown, vec![WriteId::new("ghost", "k", 1)]);
+        assert!(!report.is_satisfied());
+    }
+
+    #[test]
+    fn empty_lineage_barrier_is_instant() {
+        let sim = Sim::new(0);
+        let ap = Antipode::new(sim.clone());
+        let l = Lineage::new(LineageId(1));
+        let report = sim.block_on(async move { ap.barrier(&l, HERE).await.unwrap() });
+        assert_eq!(
+            report.already_visible + report.waited_for + report.skipped,
+            0
+        );
+        assert_eq!(report.blocked, Duration::ZERO);
+    }
+}

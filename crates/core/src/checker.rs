@@ -1,0 +1,220 @@
+//! Antipode as a passive consistency checker (paper §6.3).
+//!
+//! "Instead of exhaustively trying to prevent every possible variant of XCY
+//! violation, developers can (as part of their development cycle) use
+//! Antipode to incrementally correct them": a [`ConsistencyChecker`] records
+//! dry-run barrier evaluations at candidate locations without blocking
+//! anything. After a test run, [`ConsistencyChecker::summary`] shows which
+//! locations had unmet dependencies — i.e., where a real `barrier` call is
+//! needed.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use antipode_lineage::Lineage;
+use antipode_sim::{Region, SimTime};
+
+use crate::barrier::{Antipode, DryRunReport};
+
+/// One recorded checkpoint evaluation.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    /// Developer-chosen location label (e.g. `"follower-notify:recv"`).
+    pub location: String,
+    /// Virtual time of the evaluation.
+    pub at: SimTime,
+    /// Region the dependencies were checked against.
+    pub region: Region,
+    /// The dry-run outcome.
+    pub report: DryRunReport,
+}
+
+/// Aggregated statistics for one location.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LocationStats {
+    /// Checkpoint evaluations at this location.
+    pub evaluations: usize,
+    /// Evaluations with at least one unmet dependency — each a would-be XCY
+    /// violation if execution proceeded without a barrier here.
+    pub unsatisfied: usize,
+    /// Total unmet dependencies across evaluations.
+    pub unmet_deps: usize,
+    /// Dependencies on unregistered datastores (lack of a shim).
+    pub unknown_deps: usize,
+}
+
+impl LocationStats {
+    /// Fraction of evaluations that would have violated XCY.
+    pub fn violation_rate(&self) -> f64 {
+        if self.evaluations == 0 {
+            0.0
+        } else {
+            self.unsatisfied as f64 / self.evaluations as f64
+        }
+    }
+}
+
+/// Records dry-run barrier evaluations across a test run.
+#[derive(Clone)]
+pub struct ConsistencyChecker {
+    ap: Antipode,
+    checkpoints: Rc<RefCell<Vec<Checkpoint>>>,
+}
+
+impl ConsistencyChecker {
+    /// Wraps an [`Antipode`] client (its shim registry decides which
+    /// dependencies can be checked).
+    pub fn new(ap: Antipode) -> Self {
+        ConsistencyChecker {
+            ap,
+            checkpoints: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// Evaluates a candidate barrier location: never blocks, records the
+    /// outcome, and returns it (callers may also branch on it).
+    pub fn checkpoint(
+        &self,
+        location: impl Into<String>,
+        lineage: &Lineage,
+        region: Region,
+    ) -> DryRunReport {
+        let report = self.ap.dry_run(lineage, region);
+        self.checkpoints.borrow_mut().push(Checkpoint {
+            location: location.into(),
+            at: self.ap.sim().now(),
+            region,
+            report: report.clone(),
+        });
+        report
+    }
+
+    /// All recorded checkpoints, in evaluation order.
+    pub fn checkpoints(&self) -> Vec<Checkpoint> {
+        self.checkpoints.borrow().clone()
+    }
+
+    /// Per-location aggregation, sorted by location label.
+    pub fn summary(&self) -> BTreeMap<String, LocationStats> {
+        let mut out: BTreeMap<String, LocationStats> = BTreeMap::new();
+        for cp in self.checkpoints.borrow().iter() {
+            let s = out.entry(cp.location.clone()).or_default();
+            s.evaluations += 1;
+            if !cp.report.unmet.is_empty() {
+                s.unsatisfied += 1;
+            }
+            s.unmet_deps += cp.report.unmet.len();
+            s.unknown_deps += cp.report.unknown.len();
+        }
+        out
+    }
+
+    /// Locations that had at least one unsatisfied evaluation — the
+    /// candidate `barrier` placements, most-violating first.
+    pub fn suggested_barriers(&self) -> Vec<(String, LocationStats)> {
+        let mut v: Vec<(String, LocationStats)> = self
+            .summary()
+            .into_iter()
+            .filter(|(_, s)| s.unsatisfied > 0)
+            .collect();
+        v.sort_by(|a, b| b.1.unsatisfied.cmp(&a.1.unsatisfied).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Discards recorded checkpoints (e.g. between test iterations).
+    pub fn reset(&self) {
+        self.checkpoints.borrow_mut().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wait::{LocalBoxFuture, WaitError, WaitTarget};
+    use antipode_lineage::{LineageId, WriteId};
+    use antipode_sim::Sim;
+    use std::cell::Cell;
+
+    struct Flaky {
+        visible: Cell<bool>,
+    }
+    impl WaitTarget for Flaky {
+        fn datastore_name(&self) -> &str {
+            "flaky"
+        }
+        fn wait<'a>(
+            &'a self,
+            _write: &'a WriteId,
+            _region: Region,
+        ) -> LocalBoxFuture<'a, Result<(), WaitError>> {
+            Box::pin(async { Ok(()) })
+        }
+        fn is_visible(&self, _write: &WriteId, _region: Region) -> bool {
+            self.visible.get()
+        }
+    }
+
+    const HERE: Region = Region("r");
+
+    fn lineage() -> Lineage {
+        let mut l = Lineage::new(LineageId(1));
+        l.append(WriteId::new("flaky", "k", 1));
+        l
+    }
+
+    #[test]
+    fn checkpoints_accumulate_and_aggregate() {
+        let sim = Sim::new(0);
+        let store = Rc::new(Flaky {
+            visible: Cell::new(false),
+        });
+        let mut ap = Antipode::new(sim.clone());
+        ap.register(store.clone());
+        let checker = ConsistencyChecker::new(ap);
+
+        let l = lineage();
+        // Two unsatisfied evaluations at location A, then the store catches
+        // up and a third is satisfied; location B is always satisfied.
+        assert!(!checker.checkpoint("svc-a:recv", &l, HERE).is_satisfied());
+        assert!(!checker.checkpoint("svc-a:recv", &l, HERE).is_satisfied());
+        store.visible.set(true);
+        assert!(checker.checkpoint("svc-a:recv", &l, HERE).is_satisfied());
+        assert!(checker.checkpoint("svc-b:render", &l, HERE).is_satisfied());
+
+        let summary = checker.summary();
+        assert_eq!(summary["svc-a:recv"].evaluations, 3);
+        assert_eq!(summary["svc-a:recv"].unsatisfied, 2);
+        assert_eq!(summary["svc-a:recv"].unmet_deps, 2);
+        assert!((summary["svc-a:recv"].violation_rate() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(summary["svc-b:render"].unsatisfied, 0);
+
+        let suggested = checker.suggested_barriers();
+        assert_eq!(suggested.len(), 1);
+        assert_eq!(suggested[0].0, "svc-a:recv");
+    }
+
+    #[test]
+    fn unknown_stores_are_reported_not_fatal() {
+        let sim = Sim::new(0);
+        let ap = Antipode::new(sim);
+        let checker = ConsistencyChecker::new(ap);
+        let mut l = Lineage::new(LineageId(1));
+        l.append(WriteId::new("ghost", "k", 1));
+        let report = checker.checkpoint("loc", &l, HERE);
+        assert_eq!(report.unknown.len(), 1);
+        assert_eq!(checker.summary()["loc"].unknown_deps, 1);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let sim = Sim::new(0);
+        let ap = Antipode::new(sim);
+        let checker = ConsistencyChecker::new(ap);
+        checker.checkpoint("loc", &Lineage::new(LineageId(1)), HERE);
+        assert_eq!(checker.checkpoints().len(), 1);
+        checker.reset();
+        assert!(checker.checkpoints().is_empty());
+        assert!(checker.summary().is_empty());
+    }
+}

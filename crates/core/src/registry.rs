@@ -1,0 +1,117 @@
+//! The shim registry: datastore name → wait implementation.
+//!
+//! A service integrating Antipode registers a shim for each datastore it can
+//! be asked to enforce visibility on. There is deliberately no global
+//! registry of *all* datastores (paper §3.4): each service registers only
+//! what it knows, and the [`UnknownStorePolicy`] decides what `barrier` does
+//! with dependencies on stores the service has no shim for.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::wait::WaitTarget;
+
+/// What `barrier` does with a lineage dependency whose datastore has no
+/// registered shim at this service.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum UnknownStorePolicy {
+    /// Fail the barrier with [`crate::barrier::BarrierError::UnknownStore`].
+    #[default]
+    Fail,
+    /// Skip the dependency. This matches incremental deployment: services
+    /// that have not yet adopted Antipode shims for a store simply do not
+    /// get enforcement for it.
+    Skip,
+}
+
+/// Registry of datastore shims available to one service.
+#[derive(Clone, Default)]
+pub struct ShimRegistry {
+    shims: HashMap<String, Rc<dyn WaitTarget>>,
+}
+
+impl ShimRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ShimRegistry::default()
+    }
+
+    /// Registers a shim under its datastore name, replacing any previous
+    /// registration for the same name.
+    pub fn register(&mut self, shim: Rc<dyn WaitTarget>) {
+        self.shims.insert(shim.datastore_name().to_string(), shim);
+    }
+
+    /// Looks up a shim by datastore name.
+    pub fn get(&self, datastore: &str) -> Option<&Rc<dyn WaitTarget>> {
+        self.shims.get(datastore)
+    }
+
+    /// Whether a shim is registered for the datastore.
+    pub fn contains(&self, datastore: &str) -> bool {
+        self.shims.contains_key(datastore)
+    }
+
+    /// Number of registered shims.
+    pub fn len(&self) -> usize {
+        self.shims.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shims.is_empty()
+    }
+
+    /// Registered datastore names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.shims.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wait::{LocalBoxFuture, WaitError};
+    use antipode_lineage::WriteId;
+    use antipode_sim::Region;
+
+    struct Fake(&'static str);
+    impl WaitTarget for Fake {
+        fn datastore_name(&self) -> &str {
+            self.0
+        }
+        fn wait<'a>(
+            &'a self,
+            _write: &'a WriteId,
+            _region: Region,
+        ) -> LocalBoxFuture<'a, Result<(), WaitError>> {
+            Box::pin(async { Ok(()) })
+        }
+        fn is_visible(&self, _write: &WriteId, _region: Region) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = ShimRegistry::new();
+        assert!(reg.is_empty());
+        reg.register(Rc::new(Fake("mysql")));
+        reg.register(Rc::new(Fake("redis")));
+        assert_eq!(reg.len(), 2);
+        assert!(reg.contains("mysql"));
+        assert!(!reg.contains("s3"));
+        assert_eq!(reg.names(), vec!["mysql", "redis"]);
+        assert_eq!(reg.get("redis").unwrap().datastore_name(), "redis");
+    }
+
+    #[test]
+    fn re_register_replaces() {
+        let mut reg = ShimRegistry::new();
+        reg.register(Rc::new(Fake("mysql")));
+        reg.register(Rc::new(Fake("mysql")));
+        assert_eq!(reg.len(), 1);
+    }
+}

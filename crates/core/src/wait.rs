@@ -1,0 +1,69 @@
+//! The `wait` abstraction: the datastore-specific half of `barrier`.
+//!
+//! `barrier(ℒ)` is generic; *visibility* is not — it depends on the design
+//! and consistency model of each datastore (paper §6.3). Every datastore shim
+//! implements [`WaitTarget`]: block until a given write identifier is visible
+//! (or superseded) at the caller's region. The paper notes `wait` only needs
+//! monotonic-reads semantics from the underlying store (§6.4).
+
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+
+use antipode_lineage::WriteId;
+use antipode_sim::Region;
+
+/// A boxed single-threaded future, the return type of dyn-dispatched waits.
+pub type LocalBoxFuture<'a, T> = Pin<Box<dyn Future<Output = T> + 'a>>;
+
+/// Errors surfaced by a datastore-specific `wait`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WaitError {
+    /// The datastore has no replica in the requested region.
+    NoReplicaInRegion(Region),
+    /// The store rejected the wait (e.g. shut down during failure injection).
+    StoreUnavailable(String),
+}
+
+impl fmt::Display for WaitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaitError::NoReplicaInRegion(r) => write!(f, "no replica in region {r}"),
+            WaitError::StoreUnavailable(s) => write!(f, "store unavailable: {s}"),
+        }
+    }
+}
+impl std::error::Error for WaitError {}
+
+/// Implemented by every datastore shim so `barrier` can enforce visibility
+/// without knowing the store's protocol or semantics.
+pub trait WaitTarget {
+    /// The datastore name write identifiers refer to.
+    fn datastore_name(&self) -> &str;
+
+    /// Resolves once `write` (or a superseding version) is visible at the
+    /// replica co-located with `region` — the geo-local optimization of
+    /// §6.3: enforcement only consults replicas co-located with the caller.
+    fn wait<'a>(
+        &'a self,
+        write: &'a WriteId,
+        region: Region,
+    ) -> LocalBoxFuture<'a, Result<(), WaitError>>;
+
+    /// Non-blocking visibility probe, used by the dry-run consistency
+    /// checker (§6.3) and by reporting.
+    fn is_visible(&self, write: &WriteId, region: Region) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_error_display() {
+        let e = WaitError::NoReplicaInRegion(Region("mars"));
+        assert!(e.to_string().contains("mars"));
+        let e = WaitError::StoreUnavailable("redis".into());
+        assert!(e.to_string().contains("redis"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Simulated Amazon MQ (managed broker with cross-region forwarding) and its
+//! Antipode shim.
+//!
+//! Delivery ≈ 1 s: slow enough that MySQL/DynamoDB/Redis usually replicate
+//! first (Table 1's 7–13 % row), but not S3.
+
+use std::rc::Rc;
+
+use antipode::wait::{LocalBoxFuture, WaitError, WaitTarget};
+use antipode_lineage::{Lineage, WriteId};
+use antipode_sim::net::Network;
+use antipode_sim::{Region, Sim};
+use bytes::Bytes;
+
+use crate::profiles;
+use crate::queue::{QueueProfile, QueueStore};
+use crate::replica::StoreError;
+use crate::shim::{QueueShim, ShimError, ShimSubscription};
+
+/// A simulated AMQ broker pair with forwarding between regions.
+#[derive(Clone)]
+pub struct Amq {
+    queue: QueueStore,
+}
+
+impl Amq {
+    /// Creates a broker with the calibrated AMQ profile.
+    pub fn new(sim: &Sim, net: Rc<Network>, name: impl Into<String>, regions: &[Region]) -> Self {
+        Self::with_profile(sim, net, name, regions, profiles::amq())
+    }
+
+    /// Creates a broker with a custom profile.
+    pub fn with_profile(
+        sim: &Sim,
+        net: Rc<Network>,
+        name: impl Into<String>,
+        regions: &[Region],
+        profile: QueueProfile,
+    ) -> Self {
+        Amq {
+            queue: QueueStore::new(sim, net, name, regions, profile),
+        }
+    }
+
+    /// Send a message (baseline path, no lineage).
+    pub async fn send(&self, region: Region, payload: Bytes) -> Result<u64, StoreError> {
+        self.queue.publish(region, payload).await
+    }
+
+    /// Consume messages delivered in a region.
+    pub fn consume(
+        &self,
+        region: Region,
+    ) -> Result<antipode_sim::sync::Receiver<crate::queue::QueueMessage>, StoreError> {
+        self.queue.subscribe(region)
+    }
+
+    /// The underlying queue store.
+    pub fn queue(&self) -> &QueueStore {
+        &self.queue
+    }
+}
+
+/// The Antipode shim for [`Amq`].
+#[derive(Clone)]
+pub struct AmqShim {
+    inner: QueueShim,
+}
+
+impl AmqShim {
+    /// Wraps a broker.
+    pub fn new(amq: &Amq) -> Self {
+        AmqShim {
+            inner: QueueShim::new(amq.queue.clone()),
+        }
+    }
+
+    /// Lineage-propagating send.
+    pub async fn send(
+        &self,
+        region: Region,
+        payload: Bytes,
+        lineage: &mut Lineage,
+    ) -> Result<WriteId, ShimError> {
+        self.inner.publish(region, payload, lineage).await
+    }
+
+    /// Lineage-decoding consumer.
+    pub fn consume(&self, region: Region) -> Result<ShimSubscription, ShimError> {
+        self.inner.subscribe(region)
+    }
+}
+
+impl WaitTarget for AmqShim {
+    fn datastore_name(&self) -> &str {
+        self.inner.datastore_name()
+    }
+    fn wait<'a>(
+        &'a self,
+        write: &'a WriteId,
+        region: Region,
+    ) -> LocalBoxFuture<'a, Result<(), WaitError>> {
+        self.inner.wait(write, region)
+    }
+    fn is_visible(&self, write: &WriteId, region: Region) -> bool {
+        self.inner.is_visible(write, region)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antipode_lineage::LineageId;
+    use antipode_sim::net::regions::{EU, US};
+    use std::time::Duration;
+
+    #[test]
+    fn delivery_is_around_a_second() {
+        let sim = Sim::new(61);
+        let net = Rc::new(Network::global_triangle());
+        let amq = Amq::new(&sim, net, "broker", &[EU, US]);
+        let shim = AmqShim::new(&amq);
+        let elapsed = sim.block_on({
+            let sim = sim.clone();
+            async move {
+                let mut sub = shim.consume(US).unwrap();
+                let mut lin = Lineage::new(LineageId(1));
+                let start = sim.now();
+                shim.send(EU, Bytes::from_static(b"m"), &mut lin)
+                    .await
+                    .unwrap();
+                sub.recv().await.unwrap().unwrap();
+                sim.now().since(start)
+            }
+        });
+        assert!(
+            (Duration::from_millis(300)..Duration::from_secs(10)).contains(&elapsed),
+            "AMQ delivery {elapsed:?}"
+        );
+    }
+}

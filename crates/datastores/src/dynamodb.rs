@@ -1,0 +1,293 @@
+//! Simulated DynamoDB (global tables) and its Antipode shim.
+//!
+//! DynamoDB plays two roles in the paper: a post-storage (items replicated
+//! via global tables, eventually consistent by default with optional
+//! strongly consistent reads — which is how the paper implements `wait`,
+//! §6.4) and a notifier (item writes observed through a streams-style poll,
+//! much slower for that payload type — Table 1's ≈ 0 % row). The notifier
+//! role is [`DynamoDbStream`].
+
+use std::rc::Rc;
+
+use antipode::wait::{LocalBoxFuture, WaitError, WaitTarget};
+use antipode_lineage::{Lineage, WriteId};
+use antipode_sim::net::Network;
+use antipode_sim::{Region, Sim};
+use bytes::Bytes;
+
+use crate::profiles;
+use crate::queue::QueueStore;
+use crate::replica::{KvProfile, KvStore, StoreError, StoredValue};
+use crate::shim::{KvShim, QueueShim, ShimError, ShimMessage, ShimSubscription};
+
+/// A simulated DynamoDB global table.
+#[derive(Clone)]
+pub struct DynamoDb {
+    store: KvStore,
+}
+
+impl DynamoDb {
+    /// Creates a table with the calibrated DynamoDB profile.
+    pub fn new(sim: &Sim, net: Rc<Network>, name: impl Into<String>, regions: &[Region]) -> Self {
+        Self::with_profile(sim, net, name, regions, profiles::dynamodb())
+    }
+
+    /// Creates a table with a custom profile.
+    pub fn with_profile(
+        sim: &Sim,
+        net: Rc<Network>,
+        name: impl Into<String>,
+        regions: &[Region],
+        profile: KvProfile,
+    ) -> Self {
+        DynamoDb {
+            store: KvStore::new(sim, net, name, regions, profile),
+        }
+    }
+
+    /// PutItem (baseline path, no lineage).
+    pub async fn put_item(
+        &self,
+        region: Region,
+        key: &str,
+        item: Bytes,
+    ) -> Result<u64, StoreError> {
+        self.store.put(region, key, item).await
+    }
+
+    /// GetItem with default (eventually consistent) semantics: reads the
+    /// local replica.
+    pub async fn get_item(
+        &self,
+        region: Region,
+        key: &str,
+    ) -> Result<Option<StoredValue>, StoreError> {
+        self.store.get(region, key).await
+    }
+
+    /// GetItem with `ConsistentRead = true`: consults the primary, paying a
+    /// round trip from remote regions.
+    pub async fn get_item_strong(
+        &self,
+        region: Region,
+        key: &str,
+    ) -> Result<Option<StoredValue>, StoreError> {
+        self.store.get_strong(region, key).await
+    }
+
+    /// The underlying replicated store.
+    pub fn store(&self) -> &KvStore {
+        &self.store
+    }
+}
+
+/// The Antipode shim for [`DynamoDb`].
+#[derive(Clone)]
+pub struct DynamoDbShim {
+    inner: KvShim,
+}
+
+impl DynamoDbShim {
+    /// Wraps a table.
+    pub fn new(db: &DynamoDb) -> Self {
+        DynamoDbShim {
+            inner: KvShim::new(db.store.clone()),
+        }
+    }
+
+    /// Lineage-propagating PutItem.
+    pub async fn put_item(
+        &self,
+        region: Region,
+        key: &str,
+        item: Bytes,
+        lineage: &mut Lineage,
+    ) -> Result<WriteId, ShimError> {
+        self.inner.write(region, key, item, lineage).await
+    }
+
+    /// Lineage-recovering GetItem.
+    #[allow(clippy::type_complexity)]
+    pub async fn get_item(
+        &self,
+        region: Region,
+        key: &str,
+    ) -> Result<Option<(Bytes, Option<Lineage>)>, ShimError> {
+        self.inner.read(region, key).await
+    }
+
+    /// Table 3 model: the lineage travels as one extra item attribute; no
+    /// index amplification (+42 B on a 400 KB object in the paper).
+    pub fn storage_overhead(&self, lineage: &Lineage) -> usize {
+        self.inner.envelope_overhead(lineage)
+    }
+}
+
+impl WaitTarget for DynamoDbShim {
+    fn datastore_name(&self) -> &str {
+        self.inner.datastore_name()
+    }
+    fn wait<'a>(
+        &'a self,
+        write: &'a WriteId,
+        region: Region,
+    ) -> LocalBoxFuture<'a, Result<(), WaitError>> {
+        self.inner.wait(write, region)
+    }
+    fn is_visible(&self, write: &WriteId, region: Region) -> bool {
+        self.inner.is_visible(write, region)
+    }
+}
+
+/// DynamoDB in the notifier role: an item write whose arrival at the remote
+/// reader is observed through a streams-style poll loop.
+#[derive(Clone)]
+pub struct DynamoDbStream {
+    queue: QueueStore,
+}
+
+impl DynamoDbStream {
+    /// Creates a stream-backed notifier with the calibrated profile.
+    pub fn new(sim: &Sim, net: Rc<Network>, name: impl Into<String>, regions: &[Region]) -> Self {
+        DynamoDbStream {
+            queue: QueueStore::new(sim, net, name, regions, profiles::dynamodb_stream()),
+        }
+    }
+
+    /// Publishes a notification item (baseline path).
+    pub async fn publish(&self, region: Region, payload: Bytes) -> Result<u64, StoreError> {
+        self.queue.publish(region, payload).await
+    }
+
+    /// Subscribes to stream records in a region.
+    pub fn subscribe(
+        &self,
+        region: Region,
+    ) -> Result<antipode_sim::sync::Receiver<crate::queue::QueueMessage>, StoreError> {
+        self.queue.subscribe(region)
+    }
+
+    /// The underlying queue store.
+    pub fn queue(&self) -> &QueueStore {
+        &self.queue
+    }
+}
+
+/// The Antipode shim for [`DynamoDbStream`].
+#[derive(Clone)]
+pub struct DynamoDbStreamShim {
+    inner: QueueShim,
+}
+
+impl DynamoDbStreamShim {
+    /// Wraps a stream notifier.
+    pub fn new(s: &DynamoDbStream) -> Self {
+        DynamoDbStreamShim {
+            inner: QueueShim::new(s.queue.clone()),
+        }
+    }
+
+    /// Lineage-propagating publish.
+    pub async fn publish(
+        &self,
+        region: Region,
+        payload: Bytes,
+        lineage: &mut Lineage,
+    ) -> Result<WriteId, ShimError> {
+        self.inner.publish(region, payload, lineage).await
+    }
+
+    /// Lineage-decoding subscription.
+    pub fn subscribe(&self, region: Region) -> Result<ShimSubscription, ShimError> {
+        self.inner.subscribe(region)
+    }
+
+    /// Receives one message (convenience for tests).
+    pub async fn recv_one(sub: &mut ShimSubscription) -> Result<Option<ShimMessage>, ShimError> {
+        sub.recv().await
+    }
+}
+
+impl WaitTarget for DynamoDbStreamShim {
+    fn datastore_name(&self) -> &str {
+        self.inner.datastore_name()
+    }
+    fn wait<'a>(
+        &'a self,
+        write: &'a WriteId,
+        region: Region,
+    ) -> LocalBoxFuture<'a, Result<(), WaitError>> {
+        self.inner.wait(write, region)
+    }
+    fn is_visible(&self, write: &WriteId, region: Region) -> bool {
+        self.inner.is_visible(write, region)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antipode_lineage::LineageId;
+    use antipode_sim::net::regions::{EU, US};
+
+    #[test]
+    fn eventually_consistent_read_can_miss_strong_read_cannot() {
+        let sim = Sim::new(12);
+        let net = Rc::new(Network::global_triangle());
+        // Primary in EU; reader in US.
+        let db = DynamoDb::new(&sim, net, "ddb", &[EU, US]);
+        sim.block_on(async move {
+            db.put_item(EU, "item-1", Bytes::from_static(b"v"))
+                .await
+                .unwrap();
+            // Immediately: the eventually consistent read in US misses…
+            assert!(db.get_item(US, "item-1").await.unwrap().is_none());
+            // …the strongly consistent read does not (§6.4).
+            assert!(db.get_item_strong(US, "item-1").await.unwrap().is_some());
+        });
+    }
+
+    #[test]
+    fn shim_round_trip_and_overhead() {
+        let sim = Sim::new(13);
+        let net = Rc::new(Network::global_triangle());
+        let db = DynamoDb::new(&sim, net, "ddb", &[EU, US]);
+        let shim = DynamoDbShim::new(&db);
+        sim.block_on(async move {
+            let mut lin = Lineage::new(LineageId(1));
+            let wid = shim
+                .put_item(EU, "item-1", Bytes::from_static(b"v"), &mut lin)
+                .await
+                .unwrap();
+            let (data, _) = shim.get_item(EU, "item-1").await.unwrap().unwrap();
+            assert_eq!(data, Bytes::from_static(b"v"));
+            // Table 3: ≈ +42 B, no index amplification.
+            let oh = shim.storage_overhead(&lin);
+            assert!(oh < 100, "overhead {oh}");
+            assert_eq!(wid.datastore, "ddb");
+        });
+    }
+
+    #[test]
+    fn stream_delivery_is_slow() {
+        let sim = Sim::new(14);
+        let net = Rc::new(Network::global_triangle());
+        let s = DynamoDbStream::new(&sim, net, "ddb-stream", &[EU, US]);
+        let shim = DynamoDbStreamShim::new(&s);
+        let elapsed = sim.block_on({
+            let sim = sim.clone();
+            async move {
+                let mut sub = shim.subscribe(US).unwrap();
+                let mut lin = Lineage::new(LineageId(1));
+                shim.publish(EU, Bytes::from_static(b"n"), &mut lin)
+                    .await
+                    .unwrap();
+                let start = sim.now();
+                sub.recv().await.unwrap().unwrap();
+                sim.now().since(start)
+            }
+        });
+        // Median delivery ≈ 85 s — much slower than post replication.
+        assert!(elapsed.as_secs_f64() > 5.0, "elapsed {elapsed:?}");
+    }
+}

@@ -1,0 +1,73 @@
+//! # antipode-store
+//!
+//! Eight simulated geo-replicated datastores with Antipode shim layers,
+//! mirroring the stores of the paper's evaluation (§6.4): MySQL, DynamoDB,
+//! Redis, S3, MongoDB (key-value/object/document family) and SNS, AMQ,
+//! RabbitMQ plus DynamoDB-streams (notifier family).
+//!
+//! Two frameworks carry the shared mechanics:
+//! - [`replica::KvStore`] — versioned key-object replicas per region with
+//!   asynchronous replication, visibility waiters, strong reads, and failure
+//!   injection;
+//! - [`queue::QueueStore`] — publish/subscribe with per-region delivery.
+//!
+//! Each store module layers a typed facade (the "client crate") plus an
+//! Antipode shim over one of the frameworks. The shims are deliberately thin
+//! — the paper reports < 50 LoC per store — and differ only in naming, the
+//! calibrated [`profiles`], and the Table 3 storage-amplification model.
+//!
+//! ```
+//! use antipode_lineage::{Lineage, LineageId};
+//! use antipode_sim::net::regions::{EU, US};
+//! use antipode_sim::{Network, Sim};
+//! use antipode_store::{MySql, MySqlShim};
+//! use antipode::WaitTarget;
+//! use bytes::Bytes;
+//! use std::rc::Rc;
+//!
+//! let sim = Sim::new(7);
+//! let net = Rc::new(Network::global_triangle());
+//! let db = MySql::new(&sim, net, "posts", &[EU, US]);
+//! let shim = MySqlShim::new(&db);
+//! sim.clone().block_on(async move {
+//!     let mut lineage = Lineage::new(LineageId(1));
+//!     let wid = shim
+//!         .insert(EU, "posts", "1", Bytes::from_static(b"hello"), &mut lineage)
+//!         .await
+//!         .unwrap();
+//!     // Immediately after the EU commit the US replica may miss it…
+//!     assert!(!shim.is_visible(&wid, US));
+//!     // …the store-specific wait resolves once replication lands.
+//!     shim.wait(&wid, US).await.unwrap();
+//!     assert!(shim.is_visible(&wid, US));
+//! });
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod amq;
+pub mod dynamodb;
+pub mod envelope;
+pub mod mongodb;
+pub mod mysql;
+pub mod profiles;
+pub mod queue;
+pub mod rabbitmq;
+pub mod redis;
+pub mod replica;
+pub mod s3;
+pub mod shim;
+pub mod sns;
+
+pub use amq::{Amq, AmqShim};
+pub use dynamodb::{DynamoDb, DynamoDbShim, DynamoDbStream, DynamoDbStreamShim};
+pub use envelope::Envelope;
+pub use mongodb::{MongoDb, MongoDbShim};
+pub use mysql::{MySql, MySqlShim};
+pub use queue::{GroupConsumer, QueueMessage, QueueProfile, QueueStore};
+pub use rabbitmq::{RabbitMq, RabbitMqShim};
+pub use redis::{Redis, RedisShim};
+pub use replica::{KvProfile, KvStore, StoreError, StoredValue};
+pub use s3::{S3Shim, S3};
+pub use shim::{KvShim, QueueShim, ShimError, ShimMessage, ShimSubscription, WaitSemantics};
+pub use sns::{Sns, SnsShim};

@@ -1,0 +1,636 @@
+//! The geo-replicated queue / publish-subscribe framework underlying the
+//! simulated notifier stores (SNS, AMQ, RabbitMQ, DynamoDB streams).
+//!
+//! A publish commits at the origin, then a delivery event propagates to each
+//! region with a lag from the store's [`QueueProfile`]; subscribers in that
+//! region receive the message on their channel. Visibility waiters mirror
+//! the KV framework so shims can implement `wait` on queued messages too.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use antipode_sim::dist::Dist;
+use antipode_sim::net::Network;
+use antipode_sim::rng::SimRng;
+use antipode_sim::sync::{channel, oneshot, OneSender, Receiver, Sender};
+use antipode_sim::{Region, Sim, SimTime};
+use bytes::Bytes;
+
+use crate::replica::StoreError;
+
+/// Latency model for one queue / pub-sub store type.
+#[derive(Clone, Debug)]
+pub struct QueueProfile {
+    /// Publish (enqueue) latency at the origin.
+    pub local_publish: Dist,
+    /// Extra cross-region delivery lag beyond network transit.
+    pub delivery: Dist,
+    /// Delivery lag to subscribers in the origin region itself.
+    pub local_delivery: Dist,
+    /// How many one-way network delays a cross-region delivery costs.
+    pub rtt_hops: f64,
+}
+
+impl Default for QueueProfile {
+    fn default() -> Self {
+        QueueProfile {
+            local_publish: Dist::constant_ms(1.0),
+            delivery: Dist::lognormal_ms(100.0, 0.4),
+            local_delivery: Dist::constant_ms(2.0),
+            rtt_hops: 1.0,
+        }
+    }
+}
+
+/// A message delivered to subscribers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueueMessage {
+    /// Store-assigned message id (also the version in write identifiers).
+    pub id: u64,
+    /// The payload (shims store [`crate::envelope::Envelope`]s here).
+    pub payload: Bytes,
+    /// Virtual time the publish committed at the origin.
+    pub published_at: SimTime,
+}
+
+impl QueueMessage {
+    /// The key under which this message appears in write identifiers.
+    pub fn key(&self) -> String {
+        format!("msg-{}", self.id)
+    }
+}
+
+struct Waiter {
+    id: u64,
+    tx: OneSender<()>,
+}
+
+#[derive(Default)]
+struct GroupState {
+    pending: std::collections::VecDeque<QueueMessage>,
+    waiters: std::collections::VecDeque<OneSender<QueueMessage>>,
+}
+
+#[derive(Default)]
+struct RegionState {
+    delivered: HashSet<u64>,
+    acked: HashSet<u64>,
+    subscribers: Vec<Sender<QueueMessage>>,
+    waiters: Vec<Waiter>,
+    ack_waiters: Vec<Waiter>,
+    groups: HashMap<String, GroupState>,
+}
+
+struct QueueInner {
+    name: String,
+    sim: Sim,
+    net: Rc<Network>,
+    profile: QueueProfile,
+    regions: Vec<Region>,
+    state: RefCell<HashMap<Region, RegionState>>,
+    next_id: Cell<u64>,
+    rng: RefCell<SimRng>,
+    paused: RefCell<HashSet<Region>>,
+    resume: antipode_sim::sync::Notify,
+}
+
+/// A simulated geo-replicated queue / pub-sub system.
+#[derive(Clone)]
+pub struct QueueStore {
+    inner: Rc<QueueInner>,
+}
+
+impl QueueStore {
+    /// Creates a queue named `name` spanning the given regions.
+    pub fn new(
+        sim: &Sim,
+        net: Rc<Network>,
+        name: impl Into<String>,
+        regions: &[Region],
+        profile: QueueProfile,
+    ) -> Self {
+        let name = name.into();
+        assert!(!regions.is_empty(), "a queue needs at least one region");
+        let rng = RefCell::new(sim.rng(&format!("queue:{name}")));
+        let state = regions
+            .iter()
+            .map(|r| (*r, RegionState::default()))
+            .collect();
+        QueueStore {
+            inner: Rc::new(QueueInner {
+                name,
+                sim: sim.clone(),
+                net,
+                profile,
+                regions: regions.to_vec(),
+                state: RefCell::new(state),
+                next_id: Cell::new(1),
+                rng,
+                paused: RefCell::new(HashSet::new()),
+                resume: antipode_sim::sync::Notify::new(),
+            }),
+        }
+    }
+
+    /// The store's name (what write identifiers refer to).
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// The regions this queue spans.
+    pub fn regions(&self) -> &[Region] {
+        &self.inner.regions
+    }
+
+    fn check_region(&self, region: Region) -> Result<(), StoreError> {
+        if self.inner.state.borrow().contains_key(&region) {
+            Ok(())
+        } else {
+            Err(StoreError::NoSuchRegion(region))
+        }
+    }
+
+    /// Publishes a message from `origin`; returns its id after the publish
+    /// commits. Delivery to each region (including the origin) proceeds
+    /// asynchronously.
+    pub async fn publish(&self, origin: Region, payload: Bytes) -> Result<u64, StoreError> {
+        self.check_region(origin)?;
+        let lat = {
+            let mut rng = self.inner.rng.borrow_mut();
+            self.inner.profile.local_publish.sample_duration(&mut rng)
+        };
+        self.inner.sim.sleep(lat).await;
+        let id = self.inner.next_id.get();
+        self.inner.next_id.set(id + 1);
+        let published_at = self.inner.sim.now();
+        for dest in self.inner.regions.clone() {
+            let lag = {
+                let mut rng = self.inner.rng.borrow_mut();
+                if dest == origin {
+                    self.inner.profile.local_delivery.sample_duration(&mut rng)
+                } else {
+                    let extra = self.inner.profile.delivery.sample_duration(&mut rng);
+                    let transit = self
+                        .inner
+                        .net
+                        .delay(&mut *rng, origin, dest)
+                        .mul_f64(self.inner.profile.rtt_hops);
+                    extra + transit
+                }
+            };
+            let store = self.clone();
+            let payload = payload.clone();
+            self.inner.sim.spawn(async move {
+                store.inner.sim.sleep(lag).await;
+                while store.inner.paused.borrow().contains(&dest) {
+                    store.inner.resume.notified().await;
+                }
+                store.deliver(
+                    dest,
+                    QueueMessage {
+                        id,
+                        payload,
+                        published_at,
+                    },
+                );
+            });
+        }
+        Ok(id)
+    }
+
+    fn deliver(&self, region: Region, msg: QueueMessage) {
+        let mut state = self.inner.state.borrow_mut();
+        let rs = state
+            .get_mut(&region)
+            .expect("deliver only to configured regions");
+        rs.delivered.insert(msg.id);
+        rs.subscribers.retain(|sub| sub.send(msg.clone()).is_ok());
+        // Each consumer group receives the message exactly once: hand it to
+        // a waiting consumer if any, else queue it for the next take.
+        for group in rs.groups.values_mut() {
+            let mut msg = Some(msg.clone());
+            while let Some(tx) = group.waiters.pop_front() {
+                match tx.send(msg.take().expect("present until sent")) {
+                    Ok(()) => break,
+                    Err(back) => msg = Some(back), // dead waiter, try next
+                }
+            }
+            if let Some(m) = msg {
+                group.pending.push_back(m);
+            }
+        }
+        let mut i = 0;
+        while i < rs.waiters.len() {
+            if rs.waiters[i].id == msg.id {
+                let w = rs.waiters.swap_remove(i);
+                let _ = w.tx.send(());
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Subscribes to messages delivered in `region`. Every subscriber
+    /// receives every message delivered after it subscribed.
+    pub fn subscribe(&self, region: Region) -> Result<Receiver<QueueMessage>, StoreError> {
+        self.check_region(region)?;
+        let (tx, rx) = channel();
+        self.inner
+            .state
+            .borrow_mut()
+            .get_mut(&region)
+            .expect("region checked above")
+            .subscribers
+            .push(tx);
+        Ok(rx)
+    }
+
+    /// Joins a *consumer group* in `region` (work-queue / competing-consumer
+    /// semantics): each message delivered in the region is taken by exactly
+    /// one member of each group, in delivery order. The group springs into
+    /// existence on first join; messages delivered before any member joined
+    /// queue up for it.
+    pub fn join_group(
+        &self,
+        region: Region,
+        group: impl Into<String>,
+    ) -> Result<GroupConsumer, StoreError> {
+        self.check_region(region)?;
+        let group = group.into();
+        self.inner
+            .state
+            .borrow_mut()
+            .get_mut(&region)
+            .expect("region checked above")
+            .groups
+            .entry(group.clone())
+            .or_default();
+        Ok(GroupConsumer {
+            store: self.clone(),
+            region,
+            group,
+        })
+    }
+
+    /// Whether message `id` has been delivered in `region`.
+    pub fn is_visible(&self, region: Region, id: u64) -> bool {
+        self.inner
+            .state
+            .borrow()
+            .get(&region)
+            .map(|s| s.delivered.contains(&id))
+            .unwrap_or(false)
+    }
+
+    /// Resolves once message `id` is delivered in `region`.
+    pub async fn wait_visible(&self, region: Region, id: u64) -> Result<(), StoreError> {
+        self.check_region(region)?;
+        loop {
+            let rx = {
+                let mut state = self.inner.state.borrow_mut();
+                let rs = state.get_mut(&region).expect("region checked above");
+                if rs.delivered.contains(&id) {
+                    return Ok(());
+                }
+                let (tx, rx) = oneshot();
+                rs.waiters.push(Waiter { id, tx });
+                rx
+            };
+            if rx.await.is_ok() {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Acknowledges message `id` in `region`: the consumer has finished
+    /// processing it (and committed any resulting writes). Work-queue shims
+    /// implement `wait` against acks rather than deliveries — a store-
+    /// specific visibility semantic (§6.3: `wait` is opaque per store).
+    pub fn ack(&self, region: Region, id: u64) -> Result<(), StoreError> {
+        self.check_region(region)?;
+        let mut state = self.inner.state.borrow_mut();
+        let rs = state.get_mut(&region).expect("region checked above");
+        rs.acked.insert(id);
+        let mut i = 0;
+        while i < rs.ack_waiters.len() {
+            if rs.ack_waiters[i].id == id {
+                let w = rs.ack_waiters.swap_remove(i);
+                let _ = w.tx.send(());
+            } else {
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether message `id` has been acknowledged in `region`.
+    pub fn is_acked(&self, region: Region, id: u64) -> bool {
+        self.inner
+            .state
+            .borrow()
+            .get(&region)
+            .map(|s| s.acked.contains(&id))
+            .unwrap_or(false)
+    }
+
+    /// Resolves once message `id` is acknowledged in `region`.
+    pub async fn wait_acked(&self, region: Region, id: u64) -> Result<(), StoreError> {
+        self.check_region(region)?;
+        loop {
+            let rx = {
+                let mut state = self.inner.state.borrow_mut();
+                let rs = state.get_mut(&region).expect("region checked above");
+                if rs.acked.contains(&id) {
+                    return Ok(());
+                }
+                let (tx, rx) = oneshot();
+                rs.ack_waiters.push(Waiter { id, tx });
+                rx
+            };
+            if rx.await.is_ok() {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Fault injection: hold deliveries to `region` until resumed.
+    pub fn pause_delivery(&self, region: Region) {
+        self.inner.paused.borrow_mut().insert(region);
+    }
+
+    /// Ends a [`QueueStore::pause_delivery`] stall.
+    pub fn resume_delivery(&self, region: Region) {
+        self.inner.paused.borrow_mut().remove(&region);
+        self.inner.resume.notify_all();
+    }
+}
+
+/// A member of a consumer group; see [`QueueStore::join_group`].
+#[derive(Clone)]
+pub struct GroupConsumer {
+    store: QueueStore,
+    region: Region,
+    group: String,
+}
+
+impl GroupConsumer {
+    /// Takes the next message destined for this group (exactly-once within
+    /// the group). Waits if none is pending.
+    pub async fn take(&self) -> QueueMessage {
+        loop {
+            let rx = {
+                let mut state = self.store.inner.state.borrow_mut();
+                let gs = state
+                    .get_mut(&self.region)
+                    .expect("region validated at join")
+                    .groups
+                    .get_mut(&self.group)
+                    .expect("group created at join");
+                if let Some(m) = gs.pending.pop_front() {
+                    return m;
+                }
+                let (tx, rx) = oneshot();
+                gs.waiters.push_back(tx);
+                rx
+            };
+            if let Ok(m) = rx.await {
+                return m;
+            }
+        }
+    }
+
+    /// Non-blocking take.
+    pub fn try_take(&self) -> Option<QueueMessage> {
+        let mut state = self.store.inner.state.borrow_mut();
+        state
+            .get_mut(&self.region)?
+            .groups
+            .get_mut(&self.group)?
+            .pending
+            .pop_front()
+    }
+
+    /// Acknowledges a taken message (work-queue wait semantics).
+    pub fn ack(&self, msg: &QueueMessage) -> Result<(), StoreError> {
+        self.store.ack(self.region, msg.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antipode_sim::net::regions::{EU, US};
+    use std::time::Duration;
+
+    fn setup() -> (Sim, QueueStore) {
+        let sim = Sim::new(3);
+        let net = Rc::new(Network::global_triangle());
+        let q = QueueStore::new(
+            &sim,
+            net,
+            "sns",
+            &[EU, US],
+            QueueProfile {
+                local_publish: Dist::constant_ms(1.0),
+                delivery: Dist::constant_ms(80.0),
+                local_delivery: Dist::constant_ms(2.0),
+                rtt_hops: 1.0,
+            },
+        );
+        (sim, q)
+    }
+
+    #[test]
+    fn publish_delivers_to_remote_subscriber() {
+        let (sim, q) = setup();
+        let q2 = q.clone();
+        let msg = sim.block_on(async move {
+            let mut sub = q2.subscribe(US).unwrap();
+            q2.publish(EU, Bytes::from_static(b"notif")).await.unwrap();
+            sub.recv().await.unwrap()
+        });
+        assert_eq!(msg.payload, Bytes::from_static(b"notif"));
+        // One-way EU→US ≈ 45ms + 80ms extra.
+        assert!(sim.now().since(SimTime::ZERO) >= Duration::from_millis(100));
+    }
+
+    #[test]
+    fn local_subscriber_gets_message_quickly() {
+        let (sim, q) = setup();
+        let q2 = q.clone();
+        sim.block_on(async move {
+            let mut sub = q2.subscribe(EU).unwrap();
+            q2.publish(EU, Bytes::from_static(b"x")).await.unwrap();
+            sub.recv().await.unwrap();
+        });
+        assert!(sim.now().since(SimTime::ZERO) < Duration::from_millis(20));
+    }
+
+    #[test]
+    fn message_ids_are_unique() {
+        let (sim, q) = setup();
+        let q2 = q.clone();
+        let (a, b) = sim.block_on(async move {
+            let a = q2.publish(EU, Bytes::new()).await.unwrap();
+            let b = q2.publish(EU, Bytes::new()).await.unwrap();
+            (a, b)
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn wait_visible_subscribes_to_delivery() {
+        let (sim, q) = setup();
+        let q2 = q.clone();
+        sim.block_on(async move {
+            let id = q2.publish(EU, Bytes::from_static(b"n")).await.unwrap();
+            assert!(!q2.is_visible(US, id));
+            q2.wait_visible(US, id).await.unwrap();
+            assert!(q2.is_visible(US, id));
+        });
+    }
+
+    #[test]
+    fn multiple_subscribers_all_receive() {
+        let (sim, q) = setup();
+        let q2 = q.clone();
+        let n = sim.block_on(async move {
+            let mut s1 = q2.subscribe(US).unwrap();
+            let mut s2 = q2.subscribe(US).unwrap();
+            q2.publish(EU, Bytes::from_static(b"b")).await.unwrap();
+            let a = s1.recv().await.unwrap();
+            let b = s2.recv().await.unwrap();
+            assert_eq!(a, b);
+            2
+        });
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn dropped_subscriber_is_pruned() {
+        let (sim, q) = setup();
+        let q2 = q.clone();
+        sim.block_on(async move {
+            let sub = q2.subscribe(US).unwrap();
+            drop(sub);
+            // Publishing must not fail or leak; the dead subscriber is pruned.
+            let id = q2.publish(EU, Bytes::new()).await.unwrap();
+            q2.wait_visible(US, id).await.unwrap();
+        });
+    }
+
+    #[test]
+    fn unknown_region_errors() {
+        let (sim, q) = setup();
+        let q2 = q.clone();
+        sim.block_on(async move {
+            let bogus = Region("nowhere");
+            assert!(q2.publish(bogus, Bytes::new()).await.is_err());
+            assert!(q2.subscribe(bogus).is_err());
+            assert!(q2.wait_visible(bogus, 1).await.is_err());
+        });
+    }
+
+    #[test]
+    fn paused_delivery_stalls_until_resume() {
+        let (sim, q) = setup();
+        q.pause_delivery(US);
+        let q2 = q.clone();
+        let got: Rc<RefCell<Option<QueueMessage>>> = Rc::new(RefCell::new(None));
+        let slot = got.clone();
+        sim.spawn(async move {
+            let mut sub = q2.subscribe(US).unwrap();
+            q2.publish(EU, Bytes::from_static(b"m")).await.unwrap();
+            *slot.borrow_mut() = sub.recv().await;
+        });
+        sim.run_for(Duration::from_secs(5));
+        assert!(got.borrow().is_none());
+        q.resume_delivery(US);
+        sim.run_for(Duration::from_secs(5));
+        assert!(got.borrow().is_some());
+    }
+
+    #[test]
+    fn group_members_compete_for_messages() {
+        let (sim, q) = setup();
+        let n = 12usize;
+        let taken: Rc<RefCell<Vec<(usize, u64)>>> = Rc::new(RefCell::new(Vec::new()));
+        // Three competing workers in one group.
+        for worker in 0..3usize {
+            let consumer = q.join_group(US, "workers").unwrap();
+            let taken = taken.clone();
+            let sim2 = sim.clone();
+            sim.spawn(async move {
+                loop {
+                    let m = consumer.take().await;
+                    // Hold the message briefly so work spreads out.
+                    sim2.sleep(Duration::from_millis(30)).await;
+                    consumer.ack(&m).unwrap();
+                    taken.borrow_mut().push((worker, m.id));
+                }
+            });
+        }
+        let q2 = q.clone();
+        let ids = sim.block_on(async move {
+            let mut ids = Vec::new();
+            for _ in 0..n {
+                ids.push(q2.publish(EU, Bytes::from_static(b"job")).await.unwrap());
+            }
+            ids
+        });
+        sim.run();
+        let taken = taken.borrow();
+        // Exactly once across the whole group…
+        let mut got: Vec<u64> = taken.iter().map(|(_, id)| *id).collect();
+        got.sort_unstable();
+        let mut want = ids;
+        want.sort_unstable();
+        assert_eq!(got, want);
+        // …and the work actually spread over multiple workers.
+        let workers: HashSet<usize> = taken.iter().map(|(w, _)| *w).collect();
+        assert!(workers.len() >= 2, "work went to {workers:?}");
+    }
+
+    #[test]
+    fn groups_are_independent_but_subscribers_see_all() {
+        let (sim, q) = setup();
+        let a = q.join_group(US, "a").unwrap();
+        let b = q.join_group(US, "b").unwrap();
+        let q2 = q.clone();
+        sim.block_on(async move {
+            let mut sub = q2.subscribe(US).unwrap();
+            let id = q2.publish(EU, Bytes::from_static(b"m")).await.unwrap();
+            // Each group gets its own copy; the pub/sub subscriber too.
+            assert_eq!(a.take().await.id, id);
+            assert_eq!(b.take().await.id, id);
+            assert_eq!(sub.recv().await.unwrap().id, id);
+        });
+    }
+
+    #[test]
+    fn messages_queue_for_slow_groups() {
+        let (sim, q) = setup();
+        let consumer = q.join_group(US, "g").unwrap();
+        let q2 = q.clone();
+        sim.block_on(async move {
+            let id1 = q2.publish(EU, Bytes::new()).await.unwrap();
+            let id2 = q2.publish(EU, Bytes::new()).await.unwrap();
+            // Nobody is waiting: both messages pend in order.
+            let m1 = consumer.take().await;
+            let m2 = consumer.take().await;
+            assert_eq!((m1.id, m2.id), (id1, id2));
+            assert!(consumer.try_take().is_none());
+        });
+    }
+
+    #[test]
+    fn message_key_format() {
+        let m = QueueMessage {
+            id: 42,
+            payload: Bytes::new(),
+            published_at: SimTime::ZERO,
+        };
+        assert_eq!(m.key(), "msg-42");
+    }
+}

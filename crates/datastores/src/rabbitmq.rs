@@ -1,0 +1,182 @@
+//! Simulated RabbitMQ (federated queues) and its Antipode shim.
+//!
+//! DeathStarBench's write-home-timeline queue: federation forwards messages
+//! across regions essentially at network speed.
+
+use std::rc::Rc;
+
+use antipode::wait::{LocalBoxFuture, WaitError, WaitTarget};
+use antipode_lineage::{Lineage, WriteId};
+use antipode_sim::net::Network;
+use antipode_sim::{Region, Sim};
+use bytes::Bytes;
+
+use crate::profiles;
+use crate::queue::{QueueProfile, QueueStore};
+use crate::replica::StoreError;
+use crate::shim::{QueueShim, ShimError, ShimSubscription};
+
+/// Extra per-message amplification from AMQP header framing (Table 3:
+/// +87 B total on a small message).
+pub const HEADER_OVERHEAD_BYTES: usize = 40;
+
+/// A simulated federated RabbitMQ deployment.
+#[derive(Clone)]
+pub struct RabbitMq {
+    queue: QueueStore,
+}
+
+impl RabbitMq {
+    /// Creates a deployment with the calibrated RabbitMQ profile.
+    pub fn new(sim: &Sim, net: Rc<Network>, name: impl Into<String>, regions: &[Region]) -> Self {
+        Self::with_profile(sim, net, name, regions, profiles::rabbitmq())
+    }
+
+    /// Creates a deployment with a custom profile.
+    pub fn with_profile(
+        sim: &Sim,
+        net: Rc<Network>,
+        name: impl Into<String>,
+        regions: &[Region],
+        profile: QueueProfile,
+    ) -> Self {
+        RabbitMq {
+            queue: QueueStore::new(sim, net, name, regions, profile),
+        }
+    }
+
+    /// Publish to the exchange (baseline path, no lineage).
+    pub async fn publish(&self, region: Region, payload: Bytes) -> Result<u64, StoreError> {
+        self.queue.publish(region, payload).await
+    }
+
+    /// Consume messages delivered in a region.
+    pub fn consume(
+        &self,
+        region: Region,
+    ) -> Result<antipode_sim::sync::Receiver<crate::queue::QueueMessage>, StoreError> {
+        self.queue.subscribe(region)
+    }
+
+    /// The underlying queue store.
+    pub fn queue(&self) -> &QueueStore {
+        &self.queue
+    }
+}
+
+/// The Antipode shim for [`RabbitMq`].
+#[derive(Clone)]
+pub struct RabbitMqShim {
+    inner: QueueShim,
+}
+
+impl RabbitMqShim {
+    /// Wraps a deployment (pub/sub delivery semantics).
+    pub fn new(mq: &RabbitMq) -> Self {
+        RabbitMqShim {
+            inner: QueueShim::new(mq.queue.clone()),
+        }
+    }
+
+    /// Wraps a deployment as a *work queue*: `wait` resolves when the
+    /// message is processed (acked), not merely delivered — TrainTicket's
+    /// refund queue uses this (§7.1, §7.4).
+    pub fn new_work_queue(mq: &RabbitMq) -> Self {
+        RabbitMqShim {
+            inner: QueueShim::new(mq.queue.clone())
+                .with_semantics(crate::shim::WaitSemantics::Processed),
+        }
+    }
+
+    /// Acknowledges a processed message (work-queue consumers call this
+    /// after committing their work).
+    pub fn ack(&self, region: Region, msg: &crate::shim::ShimMessage) -> Result<(), ShimError> {
+        self.inner.ack(region, msg)
+    }
+
+    /// Lineage-propagating publish.
+    pub async fn publish(
+        &self,
+        region: Region,
+        payload: Bytes,
+        lineage: &mut Lineage,
+    ) -> Result<WriteId, ShimError> {
+        self.inner.publish(region, payload, lineage).await
+    }
+
+    /// Lineage-decoding consumer.
+    pub fn consume(&self, region: Region) -> Result<ShimSubscription, ShimError> {
+        self.inner.subscribe(region)
+    }
+}
+
+impl WaitTarget for RabbitMqShim {
+    fn datastore_name(&self) -> &str {
+        self.inner.datastore_name()
+    }
+    fn wait<'a>(
+        &'a self,
+        write: &'a WriteId,
+        region: Region,
+    ) -> LocalBoxFuture<'a, Result<(), WaitError>> {
+        self.inner.wait(write, region)
+    }
+    fn is_visible(&self, write: &WriteId, region: Region) -> bool {
+        self.inner.is_visible(write, region)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antipode_lineage::LineageId;
+    use antipode_sim::net::regions::{SG, US};
+    use std::time::Duration;
+
+    #[test]
+    fn federation_is_roughly_rtt_bound() {
+        let sim = Sim::new(71);
+        let net = Rc::new(Network::global_triangle());
+        let mq = RabbitMq::new(&sim, net, "wht-queue", &[US, SG]);
+        let shim = RabbitMqShim::new(&mq);
+        let elapsed = sim.block_on({
+            let sim = sim.clone();
+            async move {
+                let mut sub = shim.consume(SG).unwrap();
+                let mut lin = Lineage::new(LineageId(1));
+                let start = sim.now();
+                shim.publish(US, Bytes::from_static(b"m"), &mut lin)
+                    .await
+                    .unwrap();
+                sub.recv().await.unwrap().unwrap();
+                sim.now().since(start)
+            }
+        });
+        // US→SG one-way ≈ 110 ms plus a few ms of processing.
+        assert!(
+            (Duration::from_millis(60)..Duration::from_millis(600)).contains(&elapsed),
+            "federation delivery {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn consumer_sees_lineage() {
+        let sim = Sim::new(72);
+        let net = Rc::new(Network::global_triangle());
+        let mq = RabbitMq::new(&sim, net, "q", &[US, SG]);
+        let shim = RabbitMqShim::new(&mq);
+        sim.block_on(async move {
+            let mut sub = shim.consume(SG).unwrap();
+            let mut lin = Lineage::new(LineageId(9));
+            lin.append(WriteId::new("post-storage", "posts/5", 2));
+            shim.publish(US, Bytes::from_static(b"notif"), &mut lin)
+                .await
+                .unwrap();
+            let msg = sub.recv().await.unwrap().unwrap();
+            assert!(msg
+                .lineage
+                .unwrap()
+                .contains(&WriteId::new("post-storage", "posts/5", 2)));
+        });
+    }
+}

@@ -1,0 +1,659 @@
+//! The geo-replicated key-value framework underlying the simulated stores.
+//!
+//! A [`KvStore`] keeps one replica per region. Writes commit at the origin
+//! replica, then replicate asynchronously to every other replica with a lag
+//! sampled from the store's [`KvProfile`] — the racing of these per-store
+//! lags against notification delivery is precisely what produces the paper's
+//! Table 1 / Fig 6 / Fig 7 results. Each replica maintains visibility
+//! waiters so shim `wait` implementations can subscribe instead of polling.
+//!
+//! Failure injection: replication messages can be dropped (with retry) or a
+//! destination can be paused entirely, modelling stalls.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+#[cfg(test)]
+use std::time::Duration;
+
+use antipode_sim::dist::Dist;
+use antipode_sim::net::Network;
+use antipode_sim::rng::SimRng;
+use antipode_sim::sync::{oneshot, Notify, OneSender};
+use antipode_sim::{Region, Sim, SimTime};
+use bytes::Bytes;
+
+/// Latency and replication model for one datastore type.
+#[derive(Clone, Debug)]
+pub struct KvProfile {
+    /// Commit latency at the origin replica.
+    pub local_write: Dist,
+    /// Local read latency.
+    pub local_read: Dist,
+    /// Extra replication lag beyond network transit (batching, apply, …).
+    pub replication: Dist,
+    /// How many one-way network delays a replication message costs.
+    pub rtt_hops: f64,
+    /// Backoff before retrying a dropped replication message.
+    pub retry_interval: Dist,
+}
+
+impl Default for KvProfile {
+    fn default() -> Self {
+        KvProfile {
+            local_write: Dist::constant_ms(1.0),
+            local_read: Dist::constant_ms(0.5),
+            replication: Dist::lognormal_ms(500.0, 0.4),
+            rtt_hops: 1.0,
+            retry_interval: Dist::constant_ms(200.0),
+        }
+    }
+}
+
+/// Errors from datastore operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// The store has no replica in the named region.
+    NoSuchRegion(Region),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::NoSuchRegion(r) => write!(f, "no replica in region {r}"),
+        }
+    }
+}
+impl std::error::Error for StoreError {}
+
+/// A versioned value as stored at one replica.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoredValue {
+    /// The version the origin assigned to this write.
+    pub version: u64,
+    /// The stored bytes (shims store [`crate::envelope::Envelope`]s here).
+    pub bytes: Bytes,
+    /// Virtual time this version became visible at this replica.
+    pub visible_at: SimTime,
+}
+
+struct Waiter {
+    key: String,
+    version: u64,
+    tx: OneSender<()>,
+}
+
+#[derive(Default)]
+struct ReplicaState {
+    data: HashMap<String, StoredValue>,
+    waiters: Vec<Waiter>,
+}
+
+struct KvInner {
+    name: String,
+    sim: Sim,
+    net: Rc<Network>,
+    profile: KvProfile,
+    regions: Vec<Region>,
+    replicas: RefCell<HashMap<Region, ReplicaState>>,
+    next_version: Cell<u64>,
+    rng: RefCell<SimRng>,
+    // Failure injection.
+    drop_probability: Cell<f64>,
+    paused: RefCell<HashSet<Region>>,
+    resume: Notify,
+    /// Additional lag applied to replication sends while set — used to model
+    /// time-correlated congestion episodes (e.g. MongoDB oplog backlog under
+    /// WAN stress, §7.3).
+    extra_lag: RefCell<Option<Dist>>,
+}
+
+/// A simulated geo-replicated key-value store.
+#[derive(Clone)]
+pub struct KvStore {
+    inner: Rc<KvInner>,
+}
+
+impl KvStore {
+    /// Creates a store named `name` with one replica per region. The first
+    /// region acts as the primary for strongly consistent reads.
+    pub fn new(
+        sim: &Sim,
+        net: Rc<Network>,
+        name: impl Into<String>,
+        regions: &[Region],
+        profile: KvProfile,
+    ) -> Self {
+        let name = name.into();
+        assert!(!regions.is_empty(), "a store needs at least one region");
+        let rng = RefCell::new(sim.rng(&format!("kv:{name}")));
+        let replicas = regions
+            .iter()
+            .map(|r| (*r, ReplicaState::default()))
+            .collect::<HashMap<_, _>>();
+        KvStore {
+            inner: Rc::new(KvInner {
+                name,
+                sim: sim.clone(),
+                net,
+                profile,
+                regions: regions.to_vec(),
+                replicas: RefCell::new(replicas),
+                next_version: Cell::new(1),
+                rng,
+                drop_probability: Cell::new(0.0),
+                paused: RefCell::new(HashSet::new()),
+                resume: Notify::new(),
+                extra_lag: RefCell::new(None),
+            }),
+        }
+    }
+
+    /// The store's name (what write identifiers refer to).
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// The regions this store is replicated across.
+    pub fn regions(&self) -> &[Region] {
+        &self.inner.regions
+    }
+
+    /// The primary region (first configured).
+    pub fn primary(&self) -> Region {
+        self.inner.regions[0]
+    }
+
+    fn check_region(&self, region: Region) -> Result<(), StoreError> {
+        if self.inner.replicas.borrow().contains_key(&region) {
+            Ok(())
+        } else {
+            Err(StoreError::NoSuchRegion(region))
+        }
+    }
+
+    /// Writes `value` under `key` at the replica in `origin`. Commits locally
+    /// (after the profile's commit latency), kicks off asynchronous
+    /// replication to every other replica, and returns the assigned version.
+    pub async fn put(&self, origin: Region, key: &str, value: Bytes) -> Result<u64, StoreError> {
+        self.check_region(origin)?;
+        let commit = {
+            let mut rng = self.inner.rng.borrow_mut();
+            self.inner.profile.local_write.sample_duration(&mut rng)
+        };
+        self.inner.sim.sleep(commit).await;
+        let version = self.inner.next_version.get();
+        self.inner.next_version.set(version + 1);
+        self.apply(origin, key, version, value.clone());
+        for dest in self.inner.regions.clone() {
+            if dest != origin {
+                self.spawn_replication(origin, dest, key.to_string(), version, value.clone());
+            }
+        }
+        Ok(version)
+    }
+
+    fn spawn_replication(
+        &self,
+        origin: Region,
+        dest: Region,
+        key: String,
+        version: u64,
+        value: Bytes,
+    ) {
+        let store = self.clone();
+        self.inner.sim.spawn(async move {
+            loop {
+                let (dropped, backoff, lag) = {
+                    let mut rng = store.inner.rng.borrow_mut();
+                    let dropped = {
+                        use rand::Rng;
+                        rng.random::<f64>() < store.inner.drop_probability.get()
+                    };
+                    let backoff = store.inner.profile.retry_interval.sample_duration(&mut rng);
+                    let extra = store.inner.profile.replication.sample_duration(&mut rng);
+                    let transit = store
+                        .inner
+                        .net
+                        .delay(&mut *rng, origin, dest)
+                        .mul_f64(store.inner.profile.rtt_hops);
+                    let congestion = store
+                        .inner
+                        .extra_lag
+                        .borrow()
+                        .as_ref()
+                        .map(|d| d.sample_duration(&mut rng))
+                        .unwrap_or_default();
+                    (dropped, backoff, extra + transit + congestion)
+                };
+                if dropped {
+                    store.inner.sim.sleep(backoff).await;
+                    continue;
+                }
+                store.inner.sim.sleep(lag).await;
+                // A paused destination holds the message until resumed.
+                while store.inner.paused.borrow().contains(&dest) {
+                    store.inner.resume.notified().await;
+                }
+                store.apply(dest, &key, version, value);
+                return;
+            }
+        });
+    }
+
+    /// Applies a version at a replica, waking matured waiters. Out-of-order
+    /// (superseded) arrivals still satisfy waiters but do not clobber newer
+    /// data.
+    fn apply(&self, region: Region, key: &str, version: u64, value: Bytes) {
+        let mut replicas = self.inner.replicas.borrow_mut();
+        let state = replicas
+            .get_mut(&region)
+            .expect("apply only to configured replicas");
+        let newer_exists = state
+            .data
+            .get(key)
+            .map(|v| v.version >= version)
+            .unwrap_or(false);
+        if !newer_exists {
+            state.data.insert(
+                key.to_string(),
+                StoredValue {
+                    version,
+                    bytes: value,
+                    visible_at: self.inner.sim.now(),
+                },
+            );
+        }
+        let watermark = state.data.get(key).map(|v| v.version).unwrap_or(version);
+        let mut i = 0;
+        while i < state.waiters.len() {
+            if state.waiters[i].key == key && state.waiters[i].version <= watermark {
+                let w = state.waiters.swap_remove(i);
+                let _ = w.tx.send(());
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Writes like [`KvStore::put`] but *synchronously*: returns only once
+    /// every replica has applied the write. This is the §3.3 strawman
+    /// ("strengthening the guarantees of post-storage to make its
+    /// replication synchronous... introduces undesirable delays") — kept for
+    /// the ablation that quantifies exactly that delay. The write is still
+    /// applied through the normal replication machinery.
+    pub async fn put_sync(
+        &self,
+        origin: Region,
+        key: &str,
+        value: Bytes,
+    ) -> Result<u64, StoreError> {
+        let version = self.put(origin, key, value).await?;
+        for region in self.inner.regions.clone() {
+            self.wait_visible(region, key, version).await?;
+        }
+        Ok(version)
+    }
+
+    /// Reads the latest locally visible value (regular, possibly stale read).
+    pub async fn get(&self, region: Region, key: &str) -> Result<Option<StoredValue>, StoreError> {
+        self.check_region(region)?;
+        let lat = {
+            let mut rng = self.inner.rng.borrow_mut();
+            self.inner.profile.local_read.sample_duration(&mut rng)
+        };
+        self.inner.sim.sleep(lat).await;
+        Ok(self.get_sync(region, key))
+    }
+
+    /// Zero-latency read of the local replica, for checks and assertions.
+    pub fn get_sync(&self, region: Region, key: &str) -> Option<StoredValue> {
+        self.inner
+            .replicas
+            .borrow()
+            .get(&region)?
+            .data
+            .get(key)
+            .cloned()
+    }
+
+    /// A strongly consistent read: consults the primary replica, paying a
+    /// round trip when the caller is remote. This is how stores like
+    /// DynamoDB expose read-after-write (§6.4).
+    pub async fn get_strong(
+        &self,
+        from: Region,
+        key: &str,
+    ) -> Result<Option<StoredValue>, StoreError> {
+        self.check_region(from)?;
+        let primary = self.primary();
+        let rtt = {
+            let mut rng = self.inner.rng.borrow_mut();
+            let go = self.inner.net.delay(&mut *rng, from, primary);
+            let back = self.inner.net.delay(&mut *rng, primary, from);
+            let read = self.inner.profile.local_read.sample_duration(&mut rng);
+            go + back + read
+        };
+        self.inner.sim.sleep(rtt).await;
+        Ok(self.get_sync(primary, key))
+    }
+
+    /// Whether `key` has reached at least `version` at `region`.
+    pub fn is_visible(&self, region: Region, key: &str, version: u64) -> bool {
+        self.get_sync(region, key)
+            .map(|v| v.version >= version)
+            .unwrap_or(false)
+    }
+
+    /// Resolves once `key` reaches at least `version` at `region` — the
+    /// store-specific `wait` (paper §6.3), implemented by subscription
+    /// rather than polling.
+    pub async fn wait_visible(
+        &self,
+        region: Region,
+        key: &str,
+        version: u64,
+    ) -> Result<(), StoreError> {
+        self.check_region(region)?;
+        loop {
+            let rx = {
+                let mut replicas = self.inner.replicas.borrow_mut();
+                let state = replicas.get_mut(&region).expect("region checked above");
+                let visible = state
+                    .data
+                    .get(key)
+                    .map(|v| v.version >= version)
+                    .unwrap_or(false);
+                if visible {
+                    return Ok(());
+                }
+                let (tx, rx) = oneshot();
+                state.waiters.push(Waiter {
+                    key: key.to_string(),
+                    version,
+                    tx,
+                });
+                rx
+            };
+            // A dropped sender (cannot happen today, but harmless) retries.
+            if rx.await.is_ok() {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Fault injection: probability each replication send attempt is dropped
+    /// (dropped sends retry after the profile's `retry_interval`).
+    pub fn set_drop_probability(&self, p: f64) {
+        self.inner.drop_probability.set(p.clamp(0.0, 1.0));
+    }
+
+    /// Fault injection: stop applying replication at `region` until
+    /// [`KvStore::resume_replication`].
+    pub fn pause_replication(&self, region: Region) {
+        self.inner.paused.borrow_mut().insert(region);
+    }
+
+    /// Ends a [`KvStore::pause_replication`] stall.
+    pub fn resume_replication(&self, region: Region) {
+        self.inner.paused.borrow_mut().remove(&region);
+        self.inner.resume.notify_all();
+    }
+
+    /// Congestion injection: adds `lag` to every replication send while set
+    /// (pass `None` to clear). Used to model time-correlated congestion
+    /// episodes, e.g. MongoDB oplog backlog under WAN stress (§7.3).
+    pub fn set_extra_replication_lag(&self, lag: Option<Dist>) {
+        *self.inner.extra_lag.borrow_mut() = lag;
+    }
+
+    /// Number of pending visibility waiters at a replica (diagnostics).
+    pub fn waiter_count(&self, region: Region) -> usize {
+        self.inner
+            .replicas
+            .borrow()
+            .get(&region)
+            .map(|s| s.waiters.len())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antipode_sim::net::regions::{EU, SG, US};
+
+    fn setup(profile: KvProfile) -> (Sim, KvStore) {
+        let sim = Sim::new(7);
+        let net = Rc::new(Network::global_triangle());
+        let store = KvStore::new(&sim, net, "db", &[EU, US, SG], profile);
+        (sim, store)
+    }
+
+    fn fast_profile() -> KvProfile {
+        KvProfile {
+            local_write: Dist::constant_ms(1.0),
+            local_read: Dist::constant_ms(0.5),
+            replication: Dist::constant_ms(100.0),
+            rtt_hops: 1.0,
+            retry_interval: Dist::constant_ms(50.0),
+        }
+    }
+
+    #[test]
+    fn local_write_is_immediately_visible_at_origin() {
+        let (sim, store) = setup(fast_profile());
+        let s = store.clone();
+        sim.block_on(async move {
+            let v = s.put(EU, "k", Bytes::from_static(b"x")).await.unwrap();
+            assert_eq!(v, 1);
+            let got = s.get(EU, "k").await.unwrap().unwrap();
+            assert_eq!(got.bytes, Bytes::from_static(b"x"));
+            assert_eq!(got.version, 1);
+        });
+    }
+
+    #[test]
+    fn remote_read_is_stale_until_replication() {
+        let (sim, store) = setup(fast_profile());
+        let s = store.clone();
+        let sim2 = sim.clone();
+        sim.block_on(async move {
+            s.put(EU, "k", Bytes::from_static(b"x")).await.unwrap();
+            // Immediately after commit: US replica does not have it yet.
+            assert!(s.get_sync(US, "k").is_none());
+            // After replication lag (~100ms + ~45ms transit) it appears.
+            sim2.sleep(Duration::from_millis(500)).await;
+            assert!(s.get_sync(US, "k").is_some());
+        });
+    }
+
+    #[test]
+    fn versions_are_monotone_across_keys() {
+        let (sim, store) = setup(fast_profile());
+        let s = store.clone();
+        sim.block_on(async move {
+            let v1 = s.put(EU, "a", Bytes::new()).await.unwrap();
+            let v2 = s.put(EU, "b", Bytes::new()).await.unwrap();
+            assert!(v2 > v1);
+        });
+    }
+
+    #[test]
+    fn wait_visible_blocks_until_replicated() {
+        let (sim, store) = setup(fast_profile());
+        let s = store.clone();
+        let elapsed = sim.block_on(async move {
+            let start = s.inner.sim.now();
+            let v = s.put(EU, "k", Bytes::from_static(b"x")).await.unwrap();
+            s.wait_visible(US, "k", v).await.unwrap();
+            assert!(s.is_visible(US, "k", v));
+            s.inner.sim.now().since(start)
+        });
+        assert!(elapsed >= Duration::from_millis(100), "waited {elapsed:?}");
+    }
+
+    #[test]
+    fn wait_on_already_visible_returns_immediately() {
+        let (sim, store) = setup(fast_profile());
+        let s = store.clone();
+        sim.block_on(async move {
+            let v = s.put(EU, "k", Bytes::new()).await.unwrap();
+            let before = s.inner.sim.now();
+            s.wait_visible(EU, "k", v).await.unwrap();
+            assert_eq!(s.inner.sim.now(), before);
+        });
+    }
+
+    #[test]
+    fn superseding_write_satisfies_older_waits() {
+        let (sim, store) = setup(fast_profile());
+        let s = store.clone();
+        sim.block_on(async move {
+            let v1 = s.put(EU, "k", Bytes::from_static(b"one")).await.unwrap();
+            let _v2 = s.put(EU, "k", Bytes::from_static(b"two")).await.unwrap();
+            // US will receive both; waiting on v1 must succeed even if v2
+            // arrives first (superseded, §5.2).
+            s.wait_visible(US, "k", v1).await.unwrap();
+            let got = s.get_sync(US, "k").unwrap();
+            assert!(got.version >= v1);
+        });
+    }
+
+    #[test]
+    fn out_of_order_replication_does_not_clobber() {
+        let (sim, store) = setup(fast_profile());
+        // Directly exercise apply: newer version first, then older.
+        store.apply(US, "k", 5, Bytes::from_static(b"new"));
+        store.apply(US, "k", 3, Bytes::from_static(b"old"));
+        let got = store.get_sync(US, "k").unwrap();
+        assert_eq!(got.version, 5);
+        assert_eq!(got.bytes, Bytes::from_static(b"new"));
+        drop(sim);
+    }
+
+    #[test]
+    fn strong_read_sees_unreplicated_write() {
+        // Primary is EU (first region).
+        let (sim, store) = setup(KvProfile {
+            replication: Dist::Constant(60.0), // very slow async replication
+            ..fast_profile()
+        });
+        let s = store.clone();
+        sim.block_on(async move {
+            let v = s.put(EU, "k", Bytes::from_static(b"x")).await.unwrap();
+            // Local US read misses; strong read from US sees it.
+            assert!(s.get(US, "k").await.unwrap().is_none());
+            let strong = s.get_strong(US, "k").await.unwrap().unwrap();
+            assert_eq!(strong.version, v);
+        });
+    }
+
+    #[test]
+    fn unknown_region_errors() {
+        let (sim, store) = setup(fast_profile());
+        let s = store.clone();
+        sim.block_on(async move {
+            let bogus = Region("nowhere");
+            assert_eq!(
+                s.put(bogus, "k", Bytes::new()).await.unwrap_err(),
+                StoreError::NoSuchRegion(bogus)
+            );
+            assert!(s.get(bogus, "k").await.is_err());
+            assert!(s.wait_visible(bogus, "k", 1).await.is_err());
+        });
+    }
+
+    #[test]
+    fn dropped_replication_retries_and_lands() {
+        let (sim, store) = setup(fast_profile());
+        store.set_drop_probability(0.9); // most attempts dropped, but retried
+        let s = store.clone();
+        sim.block_on(async move {
+            let v = s.put(EU, "k", Bytes::from_static(b"x")).await.unwrap();
+            s.wait_visible(US, "k", v).await.unwrap();
+        });
+        assert!(sim.now().since(SimTime::ZERO) >= Duration::from_millis(100));
+    }
+
+    #[test]
+    fn paused_replication_stalls_until_resume() {
+        let (sim, store) = setup(fast_profile());
+        store.pause_replication(US);
+        let s = store.clone();
+        let s2 = store.clone();
+        let sim2 = sim.clone();
+        sim.spawn(async move {
+            s.put(EU, "k", Bytes::from_static(b"x")).await.unwrap();
+        });
+        sim.run_for(Duration::from_secs(10));
+        assert!(
+            store.get_sync(US, "k").is_none(),
+            "paused replica must not apply"
+        );
+        sim.spawn(async move {
+            sim2.sleep(Duration::from_secs(1)).await;
+            s2.resume_replication(US);
+        });
+        sim.run_for(Duration::from_secs(5));
+        assert!(store.get_sync(US, "k").is_some());
+    }
+
+    #[test]
+    fn put_sync_returns_only_when_fully_replicated() {
+        let (sim, store) = setup(fast_profile());
+        let s = store.clone();
+        sim.block_on(async move {
+            let v = s.put_sync(EU, "k", Bytes::from_static(b"x")).await.unwrap();
+            for region in [EU, US, SG] {
+                assert!(s.is_visible(region, "k", v), "{region} must be caught up");
+            }
+        });
+        assert!(
+            sim.now().since(SimTime::ZERO) >= Duration::from_millis(100),
+            "synchronous write must pay the replication delay"
+        );
+    }
+
+    #[test]
+    fn extra_replication_lag_slows_then_clears() {
+        let (sim, store) = setup(fast_profile());
+        store.set_extra_replication_lag(Some(Dist::Constant(5.0)));
+        let s = store.clone();
+        let first = sim.block_on({
+            let sim = sim.clone();
+            async move {
+                let start = sim.now();
+                let v = s.put(EU, "a", Bytes::new()).await.unwrap();
+                s.wait_visible(US, "a", v).await.unwrap();
+                sim.now().since(start)
+            }
+        });
+        assert!(first >= Duration::from_secs(5), "congested lag {first:?}");
+        store.set_extra_replication_lag(None);
+        let s = store.clone();
+        let second = sim.block_on({
+            let sim = sim.clone();
+            async move {
+                let start = sim.now();
+                let v = s.put(EU, "b", Bytes::new()).await.unwrap();
+                s.wait_visible(US, "b", v).await.unwrap();
+                sim.now().since(start)
+            }
+        });
+        assert!(second < Duration::from_secs(2), "cleared lag {second:?}");
+    }
+
+    #[test]
+    fn visible_at_timestamps_order_with_replication() {
+        let (sim, store) = setup(fast_profile());
+        let s = store.clone();
+        sim.block_on(async move {
+            let v = s.put(EU, "k", Bytes::new()).await.unwrap();
+            s.wait_visible(US, "k", v).await.unwrap();
+            let eu = s.get_sync(EU, "k").unwrap().visible_at;
+            let us = s.get_sync(US, "k").unwrap().visible_at;
+            assert!(us > eu);
+        });
+    }
+}

@@ -1,0 +1,256 @@
+//! Request-context baggage, mirroring OpenTelemetry baggage (paper §6.2,
+//! §6.4: "Antipode piggybacks lineage metadata on OpenTelemetry baggage").
+//!
+//! Baggage is a string-keyed map propagated with every RPC and queue message.
+//! The lineage travels under [`LINEAGE_KEY`] as base64 of the compact wire
+//! format; [`Baggage::to_header`]/[`Baggage::from_header`] give the textual
+//! on-the-wire form whose size the metadata experiments measure.
+
+use std::collections::BTreeMap;
+
+use crate::base64;
+use crate::lineage::Lineage;
+use crate::varint::CodecError;
+
+/// Baggage key under which the serialized lineage travels.
+pub const LINEAGE_KEY: &str = "antipode-lineage";
+
+/// A propagated string-keyed context map.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baggage {
+    entries: BTreeMap<String, String>,
+}
+
+/// Errors from extracting a lineage out of baggage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaggageError {
+    /// No lineage entry present.
+    Missing,
+    /// The entry was not valid base64.
+    Encoding,
+    /// The decoded bytes were not a valid lineage payload.
+    Codec(CodecError),
+}
+
+impl std::fmt::Display for BaggageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaggageError::Missing => write!(f, "baggage carries no lineage"),
+            BaggageError::Encoding => write!(f, "lineage baggage entry is not valid base64"),
+            BaggageError::Codec(e) => write!(f, "lineage payload: {e}"),
+        }
+    }
+}
+impl std::error::Error for BaggageError {}
+
+impl Baggage {
+    /// Creates empty baggage.
+    pub fn new() -> Self {
+        Baggage::default()
+    }
+
+    /// Sets an entry, returning the previous value.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<String>) -> Option<String> {
+        self.entries.insert(key.into(), value.into())
+    }
+
+    /// Looks up an entry.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries.get(key).map(String::as_str)
+    }
+
+    /// Removes an entry.
+    pub fn remove(&mut self, key: &str) -> Option<String> {
+        self.entries.remove(key)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the baggage is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Stores a lineage under [`LINEAGE_KEY`].
+    pub fn set_lineage(&mut self, lineage: &Lineage) {
+        self.set(LINEAGE_KEY, base64::encode(&lineage.serialize()));
+    }
+
+    /// Extracts the lineage, if any.
+    pub fn lineage(&self) -> Result<Lineage, BaggageError> {
+        let raw = self.get(LINEAGE_KEY).ok_or(BaggageError::Missing)?;
+        let bytes = base64::decode(raw).map_err(|_| BaggageError::Encoding)?;
+        Lineage::deserialize(&bytes).map_err(BaggageError::Codec)
+    }
+
+    /// Removes the lineage entry (the paper's `stop`: execution ends and the
+    /// context drops the ongoing dependency set).
+    pub fn clear_lineage(&mut self) {
+        self.remove(LINEAGE_KEY);
+    }
+
+    /// Renders the W3C-baggage-style header `k1=v1,k2=v2` with percent
+    /// escaping of `%`, `,` and `=` in keys and values.
+    pub fn to_header(&self) -> String {
+        let mut out = String::new();
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&escape(k));
+            out.push('=');
+            out.push_str(&escape(v));
+        }
+        out
+    }
+
+    /// Parses a header produced by [`Baggage::to_header`]. Malformed items
+    /// (no `=`) are skipped, matching the lenient posture of real
+    /// propagators.
+    pub fn from_header(header: &str) -> Baggage {
+        let mut b = Baggage::new();
+        for item in header.split(',') {
+            if item.is_empty() {
+                continue;
+            }
+            if let Some((k, v)) = item.split_once('=') {
+                b.set(unescape(k), unescape(v));
+            }
+        }
+        b
+    }
+
+    /// Size in bytes of the header form — what request propagation actually
+    /// adds to each RPC.
+    pub fn header_size(&self) -> usize {
+        self.to_header().len()
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            ',' => out.push_str("%2C"),
+            '=' => out.push_str("%3D"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 2 < bytes.len() + 1 && i + 3 <= bytes.len() {
+            match &bytes[i + 1..i + 3] {
+                b"25" => {
+                    out.push('%');
+                    i += 3;
+                    continue;
+                }
+                b"2C" => {
+                    out.push(',');
+                    i += 3;
+                    continue;
+                }
+                b"3D" => {
+                    out.push('=');
+                    i += 3;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        // Safe: we only ever skip whole ASCII escape triples, so `i` stays on
+        // a char boundary.
+        let c = s[i..].chars().next().expect("index is on a char boundary");
+        out.push(c);
+        i += c.len_utf8();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineage::LineageId;
+    use crate::write_id::WriteId;
+
+    #[test]
+    fn set_get_remove() {
+        let mut b = Baggage::new();
+        assert!(b.is_empty());
+        b.set("trace-id", "abc");
+        assert_eq!(b.get("trace-id"), Some("abc"));
+        assert_eq!(b.remove("trace-id"), Some("abc".to_string()));
+        assert!(b.get("trace-id").is_none());
+    }
+
+    #[test]
+    fn lineage_round_trip_through_baggage() {
+        let mut l = Lineage::new(LineageId(7));
+        l.append(WriteId::new("mysql", "post-1", 3));
+        let mut b = Baggage::new();
+        b.set_lineage(&l);
+        assert_eq!(b.lineage().unwrap(), l);
+    }
+
+    #[test]
+    fn missing_lineage() {
+        assert_eq!(Baggage::new().lineage(), Err(BaggageError::Missing));
+    }
+
+    #[test]
+    fn corrupt_lineage_entry() {
+        let mut b = Baggage::new();
+        b.set(LINEAGE_KEY, "!!!not-base64!!!");
+        assert_eq!(b.lineage(), Err(BaggageError::Encoding));
+        b.set(LINEAGE_KEY, crate::base64::encode(&[0xFF, 0x00]));
+        assert!(matches!(b.lineage(), Err(BaggageError::Codec(_))));
+    }
+
+    #[test]
+    fn header_round_trip() {
+        let mut b = Baggage::new();
+        b.set("a", "1");
+        b.set("weird,key", "va=lue%");
+        let h = b.to_header();
+        let back = Baggage::from_header(&h);
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn header_round_trip_with_lineage() {
+        let mut l = Lineage::new(LineageId(42));
+        l.append(WriteId::new("s3", "obj/1", 1));
+        let mut b = Baggage::new();
+        b.set_lineage(&l);
+        b.set("request-id", "r-17");
+        let back = Baggage::from_header(&b.to_header());
+        assert_eq!(back.lineage().unwrap(), l);
+        assert_eq!(back.get("request-id"), Some("r-17"));
+    }
+
+    #[test]
+    fn from_header_skips_malformed_items() {
+        let b = Baggage::from_header("good=1,,bad-item,also=2");
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.get("good"), Some("1"));
+        assert_eq!(b.get("also"), Some("2"));
+    }
+
+    #[test]
+    fn clear_lineage_removes_entry() {
+        let mut b = Baggage::new();
+        b.set_lineage(&Lineage::new(LineageId(1)));
+        b.clear_lineage();
+        assert_eq!(b.lineage(), Err(BaggageError::Missing));
+    }
+}

@@ -1,0 +1,119 @@
+//! Minimal standard base64 (RFC 4648, with padding), used to embed binary
+//! lineage payloads in string-valued baggage entries. Hand-rolled to keep the
+//! dependency set to the approved list.
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes bytes as standard base64 with padding.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let n = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(n >> 18) as usize & 0x3f] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 0x3f] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(n >> 6) as usize & 0x3f] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[n as usize & 0x3f] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Error from [`decode`]: the input was not valid base64.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Base64Error;
+
+impl std::fmt::Display for Base64Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid base64 input")
+    }
+}
+impl std::error::Error for Base64Error {}
+
+fn decode_char(c: u8) -> Result<u32, Base64Error> {
+    match c {
+        b'A'..=b'Z' => Ok(u32::from(c - b'A')),
+        b'a'..=b'z' => Ok(u32::from(c - b'a') + 26),
+        b'0'..=b'9' => Ok(u32::from(c - b'0') + 52),
+        b'+' => Ok(62),
+        b'/' => Ok(63),
+        _ => Err(Base64Error),
+    }
+}
+
+/// Decodes standard base64 (padding required).
+pub fn decode(s: &str) -> Result<Vec<u8>, Base64Error> {
+    let bytes = s.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return Err(Base64Error);
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for chunk in bytes.chunks(4) {
+        let pad = chunk.iter().rev().take_while(|&&c| c == b'=').count();
+        if pad > 2 {
+            return Err(Base64Error);
+        }
+        // '=' may only appear as trailing padding of the final chunk.
+        if chunk[..4 - pad].contains(&b'=') {
+            return Err(Base64Error);
+        }
+        let mut n: u32 = 0;
+        for &c in &chunk[..4 - pad] {
+            n = (n << 6) | decode_char(c)?;
+        }
+        n <<= 6 * pad as u32;
+        out.push((n >> 16) as u8);
+        if pad < 2 {
+            out.push((n >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(n as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        let cases = [
+            ("", ""),
+            ("f", "Zg=="),
+            ("fo", "Zm8="),
+            ("foo", "Zm9v"),
+            ("foob", "Zm9vYg=="),
+            ("fooba", "Zm9vYmE="),
+            ("foobar", "Zm9vYmFy"),
+        ];
+        for (plain, enc) in cases {
+            assert_eq!(encode(plain.as_bytes()), enc);
+            assert_eq!(decode(enc).unwrap(), plain.as_bytes());
+        }
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(decode("abc").is_err()); // length not multiple of 4
+        assert!(decode("ab!=").is_err()); // invalid character
+        assert!(decode("a===").is_err()); // too much padding
+        assert!(decode("=abc").is_err()); // padding in the middle
+    }
+}

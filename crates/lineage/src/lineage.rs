@@ -1,0 +1,313 @@
+//! Lineages: the dependency sets Antipode carries alongside requests and
+//! datastore values.
+//!
+//! A [`Lineage`] embodies "the dependent actions of a request across multiple
+//! processes" (paper §4.1). Operationally it is a set of [`WriteId`]s plus
+//! the lineage's identity; `append`/`remove` give developers the explicit
+//! dependency control of §5.1, and `transfer` establishes continuity between
+//! two lineages.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use bytes::{Buf, BufMut};
+
+use crate::varint::{get_str, get_varint, put_str, put_varint, CodecError};
+use crate::write_id::WriteId;
+
+/// Identity of a lineage: one per root action (external request).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineageId(pub u64);
+
+impl fmt::Debug for LineageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ℒ{:x}", self.0)
+    }
+}
+
+impl fmt::Display for LineageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:x}", self.0)
+    }
+}
+
+/// Wire format version for [`Lineage::serialize`].
+const WIRE_VERSION: u8 = 1;
+
+/// A lineage: the set of datastore writes an execution currently depends on.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Lineage {
+    id: LineageId,
+    deps: BTreeSet<WriteId>,
+}
+
+impl Lineage {
+    /// Creates an empty lineage with the given identity (the paper's `root`
+    /// initializes one at the beginning of a request's execution).
+    pub fn new(id: LineageId) -> Self {
+        Lineage {
+            id,
+            deps: BTreeSet::new(),
+        }
+    }
+
+    /// The lineage's identity.
+    pub fn id(&self) -> LineageId {
+        self.id
+    }
+
+    /// Appends a dependency (paper `append(ℒ, dep)`); also how the Shim
+    /// `write` extends a lineage with the new write identifier.
+    pub fn append(&mut self, dep: WriteId) {
+        self.deps.insert(dep);
+    }
+
+    /// Removes a dependency (paper `remove(ℒ, dep)`), letting developers
+    /// drop irrelevant dependencies for an optimized user experience.
+    /// Returns whether the dependency was present.
+    pub fn remove(&mut self, dep: &WriteId) -> bool {
+        self.deps.remove(dep)
+    }
+
+    /// Transfers `other`'s dependencies into this lineage (paper
+    /// `transfer(ℒa, ℒb)`), explicitly establishing transitivity between two
+    /// lineages (§5.1, e.g. the ACL example). The receiving lineage keeps its
+    /// own identity.
+    pub fn transfer_from(&mut self, other: &Lineage) {
+        for d in &other.deps {
+            self.deps.insert(d.clone());
+        }
+    }
+
+    /// Iterates over the dependencies in canonical order.
+    pub fn deps(&self) -> impl Iterator<Item = &WriteId> {
+        self.deps.iter()
+    }
+
+    /// Number of dependencies.
+    pub fn len(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// Whether the lineage has no dependencies.
+    pub fn is_empty(&self) -> bool {
+        self.deps.is_empty()
+    }
+
+    /// Whether the lineage contains the exact dependency.
+    pub fn contains(&self, dep: &WriteId) -> bool {
+        self.deps.contains(dep)
+    }
+
+    /// The distinct datastores named by this lineage's dependencies, in
+    /// canonical order. `barrier` groups its per-store `wait` calls by this.
+    pub fn datastores(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for d in &self.deps {
+            if out.last() != Some(&d.datastore.as_str()) {
+                out.push(&d.datastore);
+            }
+        }
+        out
+    }
+
+    /// Serializes to the compact wire format: a version byte, the lineage id,
+    /// a datastore-name string table, then each dependency as
+    /// (table-index, key, version). This is the payload piggybacked on
+    /// request baggage and stored alongside values (§6.2); its size is what
+    /// the paper's §7.4 metadata measurements report.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(16 + self.deps.len() * 16);
+        buf.put_u8(WIRE_VERSION);
+        put_varint(&mut buf, self.id.0);
+        // String table: distinct datastore names in first-seen (canonical)
+        // order. Deps are sorted, so names group together.
+        let names: Vec<&str> = self.datastores();
+        put_varint(&mut buf, names.len() as u64);
+        for n in &names {
+            put_str(&mut buf, n);
+        }
+        put_varint(&mut buf, self.deps.len() as u64);
+        for d in &self.deps {
+            let idx = names
+                .iter()
+                .position(|n| *n == d.datastore)
+                .expect("datastore name must be in the table it was built from");
+            put_varint(&mut buf, idx as u64);
+            put_str(&mut buf, &d.key);
+            put_varint(&mut buf, d.version);
+        }
+        buf
+    }
+
+    /// Decodes the wire format produced by [`Lineage::serialize`].
+    pub fn deserialize(mut bytes: &[u8]) -> Result<Lineage, CodecError> {
+        let buf = &mut bytes;
+        if !buf.has_remaining() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let version = buf.get_u8();
+        if version != WIRE_VERSION {
+            return Err(CodecError::UnknownVersion(version));
+        }
+        let id = LineageId(get_varint(buf)?);
+        let n_names = get_varint(buf)? as usize;
+        if n_names > buf.remaining() {
+            return Err(CodecError::LengthOutOfBounds);
+        }
+        let mut names = Vec::with_capacity(n_names);
+        for _ in 0..n_names {
+            names.push(get_str(buf)?);
+        }
+        let n_deps = get_varint(buf)? as usize;
+        if n_deps > buf.remaining().saturating_add(1) * 3 {
+            return Err(CodecError::LengthOutOfBounds);
+        }
+        let mut deps = BTreeSet::new();
+        for _ in 0..n_deps {
+            let idx = get_varint(buf)? as usize;
+            let datastore = names.get(idx).ok_or(CodecError::LengthOutOfBounds)?.clone();
+            let key = get_str(buf)?;
+            let version = get_varint(buf)?;
+            deps.insert(WriteId {
+                datastore,
+                key,
+                version,
+            });
+        }
+        Ok(Lineage { id, deps })
+    }
+
+    /// The serialized size in bytes, without materializing the buffer.
+    pub fn wire_size(&self) -> usize {
+        self.serialize().len()
+    }
+}
+
+impl fmt::Debug for Lineage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}{{", self.id)?;
+        for (i, d) in self.deps.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d:?}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wid(s: &str, k: &str, v: u64) -> WriteId {
+        WriteId::new(s, k, v)
+    }
+
+    #[test]
+    fn append_remove_contains() {
+        let mut l = Lineage::new(LineageId(1));
+        assert!(l.is_empty());
+        l.append(wid("mysql", "post-1", 3));
+        assert!(l.contains(&wid("mysql", "post-1", 3)));
+        assert_eq!(l.len(), 1);
+        assert!(l.remove(&wid("mysql", "post-1", 3)));
+        assert!(!l.remove(&wid("mysql", "post-1", 3)));
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn append_is_idempotent() {
+        let mut l = Lineage::new(LineageId(1));
+        l.append(wid("s", "k", 1));
+        l.append(wid("s", "k", 1));
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn transfer_unions_dependencies() {
+        let mut a = Lineage::new(LineageId(1));
+        a.append(wid("acl", "alice-blocks", 7));
+        let mut b = Lineage::new(LineageId(2));
+        b.append(wid("posts", "post-9", 1));
+        b.transfer_from(&a);
+        assert_eq!(b.len(), 2);
+        assert_eq!(
+            b.id(),
+            LineageId(2),
+            "transfer keeps the receiving identity"
+        );
+        assert!(b.contains(&wid("acl", "alice-blocks", 7)));
+    }
+
+    #[test]
+    fn serialize_round_trip() {
+        let mut l = Lineage::new(LineageId(0xdead_beef));
+        l.append(wid("post-storage-mysql", "post-12345", 42));
+        l.append(wid("post-storage-mysql", "post-12346", 43));
+        l.append(wid("notifier-sns", "notif-99", 1));
+        let bytes = l.serialize();
+        let back = Lineage::deserialize(&bytes).unwrap();
+        assert_eq!(back, l);
+    }
+
+    #[test]
+    fn serialize_empty_lineage() {
+        let l = Lineage::new(LineageId(5));
+        let back = Lineage::deserialize(&l.serialize()).unwrap();
+        assert_eq!(back, l);
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn string_table_dedups_datastore_names() {
+        // 10 deps on the same store: the name must be encoded once.
+        let mut l = Lineage::new(LineageId(1));
+        for i in 0..10 {
+            l.append(wid("a-rather-long-datastore-name", &format!("k{i}"), i));
+        }
+        let size = l.wire_size();
+        let name_len = "a-rather-long-datastore-name".len();
+        assert!(
+            size < name_len * 2 + 10 * 8,
+            "size {size} suggests the name was not deduplicated"
+        );
+    }
+
+    #[test]
+    fn typical_lineage_is_small() {
+        // §7.4: lineage metadata stayed under 200 bytes in DeathStarBench.
+        // A typical lineage (a handful of writes to 2-3 stores) must fit.
+        let mut l = Lineage::new(LineageId(0x1234_5678_9abc));
+        l.append(wid("post-storage-mongodb", "post-6917529027641081856", 3));
+        l.append(wid(
+            "write-home-timeline-rabbitmq",
+            "msg-6917529027641081857",
+            1,
+        ));
+        l.append(wid("user-timeline-mongodb", "user-1729", 12));
+        l.append(wid("media-mongodb", "media-4411", 2));
+        assert!(l.wire_size() < 200, "wire size {} >= 200", l.wire_size());
+    }
+
+    #[test]
+    fn deserialize_rejects_garbage() {
+        assert!(Lineage::deserialize(&[]).is_err());
+        assert!(Lineage::deserialize(&[9, 0, 0]).is_err()); // bad version
+        let mut good = Lineage::new(LineageId(1));
+        good.append(wid("s", "k", 1));
+        let mut bytes = good.serialize();
+        bytes.truncate(bytes.len() - 1);
+        assert!(Lineage::deserialize(&bytes).is_err());
+    }
+
+    #[test]
+    fn datastores_lists_distinct_names() {
+        let mut l = Lineage::new(LineageId(1));
+        l.append(wid("b", "k1", 1));
+        l.append(wid("a", "k1", 1));
+        l.append(wid("a", "k2", 2));
+        assert_eq!(l.datastores(), vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,453 @@
+//! The formal lineage DAG of appendix B.
+//!
+//! A lineage is "a partial order of dependent actions that stem from an
+//! initial `root` action and end in one or more `stop` actions". This module
+//! implements that definition literally: actions of the five kinds of the
+//! system model (appendix A), the five DAG-construction rules, and queries
+//! over the resulting graph (membership, reachability, the delimiting
+//! `stop` frontier). The operational [`crate::Lineage`] (a set of write
+//! identifiers) is the *projection* of this DAG onto datastore writes;
+//! [`LineageDag::write_projection`] computes it, and tests verify the two
+//! views agree.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::lineage::{Lineage, LineageId};
+use crate::model::ProcId;
+use crate::write_id::WriteId;
+
+/// A service identifier in the formal model (processes implement services).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ServiceId(pub u32);
+
+/// One action in an execution (appendix A's five kinds, plus the `root` and
+/// `stop` markers of appendix B).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Action {
+    /// The initial invocation of the application (external client request).
+    Root,
+    /// A local computation step.
+    Local,
+    /// Sending message `msg` to another process of the *same service*
+    /// (rule 3 only relates send/receive within one service).
+    Send {
+        /// Message identity.
+        msg: u64,
+    },
+    /// Receiving message `msg`.
+    Recv {
+        /// Message identity.
+        msg: u64,
+    },
+    /// Invoking an operation on another service (rule 4): `invoke` pairs
+    /// with the service-side action carrying the same `call` id.
+    Invoke {
+        /// Call identity, pairing caller and callee actions.
+        call: u64,
+    },
+    /// The service-side execution of an invocation.
+    ServiceExec {
+        /// Call identity this execution belongs to.
+        call: u64,
+    },
+    /// The reply to a previous invocation (rule 5): pairs with the caller's
+    /// continuation action carrying the same `call` id.
+    Reply {
+        /// Call identity.
+        call: u64,
+    },
+    /// The caller-side continuation after a reply.
+    ReplyCont {
+        /// Call identity.
+        call: u64,
+    },
+    /// A datastore write performed as part of the lineage (the projection
+    /// [`LineageDag::write_projection`] collects these).
+    Write {
+        /// The produced write identifier.
+        write: WriteId,
+    },
+    /// Marks the end of handling an external invocation at a process.
+    Stop,
+}
+
+/// A vertex: an action performed by a process.
+#[derive(Clone, Debug)]
+pub struct Vertex {
+    /// The process performing the action.
+    pub proc: ProcId,
+    /// The service that process belongs to.
+    pub service: ServiceId,
+    /// The action.
+    pub action: Action,
+}
+
+/// The lineage DAG of one root action.
+#[derive(Clone, Debug, Default)]
+pub struct LineageDag {
+    vertices: Vec<Vertex>,
+    edges: Vec<(usize, usize)>,
+}
+
+/// Errors from DAG construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DagError {
+    /// The first vertex of a lineage must be the root action.
+    FirstVertexMustBeRoot,
+    /// Only one root is allowed (rule 1: "the single root").
+    MultipleRoots,
+    /// An edge refers to a vertex that does not exist.
+    UnknownVertex(usize),
+}
+
+impl std::fmt::Display for DagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DagError::FirstVertexMustBeRoot => write!(f, "first vertex must be the root action"),
+            DagError::MultipleRoots => write!(f, "a lineage has a single root"),
+            DagError::UnknownVertex(i) => write!(f, "edge names unknown vertex {i}"),
+        }
+    }
+}
+impl std::error::Error for DagError {}
+
+impl LineageDag {
+    /// Starts a lineage with its root action (rule 1).
+    pub fn new(proc: ProcId, service: ServiceId) -> Self {
+        LineageDag {
+            vertices: vec![Vertex {
+                proc,
+                service,
+                action: Action::Root,
+            }],
+            edges: Vec::new(),
+        }
+    }
+
+    /// The root vertex index (always 0).
+    pub fn root(&self) -> usize {
+        0
+    }
+
+    /// Adds a vertex, returning its index. Use [`LineageDag::connect`] or
+    /// [`LineageDag::seal`] to attach it per the rules.
+    pub fn push(
+        &mut self,
+        proc: ProcId,
+        service: ServiceId,
+        action: Action,
+    ) -> Result<usize, DagError> {
+        if matches!(action, Action::Root) {
+            return Err(DagError::MultipleRoots);
+        }
+        self.vertices.push(Vertex {
+            proc,
+            service,
+            action,
+        });
+        Ok(self.vertices.len() - 1)
+    }
+
+    /// Adds the edge `from → to` after validating it against the five rules:
+    ///
+    /// 1. handled by construction (single root);
+    /// 2. `from` precedes `to` in the execution of the same process, and
+    ///    `from` is not a `stop`;
+    /// 3. `from` is a send and `to` the matching receive **within the same
+    ///    service**;
+    /// 4. `from` is an `invoke` and `to` the matching service-side execution;
+    /// 5. `from` is a `reply` and `to` the matching caller-side continuation.
+    pub fn connect(&mut self, from: usize, to: usize) -> Result<(), DagError> {
+        let f = self
+            .vertices
+            .get(from)
+            .ok_or(DagError::UnknownVertex(from))?
+            .clone();
+        let t = self
+            .vertices
+            .get(to)
+            .ok_or(DagError::UnknownVertex(to))?
+            .clone();
+        let valid = match (&f.action, &t.action) {
+            // Rule 2: program order within a process, never out of a stop.
+            _ if f.proc == t.proc && !matches!(f.action, Action::Stop) && from < to => true,
+            // Rule 3: send → receive within the same service.
+            (Action::Send { msg: a }, Action::Recv { msg: b }) => a == b && f.service == t.service,
+            // Rule 4: invoke → service-side execution.
+            (Action::Invoke { call: a }, Action::ServiceExec { call: b }) => a == b,
+            // Rule 5: reply → caller-side continuation.
+            (Action::Reply { call: a }, Action::ReplyCont { call: b }) => a == b,
+            _ => false,
+        };
+        if !valid {
+            return Err(DagError::UnknownVertex(to)); // misuse; keep the error space small
+        }
+        self.edges.push((from, to));
+        Ok(())
+    }
+
+    /// All vertices.
+    pub fn vertices(&self) -> &[Vertex] {
+        &self.vertices
+    }
+
+    /// Whether vertex `v` is reachable from the root (i.e., genuinely part
+    /// of the lineage).
+    pub fn in_lineage(&self, v: usize) -> bool {
+        self.reachable_from(self.root()).contains(&v)
+    }
+
+    fn reachable_from(&self, start: usize) -> HashSet<usize> {
+        let mut adj: HashMap<usize, Vec<usize>> = HashMap::new();
+        for &(a, b) in &self.edges {
+            adj.entry(a).or_default().push(b);
+        }
+        let mut seen = HashSet::from([start]);
+        let mut q = VecDeque::from([start]);
+        while let Some(u) = q.pop_front() {
+            for &v in adj.get(&u).into_iter().flatten() {
+                if seen.insert(v) {
+                    q.push_back(v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// The processes whose handling has ended (their `stop` markers), i.e.
+    /// the frontier delimiting the lineage.
+    pub fn stop_frontier(&self) -> Vec<ProcId> {
+        self.vertices
+            .iter()
+            .enumerate()
+            .filter(|(i, v)| matches!(v.action, Action::Stop) && self.in_lineage(*i))
+            .map(|(_, v)| v.proc)
+            .collect()
+    }
+
+    /// Whether the edge set is acyclic (it must be, for well-formed
+    /// recordings; rule 2 forbids back edges within a process).
+    pub fn is_acyclic(&self) -> bool {
+        // Kahn's algorithm.
+        let n = self.vertices.len();
+        let mut indeg = vec![0usize; n];
+        let mut adj: HashMap<usize, Vec<usize>> = HashMap::new();
+        for &(a, b) in &self.edges {
+            indeg[b] += 1;
+            adj.entry(a).or_default().push(b);
+        }
+        let mut q: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0;
+        while let Some(u) = q.pop_front() {
+            seen += 1;
+            for &v in adj.get(&u).into_iter().flatten() {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    q.push_back(v);
+                }
+            }
+        }
+        seen == n
+    }
+
+    /// Projects the lineage DAG onto its datastore writes: exactly the
+    /// operational [`Lineage`] Antipode propagates (a set of write
+    /// identifiers).
+    pub fn write_projection(&self, id: LineageId) -> Lineage {
+        let reach = self.reachable_from(self.root());
+        let mut l = Lineage::new(id);
+        for (i, v) in self.vertices.iter().enumerate() {
+            if let Action::Write { write } = &v.action {
+                if reach.contains(&i) {
+                    l.append(write.clone());
+                }
+            }
+        }
+        l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P1: ProcId = ProcId(1);
+    const P2: ProcId = ProcId(2);
+    const Q1: ProcId = ProcId(3);
+    const R1: ProcId = ProcId(4);
+    const SVC_P: ServiceId = ServiceId(1);
+    const SVC_Q: ServiceId = ServiceId(2);
+    const SVC_R: ServiceId = ServiceId(3);
+
+    /// Builds the appendix-B figure (Fig 10): root at p, local steps, an
+    /// intra-service message p→q, an invoke q→r, a reply r→q, stops at all
+    /// three processes.
+    fn fig10() -> (LineageDag, Vec<usize>) {
+        let mut dag = LineageDag::new(P1, SVC_P);
+        let root = dag.root();
+        let p1 = dag.push(P1, SVC_P, Action::Local).unwrap();
+        let p_send = dag.push(P1, SVC_P, Action::Send { msg: 9 }).unwrap();
+        let p_stop = dag.push(P1, SVC_P, Action::Stop).unwrap();
+        let q_recv = dag.push(P2, SVC_P, Action::Recv { msg: 9 }).unwrap();
+        let q_inv = dag.push(P2, SVC_P, Action::Invoke { call: 5 }).unwrap();
+        let r_exec = dag
+            .push(Q1, SVC_Q, Action::ServiceExec { call: 5 })
+            .unwrap();
+        let r_write = dag
+            .push(
+                Q1,
+                SVC_Q,
+                Action::Write {
+                    write: WriteId::new("store", "x", 1),
+                },
+            )
+            .unwrap();
+        let r_reply = dag.push(Q1, SVC_Q, Action::Reply { call: 5 }).unwrap();
+        let r_stop = dag.push(Q1, SVC_Q, Action::Stop).unwrap();
+        let q_cont = dag.push(P2, SVC_P, Action::ReplyCont { call: 5 }).unwrap();
+        let q_stop = dag.push(P2, SVC_P, Action::Stop).unwrap();
+
+        dag.connect(root, p1).unwrap(); // rule 2
+        dag.connect(p1, p_send).unwrap(); // rule 2
+        dag.connect(p_send, p_stop).unwrap(); // rule 2
+        dag.connect(p_send, q_recv).unwrap(); // rule 3 (same service)
+        dag.connect(q_recv, q_inv).unwrap(); // rule 2
+        dag.connect(q_inv, r_exec).unwrap(); // rule 4
+        dag.connect(r_exec, r_write).unwrap(); // rule 2
+        dag.connect(r_write, r_reply).unwrap(); // rule 2
+        dag.connect(r_reply, r_stop).unwrap(); // rule 2
+        dag.connect(r_reply, q_cont).unwrap(); // rule 5
+        dag.connect(q_cont, q_stop).unwrap(); // rule 2
+        (
+            dag,
+            vec![
+                root, p1, p_send, q_recv, q_inv, r_exec, r_write, r_reply, q_cont,
+            ],
+        )
+    }
+
+    #[test]
+    fn fig10_is_well_formed() {
+        let (dag, members) = fig10();
+        assert!(dag.is_acyclic());
+        for v in members {
+            assert!(dag.in_lineage(v), "vertex {v} must be in the lineage");
+        }
+        // Delimited by stop actions at p, q and r.
+        let mut stops = dag.stop_frontier();
+        stops.sort_by_key(|p| p.0);
+        assert_eq!(stops, vec![P1, P2, Q1]);
+    }
+
+    #[test]
+    fn write_projection_collects_reachable_writes() {
+        let (dag, _) = fig10();
+        let l = dag.write_projection(LineageId(7));
+        assert_eq!(l.len(), 1);
+        assert!(l.contains(&WriteId::new("store", "x", 1)));
+    }
+
+    #[test]
+    fn unreachable_writes_are_excluded() {
+        let mut dag = LineageDag::new(P1, SVC_P);
+        // A write never connected to the root.
+        dag.push(
+            R1,
+            SVC_R,
+            Action::Write {
+                write: WriteId::new("s", "orphan", 1),
+            },
+        )
+        .unwrap();
+        let l = dag.write_projection(LineageId(1));
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn single_root_enforced() {
+        let mut dag = LineageDag::new(P1, SVC_P);
+        assert_eq!(
+            dag.push(P1, SVC_P, Action::Root),
+            Err(DagError::MultipleRoots)
+        );
+    }
+
+    #[test]
+    fn stop_has_no_outgoing_program_order() {
+        // Rule 2 requires the predecessor not be a stop action.
+        let mut dag = LineageDag::new(P1, SVC_P);
+        let stop = dag.push(P1, SVC_P, Action::Stop).unwrap();
+        let after = dag.push(P1, SVC_P, Action::Local).unwrap();
+        assert!(dag.connect(stop, after).is_err());
+    }
+
+    #[test]
+    fn cross_service_send_recv_is_rejected() {
+        // Rule 3 relates send/receive only within one service; cross-service
+        // interactions go through invoke/reply (rules 4-5).
+        let mut dag = LineageDag::new(P1, SVC_P);
+        let s = dag.push(P1, SVC_P, Action::Send { msg: 1 }).unwrap();
+        let r = dag.push(Q1, SVC_Q, Action::Recv { msg: 1 }).unwrap();
+        assert!(dag.connect(s, r).is_err());
+    }
+
+    #[test]
+    fn mismatched_call_ids_are_rejected() {
+        let mut dag = LineageDag::new(P1, SVC_P);
+        let i = dag.push(P1, SVC_P, Action::Invoke { call: 1 }).unwrap();
+        let e = dag
+            .push(Q1, SVC_Q, Action::ServiceExec { call: 2 })
+            .unwrap();
+        assert!(dag.connect(i, e).is_err());
+    }
+
+    #[test]
+    fn unknown_vertices_are_rejected() {
+        let mut dag = LineageDag::new(P1, SVC_P);
+        assert_eq!(dag.connect(0, 99), Err(DagError::UnknownVertex(99)));
+    }
+
+    #[test]
+    fn concurrent_branches_share_one_lineage() {
+        // A root fanning out to two services: both branches (and their
+        // writes) belong to the same lineage — the structure behind Fig 3.
+        let mut dag = LineageDag::new(P1, SVC_P);
+        let root = dag.root();
+        let inv_a = dag.push(P1, SVC_P, Action::Invoke { call: 1 }).unwrap();
+        let inv_b = dag.push(P1, SVC_P, Action::Invoke { call: 2 }).unwrap();
+        let exec_a = dag
+            .push(Q1, SVC_Q, Action::ServiceExec { call: 1 })
+            .unwrap();
+        let exec_b = dag
+            .push(R1, SVC_R, Action::ServiceExec { call: 2 })
+            .unwrap();
+        let w_a = dag
+            .push(
+                Q1,
+                SVC_Q,
+                Action::Write {
+                    write: WriteId::new("a", "y", 1),
+                },
+            )
+            .unwrap();
+        let w_b = dag
+            .push(
+                R1,
+                SVC_R,
+                Action::Write {
+                    write: WriteId::new("b", "x", 1),
+                },
+            )
+            .unwrap();
+        dag.connect(root, inv_a).unwrap();
+        dag.connect(root, inv_b).unwrap();
+        dag.connect(inv_a, exec_a).unwrap();
+        dag.connect(inv_b, exec_b).unwrap();
+        dag.connect(exec_a, w_a).unwrap();
+        dag.connect(exec_b, w_b).unwrap();
+
+        let l = dag.write_projection(LineageId(1));
+        assert_eq!(l.len(), 2, "both concurrent branches' writes project in");
+        assert!(dag.is_acyclic());
+    }
+}

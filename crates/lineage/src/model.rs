@@ -1,0 +1,590 @@
+//! The formal XCY model (paper §4 and appendices A–B).
+//!
+//! This module records executions as sequences of operations and decides the
+//! cross-service causal order ↝ between them, under either classic Lamport /
+//! causal-memory causality or XCY. The difference is rule 2
+//! (*reads-from-lineage*): under XCY a read that returns the value written by
+//! `a'` depends on **every** operation of ℒ(a'), not just `a'` itself.
+//!
+//! The checker detects XCY violations of recorded executions in the
+//! read/write model of §4.2: a read must observe the newest ↝-preceding
+//! write to its object (or something newer). It powers the property tests and
+//! the applications' violation detectors.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::lineage::LineageId;
+use crate::write_id::WriteId;
+
+/// A process identifier in the formal model.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProcId(pub u32);
+
+/// Which causality definition to evaluate ↝ under.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Causality {
+    /// Lamport happened-before extended with causal-memory *writes-into*
+    /// (rules 1 and 3, plus the single-edge reads-from).
+    Lamport,
+    /// Cross-service causal consistency: rule 2 relates a read to the whole
+    /// lineage of the write it observed.
+    Xcy,
+}
+
+/// One recorded operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// A write of (datastore, key) producing `write`.
+    Write {
+        /// Process performing the write.
+        proc: ProcId,
+        /// The produced write identifier (carries datastore, key, version).
+        write: WriteId,
+        /// Lineage (root request) this operation belongs to.
+        lineage: LineageId,
+    },
+    /// A read of (datastore, key) returning `returned` (`None` = not found).
+    Read {
+        /// Process performing the read.
+        proc: ProcId,
+        /// Datastore read from.
+        datastore: String,
+        /// Key read.
+        key: String,
+        /// The write whose value was returned, or `None` for *not found*.
+        returned: Option<WriteId>,
+        /// Lineage this operation belongs to.
+        lineage: LineageId,
+    },
+    /// Sending message `msg` to another process.
+    Send {
+        /// Sending process.
+        proc: ProcId,
+        /// Message identity, pairing with the matching `Recv`.
+        msg: u64,
+        /// Lineage this operation belongs to.
+        lineage: LineageId,
+    },
+    /// Receiving message `msg`.
+    Recv {
+        /// Receiving process.
+        proc: ProcId,
+        /// Message identity, pairing with the matching `Send`.
+        msg: u64,
+        /// Lineage this operation belongs to.
+        lineage: LineageId,
+    },
+}
+
+impl Op {
+    /// The process that performed this operation.
+    pub fn proc(&self) -> ProcId {
+        match self {
+            Op::Write { proc, .. }
+            | Op::Read { proc, .. }
+            | Op::Send { proc, .. }
+            | Op::Recv { proc, .. } => *proc,
+        }
+    }
+
+    /// The lineage this operation belongs to.
+    pub fn lineage(&self) -> LineageId {
+        match self {
+            Op::Write { lineage, .. }
+            | Op::Read { lineage, .. }
+            | Op::Send { lineage, .. }
+            | Op::Recv { lineage, .. } => *lineage,
+        }
+    }
+}
+
+/// A detected consistency violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// A read returned *not found* although a ↝-preceding write to its object
+    /// exists (the paper's `object not found` scenario).
+    MissingWrite {
+        /// Index of the offending read.
+        read: usize,
+        /// Index of a write the read should have observed.
+        missing: usize,
+    },
+    /// A read returned a value that is superseded by a ↝-preceding write.
+    StaleRead {
+        /// Index of the offending read.
+        read: usize,
+        /// Index of the write whose value was returned.
+        returned: usize,
+        /// Index of the newer write the read should have observed.
+        newer: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::MissingWrite { read, missing } => {
+                write!(
+                    f,
+                    "read #{read} returned not-found but depends on write #{missing}"
+                )
+            }
+            Violation::StaleRead {
+                read,
+                returned,
+                newer,
+            } => {
+                write!(
+                    f,
+                    "read #{read} returned write #{returned} but depends on newer write #{newer}"
+                )
+            }
+        }
+    }
+}
+
+/// A recorded execution: operations in the order each process performed them
+/// (the global list order is arbitrary across processes; program order is the
+/// relative order of a process's own operations).
+#[derive(Clone, Debug, Default)]
+pub struct Execution {
+    ops: Vec<Op>,
+}
+
+impl Execution {
+    /// Creates an empty execution.
+    pub fn new() -> Self {
+        Execution::default()
+    }
+
+    /// Appends an operation, returning its index.
+    pub fn push(&mut self, op: Op) -> usize {
+        self.ops.push(op);
+        self.ops.len() - 1
+    }
+
+    /// Convenience: record a write.
+    pub fn write(&mut self, proc: ProcId, lineage: LineageId, w: WriteId) -> usize {
+        self.push(Op::Write {
+            proc,
+            write: w,
+            lineage,
+        })
+    }
+
+    /// Convenience: record a read.
+    pub fn read(
+        &mut self,
+        proc: ProcId,
+        lineage: LineageId,
+        datastore: impl Into<String>,
+        key: impl Into<String>,
+        returned: Option<WriteId>,
+    ) -> usize {
+        self.push(Op::Read {
+            proc,
+            datastore: datastore.into(),
+            key: key.into(),
+            returned,
+            lineage,
+        })
+    }
+
+    /// Convenience: record a message send.
+    pub fn send(&mut self, proc: ProcId, lineage: LineageId, msg: u64) -> usize {
+        self.push(Op::Send { proc, msg, lineage })
+    }
+
+    /// Convenience: record a message receive.
+    pub fn recv(&mut self, proc: ProcId, lineage: LineageId, msg: u64) -> usize {
+        self.push(Op::Recv { proc, msg, lineage })
+    }
+
+    /// The recorded operations.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Builds the direct-edge adjacency of ↝ under `mode` (before taking the
+    /// transitive closure).
+    fn edges(&self, mode: Causality) -> Vec<Vec<usize>> {
+        let n = self.ops.len();
+        let mut adj = vec![Vec::new(); n];
+
+        // Rule 1a: program order within each process.
+        let mut last_of: std::collections::HashMap<ProcId, usize> =
+            std::collections::HashMap::new();
+        for (i, op) in self.ops.iter().enumerate() {
+            if let Some(&prev) = last_of.get(&op.proc()) {
+                adj[prev].push(i);
+            }
+            last_of.insert(op.proc(), i);
+        }
+
+        // Rule 1b: message send → receive.
+        for (i, op) in self.ops.iter().enumerate() {
+            if let Op::Send { msg, .. } = op {
+                for (j, other) in self.ops.iter().enumerate() {
+                    if let Op::Recv { msg: m2, .. } = other {
+                        if m2 == msg {
+                            adj[i].push(j);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Reads-from. Under Lamport: the writes-into edge a' → b. Under XCY
+        // (rule 2): an edge from every op of ℒ(a') to b.
+        for (r_idx, op) in self.ops.iter().enumerate() {
+            let Op::Read {
+                returned: Some(w), ..
+            } = op
+            else {
+                continue;
+            };
+            let writer = self
+                .ops
+                .iter()
+                .position(|o| matches!(o, Op::Write { write, .. } if write == w));
+            let Some(w_idx) = writer else { continue };
+            match mode {
+                Causality::Lamport => adj[w_idx].push(r_idx),
+                Causality::Xcy => {
+                    let lin = self.ops[w_idx].lineage();
+                    if lin == op.lineage() {
+                        // A request observing its *own* intermediate state:
+                        // rule 2 is about observing another lineage's effects
+                        // (the offshoot of a different root request, §4.2);
+                        // within one lineage plain happened-before governs,
+                        // otherwise write-v1 / read-v1 / write-v2 sequences
+                        // would be self-inconsistent.
+                        adj[w_idx].push(r_idx);
+                    } else {
+                        for (a_idx, a) in self.ops.iter().enumerate() {
+                            if a_idx != r_idx && a.lineage() == lin {
+                                adj[a_idx].push(r_idx);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        adj
+    }
+
+    /// Reachability (the transitive closure of the direct edges, i.e. ↝ with
+    /// rule 3 applied). `reach[a]` contains every `b` with `a ↝ b`.
+    fn closure(&self, mode: Causality) -> Vec<Vec<bool>> {
+        let n = self.ops.len();
+        let adj = self.edges(mode);
+        let mut reach = vec![vec![false; n]; n];
+        #[allow(clippy::needless_range_loop)]
+        for start in 0..n {
+            let mut q = VecDeque::new();
+            q.push_back(start);
+            while let Some(u) = q.pop_front() {
+                for &v in &adj[u] {
+                    if !reach[start][v] {
+                        reach[start][v] = true;
+                        q.push_back(v);
+                    }
+                }
+            }
+        }
+        reach
+    }
+
+    /// Whether `a ↝ b` under `mode` (strict: an op does not depend on
+    /// itself unless it lies on a cycle of edges).
+    pub fn depends(&self, a: usize, b: usize, mode: Causality) -> bool {
+        self.closure(mode)[a][b]
+    }
+
+    /// Checks the execution for violations under `mode`.
+    ///
+    /// A read `r` of object (d, k) violates consistency iff either
+    /// - it returned *not found* while some write `w` on (d, k) satisfies
+    ///   `w ↝ r`; or
+    /// - it returned the value of `w0` while some write `w1` on (d, k)
+    ///   satisfies `w1 ↝ r` and `w0 ↝ w1` (the value read is causally
+    ///   superseded).
+    ///
+    /// For executions whose per-object writes are totally ordered by version
+    /// (our datastores guarantee this), this is exactly the condition for a
+    /// ↝-respecting serialization of §4.2 to exist.
+    pub fn check(&self, mode: Causality) -> Vec<Violation> {
+        let reach = self.closure(mode);
+        let mut out = Vec::new();
+        for (r_idx, op) in self.ops.iter().enumerate() {
+            let Op::Read {
+                datastore,
+                key,
+                returned,
+                ..
+            } = op
+            else {
+                continue;
+            };
+            // Writes on the same object that the read depends on.
+            let preceding: Vec<usize> = self
+                .ops
+                .iter()
+                .enumerate()
+                .filter(|(w_idx, w)| {
+                    matches!(w, Op::Write { write, .. }
+                        if write.datastore == *datastore && write.key == *key)
+                        && reach[*w_idx][r_idx]
+                })
+                .map(|(i, _)| i)
+                .collect();
+            match returned {
+                None => {
+                    if let Some(&missing) = preceding.first() {
+                        out.push(Violation::MissingWrite {
+                            read: r_idx,
+                            missing,
+                        });
+                    }
+                }
+                Some(w0) => {
+                    let returned_idx = self
+                        .ops
+                        .iter()
+                        .position(|o| matches!(o, Op::Write { write, .. } if write == w0));
+                    for &w1 in &preceding {
+                        let newer = match returned_idx {
+                            Some(r0) => r0 != w1 && reach[r0][w1],
+                            // Unknown origin: any ↝-preceding newer version
+                            // flags it, using version order as the fallback.
+                            None => matches!(
+                                &self.ops[w1],
+                                Op::Write { write, .. } if write.supersedes(w0) && *write != *w0
+                            ),
+                        };
+                        if newer {
+                            out.push(Violation::StaleRead {
+                                read: r_idx,
+                                returned: returned_idx.unwrap_or(w1),
+                                newer: w1,
+                            });
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the execution is consistent (no violations) under `mode`.
+    pub fn is_consistent(&self, mode: Causality) -> bool {
+        self.check(mode).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wid(s: &str, k: &str, v: u64) -> WriteId {
+        WriteId::new(s, k, v)
+    }
+
+    const P1: ProcId = ProcId(1);
+    const P2: ProcId = ProcId(2);
+    const P3: ProcId = ProcId(3);
+    const L1: LineageId = LineageId(1);
+    const L2: LineageId = LineageId(2);
+
+    /// The paper's Fig. 3: R1 writes y (service A) and x (service B) on two
+    /// concurrent branches. R2 reads y, percolates, then reads x. Under
+    /// Lamport, write(x) and read(x) are concurrent — a not-found read of x
+    /// is fine. Under XCY, reading y pulls in all of ℒ(R1), so read(x) must
+    /// observe write(x).
+    fn fig3(read_x_returns: Option<WriteId>) -> Execution {
+        let mut e = Execution::new();
+        // R1 branch 1 at service A:
+        e.write(P1, L1, wid("svcA", "y", 1));
+        // R1 branch 2 at service B, on a *different process* — a concurrent
+        // branch of the same request (same lineage, no message edge):
+        e.write(ProcId(4), L1, wid("svcB", "x", 1));
+        // R2 starts by reading y at service A:
+        e.read(P3, L2, "svcA", "y", Some(wid("svcA", "y", 1)));
+        // R2 percolates to service B via a message:
+        e.send(P3, L2, 77);
+        e.recv(P2, L2, 77);
+        // R2 reads x at service B:
+        e.read(P2, L2, "svcB", "x", read_x_returns);
+        e
+    }
+
+    #[test]
+    fn fig3_lamport_allows_not_found() {
+        let e = fig3(None);
+        assert!(e.is_consistent(Causality::Lamport));
+    }
+
+    #[test]
+    fn fig3_xcy_flags_not_found() {
+        let e = fig3(None);
+        let v = e.check(Causality::Xcy);
+        assert_eq!(
+            v,
+            vec![Violation::MissingWrite {
+                read: 5,
+                missing: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn fig3_xcy_satisfied_when_write_observed() {
+        let e = fig3(Some(wid("svcB", "x", 1)));
+        assert!(e.is_consistent(Causality::Xcy));
+    }
+
+    #[test]
+    fn xcy_is_stronger_than_lamport() {
+        // Every Lamport dependency is an XCY dependency.
+        let e = fig3(Some(wid("svcB", "x", 1)));
+        for a in 0..e.ops().len() {
+            for b in 0..e.ops().len() {
+                if e.depends(a, b, Causality::Lamport) {
+                    assert!(
+                        e.depends(a, b, Causality::Xcy),
+                        "Lamport {a}↝{b} must imply XCY"
+                    );
+                }
+            }
+        }
+        // Fig 3's green edge exists only under XCY: write(x) ↝ read(x) via
+        // read(y) pulling in all of ℒ(R1) — even when read(x) itself returns
+        // nothing (use the not-found variant, where Lamport's writes-into
+        // edge cannot apply either).
+        let e = fig3(None);
+        assert!(!e.depends(1, 5, Causality::Lamport));
+        assert!(e.depends(1, 5, Causality::Xcy));
+    }
+
+    #[test]
+    fn program_order_is_a_dependency() {
+        let mut e = Execution::new();
+        let a = e.write(P1, L1, wid("s", "k", 1));
+        let b = e.read(P1, L1, "s", "k", Some(wid("s", "k", 1)));
+        assert!(e.depends(a, b, Causality::Lamport));
+        assert!(e.depends(a, b, Causality::Xcy));
+        assert!(!e.depends(b, a, Causality::Xcy));
+    }
+
+    #[test]
+    fn message_edge_crosses_processes() {
+        let mut e = Execution::new();
+        let w = e.write(P1, L1, wid("s", "k", 1));
+        e.send(P1, L1, 5);
+        e.recv(P2, L1, 5);
+        let r = e.read(P2, L1, "s", "k", None);
+        // The write precedes the read through send/recv: not-found violates
+        // even plain Lamport causality.
+        assert!(e.depends(w, r, Causality::Lamport));
+        assert_eq!(
+            e.check(Causality::Lamport),
+            vec![Violation::MissingWrite {
+                read: r,
+                missing: w
+            }]
+        );
+    }
+
+    #[test]
+    fn stale_read_detected() {
+        let mut e = Execution::new();
+        let w1 = e.write(P1, L1, wid("s", "k", 1));
+        let w2 = e.write(P1, L1, wid("s", "k", 2));
+        let r = e.read(P1, L1, "s", "k", Some(wid("s", "k", 1)));
+        assert_eq!(
+            e.check(Causality::Xcy),
+            vec![Violation::StaleRead {
+                read: r,
+                returned: w1,
+                newer: w2
+            }]
+        );
+    }
+
+    #[test]
+    fn concurrent_writes_allow_either_value() {
+        let mut e = Execution::new();
+        e.write(P1, L1, wid("s", "k", 1));
+        e.write(P2, L2, wid("s", "k", 2));
+        // P3 reads the older version; the writes are concurrent, so this is
+        // consistent under both definitions.
+        e.read(P3, LineageId(3), "s", "k", Some(wid("s", "k", 1)));
+        assert!(e.is_consistent(Causality::Lamport));
+        assert!(e.is_consistent(Causality::Xcy));
+    }
+
+    #[test]
+    fn read_of_unwritten_key_is_fine() {
+        let mut e = Execution::new();
+        e.read(P1, L1, "s", "nope", None);
+        assert!(e.is_consistent(Causality::Xcy));
+    }
+
+    #[test]
+    fn post_notification_violation_is_xcy_only() {
+        // §2.2: the post write and the notification write share a lineage but
+        // execute at *different services* (post-storage, notifier). Each
+        // service's recorder sees its own operations, not the other's RPC
+        // chain — exactly the "no global knowledge" setting of §3.3 — so no
+        // happened-before edge connects the two writes here. A remote reader
+        // reads the notification, then the post is not found.
+        let mut e = Execution::new();
+        let post = e.write(P1, L1, wid("post-storage", "post-1", 1));
+        e.write(ProcId(5), L1, wid("notifier", "notif-1", 1));
+        // Remote reader (different lineage) dequeues the notification...
+        e.read(
+            P2,
+            L2,
+            "notifier",
+            "notif-1",
+            Some(wid("notifier", "notif-1", 1)),
+        );
+        // ...then reads the post: not found.
+        let r = e.read(P2, L2, "post-storage", "post-1", None);
+        assert!(
+            e.is_consistent(Causality::Lamport),
+            "Lamport misses the bug"
+        );
+        assert_eq!(
+            e.check(Causality::Xcy),
+            vec![Violation::MissingWrite {
+                read: r,
+                missing: post
+            }]
+        );
+    }
+
+    #[test]
+    fn transitivity_through_lineages() {
+        // L1 writes a; L2 reads a then writes b; L3 reads b then must see a.
+        let mut e = Execution::new();
+        let wa = e.write(P1, L1, wid("s", "a", 1));
+        e.read(P2, L2, "s", "a", Some(wid("s", "a", 1)));
+        e.write(P2, L2, wid("s", "b", 1));
+        e.read(P3, LineageId(3), "s", "b", Some(wid("s", "b", 1)));
+        let r = e.read(P3, LineageId(3), "s", "a", None);
+        assert!(e.depends(wa, r, Causality::Xcy));
+        assert!(!e.is_consistent(Causality::Xcy));
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = Violation::MissingWrite {
+            read: 3,
+            missing: 1,
+        };
+        assert!(v.to_string().contains("read #3"));
+    }
+}

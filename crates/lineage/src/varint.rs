@@ -1,0 +1,159 @@
+//! LEB128 varint and length-prefixed string primitives for the lineage wire
+//! format. Hand-rolled so the metadata-size experiments (Table 3, §7.4)
+//! measure a realistic compact encoding rather than a debug format.
+
+use bytes::{Buf, BufMut};
+
+/// Errors from decoding the lineage wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended in the middle of a value.
+    UnexpectedEof,
+    /// A varint ran longer than 10 bytes (not a valid u64).
+    VarintOverflow,
+    /// A string was not valid UTF-8.
+    InvalidUtf8,
+    /// The format version byte was unknown.
+    UnknownVersion(u8),
+    /// A declared length exceeded the remaining input.
+    LengthOutOfBounds,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of input"),
+            CodecError::VarintOverflow => write!(f, "varint longer than 10 bytes"),
+            CodecError::InvalidUtf8 => write!(f, "string is not valid UTF-8"),
+            CodecError::UnknownVersion(v) => write!(f, "unknown wire format version {v}"),
+            CodecError::LengthOutOfBounds => write!(f, "declared length exceeds input"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Appends `v` as an LEB128 varint.
+pub fn put_varint(buf: &mut impl BufMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Reads an LEB128 varint.
+pub fn get_varint(buf: &mut impl Buf) -> Result<u64, CodecError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let byte = buf.get_u8();
+        if shift >= 64 {
+            return Err(CodecError::VarintOverflow);
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut impl BufMut, s: &str) {
+    put_varint(buf, s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Reads a length-prefixed UTF-8 string.
+pub fn get_str(buf: &mut impl Buf) -> Result<String, CodecError> {
+    let len = get_varint(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(CodecError::LengthOutOfBounds);
+    }
+    let mut bytes = vec![0u8; len];
+    buf.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|_| CodecError::InvalidUtf8)
+}
+
+/// Number of bytes `v` occupies as a varint.
+pub fn varint_len(v: u64) -> usize {
+    if v == 0 {
+        return 1;
+    }
+    (64 - v.leading_zeros() as usize).div_ceil(7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trip() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v), "length of {v}");
+            let mut slice = buf.as_slice();
+            assert_eq!(get_varint(&mut slice), Ok(v));
+            assert!(slice.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_eof() {
+        let mut slice: &[u8] = &[0x80];
+        assert_eq!(get_varint(&mut slice), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn varint_overflow() {
+        let mut slice: &[u8] = &[0xff; 11];
+        assert_eq!(get_varint(&mut slice), Err(CodecError::VarintOverflow));
+    }
+
+    #[test]
+    fn str_round_trip() {
+        for s in ["", "k", "post-storage-mysql", "ünïcode ✓"] {
+            let mut buf = Vec::new();
+            put_str(&mut buf, s);
+            let mut slice = buf.as_slice();
+            assert_eq!(get_str(&mut slice).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn str_length_out_of_bounds() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 100);
+        buf.extend_from_slice(b"short");
+        let mut slice = buf.as_slice();
+        assert_eq!(get_str(&mut slice), Err(CodecError::LengthOutOfBounds));
+    }
+
+    #[test]
+    fn str_invalid_utf8() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 2);
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        let mut slice = buf.as_slice();
+        assert_eq!(get_str(&mut slice), Err(CodecError::InvalidUtf8));
+    }
+}

@@ -1,0 +1,209 @@
+//! Vector clocks — the classical dependency-tracking alternative that §3.2
+//! argues against for the cross-service setting.
+//!
+//! "The most common approach for tracking these dependencies is to use
+//! vector clocks, where each entry contains the most recent version observed
+//! for each process. […] in an ecosystem as large as Alibaba's, this would
+//! require enforcing dependencies from possibly hundreds of services", i.e.
+//! metadata proportional to the number of tracked entities rather than to
+//! the number of *relevant* dependencies.
+//!
+//! This module provides a correct sparse vector clock with the same compact
+//! wire discipline as [`crate::Lineage`], so the ablation benchmark can
+//! compare the two fairly on the Alibaba-like trace.
+
+use std::collections::BTreeMap;
+
+use bytes::Buf;
+
+use crate::varint::{get_str, get_varint, put_str, put_varint, CodecError};
+
+/// A sparse vector clock: entity name → highest version observed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VectorClock {
+    entries: BTreeMap<String, u64>,
+}
+
+/// Result of comparing two vector clocks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClockOrder {
+    /// Identical.
+    Equal,
+    /// Strictly before the other.
+    Before,
+    /// Strictly after the other.
+    After,
+    /// Concurrent (incomparable).
+    Concurrent,
+}
+
+const WIRE_VERSION: u8 = 1;
+
+impl VectorClock {
+    /// Creates an empty clock.
+    pub fn new() -> Self {
+        VectorClock::default()
+    }
+
+    /// Records that `entity` reached `version`; keeps the maximum.
+    pub fn observe(&mut self, entity: impl Into<String>, version: u64) {
+        let e = self.entries.entry(entity.into()).or_insert(0);
+        *e = (*e).max(version);
+    }
+
+    /// The version recorded for `entity` (0 when absent).
+    pub fn get(&self, entity: &str) -> u64 {
+        self.entries.get(entity).copied().unwrap_or(0)
+    }
+
+    /// Number of nonzero entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the clock is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Pointwise maximum (the merge on message receipt).
+    pub fn merge(&mut self, other: &VectorClock) {
+        for (k, v) in &other.entries {
+            self.observe(k.clone(), *v);
+        }
+    }
+
+    /// Whether every entry of `self` is ≤ the corresponding entry of
+    /// `other`.
+    pub fn dominated_by(&self, other: &VectorClock) -> bool {
+        self.entries.iter().all(|(k, v)| *v <= other.get(k))
+    }
+
+    /// Compares two clocks.
+    pub fn compare(&self, other: &VectorClock) -> ClockOrder {
+        let le = self.dominated_by(other);
+        let ge = other.dominated_by(self);
+        match (le, ge) {
+            (true, true) => ClockOrder::Equal,
+            (true, false) => ClockOrder::Before,
+            (false, true) => ClockOrder::After,
+            (false, false) => ClockOrder::Concurrent,
+        }
+    }
+
+    /// Serializes with the same varint + name discipline as lineages.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(1 + self.entries.len() * 12);
+        buf.push(WIRE_VERSION);
+        put_varint(&mut buf, self.entries.len() as u64);
+        for (k, v) in &self.entries {
+            put_str(&mut buf, k);
+            put_varint(&mut buf, *v);
+        }
+        buf
+    }
+
+    /// Decodes [`VectorClock::serialize`] output.
+    pub fn deserialize(mut bytes: &[u8]) -> Result<VectorClock, CodecError> {
+        let buf = &mut bytes;
+        if !buf.has_remaining() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let version = buf.get_u8();
+        if version != WIRE_VERSION {
+            return Err(CodecError::UnknownVersion(version));
+        }
+        let n = get_varint(buf)? as usize;
+        if n > buf.remaining().saturating_add(1) * 2 {
+            return Err(CodecError::LengthOutOfBounds);
+        }
+        let mut clock = VectorClock::new();
+        for _ in 0..n {
+            let k = get_str(buf)?;
+            let v = get_varint(buf)?;
+            clock.observe(k, v);
+        }
+        Ok(clock)
+    }
+
+    /// Serialized size in bytes.
+    pub fn wire_size(&self) -> usize {
+        self.serialize().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_keeps_maximum() {
+        let mut c = VectorClock::new();
+        c.observe("a", 3);
+        c.observe("a", 1);
+        assert_eq!(c.get("a"), 3);
+        assert_eq!(c.get("missing"), 0);
+    }
+
+    #[test]
+    fn merge_is_pointwise_max() {
+        let mut a = VectorClock::new();
+        a.observe("x", 1);
+        a.observe("y", 5);
+        let mut b = VectorClock::new();
+        b.observe("y", 2);
+        b.observe("z", 7);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 1);
+        assert_eq!(a.get("y"), 5);
+        assert_eq!(a.get("z"), 7);
+    }
+
+    #[test]
+    fn compare_orders() {
+        let mut a = VectorClock::new();
+        a.observe("x", 1);
+        let mut b = a.clone();
+        assert_eq!(a.compare(&b), ClockOrder::Equal);
+        b.observe("x", 2);
+        assert_eq!(a.compare(&b), ClockOrder::Before);
+        assert_eq!(b.compare(&a), ClockOrder::After);
+        let mut c = VectorClock::new();
+        c.observe("y", 1);
+        assert_eq!(a.compare(&c), ClockOrder::Concurrent);
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let mut c = VectorClock::new();
+        for i in 0..20 {
+            c.observe(format!("svc-{i}"), i * 3 + 1);
+        }
+        let back = VectorClock::deserialize(&c.serialize()).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn deserialize_rejects_garbage() {
+        assert!(VectorClock::deserialize(&[]).is_err());
+        assert!(VectorClock::deserialize(&[9]).is_err());
+        let mut c = VectorClock::new();
+        c.observe("a", 1);
+        let mut bytes = c.serialize();
+        bytes.truncate(bytes.len() - 1);
+        assert!(VectorClock::deserialize(&bytes).is_err());
+    }
+
+    #[test]
+    fn size_grows_with_entries_not_deps() {
+        // The §3.2 argument in miniature: a clock over many entities is big
+        // even when only one dependency matters.
+        let mut clock = VectorClock::new();
+        for i in 0..500 {
+            clock.observe(format!("service-{i:04}"), 1);
+        }
+        let mut lineage = crate::Lineage::new(crate::LineageId(1));
+        lineage.append(crate::WriteId::new("service-0001", "k", 1));
+        assert!(clock.wire_size() > 20 * lineage.wire_size());
+    }
+}

@@ -1,0 +1,98 @@
+//! Write identifiers.
+//!
+//! A [`WriteId`] uniquely identifies a write to a datastore as the triple
+//! ⟨datastore, key, version⟩ (paper §6.1). Antipode relies on the underlying
+//! datastore to generate the version under a versioned key-object model;
+//! lineages are sets of these identifiers.
+
+use std::fmt;
+
+/// Identifies one write: which datastore, which key, which version.
+///
+/// Ordered lexicographically by (datastore, key, version) so lineages can
+/// hold them in ordered sets with a canonical serialization.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WriteId {
+    /// Name of the datastore instance (e.g. `"post-storage-mysql"`).
+    pub datastore: String,
+    /// The key (or object name / queue entry id) that was written.
+    pub key: String,
+    /// Monotonic version assigned by the datastore for this key.
+    pub version: u64,
+}
+
+impl WriteId {
+    /// Creates a write identifier.
+    pub fn new(datastore: impl Into<String>, key: impl Into<String>, version: u64) -> Self {
+        WriteId {
+            datastore: datastore.into(),
+            key: key.into(),
+            version,
+        }
+    }
+
+    /// Whether this identifier is for the same datastore and key as `other`
+    /// (possibly a different version).
+    pub fn same_object(&self, other: &WriteId) -> bool {
+        self.datastore == other.datastore && self.key == other.key
+    }
+
+    /// Whether this write supersedes `other`: same object, newer-or-equal
+    /// version. A datastore that has applied a superseding write satisfies a
+    /// `wait` on the older one (paper §5.2: "or superseded by more recent
+    /// operations").
+    pub fn supersedes(&self, other: &WriteId) -> bool {
+        self.same_object(other) && self.version >= other.version
+    }
+}
+
+impl fmt::Debug for WriteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{},{},v{}⟩", self.datastore, self.key, self.version)
+    }
+}
+
+impl fmt::Display for WriteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}@{}", self.datastore, self.key, self.version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = WriteId::new("a", "k", 2);
+        let b = WriteId::new("a", "k", 3);
+        let c = WriteId::new("b", "a", 0);
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn same_object_ignores_version() {
+        let a = WriteId::new("s", "k", 1);
+        let b = WriteId::new("s", "k", 9);
+        let c = WriteId::new("s", "other", 1);
+        assert!(a.same_object(&b));
+        assert!(!a.same_object(&c));
+    }
+
+    #[test]
+    fn supersedes_requires_same_object_and_newer_version() {
+        let old = WriteId::new("s", "k", 1);
+        let new = WriteId::new("s", "k", 2);
+        assert!(new.supersedes(&old));
+        assert!(new.supersedes(&new));
+        assert!(!old.supersedes(&new));
+        assert!(!WriteId::new("s", "x", 5).supersedes(&old));
+    }
+
+    #[test]
+    fn display_round_trips_fields() {
+        let w = WriteId::new("mysql", "post-7", 3);
+        assert_eq!(w.to_string(), "mysql:post-7@3");
+    }
+}

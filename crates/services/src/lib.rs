@@ -1,0 +1,26 @@
+//! # antipode-runtime
+//!
+//! A simulated microservice runtime on top of `antipode-sim`:
+//!
+//! - [`Runtime`]: network hops / RPC round trips between regions;
+//! - [`Service`]: bounded worker pools with service-time models (what makes
+//!   throughput/latency saturation curves appear in Figs 8–9);
+//! - [`RequestCtx`]: baggage + lineage context propagation per request;
+//! - [`rpc`]: typed endpoints with automatic lineage propagation on request
+//!   *and* response (§6.2);
+//! - [`workload`]: open-loop Poisson and closed-loop drivers with
+//!   latency/throughput metrics.
+
+#![warn(missing_docs)]
+
+pub mod request;
+pub mod rpc;
+pub mod runtime;
+pub mod service;
+pub mod workload;
+
+pub use request::RequestCtx;
+pub use rpc::{call_and_absorb, Endpoint};
+pub use runtime::Runtime;
+pub use service::{Service, ServiceSpec};
+pub use workload::{run_open_loop, ClosedLoop, LoadMetrics, OpenLoop};

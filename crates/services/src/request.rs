@@ -1,0 +1,110 @@
+//! Per-request context: baggage plus the Antipode lineage context.
+//!
+//! Mirrors how a real service framework couples OpenTelemetry baggage with
+//! the request's execution: [`RequestCtx::root`] at the edge, `outgoing()`
+//! when issuing an RPC or enqueueing a message, `from_baggage()` on the
+//! receiving side.
+
+use antipode::{LineageCtx, LineageIdGen};
+use antipode_lineage::{Baggage, Lineage};
+
+/// Context carried by one in-flight request at one service.
+#[derive(Clone, Debug, Default)]
+pub struct RequestCtx {
+    /// Propagated string-keyed baggage (carries the lineage).
+    pub baggage: Baggage,
+    /// The Antipode lineage context.
+    pub lineage: LineageCtx,
+}
+
+impl RequestCtx {
+    /// Starts a fresh request at the system edge with a new root lineage.
+    pub fn root(gen: &LineageIdGen) -> Self {
+        let mut ctx = RequestCtx::default();
+        ctx.lineage.root(gen);
+        ctx
+    }
+
+    /// Reconstructs the context from incoming baggage (RPC server side or
+    /// queue consumer).
+    pub fn from_baggage(baggage: Baggage) -> Self {
+        let mut lineage = LineageCtx::new();
+        lineage.extract(&baggage);
+        RequestCtx { baggage, lineage }
+    }
+
+    /// The baggage to attach to an outgoing RPC or message: current baggage
+    /// with the up-to-date lineage injected.
+    pub fn outgoing(&self) -> Baggage {
+        let mut b = self.baggage.clone();
+        self.lineage.inject(&mut b);
+        b
+    }
+
+    /// Merges a lineage returned by a downstream call (RPC responses also
+    /// carry lineages, §6.2) into the current one.
+    pub fn absorb_response(&mut self, response: &Baggage) {
+        if let Ok(returned) = response.lineage() {
+            match self.lineage.lineage_mut() {
+                Some(cur) => cur.transfer_from(&returned),
+                None => self.lineage.adopt(returned),
+            }
+        }
+    }
+
+    /// The current lineage (convenience).
+    pub fn current(&self) -> Option<&Lineage> {
+        self.lineage.lineage()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antipode_lineage::WriteId;
+
+    #[test]
+    fn rpc_round_trip_carries_new_dependencies() {
+        let gen = LineageIdGen::new(1);
+        // Client starts a request.
+        let mut client = RequestCtx::root(&gen);
+        // Server receives the call…
+        let mut server = RequestCtx::from_baggage(client.outgoing());
+        // …performs a shim write (the shim appends to the lineage)…
+        server.lineage.append(WriteId::new("posts", "p1", 1));
+        // …and replies. The client absorbs the updated lineage.
+        client.absorb_response(&server.outgoing());
+        assert!(client
+            .current()
+            .unwrap()
+            .contains(&WriteId::new("posts", "p1", 1)));
+    }
+
+    #[test]
+    fn from_baggage_without_lineage_yields_empty_ctx() {
+        let ctx = RequestCtx::from_baggage(Baggage::new());
+        assert!(ctx.current().is_none());
+    }
+
+    #[test]
+    fn absorb_response_adopts_when_no_current() {
+        let gen = LineageIdGen::new(1);
+        let mut upstream = RequestCtx::root(&gen);
+        upstream.lineage.append(WriteId::new("s", "k", 1));
+        let mut fresh = RequestCtx::default();
+        fresh.absorb_response(&upstream.outgoing());
+        assert!(fresh
+            .current()
+            .unwrap()
+            .contains(&WriteId::new("s", "k", 1)));
+    }
+
+    #[test]
+    fn outgoing_reflects_latest_lineage() {
+        let gen = LineageIdGen::new(1);
+        let mut ctx = RequestCtx::root(&gen);
+        ctx.lineage.append(WriteId::new("s", "k", 2));
+        let b = ctx.outgoing();
+        assert!(b.lineage().unwrap().contains(&WriteId::new("s", "k", 2)));
+    }
+}

@@ -1,0 +1,122 @@
+//! The service runtime: network hops and the deployment-wide handle.
+//!
+//! Applications are async functions over shared state; the runtime supplies
+//! the pieces a real deployment would: message transit between regions
+//! ([`Runtime::hop`]), round trips ([`Runtime::rpc_rtt`]), and a shared
+//! deterministic RNG stream for arrival processes.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use antipode_sim::net::Network;
+use antipode_sim::rng::SimRng;
+use antipode_sim::{Region, Sim};
+
+/// Deployment-wide runtime handle. Cheap to clone.
+#[derive(Clone)]
+pub struct Runtime {
+    sim: Sim,
+    net: Rc<Network>,
+    rng: Rc<RefCell<SimRng>>,
+}
+
+impl Runtime {
+    /// Creates a runtime over the given network topology.
+    pub fn new(sim: &Sim, net: Rc<Network>) -> Self {
+        let rng = Rc::new(RefCell::new(sim.rng("runtime")));
+        Runtime {
+            sim: sim.clone(),
+            net,
+            rng,
+        }
+    }
+
+    /// The simulation handle.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// The network model.
+    pub fn net(&self) -> &Rc<Network> {
+        &self.net
+    }
+
+    /// One-way message transit from `from` to `to` (an RPC request leg, a
+    /// queue hand-off, …).
+    pub async fn hop(&self, from: Region, to: Region) {
+        let d = {
+            let mut rng = self.rng.borrow_mut();
+            self.net.delay(&mut *rng, from, to)
+        };
+        self.sim.sleep(d).await;
+    }
+
+    /// A full request/response round trip between two regions.
+    pub async fn rpc_rtt(&self, a: Region, b: Region) {
+        self.hop(a, b).await;
+        self.hop(b, a).await;
+    }
+
+    /// Samples an exponential inter-arrival gap for a Poisson process with
+    /// the given rate (events per second).
+    pub fn poisson_gap(&self, rate: f64) -> Duration {
+        use rand::Rng;
+        let u: f64 = 1.0 - self.rng.borrow_mut().random::<f64>();
+        if rate <= 0.0 {
+            return Duration::from_secs(3600);
+        }
+        Duration::from_secs_f64((-u.ln()) / rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antipode_sim::net::regions::{EU, US};
+    use antipode_sim::SimTime;
+
+    #[test]
+    fn hop_advances_time_by_link_latency() {
+        let sim = Sim::new(1);
+        let rt = Runtime::new(&sim, Rc::new(Network::global_triangle()));
+        let t = sim.block_on({
+            let sim = sim.clone();
+            async move {
+                rt.hop(US, EU).await;
+                sim.now()
+            }
+        });
+        let secs = t.since(SimTime::ZERO).as_secs_f64();
+        assert!((0.02..0.12).contains(&secs), "US→EU hop {secs}s");
+    }
+
+    #[test]
+    fn rtt_is_roughly_double_the_hop() {
+        let sim = Sim::new(2);
+        let rt = Runtime::new(&sim, Rc::new(Network::global_triangle()));
+        sim.block_on({
+            let rt = rt.clone();
+            async move { rt.rpc_rtt(US, EU).await }
+        });
+        let secs = sim.now().as_secs_f64();
+        assert!((0.05..0.25).contains(&secs), "US↔EU rtt {secs}s");
+    }
+
+    #[test]
+    fn poisson_gaps_average_to_rate() {
+        let sim = Sim::new(3);
+        let rt = Runtime::new(&sim, Rc::new(Network::global_triangle()));
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| rt.poisson_gap(100.0).as_secs_f64()).sum();
+        let mean = total / n as f64;
+        assert!((mean - 0.01).abs() < 0.001, "mean gap {mean}");
+    }
+
+    #[test]
+    fn zero_rate_does_not_panic() {
+        let sim = Sim::new(4);
+        let rt = Runtime::new(&sim, Rc::new(Network::global_triangle()));
+        assert!(rt.poisson_gap(0.0) > Duration::from_secs(60));
+    }
+}

@@ -1,0 +1,269 @@
+//! Latency distributions.
+//!
+//! Replication lags, network jitter, and service times in the simulation are
+//! sampled from these distributions. Parameters are expressed in seconds;
+//! [`Dist::sample_duration`] clamps negative samples to zero.
+
+use std::time::Duration;
+
+use rand::Rng;
+
+/// A non-negative latency distribution with parameters in seconds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Dist {
+    /// Always the same value.
+    Constant(f64),
+    /// Uniform on `[lo, hi)`.
+    Uniform(f64, f64),
+    /// Normal with the given mean and standard deviation, truncated below at
+    /// `min`.
+    Normal {
+        /// Mean of the (untruncated) normal.
+        mean: f64,
+        /// Standard deviation.
+        std: f64,
+        /// Lower truncation bound.
+        min: f64,
+    },
+    /// Log-normal parameterized by its median (`exp(mu)`) and the shape
+    /// `sigma`. Heavy-tailed for larger `sigma`; the workhorse for
+    /// replication-lag models.
+    LogNormal {
+        /// The distribution median, `exp(mu)`.
+        median: f64,
+        /// Shape parameter; larger values give heavier tails.
+        sigma: f64,
+    },
+    /// Shifted exponential: `shift + Exp(mean)`.
+    Exp {
+        /// Mean of the exponential component.
+        mean: f64,
+        /// Constant shift added to every sample.
+        shift: f64,
+    },
+    /// A weighted mixture of distributions; weights need not sum to one.
+    Mix(Vec<(f64, Dist)>),
+}
+
+impl Dist {
+    /// A convenience constant-zero distribution.
+    pub const ZERO: Dist = Dist::Constant(0.0);
+
+    /// Constant distribution from milliseconds.
+    pub fn constant_ms(ms: f64) -> Dist {
+        Dist::Constant(ms / 1e3)
+    }
+
+    /// Log-normal distribution from a median in milliseconds.
+    pub fn lognormal_ms(median_ms: f64, sigma: f64) -> Dist {
+        Dist::LogNormal {
+            median: median_ms / 1e3,
+            sigma,
+        }
+    }
+
+    /// Draws one standard-normal variate via Box–Muller.
+    fn std_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // Avoid ln(0): map u1 into (0, 1].
+        let u1: f64 = 1.0 - rng.random::<f64>();
+        let u2: f64 = rng.random::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Samples a value in seconds. May be negative only for `Normal` with a
+    /// negative `min`; use [`Dist::sample_duration`] for latencies.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match self {
+            Dist::Constant(v) => *v,
+            Dist::Uniform(lo, hi) => {
+                if hi <= lo {
+                    *lo
+                } else {
+                    lo + rng.random::<f64>() * (hi - lo)
+                }
+            }
+            Dist::Normal { mean, std, min } => {
+                let v = mean + std * Self::std_normal(rng);
+                v.max(*min)
+            }
+            Dist::LogNormal { median, sigma } => {
+                let z = Self::std_normal(rng);
+                median * (sigma * z).exp()
+            }
+            Dist::Exp { mean, shift } => {
+                let u: f64 = 1.0 - rng.random::<f64>();
+                shift + mean * (-u.ln())
+            }
+            Dist::Mix(parts) => {
+                let total: f64 = parts.iter().map(|(w, _)| *w).sum();
+                if total <= 0.0 || parts.is_empty() {
+                    return 0.0;
+                }
+                let mut pick = rng.random::<f64>() * total;
+                for (w, d) in parts {
+                    pick -= w;
+                    if pick <= 0.0 {
+                        return d.sample(rng);
+                    }
+                }
+                parts[parts.len() - 1].1.sample(rng)
+            }
+        }
+    }
+
+    /// Samples a non-negative latency.
+    pub fn sample_duration<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
+        Duration::from_secs_f64(self.sample(rng).max(0.0))
+    }
+
+    /// The distribution's mean, where it has a closed form. `Mix` means are
+    /// weight-averaged; truncation of `Normal` is ignored.
+    pub fn mean(&self) -> f64 {
+        match self {
+            Dist::Constant(v) => *v,
+            Dist::Uniform(lo, hi) => (lo + hi) / 2.0,
+            Dist::Normal { mean, .. } => *mean,
+            Dist::LogNormal { median, sigma } => median * (sigma * sigma / 2.0).exp(),
+            Dist::Exp { mean, shift } => shift + mean,
+            Dist::Mix(parts) => {
+                let total: f64 = parts.iter().map(|(w, _)| *w).sum();
+                if total <= 0.0 {
+                    return 0.0;
+                }
+                parts.iter().map(|(w, d)| w * d.mean()).sum::<f64>() / total
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    fn mean_of(d: &Dist, n: usize) -> f64 {
+        let mut rng = rng_from_seed(99);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = rng_from_seed(1);
+        let d = Dist::Constant(0.25);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 0.25);
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = rng_from_seed(2);
+        let d = Dist::Uniform(1.0, 2.0);
+        for _ in 0..1000 {
+            let v = d.sample(&mut rng);
+            assert!((1.0..2.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_degenerate_range() {
+        let mut rng = rng_from_seed(2);
+        assert_eq!(Dist::Uniform(3.0, 3.0).sample(&mut rng), 3.0);
+    }
+
+    #[test]
+    fn normal_truncates_at_min() {
+        let mut rng = rng_from_seed(3);
+        let d = Dist::Normal {
+            mean: 0.0,
+            std: 1.0,
+            min: 0.0,
+        };
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_median_is_close() {
+        let d = Dist::LogNormal {
+            median: 2.0,
+            sigma: 0.5,
+        };
+        let mut rng = rng_from_seed(4);
+        let mut samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        assert!((median - 2.0).abs() < 0.1, "median {median}");
+    }
+
+    #[test]
+    fn empirical_means_match_closed_form() {
+        for d in [
+            Dist::Uniform(0.0, 2.0),
+            Dist::Exp {
+                mean: 0.5,
+                shift: 0.1,
+            },
+            Dist::LogNormal {
+                median: 1.0,
+                sigma: 0.5,
+            },
+        ] {
+            let emp = mean_of(&d, 50_000);
+            let expect = d.mean();
+            assert!(
+                (emp - expect).abs() / expect < 0.05,
+                "{d:?}: empirical {emp} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn mix_samples_from_components() {
+        let d = Dist::Mix(vec![(0.5, Dist::Constant(1.0)), (0.5, Dist::Constant(3.0))]);
+        let mut rng = rng_from_seed(5);
+        let mut saw_one = false;
+        let mut saw_three = false;
+        for _ in 0..100 {
+            let v = d.sample(&mut rng);
+            if v == 1.0 {
+                saw_one = true;
+            } else if v == 3.0 {
+                saw_three = true;
+            } else {
+                panic!("unexpected sample {v}");
+            }
+        }
+        assert!(saw_one && saw_three);
+        assert!((d.mean() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_duration_is_nonnegative() {
+        let d = Dist::Normal {
+            mean: -1.0,
+            std: 0.1,
+            min: -10.0,
+        };
+        let mut rng = rng_from_seed(6);
+        for _ in 0..100 {
+            let _ = d.sample_duration(&mut rng); // must not panic
+        }
+    }
+
+    #[test]
+    fn s3_like_tail_probability() {
+        // Fig 6 calibration check: LogNormal(median 18s, sigma 1.25) should
+        // have roughly a 20% chance of exceeding 50 seconds.
+        let d = Dist::LogNormal {
+            median: 18.0,
+            sigma: 1.25,
+        };
+        let mut rng = rng_from_seed(7);
+        let n = 50_000;
+        let over = (0..n).filter(|_| d.sample(&mut rng) > 50.0).count();
+        let frac = over as f64 / n as f64;
+        assert!((0.15..0.27).contains(&frac), "tail fraction {frac}");
+    }
+}

@@ -1,0 +1,717 @@
+//! The virtual-time async executor.
+//!
+//! A [`Sim`] owns a single-threaded task set and a virtual clock. Tasks are
+//! ordinary Rust futures; awaiting [`Sim::sleep`] advances nothing by itself —
+//! the run loop pops the earliest pending timer only when no task is runnable,
+//! jumps the clock to that instant, and wakes the sleeper. A five-minute
+//! simulated experiment therefore completes in milliseconds of wall time, and
+//! with seeded RNG streams (see [`crate::rng`]) a run is fully deterministic.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::rng::{derived_rng, SimRng};
+use crate::sync::{oneshot, OneReceiver, RecvError};
+use crate::time::SimTime;
+
+type TaskId = u64;
+type BoxFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+/// Queue of runnable task ids, shared with wakers (which must be `Send`).
+#[derive(Default)]
+struct ReadyQueue {
+    queue: Mutex<VecDeque<TaskId>>,
+}
+
+impl ReadyQueue {
+    fn push(&self, id: TaskId) {
+        self.queue.lock().push_back(id);
+    }
+    fn pop(&self) -> Option<TaskId> {
+        self.queue.lock().pop_front()
+    }
+}
+
+struct TaskWaker {
+    id: TaskId,
+    ready: Arc<ReadyQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.push(self.id);
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.push(self.id);
+    }
+}
+
+/// A pending timer: wake `waker` once the clock reaches `at`. Entries with a
+/// set `cancelled` flag are skipped without advancing the clock.
+struct TimerEntry {
+    at: SimTime,
+    seq: u64,
+    waker: Waker,
+    cancelled: Rc<Cell<bool>>,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct Inner {
+    now: Cell<SimTime>,
+    next_task: Cell<TaskId>,
+    next_seq: Cell<u64>,
+    tasks: RefCell<HashMap<TaskId, BoxFuture>>,
+    ready: Arc<ReadyQueue>,
+    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    seed: u64,
+}
+
+/// Handle to the simulation. Cheap to clone; every service, datastore and
+/// client in a run shares one.
+#[derive(Clone)]
+pub struct Sim {
+    inner: Rc<Inner>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Sim::new(0)
+    }
+}
+
+impl Sim {
+    /// Creates a simulation with the given master seed. All randomness in the
+    /// run derives from this seed via named streams ([`Sim::rng`]).
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            inner: Rc::new(Inner {
+                now: Cell::new(SimTime::ZERO),
+                next_task: Cell::new(1),
+                next_seq: Cell::new(0),
+                tasks: RefCell::new(HashMap::new()),
+                ready: Arc::new(ReadyQueue::default()),
+                timers: RefCell::new(BinaryHeap::new()),
+                seed,
+            }),
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.now.get()
+    }
+
+    /// The master seed of this run.
+    pub fn seed(&self) -> u64 {
+        self.inner.seed
+    }
+
+    /// A deterministic RNG stream for the named component, independent of
+    /// task scheduling order.
+    pub fn rng(&self, label: &str) -> SimRng {
+        derived_rng(self.inner.seed, label)
+    }
+
+    fn next_seq(&self) -> u64 {
+        let s = self.inner.next_seq.get();
+        self.inner.next_seq.set(s + 1);
+        s
+    }
+
+    /// Spawns a task. The returned [`JoinHandle`] resolves with the task's
+    /// output; dropping it detaches the task.
+    pub fn spawn<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
+        let (tx, rx) = oneshot();
+        let id = self.inner.next_task.get();
+        self.inner.next_task.set(id + 1);
+        let wrapped: BoxFuture = Box::pin(async move {
+            let out = fut.await;
+            // The receiver may have been dropped (detached task): ignore.
+            let _ = tx.send(out);
+        });
+        self.inner.tasks.borrow_mut().insert(id, wrapped);
+        self.inner.ready.push(id);
+        JoinHandle { rx }
+    }
+
+    /// Registers a timer waking `waker` at `at`; returns the cancellation
+    /// flag.
+    pub(crate) fn register_timer(&self, at: SimTime, waker: Waker) -> Rc<Cell<bool>> {
+        let cancelled = Rc::new(Cell::new(false));
+        self.inner.timers.borrow_mut().push(Reverse(TimerEntry {
+            at,
+            seq: self.next_seq(),
+            waker,
+            cancelled: cancelled.clone(),
+        }));
+        cancelled
+    }
+
+    /// A future resolving after `d` of virtual time.
+    pub fn sleep(&self, d: Duration) -> Sleep {
+        self.sleep_until(self.now() + d)
+    }
+
+    /// A future resolving once the clock reaches `deadline`.
+    pub fn sleep_until(&self, deadline: SimTime) -> Sleep {
+        Sleep {
+            sim: self.clone(),
+            deadline,
+            registration: None,
+        }
+    }
+
+    /// Yields once, letting other runnable tasks execute at the same instant.
+    pub fn yield_now(&self) -> YieldNow {
+        YieldNow { polled: false }
+    }
+
+    fn poll_task(&self, id: TaskId) {
+        let Some(mut fut) = self.inner.tasks.borrow_mut().remove(&id) else {
+            return; // completed, or a stale wake
+        };
+        let waker = Waker::from(Arc::new(TaskWaker {
+            id,
+            ready: self.inner.ready.clone(),
+        }));
+        let mut cx = Context::from_waker(&waker);
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {}
+            Poll::Pending => {
+                self.inner.tasks.borrow_mut().insert(id, fut);
+            }
+        }
+    }
+
+    /// Runs one scheduling step: polls one runnable task, or fires the next
+    /// timer (advancing the clock). Returns `false` when the simulation is
+    /// quiescent.
+    pub fn step(&self) -> bool {
+        if let Some(id) = self.inner.ready.pop() {
+            self.poll_task(id);
+            return true;
+        }
+        loop {
+            let entry = match self.inner.timers.borrow_mut().pop() {
+                Some(Reverse(e)) => e,
+                None => return false,
+            };
+            if entry.cancelled.get() {
+                continue;
+            }
+            debug_assert!(entry.at >= self.now(), "clock must be monotonic");
+            self.inner.now.set(entry.at);
+            entry.waker.wake();
+            return true;
+        }
+    }
+
+    /// Runs until no tasks are runnable and no timers are pending.
+    pub fn run(&self) {
+        while self.step() {}
+    }
+
+    /// Runs until the clock reaches `deadline` (events at exactly `deadline`
+    /// are processed) or the simulation goes quiescent earlier. The clock is
+    /// left at `deadline` if it was reached.
+    pub fn run_until(&self, deadline: SimTime) {
+        loop {
+            if self.inner.ready.queue.lock().is_empty() {
+                let next_at = self.inner.timers.borrow().peek().map(|Reverse(e)| e.at);
+                match next_at {
+                    Some(at) if at > deadline => {
+                        self.inner.now.set(deadline);
+                        return;
+                    }
+                    None => {
+                        if self.now() < deadline {
+                            self.inner.now.set(deadline);
+                        }
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            if !self.step() {
+                if self.now() < deadline {
+                    self.inner.now.set(deadline);
+                }
+                return;
+            }
+        }
+    }
+
+    /// Runs `d` of virtual time from the current instant.
+    pub fn run_for(&self, d: Duration) {
+        self.run_until(self.now() + d);
+    }
+
+    /// Drives the simulation until `fut` completes, returning its output.
+    ///
+    /// # Panics
+    /// Panics if the simulation goes quiescent before the future completes
+    /// (i.e., the future deadlocked waiting for an event that can never
+    /// arrive).
+    pub fn block_on<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> T {
+        let handle = self.spawn(fut);
+        let result: Rc<RefCell<Option<Result<T, RecvError>>>> = Rc::new(RefCell::new(None));
+        let slot = result.clone();
+        self.spawn(async move {
+            *slot.borrow_mut() = Some(handle.await_result().await);
+        });
+        while result.borrow().is_none() {
+            if !self.step() {
+                panic!("simulation went quiescent before block_on future completed (deadlock)");
+            }
+        }
+        let r = result.borrow_mut().take().expect("slot was just filled");
+        r.expect("block_on task cannot be dropped while the sim is running")
+    }
+
+    /// Number of live (spawned, not yet completed) tasks. Diagnostic only.
+    pub fn task_count(&self) -> usize {
+        self.inner.tasks.borrow().len()
+    }
+}
+
+/// Future returned by [`Sim::sleep`].
+pub struct Sleep {
+    sim: Sim,
+    deadline: SimTime,
+    registration: Option<Rc<Cell<bool>>>,
+}
+
+impl Sleep {
+    /// The instant this sleep resolves at.
+    pub fn deadline(&self) -> SimTime {
+        self.deadline
+    }
+}
+
+impl Future for Sleep {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.sim.now() >= self.deadline {
+            if let Some(r) = self.registration.take() {
+                r.set(true);
+            }
+            return Poll::Ready(());
+        }
+        // Cancel any previous registration (its waker may be stale) and
+        // register afresh with the current waker.
+        if let Some(r) = self.registration.take() {
+            r.set(true);
+        }
+        let reg = self.sim.register_timer(self.deadline, cx.waker().clone());
+        self.registration = Some(reg);
+        Poll::Pending
+    }
+}
+
+impl Drop for Sleep {
+    fn drop(&mut self) {
+        if let Some(r) = self.registration.take() {
+            r.set(true);
+        }
+    }
+}
+
+/// Future returned by [`Sim::yield_now`].
+pub struct YieldNow {
+    polled: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.polled {
+            Poll::Ready(())
+        } else {
+            self.polled = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+/// Handle to a spawned task; awaiting it yields the task's output.
+pub struct JoinHandle<T> {
+    rx: OneReceiver<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Awaits the task, distinguishing a dropped task from completion.
+    pub async fn await_result(self) -> Result<T, RecvError> {
+        self.rx.await
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        match Pin::new(&mut self.rx).poll(cx) {
+            Poll::Ready(Ok(v)) => Poll::Ready(v),
+            Poll::Ready(Err(_)) => panic!("joined task was dropped before completing"),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+/// Error returned by [`timeout`] when the deadline elapses first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Elapsed;
+
+impl std::fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deadline elapsed")
+    }
+}
+impl std::error::Error for Elapsed {}
+
+/// Awaits every future, returning their outputs in order. Futures run
+/// concurrently as spawned tasks.
+pub async fn join_all<T: 'static>(
+    sim: &Sim,
+    futs: impl IntoIterator<Item = impl Future<Output = T> + 'static>,
+) -> Vec<T> {
+    let handles: Vec<JoinHandle<T>> = futs.into_iter().map(|f| sim.spawn(f)).collect();
+    let mut out = Vec::with_capacity(handles.len());
+    for h in handles {
+        out.push(h.await);
+    }
+    out
+}
+
+/// A repeating virtual-time ticker.
+pub struct Interval {
+    sim: Sim,
+    period: Duration,
+    next: SimTime,
+}
+
+impl Interval {
+    /// Creates a ticker firing every `period`, first at `now + period`.
+    pub fn new(sim: &Sim, period: Duration) -> Self {
+        let next = sim.now() + period;
+        Interval {
+            sim: sim.clone(),
+            period,
+            next,
+        }
+    }
+
+    /// Waits for the next tick and returns its scheduled instant. Ticks are
+    /// anchored to the schedule (no drift from processing time), but a tick
+    /// that is already in the past fires immediately and the schedule
+    /// re-anchors to now.
+    pub async fn tick(&mut self) -> SimTime {
+        if self.next > self.sim.now() {
+            self.sim.sleep_until(self.next).await;
+        } else {
+            self.next = self.sim.now();
+        }
+        let at = self.next;
+        self.next = at + self.period;
+        at
+    }
+}
+
+/// Races `fut` against a virtual-time deadline.
+pub async fn timeout<T>(
+    sim: &Sim,
+    d: Duration,
+    fut: impl Future<Output = T>,
+) -> Result<T, Elapsed> {
+    let mut fut = Box::pin(fut);
+    let mut sleep = sim.sleep(d);
+    std::future::poll_fn(move |cx| {
+        if let Poll::Ready(v) = fut.as_mut().poll(cx) {
+            return Poll::Ready(Ok(v));
+        }
+        if Pin::new(&mut sleep).poll(cx).is_ready() {
+            return Poll::Ready(Err(Elapsed));
+        }
+        Poll::Pending
+    })
+    .await
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell as StdCell;
+
+    #[test]
+    fn clock_starts_at_zero() {
+        let sim = Sim::new(0);
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn sleep_advances_virtual_time() {
+        let sim = Sim::new(0);
+        let s = sim.clone();
+        let t = sim.block_on(async move {
+            s.sleep(Duration::from_secs(3600)).await;
+            s.now()
+        });
+        assert_eq!(t, SimTime::from_secs(3600));
+    }
+
+    #[test]
+    fn tasks_interleave_by_timer_order() {
+        let sim = Sim::new(0);
+        let log: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        for (i, ms) in [(1u32, 30u64), (2, 10), (3, 20)] {
+            let s = sim.clone();
+            let log = log.clone();
+            sim.spawn(async move {
+                s.sleep(Duration::from_millis(ms)).await;
+                log.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn spawn_from_within_task() {
+        let sim = Sim::new(0);
+        let hit = Rc::new(StdCell::new(false));
+        let flag = hit.clone();
+        let s = sim.clone();
+        sim.spawn(async move {
+            let flag2 = flag.clone();
+            let s2 = s.clone();
+            s.spawn(async move {
+                s2.sleep(Duration::from_millis(5)).await;
+                flag2.set(true);
+            });
+        });
+        sim.run();
+        assert!(hit.get());
+    }
+
+    #[test]
+    fn join_handle_returns_value() {
+        let sim = Sim::new(0);
+        let s = sim.clone();
+        let v = sim.block_on(async move {
+            let h = s.spawn(async { 41 + 1 });
+            h.await
+        });
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let sim = Sim::new(0);
+        let fired = Rc::new(StdCell::new(false));
+        let f = fired.clone();
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(Duration::from_secs(10)).await;
+            f.set(true);
+        });
+        sim.run_until(SimTime::from_secs(5));
+        assert!(!fired.get());
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+        sim.run_until(SimTime::from_secs(10));
+        assert!(fired.get());
+    }
+
+    #[test]
+    fn run_until_advances_clock_when_quiescent() {
+        let sim = Sim::new(0);
+        sim.run_until(SimTime::from_secs(7));
+        assert_eq!(sim.now(), SimTime::from_secs(7));
+    }
+
+    #[test]
+    fn timeout_wins_when_future_stalls() {
+        let sim = Sim::new(0);
+        let s = sim.clone();
+        let out = sim.block_on(async move {
+            let never = std::future::pending::<()>();
+            timeout(&s, Duration::from_millis(50), never).await
+        });
+        assert_eq!(out, Err(Elapsed));
+    }
+
+    #[test]
+    fn timeout_passes_through_fast_future() {
+        let sim = Sim::new(0);
+        let s = sim.clone();
+        let out = sim.block_on(async move {
+            let s2 = s.clone();
+            timeout(&s, Duration::from_millis(50), async move {
+                s2.sleep(Duration::from_millis(10)).await;
+                7
+            })
+            .await
+        });
+        assert_eq!(out, Ok(7));
+        // The dropped sleep must not have dragged the clock to 50ms.
+        assert_eq!(sim.now(), SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn cancelled_sleep_does_not_advance_clock() {
+        let sim = Sim::new(0);
+        let s = sim.clone();
+        sim.block_on(async move {
+            let long = s.sleep(Duration::from_secs(100));
+            drop(long);
+            s.sleep(Duration::from_millis(1)).await;
+        });
+        sim.run();
+        assert_eq!(sim.now(), SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn yield_now_round_robins_same_instant_tasks() {
+        let sim = Sim::new(0);
+        let log: Rc<RefCell<Vec<&'static str>>> = Rc::new(RefCell::new(Vec::new()));
+        let l1 = log.clone();
+        let s1 = sim.clone();
+        sim.spawn(async move {
+            l1.borrow_mut().push("a1");
+            s1.yield_now().await;
+            l1.borrow_mut().push("a2");
+        });
+        let l2 = log.clone();
+        sim.spawn(async move {
+            l2.borrow_mut().push("b1");
+        });
+        sim.run();
+        assert_eq!(*log.borrow(), vec!["a1", "b1", "a2"]);
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_schedule() {
+        fn trace(seed: u64) -> Vec<u64> {
+            let sim = Sim::new(seed);
+            let out: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+            for i in 0..10u64 {
+                let s = sim.clone();
+                let out = out.clone();
+                sim.spawn(async move {
+                    use rand::Rng;
+                    let mut rng = s.rng(&format!("task-{i}"));
+                    let ms: u64 = rng.random_range(1..100);
+                    s.sleep(Duration::from_millis(ms)).await;
+                    out.borrow_mut()
+                        .push(i * 1000 + s.now().as_nanos() / 1_000_000);
+                });
+            }
+            sim.run();
+            let v = out.borrow().clone();
+            v
+        }
+        assert_eq!(trace(5), trace(5));
+        assert_ne!(trace(5), trace(6));
+    }
+
+    #[test]
+    fn join_all_preserves_order() {
+        let sim = Sim::new(0);
+        let s = sim.clone();
+        let out = sim.block_on(async move {
+            let futs = (0..5u64).map(|i| {
+                let s = s.clone();
+                async move {
+                    // Later indices sleep less: completion order is reversed,
+                    // output order must not be.
+                    s.sleep(Duration::from_millis(50 - i * 10)).await;
+                    i
+                }
+            });
+            join_all(&s, futs).await
+        });
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        // Concurrent: total time is the max, not the sum.
+        assert_eq!(sim.now(), SimTime::from_millis(50));
+    }
+
+    #[test]
+    fn interval_ticks_on_schedule() {
+        let sim = Sim::new(0);
+        let s = sim.clone();
+        let ticks = sim.block_on(async move {
+            let mut iv = Interval::new(&s, Duration::from_millis(100));
+            let mut ticks = Vec::new();
+            for _ in 0..3 {
+                ticks.push(iv.tick().await);
+                // Processing time shorter than the period: no drift.
+                s.sleep(Duration::from_millis(10)).await;
+            }
+            ticks
+        });
+        assert_eq!(
+            ticks,
+            vec![
+                SimTime::from_millis(100),
+                SimTime::from_millis(200),
+                SimTime::from_millis(300)
+            ]
+        );
+    }
+
+    #[test]
+    fn interval_reanchors_after_falling_behind() {
+        let sim = Sim::new(0);
+        let s = sim.clone();
+        sim.block_on(async move {
+            let mut iv = Interval::new(&s, Duration::from_millis(10));
+            iv.tick().await;
+            // Fall far behind the schedule.
+            s.sleep(Duration::from_millis(500)).await;
+            let at = iv.tick().await;
+            assert_eq!(at, SimTime::from_millis(510), "late tick fires immediately");
+            let next = iv.tick().await;
+            assert_eq!(next, SimTime::from_millis(520), "schedule re-anchored");
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "quiescent")]
+    fn block_on_detects_deadlock() {
+        let sim = Sim::new(0);
+        sim.block_on(std::future::pending::<()>());
+    }
+
+    #[test]
+    fn task_count_drops_to_zero() {
+        let sim = Sim::new(0);
+        let s = sim.clone();
+        sim.spawn(async move { s.sleep(Duration::from_millis(1)).await });
+        sim.run();
+        assert_eq!(sim.task_count(), 0);
+    }
+}

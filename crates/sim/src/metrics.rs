@@ -1,0 +1,393 @@
+//! Measurement utilities for experiments: exact sample sets, log-bucketed
+//! histograms, and summary statistics with percentiles.
+
+use std::fmt;
+use std::time::Duration;
+
+/// An exact collection of latency samples (seconds). Percentiles are computed
+/// by sorting; suitable for the ≤ millions of samples our experiments record.
+#[derive(Clone, Debug, Default)]
+pub struct Samples {
+    values: Vec<f64>,
+}
+
+impl Samples {
+    /// Creates an empty sample set.
+    pub fn new() -> Self {
+        Samples::default()
+    }
+
+    /// Records one value (seconds).
+    pub fn record(&mut self, v: f64) {
+        self.values.push(v);
+    }
+
+    /// Records a duration.
+    pub fn record_duration(&mut self, d: Duration) {
+        self.values.push(d.as_secs_f64());
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Merges another sample set into this one.
+    pub fn merge(&mut self, other: &Samples) {
+        self.values.extend_from_slice(&other.values);
+    }
+
+    /// Raw access to the recorded values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Computes the summary statistics. Returns `None` when empty.
+    pub fn summary(&self) -> Option<Summary> {
+        if self.values.is_empty() {
+            return None;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let pct = |p: f64| -> f64 {
+            let idx = ((p / 100.0) * (n as f64 - 1.0)).round() as usize;
+            sorted[idx.min(n - 1)]
+        };
+        let sum: f64 = sorted.iter().sum();
+        Some(Summary {
+            count: n,
+            mean: sum / n as f64,
+            min: sorted[0],
+            max: sorted[n - 1],
+            p50: pct(50.0),
+            p90: pct(90.0),
+            p95: pct(95.0),
+            p99: pct(99.0),
+        })
+    }
+
+    /// Empirical CDF evaluated at `x`: the fraction of samples `<= x`.
+    pub fn cdf_at(&self, x: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let c = self.values.iter().filter(|&&v| v <= x).count();
+        c as f64 / self.values.len() as f64
+    }
+}
+
+/// Summary statistics over a sample set (units follow the samples).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} p50={:.4} p95={:.4} p99={:.4} max={:.4}",
+            self.count, self.mean, self.p50, self.p95, self.p99, self.max
+        )
+    }
+}
+
+/// A log-linear bucketed histogram for unbounded streams where storing every
+/// sample would be wasteful. Values are non-negative; relative error per
+/// bucket is bounded by `1 / SUBBUCKETS`.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    /// buckets[p][s]: count of values v with exponent p and sub-bucket s.
+    buckets: Vec<[u64; Self::SUBBUCKETS]>,
+    count: u64,
+    sum: f64,
+    max: f64,
+    min: f64,
+    /// Smallest resolvable value; everything below lands in the first bucket.
+    floor: f64,
+}
+
+impl Histogram {
+    const SUBBUCKETS: usize = 16;
+
+    /// Creates a histogram with `floor` as the smallest resolvable value
+    /// (e.g. `1e-6` for microsecond-resolution latencies in seconds).
+    pub fn new(floor: f64) -> Self {
+        assert!(floor > 0.0, "floor must be positive");
+        Histogram {
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0.0,
+            max: f64::NEG_INFINITY,
+            min: f64::INFINITY,
+            floor,
+        }
+    }
+
+    fn bucket_of(&self, v: f64) -> (usize, usize) {
+        if v < self.floor {
+            return (0, 0);
+        }
+        let ratio = v / self.floor;
+        let exp = ratio.log2().floor() as usize;
+        let base = self.floor * (1u64 << exp.min(63)) as f64;
+        let frac = (v / base - 1.0).clamp(0.0, 0.999_999);
+        (exp, (frac * Self::SUBBUCKETS as f64) as usize)
+    }
+
+    fn bucket_value(&self, exp: usize, sub: usize) -> f64 {
+        let base = self.floor * (1u64 << exp.min(63)) as f64;
+        base * (1.0 + (sub as f64 + 0.5) / Self::SUBBUCKETS as f64)
+    }
+
+    /// Records one non-negative value.
+    pub fn record(&mut self, v: f64) {
+        let v = v.max(0.0);
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+        self.min = self.min.min(v);
+        let (exp, sub) = self.bucket_of(v);
+        if exp >= self.buckets.len() {
+            self.buckets.resize(exp + 1, [0; Self::SUBBUCKETS]);
+        }
+        self.buckets[exp][sub] += 1;
+    }
+
+    /// Records a duration in seconds.
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(d.as_secs_f64());
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Approximate value at the given percentile (0–100).
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (exp, subs) in self.buckets.iter().enumerate() {
+            for (sub, &c) in subs.iter().enumerate() {
+                seen += c;
+                if seen >= target {
+                    return self.bucket_value(exp, sub).min(self.max);
+                }
+            }
+        }
+        self.max
+    }
+
+    /// Summary statistics (approximate percentiles).
+    pub fn summary(&self) -> Option<Summary> {
+        if self.count == 0 {
+            return None;
+        }
+        Some(Summary {
+            count: self.count as usize,
+            mean: self.mean(),
+            min: self.min,
+            max: self.max,
+            p50: self.percentile(50.0),
+            p90: self.percentile(90.0),
+            p95: self.percentile(95.0),
+            p99: self.percentile(99.0),
+        })
+    }
+}
+
+/// Counts successes and failures of a repeated check, e.g. XCY violations.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RateCounter {
+    hits: u64,
+    total: u64,
+}
+
+impl RateCounter {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, hit: bool) {
+        self.total += 1;
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// Number of positive observations.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of positive observations (0 when empty).
+    pub fn rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+
+    /// Rate as a percentage.
+    pub fn percent(&self) -> f64 {
+        self.rate() * 100.0
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: RateCounter) {
+        self.hits += other.hits;
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_summary_basics() {
+        let mut s = Samples::new();
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            s.record(v);
+        }
+        let sum = s.summary().unwrap();
+        assert_eq!(sum.count, 5);
+        assert_eq!(sum.mean, 3.0);
+        assert_eq!(sum.min, 1.0);
+        assert_eq!(sum.max, 5.0);
+        assert_eq!(sum.p50, 3.0);
+    }
+
+    #[test]
+    fn samples_empty_summary_is_none() {
+        assert!(Samples::new().summary().is_none());
+    }
+
+    #[test]
+    fn samples_cdf() {
+        let mut s = Samples::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            s.record(v);
+        }
+        assert_eq!(s.cdf_at(0.5), 0.0);
+        assert_eq!(s.cdf_at(2.0), 0.5);
+        assert_eq!(s.cdf_at(10.0), 1.0);
+    }
+
+    #[test]
+    fn samples_merge() {
+        let mut a = Samples::new();
+        a.record(1.0);
+        let mut b = Samples::new();
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.summary().unwrap().mean, 2.0);
+    }
+
+    #[test]
+    fn histogram_percentiles_are_approximate() {
+        let mut h = Histogram::new(1e-6);
+        for i in 1..=10_000 {
+            h.record(i as f64 / 1000.0); // 1ms .. 10s
+        }
+        let p50 = h.percentile(50.0);
+        assert!((p50 - 5.0).abs() / 5.0 < 0.1, "p50 {p50}");
+        let p99 = h.percentile(99.0);
+        assert!((p99 - 9.9).abs() / 9.9 < 0.1, "p99 {p99}");
+        assert_eq!(h.count(), 10_000);
+        assert!((h.mean() - 5.0005).abs() < 0.01);
+    }
+
+    #[test]
+    fn histogram_handles_tiny_values() {
+        let mut h = Histogram::new(1e-6);
+        h.record(0.0);
+        h.record(1e-9);
+        assert_eq!(h.count(), 2);
+        assert!(h.percentile(100.0) <= 1e-6 + 1e-9);
+    }
+
+    #[test]
+    fn histogram_summary_matches_exact_roughly() {
+        let mut h = Histogram::new(1e-6);
+        let mut s = Samples::new();
+        let mut rng = crate::rng::rng_from_seed(11);
+        let d = crate::dist::Dist::LogNormal {
+            median: 0.1,
+            sigma: 0.8,
+        };
+        for _ in 0..20_000 {
+            let v = d.sample(&mut rng);
+            h.record(v);
+            s.record(v);
+        }
+        let hs = h.summary().unwrap();
+        let ss = s.summary().unwrap();
+        assert!((hs.p50 - ss.p50).abs() / ss.p50 < 0.1);
+        assert!((hs.p99 - ss.p99).abs() / ss.p99 < 0.1);
+    }
+
+    #[test]
+    fn rate_counter() {
+        let mut r = RateCounter::new();
+        for i in 0..10 {
+            r.record(i < 3);
+        }
+        assert_eq!(r.hits(), 3);
+        assert_eq!(r.total(), 10);
+        assert!((r.percent() - 30.0).abs() < 1e-9);
+        let mut r2 = RateCounter::new();
+        r2.record(true);
+        r.merge(r2);
+        assert_eq!(r.hits(), 4);
+        assert_eq!(r.total(), 11);
+    }
+
+    #[test]
+    fn rate_counter_empty() {
+        assert_eq!(RateCounter::new().rate(), 0.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Regions and the inter-region network model.
+//!
+//! A [`Network`] maps ordered region pairs to one-way latency distributions.
+//! Datastore replication streams and RPC transports sample from it; the
+//! presets below are calibrated to public-cloud round-trip measurements
+//! (US↔EU ≈ 90 ms RTT, US↔SG ≈ 220 ms RTT).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Duration;
+
+use rand::Rng;
+
+use crate::dist::Dist;
+
+/// A deployment region, identified by name.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Region(pub &'static str);
+
+impl Region {
+    /// The region name.
+    pub fn name(&self) -> &'static str {
+        self.0
+    }
+}
+
+impl fmt::Debug for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Regions used throughout the evaluation, mirroring the paper's deployment
+/// (§7.2: EU writer / US reader for Post-Notification; US→EU and US→SG pairs
+/// for DeathStarBench).
+pub mod regions {
+    use super::Region;
+    /// Central US (the paper's reader region for Post-Notification).
+    pub const US: Region = Region("us-central");
+    /// Frankfurt (the paper's writer region).
+    pub const EU: Region = Region("eu-frankfurt");
+    /// Singapore.
+    pub const SG: Region = Region("ap-singapore");
+}
+
+/// One-way network latency model between regions.
+#[derive(Clone, Debug)]
+pub struct Network {
+    links: HashMap<(Region, Region), Dist>,
+    intra: Dist,
+    default_inter: Dist,
+}
+
+impl Network {
+    /// Creates a network where intra-region hops follow `intra` and
+    /// unspecified inter-region links follow `default_inter`.
+    pub fn new(intra: Dist, default_inter: Dist) -> Self {
+        Network {
+            links: HashMap::new(),
+            intra,
+            default_inter,
+        }
+    }
+
+    /// Sets the one-way latency for a directed region pair. Call twice (or
+    /// use [`Network::link_sym`]) for symmetric links.
+    pub fn link(&mut self, from: Region, to: Region, dist: Dist) -> &mut Self {
+        self.links.insert((from, to), dist);
+        self
+    }
+
+    /// Sets the same one-way latency distribution in both directions.
+    pub fn link_sym(&mut self, a: Region, b: Region, dist: Dist) -> &mut Self {
+        self.links.insert((a, b), dist.clone());
+        self.links.insert((b, a), dist);
+        self
+    }
+
+    /// The latency distribution for a hop.
+    pub fn latency_dist(&self, from: Region, to: Region) -> &Dist {
+        if from == to {
+            return &self.intra;
+        }
+        self.links.get(&(from, to)).unwrap_or(&self.default_inter)
+    }
+
+    /// Samples a one-way delay for a message from `from` to `to`.
+    pub fn delay<R: Rng + ?Sized>(&self, rng: &mut R, from: Region, to: Region) -> Duration {
+        self.latency_dist(from, to).sample_duration(rng)
+    }
+
+    /// The evaluation's default topology: US, EU, SG with public-cloud-like
+    /// one-way latencies and small jitter.
+    pub fn global_triangle() -> Network {
+        use regions::*;
+        let mut net = Network::new(
+            // Intra-region / intra-datacenter hop.
+            Dist::LogNormal {
+                median: 0.000_25,
+                sigma: 0.3,
+            },
+            Dist::LogNormal {
+                median: 0.080,
+                sigma: 0.15,
+            },
+        );
+        net.link_sym(
+            US,
+            EU,
+            Dist::LogNormal {
+                median: 0.045,
+                sigma: 0.10,
+            },
+        );
+        net.link_sym(
+            US,
+            SG,
+            Dist::LogNormal {
+                median: 0.110,
+                sigma: 0.18,
+            },
+        );
+        net.link_sym(
+            EU,
+            SG,
+            Dist::LogNormal {
+                median: 0.085,
+                sigma: 0.15,
+            },
+        );
+        net
+    }
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Network::global_triangle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::regions::*;
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn intra_region_is_fast() {
+        let net = Network::global_triangle();
+        let mut rng = rng_from_seed(1);
+        for _ in 0..100 {
+            let d = net.delay(&mut rng, US, US);
+            assert!(d < Duration::from_millis(5), "intra delay {d:?}");
+        }
+    }
+
+    #[test]
+    fn us_sg_is_slower_than_us_eu() {
+        let net = Network::global_triangle();
+        let mut rng = rng_from_seed(2);
+        let avg = |from, to, rng: &mut crate::rng::SimRng| -> f64 {
+            (0..500)
+                .map(|_| net.delay(rng, from, to).as_secs_f64())
+                .sum::<f64>()
+                / 500.0
+        };
+        let eu = avg(US, EU, &mut rng);
+        let sg = avg(US, SG, &mut rng);
+        assert!(sg > 1.5 * eu, "US→SG {sg} should be well above US→EU {eu}");
+    }
+
+    #[test]
+    fn custom_link_overrides_default() {
+        let mut net = Network::new(Dist::ZERO, Dist::Constant(1.0));
+        net.link(US, EU, Dist::Constant(0.5));
+        let mut rng = rng_from_seed(3);
+        assert_eq!(net.delay(&mut rng, US, EU), Duration::from_millis(500));
+        // Reverse direction not set: falls back to default.
+        assert_eq!(net.delay(&mut rng, EU, US), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn region_equality_is_by_name() {
+        assert_eq!(Region("x"), Region("x"));
+        assert_ne!(US, EU);
+    }
+}

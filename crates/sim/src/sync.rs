@@ -1,0 +1,608 @@
+//! Task-local synchronization primitives.
+//!
+//! These are single-threaded (`!Send`) counterparts of the usual async
+//! toolbox: a oneshot channel, an unbounded MPSC channel, a fair async
+//! semaphore, and an event [`Notify`]. They exist so simulated services can
+//! coordinate without pulling in a real async runtime.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::{Rc, Weak};
+use std::task::{Context, Poll, Waker};
+
+// ---------------------------------------------------------------------------
+// oneshot
+// ---------------------------------------------------------------------------
+
+struct OneInner<T> {
+    value: Option<T>,
+    waker: Option<Waker>,
+    sender_alive: bool,
+    receiver_alive: bool,
+}
+
+/// Sending half of a oneshot channel.
+pub struct OneSender<T> {
+    inner: Rc<RefCell<OneInner<T>>>,
+}
+
+/// Receiving half of a oneshot channel; a future yielding the sent value.
+pub struct OneReceiver<T> {
+    inner: Rc<RefCell<OneInner<T>>>,
+}
+
+/// Error returned when awaiting a oneshot whose sender was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "oneshot sender dropped without sending")
+    }
+}
+impl std::error::Error for RecvError {}
+
+/// Creates a oneshot channel.
+pub fn oneshot<T>() -> (OneSender<T>, OneReceiver<T>) {
+    let inner = Rc::new(RefCell::new(OneInner {
+        value: None,
+        waker: None,
+        sender_alive: true,
+        receiver_alive: true,
+    }));
+    (
+        OneSender {
+            inner: inner.clone(),
+        },
+        OneReceiver { inner },
+    )
+}
+
+impl<T> OneSender<T> {
+    /// Sends the value, failing (returning it back) if the receiver is gone.
+    pub fn send(self, value: T) -> Result<(), T> {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.receiver_alive {
+            return Err(value);
+        }
+        inner.value = Some(value);
+        if let Some(w) = inner.waker.take() {
+            w.wake();
+        }
+        Ok(())
+    }
+
+    /// Whether the receiving half is still alive.
+    pub fn is_connected(&self) -> bool {
+        self.inner.borrow().receiver_alive
+    }
+}
+
+impl<T> Drop for OneSender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.sender_alive = false;
+        if let Some(w) = inner.waker.take() {
+            w.wake();
+        }
+    }
+}
+
+impl<T> Drop for OneReceiver<T> {
+    fn drop(&mut self) {
+        self.inner.borrow_mut().receiver_alive = false;
+    }
+}
+
+impl<T> Future for OneReceiver<T> {
+    type Output = Result<T, RecvError>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(v) = inner.value.take() {
+            return Poll::Ready(Ok(v));
+        }
+        if !inner.sender_alive {
+            return Poll::Ready(Err(RecvError));
+        }
+        inner.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+// ---------------------------------------------------------------------------
+// unbounded mpsc (single consumer)
+// ---------------------------------------------------------------------------
+
+struct ChanInner<T> {
+    queue: VecDeque<T>,
+    waker: Option<Waker>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+/// Sending half of an unbounded channel. Clone freely.
+pub struct Sender<T> {
+    inner: Rc<RefCell<ChanInner<T>>>,
+}
+
+/// Receiving half of an unbounded channel (single consumer).
+pub struct Receiver<T> {
+    inner: Rc<RefCell<ChanInner<T>>>,
+}
+
+/// Error returned by [`Sender::send`] when the receiver is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Creates an unbounded MPSC channel.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let inner = Rc::new(RefCell::new(ChanInner {
+        queue: VecDeque::new(),
+        waker: None,
+        senders: 1,
+        receiver_alive: true,
+    }));
+    (
+        Sender {
+            inner: inner.clone(),
+        },
+        Receiver { inner },
+    )
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.borrow_mut().senders += 1;
+        Sender {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a message, failing if the receiver was dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.receiver_alive {
+            return Err(SendError(value));
+        }
+        inner.queue.push_back(value);
+        if let Some(w) = inner.waker.take() {
+            w.wake();
+        }
+        Ok(())
+    }
+
+    /// Number of queued, undelivered messages.
+    pub fn queued(&self) -> usize {
+        self.inner.borrow().queue.len()
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            if let Some(w) = inner.waker.take() {
+                w.wake();
+            }
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.inner.borrow_mut().receiver_alive = false;
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives the next message; `None` once all senders are dropped and
+    /// the queue is drained.
+    pub fn recv(&mut self) -> Recv<'_, T> {
+        Recv { chan: self }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&mut self) -> Option<T> {
+        self.inner.borrow_mut().queue.pop_front()
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Future returned by [`Receiver::recv`].
+pub struct Recv<'a, T> {
+    chan: &'a mut Receiver<T>,
+}
+
+impl<T> Future for Recv<'_, T> {
+    type Output = Option<T>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut inner = self.chan.inner.borrow_mut();
+        if let Some(v) = inner.queue.pop_front() {
+            return Poll::Ready(Some(v));
+        }
+        if inner.senders == 0 {
+            return Poll::Ready(None);
+        }
+        inner.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+// ---------------------------------------------------------------------------
+// semaphore
+// ---------------------------------------------------------------------------
+
+struct SemInner {
+    permits: usize,
+    waiters: VecDeque<OneSender<()>>,
+}
+
+/// A fair async semaphore: waiters are granted permits in FIFO order. Used to
+/// model bounded service concurrency (worker pools).
+#[derive(Clone)]
+pub struct Semaphore {
+    inner: Rc<RefCell<SemInner>>,
+}
+
+/// RAII permit from a [`Semaphore`]; the permit returns on drop.
+pub struct Permit {
+    sem: Weak<RefCell<SemInner>>,
+}
+
+impl Semaphore {
+    /// Creates a semaphore with `permits` initial permits.
+    pub fn new(permits: usize) -> Self {
+        Semaphore {
+            inner: Rc::new(RefCell::new(SemInner {
+                permits,
+                waiters: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// Acquires one permit, waiting if none are available.
+    pub async fn acquire(&self) -> Permit {
+        loop {
+            let rx = {
+                let mut inner = self.inner.borrow_mut();
+                if inner.permits > 0 {
+                    inner.permits -= 1;
+                    return Permit {
+                        sem: Rc::downgrade(&self.inner),
+                    };
+                }
+                let (tx, rx) = oneshot();
+                inner.waiters.push_back(tx);
+                rx
+            };
+            // A dropped grant (race with release) loops and retries.
+            if rx.await.is_ok() {
+                return Permit {
+                    sem: Rc::downgrade(&self.inner),
+                };
+            }
+        }
+    }
+
+    /// Attempts to acquire without waiting.
+    pub fn try_acquire(&self) -> Option<Permit> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.permits > 0 {
+            inner.permits -= 1;
+            Some(Permit {
+                sem: Rc::downgrade(&self.inner),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Currently available permits.
+    pub fn available(&self) -> usize {
+        self.inner.borrow().permits
+    }
+
+    /// Number of queued waiters.
+    pub fn waiting(&self) -> usize {
+        self.inner.borrow().waiters.len()
+    }
+
+    fn release(inner: &RefCell<SemInner>) {
+        let mut inner = inner.borrow_mut();
+        // Hand the permit to the first waiter whose receiver is still alive.
+        while let Some(tx) = inner.waiters.pop_front() {
+            if tx.send(()).is_ok() {
+                return;
+            }
+        }
+        inner.permits += 1;
+    }
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        if let Some(inner) = self.sem.upgrade() {
+            Semaphore::release(&inner);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// notify
+// ---------------------------------------------------------------------------
+
+struct NotifyInner {
+    epoch: u64,
+    waiters: Vec<Waker>,
+}
+
+/// A broadcast wake-up: [`Notify::notified`] resolves at the next
+/// [`Notify::notify_all`] after the future was created (level set at creation
+/// so notifications between creation and first poll are not lost).
+#[derive(Clone)]
+pub struct Notify {
+    inner: Rc<RefCell<NotifyInner>>,
+}
+
+impl Default for Notify {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Notify {
+    /// Creates a new notifier.
+    pub fn new() -> Self {
+        Notify {
+            inner: Rc::new(RefCell::new(NotifyInner {
+                epoch: 0,
+                waiters: Vec::new(),
+            })),
+        }
+    }
+
+    /// Wakes every pending and future `notified()` created before this call.
+    pub fn notify_all(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.epoch += 1;
+        for w in inner.waiters.drain(..) {
+            w.wake();
+        }
+    }
+
+    /// A future resolving at the next `notify_all`.
+    pub fn notified(&self) -> Notified {
+        let epoch = self.inner.borrow().epoch;
+        Notified {
+            inner: self.inner.clone(),
+            created_at: epoch,
+        }
+    }
+}
+
+/// Future returned by [`Notify::notified`].
+pub struct Notified {
+    inner: Rc<RefCell<NotifyInner>>,
+    created_at: u64,
+}
+
+impl Future for Notified {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.epoch > self.created_at {
+            return Poll::Ready(());
+        }
+        inner.waiters.push(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Sim;
+    use std::cell::Cell;
+    use std::time::Duration;
+
+    #[test]
+    fn oneshot_delivers_value() {
+        let sim = Sim::new(0);
+        let v = sim.block_on(async {
+            let (tx, rx) = oneshot();
+            tx.send(5).unwrap();
+            rx.await
+        });
+        assert_eq!(v, Ok(5));
+    }
+
+    #[test]
+    fn oneshot_sender_drop_yields_error() {
+        let sim = Sim::new(0);
+        let v = sim.block_on(async {
+            let (tx, rx) = oneshot::<u8>();
+            drop(tx);
+            rx.await
+        });
+        assert_eq!(v, Err(RecvError));
+    }
+
+    #[test]
+    fn oneshot_send_fails_after_receiver_drop() {
+        let (tx, rx) = oneshot::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(1));
+    }
+
+    #[test]
+    fn oneshot_wakes_pending_receiver() {
+        let sim = Sim::new(0);
+        let s = sim.clone();
+        let got = sim.block_on(async move {
+            let (tx, rx) = oneshot();
+            let s2 = s.clone();
+            s.spawn(async move {
+                s2.sleep(Duration::from_millis(10)).await;
+                tx.send(99).unwrap();
+            });
+            rx.await.unwrap()
+        });
+        assert_eq!(got, 99);
+    }
+
+    #[test]
+    fn channel_fifo_order() {
+        let sim = Sim::new(0);
+        let out = sim.block_on(async {
+            let (tx, mut rx) = channel();
+            for i in 0..5 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let mut got = Vec::new();
+            while let Some(v) = rx.recv().await {
+                got.push(v);
+            }
+            got
+        });
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn channel_recv_waits_for_producer() {
+        let sim = Sim::new(0);
+        let s = sim.clone();
+        let got = sim.block_on(async move {
+            let (tx, mut rx) = channel();
+            let s2 = s.clone();
+            s.spawn(async move {
+                s2.sleep(Duration::from_millis(20)).await;
+                tx.send("late").unwrap();
+            });
+            rx.recv().await
+        });
+        assert_eq!(got, Some("late"));
+        assert_eq!(sim.now().as_nanos(), 20_000_000);
+    }
+
+    #[test]
+    fn channel_send_fails_after_receiver_drop() {
+        let (tx, rx) = channel::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn channel_close_drains_then_none() {
+        let sim = Sim::new(0);
+        let out = sim.block_on(async {
+            let (tx, mut rx) = channel();
+            tx.send(1).unwrap();
+            drop(tx);
+            (rx.recv().await, rx.recv().await)
+        });
+        assert_eq!(out, (Some(1), None));
+    }
+
+    #[test]
+    fn semaphore_limits_concurrency() {
+        let sim = Sim::new(0);
+        let sem = Semaphore::new(2);
+        let peak = Rc::new(Cell::new(0usize));
+        let cur = Rc::new(Cell::new(0usize));
+        for _ in 0..10 {
+            let sem = sem.clone();
+            let peak = peak.clone();
+            let cur = cur.clone();
+            let s = sim.clone();
+            sim.spawn(async move {
+                let _p = sem.acquire().await;
+                cur.set(cur.get() + 1);
+                peak.set(peak.get().max(cur.get()));
+                s.sleep(Duration::from_millis(10)).await;
+                cur.set(cur.get() - 1);
+            });
+        }
+        sim.run();
+        assert_eq!(peak.get(), 2);
+        assert_eq!(sem.available(), 2);
+    }
+
+    #[test]
+    fn semaphore_is_fifo_fair() {
+        let sim = Sim::new(0);
+        let sem = Semaphore::new(1);
+        let order: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..5u32 {
+            let sem = sem.clone();
+            let order = order.clone();
+            let s = sim.clone();
+            sim.spawn(async move {
+                // Stagger arrival so queueing order is deterministic.
+                s.sleep(Duration::from_millis(u64::from(i))).await;
+                let _p = sem.acquire().await;
+                order.borrow_mut().push(i);
+                s.sleep(Duration::from_millis(50)).await;
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn semaphore_try_acquire() {
+        let sem = Semaphore::new(1);
+        let p = sem.try_acquire();
+        assert!(p.is_some());
+        assert!(sem.try_acquire().is_none());
+        drop(p);
+        assert!(sem.try_acquire().is_some());
+    }
+
+    #[test]
+    fn notify_wakes_all_waiters() {
+        let sim = Sim::new(0);
+        let n = Notify::new();
+        let count = Rc::new(Cell::new(0));
+        for _ in 0..3 {
+            let fut = n.notified();
+            let count = count.clone();
+            sim.spawn(async move {
+                fut.await;
+                count.set(count.get() + 1);
+            });
+        }
+        let n2 = n.clone();
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(Duration::from_millis(1)).await;
+            n2.notify_all();
+        });
+        sim.run();
+        assert_eq!(count.get(), 3);
+    }
+
+    #[test]
+    fn notified_before_poll_is_not_lost() {
+        let sim = Sim::new(0);
+        let n = Notify::new();
+        let fut = n.notified();
+        n.notify_all();
+        sim.block_on(fut); // must complete instantly
+    }
+}

@@ -1,0 +1,158 @@
+//! Virtual time for the simulator.
+//!
+//! [`SimTime`] is an absolute instant on the simulation clock, measured in
+//! nanoseconds since the start of the run. Durations are plain
+//! [`std::time::Duration`] values, so application code reads naturally.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// An absolute instant on the virtual clock, in nanoseconds since simulation
+/// start. The clock only moves forward, driven by the executor.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime {
+    nanos: u64,
+}
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime { nanos: 0 };
+
+    /// The largest representable instant.
+    pub const MAX: SimTime = SimTime { nanos: u64::MAX };
+
+    /// Creates an instant from nanoseconds since simulation start.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime { nanos }
+    }
+
+    /// Creates an instant from whole seconds since simulation start.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime {
+            nanos: secs * 1_000_000_000,
+        }
+    }
+
+    /// Creates an instant from whole milliseconds since simulation start.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime {
+            nanos: millis * 1_000_000,
+        }
+    }
+
+    /// Creates an instant from fractional seconds. Negative values clamp to
+    /// zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if secs <= 0.0 {
+            return SimTime::ZERO;
+        }
+        SimTime {
+            nanos: (secs * 1e9).round() as u64,
+        }
+    }
+
+    /// Nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.nanos
+    }
+
+    /// Fractional seconds since simulation start.
+    pub fn as_secs_f64(self) -> f64 {
+        self.nanos as f64 / 1e9
+    }
+
+    /// Duration elapsed since `earlier`. Saturates to zero if `earlier` is in
+    /// the future.
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.nanos.saturating_sub(earlier.nanos))
+    }
+
+    /// Adds a duration, saturating at [`SimTime::MAX`].
+    pub fn saturating_add(self, d: Duration) -> SimTime {
+        let extra = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        SimTime {
+            nanos: self.nanos.saturating_add(extra),
+        }
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    fn sub(self, rhs: SimTime) -> Duration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+        assert_eq!(SimTime::ZERO.as_nanos(), 0);
+    }
+
+    #[test]
+    fn add_duration() {
+        let t = SimTime::from_millis(250) + Duration::from_millis(750);
+        assert_eq!(t, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = SimTime::from_secs(1);
+        let b = SimTime::from_secs(2);
+        assert_eq!(b.since(a), Duration::from_secs(1));
+        assert_eq!(a.since(b), Duration::ZERO);
+    }
+
+    #[test]
+    fn from_secs_f64_clamps_negative() {
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(0.5), SimTime::from_millis(500));
+    }
+
+    #[test]
+    fn saturating_add_caps_at_max() {
+        let t = SimTime::MAX.saturating_add(Duration::from_secs(1));
+        assert_eq!(t, SimTime::MAX);
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(SimTime::from_millis(1) < SimTime::from_millis(2));
+        assert!(SimTime::from_secs(1) > SimTime::from_millis(999));
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(format!("{}", SimTime::from_millis(1500)), "1.500s");
+    }
+}

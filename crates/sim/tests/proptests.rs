@@ -1,0 +1,156 @@
+//! Property-based tests for the virtual-time executor and its primitives.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use antipode_sim::dist::Dist;
+use antipode_sim::rng::rng_from_seed;
+use antipode_sim::sync::{channel, Semaphore};
+use antipode_sim::{timeout, Sim, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sleeps_fire_in_deadline_order(delays in proptest::collection::vec(0u64..10_000, 1..40)) {
+        let sim = Sim::new(0);
+        let log: Rc<RefCell<Vec<(u64, SimTime)>>> = Rc::new(RefCell::new(Vec::new()));
+        for (i, &ms) in delays.iter().enumerate() {
+            let sim2 = sim.clone();
+            let log = log.clone();
+            sim.spawn(async move {
+                sim2.sleep(Duration::from_millis(ms)).await;
+                log.borrow_mut().push((i as u64, sim2.now()));
+            });
+        }
+        sim.run();
+        let log = log.borrow();
+        prop_assert_eq!(log.len(), delays.len());
+        // Wake times are exactly the requested deadlines…
+        for &(i, at) in log.iter() {
+            prop_assert_eq!(at, SimTime::from_millis(delays[i as usize]));
+        }
+        // …and the log is sorted by time (clock monotonicity).
+        for w in log.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn clock_never_runs_backwards(delays in proptest::collection::vec(0u64..5_000, 1..30)) {
+        let sim = Sim::new(1);
+        let max_seen: Rc<RefCell<SimTime>> = Rc::new(RefCell::new(SimTime::ZERO));
+        for &ms in &delays {
+            let sim2 = sim.clone();
+            let max_seen = max_seen.clone();
+            sim.spawn(async move {
+                sim2.sleep(Duration::from_millis(ms)).await;
+                let mut m = max_seen.borrow_mut();
+                prop_assert!(sim2.now() >= *m, "clock went backwards");
+                *m = sim2.now();
+                Ok(())
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    fn semaphore_never_exceeds_permits(
+        permits in 1usize..6,
+        tasks in proptest::collection::vec((0u64..40, 1u64..30), 1..40),
+    ) {
+        let sim = Sim::new(2);
+        let sem = Semaphore::new(permits);
+        let active = Rc::new(RefCell::new((0usize, 0usize))); // (current, peak)
+        let done = Rc::new(RefCell::new(0usize));
+        for &(arrival, hold) in &tasks {
+            let sim2 = sim.clone();
+            let sem = sem.clone();
+            let active = active.clone();
+            let done = done.clone();
+            sim.spawn(async move {
+                sim2.sleep(Duration::from_millis(arrival)).await;
+                let _p = sem.acquire().await;
+                {
+                    let mut a = active.borrow_mut();
+                    a.0 += 1;
+                    a.1 = a.1.max(a.0);
+                }
+                sim2.sleep(Duration::from_millis(hold)).await;
+                active.borrow_mut().0 -= 1;
+                *done.borrow_mut() += 1;
+            });
+        }
+        sim.run();
+        prop_assert_eq!(*done.borrow(), tasks.len(), "every task completes");
+        prop_assert!(active.borrow().1 <= permits, "peak exceeded permits");
+        prop_assert_eq!(sem.available(), permits, "all permits returned");
+    }
+
+    #[test]
+    fn channel_preserves_send_order(values in proptest::collection::vec(any::<u32>(), 0..64)) {
+        let sim = Sim::new(3);
+        let values2 = values.clone();
+        let got = sim.block_on(async move {
+            let (tx, mut rx) = channel();
+            for v in &values2 {
+                tx.send(*v).unwrap();
+            }
+            drop(tx);
+            let mut got = Vec::new();
+            while let Some(v) = rx.recv().await {
+                got.push(v);
+            }
+            got
+        });
+        prop_assert_eq!(got, values);
+    }
+
+    #[test]
+    fn timeout_outcome_matches_durations(work_ms in 0u64..100, limit_ms in 1u64..100) {
+        let sim = Sim::new(4);
+        let s = sim.clone();
+        let out = sim.block_on(async move {
+            let s2 = s.clone();
+            timeout(&s, Duration::from_millis(limit_ms), async move {
+                s2.sleep(Duration::from_millis(work_ms)).await;
+            })
+            .await
+        });
+        if work_ms < limit_ms {
+            prop_assert!(out.is_ok());
+        } else if work_ms > limit_ms {
+            prop_assert!(out.is_err());
+        }
+        // Equal durations may resolve either way (same-instant race).
+    }
+
+    #[test]
+    fn dist_samples_are_deterministic_and_nonnegative(
+        seed in any::<u64>(),
+        median in 0.001f64..10.0,
+        sigma in 0.01f64..2.0,
+    ) {
+        let d = Dist::LogNormal { median, sigma };
+        let mut a = rng_from_seed(seed);
+        let mut b = rng_from_seed(seed);
+        for _ in 0..32 {
+            let x = d.sample_duration(&mut a);
+            let y = d.sample_duration(&mut b);
+            prop_assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn run_until_lands_exactly_on_deadline(deadline_ms in 0u64..10_000) {
+        let sim = Sim::new(5);
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(Duration::from_secs(3600)).await; // far future
+        });
+        sim.run_until(SimTime::from_millis(deadline_ms));
+        prop_assert_eq!(sim.now(), SimTime::from_millis(deadline_ms));
+    }
+}

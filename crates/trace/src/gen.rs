@@ -1,0 +1,305 @@
+//! Synthetic Alibaba-like call-graph generation.
+//!
+//! The paper's Fig 1 and §7.4 metadata analysis are computed over the
+//! Alibaba 2021 cluster trace, which is not redistributable; this generator
+//! is calibrated to the statistics the paper (and the trace paper, Luo et
+//! al. SoCC '21) state explicitly:
+//!
+//! - more than 80 % of the ~17 k microservices are stateful;
+//! - more than 20 % of requests make ≥ 20 calls to stateful services;
+//! - more than half of requests touch ≥ 5 unique stateful services, and
+//!   ~10 % touch more than 20;
+//! - heavy-tailed fanout: > 10 % of stateless services fan out to ≥ 5
+//!   children; average call depth > 4;
+//! - service popularity is Zipf-like, so a few hot stores dominate.
+
+use rand::Rng;
+
+use crate::rng::TraceRng;
+
+/// Number of distinct services in the synthetic universe.
+pub const SERVICE_UNIVERSE: u32 = 17_000;
+/// Fraction of the universe that is stateful (databases, caches, queues).
+pub const STATEFUL_FRACTION: f64 = 0.82;
+
+/// One call in a request's call graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Call {
+    /// Service identifier within the universe.
+    pub service: u32,
+    /// Whether the callee is a stateful service.
+    pub stateful: bool,
+    /// Depth in the call tree (root call = 1).
+    pub depth: u32,
+}
+
+/// The call graph of one request.
+#[derive(Clone, Debug, Default)]
+pub struct CallGraph {
+    /// All calls, in generation (BFS) order.
+    pub calls: Vec<Call>,
+}
+
+impl CallGraph {
+    /// Total calls.
+    pub fn total_calls(&self) -> usize {
+        self.calls.len()
+    }
+
+    /// Calls to stateful services (Fig 1 left).
+    pub fn stateful_calls(&self) -> usize {
+        self.calls.iter().filter(|c| c.stateful).count()
+    }
+
+    /// Unique stateful services touched (Fig 1 right).
+    pub fn unique_stateful_services(&self) -> usize {
+        let mut ids: Vec<u32> = self
+            .calls
+            .iter()
+            .filter(|c| c.stateful)
+            .map(|c| c.service)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Maximum call depth.
+    pub fn max_depth(&self) -> u32 {
+        self.calls.iter().map(|c| c.depth).max().unwrap_or(0)
+    }
+
+    /// Mean call depth.
+    pub fn mean_depth(&self) -> f64 {
+        if self.calls.is_empty() {
+            return 0.0;
+        }
+        self.calls.iter().map(|c| f64::from(c.depth)).sum::<f64>() / self.calls.len() as f64
+    }
+}
+
+/// Samples a Zipf-ish service id in `[0, n)` with exponent ~1.1 via inverse
+/// transform on a truncated power law.
+fn zipf_id<R: Rng + ?Sized>(rng: &mut R, n: u32) -> u32 {
+    let u: f64 = rng.random::<f64>().max(1e-12);
+    // Inverse CDF of p(x) ∝ x^(-1.1) on [1, n].
+    let s = 1.1_f64;
+    let n_f = f64::from(n);
+    let x = ((u * (n_f.powf(1.0 - s) - 1.0)) + 1.0).powf(1.0 / (1.0 - s));
+    (x.floor() as u32).min(n - 1)
+}
+
+/// Samples a heavy-tailed fanout for a stateless service.
+fn fanout<R: Rng + ?Sized>(rng: &mut R) -> usize {
+    // ~55% fan out to 1-2, ~30% to 3-4, ~15% to 5+ (tail up to 40).
+    let u: f64 = rng.random();
+    if u < 0.55 {
+        1 + rng.random_range(0..2)
+    } else if u < 0.85 {
+        3 + rng.random_range(0..2)
+    } else {
+        let tail: f64 = rng.random::<f64>().max(1e-9);
+        (5.0 * tail.powf(-0.45)).min(40.0) as usize
+    }
+}
+
+/// Generates one request call graph.
+pub fn generate<R: Rng + ?Sized>(rng: &mut R) -> CallGraph {
+    // Target size: log-normal, median ≈ 15 calls, heavy tail.
+    let z = {
+        // Box–Muller.
+        let u1: f64 = 1.0 - rng.random::<f64>();
+        let u2: f64 = rng.random::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    };
+    let size = (15.0 * (1.0_f64 * z).exp()).clamp(1.0, 5_000.0) as usize;
+
+    let stateful_universe = (f64::from(SERVICE_UNIVERSE) * STATEFUL_FRACTION) as u32;
+    let stateless_universe = SERVICE_UNIVERSE - stateful_universe;
+
+    let mut graph = CallGraph::default();
+    // BFS frontier of stateless services that may fan out further.
+    let mut frontier: Vec<u32> = vec![1]; // root at depth 1
+    while graph.calls.len() < size {
+        let depth = frontier.pop().unwrap_or(1);
+        let k = fanout(rng).min(size - graph.calls.len()).max(1);
+        for _ in 0..k {
+            let stateful = rng.random::<f64>() < 0.62;
+            let (service, child_depth) = if stateful {
+                (zipf_id(rng, stateful_universe), depth + 1)
+            } else {
+                (
+                    stateful_universe + zipf_id(rng, stateless_universe),
+                    depth + 1,
+                )
+            };
+            graph.calls.push(Call {
+                service,
+                stateful,
+                depth: child_depth,
+            });
+            if !stateful && child_depth < 24 {
+                frontier.push(child_depth);
+            }
+            if graph.calls.len() >= size {
+                break;
+            }
+        }
+    }
+    graph
+}
+
+/// Generates `n` request call graphs from a seeded stream.
+pub fn generate_many(seed: u64, n: usize) -> Vec<CallGraph> {
+    let mut rng = TraceRng::seeded(seed);
+    (0..n).map(|_| generate(&mut rng.inner)).collect()
+}
+
+/// Aggregate statistics over a corpus of call graphs — the headline numbers
+/// the trace analysis reports (§2.1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CorpusStats {
+    /// Requests analyzed.
+    pub requests: usize,
+    /// Mean calls per request.
+    pub mean_calls: f64,
+    /// Mean stateful calls per request.
+    pub mean_stateful_calls: f64,
+    /// Fraction of requests with ≥ 20 stateful calls.
+    pub frac_ge20_stateful_calls: f64,
+    /// Fraction of requests touching ≥ 5 unique stateful services.
+    pub frac_ge5_unique_stateful: f64,
+    /// Fraction touching > 20 unique stateful services.
+    pub frac_gt20_unique_stateful: f64,
+    /// Mean per-request maximum call depth.
+    pub mean_max_depth: f64,
+    /// Fraction of calls that target stateful services.
+    pub stateful_call_fraction: f64,
+}
+
+/// Computes [`CorpusStats`] over a corpus.
+pub fn corpus_stats(graphs: &[CallGraph]) -> CorpusStats {
+    let n = graphs.len().max(1) as f64;
+    let total_calls: usize = graphs.iter().map(CallGraph::total_calls).sum();
+    let stateful_calls: usize = graphs.iter().map(CallGraph::stateful_calls).sum();
+    let frac =
+        |pred: &dyn Fn(&CallGraph) -> bool| graphs.iter().filter(|g| pred(g)).count() as f64 / n;
+    CorpusStats {
+        requests: graphs.len(),
+        mean_calls: total_calls as f64 / n,
+        mean_stateful_calls: stateful_calls as f64 / n,
+        frac_ge20_stateful_calls: frac(&|g| g.stateful_calls() >= 20),
+        frac_ge5_unique_stateful: frac(&|g| g.unique_stateful_services() >= 5),
+        frac_gt20_unique_stateful: frac(&|g| g.unique_stateful_services() > 20),
+        mean_max_depth: graphs.iter().map(|g| f64::from(g.max_depth())).sum::<f64>() / n,
+        stateful_call_fraction: if total_calls == 0 {
+            0.0
+        } else {
+            stateful_calls as f64 / total_calls as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::percentile;
+
+    fn corpus() -> Vec<CallGraph> {
+        generate_many(1, 4000)
+    }
+
+    #[test]
+    fn graphs_are_nonempty_and_bounded() {
+        for g in corpus().iter().take(500) {
+            assert!(!g.calls.is_empty());
+            assert!(g.calls.len() <= 5_000);
+            assert!(g.max_depth() >= 1);
+        }
+    }
+
+    #[test]
+    fn stateful_call_tail_matches_alibaba() {
+        // Fig 1 left: > 20 % of requests make ≥ 20 stateful calls.
+        let graphs = corpus();
+        let frac =
+            graphs.iter().filter(|g| g.stateful_calls() >= 20).count() as f64 / graphs.len() as f64;
+        assert!((0.15..0.5).contains(&frac), "P(stateful ≥ 20) = {frac}");
+    }
+
+    #[test]
+    fn unique_stateful_matches_alibaba() {
+        // Fig 1 right: > 50 % of requests touch ≥ 5 unique stateful
+        // services; ~10 % touch > 20.
+        let graphs = corpus();
+        let n = graphs.len() as f64;
+        let ge5 = graphs
+            .iter()
+            .filter(|g| g.unique_stateful_services() >= 5)
+            .count() as f64
+            / n;
+        let gt20 = graphs
+            .iter()
+            .filter(|g| g.unique_stateful_services() > 20)
+            .count() as f64
+            / n;
+        assert!(ge5 > 0.5, "P(unique ≥ 5) = {ge5}");
+        assert!((0.05..0.3).contains(&gt20), "P(unique > 20) = {gt20}");
+    }
+
+    #[test]
+    fn depth_is_realistic() {
+        // Alibaba: average call depth > 4 (we check the corpus mean of
+        // per-request max depth).
+        let graphs = corpus();
+        let mean_max: f64 =
+            graphs.iter().map(|g| f64::from(g.max_depth())).sum::<f64>() / graphs.len() as f64;
+        assert!(mean_max > 3.0, "mean max depth {mean_max}");
+    }
+
+    #[test]
+    fn popular_services_repeat() {
+        // Zipf popularity: the median request re-uses at least one service.
+        let graphs = corpus();
+        let mut ratios: Vec<f64> = graphs
+            .iter()
+            .filter(|g| g.stateful_calls() >= 10)
+            .map(|g| g.unique_stateful_services() as f64 / g.stateful_calls() as f64)
+            .collect();
+        ratios.sort_by(f64::total_cmp);
+        let med = percentile(&ratios, 50.0);
+        assert!(med < 0.95, "median unique/total ratio {med}");
+    }
+
+    #[test]
+    fn corpus_stats_match_alibaba_anchors() {
+        let stats = corpus_stats(&corpus());
+        assert!(stats.frac_ge20_stateful_calls > 0.15, "{stats:?}");
+        assert!(stats.frac_ge5_unique_stateful > 0.5, "{stats:?}");
+        assert!(
+            (0.04..0.30).contains(&stats.frac_gt20_unique_stateful),
+            "{stats:?}"
+        );
+        assert!(
+            (0.5..0.75).contains(&stats.stateful_call_fraction),
+            "{stats:?}"
+        );
+        assert!(stats.mean_calls > stats.mean_stateful_calls);
+    }
+
+    #[test]
+    fn corpus_stats_empty_is_safe() {
+        let s = corpus_stats(&[]);
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.stateful_call_fraction, 0.0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_many(7, 50);
+        let b = generate_many(7, 50);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.calls, y.calls);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! # antipode-trace
+//!
+//! A synthetic Alibaba-like microservice trace generator and the analyses
+//! the paper computes over the real trace: the Fig 1 CDFs (calls to stateful
+//! services per request; unique stateful services per request) and the §7.4
+//! worst-case lineage metadata sizing (avg ≈ 200 B, p99 < 1 KB).
+
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod metadata;
+pub mod rng;
+pub mod stats;
+
+pub use gen::{corpus_stats, generate, generate_many, Call, CallGraph, CorpusStats};
+pub use metadata::{analyze, worst_case_lineage, MetadataReport};

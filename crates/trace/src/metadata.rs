@@ -1,0 +1,105 @@
+//! Worst-case lineage metadata sizing over call graphs (§7.4).
+//!
+//! The paper assesses how lineage metadata would fare in a realistic
+//! deployment by assuming the **worst case**: every stateful operation of a
+//! request joins the dependency chain. It reports an average of ≈ 200 bytes
+//! and < 1 KB for 99 % of requests. This module rebuilds that analysis: for
+//! each synthetic call graph, construct the lineage containing one write
+//! identifier per stateful call and measure its wire size.
+
+use antipode_lineage::{Lineage, LineageId, WriteId};
+
+use crate::gen::CallGraph;
+use crate::stats::percentile;
+
+/// Builds the worst-case lineage of a request: one dependency per stateful
+/// call. Keys model short datastore keys; datastore names derive from the
+/// service id (and are deduplicated by the wire format's string table).
+pub fn worst_case_lineage(graph: &CallGraph, id: u64) -> Lineage {
+    let mut lineage = Lineage::new(LineageId(id));
+    for (i, call) in graph.calls.iter().enumerate().filter(|(_, c)| c.stateful) {
+        lineage.append(WriteId::new(
+            format!("s{}", call.service),
+            format!("k{}", i * 31 % 997),
+            (i as u64 % 120) + 1,
+        ));
+    }
+    lineage
+}
+
+/// Summary of the metadata-size analysis over a corpus.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetadataReport {
+    /// Number of requests analyzed.
+    pub requests: usize,
+    /// Mean worst-case lineage size in bytes.
+    pub mean_bytes: f64,
+    /// Median size.
+    pub p50_bytes: f64,
+    /// 99th-percentile size.
+    pub p99_bytes: f64,
+    /// Maximum size.
+    pub max_bytes: f64,
+}
+
+/// Runs the analysis over a corpus of call graphs.
+pub fn analyze(graphs: &[CallGraph]) -> MetadataReport {
+    let mut sizes: Vec<f64> = graphs
+        .iter()
+        .enumerate()
+        .map(|(i, g)| worst_case_lineage(g, i as u64).wire_size() as f64)
+        .collect();
+    sizes.sort_by(f64::total_cmp);
+    let mean = if sizes.is_empty() {
+        0.0
+    } else {
+        sizes.iter().sum::<f64>() / sizes.len() as f64
+    };
+    MetadataReport {
+        requests: graphs.len(),
+        mean_bytes: mean,
+        p50_bytes: percentile(&sizes, 50.0),
+        p99_bytes: percentile(&sizes, 99.0),
+        max_bytes: sizes.last().copied().unwrap_or(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate_many;
+
+    #[test]
+    fn worst_case_lineage_has_one_dep_per_stateful_call() {
+        let graphs = generate_many(3, 20);
+        for (i, g) in graphs.iter().enumerate() {
+            let l = worst_case_lineage(g, i as u64);
+            // Deps may collapse only when (service, key, version) collide,
+            // which the key/version construction avoids for < 1000 calls.
+            if g.stateful_calls() < 1000 {
+                assert_eq!(l.len(), g.stateful_calls());
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_sizes_match_paper_shape() {
+        // §7.4: average ≈ 200 B, p99 < 1 KB.
+        let graphs = generate_many(11, 4000);
+        let report = analyze(&graphs);
+        assert!(
+            (100.0..420.0).contains(&report.mean_bytes),
+            "mean {:.0} B",
+            report.mean_bytes
+        );
+        assert!(report.p99_bytes < 2_048.0, "p99 {:.0} B", report.p99_bytes);
+        assert!(report.p50_bytes < report.p99_bytes);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let r = analyze(&[]);
+        assert_eq!(r.requests, 0);
+        assert_eq!(r.mean_bytes, 0.0);
+    }
+}

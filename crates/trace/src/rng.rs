@@ -1,0 +1,38 @@
+//! Seeded RNG wrapper for trace generation (kept separate from the
+//! simulator's streams so trace corpora are reproducible standalone).
+
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// A deterministic trace-generation RNG.
+pub struct TraceRng {
+    /// The underlying ChaCha stream.
+    pub inner: ChaCha12Rng,
+}
+
+impl TraceRng {
+    /// Creates a stream from a 64-bit seed.
+    pub fn seeded(seed: u64) -> Self {
+        let mut key = [0u8; 32];
+        key[..8].copy_from_slice(&seed.to_le_bytes());
+        key[8..16].copy_from_slice(&seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).to_le_bytes());
+        TraceRng {
+            inner: ChaCha12Rng::from_seed(key),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = TraceRng::seeded(5);
+        let mut b = TraceRng::seeded(5);
+        assert_eq!(a.inner.next_u64(), b.inner.next_u64());
+        let mut c = TraceRng::seeded(6);
+        assert_ne!(a.inner.next_u64(), c.inner.next_u64());
+    }
+}

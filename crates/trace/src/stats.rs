@@ -1,0 +1,66 @@
+//! Small statistics helpers for trace analysis (CDFs, percentiles).
+
+/// Value at percentile `p` (0–100) of a **sorted** slice. Returns 0 for an
+/// empty slice.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Empirical CDF points `(x, P[X ≤ x])` of a data set, evaluated at the
+/// given x values.
+pub fn cdf_points(data: &[f64], xs: &[f64]) -> Vec<(f64, f64)> {
+    if data.is_empty() {
+        return xs.iter().map(|&x| (x, 0.0)).collect();
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    xs.iter()
+        .map(|&x| {
+            let count = sorted.partition_point(|&v| v <= x);
+            (x, count as f64 / sorted.len() as f64)
+        })
+        .collect()
+}
+
+/// Arithmetic mean (0 for empty input).
+pub fn mean(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        0.0
+    } else {
+        data.iter().sum::<f64>() / data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_basics() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 50.0), 3.0);
+        assert_eq!(percentile(&v, 100.0), 5.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn cdf_points_monotone() {
+        let data = [1.0, 1.0, 2.0, 5.0];
+        let pts = cdf_points(&data, &[0.0, 1.0, 2.0, 10.0]);
+        assert_eq!(pts[0].1, 0.0);
+        assert_eq!(pts[1].1, 0.5);
+        assert_eq!(pts[2].1, 0.75);
+        assert_eq!(pts[3].1, 1.0);
+    }
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

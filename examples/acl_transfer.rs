@@ -1,0 +1,30 @@
+//! The §5.1 ACL scenario: Alice blocks Bob, then posts. Without
+//! `transfer(ℒblock, ℒpost)` the barrier cannot know about the ACL write and
+//! Bob is notified anyway; with it, he is not.
+//!
+//! Usage: `cargo run --release --example acl_transfer [requests]`
+
+use antipode_app::acl::{run, AclConfig};
+
+fn main() {
+    let requests: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+
+    println!("ACL scenario: Alice blocks Bob, then posts ({requests} request pairs)");
+    let without = run(&AclConfig::new().with_requests(requests));
+    println!(
+        "without transfer: Bob wrongly notified in {:.1}% of cases ({} of {})",
+        without.wrong_notifications.percent(),
+        without.wrong_notifications.hits(),
+        without.wrong_notifications.total()
+    );
+    let with = run(&AclConfig::new().with_requests(requests).with_transfer());
+    println!(
+        "with transfer(ℒblock, ℒpost): Bob wrongly notified in {:.1}% of cases",
+        with.wrong_notifications.percent()
+    );
+    assert_eq!(with.wrong_notifications.hits(), 0);
+    println!("transfer carries the ACL dependency into the post lineage; the reader-side barrier then waits for it.");
+}

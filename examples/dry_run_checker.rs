@@ -1,0 +1,105 @@
+//! Antipode as a passive consistency checker (§6.3): find out *where*
+//! barriers are needed before enforcing anything.
+//!
+//! We instrument two candidate locations in the post-notification reader —
+//! right after the notification arrives, and right before rendering — with
+//! dry-run checkpoints, run a test workload, and let the checker report
+//! which locations would have violated XCY.
+//!
+//! Run with `cargo run --release --example dry_run_checker`.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use antipode::{Antipode, ConsistencyChecker, Lineage, LineageId};
+use antipode_sim::net::regions::{EU, US};
+use antipode_sim::{Network, Sim};
+use antipode_store::shim::{KvShim, QueueShim};
+use antipode_store::{MySql, Sns};
+use bytes::Bytes;
+
+fn main() {
+    let sim = Sim::new(7);
+    let net = Rc::new(Network::global_triangle());
+    let posts = MySql::new(&sim, net.clone(), "post-storage", &[EU, US]);
+    let notifier = Sns::new(&sim, net, "notifier", &[EU, US]);
+    let post_shim = KvShim::new(posts.store().clone());
+    let notif_shim = QueueShim::new(notifier.queue().clone());
+
+    let mut ap = Antipode::new(sim.clone());
+    ap.register(Rc::new(post_shim.clone()));
+    ap.register(Rc::new(notif_shim.clone()));
+    let checker = ConsistencyChecker::new(ap);
+
+    const N: usize = 50;
+
+    // Reader with two instrumented candidate locations.
+    {
+        let checker = checker.clone();
+        let notif_shim = notif_shim.clone();
+        let sim2 = sim.clone();
+        sim.spawn(async move {
+            let mut sub = notif_shim.subscribe(US).expect("US configured");
+            for _ in 0..N {
+                let Ok(Some(msg)) = sub.recv().await else {
+                    break;
+                };
+                let lineage = msg.lineage.expect("publisher attached lineage");
+                // Candidate 1: right after the notification event.
+                checker.checkpoint("follower-notify:on-event", &lineage, US);
+                // ... some processing time passes ...
+                sim2.sleep(Duration::from_millis(250)).await;
+                // Candidate 2: right before rendering to the user.
+                checker.checkpoint("follower-notify:pre-render", &lineage, US);
+            }
+        });
+    }
+
+    // Writers.
+    for i in 0..N {
+        let sim2 = sim.clone();
+        let post_shim = post_shim.clone();
+        let notif_shim = notif_shim.clone();
+        sim.spawn(async move {
+            sim2.sleep(Duration::from_millis(200 * i as u64)).await;
+            let mut lineage = Lineage::new(LineageId(i as u64));
+            post_shim
+                .write(
+                    EU,
+                    &format!("post-{i}"),
+                    Bytes::from_static(b"body"),
+                    &mut lineage,
+                )
+                .await
+                .expect("EU configured");
+            notif_shim
+                .publish(EU, Bytes::from(format!("post-{i}")), &mut lineage)
+                .await
+                .expect("EU configured");
+        });
+    }
+    sim.run();
+
+    println!("dry-run checker results over {N} requests:\n");
+    println!(
+        "{:<32} {:>6} {:>12} {:>16}",
+        "location", "evals", "unsatisfied", "violation rate"
+    );
+    for (loc, stats) in checker.summary() {
+        println!(
+            "{:<32} {:>6} {:>12} {:>15.0}%",
+            loc,
+            stats.evaluations,
+            stats.unsatisfied,
+            stats.violation_rate() * 100.0
+        );
+    }
+    println!();
+    match checker.suggested_barriers().first() {
+        Some((loc, stats)) => println!(
+            "=> place a barrier at {loc:?} ({} of {} evaluations would have violated XCY)",
+            stats.unsatisfied, stats.evaluations
+        ),
+        None => println!("=> no barrier needed: all checkpoints were satisfied"),
+    }
+}

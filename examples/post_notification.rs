@@ -1,0 +1,87 @@
+//! The Post-Notification microbenchmark (paper §2.2/§7.1) end to end:
+//! pick a post-storage and a notifier, measure the inconsistency rate with
+//! and without Antipode.
+//!
+//! Usage: `cargo run --release --example post_notification [post_store] [notifier] [requests]`
+//! where `post_store` ∈ {mysql, dynamodb, redis, s3} and
+//! `notifier` ∈ {sns, amq, dynamodb}. Defaults: mysql sns 500.
+
+use antipode_app::post_notification::{run, NotifierKind, PostNotifConfig, PostStoreKind};
+
+fn parse_store(s: &str) -> PostStoreKind {
+    match s.to_ascii_lowercase().as_str() {
+        "mysql" => PostStoreKind::MySql,
+        "dynamodb" | "ddb" => PostStoreKind::DynamoDb,
+        "redis" => PostStoreKind::Redis,
+        "s3" => PostStoreKind::S3,
+        other => {
+            eprintln!("unknown post store {other:?}; using mysql");
+            PostStoreKind::MySql
+        }
+    }
+}
+
+fn parse_notifier(s: &str) -> NotifierKind {
+    match s.to_ascii_lowercase().as_str() {
+        "sns" => NotifierKind::Sns,
+        "amq" => NotifierKind::Amq,
+        "dynamodb" | "ddb" => NotifierKind::DynamoDb,
+        other => {
+            eprintln!("unknown notifier {other:?}; using sns");
+            NotifierKind::Sns
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let post = args
+        .get(1)
+        .map(|s| parse_store(s))
+        .unwrap_or(PostStoreKind::MySql);
+    let notif = args
+        .get(2)
+        .map(|s| parse_notifier(s))
+        .unwrap_or(NotifierKind::Sns);
+    let requests: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(500);
+
+    println!(
+        "Post-Notification: post-storage={}, notifier={}, {requests} requests, EU writer → US reader",
+        post.name(),
+        notif.name()
+    );
+
+    let base = run(&PostNotifConfig::new(post, notif).with_requests(requests));
+    println!(
+        "baseline: {:.1}% inconsistencies ({} of {} reads returned 'post not found')",
+        base.violations.percent(),
+        base.violations.hits(),
+        base.violations.total()
+    );
+    if let Some(w) = base.consistency_window.summary() {
+        println!(
+            "baseline consistency window: mean {:.3}s p95 {:.3}s (reads proceed immediately)",
+            w.mean, w.p95
+        );
+    }
+
+    let anti = run(&PostNotifConfig::new(post, notif)
+        .with_requests(requests)
+        .with_antipode());
+    println!(
+        "antipode: {:.1}% inconsistencies (barrier after the notification event)",
+        anti.violations.percent()
+    );
+    if let Some(w) = anti.consistency_window.summary() {
+        println!(
+            "antipode consistency window: mean {:.3}s p95 {:.3}s (time-to-consistency)",
+            w.mean, w.p95
+        );
+    }
+    if let Some(b) = anti.barrier_blocked.summary() {
+        println!("barrier blocked: mean {:.3}s max {:.3}s", b.mean, b.max);
+    }
+    if let Some(l) = anti.lineage_bytes.summary() {
+        println!("lineage metadata: mean {:.0} B, max {:.0} B", l.mean, l.max);
+    }
+}

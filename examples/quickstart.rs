@@ -1,0 +1,128 @@
+//! Quickstart: the Post-Notification violation in ~80 lines, and how
+//! Antipode fixes it.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use antipode::{Antipode, Lineage, LineageIdGen};
+use antipode_sim::net::regions::{EU, US};
+use antipode_sim::{Network, Sim};
+use antipode_store::shim::{KvShim, QueueShim};
+use antipode_store::{MySql, Sns};
+use bytes::Bytes;
+
+fn main() {
+    let sim = Sim::new(42);
+    let net = Rc::new(Network::global_triangle());
+
+    // A geo-replicated post store and a pub/sub notifier — two independent,
+    // mutually oblivious systems.
+    let posts = MySql::new(&sim, net.clone(), "post-storage", &[EU, US]);
+    let notifier = Sns::new(&sim, net, "notifier", &[EU, US]);
+
+    // --- 1. The violation, without Antipode. ------------------------------
+    {
+        let posts = posts.clone();
+        let notifier = notifier.clone();
+        let sim2 = sim.clone();
+        sim.block_on(async move {
+            let mut sub = notifier.subscribe(US).expect("US replica exists");
+            // Writer in the EU: store the post, then notify.
+            posts
+                .insert(EU, "posts", "1", Bytes::from_static(b"hello world"))
+                .await
+                .expect("EU replica exists");
+            notifier
+                .publish(EU, Bytes::from_static(b"post 1"))
+                .await
+                .expect("EU replica");
+            // Reader in the US: the notification arrives in ~150 ms…
+            let msg = sub.recv().await.expect("notification delivered");
+            println!(
+                "[baseline] t={} notification {:?} received in the US",
+                sim2.now(),
+                msg.payload
+            );
+            // …but MySQL replication takes ~600 ms, so the post is missing.
+            let post = posts.select(US, "posts", "1").await.expect("US replica");
+            println!(
+                "[baseline] t={} reading the post: {}",
+                sim2.now(),
+                if post.is_some() {
+                    "found"
+                } else {
+                    "POST NOT FOUND — XCY violation!"
+                }
+            );
+            assert!(post.is_none(), "expected to observe the violation");
+        });
+    }
+
+    // --- 2. The fix, with Antipode. ---------------------------------------
+    sim.run_for(Duration::from_secs(30)); // let the first round settle
+    let post_shim = KvShim::new(posts.store().clone());
+    let notif_shim = QueueShim::new(notifier.queue().clone());
+    let mut ap = Antipode::new(sim.clone());
+    ap.register(Rc::new(post_shim.clone()));
+    ap.register(Rc::new(notif_shim.clone()));
+
+    let sim2 = sim.clone();
+    sim.block_on(async move {
+        let mut sub = notif_shim.subscribe(US).expect("US replica exists");
+        let gen = LineageIdGen::new(1);
+
+        // Writer: every shim write extends the request's lineage.
+        let mut lineage: Lineage = Lineage::new(gen.next_id());
+        post_shim
+            .write(
+                EU,
+                "posts/2",
+                Bytes::from_static(b"hello again"),
+                &mut lineage,
+            )
+            .await
+            .expect("EU replica exists");
+        notif_shim
+            .publish(EU, Bytes::from_static(b"post 2"), &mut lineage)
+            .await
+            .expect("EU replica exists");
+
+        // Reader: the lineage arrives with the notification; barrier blocks
+        // until every dependency is visible in the local region.
+        let msg = sub
+            .recv()
+            .await
+            .expect("delivered")
+            .expect("valid envelope");
+        let carried = msg.lineage.expect("publisher attached the lineage");
+        println!(
+            "[antipode] t={} notification received; calling barrier…",
+            sim2.now()
+        );
+        let report = ap
+            .barrier(&carried, US)
+            .await
+            .expect("all shims registered");
+        println!(
+            "[antipode] t={} barrier returned after blocking {:?}",
+            sim2.now(),
+            report.blocked
+        );
+        let post = post_shim
+            .read(US, "posts/2")
+            .await
+            .expect("US replica exists");
+        println!(
+            "[antipode] t={} reading the post: {}",
+            sim2.now(),
+            if post.is_some() {
+                "found — consistent!"
+            } else {
+                "missing"
+            }
+        );
+        assert!(post.is_some(), "barrier must have enforced visibility");
+    });
+}

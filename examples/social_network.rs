@@ -1,0 +1,47 @@
+//! The DeathStarBench-style social network (paper §7.1, Fig 8): compose-post
+//! in the US, home-timeline fanout in a remote region.
+//!
+//! Usage: `cargo run --release --example social_network [eu|sg] [rate] [seconds]`
+//! Defaults: eu 100 120.
+
+use std::time::Duration;
+
+use antipode_app::social::{run, SocialConfig};
+use antipode_sim::net::regions::{EU, SG};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let remote = match args.get(1).map(String::as_str) {
+        Some("sg") => SG,
+        _ => EU,
+    };
+    let rate: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100.0);
+    let secs: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(120);
+
+    println!(
+        "Social network: US→{remote}, {rate} req/s for {secs}s (virtual time) — compose-post flow"
+    );
+    for antipode in [false, true] {
+        let mut cfg = SocialConfig::new(remote, rate).with_duration(Duration::from_secs(secs));
+        if antipode {
+            cfg = cfg.with_antipode();
+        }
+        let r = run(&cfg);
+        let lat = r.writer.latency().expect("requests completed");
+        let win = r.consistency_window.summary().expect("windows recorded");
+        println!(
+            "{}: tput {:.1} rps | writer latency mean {:.2} ms p99 {:.2} ms | violations {:.2}% | window mean {:.1} ms{}",
+            if antipode { "antipode" } else { "baseline" },
+            r.writer.throughput(),
+            lat.mean * 1e3,
+            lat.p99 * 1e3,
+            r.violations.percent(),
+            win.mean * 1e3,
+            if antipode {
+                format!(" | max lineage {} B", r.max_lineage_bytes)
+            } else {
+                String::new()
+            }
+        );
+    }
+}

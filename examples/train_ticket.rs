@@ -1,0 +1,42 @@
+//! The TrainTicket cancel/refund flow (paper §7.1, Fig 9): the barrier on
+//! the request's critical path.
+//!
+//! Usage: `cargo run --release --example train_ticket [rate] [seconds]`
+//! Defaults: 300 120.
+
+use std::time::Duration;
+
+use antipode_app::train_ticket::{run, TrainTicketConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let rate: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(300.0);
+    let secs: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(120);
+
+    println!("TrainTicket cancel/refund: {rate} req/s for {secs}s (virtual time)");
+    let mut base_lat = 0.0;
+    for antipode in [false, true] {
+        let mut cfg = TrainTicketConfig::new(rate).with_duration(Duration::from_secs(secs));
+        if antipode {
+            cfg = cfg.with_antipode();
+        }
+        let r = run(&cfg);
+        let lat = r.client.latency().expect("requests completed");
+        println!(
+            "{}: tput {:.1} rps | latency mean {:.2} ms p99 {:.2} ms | refund-missing {:.2}%",
+            if antipode { "antipode" } else { "baseline" },
+            r.client.throughput(),
+            lat.mean * 1e3,
+            lat.p99 * 1e3,
+            r.violations.percent()
+        );
+        if antipode {
+            println!(
+                "latency cost of the critical-path barrier: {:+.1}% (the user actively waits for the refund)",
+                (lat.mean - base_lat) / base_lat * 100.0
+            );
+        } else {
+            base_lat = lat.mean;
+        }
+    }
+}

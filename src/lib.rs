@@ -1,0 +1,25 @@
+//! # antipode-repro
+//!
+//! Workspace façade for the Antipode (SOSP 2023) reproduction. This crate
+//! re-exports the member crates so the examples and integration tests have a
+//! single import root; the substance lives in:
+//!
+//! - [`antipode`] — the library itself (Lineage / Shim / Core APIs);
+//! - [`antipode_lineage`] — lineages, write identifiers, baggage, and the
+//!   formal XCY model;
+//! - [`antipode_sim`] — the deterministic virtual-time simulator;
+//! - [`antipode_store`] — the eight simulated datastores and their shims;
+//! - [`antipode_runtime`] — the microservice runtime and load drivers;
+//! - [`antipode_app`] — the evaluation applications;
+//! - [`antipode_trace`] — the Alibaba-like trace generator.
+//!
+//! See `README.md` for the quickstart, `DESIGN.md` for the system inventory
+//! and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use antipode;
+pub use antipode_app;
+pub use antipode_lineage;
+pub use antipode_runtime;
+pub use antipode_sim;
+pub use antipode_store;
+pub use antipode_trace;

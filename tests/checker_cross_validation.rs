@@ -1,0 +1,127 @@
+//! Statistical cross-validation of the formal XCY checker against the
+//! operational system: replay many post-notification requests against the
+//! simulated stores, record each as a formal execution, and verify that the
+//! checker's verdict matches the application-level observation **per
+//! request** — not just in aggregate.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use antipode_lineage::model::{Causality, Execution, ProcId};
+use antipode_lineage::{Lineage, LineageId};
+use antipode_sim::net::regions::{EU, US};
+use antipode_sim::{Network, Sim};
+use antipode_store::shim::{KvShim, QueueShim};
+use antipode_store::{Redis, Sns};
+use bytes::Bytes;
+
+/// Runs `n` requests; for each, returns (checker saw violation, app saw
+/// not-found).
+fn replay(n: usize, with_barrier: bool, seed: u64) -> Vec<(bool, bool)> {
+    let sim = Sim::new(seed);
+    let net = Rc::new(Network::global_triangle());
+    // Redis vs SNS: a close race (Table 1: 88%), so both outcomes appear.
+    let posts = Redis::new(&sim, net.clone(), "post-storage", &[EU, US]);
+    let notifier = Sns::new(&sim, net, "notifier", &[EU, US]);
+    let post_shim = KvShim::new(posts.store().clone());
+    let notif_shim = QueueShim::new(notifier.queue().clone());
+
+    let outcomes: Rc<RefCell<Vec<(bool, bool)>>> = Rc::new(RefCell::new(Vec::new()));
+
+    for i in 0..n {
+        let sim2 = sim.clone();
+        let post_shim = post_shim.clone();
+        let notif_shim = notif_shim.clone();
+        let posts_store = posts.store().clone();
+        let outcomes = outcomes.clone();
+        sim.spawn(async move {
+            sim2.sleep(Duration::from_millis(300 * i as u64)).await;
+            let mut exec = Execution::new();
+            let l_write = LineageId(i as u64 * 2);
+            let l_read = LineageId(i as u64 * 2 + 1);
+            let post_svc = ProcId(1);
+            let notif_svc = ProcId(2);
+            let reader = ProcId(3);
+
+            let mut sub = notif_shim.subscribe(US).expect("US configured");
+
+            // Writer request.
+            let key = format!("post-{i}");
+            let mut lin = Lineage::new(l_write);
+            let post_wid = post_shim
+                .write(EU, &key, Bytes::from_static(b"body"), &mut lin)
+                .await
+                .expect("EU configured");
+            exec.write(post_svc, l_write, post_wid.clone());
+            let notif_wid = notif_shim
+                .publish(EU, Bytes::from(key.clone()), &mut lin)
+                .await
+                .expect("EU configured");
+            exec.write(notif_svc, l_write, notif_wid.clone());
+
+            // Reader request.
+            let msg = sub
+                .recv()
+                .await
+                .expect("delivered")
+                .expect("valid envelope");
+            exec.read(
+                reader,
+                l_read,
+                notif_wid.datastore.clone(),
+                notif_wid.key.clone(),
+                Some(notif_wid.clone()),
+            );
+            if with_barrier {
+                posts_store
+                    .wait_visible(US, &key, post_wid.version)
+                    .await
+                    .expect("US configured");
+            }
+            let got = post_shim.read(US, &key).await.expect("US configured");
+            let found = got.is_some();
+            exec.read(
+                reader,
+                l_read,
+                post_wid.datastore.clone(),
+                key,
+                found.then(|| post_wid.clone()),
+            );
+            let _ = msg;
+
+            let checker_flags = !exec.is_consistent(Causality::Xcy);
+            outcomes.borrow_mut().push((checker_flags, !found));
+        });
+    }
+    sim.run();
+    let out = outcomes.borrow().clone();
+    out
+}
+
+#[test]
+fn checker_agrees_with_system_per_request() {
+    let outcomes = replay(120, false, 0xC0DE);
+    assert_eq!(outcomes.len(), 120);
+    let violations = outcomes.iter().filter(|(_, app)| *app).count();
+    // Redis × SNS is a real race: both outcomes must occur in the sample.
+    assert!(
+        violations > 10,
+        "only {violations} violations — race did not exercise both sides"
+    );
+    assert!(
+        violations < 120,
+        "every request violated — race did not exercise both sides"
+    );
+    for (i, (checker, app)) in outcomes.iter().enumerate() {
+        assert_eq!(checker, app, "request {i}: checker={checker} app={app}");
+    }
+}
+
+#[test]
+fn with_barrier_both_views_are_clean() {
+    let outcomes = replay(60, true, 0xC0DF);
+    for (i, (checker, app)) in outcomes.iter().enumerate() {
+        assert!(!checker && !app, "request {i} still violated");
+    }
+}

@@ -1,0 +1,140 @@
+//! Cross-crate end-to-end tests: the full store × notifier matrix, the ACL
+//! scenario, and determinism of entire experiment runs.
+
+use std::time::Duration;
+
+use antipode_app::acl::{run as run_acl, AclConfig};
+use antipode_app::post_notification::{
+    run as run_pn, NotifierKind, PostNotifConfig, PostStoreKind,
+};
+use antipode_app::social::{run as run_social, SocialConfig};
+use antipode_app::train_ticket::{run as run_tt, TrainTicketConfig};
+use antipode_sim::net::regions::{EU, SG};
+
+/// §7.3: "regardless of the combination of individual datastore consistency
+/// semantics, by applying Antipode, this inconsistency was always corrected"
+/// — the full 4 × 3 matrix.
+#[test]
+fn antipode_corrects_every_store_combination() {
+    for n in NotifierKind::ALL {
+        for p in PostStoreKind::ALL {
+            let r = run_pn(&PostNotifConfig::new(p, n).with_requests(60).with_antipode());
+            assert_eq!(
+                r.violations.hits(),
+                0,
+                "{}×{}: violations with Antipode",
+                p.name(),
+                n.name()
+            );
+            assert_eq!(
+                r.violations.total(),
+                60,
+                "{}×{}: all reads measured",
+                p.name(),
+                n.name()
+            );
+        }
+    }
+}
+
+/// Table 1 orderings that must hold whatever the exact percentages: SNS is
+/// the most dangerous notifier, DynamoDB-as-notifier the safest; S3 is the
+/// most dangerous post-storage.
+#[test]
+fn table1_orderings_hold() {
+    let cell = |p, n| {
+        run_pn(&PostNotifConfig::new(p, n).with_requests(250))
+            .violations
+            .percent()
+    };
+    let sns_mysql = cell(PostStoreKind::MySql, NotifierKind::Sns);
+    let amq_mysql = cell(PostStoreKind::MySql, NotifierKind::Amq);
+    let ddb_mysql = cell(PostStoreKind::MySql, NotifierKind::DynamoDb);
+    assert!(sns_mysql > amq_mysql, "SNS {sns_mysql}% > AMQ {amq_mysql}%");
+    assert!(amq_mysql > ddb_mysql, "AMQ {amq_mysql}% > DDB {ddb_mysql}%");
+    let amq_s3 = cell(PostStoreKind::S3, NotifierKind::Amq);
+    assert!(amq_s3 > 90.0, "S3 loses against AMQ: {amq_s3}%");
+}
+
+/// §5.1: the ACL scenario end to end.
+#[test]
+fn acl_transfer_end_to_end() {
+    let without = run_acl(&AclConfig::new().with_requests(80));
+    assert!(
+        without.wrong_notifications.percent() > 50.0,
+        "without transfer: {}%",
+        without.wrong_notifications.percent()
+    );
+    let with = run_acl(&AclConfig::new().with_requests(80).with_transfer());
+    assert_eq!(with.wrong_notifications.hits(), 0);
+}
+
+/// The same seed reproduces bit-identical results across all three
+/// applications (the substrate is fully deterministic).
+#[test]
+fn experiments_are_deterministic() {
+    let a =
+        run_pn(&PostNotifConfig::new(PostStoreKind::Redis, NotifierKind::Amq).with_requests(120));
+    let b =
+        run_pn(&PostNotifConfig::new(PostStoreKind::Redis, NotifierKind::Amq).with_requests(120));
+    assert_eq!(a.violations.hits(), b.violations.hits());
+    assert_eq!(a.consistency_window.values(), b.consistency_window.values());
+
+    let cfg = SocialConfig::new(SG, 40.0).with_duration(Duration::from_secs(30));
+    let a = run_social(&cfg);
+    let b = run_social(&cfg);
+    assert_eq!(a.violations.hits(), b.violations.hits());
+    assert_eq!(a.writer.completed(), b.writer.completed());
+    assert_eq!(
+        a.writer.latency().unwrap().mean,
+        b.writer.latency().unwrap().mean,
+        "latency distributions must be identical"
+    );
+
+    let cfg = TrainTicketConfig::new(150.0).with_duration(Duration::from_secs(30));
+    let a = run_tt(&cfg);
+    let b = run_tt(&cfg);
+    assert_eq!(a.client.completed(), b.client.completed());
+    assert_eq!(a.violations.hits(), b.violations.hits());
+}
+
+/// Different seeds give different (but valid) runs.
+#[test]
+fn seeds_matter() {
+    let a = run_pn(
+        &PostNotifConfig::new(PostStoreKind::Redis, NotifierKind::Sns)
+            .with_requests(200)
+            .with_seed(1),
+    );
+    let b = run_pn(
+        &PostNotifConfig::new(PostStoreKind::Redis, NotifierKind::Sns)
+            .with_requests(200)
+            .with_seed(2),
+    );
+    assert_ne!(
+        a.consistency_window.values(),
+        b.consistency_window.values(),
+        "different seeds should differ in the details"
+    );
+}
+
+/// The social network writer barely notices Antipode (§7.4: ≤ 2 %), across
+/// both replication pairs.
+#[test]
+fn social_writer_side_cost_is_negligible() {
+    for remote in [EU, SG] {
+        let base =
+            run_social(&SocialConfig::new(remote, 80.0).with_duration(Duration::from_secs(40)));
+        let anti = run_social(
+            &SocialConfig::new(remote, 80.0)
+                .with_duration(Duration::from_secs(40))
+                .with_antipode(),
+        );
+        let lb = base.writer.latency().unwrap().p50;
+        let la = anti.writer.latency().unwrap().p50;
+        assert!(
+            (la - lb) / lb < 0.05,
+            "{remote}: writer p50 {lb} → {la} exceeds 5%"
+        );
+    }
+}
