@@ -57,6 +57,66 @@ impl From<WaitError> for BarrierError {
     }
 }
 
+/// Retry policy for transient store unavailability inside a barrier.
+///
+/// A store-specific `wait` can fail with
+/// [`WaitError::StoreUnavailable`] while the chaos plane has the replica's
+/// region down. Rather than surfacing every transient outage to the
+/// application, the barrier re-polls the store with exponential backoff —
+/// dependencies are immutable facts, so retrying is always safe.
+#[derive(Clone, Debug)]
+pub struct BarrierRetry {
+    /// Total attempts per dependency (first try included). Clamped ≥ 1.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt.
+    pub base: Duration,
+    /// Growth factor per attempt.
+    pub multiplier: f64,
+    /// Backoff ceiling.
+    pub max: Duration,
+}
+
+impl Default for BarrierRetry {
+    fn default() -> Self {
+        BarrierRetry {
+            max_attempts: 32,
+            base: Duration::from_millis(100),
+            multiplier: 2.0,
+            max: Duration::from_secs(5),
+        }
+    }
+}
+
+impl BarrierRetry {
+    /// A policy that surfaces the first unavailability error unretried.
+    pub fn none() -> Self {
+        BarrierRetry {
+            max_attempts: 1,
+            ..BarrierRetry::default()
+        }
+    }
+
+    /// The sleep after (0-based) failed attempt `attempt`. Deterministic —
+    /// barrier schedules reproduce exactly from the simulation seed.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self.base.as_secs_f64() * self.multiplier.max(1.0).powi(attempt as i32);
+        Duration::from_secs_f64(exp.min(self.max.as_secs_f64()))
+    }
+}
+
+/// Per-datastore wait telemetry from one barrier.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreWait {
+    /// Datastore name.
+    pub datastore: String,
+    /// Dependencies on this store the barrier examined.
+    pub deps: usize,
+    /// Virtual time spent blocked on this store (waits + retry backoff).
+    pub blocked: Duration,
+    /// Waits retried after transient [`WaitError::StoreUnavailable`].
+    pub retries: u32,
+}
+
 /// What a completed barrier did.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BarrierReport {
@@ -68,6 +128,33 @@ pub struct BarrierReport {
     pub skipped: usize,
     /// Virtual time spent blocked in the barrier.
     pub blocked: Duration,
+    /// Per-datastore breakdown: time blocked and outage retries per store.
+    pub waits: Vec<StoreWait>,
+}
+
+impl BarrierReport {
+    fn empty() -> Self {
+        BarrierReport {
+            already_visible: 0,
+            waited_for: 0,
+            skipped: 0,
+            blocked: Duration::ZERO,
+            waits: Vec::new(),
+        }
+    }
+
+    fn store_entry(&mut self, datastore: &str) -> &mut StoreWait {
+        if let Some(i) = self.waits.iter().position(|w| w.datastore == datastore) {
+            return &mut self.waits[i];
+        }
+        self.waits.push(StoreWait {
+            datastore: datastore.to_string(),
+            deps: 0,
+            blocked: Duration::ZERO,
+            retries: 0,
+        });
+        self.waits.last_mut().expect("just pushed")
+    }
 }
 
 /// Result of a dry-run barrier: the passive consistency checker of §6.3.
@@ -96,21 +183,31 @@ pub struct Antipode {
     sim: Sim,
     registry: ShimRegistry,
     policy: UnknownStorePolicy,
+    retry: BarrierRetry,
 }
 
 impl Antipode {
-    /// Creates a client with the default [`UnknownStorePolicy::Fail`].
+    /// Creates a client with the default [`UnknownStorePolicy::Fail`] and
+    /// the default [`BarrierRetry`].
     pub fn new(sim: Sim) -> Self {
         Antipode {
             sim,
             registry: ShimRegistry::new(),
             policy: UnknownStorePolicy::default(),
+            retry: BarrierRetry::default(),
         }
     }
 
     /// Sets the unknown-store policy.
     pub fn with_policy(mut self, policy: UnknownStorePolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Sets the retry policy applied when a store is transiently
+    /// unavailable during a barrier.
+    pub fn with_retry(mut self, retry: BarrierRetry) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -130,20 +227,18 @@ impl Antipode {
     }
 
     /// Enforces the lineage's dependencies: blocks until every write in the
-    /// lineage is visible at `region` (paper §6.3). Returns a report of what
-    /// was enforced.
+    /// lineage is visible at `region` (paper §6.3). Transient
+    /// [`WaitError::StoreUnavailable`] failures (a chaos-plane region
+    /// outage, say) are retried per the configured [`BarrierRetry`]; other
+    /// wait errors surface immediately. Returns a report of what was
+    /// enforced, including a per-store wait/retry breakdown.
     pub async fn barrier(
         &self,
         lineage: &Lineage,
         region: Region,
     ) -> Result<BarrierReport, BarrierError> {
         let start = self.sim.now();
-        let mut report = BarrierReport {
-            already_visible: 0,
-            waited_for: 0,
-            skipped: 0,
-            blocked: Duration::ZERO,
-        };
+        let mut report = BarrierReport::empty();
         for dep in lineage.deps() {
             let Some(shim) = self.registry.get(&dep.datastore) else {
                 match self.policy {
@@ -156,12 +251,28 @@ impl Antipode {
                     }
                 }
             };
+            let dep_start = self.sim.now();
+            let mut retries = 0u32;
             if shim.is_visible(dep, region) {
                 report.already_visible += 1;
             } else {
-                shim.wait(dep, region).await?;
+                let max_attempts = self.retry.max_attempts.max(1);
+                loop {
+                    match shim.wait(dep, region).await {
+                        Ok(()) => break,
+                        Err(WaitError::StoreUnavailable(_)) if retries + 1 < max_attempts => {
+                            self.sim.sleep(self.retry.backoff(retries)).await;
+                            retries += 1;
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
+                }
                 report.waited_for += 1;
             }
+            let entry = report.store_entry(&dep.datastore);
+            entry.deps += 1;
+            entry.retries += retries;
+            entry.blocked += self.sim.now().since(dep_start);
         }
         report.blocked = self.sim.now().since(start);
         Ok(report)
@@ -178,17 +289,18 @@ impl Antipode {
         regions: &[Region],
     ) -> Result<BarrierReport, BarrierError> {
         let start = self.sim.now();
-        let mut merged = BarrierReport {
-            already_visible: 0,
-            waited_for: 0,
-            skipped: 0,
-            blocked: Duration::ZERO,
-        };
+        let mut merged = BarrierReport::empty();
         for region in regions {
             let r = self.barrier(lineage, *region).await?;
             merged.already_visible += r.already_visible;
             merged.waited_for += r.waited_for;
             merged.skipped += r.skipped;
+            for w in r.waits {
+                let entry = merged.store_entry(&w.datastore);
+                entry.deps += w.deps;
+                entry.retries += w.retries;
+                entry.blocked += w.blocked;
+            }
         }
         merged.blocked = self.sim.now().since(start);
         Ok(merged)
@@ -456,6 +568,99 @@ mod tests {
         });
         sim.run();
         assert!(done.borrow().is_some());
+    }
+
+    /// A WaitTarget that reports `StoreUnavailable` for the first
+    /// `failures` wait calls, then behaves like [`TestStore`].
+    struct FlakyStore {
+        base: Rc<TestStore>,
+        remaining_failures: std::cell::Cell<u32>,
+    }
+
+    impl WaitTarget for FlakyStore {
+        fn datastore_name(&self) -> &str {
+            self.base.datastore_name()
+        }
+        fn wait<'a>(
+            &'a self,
+            write: &'a WriteId,
+            region: Region,
+        ) -> LocalBoxFuture<'a, Result<(), WaitError>> {
+            Box::pin(async move {
+                let left = self.remaining_failures.get();
+                if left > 0 {
+                    self.remaining_failures.set(left - 1);
+                    return Err(WaitError::StoreUnavailable("db@outage".into()));
+                }
+                self.base.wait(write, region).await
+            })
+        }
+        fn is_visible(&self, write: &WriteId, region: Region) -> bool {
+            self.base.is_visible(write, region)
+        }
+    }
+
+    #[test]
+    fn barrier_retries_through_transient_unavailability() {
+        let sim = Sim::new(0);
+        let base = TestStore::new(&sim, "db");
+        base.visible_after("k", 1, Duration::from_millis(5));
+        let flaky = Rc::new(FlakyStore {
+            base,
+            remaining_failures: std::cell::Cell::new(3),
+        });
+        let mut ap = Antipode::new(sim.clone());
+        ap.register(flaky);
+        let l = lineage_with(&[("db", "k", 1)]);
+        let report = sim.block_on(async move { ap.barrier(&l, HERE).await.unwrap() });
+        assert_eq!(report.waited_for, 1);
+        assert_eq!(report.waits.len(), 1);
+        let w = &report.waits[0];
+        assert_eq!(w.datastore, "db");
+        assert_eq!(w.retries, 3);
+        // Backoff 100 + 200 + 400 ms at minimum.
+        assert!(w.blocked >= Duration::from_millis(700), "blocked {w:?}");
+    }
+
+    #[test]
+    fn barrier_exhausts_retries_and_surfaces_error() {
+        let sim = Sim::new(0);
+        let base = TestStore::new(&sim, "db");
+        let flaky = Rc::new(FlakyStore {
+            base,
+            remaining_failures: std::cell::Cell::new(u32::MAX),
+        });
+        let mut ap = Antipode::new(sim.clone()).with_retry(BarrierRetry {
+            max_attempts: 2,
+            ..BarrierRetry::default()
+        });
+        ap.register(flaky);
+        let l = lineage_with(&[("db", "k", 1)]);
+        let err = sim.block_on(async move { ap.barrier(&l, HERE).await.unwrap_err() });
+        assert_eq!(
+            err,
+            BarrierError::Wait(WaitError::StoreUnavailable("db@outage".into()))
+        );
+    }
+
+    #[test]
+    fn report_breaks_waits_down_by_store() {
+        let sim = Sim::new(0);
+        let a = TestStore::new(&sim, "a");
+        let b = TestStore::new(&sim, "b");
+        a.visible_after("x", 1, Duration::from_millis(100));
+        b.visible_after("y", 1, Duration::from_millis(300));
+        let mut ap = Antipode::new(sim.clone());
+        ap.register(a);
+        ap.register(b);
+        let l = lineage_with(&[("a", "x", 1), ("b", "y", 1)]);
+        let report = sim.block_on(async move { ap.barrier(&l, HERE).await.unwrap() });
+        assert_eq!(report.waits.len(), 2);
+        let get = |n: &str| report.waits.iter().find(|w| w.datastore == n).unwrap();
+        assert_eq!(get("a").deps, 1);
+        assert_eq!(get("b").deps, 1);
+        assert_eq!(get("a").retries + get("b").retries, 0);
+        assert!(get("b").blocked >= Duration::from_millis(100));
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod idgen;
 pub mod registry;
 pub mod wait;
 
-pub use barrier::{Antipode, BarrierError, BarrierReport, DryRunReport};
+pub use barrier::{Antipode, BarrierError, BarrierReport, BarrierRetry, DryRunReport, StoreWait};
 pub use checker::{Checkpoint, ConsistencyChecker, LocationStats};
 pub use ctx::LineageCtx;
 pub use idgen::LineageIdGen;

@@ -9,8 +9,10 @@
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
+use std::time::Duration;
 
 use antipode_sim::dist::Dist;
+use antipode_sim::fault::FaultPlan;
 use antipode_sim::net::Network;
 use antipode_sim::rng::SimRng;
 use antipode_sim::sync::{channel, oneshot, OneSender, Receiver, Sender};
@@ -91,8 +93,15 @@ struct QueueInner {
     state: RefCell<HashMap<Region, RegionState>>,
     next_id: Cell<u64>,
     rng: RefCell<SimRng>,
-    paused: RefCell<HashSet<Region>>,
-    resume: antipode_sim::sync::Notify,
+    /// The simulation-wide chaos schedule (broker outages, delivery drops,
+    /// pauses, partitions).
+    faults: FaultPlan,
+    /// Backoff before a dropped delivery attempt is retried.
+    redelivery: RefCell<Dist>,
+    /// When set, a message taken by a group consumer that is not acked
+    /// within this interval is redelivered to the group — so a crashed
+    /// consumer cannot strand a message.
+    visibility_timeout: Cell<Option<Duration>>,
 }
 
 /// A simulated geo-replicated queue / pub-sub system.
@@ -127,8 +136,9 @@ impl QueueStore {
                 state: RefCell::new(state),
                 next_id: Cell::new(1),
                 rng,
-                paused: RefCell::new(HashSet::new()),
-                resume: antipode_sim::sync::Notify::new(),
+                faults: sim.faults(),
+                redelivery: RefCell::new(Dist::constant_ms(200.0)),
+                visibility_timeout: Cell::new(None),
             }),
         }
     }
@@ -156,6 +166,17 @@ impl QueueStore {
     /// asynchronously.
     pub async fn publish(&self, origin: Region, payload: Bytes) -> Result<u64, StoreError> {
         self.check_region(origin)?;
+        // A broker outage blocks the publish itself; the publisher resumes
+        // the moment the outage window closes.
+        {
+            let faults = self.inner.faults.clone();
+            let q = self.clone();
+            faults
+                .until_clear(&self.inner.sim, move |at| {
+                    q.inner.faults.queue_down(at, &q.inner.name)
+                })
+                .await;
+        }
         let lat = {
             let mut rng = self.inner.rng.borrow_mut();
             self.inner.profile.local_publish.sample_duration(&mut rng)
@@ -183,9 +204,42 @@ impl QueueStore {
             let payload = payload.clone();
             self.inner.sim.spawn(async move {
                 store.inner.sim.sleep(lag).await;
-                while store.inner.paused.borrow().contains(&dest) {
-                    store.inner.resume.notified().await;
+                // Each delivery attempt can be dropped (broker-side loss);
+                // dropped attempts are redelivered after a backoff.
+                loop {
+                    let drop_p = store
+                        .inner
+                        .faults
+                        .delivery_drop(store.inner.sim.now(), &store.inner.name);
+                    let (dropped, backoff) = {
+                        let mut rng = store.inner.rng.borrow_mut();
+                        let dropped = {
+                            use rand::Rng;
+                            drop_p > 0.0 && rng.random::<f64>() < drop_p
+                        };
+                        let backoff = store.inner.redelivery.borrow().sample_duration(&mut rng);
+                        (dropped, backoff)
+                    };
+                    if !dropped {
+                        break;
+                    }
+                    store.inner.sim.sleep(backoff).await;
                 }
+                // A paused destination, broker outage, or severed link holds
+                // the delivery until the fault clears.
+                let faults = store.inner.faults.clone();
+                let blocked = store.clone();
+                faults
+                    .until_clear(&store.inner.sim, move |at| {
+                        blocked
+                            .inner
+                            .faults
+                            .delivery_paused(at, &blocked.inner.name, dest)
+                            || blocked.inner.faults.queue_down(at, &blocked.inner.name)
+                            || (dest != origin
+                                && blocked.inner.faults.link_blocked(at, origin, dest))
+                    })
+                    .await;
                 store.deliver(
                     dest,
                     QueueMessage {
@@ -354,15 +408,61 @@ impl QueueStore {
         }
     }
 
-    /// Fault injection: hold deliveries to `region` until resumed.
+    /// Fault injection: hold deliveries to `region` until resumed. Thin
+    /// wrapper over the simulation's [`FaultPlan`].
     pub fn pause_delivery(&self, region: Region) {
-        self.inner.paused.borrow_mut().insert(region);
+        self.inner
+            .faults
+            .pause_queue_delivery(&self.inner.name, region);
     }
 
     /// Ends a [`QueueStore::pause_delivery`] stall.
     pub fn resume_delivery(&self, region: Region) {
-        self.inner.paused.borrow_mut().remove(&region);
-        self.inner.resume.notify_all();
+        self.inner
+            .faults
+            .resume_queue_delivery(&self.inner.name, region);
+    }
+
+    /// Fault injection: probability each delivery attempt is dropped
+    /// (dropped attempts are redelivered after the redelivery interval).
+    /// Thin wrapper over the [`FaultPlan`].
+    pub fn set_delivery_drop_probability(&self, p: f64) {
+        self.inner.faults.set_delivery_drop(&self.inner.name, p);
+    }
+
+    /// Sets the backoff before a dropped delivery attempt is retried.
+    pub fn set_redelivery_interval(&self, d: Dist) {
+        *self.inner.redelivery.borrow_mut() = d;
+    }
+
+    /// Enables (or disables, with `None`) the consumer-group visibility
+    /// timeout: a message taken by a group member but not acknowledged
+    /// within `t` is redelivered to the group, so a crashed consumer cannot
+    /// strand it. Mirrors SQS-style at-least-once work queues.
+    pub fn set_visibility_timeout(&self, t: Option<Duration>) {
+        self.inner.visibility_timeout.set(t);
+    }
+
+    /// Hands a message back to a group: a live waiter gets it immediately,
+    /// otherwise it queues as pending.
+    fn requeue_for_group(&self, region: Region, group: &str, msg: QueueMessage) {
+        let mut state = self.inner.state.borrow_mut();
+        let Some(gs) = state
+            .get_mut(&region)
+            .and_then(|rs| rs.groups.get_mut(group))
+        else {
+            return;
+        };
+        let mut msg = Some(msg);
+        while let Some(tx) = gs.waiters.pop_front() {
+            match tx.send(msg.take().expect("present until sent")) {
+                Ok(()) => return,
+                Err(back) => msg = Some(back),
+            }
+        }
+        if let Some(m) = msg {
+            gs.pending.push_back(m);
+        }
     }
 }
 
@@ -376,7 +476,8 @@ pub struct GroupConsumer {
 
 impl GroupConsumer {
     /// Takes the next message destined for this group (exactly-once within
-    /// the group). Waits if none is pending.
+    /// the group, at-least-once when a visibility timeout is set). Waits if
+    /// none is pending.
     pub async fn take(&self) -> QueueMessage {
         loop {
             let rx = {
@@ -388,6 +489,8 @@ impl GroupConsumer {
                     .get_mut(&self.group)
                     .expect("group created at join");
                 if let Some(m) = gs.pending.pop_front() {
+                    drop(state);
+                    self.arm_redelivery(&m);
                     return m;
                 }
                 let (tx, rx) = oneshot();
@@ -395,6 +498,7 @@ impl GroupConsumer {
                 rx
             };
             if let Ok(m) = rx.await {
+                self.arm_redelivery(&m);
                 return m;
             }
         }
@@ -402,13 +506,36 @@ impl GroupConsumer {
 
     /// Non-blocking take.
     pub fn try_take(&self) -> Option<QueueMessage> {
-        let mut state = self.store.inner.state.borrow_mut();
-        state
-            .get_mut(&self.region)?
-            .groups
-            .get_mut(&self.group)?
-            .pending
-            .pop_front()
+        let m = {
+            let mut state = self.store.inner.state.borrow_mut();
+            state
+                .get_mut(&self.region)?
+                .groups
+                .get_mut(&self.group)?
+                .pending
+                .pop_front()?
+        };
+        self.arm_redelivery(&m);
+        Some(m)
+    }
+
+    /// If a visibility timeout is configured, schedule the message for
+    /// redelivery to this group unless it gets acked in time.
+    fn arm_redelivery(&self, msg: &QueueMessage) {
+        let Some(timeout) = self.store.inner.visibility_timeout.get() else {
+            return;
+        };
+        let store = self.store.clone();
+        let region = self.region;
+        let group = self.group.clone();
+        let msg = msg.clone();
+        let sim = store.inner.sim.clone();
+        sim.spawn(async move {
+            store.inner.sim.sleep(timeout).await;
+            if !store.is_acked(region, msg.id) {
+                store.requeue_for_group(region, &group, msg);
+            }
+        });
     }
 
     /// Acknowledges a taken message (work-queue wait semantics).

@@ -7,19 +7,23 @@
 //! Table 1 / Fig 6 / Fig 7 results. Each replica maintains visibility
 //! waiters so shim `wait` implementations can subscribe instead of polling.
 //!
-//! Failure injection: replication messages can be dropped (with retry) or a
-//! destination can be paused entirely, modelling stalls.
+//! Failure injection is driven by the simulation's [`FaultPlan`]: replication
+//! messages can be dropped (with retry), a destination can be stalled, links
+//! can partition, and whole regions can go dark. The store's legacy knobs
+//! ([`KvStore::set_drop_probability`], [`KvStore::pause_replication`], …)
+//! are thin wrappers over the plan.
 
 use std::cell::{Cell, RefCell};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::rc::Rc;
 #[cfg(test)]
 use std::time::Duration;
 
 use antipode_sim::dist::Dist;
+use antipode_sim::fault::FaultPlan;
 use antipode_sim::net::Network;
 use antipode_sim::rng::SimRng;
-use antipode_sim::sync::{oneshot, Notify, OneSender};
+use antipode_sim::sync::{oneshot, OneSender};
 use antipode_sim::{Region, Sim, SimTime};
 use bytes::Bytes;
 
@@ -55,12 +59,24 @@ impl Default for KvProfile {
 pub enum StoreError {
     /// The store has no replica in the named region.
     NoSuchRegion(Region),
+    /// The replica exists but is inside a region-outage window: the store
+    /// rejects the operation until the region heals. Barrier retry policies
+    /// treat this as transient.
+    Unavailable {
+        /// The store name.
+        store: String,
+        /// The region that is down.
+        region: Region,
+    },
 }
 
 impl std::fmt::Display for StoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             StoreError::NoSuchRegion(r) => write!(f, "no replica in region {r}"),
+            StoreError::Unavailable { store, region } => {
+                write!(f, "store {store} unavailable in region {region} (outage)")
+            }
         }
     }
 }
@@ -98,14 +114,9 @@ struct KvInner {
     replicas: RefCell<HashMap<Region, ReplicaState>>,
     next_version: Cell<u64>,
     rng: RefCell<SimRng>,
-    // Failure injection.
-    drop_probability: Cell<f64>,
-    paused: RefCell<HashSet<Region>>,
-    resume: Notify,
-    /// Additional lag applied to replication sends while set — used to model
-    /// time-correlated congestion episodes (e.g. MongoDB oplog backlog under
-    /// WAN stress, §7.3).
-    extra_lag: RefCell<Option<Dist>>,
+    /// The simulation-wide chaos schedule; every fault this store observes
+    /// (drops, stalls, partitions, outages, congestion) comes from here.
+    faults: FaultPlan,
 }
 
 /// A simulated geo-replicated key-value store.
@@ -141,10 +152,7 @@ impl KvStore {
                 replicas: RefCell::new(replicas),
                 next_version: Cell::new(1),
                 rng,
-                drop_probability: Cell::new(0.0),
-                paused: RefCell::new(HashSet::new()),
-                resume: Notify::new(),
-                extra_lag: RefCell::new(None),
+                faults: sim.faults(),
             }),
         }
     }
@@ -172,11 +180,24 @@ impl KvStore {
         }
     }
 
+    /// Like [`KvStore::check_region`], but also rejects regions inside a
+    /// [`antipode_sim::fault::FaultKind::RegionOutage`] window.
+    fn check_available(&self, region: Region) -> Result<(), StoreError> {
+        self.check_region(region)?;
+        if self.inner.faults.region_down(self.inner.sim.now(), region) {
+            return Err(StoreError::Unavailable {
+                store: self.inner.name.clone(),
+                region,
+            });
+        }
+        Ok(())
+    }
+
     /// Writes `value` under `key` at the replica in `origin`. Commits locally
     /// (after the profile's commit latency), kicks off asynchronous
     /// replication to every other replica, and returns the assigned version.
     pub async fn put(&self, origin: Region, key: &str, value: Bytes) -> Result<u64, StoreError> {
-        self.check_region(origin)?;
+        self.check_available(origin)?;
         let commit = {
             let mut rng = self.inner.rng.borrow_mut();
             self.inner.profile.local_write.sample_duration(&mut rng)
@@ -204,24 +225,25 @@ impl KvStore {
         let store = self.clone();
         self.inner.sim.spawn(async move {
             loop {
+                let now = store.inner.sim.now();
+                let drop_p = store.inner.faults.replication_drop(now, &store.inner.name);
                 let (dropped, backoff, lag) = {
                     let mut rng = store.inner.rng.borrow_mut();
                     let dropped = {
                         use rand::Rng;
-                        rng.random::<f64>() < store.inner.drop_probability.get()
+                        rng.random::<f64>() < drop_p
                     };
                     let backoff = store.inner.profile.retry_interval.sample_duration(&mut rng);
                     let extra = store.inner.profile.replication.sample_duration(&mut rng);
                     let transit = store
                         .inner
                         .net
-                        .delay(&mut *rng, origin, dest)
+                        .delay_faulted(&mut *rng, origin, dest, &store.inner.faults, now)
                         .mul_f64(store.inner.profile.rtt_hops);
                     let congestion = store
                         .inner
-                        .extra_lag
-                        .borrow()
-                        .as_ref()
+                        .faults
+                        .replication_extra_lag(&store.inner.name)
                         .map(|d| d.sample_duration(&mut rng))
                         .unwrap_or_default();
                     (dropped, backoff, extra + transit + congestion)
@@ -231,10 +253,19 @@ impl KvStore {
                     continue;
                 }
                 store.inner.sim.sleep(lag).await;
-                // A paused destination holds the message until resumed.
-                while store.inner.paused.borrow().contains(&dest) {
-                    store.inner.resume.notified().await;
-                }
+                // A stalled destination, a partition, or a down region holds
+                // the message until the fault clears.
+                let faults = store.inner.faults.clone();
+                let blocked_store = store.clone();
+                faults
+                    .until_clear(&store.inner.sim, move |at| {
+                        blocked_store.inner.faults.replication_stalled(
+                            at,
+                            &blocked_store.inner.name,
+                            dest,
+                        ) || blocked_store.inner.faults.link_blocked(at, origin, dest)
+                    })
+                    .await;
                 store.apply(dest, &key, version, value);
                 return;
             }
@@ -297,7 +328,7 @@ impl KvStore {
 
     /// Reads the latest locally visible value (regular, possibly stale read).
     pub async fn get(&self, region: Region, key: &str) -> Result<Option<StoredValue>, StoreError> {
-        self.check_region(region)?;
+        self.check_available(region)?;
         let lat = {
             let mut rng = self.inner.rng.borrow_mut();
             self.inner.profile.local_read.sample_duration(&mut rng)
@@ -325,8 +356,9 @@ impl KvStore {
         from: Region,
         key: &str,
     ) -> Result<Option<StoredValue>, StoreError> {
-        self.check_region(from)?;
+        self.check_available(from)?;
         let primary = self.primary();
+        self.check_available(primary)?;
         let rtt = {
             let mut rng = self.inner.rng.borrow_mut();
             let go = self.inner.net.delay(&mut *rng, from, primary);
@@ -354,7 +386,7 @@ impl KvStore {
         key: &str,
         version: u64,
     ) -> Result<(), StoreError> {
-        self.check_region(region)?;
+        self.check_available(region)?;
         loop {
             let rx = {
                 let mut replicas = self.inner.replicas.borrow_mut();
@@ -383,28 +415,33 @@ impl KvStore {
     }
 
     /// Fault injection: probability each replication send attempt is dropped
-    /// (dropped sends retry after the profile's `retry_interval`).
+    /// (dropped sends retry after the profile's `retry_interval`). Thin
+    /// wrapper over the simulation's [`FaultPlan`].
     pub fn set_drop_probability(&self, p: f64) {
-        self.inner.drop_probability.set(p.clamp(0.0, 1.0));
+        self.inner.faults.set_replication_drop(&self.inner.name, p);
     }
 
     /// Fault injection: stop applying replication at `region` until
-    /// [`KvStore::resume_replication`].
+    /// [`KvStore::resume_replication`]. Thin wrapper over the [`FaultPlan`].
     pub fn pause_replication(&self, region: Region) {
-        self.inner.paused.borrow_mut().insert(region);
+        self.inner
+            .faults
+            .stall_replication(&self.inner.name, region);
     }
 
     /// Ends a [`KvStore::pause_replication`] stall.
     pub fn resume_replication(&self, region: Region) {
-        self.inner.paused.borrow_mut().remove(&region);
-        self.inner.resume.notify_all();
+        self.inner
+            .faults
+            .unstall_replication(&self.inner.name, region);
     }
 
     /// Congestion injection: adds `lag` to every replication send while set
     /// (pass `None` to clear). Used to model time-correlated congestion
-    /// episodes, e.g. MongoDB oplog backlog under WAN stress (§7.3).
+    /// episodes, e.g. MongoDB oplog backlog under WAN stress (§7.3). Thin
+    /// wrapper over the [`FaultPlan`].
     pub fn set_extra_replication_lag(&self, lag: Option<Dist>) {
-        *self.inner.extra_lag.borrow_mut() = lag;
+        self.inner.faults.set_replication_lag(&self.inner.name, lag);
     }
 
     /// Number of pending visibility waiters at a replica (diagnostics).
@@ -642,6 +679,61 @@ mod tests {
             }
         });
         assert!(second < Duration::from_secs(2), "cleared lag {second:?}");
+    }
+
+    #[test]
+    fn region_outage_rejects_ops_then_heals() {
+        use antipode_sim::fault::FaultKind;
+        let (sim, store) = setup(fast_profile());
+        sim.faults().schedule(
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+            FaultKind::RegionOutage { region: US },
+        );
+        let s = store.clone();
+        sim.block_on({
+            let sim = sim.clone();
+            async move {
+                // Writes at a healthy region succeed; US operations fail fast.
+                let v = s.put(EU, "k", Bytes::from_static(b"x")).await.unwrap();
+                assert!(matches!(
+                    s.get(US, "k").await.unwrap_err(),
+                    StoreError::Unavailable { .. }
+                ));
+                assert!(matches!(
+                    s.wait_visible(US, "k", v).await.unwrap_err(),
+                    StoreError::Unavailable { .. }
+                ));
+                // Replication into the dark region is held at the boundary…
+                sim.sleep(Duration::from_secs(5)).await;
+                assert!(s.get_sync(US, "k").is_none());
+                // …and lands deterministically once the outage heals.
+                sim.sleep_until(SimTime::from_secs(10)).await;
+                s.wait_visible(US, "k", v).await.unwrap();
+                assert!(s.is_visible(US, "k", v));
+            }
+        });
+    }
+
+    #[test]
+    fn partition_window_holds_replication() {
+        use antipode_sim::fault::FaultKind;
+        let (sim, store) = setup(fast_profile());
+        sim.faults().schedule(
+            SimTime::ZERO,
+            SimTime::from_secs(30),
+            FaultKind::Partition { a: EU, b: US },
+        );
+        let s = store.clone();
+        sim.block_on(async move {
+            let v = s.put(EU, "k", Bytes::new()).await.unwrap();
+            // SG is unaffected by the EU↔US partition.
+            s.wait_visible(SG, "k", v).await.unwrap();
+            assert!(!s.is_visible(US, "k", v));
+            // The partitioned destination catches up right at the heal edge.
+            s.wait_visible(US, "k", v).await.unwrap();
+            assert!(s.inner.sim.now() >= SimTime::from_secs(30));
+        });
     }
 
     #[test]

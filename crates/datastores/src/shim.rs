@@ -46,6 +46,9 @@ impl From<StoreError> for ShimError {
 fn map_wait_err(e: StoreError) -> WaitError {
     match e {
         StoreError::NoSuchRegion(r) => WaitError::NoReplicaInRegion(r),
+        StoreError::Unavailable { store, region } => {
+            WaitError::StoreUnavailable(format!("{store}@{region}"))
+        }
     }
 }
 

@@ -7,7 +7,9 @@
 //!   throughput/latency saturation curves appear in Figs 8–9);
 //! - [`RequestCtx`]: baggage + lineage context propagation per request;
 //! - [`rpc`]: typed endpoints with automatic lineage propagation on request
-//!   *and* response (§6.2);
+//!   *and* response (§6.2), plus per-attempt timeouts, exponential-backoff
+//!   retries with deterministic jitter, and circuit breakers for riding out
+//!   chaos-plane faults;
 //! - [`workload`]: open-loop Poisson and closed-loop drivers with
 //!   latency/throughput metrics.
 
@@ -20,7 +22,9 @@ pub mod service;
 pub mod workload;
 
 pub use request::RequestCtx;
-pub use rpc::{call_and_absorb, Endpoint};
+pub use rpc::{
+    call_and_absorb, BreakerConfig, BreakerState, CircuitBreaker, Endpoint, RetryPolicy, RpcError,
+};
 pub use runtime::Runtime;
 pub use service::{Service, ServiceSpec};
 pub use workload::{run_open_loop, ClosedLoop, LoadMetrics, OpenLoop};

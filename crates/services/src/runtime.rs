@@ -43,11 +43,21 @@ impl Runtime {
     }
 
     /// One-way message transit from `from` to `to` (an RPC request leg, a
-    /// queue hand-off, …).
+    /// queue hand-off, …). Consults the simulation's [fault
+    /// plan](antipode_sim::FaultPlan): the message parks while the link is
+    /// partitioned or either region is down, and active link-degradation
+    /// windows add extra sampled delay. With no active faults this costs
+    /// exactly one latency sample, as before.
     pub async fn hop(&self, from: Region, to: Region) {
+        let faults = self.sim.faults();
+        let pred = faults.clone();
+        faults
+            .until_clear(&self.sim, move |at| pred.link_blocked(at, from, to))
+            .await;
         let d = {
             let mut rng = self.rng.borrow_mut();
-            self.net.delay(&mut *rng, from, to)
+            self.net
+                .delay_faulted(&mut *rng, from, to, &faults, self.sim.now())
         };
         self.sim.sleep(d).await;
     }

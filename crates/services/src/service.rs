@@ -90,9 +90,23 @@ impl Service {
         self.inner.spec.region
     }
 
+    /// Parks while the simulation's fault plan has this service crashed
+    /// (an active [`antipode_sim::FaultKind::ServiceCrash`] window). Returns
+    /// immediately — without yielding — when the service is up, so fault-free
+    /// runs are timing-identical to a build without the chaos plane.
+    async fn await_alive(&self) {
+        let faults = self.inner.sim.faults();
+        let pred = faults.clone();
+        let name = self.inner.spec.name.clone();
+        faults
+            .until_clear(&self.inner.sim, move |at| pred.service_down(at, &name))
+            .await;
+    }
+
     /// Executes one handler step: queue for a worker, hold it for a sampled
     /// service time. This is the unit of CPU work in the apps.
     pub async fn process(&self) {
+        self.await_alive().await;
         let _permit = self.inner.sem.acquire().await;
         let d = {
             let mut rng = self.inner.rng.borrow_mut();
@@ -104,6 +118,7 @@ impl Service {
     /// Executes a handler step of a custom duration factor (e.g. heavier
     /// endpoints costing several base steps).
     pub async fn process_scaled(&self, factor: f64) {
+        self.await_alive().await;
         let _permit = self.inner.sem.acquire().await;
         let d = {
             let mut rng = self.inner.rng.borrow_mut();

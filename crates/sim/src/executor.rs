@@ -19,6 +19,7 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
+use crate::fault::FaultPlan;
 use crate::rng::{derived_rng, SimRng};
 use crate::sync::{oneshot, OneReceiver, RecvError};
 use crate::time::SimTime;
@@ -89,6 +90,7 @@ struct Inner {
     ready: Arc<ReadyQueue>,
     timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
     seed: u64,
+    faults: FaultPlan,
 }
 
 /// Handle to the simulation. Cheap to clone; every service, datastore and
@@ -117,6 +119,7 @@ impl Sim {
                 ready: Arc::new(ReadyQueue::default()),
                 timers: RefCell::new(BinaryHeap::new()),
                 seed,
+                faults: FaultPlan::new(),
             }),
         }
     }
@@ -129,6 +132,12 @@ impl Sim {
     /// The master seed of this run.
     pub fn seed(&self) -> u64 {
         self.inner.seed
+    }
+
+    /// The simulation's [`FaultPlan`] — the single chaos schedule every
+    /// layer (network, stores, services) consults. Cheap to clone.
+    pub fn faults(&self) -> FaultPlan {
+        self.inner.faults.clone()
     }
 
     /// A deterministic RNG stream for the named component, independent of

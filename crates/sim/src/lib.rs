@@ -13,6 +13,8 @@
 //! - [`executor`]: the [`Sim`] executor, tasks, sleeping, timeouts;
 //! - [`sync`]: oneshot/mpsc channels, a fair [`sync::Semaphore`], [`sync::Notify`];
 //! - [`net`]: [`net::Region`]s and inter-region latency models;
+//! - [`fault`]: the [`FaultPlan`] chaos schedule (outages, partitions,
+//!   drop/stall episodes) consulted by every layer;
 //! - [`dist`]: latency distributions (log-normal, mixtures, …);
 //! - [`metrics`]: sample sets, histograms, rate counters;
 //! - [`rng`]: deterministic ChaCha streams;
@@ -35,6 +37,7 @@
 
 pub mod dist;
 pub mod executor;
+pub mod fault;
 pub mod metrics;
 pub mod net;
 pub mod rng;
@@ -43,6 +46,7 @@ pub mod time;
 
 pub use dist::Dist;
 pub use executor::{join_all, timeout, Elapsed, Interval, JoinHandle, Sim, Sleep};
+pub use fault::{FaultKind, FaultPlan, FaultWindow};
 pub use metrics::{Histogram, RateCounter, Samples, Summary};
 pub use net::{Network, Region};
 pub use rng::SimRng;

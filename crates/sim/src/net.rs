@@ -95,6 +95,25 @@ impl Network {
         self.latency_dist(from, to).sample_duration(rng)
     }
 
+    /// Samples a one-way delay consulting the fault plan: any active
+    /// [`crate::fault::FaultKind::LinkDegraded`] window on the link adds an
+    /// extra sampled delay (congestion, loss-with-retransmission). When no
+    /// degradation is active this draws exactly as [`Network::delay`].
+    pub fn delay_faulted<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        from: Region,
+        to: Region,
+        faults: &crate::fault::FaultPlan,
+        at: crate::time::SimTime,
+    ) -> Duration {
+        let base = self.latency_dist(from, to).sample_duration(rng);
+        match faults.link_extra_delay(at, from, to) {
+            Some(extra) => base + extra.sample_duration(rng),
+            None => base,
+        }
+    }
+
     /// The evaluation's default topology: US, EU, SG with public-cloud-like
     /// one-way latencies and small jitter.
     pub fn global_triangle() -> Network {

@@ -1,0 +1,1 @@
+//! Offline placeholder — resolves the dependency graph without the network; never compiled by tier-1 targets.

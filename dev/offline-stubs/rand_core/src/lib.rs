@@ -1,0 +1,58 @@
+//! Offline API-compatible subset of `rand_core` 0.9 — just enough surface for
+//! this workspace to build and test without network access. See
+//! `dev/offline-stubs/README.md`.
+
+/// A source of uniformly distributed random bits.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut i = 0;
+        while i < dest.len() {
+            let chunk = self.next_u64().to_le_bytes();
+            let n = (dest.len() - i).min(8);
+            dest[i..i + n].copy_from_slice(&chunk[..n]);
+            i += n;
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized, T: core::ops::DerefMut<Target = R>> RngCore for T {
+    fn next_u32(&mut self) -> u32 {
+        self.deref_mut().next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.deref_mut().next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.deref_mut().fill_bytes(dest)
+    }
+}
+
+/// An RNG constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (e.g. `[u8; 32]`).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the RNG from a seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the RNG from a `u64`, spread over the full seed via splitmix64.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for b in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = b.len();
+            b.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}

@@ -148,6 +148,84 @@ fn queue_pause_stalls_consumers_but_not_publishers() {
 }
 
 #[test]
+fn broker_outage_mid_fanout_stalls_delivery_until_heal() {
+    use antipode_sim::{FaultKind, SimTime};
+    let sim = Sim::new(0xFA19);
+    let net = Rc::new(Network::global_triangle());
+    let q = QueueStore::new(&sim, net, "q", &[EU, US], Default::default());
+    // The broker goes down just after the publish commits and stays down
+    // for 20 virtual seconds: the fan-out is caught mid-flight.
+    sim.faults().schedule(
+        SimTime::from_millis(1),
+        SimTime::from_secs(20),
+        FaultKind::QueueOutage { broker: "q".into() },
+    );
+    let q2 = q.clone();
+    let id = sim
+        .clone()
+        .block_on(async move { q2.publish(EU, Bytes::from_static(b"m")).await.unwrap() });
+    sim.run_for(Duration::from_secs(10));
+    assert!(
+        !q.is_visible(US, id) && !q.is_visible(EU, id),
+        "no delivery lands during the outage"
+    );
+    sim.run_for(Duration::from_secs(15));
+    assert!(q.is_visible(EU, id), "local delivery after heal");
+    assert!(q.is_visible(US, id), "remote delivery after heal");
+}
+
+#[test]
+fn dropped_deliveries_are_redelivered() {
+    let sim = Sim::new(0xFA20);
+    let net = Rc::new(Network::global_triangle());
+    let q = QueueStore::new(&sim, net, "q", &[EU, US], Default::default());
+    q.set_delivery_drop_probability(0.8);
+    q.set_redelivery_interval(Dist::constant_ms(50.0));
+    let q2 = q.clone();
+    sim.clone().block_on(async move {
+        let id = q2.publish(EU, Bytes::from_static(b"m")).await.unwrap();
+        // At-least-once: despite an 80% per-attempt drop rate, redelivery
+        // retries until every region has the message.
+        q2.wait_visible(US, id).await.unwrap();
+        q2.wait_visible(EU, id).await.unwrap();
+        assert!(q2.is_visible(US, id));
+    });
+}
+
+#[test]
+fn consumer_crash_redelivers_to_group_and_ack_wait_resolves() {
+    let sim = Sim::new(0xFA21);
+    let net = Rc::new(Network::global_triangle());
+    let q = QueueStore::new(&sim, net, "q", &[EU, US], Default::default());
+    q.set_visibility_timeout(Some(Duration::from_secs(2)));
+    let q2 = q.clone();
+    let sim2 = sim.clone();
+    sim.clone().block_on(async move {
+        let sim = sim2;
+        // The group must exist before delivery for the message to queue up.
+        let crashed = q2.join_group(US, "workers").unwrap();
+        let id = q2.publish(EU, Bytes::from_static(b"job")).await.unwrap();
+        q2.wait_visible(US, id).await.unwrap();
+        // Consumer 1 takes the message and crashes before acking.
+        let taken = crashed.take().await;
+        assert_eq!(taken.id, id);
+        drop(crashed); // never acks
+                       // Consumer 2 joins the same group; the visibility timeout fires and
+                       // the unacked message is redelivered to it.
+        let survivor = q2.join_group(US, "workers").unwrap();
+        let redelivered = survivor.take().await;
+        assert_eq!(redelivered.id, id, "unacked message is redelivered");
+        assert!(
+            sim.now().since(antipode_sim::SimTime::ZERO) >= Duration::from_secs(2),
+            "redelivery waits out the visibility timeout"
+        );
+        survivor.ack(&redelivered).unwrap();
+        // Processed-semantics waiters unblock only now.
+        q2.wait_acked(US, id).await.unwrap();
+    });
+}
+
+#[test]
 fn supersession_satisfies_waits_during_faults() {
     // Version 1's replication is lost forever? No — but even if v1 arrives
     // after v2, waiting on v1 is satisfied by v2 (§5.2 "superseded").

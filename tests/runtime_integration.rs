@@ -8,11 +8,13 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use antipode::{Antipode, LineageIdGen};
-use antipode_runtime::rpc::{call_and_absorb, Endpoint};
+use antipode_runtime::rpc::{
+    call_and_absorb, BreakerConfig, BreakerState, CircuitBreaker, Endpoint, RetryPolicy, RpcError,
+};
 use antipode_runtime::{RequestCtx, Runtime, Service, ServiceSpec};
 use antipode_sim::net::regions::{EU, US};
 use antipode_sim::net::Network;
-use antipode_sim::{RateCounter, Sim};
+use antipode_sim::{FaultKind, RateCounter, Sim, SimTime};
 use antipode_store::shim::{KvShim, QueueShim};
 use antipode_store::{MySql, Sns};
 use bytes::Bytes;
@@ -155,4 +157,114 @@ fn antipode_flow_is_violation_free() {
     let v = run_flow(true, 120);
     assert_eq!(v.total(), 120);
     assert_eq!(v.hits(), 0);
+}
+
+/// A service crash mid-request: the client's timeout/retry/breaker protocol
+/// sheds load while the callee is down, recovers once it heals, and the
+/// eventual barrier-gated read still observes the write — resilience never
+/// comes at the cost of XCY.
+#[test]
+fn rpc_retries_ride_out_a_service_crash_without_violating_xcy() {
+    let sim = Sim::new(0x0F2);
+    let net = Rc::new(Network::global_triangle());
+    let rt = Runtime::new(&sim, net.clone());
+    let posts = MySql::new(&sim, net, "post-storage", &[EU, US]);
+    let post_shim = KvShim::new(posts.store().clone());
+    let mut ap = Antipode::new(sim.clone());
+    ap.register(Rc::new(post_shim.clone()));
+
+    // The post-storage service is crashed for virtual seconds [1, 20).
+    sim.faults().schedule(
+        SimTime::from_secs(1),
+        SimTime::from_secs(20),
+        FaultKind::ServiceCrash {
+            service: "post-storage".into(),
+        },
+    );
+
+    let breaker = CircuitBreaker::new(BreakerConfig {
+        failure_threshold: 3,
+        cooldown: Duration::from_secs(5),
+    });
+    let post_storage_ep = {
+        let shim = post_shim.clone();
+        Endpoint::new(
+            &rt,
+            Service::new(&sim, ServiceSpec::new("post-storage", EU)),
+            move |post_id: u64, mut ctx: RequestCtx| {
+                let shim = shim.clone();
+                async move {
+                    let mut lineage = ctx
+                        .lineage
+                        .stop()
+                        .unwrap_or_else(|| antipode::Lineage::new(antipode::LineageId(post_id)));
+                    shim.write(
+                        EU,
+                        &format!("post-{post_id}"),
+                        Bytes::from_static(b"body"),
+                        &mut lineage,
+                    )
+                    .await
+                    .expect("EU configured");
+                    ctx.lineage.adopt(lineage);
+                    (post_id, ctx)
+                }
+            },
+        )
+        .with_timeout(Duration::from_secs(2))
+        .with_retry(RetryPolicy {
+            max_attempts: 3,
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        })
+        .with_breaker(breaker.clone())
+    };
+
+    let sim2 = sim.clone();
+    sim.block_on(async move {
+        let sim = sim2;
+        let gen = LineageIdGen::new(1);
+        let mut ctx = RequestCtx::root(&gen);
+        // Issue the request at t = 2 s, mid-crash: every attempt times out
+        // and the third failure trips the breaker.
+        sim.sleep(Duration::from_secs(2)).await;
+        let err = post_storage_ep
+            .try_call_from(US, &ctx, 1)
+            .await
+            .unwrap_err();
+        assert_eq!(err, RpcError::Timeout { attempts: 3 });
+        assert_eq!(breaker.state(), BreakerState::Open);
+        // While the breaker is open, follow-up calls are shed instantly.
+        let before = sim.now();
+        let shed = post_storage_ep
+            .try_call_from(US, &ctx, 1)
+            .await
+            .unwrap_err();
+        assert_eq!(shed, RpcError::CircuitOpen);
+        assert_eq!(sim.now(), before, "shed calls never touch the network");
+        // A client-level retry loop: probes are admitted after each
+        // cooldown; once the service heals one of them succeeds.
+        let baggage = loop {
+            sim.sleep(Duration::from_secs(3)).await;
+            match post_storage_ep.try_call_from(US, &ctx, 1).await {
+                Ok((_, baggage)) => break baggage,
+                Err(_) => continue,
+            }
+        };
+        assert!(
+            sim.now().since(SimTime::ZERO) >= Duration::from_secs(20),
+            "success only after the crash window heals"
+        );
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        ctx.absorb_response(&baggage);
+        // The barrier-gated read in US observes the write: zero violations.
+        let lineage = ctx.current().expect("response carried a lineage").clone();
+        ap.barrier(&lineage, US).await.expect("shims registered");
+        let found = post_shim
+            .read(US, "post-1")
+            .await
+            .expect("US configured")
+            .is_some();
+        assert!(found, "barrier-gated read must observe the write");
+    });
 }
