@@ -1,0 +1,101 @@
+//! Criterion microbenchmarks for the zero-copy lineage plane: the hot paths
+//! the interner/COW/cached-encoding refactor targets (clone, hop, transfer,
+//! append, serialize with warm and cold caches, deserialize), plus a
+//! serialize-linearity sweep over dependency counts.
+//!
+//! The sweep is the regression guard for the old O(deps × stores) string
+//! table scan: `serialize_dirty/{4,16,64,256}` must grow linearly in the
+//! dependency count, not quadratically (asserted by the root
+//! `serialize_scaling_is_linear` test; the bench makes the curve visible).
+
+use antipode_lineage::{Baggage, Lineage, LineageId, WriteId};
+use antipode_bench::perf;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const SEED: u64 = 0xA471_90DE;
+
+fn bench_clone_and_hop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lineage_plane");
+    let lineage = perf::build_lineage(SEED, 16);
+
+    // Shallow clone: Rc bumps on deps + caches, no dep copies.
+    group.bench_function("clone_16dep", |b| {
+        b.iter(|| black_box(lineage.clone()));
+    });
+
+    // One full service hop: inject → header → parse → extract. The lineage
+    // is unchanged, so the injection re-uses the cached base64.
+    lineage.serialize(); // warm the caches, as a steady-state hop would see
+    group.bench_function("hop_unchanged_16dep", |b| {
+        b.iter(|| {
+            let mut bag = Baggage::new();
+            bag.set_lineage(&lineage);
+            let header = bag.to_header();
+            let back = Baggage::from_header(&header);
+            black_box(back.lineage().unwrap())
+        });
+    });
+
+    // The read-path union into a request that has no deps yet: adopts the
+    // shared vector, no merge.
+    group.bench_function("transfer_16dep_into_empty", |b| {
+        b.iter(|| {
+            let mut l = Lineage::new(LineageId(2));
+            l.transfer_from(&lineage);
+            black_box(l)
+        });
+    });
+
+    // Append to a shared lineage: pays one COW copy, then the push.
+    group.bench_function("append_to_shared_16dep", |b| {
+        let mut version = 0u64;
+        b.iter(|| {
+            let mut l = lineage.clone();
+            version += 1;
+            l.append(WriteId::new("post-storage-mongodb", "bench-key", version));
+            black_box(l)
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lineage_plane");
+    let lineage = perf::build_lineage(SEED, 16);
+    let bytes = lineage.serialize();
+
+    // Warm cache: what every unchanged hop pays — a memcpy of cached bytes.
+    group.bench_function("serialize_cached_16dep", |b| {
+        b.iter(|| black_box(lineage.serialize()));
+    });
+
+    group.bench_function("deserialize_16dep", |b| {
+        b.iter(|| black_box(Lineage::deserialize(&bytes).unwrap()));
+    });
+
+    // Cold cache: mutate, then serialize — the full encode each iteration.
+    // Swept over sizes to expose the complexity curve of the encoder; a
+    // relapse into the O(deps × stores) name scan shows up as
+    // super-linear growth between adjacent sizes.
+    for n in [4usize, 16, 64, 256] {
+        let base = perf::build_lineage(SEED, n);
+        group.bench_with_input(BenchmarkId::new("serialize_dirty", n), &base, |b, base| {
+            let mut version = 1_000_000u64;
+            b.iter(|| {
+                // Fresh clone each iteration so the lineage stays n-dep; the
+                // append pays the COW copy, the serialize the full encode.
+                let mut dirty = base.clone();
+                version += 1;
+                dirty.append(WriteId::new("social-graph-redis", "dirty-key", version));
+                black_box(dirty.serialize())
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_clone_and_hop, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Writes the lineage-plane perf baseline to `BENCH_lineage.json`.
+//!
+//! Usage: `perf_baseline [seed] [output-path]`. The default seed is fixed so
+//! CI runs and the committed artifact describe the same workload; the
+//! `deterministic` section of the output is identical across machines, the
+//! `timing` section is not.
+
+use antipode_bench::perf;
+
+const DEFAULT_SEED: u64 = 0xA471_90DE;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed = args
+        .next()
+        .map(|s| s.parse().expect("seed must be an integer"))
+        .unwrap_or(DEFAULT_SEED);
+    let path = args.next().unwrap_or_else(|| "BENCH_lineage.json".to_string());
+
+    let baseline = perf::run(seed);
+    let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
+    std::fs::write(&path, format!("{json}\n")).expect("baseline file writes");
+
+    let d = &baseline.deterministic;
+    let t = &baseline.timing;
+    println!("[artifact] {path}");
+    println!(
+        "deterministic: deps={} wire={}B header={}B cow_clones={} encodes={} cache_hits={} canonical_decodes={}",
+        d.final_deps,
+        d.final_wire_bytes,
+        d.final_header_bytes,
+        d.cow_dep_clones,
+        d.wire_encodes,
+        d.wire_cache_hits,
+        d.canonical_decodes,
+    );
+    println!(
+        "timing: clone={:.1}ns hop={:.1}ns ({:.0} hops/s) serialize cached={:.1}ns dirty={:.1}ns deserialize={:.1}ns transfer={:.1}ns",
+        t.clone_ns,
+        t.hop_ns,
+        t.hop_ops_per_sec,
+        t.serialize_cached_ns,
+        t.serialize_dirty_ns,
+        t.deserialize_ns,
+        t.transfer_into_empty_ns,
+    );
+}

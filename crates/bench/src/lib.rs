@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod perf;
 
 use std::fs;
 use std::path::PathBuf;

@@ -1,0 +1,36 @@
+//! The perf baseline's deterministic section must be exactly that: two
+//! same-seed runs — in fresh threads, so each starts from an empty
+//! thread-local interner — produce identical structural counters. This is
+//! what makes the committed `BENCH_lineage.json` comparable across machines
+//! and CI runs.
+
+use std::thread;
+
+use antipode_bench::perf;
+
+#[test]
+fn deterministic_metrics_are_identical_across_fresh_threads() {
+    let run = || perf::deterministic_workload(0xA471_90DE, perf::DEFAULT_DEPS, perf::DEFAULT_HOPS);
+    let a = thread::spawn(run).join().unwrap();
+    let b = thread::spawn(run).join().unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn baseline_deterministic_section_matches_standalone_workload() {
+    // `run` (the binary's entry point) must report the same deterministic
+    // metrics as calling the workload directly — the timing pass that runs
+    // alongside it must not perturb the counters.
+    let a = thread::spawn(|| perf::run(7).deterministic).join().unwrap();
+    let b = thread::spawn(|| perf::deterministic_workload(7, perf::DEFAULT_DEPS, perf::DEFAULT_HOPS))
+        .join()
+        .unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn seed_changes_the_workload() {
+    let a = thread::spawn(|| perf::deterministic_workload(1, 8, 32)).join().unwrap();
+    let b = thread::spawn(|| perf::deterministic_workload(2, 8, 32)).join().unwrap();
+    assert_ne!(a, b, "the workload must actually depend on its seed");
+}

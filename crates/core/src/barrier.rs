@@ -12,7 +12,7 @@ use std::fmt;
 use std::rc::Rc;
 use std::time::Duration;
 
-use antipode_lineage::{Lineage, WriteId};
+use antipode_lineage::{Lineage, StoreId, WriteId};
 use antipode_sim::{Region, Sim};
 
 use crate::registry::{ShimRegistry, UnknownStorePolicy};
@@ -107,6 +107,8 @@ impl BarrierRetry {
 /// Per-datastore wait telemetry from one barrier.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StoreWait {
+    /// Interned datastore id; grouping compares this, not the name.
+    pub store: StoreId,
     /// Datastore name.
     pub datastore: String,
     /// Dependencies on this store the barrier examined.
@@ -143,12 +145,15 @@ impl BarrierReport {
         }
     }
 
-    fn store_entry(&mut self, datastore: &str) -> &mut StoreWait {
-        if let Some(i) = self.waits.iter().position(|w| w.datastore == datastore) {
+    fn store_entry(&mut self, store: StoreId) -> &mut StoreWait {
+        // Integer compare per entry — the per-store grouping of a barrier
+        // never re-hashes or re-compares datastore name strings.
+        if let Some(i) = self.waits.iter().position(|w| w.store == store) {
             return &mut self.waits[i];
         }
         self.waits.push(StoreWait {
-            datastore: datastore.to_string(),
+            store,
+            datastore: store.name().to_string(),
             deps: 0,
             blocked: Duration::ZERO,
             retries: 0,
@@ -240,10 +245,10 @@ impl Antipode {
         let start = self.sim.now();
         let mut report = BarrierReport::empty();
         for dep in lineage.deps() {
-            let Some(shim) = self.registry.get(&dep.datastore) else {
+            let Some(shim) = self.registry.get_id(dep.store()) else {
                 match self.policy {
                     UnknownStorePolicy::Fail => {
-                        return Err(BarrierError::UnknownStore(dep.datastore.clone()))
+                        return Err(BarrierError::UnknownStore(dep.datastore().to_string()))
                     }
                     UnknownStorePolicy::Skip => {
                         report.skipped += 1;
@@ -269,7 +274,7 @@ impl Antipode {
                 }
                 report.waited_for += 1;
             }
-            let entry = report.store_entry(&dep.datastore);
+            let entry = report.store_entry(dep.store());
             entry.deps += 1;
             entry.retries += retries;
             entry.blocked += self.sim.now().since(dep_start);
@@ -296,7 +301,7 @@ impl Antipode {
             merged.waited_for += r.waited_for;
             merged.skipped += r.skipped;
             for w in r.waits {
-                let entry = merged.store_entry(&w.datastore);
+                let entry = merged.store_entry(w.store);
                 entry.deps += w.deps;
                 entry.retries += w.retries;
                 entry.blocked += w.blocked;
@@ -345,7 +350,7 @@ impl Antipode {
     pub fn dry_run(&self, lineage: &Lineage, region: Region) -> DryRunReport {
         let mut report = DryRunReport::default();
         for dep in lineage.deps() {
-            match self.registry.get(&dep.datastore) {
+            match self.registry.get_id(dep.store()) {
                 None => report.unknown.push(dep.clone()),
                 Some(shim) => {
                     if shim.is_visible(dep, region) {
@@ -419,7 +424,7 @@ mod tests {
         fn is_visible(&self, write: &WriteId, _region: Region) -> bool {
             self.visible
                 .borrow()
-                .contains(&(write.key.clone(), write.version))
+                .contains(&(write.key().to_string(), write.version()))
         }
     }
 

@@ -5,9 +5,15 @@
 //! registry of *all* datastores (paper §3.4): each service registers only
 //! what it knows, and the [`UnknownStorePolicy`] decides what `barrier` does
 //! with dependencies on stores the service has no shim for.
+//!
+//! Shims are keyed by interned [`StoreId`], so the barrier's per-dependency
+//! lookup is an integer hash, never a string hash — the hot path of
+//! `barrier(ℒ)` touches no string data for known stores.
 
 use std::collections::HashMap;
 use std::rc::Rc;
+
+use antipode_lineage::StoreId;
 
 use crate::wait::WaitTarget;
 
@@ -27,7 +33,7 @@ pub enum UnknownStorePolicy {
 /// Registry of datastore shims available to one service.
 #[derive(Clone, Default)]
 pub struct ShimRegistry {
-    shims: HashMap<String, Rc<dyn WaitTarget>>,
+    shims: HashMap<StoreId, Rc<dyn WaitTarget>>,
 }
 
 impl ShimRegistry {
@@ -39,17 +45,22 @@ impl ShimRegistry {
     /// Registers a shim under its datastore name, replacing any previous
     /// registration for the same name.
     pub fn register(&mut self, shim: Rc<dyn WaitTarget>) {
-        self.shims.insert(shim.datastore_name().to_string(), shim);
+        self.shims.insert(StoreId::intern(shim.datastore_name()), shim);
     }
 
     /// Looks up a shim by datastore name.
     pub fn get(&self, datastore: &str) -> Option<&Rc<dyn WaitTarget>> {
-        self.shims.get(datastore)
+        StoreId::lookup(datastore).and_then(|id| self.shims.get(&id))
+    }
+
+    /// Looks up a shim by interned store id — the barrier's hot path.
+    pub fn get_id(&self, store: StoreId) -> Option<&Rc<dyn WaitTarget>> {
+        self.shims.get(&store)
     }
 
     /// Whether a shim is registered for the datastore.
     pub fn contains(&self, datastore: &str) -> bool {
-        self.shims.contains_key(datastore)
+        StoreId::lookup(datastore).is_some_and(|id| self.shims.contains_key(&id))
     }
 
     /// Number of registered shims.
@@ -63,8 +74,8 @@ impl ShimRegistry {
     }
 
     /// Registered datastore names, sorted.
-    pub fn names(&self) -> Vec<&str> {
-        let mut v: Vec<&str> = self.shims.keys().map(String::as_str).collect();
+    pub fn names(&self) -> Vec<Rc<str>> {
+        let mut v: Vec<Rc<str>> = self.shims.keys().map(|id| id.name()).collect();
         v.sort_unstable();
         v
     }
@@ -103,8 +114,21 @@ mod tests {
         assert_eq!(reg.len(), 2);
         assert!(reg.contains("mysql"));
         assert!(!reg.contains("s3"));
-        assert_eq!(reg.names(), vec!["mysql", "redis"]);
+        let names = reg.names();
+        let names: Vec<&str> = names.iter().map(|n| &**n).collect();
+        assert_eq!(names, vec!["mysql", "redis"]);
         assert_eq!(reg.get("redis").unwrap().datastore_name(), "redis");
+    }
+
+    #[test]
+    fn lookup_by_id_matches_lookup_by_name() {
+        let mut reg = ShimRegistry::new();
+        reg.register(Rc::new(Fake("mysql")));
+        let id = StoreId::intern("mysql");
+        assert_eq!(reg.get_id(id).unwrap().datastore_name(), "mysql");
+        // An interned but unregistered store resolves to nothing.
+        let ghost = StoreId::intern("ghost-store-registry-test");
+        assert!(reg.get_id(ghost).is_none());
     }
 
     #[test]

@@ -264,7 +264,7 @@ mod tests {
             // Table 3: ≈ +42 B, no index amplification.
             let oh = shim.storage_overhead(&lin);
             assert!(oh < 100, "overhead {oh}");
-            assert_eq!(wid.datastore, "ddb");
+            assert_eq!(&*wid.datastore(), "ddb");
         });
     }
 

@@ -35,10 +35,12 @@ impl Envelope {
         }
     }
 
-    /// Encodes the envelope to the stored byte representation.
+    /// Encodes the envelope to the stored byte representation. The lineage
+    /// part comes from the lineage's cached wire encoding, so re-encoding an
+    /// unchanged lineage across writes costs a memcpy, not a serialization.
     pub fn encode(&self) -> Bytes {
-        let lin = self.lineage.as_ref().map(Lineage::serialize);
-        let lin_len = lin.as_ref().map_or(0, Vec::len);
+        let lin = self.lineage.as_ref().map(Lineage::wire_bytes);
+        let lin_len = lin.as_ref().map_or(0, |l| l.len());
         let mut buf = Vec::with_capacity(self.data.len() + lin_len + 10);
         put_varint(&mut buf, self.data.len() as u64);
         buf.extend_from_slice(&self.data);

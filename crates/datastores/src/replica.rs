@@ -206,9 +206,13 @@ impl KvStore {
         let version = self.inner.next_version.get();
         self.inner.next_version.set(version + 1);
         self.apply(origin, key, version, value.clone());
-        for dest in self.inner.regions.clone() {
+        // One shared key allocation for the whole replication fan-out (and
+        // `Bytes` clones are refcount bumps), so a put's per-destination cost
+        // is independent of key and value size.
+        let key: Rc<str> = Rc::from(key);
+        for &dest in &self.inner.regions {
             if dest != origin {
-                self.spawn_replication(origin, dest, key.to_string(), version, value.clone());
+                self.spawn_replication(origin, dest, Rc::clone(&key), version, value.clone());
             }
         }
         Ok(version)
@@ -218,7 +222,7 @@ impl KvStore {
         &self,
         origin: Region,
         dest: Region,
-        key: String,
+        key: Rc<str>,
         version: u64,
         value: Bytes,
     ) {
@@ -320,7 +324,7 @@ impl KvStore {
         value: Bytes,
     ) -> Result<u64, StoreError> {
         let version = self.put(origin, key, value).await?;
-        for region in self.inner.regions.clone() {
+        for &region in &self.inner.regions {
             self.wait_visible(region, key, version).await?;
         }
         Ok(version)

@@ -121,14 +121,14 @@ impl WaitTarget for KvShim {
     ) -> LocalBoxFuture<'a, Result<(), WaitError>> {
         Box::pin(async move {
             self.store
-                .wait_visible(region, &write.key, write.version)
+                .wait_visible(region, write.key(), write.version())
                 .await
                 .map_err(map_wait_err)
         })
     }
 
     fn is_visible(&self, write: &WriteId, region: Region) -> bool {
-        self.store.is_visible(region, &write.key, write.version)
+        self.store.is_visible(region, write.key(), write.version())
     }
 }
 
@@ -260,12 +260,12 @@ impl WaitTarget for QueueShim {
             match self.semantics {
                 WaitSemantics::Delivered => self
                     .store
-                    .wait_visible(region, write.version)
+                    .wait_visible(region, write.version())
                     .await
                     .map_err(map_wait_err),
                 WaitSemantics::Processed => self
                     .store
-                    .wait_acked(region, write.version)
+                    .wait_acked(region, write.version())
                     .await
                     .map_err(map_wait_err),
             }
@@ -274,8 +274,8 @@ impl WaitTarget for QueueShim {
 
     fn is_visible(&self, write: &WriteId, region: Region) -> bool {
         match self.semantics {
-            WaitSemantics::Delivered => self.store.is_visible(region, write.version),
-            WaitSemantics::Processed => self.store.is_acked(region, write.version),
+            WaitSemantics::Delivered => self.store.is_visible(region, write.version()),
+            WaitSemantics::Processed => self.store.is_acked(region, write.version()),
         }
     }
 }
@@ -306,7 +306,7 @@ mod tests {
                 .write(EU, "post-1", Bytes::from_static(b"hello"), &mut lin)
                 .await
                 .unwrap();
-            assert_eq!(wid.datastore, "posts");
+            assert_eq!(&*wid.datastore(), "posts");
             assert!(lin.contains(&wid), "write must extend the lineage");
             let (data, stored_lin) = shim.read(EU, "post-1").await.unwrap().unwrap();
             assert_eq!(data, Bytes::from_static(b"hello"));
@@ -366,7 +366,7 @@ mod tests {
                 .publish(EU, Bytes::from_static(b"notif"), &mut lin)
                 .await
                 .unwrap();
-            assert_eq!(wid.datastore, "sns");
+            assert_eq!(&*wid.datastore(), "sns");
             assert!(lin.contains(&wid));
             let msg = sub.recv().await.unwrap().unwrap();
             assert_eq!(msg.payload, Bytes::from_static(b"notif"));

@@ -156,7 +156,7 @@ proptest! {
             for _ in 0..n {
                 let mut lin = Lineage::new(LineageId(1));
                 let wid = shim2.publish(EU, Bytes::from_static(b"m"), &mut lin).await.unwrap();
-                ids.push(wid.version);
+                ids.push(wid.version());
             }
             ids
         });
@@ -171,7 +171,7 @@ proptest! {
             for _ in 0..n2 {
                 let mut lin = Lineage::new(LineageId(2));
                 let wid = shim3.publish(EU, Bytes::from_static(b"m2"), &mut lin).await.unwrap();
-                v.push(wid.version);
+                v.push(wid.version());
             }
             v
         });

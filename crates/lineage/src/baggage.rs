@@ -74,16 +74,27 @@ impl Baggage {
         self.entries.is_empty()
     }
 
-    /// Stores a lineage under [`LINEAGE_KEY`].
+    /// Stores a lineage under [`LINEAGE_KEY`]. Uses the lineage's cached
+    /// wire/base64 encoding, so injecting an unchanged lineage on every hop
+    /// costs one string copy instead of a full re-serialization.
     pub fn set_lineage(&mut self, lineage: &Lineage) {
-        self.set(LINEAGE_KEY, base64::encode(&lineage.serialize()));
+        self.set(LINEAGE_KEY, lineage.wire_b64().to_string());
     }
 
     /// Extracts the lineage, if any.
+    ///
+    /// When the payload is canonical, the decoded lineage adopts both the
+    /// wire bytes and the incoming base64 string as its caches: forwarding
+    /// it unchanged into the next hop's baggage re-uses the exact header
+    /// value, no re-encoding at either layer.
     pub fn lineage(&self) -> Result<Lineage, BaggageError> {
         let raw = self.get(LINEAGE_KEY).ok_or(BaggageError::Missing)?;
         let bytes = base64::decode(raw).map_err(|_| BaggageError::Encoding)?;
-        Lineage::deserialize(&bytes).map_err(BaggageError::Codec)
+        let lineage = Lineage::deserialize(&bytes).map_err(BaggageError::Codec)?;
+        // Sound because `decode` is strict: `raw` is the unique base64 of
+        // `bytes`, and a canonical decode cached exactly those bytes.
+        lineage.adopt_b64_cache(raw.into());
+        Ok(lineage)
     }
 
     /// Removes the lineage entry (the paper's `stop`: execution ends and the

@@ -51,19 +51,27 @@ fn decode_char(c: u8) -> Result<u32, Base64Error> {
 }
 
 /// Decodes standard base64 (padding required).
+///
+/// Strict: padding may only appear at the very end of the input, and the
+/// unused trailing bits of a padded final group must be zero. Every accepted
+/// string is therefore exactly what [`encode`] produces for its bytes —
+/// decode is a bijection onto encode's range, which is what lets a decoded
+/// lineage adopt the incoming string as its cached base64 form.
 pub fn decode(s: &str) -> Result<Vec<u8>, Base64Error> {
     let bytes = s.as_bytes();
     if !bytes.len().is_multiple_of(4) {
         return Err(Base64Error);
     }
     let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
-    for chunk in bytes.chunks(4) {
+    let chunks = bytes.chunks(4);
+    let last = chunks.len().saturating_sub(1);
+    for (i, chunk) in chunks.enumerate() {
         let pad = chunk.iter().rev().take_while(|&&c| c == b'=').count();
         if pad > 2 {
             return Err(Base64Error);
         }
         // '=' may only appear as trailing padding of the final chunk.
-        if chunk[..4 - pad].contains(&b'=') {
+        if (pad > 0 && i != last) || chunk[..4 - pad].contains(&b'=') {
             return Err(Base64Error);
         }
         let mut n: u32 = 0;
@@ -71,6 +79,10 @@ pub fn decode(s: &str) -> Result<Vec<u8>, Base64Error> {
             n = (n << 6) | decode_char(c)?;
         }
         n <<= 6 * pad as u32;
+        // Bits dropped by padding must be zero (canonical encoding).
+        if (pad == 1 && n & 0xff != 0) || (pad == 2 && n & 0xffff != 0) {
+            return Err(Base64Error);
+        }
         out.push((n >> 16) as u8);
         if pad < 2 {
             out.push((n >> 8) as u8);
@@ -115,5 +127,27 @@ mod tests {
         assert!(decode("ab!=").is_err()); // invalid character
         assert!(decode("a===").is_err()); // too much padding
         assert!(decode("=abc").is_err()); // padding in the middle
+        assert!(decode("Zg==Zg==").is_err()); // padding before the end
+    }
+
+    #[test]
+    fn rejects_non_canonical_trailing_bits() {
+        // "Zh==" decodes to the same byte as "Zg==" under a lenient decoder;
+        // strictness makes decode a bijection onto encode's range.
+        assert_eq!(decode("Zg==").unwrap(), b"f");
+        assert!(decode("Zh==").is_err());
+        assert_eq!(decode("Zm8=").unwrap(), b"fo");
+        assert!(decode("Zm9=").is_err());
+    }
+
+    #[test]
+    fn decode_is_inverse_of_encode_only() {
+        // Exhaustive over 2-byte inputs: the only accepted encoding of each
+        // value is the canonical one.
+        for hi in 0..=255u8 {
+            let data = [hi, 0x5a];
+            let enc = encode(&data);
+            assert_eq!(decode(&enc).unwrap(), data);
+        }
     }
 }

@@ -5,10 +5,13 @@
 //! Enforcing Cross-Service Causal Consistency in Distributed Applications*
 //! (SOSP 2023).
 //!
-//! - [`WriteId`]: ⟨datastore, key, version⟩ write identifiers (§6.1);
-//! - [`Lineage`]: dependency sets with `append`/`remove`/`transfer` (§5.1)
-//!   and a compact wire format whose size the paper's §7.4 metadata
-//!   experiments measure;
+//! - [`WriteId`]: ⟨datastore, key, version⟩ write identifiers (§6.1),
+//!   interned ([`StoreId`]) and shared so clones are pointer bumps;
+//! - [`Lineage`]: dependency sets with `append`/`remove`/`transfer` (§5.1),
+//!   copy-on-write sharing, a cached compact wire format whose size the
+//!   paper's §7.4 metadata experiments measure;
+//! - [`interner`]: the deterministic datastore-name interner;
+//! - [`stats`]: lineage-plane counters (allocation proxy for perf baselines);
 //! - [`Baggage`]: OpenTelemetry-style request-context propagation (§6.2);
 //! - [`model`]: the formal ↝ relation and an execution checker that
 //!   distinguishes Lamport causality from XCY (§4, Fig 3);
@@ -39,15 +42,19 @@
 
 pub mod baggage;
 pub mod base64;
+pub mod interner;
 pub mod lineage;
 pub mod lineage_dag;
 pub mod model;
+pub mod stats;
 pub mod varint;
 pub mod vector_clock;
 pub mod write_id;
 
 pub use baggage::{Baggage, BaggageError, LINEAGE_KEY};
+pub use interner::StoreId;
 pub use lineage::{Lineage, LineageId};
+pub use stats::LineageStats;
 pub use lineage_dag::{Action, DagError, LineageDag, ServiceId, Vertex};
 pub use model::{Causality, Execution, Op, ProcId, Violation};
 pub use varint::CodecError;

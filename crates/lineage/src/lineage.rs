@@ -6,13 +6,25 @@
 //! the lineage's identity; `append`/`remove` give developers the explicit
 //! dependency control of §5.1, and `transfer` establishes continuity between
 //! two lineages.
+//!
+//! Representation (see DESIGN.md "Zero-copy lineage plane"): dependencies
+//! live in an `Rc`-shared sorted vector with copy-on-write mutation, so the
+//! clones taken on every RPC hop, envelope write, and baggage injection are
+//! O(1) pointer bumps. The v1 wire encoding (and its base64 baggage form)
+//! is cached next to the deps and invalidated on mutation, so a lineage that
+//! crosses several hops unchanged is encoded exactly once. None of this
+//! changes the wire format: serialized bytes are identical to the
+//! pre-interning implementation (asserted by `tests/golden_v1.rs`).
 
-use std::collections::BTreeSet;
+use std::cell::RefCell;
 use std::fmt;
+use std::rc::Rc;
 
 use bytes::{Buf, BufMut};
 
-use crate::varint::{get_str, get_varint, put_str, put_varint, CodecError};
+use crate::interner::StoreId;
+use crate::stats;
+use crate::varint::{get_str, get_varint, put_str, put_varint, varint_len, CodecError};
 use crate::write_id::WriteId;
 
 /// Identity of a lineage: one per root action (external request).
@@ -34,12 +46,50 @@ impl fmt::Display for LineageId {
 /// Wire format version for [`Lineage::serialize`].
 const WIRE_VERSION: u8 = 1;
 
+/// The shared empty dep vector: `Lineage::new` is allocation-free until the
+/// first append materializes a private vector via copy-on-write.
+fn empty_deps() -> Rc<Vec<WriteId>> {
+    thread_local! {
+        static EMPTY: Rc<Vec<WriteId>> = Rc::new(Vec::new());
+    }
+    EMPTY.with(Rc::clone)
+}
+
 /// A lineage: the set of datastore writes an execution currently depends on.
-#[derive(Clone, PartialEq, Eq, Default)]
 pub struct Lineage {
     id: LineageId,
-    deps: BTreeSet<WriteId>,
+    /// Sorted (canonical WriteId order), deduplicated, shared.
+    deps: Rc<Vec<WriteId>>,
+    /// Cached v1 wire encoding; `None` = dirty.
+    wire: RefCell<Option<Rc<[u8]>>>,
+    /// Cached base64 of the wire encoding (the baggage form).
+    b64: RefCell<Option<Rc<str>>>,
 }
+
+impl Clone for Lineage {
+    fn clone(&self) -> Self {
+        Lineage {
+            id: self.id,
+            deps: Rc::clone(&self.deps),
+            wire: RefCell::new(self.wire.borrow().clone()),
+            b64: RefCell::new(self.b64.borrow().clone()),
+        }
+    }
+}
+
+impl Default for Lineage {
+    fn default() -> Self {
+        Lineage::new(LineageId::default())
+    }
+}
+
+impl PartialEq for Lineage {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id && (Rc::ptr_eq(&self.deps, &other.deps) || self.deps == other.deps)
+    }
+}
+
+impl Eq for Lineage {}
 
 impl Lineage {
     /// Creates an empty lineage with the given identity (the paper's `root`
@@ -47,7 +97,9 @@ impl Lineage {
     pub fn new(id: LineageId) -> Self {
         Lineage {
             id,
-            deps: BTreeSet::new(),
+            deps: empty_deps(),
+            wire: RefCell::new(None),
+            b64: RefCell::new(None),
         }
     }
 
@@ -56,17 +108,44 @@ impl Lineage {
         self.id
     }
 
+    fn invalidate_cache(&mut self) {
+        *self.wire.borrow_mut() = None;
+        *self.b64.borrow_mut() = None;
+    }
+
+    /// Mutable access to the dep vector, materializing a private copy if the
+    /// current one is shared (copy-on-write).
+    fn deps_mut(&mut self) -> &mut Vec<WriteId> {
+        if Rc::strong_count(&self.deps) > 1 {
+            stats::count_cow_dep_clone();
+        }
+        Rc::make_mut(&mut self.deps)
+    }
+
     /// Appends a dependency (paper `append(ℒ, dep)`); also how the Shim
     /// `write` extends a lineage with the new write identifier.
     pub fn append(&mut self, dep: WriteId) {
-        self.deps.insert(dep);
+        match self.deps.binary_search(&dep) {
+            Ok(_) => {} // already present: no mutation, caches stay valid
+            Err(pos) => {
+                self.invalidate_cache();
+                self.deps_mut().insert(pos, dep);
+            }
+        }
     }
 
     /// Removes a dependency (paper `remove(ℒ, dep)`), letting developers
     /// drop irrelevant dependencies for an optimized user experience.
     /// Returns whether the dependency was present.
     pub fn remove(&mut self, dep: &WriteId) -> bool {
-        self.deps.remove(dep)
+        match self.deps.binary_search(dep) {
+            Ok(pos) => {
+                self.invalidate_cache();
+                self.deps_mut().remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
     }
 
     /// Transfers `other`'s dependencies into this lineage (paper
@@ -74,9 +153,26 @@ impl Lineage {
     /// lineages (§5.1, e.g. the ACL example). The receiving lineage keeps its
     /// own identity.
     pub fn transfer_from(&mut self, other: &Lineage) {
-        for d in &other.deps {
-            self.deps.insert(d.clone());
+        if other.deps.is_empty() || Rc::ptr_eq(&self.deps, &other.deps) {
+            return;
         }
+        if self.deps.is_empty() {
+            // Share the donor's vector outright — O(1).
+            self.deps = Rc::clone(&other.deps);
+            self.invalidate_cache();
+            return;
+        }
+        if other
+            .deps
+            .iter()
+            .all(|d| self.deps.binary_search(d).is_ok())
+        {
+            return; // nothing new: keep deps and caches untouched
+        }
+        // Two-pointer merge of the sorted vectors into a fresh private one.
+        let merged = merge_sorted(&self.deps, &other.deps);
+        self.invalidate_cache();
+        self.deps = Rc::new(merged);
     }
 
     /// Iterates over the dependencies in canonical order.
@@ -96,19 +192,70 @@ impl Lineage {
 
     /// Whether the lineage contains the exact dependency.
     pub fn contains(&self, dep: &WriteId) -> bool {
-        self.deps.contains(dep)
+        self.deps.binary_search(dep).is_ok()
+    }
+
+    /// Whether this lineage and `other` share the same dep vector allocation
+    /// (an O(1) "definitely equal deps" probe for tests and diagnostics).
+    pub fn shares_deps_with(&self, other: &Lineage) -> bool {
+        Rc::ptr_eq(&self.deps, &other.deps)
     }
 
     /// The distinct datastores named by this lineage's dependencies, in
-    /// canonical order. `barrier` groups its per-store `wait` calls by this.
-    pub fn datastores(&self) -> Vec<&str> {
-        let mut out: Vec<&str> = Vec::new();
-        for d in &self.deps {
-            if out.last() != Some(&d.datastore.as_str()) {
-                out.push(&d.datastore);
+    /// canonical order.
+    pub fn datastores(&self) -> Vec<Rc<str>> {
+        self.store_ids().into_iter().map(StoreId::name).collect()
+    }
+
+    /// The distinct interned store ids, in canonical (name) order. `barrier`
+    /// groups its per-store waits by these.
+    pub fn store_ids(&self) -> Vec<StoreId> {
+        let mut out: Vec<StoreId> = Vec::new();
+        for d in self.deps.iter() {
+            if out.last() != Some(&d.store()) {
+                out.push(d.store());
             }
         }
         out
+    }
+
+    /// The v1 wire encoding as shared bytes, (re-)encoding only if the
+    /// lineage changed since the last call. This is what every hop of an
+    /// unchanged lineage costs: an `Rc` bump.
+    pub fn wire_bytes(&self) -> Rc<[u8]> {
+        if let Some(cached) = &*self.wire.borrow() {
+            stats::count_wire_cache_hit();
+            return Rc::clone(cached);
+        }
+        stats::count_wire_encode();
+        let rc: Rc<[u8]> = self.encode().into();
+        *self.wire.borrow_mut() = Some(Rc::clone(&rc));
+        rc
+    }
+
+    /// The base64 form of [`Lineage::wire_bytes`] — the baggage entry value
+    /// — cached with the same dirty-tracking.
+    pub fn wire_b64(&self) -> Rc<str> {
+        if let Some(cached) = &*self.b64.borrow() {
+            stats::count_b64_cache_hit();
+            return Rc::clone(cached);
+        }
+        stats::count_b64_encode();
+        let rc: Rc<str> = crate::base64::encode(&self.wire_bytes()).into();
+        *self.b64.borrow_mut() = Some(Rc::clone(&rc));
+        rc
+    }
+
+    /// Adopts `b64` as the cached base64 form. Crate-internal: the caller
+    /// guarantees `b64` is the canonical base64 of this lineage's cached
+    /// wire bytes (baggage extraction decodes with a strict — bijective —
+    /// base64 decoder, so the incoming string is exactly what re-encoding
+    /// would produce). No-op unless a canonical decode already populated the
+    /// wire cache, which is what ties the guarantee to this lineage.
+    pub(crate) fn adopt_b64_cache(&self, b64: Rc<str>) {
+        if self.wire.borrow().is_some() {
+            *self.b64.borrow_mut() = Some(b64);
+        }
     }
 
     /// Serializes to the compact wire format: a version byte, the lineage id,
@@ -116,33 +263,59 @@ impl Lineage {
     /// (table-index, key, version). This is the payload piggybacked on
     /// request baggage and stored alongside values (§6.2); its size is what
     /// the paper's §7.4 metadata measurements report.
+    ///
+    /// Returns an owned copy for API compatibility; the cached shared form
+    /// is [`Lineage::wire_bytes`].
     pub fn serialize(&self) -> Vec<u8> {
+        self.wire_bytes().to_vec()
+    }
+
+    /// Encodes the canonical v1 wire form. O(deps): the string table is
+    /// built by watching the interned store id change across the sorted dep
+    /// vector (same-store deps are adjacent), so no per-dep name scan and no
+    /// intermediate name vector allocation beyond the table itself.
+    fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(16 + self.deps.len() * 16);
         buf.put_u8(WIRE_VERSION);
         put_varint(&mut buf, self.id.0);
         // String table: distinct datastore names in first-seen (canonical)
         // order. Deps are sorted, so names group together.
-        let names: Vec<&str> = self.datastores();
-        put_varint(&mut buf, names.len() as u64);
-        for n in &names {
-            put_str(&mut buf, n);
+        let ids = self.store_ids();
+        put_varint(&mut buf, ids.len() as u64);
+        for id in &ids {
+            put_str(&mut buf, &id.name());
         }
         put_varint(&mut buf, self.deps.len() as u64);
-        for d in &self.deps {
-            let idx = names
-                .iter()
-                .position(|n| *n == d.datastore)
-                .expect("datastore name must be in the table it was built from");
-            put_varint(&mut buf, idx as u64);
-            put_str(&mut buf, &d.key);
-            put_varint(&mut buf, d.version);
+        let mut idx: u64 = 0;
+        let mut prev: Option<StoreId> = None;
+        for d in self.deps.iter() {
+            if let Some(p) = prev {
+                if p != d.store() {
+                    idx += 1;
+                }
+            }
+            prev = Some(d.store());
+            put_varint(&mut buf, idx);
+            put_str(&mut buf, d.key());
+            put_varint(&mut buf, d.version());
         }
         buf
     }
 
     /// Decodes the wire format produced by [`Lineage::serialize`].
-    pub fn deserialize(mut bytes: &[u8]) -> Result<Lineage, CodecError> {
-        let buf = &mut bytes;
+    ///
+    /// Length guards are strict: declared counts are validated against the
+    /// bytes actually remaining (a name costs ≥ 1 byte, a dependency ≥ 3),
+    /// and pre-allocation is bounded by the same limits, so a hostile count
+    /// cannot force a large allocation from a tiny input. When the input is
+    /// byte-for-byte canonical (sorted deps, first-use name table, minimal
+    /// varints — everything [`Lineage::serialize`] emits), the decoder
+    /// adopts it as the cached wire form, making a decode→forward hop free
+    /// of re-encoding.
+    pub fn deserialize(bytes: &[u8]) -> Result<Lineage, CodecError> {
+        let total_len = bytes.len();
+        let mut slice = bytes;
+        let buf = &mut slice;
         if !buf.has_remaining() {
             return Err(CodecError::UnexpectedEof);
         }
@@ -150,38 +323,140 @@ impl Lineage {
         if version != WIRE_VERSION {
             return Err(CodecError::UnknownVersion(version));
         }
-        let id = LineageId(get_varint(buf)?);
+        let id = get_varint(buf)?;
+        // Canonical minimal length, accumulated as we parse; compared to the
+        // consumed length at the end to detect non-minimal varints.
+        let mut canonical_len = 1 + varint_len(id);
         let n_names = get_varint(buf)? as usize;
+        // Each table entry consumes at least its 1-byte length prefix.
         if n_names > buf.remaining() {
             return Err(CodecError::LengthOutOfBounds);
         }
-        let mut names = Vec::with_capacity(n_names);
+        canonical_len += varint_len(n_names as u64);
+        let mut stores: Vec<StoreId> = Vec::with_capacity(n_names.min(buf.remaining()));
+        let mut names_sorted = true;
+        let mut prev_name: Option<String> = None;
         for _ in 0..n_names {
-            names.push(get_str(buf)?);
+            let name = get_str(buf)?;
+            canonical_len += varint_len(name.len() as u64) + name.len();
+            if prev_name.as_deref().is_some_and(|p| p >= name.as_str()) {
+                names_sorted = false;
+            }
+            stores.push(StoreId::intern(&name));
+            prev_name = Some(name);
         }
         let n_deps = get_varint(buf)? as usize;
-        if n_deps > buf.remaining().saturating_add(1) * 3 {
+        // Each dependency consumes at least 3 bytes: a table index varint, a
+        // key length varint, and a version varint.
+        if n_deps > buf.remaining() / 3 {
             return Err(CodecError::LengthOutOfBounds);
         }
-        let mut deps = BTreeSet::new();
+        canonical_len += varint_len(n_deps as u64);
+        let mut deps: Vec<WriteId> = Vec::with_capacity(n_deps);
+        // Canonical index pattern: starts at 0, steps by at most 1, ends at
+        // n_names - 1 (every table entry used), deps strictly increasing.
+        let mut canonical = names_sorted;
+        let mut prev_idx: Option<u64> = None;
         for _ in 0..n_deps {
-            let idx = get_varint(buf)? as usize;
-            let datastore = names.get(idx).ok_or(CodecError::LengthOutOfBounds)?.clone();
+            let idx = get_varint(buf)?;
+            let store = *stores
+                .get(idx as usize)
+                .ok_or(CodecError::LengthOutOfBounds)?;
             let key = get_str(buf)?;
             let version = get_varint(buf)?;
-            deps.insert(WriteId {
-                datastore,
-                key,
-                version,
-            });
+            canonical_len +=
+                varint_len(idx) + varint_len(key.len() as u64) + key.len() + varint_len(version);
+            let dep = WriteId::from_parts(store, key.into(), version);
+            match prev_idx {
+                None => {
+                    if idx != 0 {
+                        canonical = false;
+                    }
+                }
+                Some(p) => {
+                    if idx != p && idx != p + 1 {
+                        canonical = false;
+                    }
+                    if idx == p && canonical {
+                        // Same store: names are equal, so WriteId order
+                        // reduces to (key, version) — must strictly increase.
+                        if deps.last().is_some_and(|prev| *prev >= dep) {
+                            canonical = false;
+                        }
+                    }
+                }
+            }
+            prev_idx = Some(idx);
+            deps.push(dep);
         }
-        Ok(Lineage { id, deps })
+        canonical &= match prev_idx {
+            Some(last) => last as usize == n_names - 1,
+            None => n_names == 0,
+        };
+        let consumed = total_len - buf.remaining();
+        canonical &= consumed == canonical_len;
+        let lineage = if canonical {
+            stats::count_canonical_decode();
+            let l = Lineage {
+                id: LineageId(id),
+                deps: if deps.is_empty() {
+                    empty_deps()
+                } else {
+                    Rc::new(deps)
+                },
+                wire: RefCell::new(Some(bytes[..consumed].into())),
+                b64: RefCell::new(None),
+            };
+            debug_assert_eq!(l.encode().as_slice(), &bytes[..consumed]);
+            l
+        } else {
+            deps.sort_unstable();
+            deps.dedup();
+            Lineage {
+                id: LineageId(id),
+                deps: if deps.is_empty() {
+                    empty_deps()
+                } else {
+                    Rc::new(deps)
+                },
+                wire: RefCell::new(None),
+                b64: RefCell::new(None),
+            }
+        };
+        Ok(lineage)
     }
 
-    /// The serialized size in bytes, without materializing the buffer.
+    /// The serialized size in bytes. Served from the wire cache — never
+    /// materializes a second buffer.
     pub fn wire_size(&self) -> usize {
-        self.serialize().len()
+        self.wire_bytes().len()
     }
+}
+
+/// Merges two sorted deduplicated WriteId vectors into a new one.
+fn merge_sorted(a: &[WriteId], b: &[WriteId]) -> Vec<WriteId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i].clone());
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j].clone());
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i].clone());
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
 }
 
 impl fmt::Debug for Lineage {
@@ -242,6 +517,47 @@ mod tests {
     }
 
     #[test]
+    fn transfer_into_empty_shares_the_dep_vector() {
+        let mut a = Lineage::new(LineageId(1));
+        a.append(wid("s", "k", 1));
+        let mut b = Lineage::new(LineageId(2));
+        b.transfer_from(&a);
+        assert!(b.shares_deps_with(&a), "empty receiver adopts by sharing");
+        // Mutating either side un-shares (copy-on-write).
+        a.append(wid("s", "k2", 2));
+        assert!(!b.shares_deps_with(&a));
+        assert_eq!(b.len(), 1);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn transfer_of_subset_is_a_no_op() {
+        let mut a = Lineage::new(LineageId(1));
+        a.append(wid("s", "k1", 1));
+        a.append(wid("s", "k2", 2));
+        let first = a.wire_bytes();
+        let mut sub = Lineage::new(LineageId(9));
+        sub.append(wid("s", "k1", 1));
+        a.transfer_from(&sub);
+        // Cache survived: no re-encode happened.
+        assert!(Rc::ptr_eq(&first, &a.wire_bytes()));
+    }
+
+    #[test]
+    fn clone_is_shallow_and_cow_on_mutation() {
+        let mut a = Lineage::new(LineageId(1));
+        for i in 0..8 {
+            a.append(wid("s", &format!("k{i}"), i));
+        }
+        let b = a.clone();
+        assert!(b.shares_deps_with(&a));
+        a.append(wid("s", "new", 99));
+        assert!(!b.shares_deps_with(&a));
+        assert_eq!(b.len(), 8);
+        assert_eq!(a.len(), 9);
+    }
+
+    #[test]
     fn serialize_round_trip() {
         let mut l = Lineage::new(LineageId(0xdead_beef));
         l.append(wid("post-storage-mysql", "post-12345", 42));
@@ -258,6 +574,62 @@ mod tests {
         let back = Lineage::deserialize(&l.serialize()).unwrap();
         assert_eq!(back, l);
         assert!(back.is_empty());
+    }
+
+    #[test]
+    fn serialize_is_cached_until_mutation() {
+        let mut l = Lineage::new(LineageId(7));
+        l.append(wid("s", "k", 1));
+        let first = l.wire_bytes();
+        let second = l.wire_bytes();
+        assert!(Rc::ptr_eq(&first, &second), "unchanged lineage: cache hit");
+        l.append(wid("s", "k2", 2));
+        let third = l.wire_bytes();
+        assert!(!Rc::ptr_eq(&first, &third), "mutation invalidates the cache");
+        assert_eq!(third.as_ref(), l.serialize().as_slice());
+    }
+
+    #[test]
+    fn canonical_decode_adopts_input_as_cache() {
+        let mut l = Lineage::new(LineageId(3));
+        l.append(wid("a", "k1", 1));
+        l.append(wid("b", "k2", 2));
+        let bytes = l.serialize();
+        let before = stats::snapshot().wire_encodes;
+        let back = Lineage::deserialize(&bytes).unwrap();
+        // Re-serializing the decoded lineage must not re-encode.
+        assert_eq!(back.serialize(), bytes);
+        assert_eq!(
+            stats::snapshot().wire_encodes,
+            before,
+            "decode→serialize of canonical bytes must be encode-free"
+        );
+    }
+
+    #[test]
+    fn non_canonical_input_still_decodes_to_canonical_form() {
+        // Hand-build an encoding with deps out of order and a duplicate:
+        // table ["b", "a"], deps (b,k,1), (a,k,1), (a,k,1).
+        let mut buf = vec![1u8]; // version
+        put_varint(&mut buf, 9); // id
+        put_varint(&mut buf, 2); // 2 names
+        put_str(&mut buf, "b");
+        put_str(&mut buf, "a");
+        put_varint(&mut buf, 3); // 3 deps
+        for idx in [0u64, 1, 1] {
+            put_varint(&mut buf, idx);
+            put_str(&mut buf, "k");
+            put_varint(&mut buf, 1);
+        }
+        let l = Lineage::deserialize(&buf).unwrap();
+        assert_eq!(l.len(), 2, "duplicate dep collapsed");
+        let mut expect = Lineage::new(LineageId(9));
+        expect.append(wid("a", "k", 1));
+        expect.append(wid("b", "k", 1));
+        assert_eq!(l, expect);
+        // And its serialization is canonical, not the input bytes.
+        assert_eq!(l.serialize(), expect.serialize());
+        assert_ne!(l.serialize(), buf);
     }
 
     #[test]
@@ -303,11 +675,32 @@ mod tests {
     }
 
     #[test]
+    fn deserialize_rejects_hostile_counts() {
+        // Claims u64::MAX names with 2 bytes of input.
+        let mut buf = vec![1u8, 0];
+        put_varint(&mut buf, u64::MAX);
+        assert_eq!(
+            Lineage::deserialize(&buf),
+            Err(CodecError::LengthOutOfBounds)
+        );
+        // Claims far more deps than the remaining bytes could hold.
+        let mut buf = vec![1u8, 0];
+        put_varint(&mut buf, 0); // 0 names
+        put_varint(&mut buf, 1000); // 1000 deps, ~0 bytes left
+        assert_eq!(
+            Lineage::deserialize(&buf),
+            Err(CodecError::LengthOutOfBounds)
+        );
+    }
+
+    #[test]
     fn datastores_lists_distinct_names() {
         let mut l = Lineage::new(LineageId(1));
         l.append(wid("b", "k1", 1));
         l.append(wid("a", "k1", 1));
         l.append(wid("a", "k2", 2));
-        assert_eq!(l.datastores(), vec!["a", "b"]);
+        let names: Vec<String> = l.datastores().iter().map(|n| n.to_string()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert_eq!(l.store_ids().len(), 2);
     }
 }

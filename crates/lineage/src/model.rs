@@ -334,7 +334,7 @@ impl Execution {
                 .enumerate()
                 .filter(|(w_idx, w)| {
                     matches!(w, Op::Write { write, .. }
-                        if write.datastore == *datastore && write.key == *key)
+                        if &*write.datastore() == datastore.as_str() && write.key() == key.as_str())
                         && reach[*w_idx][r_idx]
                 })
                 .map(|(i, _)| i)

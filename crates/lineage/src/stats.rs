@@ -1,0 +1,106 @@
+//! Lineage-plane instrumentation counters.
+//!
+//! The perf baseline (`crates/bench/src/bin/perf_baseline.rs`) needs an
+//! allocation proxy that is deterministic across same-seed runs — wall-clock
+//! and real allocator telemetry are not. These thread-local counters track
+//! the events that correspond one-to-one with heap work in the lineage
+//! plane: copy-on-write dep-vector materializations and wire (re-)encodes
+//! versus cache hits. They are plain `Cell<u64>` bumps, cheap enough to stay
+//! enabled unconditionally.
+
+use std::cell::Cell;
+
+thread_local! {
+    static COW_DEP_CLONES: Cell<u64> = const { Cell::new(0) };
+    static WIRE_ENCODES: Cell<u64> = const { Cell::new(0) };
+    static WIRE_CACHE_HITS: Cell<u64> = const { Cell::new(0) };
+    static B64_ENCODES: Cell<u64> = const { Cell::new(0) };
+    static B64_CACHE_HITS: Cell<u64> = const { Cell::new(0) };
+    static CANONICAL_DECODES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A snapshot of the lineage-plane counters on this thread.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LineageStats {
+    /// Times a shared dep vector was deep-copied before mutation (the
+    /// copy-on-write slow path — one `Vec<WriteId>` allocation each).
+    pub cow_dep_clones: u64,
+    /// Times the v1 wire encoding was actually produced (one buffer
+    /// allocation each).
+    pub wire_encodes: u64,
+    /// Times `wire_bytes` was served from the cache (no allocation).
+    pub wire_cache_hits: u64,
+    /// Times the base64 baggage form was actually encoded.
+    pub b64_encodes: u64,
+    /// Times the base64 baggage form was served from the cache.
+    pub b64_cache_hits: u64,
+    /// Decodes whose input was byte-for-byte canonical, letting the decoder
+    /// adopt the input as the cached wire form (re-serialization is free).
+    pub canonical_decodes: u64,
+}
+
+/// Reads the counters.
+pub fn snapshot() -> LineageStats {
+    LineageStats {
+        cow_dep_clones: COW_DEP_CLONES.with(Cell::get),
+        wire_encodes: WIRE_ENCODES.with(Cell::get),
+        wire_cache_hits: WIRE_CACHE_HITS.with(Cell::get),
+        b64_encodes: B64_ENCODES.with(Cell::get),
+        b64_cache_hits: B64_CACHE_HITS.with(Cell::get),
+        canonical_decodes: CANONICAL_DECODES.with(Cell::get),
+    }
+}
+
+/// Zeroes the counters (start of a measured workload).
+pub fn reset() {
+    COW_DEP_CLONES.with(|c| c.set(0));
+    WIRE_ENCODES.with(|c| c.set(0));
+    WIRE_CACHE_HITS.with(|c| c.set(0));
+    B64_ENCODES.with(|c| c.set(0));
+    B64_CACHE_HITS.with(|c| c.set(0));
+    CANONICAL_DECODES.with(|c| c.set(0));
+}
+
+pub(crate) fn count_cow_dep_clone() {
+    COW_DEP_CLONES.with(|c| c.set(c.get() + 1));
+}
+
+pub(crate) fn count_wire_encode() {
+    WIRE_ENCODES.with(|c| c.set(c.get() + 1));
+}
+
+pub(crate) fn count_wire_cache_hit() {
+    WIRE_CACHE_HITS.with(|c| c.set(c.get() + 1));
+}
+
+pub(crate) fn count_b64_encode() {
+    B64_ENCODES.with(|c| c.set(c.get() + 1));
+}
+
+pub(crate) fn count_b64_cache_hit() {
+    B64_CACHE_HITS.with(|c| c.set(c.get() + 1));
+}
+
+pub(crate) fn count_canonical_decode() {
+    CANONICAL_DECODES.with(|c| c.set(c.get() + 1));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        reset();
+        count_cow_dep_clone();
+        count_wire_encode();
+        count_wire_encode();
+        count_wire_cache_hit();
+        let s = snapshot();
+        assert_eq!(s.cow_dep_clones, 1);
+        assert_eq!(s.wire_encodes, 2);
+        assert_eq!(s.wire_cache_hits, 1);
+        reset();
+        assert_eq!(snapshot(), LineageStats::default());
+    }
+}

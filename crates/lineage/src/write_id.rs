@@ -4,37 +4,80 @@
 //! ⟨datastore, key, version⟩ (paper §6.1). Antipode relies on the underlying
 //! datastore to generate the version under a versioned key-object model;
 //! lineages are sets of these identifiers.
+//!
+//! Representation: the datastore name is held as an interned [`StoreId`] and
+//! the key as a shared `Rc<str>`, so cloning a `WriteId` is two pointer
+//! bumps and an integer copy, and equality/`same_object` checks compare
+//! integers before ever touching string data. The canonical ordering (and
+//! therefore the v1 wire format, which carries names as strings) is
+//! unchanged: lexicographic by (datastore name, key, version).
 
+use std::cmp::Ordering;
 use std::fmt;
+use std::rc::Rc;
+
+use crate::interner::StoreId;
 
 /// Identifies one write: which datastore, which key, which version.
 ///
-/// Ordered lexicographically by (datastore, key, version) so lineages can
-/// hold them in ordered sets with a canonical serialization.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// Ordered lexicographically by (datastore name, key, version) so lineages
+/// can hold them in ordered sets with a canonical serialization.
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct WriteId {
-    /// Name of the datastore instance (e.g. `"post-storage-mysql"`).
-    pub datastore: String,
-    /// The key (or object name / queue entry id) that was written.
-    pub key: String,
-    /// Monotonic version assigned by the datastore for this key.
-    pub version: u64,
+    store: StoreId,
+    key: Rc<str>,
+    version: u64,
 }
 
 impl WriteId {
-    /// Creates a write identifier.
-    pub fn new(datastore: impl Into<String>, key: impl Into<String>, version: u64) -> Self {
+    /// Creates a write identifier, interning the datastore name.
+    pub fn new(datastore: impl AsRef<str>, key: impl Into<Rc<str>>, version: u64) -> Self {
         WriteId {
-            datastore: datastore.into(),
+            store: StoreId::intern(datastore.as_ref()),
             key: key.into(),
             version,
         }
     }
 
+    /// Creates a write identifier from an already-interned store id.
+    pub fn from_parts(store: StoreId, key: Rc<str>, version: u64) -> Self {
+        WriteId {
+            store,
+            key,
+            version,
+        }
+    }
+
+    /// The interned datastore id. Integer compare/hash; resolves to the name
+    /// via [`StoreId::name`].
+    pub fn store(&self) -> StoreId {
+        self.store
+    }
+
+    /// Name of the datastore instance (e.g. `"post-storage-mysql"`).
+    pub fn datastore(&self) -> Rc<str> {
+        self.store.name()
+    }
+
+    /// The key (or object name / queue entry id) that was written.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// The key as the shared `Rc<str>` (clone is a pointer bump).
+    pub fn key_rc(&self) -> Rc<str> {
+        Rc::clone(&self.key)
+    }
+
+    /// Monotonic version assigned by the datastore for this key.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// Whether this identifier is for the same datastore and key as `other`
     /// (possibly a different version).
     pub fn same_object(&self, other: &WriteId) -> bool {
-        self.datastore == other.datastore && self.key == other.key
+        self.store == other.store && self.key == other.key
     }
 
     /// Whether this write supersedes `other`: same object, newer-or-equal
@@ -46,15 +89,38 @@ impl WriteId {
     }
 }
 
+impl Ord for WriteId {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Integer-first: same interned id means same name, so only the
+        // (key, version) tail needs comparing. Distinct ids fall back to
+        // comparing the names themselves, preserving the pre-interning
+        // lexicographic order the wire format's canonical dep ordering
+        // relies on (ids are assigned in intern order, not name order).
+        if self.store == other.store {
+            self.key
+                .cmp(&other.key)
+                .then_with(|| self.version.cmp(&other.version))
+        } else {
+            self.store.name().cmp(&other.store.name())
+        }
+    }
+}
+
+impl PartialOrd for WriteId {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 impl fmt::Debug for WriteId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "⟨{},{},v{}⟩", self.datastore, self.key, self.version)
+        write!(f, "⟨{},{},v{}⟩", self.store.name(), self.key, self.version)
     }
 }
 
 impl fmt::Display for WriteId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}@{}", self.datastore, self.key, self.version)
+        write!(f, "{}:{}@{}", self.store.name(), self.key, self.version)
     }
 }
 
@@ -69,6 +135,15 @@ mod tests {
         let c = WriteId::new("b", "a", 0);
         assert!(a < b);
         assert!(b < c);
+    }
+
+    #[test]
+    fn ordering_by_name_survives_intern_order() {
+        // Intern the lexicographically-later name first: ordering must still
+        // follow the names, not the ids.
+        let z = WriteId::new("zzz-interned-first", "k", 1);
+        let a = WriteId::new("aaa-interned-second", "k", 1);
+        assert!(a < z);
     }
 
     #[test]
@@ -94,5 +169,21 @@ mod tests {
     fn display_round_trips_fields() {
         let w = WriteId::new("mysql", "post-7", 3);
         assert_eq!(w.to_string(), "mysql:post-7@3");
+    }
+
+    #[test]
+    fn clone_shares_the_key_allocation() {
+        let w = WriteId::new("mysql", "post-7", 3);
+        let c = w.clone();
+        assert!(Rc::ptr_eq(&w.key, &c.key));
+        assert_eq!(w, c);
+    }
+
+    #[test]
+    fn equal_names_share_one_store_id() {
+        let a = WriteId::new("same-store", "k1", 1);
+        let b = WriteId::new("same-store", "k2", 2);
+        assert_eq!(a.store(), b.store());
+        assert_eq!(&*a.datastore(), "same-store");
     }
 }

@@ -67,6 +67,66 @@ proptest! {
     }
 
     #[test]
+    fn truncated_payloads_are_rejected_not_panicked(
+        l in arb_lineage(),
+        cut in any::<proptest::sample::Index>(),
+    ) {
+        // Every strict prefix of a valid encoding must decode to an error:
+        // declared counts pin the payload length, so a network-truncated
+        // lineage can never silently drop dependencies.
+        let bytes = l.serialize();
+        let cut = cut.index(bytes.len().max(1));
+        if cut < bytes.len() {
+            prop_assert!(Lineage::deserialize(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn corrupted_payloads_never_panic(
+        l in arb_lineage(),
+        pos in any::<proptest::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        // A single flipped byte may still decode (e.g. a changed version
+        // number), but must never panic, and whatever decodes must
+        // re-serialize cleanly.
+        let mut bytes = l.serialize();
+        let pos = pos.index(bytes.len());
+        bytes[pos] ^= xor;
+        if let Ok(decoded) = Lineage::deserialize(&bytes) {
+            let _ = decoded.serialize();
+        }
+    }
+
+    #[test]
+    fn hostile_counts_are_rejected(count in 64u64.., tail in proptest::collection::vec(any::<u8>(), 0..8)) {
+        // A tiny payload declaring a huge name- or dep-count must fail the
+        // length guard (each entry costs bytes the input doesn't have),
+        // never trigger a large allocation or a panic.
+        for inject_deps in [false, true] {
+            let mut buf = vec![1u8]; // version
+            put_varint(&mut buf, 7); // id
+            if inject_deps {
+                put_varint(&mut buf, 1); // 1 name
+                put_str(&mut buf, "s");
+            }
+            put_varint(&mut buf, count); // hostile count
+            buf.extend_from_slice(&tail);
+            prop_assert!(Lineage::deserialize(&buf).is_err());
+        }
+    }
+
+    #[test]
+    fn base64_decode_is_strict_inverse_of_encode(s in "[A-Za-z0-9+/=]{0,64}") {
+        // Strictness: anything the decoder accepts is exactly what the
+        // encoder produces for those bytes — decode is a bijection onto
+        // encode's range, the property cache adoption relies on.
+        if let Ok(data) = base64::decode(&s) {
+            prop_assert_eq!(base64::encode(&data), s);
+        }
+    }
+
+    #[test]
     fn lineage_wire_size_is_linear_in_deps(l in arb_lineage()) {
         // Sanity bound used by the metadata experiments: each dependency
         // costs at most (key + store name + version + framing) bytes.

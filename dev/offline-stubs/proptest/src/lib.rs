@@ -195,6 +195,44 @@ impl Strategy for std::ops::Range<f64> {
     }
 }
 
+macro_rules! impl_range_from_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (<$t>::MAX as u128).wrapping_sub(self.start as u128) + 1;
+                self.start.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+impl_range_from_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Subset of `proptest::sample`: an index drawn independently of the
+/// collection it will select into.
+pub mod sample {
+    use super::{Arbitrary, TestRng};
+
+    /// An arbitrary position, resolved against a length via [`Index::index`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// Maps this index into `0..len`. Panics if `len` is zero, matching
+        /// the real crate.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64() as usize)
+        }
+    }
+}
+
 macro_rules! impl_tuple_strategy {
     ($(($($name:ident),+))*) => {$(
         impl<$($name: Strategy),+> Strategy for ($($name,)+) {
@@ -217,7 +255,7 @@ impl_tuple_strategy! {
 }
 
 pub mod collection {
-    //! Collection strategies (`vec` is the only one in use).
+    //! Collection strategies (`vec` and `btree_map` are the ones in use).
 
     use super::{Strategy, TestRng};
 
@@ -239,13 +277,220 @@ pub mod collection {
             (0..n).map(|_| self.element.generate(rng)).collect()
         }
     }
+
+    /// Strategy for a `BTreeMap` with entry count drawn from `len`.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `BTreeMap` of `key`/`value` pairs, roughly `len` entries (duplicate
+    /// keys collapse, unlike real proptest which redraws them).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        len: std::ops::Range<usize>,
+    ) -> BTreeMapStrategy<K, V> {
+        BTreeMapStrategy { key, value, len }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = std::collections::BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.clone().generate(rng);
+            (0..n)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+}
+
+/// Uniform choice between boxed strategies of a common value type — what
+/// [`prop_oneof!`] builds (real proptest's weighted `TupleUnion` is not
+/// reproduced; the workspace only uses the unweighted form).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// A strategy drawing uniformly from `options`.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = (rng.next_u64() as usize) % self.options.len();
+        self.options[idx].generate(rng)
+    }
+}
+
+/// Picks uniformly among the given strategies (all must share a value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let mut options: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::Strategy<Value = _>>,
+        > = ::std::vec::Vec::new();
+        $(options.push(::std::boxed::Box::new($strategy));)+
+        $crate::Union::new(options)
+    }};
+}
+
+mod string_pattern {
+    //! Generator for the regex-subset string strategies (`"[a-z]{1,8}"` …).
+    //!
+    //! Supports exactly what the workspace's patterns need: literal
+    //! characters, `\`-escapes, `[...]` classes with ranges and trailing
+    //! `-`, the `\PC` printable-character class, and `{n}` / `{n,m}` /
+    //! `*` / `+` / `?` quantifiers. Anything fancier is out of scope.
+
+    use super::test_runner::TestRng;
+
+    /// One pattern atom: an alphabet plus a repetition range.
+    struct Atom {
+        alphabet: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// `\PC` ("not a control character"): printable ASCII plus a few
+    /// multi-byte scalars so UTF-8 handling gets exercised.
+    fn printable_alphabet() -> Vec<char> {
+        let mut set: Vec<char> = (0x20u32..=0x7E).filter_map(char::from_u32).collect();
+        set.extend(['é', 'λ', '→', '—', '🦀']);
+        set
+    }
+
+    fn parse(pattern: &str) -> Vec<Atom> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let alphabet = match chars[i] {
+                '[' => {
+                    i += 1;
+                    let mut set = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                            i += 1;
+                            chars[i]
+                        } else {
+                            chars[i]
+                        };
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            for v in c as u32..=chars[i + 2] as u32 {
+                                if let Some(ch) = char::from_u32(v) {
+                                    set.push(ch);
+                                }
+                            }
+                            i += 3;
+                        } else {
+                            set.push(c);
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated character class in {pattern:?}");
+                    i += 1; // skip ']'
+                    set
+                }
+                '\\' => {
+                    if i + 2 < chars.len()
+                        && (chars[i + 1] == 'P' || chars[i + 1] == 'p')
+                        && chars[i + 2] == 'C'
+                    {
+                        i += 3;
+                        printable_alphabet()
+                    } else {
+                        assert!(i + 1 < chars.len(), "dangling escape in {pattern:?}");
+                        i += 1;
+                        let c = chars[i];
+                        i += 1;
+                        vec![c]
+                    }
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (min, max) = match chars.get(i) {
+                Some('{') => {
+                    let mut j = i + 1;
+                    let mut lo = 0usize;
+                    while chars[j].is_ascii_digit() {
+                        lo = lo * 10 + chars[j].to_digit(10).unwrap() as usize;
+                        j += 1;
+                    }
+                    let hi = if chars[j] == ',' {
+                        j += 1;
+                        let mut h = 0usize;
+                        while chars[j].is_ascii_digit() {
+                            h = h * 10 + chars[j].to_digit(10).unwrap() as usize;
+                            j += 1;
+                        }
+                        h
+                    } else {
+                        lo
+                    };
+                    assert_eq!(chars[j], '}', "malformed quantifier in {pattern:?}");
+                    i = j + 1;
+                    (lo, hi)
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            assert!(min <= max, "inverted quantifier in {pattern:?}");
+            assert!(!alphabet.is_empty(), "empty alphabet in {pattern:?}");
+            atoms.push(Atom { alphabet, min, max });
+        }
+        atoms
+    }
+
+    pub(super) fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse(pattern) {
+            let span = (atom.max - atom.min + 1) as u64;
+            let reps = atom.min + (rng.next_u64() % span) as usize;
+            for _ in 0..reps {
+                let idx = (rng.next_u64() as usize) % atom.alphabet.len();
+                out.push(atom.alphabet[idx]);
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string_pattern::generate(self, rng)
+    }
 }
 
 pub mod prelude {
     //! One-stop imports mirroring `proptest::prelude`.
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
-        Strategy, TestCaseError,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
     };
 }
 

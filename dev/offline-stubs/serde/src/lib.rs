@@ -1,1 +1,145 @@
-//! Offline placeholder — resolves the dependency graph without the network; never compiled by tier-1 targets.
+//! Offline API-compatible subset of `serde` — a `Serialize` trait reduced to
+//! "render yourself as a JSON value" plus the `#[derive(Serialize)]` macro
+//! (from the sibling `serde_derive` stub). Enough for the workspace's
+//! artifact writers (`serde_json::to_string_pretty` over plain structs of
+//! numbers, strings, vectors, tuples, and nested structs). The JSON model
+//! lives here so the `serde_json` stub can share it.
+
+pub use serde_derive::Serialize;
+
+/// A JSON value. Object fields keep declaration order (the derive pushes
+/// them in struct order), matching what real `serde_json` emits for derived
+/// structs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Signed integer.
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<JsonValue>),
+    /// Object, in insertion order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+/// Types that can render themselves as JSON (this stub's reduction of
+/// serde's data model — sufficient for artifact serialization).
+pub trait Serialize {
+    /// The JSON form of `self`.
+    fn to_json_value(&self) -> JsonValue;
+}
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> JsonValue { JsonValue::UInt(*self as u64) }
+        }
+    )*};
+}
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> JsonValue { JsonValue::Int(*self as i64) }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> JsonValue {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> JsonValue {
+        match self {
+            None => JsonValue::Null,
+            Some(v) => v.to_json_value(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> JsonValue {
+                JsonValue::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+    )*};
+}
+impl_ser_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl<K: ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}

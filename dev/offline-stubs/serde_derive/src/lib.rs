@@ -1,0 +1,120 @@
+//! Offline stand-in for `serde_derive`: a hand-rolled `#[derive(Serialize)]`
+//! (no `syn`/`quote`) that handles the shape every artifact struct in this
+//! workspace has — a non-generic struct with named fields. It walks the raw
+//! token tree to collect field names and emits an impl of the stub `serde`
+//! crate's reduced `Serialize` trait ("render as a JSON value"). Anything
+//! fancier (enums, tuple structs, generics, `#[serde(...)]` attributes)
+//! panics at expansion time with a clear message rather than miscompiling.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`, including expanded doc comments) and
+    // the visibility, then expect `struct Name { ... }`.
+    let mut name = None;
+    let mut fields_group = None;
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next(); // the [...] group
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                // `pub(crate)` etc: a paren group may follow.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("serde stub derive: expected struct name, got {other:?}"),
+                }
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        fields_group = Some(g);
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        panic!("serde stub derive: generic structs are not supported")
+                    }
+                    other => panic!(
+                        "serde stub derive: only structs with named fields are supported, \
+                         got {other:?}"
+                    ),
+                }
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                panic!("serde stub derive: enums are not supported")
+            }
+            _ => {}
+        }
+    }
+    let name = name.expect("serde stub derive: no struct found in input");
+    let group = fields_group.expect("serde stub derive: no field block found");
+
+    // Collect field names: at angle-bracket depth 0, each field is
+    // `[attrs] [pub] ident : Type`, fields separated by `,`. Parens and
+    // brackets arrive as single Group tokens, so only `<`/`>` need counting.
+    let mut fields = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut in_type = false;
+    let mut last_ident = None;
+    let mut body = group.stream().into_iter().peekable();
+    while let Some(tt) = body.next() {
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' if in_type => angle_depth += 1,
+                '>' if in_type => angle_depth -= 1,
+                ',' if angle_depth == 0 => in_type = false,
+                ':' if !in_type => {
+                    // `::` cannot appear here: before a field's `:` only
+                    // attributes, visibility, and the name occur.
+                    fields.push(
+                        last_ident
+                            .take()
+                            .expect("serde stub derive: field `:` with no preceding name"),
+                    );
+                    in_type = true;
+                }
+                '#' if !in_type => {
+                    body.next(); // attribute group
+                }
+                _ => {}
+            },
+            TokenTree::Ident(id) if !in_type => {
+                let s = id.to_string();
+                if s != "pub" {
+                    last_ident = Some(s);
+                }
+            }
+            TokenTree::Group(g) if !in_type && g.delimiter() == Delimiter::Parenthesis => {
+                // the group of `pub(crate)` / `pub(super)`
+            }
+            _ => {}
+        }
+    }
+
+    let mut pushes = String::new();
+    for f in &fields {
+        pushes.push_str(&format!(
+            "fields.push((\"{f}\".to_string(), \
+             serde::Serialize::to_json_value(&self.{f})));\n"
+        ));
+    }
+    let out = format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_json_value(&self) -> serde::JsonValue {{\n\
+                 let mut fields: ::std::vec::Vec<(::std::string::String, serde::JsonValue)> =\n\
+                     ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 serde::JsonValue::Object(fields)\n\
+             }}\n\
+         }}\n"
+    );
+    out.parse().expect("serde stub derive: generated impl parses")
+}

@@ -1,1 +1,116 @@
-//! Offline placeholder — resolves the dependency graph without the network; never compiled by tier-1 targets.
+//! Offline API-compatible subset of `serde_json`: `to_string` /
+//! `to_string_pretty` over the stub `serde` crate's reduced `Serialize`
+//! trait. Output is valid JSON with 2-space pretty indentation; float
+//! formatting follows Rust's shortest-round-trip `Display` (real serde_json
+//! prints `1.0` where this prints `1` — consumers of the artifacts parse
+//! either).
+
+use serde::{JsonValue, Serialize};
+
+/// Serialization error. The stub's rendering is infallible, but the type
+/// keeps call sites (`match to_string_pretty(..) { Err(e) => ... }`)
+/// compiling unchanged.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("json serialization error")
+    }
+}
+impl std::error::Error for Error {}
+
+/// Compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_json_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Pretty JSON, 2-space indent.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_json_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn render(v: &JsonValue, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        JsonValue::UInt(n) => out.push_str(&n.to_string()),
+        JsonValue::Int(n) => out.push_str(&n.to_string()),
+        JsonValue::Float(x) => {
+            if x.is_finite() {
+                out.push_str(&x.to_string());
+            } else {
+                // Real serde_json errors on non-finite floats; the artifacts
+                // never contain them, but render `null` defensively.
+                out.push_str("null");
+            }
+        }
+        JsonValue::Str(s) => escape_into(s, out),
+        JsonValue::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                render(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push(']');
+        }
+        JsonValue::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                escape_into(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(val, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

@@ -68,7 +68,7 @@ proptest! {
                     .write(EU, &key, Bytes::from_static(b"v"), &mut lineage)
                     .await
                     .expect("EU configured");
-                written.push((idx, key, wid.version));
+                written.push((idx, key, wid.version()));
             }
             ap.barrier(&lineage, US).await.expect("barrier succeeds");
             // Every write must now be visible in the US.
@@ -109,7 +109,7 @@ proptest! {
         let report = ap.dry_run(&lineage, US);
         prop_assert_eq!(sim.now(), before, "dry-run must not advance time");
         let dep = lineage.deps().next().unwrap();
-        let visible = shim.store().is_visible(US, &dep.key, dep.version);
+        let visible = shim.store().is_visible(US, dep.key(), dep.version());
         prop_assert_eq!(report.is_satisfied(), visible);
         prop_assert_eq!(report.visible.len() + report.unmet.len(), 1);
     }

@@ -188,7 +188,7 @@ proptest! {
             }
         });
         prop_assert_eq!(unmet.len(), 1, "only db-a is held back");
-        prop_assert_eq!(unmet[0].datastore.as_str(), "db-a");
+        prop_assert_eq!(&*unmet[0].datastore(), "db-a");
     }
 
     /// Determinism: the same seed and the same fault plan reproduce the

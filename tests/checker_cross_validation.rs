@@ -69,13 +69,13 @@ fn replay(n: usize, with_barrier: bool, seed: u64) -> Vec<(bool, bool)> {
             exec.read(
                 reader,
                 l_read,
-                notif_wid.datastore.clone(),
-                notif_wid.key.clone(),
+                notif_wid.datastore().to_string(),
+                notif_wid.key().to_string(),
                 Some(notif_wid.clone()),
             );
             if with_barrier {
                 posts_store
-                    .wait_visible(US, &key, post_wid.version)
+                    .wait_visible(US, &key, post_wid.version())
                     .await
                     .expect("US configured");
             }
@@ -84,7 +84,7 @@ fn replay(n: usize, with_barrier: bool, seed: u64) -> Vec<(bool, bool)> {
             exec.read(
                 reader,
                 l_read,
-                post_wid.datastore.clone(),
+                post_wid.datastore().to_string(),
                 key,
                 found.then(|| post_wid.clone()),
             );

@@ -56,15 +56,15 @@ fn recorded_execution_agrees_with_observed_violation() {
             exec.read(
                 reader,
                 l_read,
-                notif_wid.datastore.clone(),
-                notif_wid.key.clone(),
+                notif_wid.datastore().to_string(),
+                notif_wid.key().to_string(),
                 Some(notif_wid.clone()),
             );
             if wait_for_replication {
                 // (what barrier would do)
                 posts
                     .store()
-                    .wait_visible(US, "post-1", post_wid.version)
+                    .wait_visible(US, "post-1", post_wid.version())
                     .await
                     .unwrap();
             }
