@@ -16,6 +16,7 @@
 //! observed XCY violations) and an *Antipode* variant (shims + barriers)
 //! that eliminates them.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod acl;

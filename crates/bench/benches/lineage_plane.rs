@@ -8,8 +8,8 @@
 //! dependency count, not quadratically (asserted by the root
 //! `serialize_scaling_is_linear` test; the bench makes the curve visible).
 
-use antipode_lineage::{Baggage, Lineage, LineageId, WriteId};
 use antipode_bench::perf;
+use antipode_lineage::{Baggage, Lineage, LineageId, WriteId};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 

@@ -15,7 +15,9 @@ fn main() {
         .next()
         .map(|s| s.parse().expect("seed must be an integer"))
         .unwrap_or(DEFAULT_SEED);
-    let path = args.next().unwrap_or_else(|| "BENCH_lineage.json".to_string());
+    let path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_lineage.json".to_string());
 
     let baseline = perf::run(seed);
     let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");

@@ -16,6 +16,7 @@
 //! | `metadata_sizes` | §7.4 lineage-metadata analysis |
 //! | `run_all` | all of the above in sequence |
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;

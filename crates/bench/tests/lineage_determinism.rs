@@ -22,15 +22,20 @@ fn baseline_deterministic_section_matches_standalone_workload() {
     // metrics as calling the workload directly — the timing pass that runs
     // alongside it must not perturb the counters.
     let a = thread::spawn(|| perf::run(7).deterministic).join().unwrap();
-    let b = thread::spawn(|| perf::deterministic_workload(7, perf::DEFAULT_DEPS, perf::DEFAULT_HOPS))
-        .join()
-        .unwrap();
+    let b =
+        thread::spawn(|| perf::deterministic_workload(7, perf::DEFAULT_DEPS, perf::DEFAULT_HOPS))
+            .join()
+            .unwrap();
     assert_eq!(a, b);
 }
 
 #[test]
 fn seed_changes_the_workload() {
-    let a = thread::spawn(|| perf::deterministic_workload(1, 8, 32)).join().unwrap();
-    let b = thread::spawn(|| perf::deterministic_workload(2, 8, 32)).join().unwrap();
+    let a = thread::spawn(|| perf::deterministic_workload(1, 8, 32))
+        .join()
+        .unwrap();
+    let b = thread::spawn(|| perf::deterministic_workload(2, 8, 32))
+        .join()
+        .unwrap();
     assert_ne!(a, b, "the workload must actually depend on its seed");
 }

@@ -35,12 +35,14 @@
 //! // ap.barrier(&lineage, region).await where visibility must hold.
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod barrier;
 pub mod checker;
 pub mod ctx;
 pub mod idgen;
+pub mod race;
 pub mod registry;
 pub mod wait;
 
@@ -48,6 +50,7 @@ pub use barrier::{Antipode, BarrierError, BarrierReport, BarrierRetry, DryRunRep
 pub use checker::{Checkpoint, ConsistencyChecker, LocationStats};
 pub use ctx::LineageCtx;
 pub use idgen::LineageIdGen;
+pub use race::{RaceDetector, RaceFinding, RaceStats, TraceEvent};
 pub use registry::{ShimRegistry, UnknownStorePolicy};
 pub use wait::{LocalBoxFuture, WaitError, WaitTarget};
 

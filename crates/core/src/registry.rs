@@ -10,7 +10,6 @@
 //! lookup is an integer hash, never a string hash — the hot path of
 //! `barrier(ℒ)` touches no string data for known stores.
 
-use std::collections::HashMap;
 use std::rc::Rc;
 
 use antipode_lineage::StoreId;
@@ -31,9 +30,15 @@ pub enum UnknownStorePolicy {
 }
 
 /// Registry of datastore shims available to one service.
+///
+/// Stored as a linear-scan vector in registration order: a service registers
+/// a handful of shims (the paper's deployments use at most eight), so a scan
+/// beats hashing — and [`StoreId`] is deliberately not `Ord` (ids are
+/// assigned in first-intern order), so an ordered map would be
+/// interning-history-dependent anyway.
 #[derive(Clone, Default)]
 pub struct ShimRegistry {
-    shims: HashMap<StoreId, Rc<dyn WaitTarget>>,
+    shims: Vec<(StoreId, Rc<dyn WaitTarget>)>,
 }
 
 impl ShimRegistry {
@@ -45,22 +50,29 @@ impl ShimRegistry {
     /// Registers a shim under its datastore name, replacing any previous
     /// registration for the same name.
     pub fn register(&mut self, shim: Rc<dyn WaitTarget>) {
-        self.shims.insert(StoreId::intern(shim.datastore_name()), shim);
+        let id = StoreId::intern(shim.datastore_name());
+        match self.shims.iter_mut().find(|(k, _)| *k == id) {
+            Some(slot) => slot.1 = shim,
+            None => self.shims.push((id, shim)),
+        }
     }
 
     /// Looks up a shim by datastore name.
     pub fn get(&self, datastore: &str) -> Option<&Rc<dyn WaitTarget>> {
-        StoreId::lookup(datastore).and_then(|id| self.shims.get(&id))
+        StoreId::lookup(datastore).and_then(|id| self.get_id(id))
     }
 
     /// Looks up a shim by interned store id — the barrier's hot path.
     pub fn get_id(&self, store: StoreId) -> Option<&Rc<dyn WaitTarget>> {
-        self.shims.get(&store)
+        self.shims
+            .iter()
+            .find(|(k, _)| *k == store)
+            .map(|(_, shim)| shim)
     }
 
     /// Whether a shim is registered for the datastore.
     pub fn contains(&self, datastore: &str) -> bool {
-        StoreId::lookup(datastore).is_some_and(|id| self.shims.contains_key(&id))
+        StoreId::lookup(datastore).is_some_and(|id| self.get_id(id).is_some())
     }
 
     /// Number of registered shims.
@@ -75,7 +87,7 @@ impl ShimRegistry {
 
     /// Registered datastore names, sorted.
     pub fn names(&self) -> Vec<Rc<str>> {
-        let mut v: Vec<Rc<str>> = self.shims.keys().map(|id| id.name()).collect();
+        let mut v: Vec<Rc<str>> = self.shims.iter().map(|(id, _)| id.name()).collect();
         v.sort_unstable();
         v
     }

@@ -43,6 +43,7 @@
 //! });
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod amq;
@@ -50,6 +51,7 @@ pub mod dynamodb;
 pub mod envelope;
 pub mod mongodb;
 pub mod mysql;
+pub mod probe;
 pub mod profiles;
 pub mod queue;
 pub mod rabbitmq;

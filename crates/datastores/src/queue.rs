@@ -7,7 +7,7 @@
 //! the KV framework so shims can implement `wait` on queued messages too.
 
 use std::cell::{Cell, RefCell};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -19,6 +19,7 @@ use antipode_sim::sync::{channel, oneshot, OneSender, Receiver, Sender};
 use antipode_sim::{Region, Sim, SimTime};
 use bytes::Bytes;
 
+use crate::probe::{VisibilityEvent, VisibilityProbe};
 use crate::replica::StoreError;
 
 /// Latency model for one queue / pub-sub store type.
@@ -76,12 +77,15 @@ struct GroupState {
 
 #[derive(Default)]
 struct RegionState {
-    delivered: HashSet<u64>,
-    acked: HashSet<u64>,
+    delivered: BTreeSet<u64>,
+    acked: BTreeSet<u64>,
     subscribers: Vec<Sender<QueueMessage>>,
     waiters: Vec<Waiter>,
     ack_waiters: Vec<Waiter>,
-    groups: HashMap<String, GroupState>,
+    // Iterated on every delivery (each group gets one copy of the message),
+    // so the order must be deterministic: a hash map here leaks iteration
+    // order into consumer wake-up order.
+    groups: BTreeMap<String, GroupState>,
 }
 
 struct QueueInner {
@@ -90,7 +94,7 @@ struct QueueInner {
     net: Rc<Network>,
     profile: QueueProfile,
     regions: Vec<Region>,
-    state: RefCell<HashMap<Region, RegionState>>,
+    state: RefCell<BTreeMap<Region, RegionState>>,
     next_id: Cell<u64>,
     rng: RefCell<SimRng>,
     /// The simulation-wide chaos schedule (broker outages, delivery drops,
@@ -102,6 +106,16 @@ struct QueueInner {
     /// within this interval is redelivered to the group — so a crashed
     /// consumer cannot strand a message.
     visibility_timeout: Cell<Option<Duration>>,
+    /// Optional observation hook for dynamic analysis (race detection).
+    probe: RefCell<Option<VisibilityProbe>>,
+}
+
+impl QueueInner {
+    fn emit(&self, event: VisibilityEvent) {
+        if let Some(p) = self.probe.borrow().clone() {
+            p(&event);
+        }
+    }
 }
 
 /// A simulated geo-replicated queue / pub-sub system.
@@ -139,6 +153,7 @@ impl QueueStore {
                 faults: sim.faults(),
                 redelivery: RefCell::new(Dist::constant_ms(200.0)),
                 visibility_timeout: Cell::new(None),
+                probe: RefCell::new(None),
             }),
         }
     }
@@ -255,24 +270,17 @@ impl QueueStore {
 
     fn deliver(&self, region: Region, msg: QueueMessage) {
         let mut state = self.inner.state.borrow_mut();
-        let rs = state
-            .get_mut(&region)
-            .expect("deliver only to configured regions");
+        // Deliveries only target configured regions; treat a miss as a
+        // dropped delivery rather than tearing the run down.
+        let Some(rs) = state.get_mut(&region) else {
+            return;
+        };
         rs.delivered.insert(msg.id);
         rs.subscribers.retain(|sub| sub.send(msg.clone()).is_ok());
         // Each consumer group receives the message exactly once: hand it to
         // a waiting consumer if any, else queue it for the next take.
         for group in rs.groups.values_mut() {
-            let mut msg = Some(msg.clone());
-            while let Some(tx) = group.waiters.pop_front() {
-                match tx.send(msg.take().expect("present until sent")) {
-                    Ok(()) => break,
-                    Err(back) => msg = Some(back), // dead waiter, try next
-                }
-            }
-            if let Some(m) = msg {
-                group.pending.push_back(m);
-            }
+            hand_to_group(group, msg.clone());
         }
         let mut i = 0;
         while i < rs.waiters.len() {
@@ -283,18 +291,30 @@ impl QueueStore {
                 i += 1;
             }
         }
+        drop(state);
+        self.inner.emit(VisibilityEvent::QueueDelivered {
+            store: self.inner.name.clone(),
+            region,
+            id: msg.id,
+            at: self.inner.sim.now(),
+        });
+    }
+
+    /// Installs an observation hook invoked at every delivery and ack; see
+    /// [`crate::probe`]. Pass `None` to remove it.
+    pub fn set_probe(&self, probe: Option<VisibilityProbe>) {
+        *self.inner.probe.borrow_mut() = probe;
     }
 
     /// Subscribes to messages delivered in `region`. Every subscriber
     /// receives every message delivered after it subscribed.
     pub fn subscribe(&self, region: Region) -> Result<Receiver<QueueMessage>, StoreError> {
-        self.check_region(region)?;
         let (tx, rx) = channel();
         self.inner
             .state
             .borrow_mut()
             .get_mut(&region)
-            .expect("region checked above")
+            .ok_or(StoreError::NoSuchRegion(region))?
             .subscribers
             .push(tx);
         Ok(rx)
@@ -310,13 +330,12 @@ impl QueueStore {
         region: Region,
         group: impl Into<String>,
     ) -> Result<GroupConsumer, StoreError> {
-        self.check_region(region)?;
         let group = group.into();
         self.inner
             .state
             .borrow_mut()
             .get_mut(&region)
-            .expect("region checked above")
+            .ok_or(StoreError::NoSuchRegion(region))?
             .groups
             .entry(group.clone())
             .or_default();
@@ -339,11 +358,12 @@ impl QueueStore {
 
     /// Resolves once message `id` is delivered in `region`.
     pub async fn wait_visible(&self, region: Region, id: u64) -> Result<(), StoreError> {
-        self.check_region(region)?;
         loop {
             let rx = {
                 let mut state = self.inner.state.borrow_mut();
-                let rs = state.get_mut(&region).expect("region checked above");
+                let rs = state
+                    .get_mut(&region)
+                    .ok_or(StoreError::NoSuchRegion(region))?;
                 if rs.delivered.contains(&id) {
                     return Ok(());
                 }
@@ -362,9 +382,10 @@ impl QueueStore {
     /// implement `wait` against acks rather than deliveries — a store-
     /// specific visibility semantic (§6.3: `wait` is opaque per store).
     pub fn ack(&self, region: Region, id: u64) -> Result<(), StoreError> {
-        self.check_region(region)?;
         let mut state = self.inner.state.borrow_mut();
-        let rs = state.get_mut(&region).expect("region checked above");
+        let rs = state
+            .get_mut(&region)
+            .ok_or(StoreError::NoSuchRegion(region))?;
         rs.acked.insert(id);
         let mut i = 0;
         while i < rs.ack_waiters.len() {
@@ -375,6 +396,13 @@ impl QueueStore {
                 i += 1;
             }
         }
+        drop(state);
+        self.inner.emit(VisibilityEvent::QueueAcked {
+            store: self.inner.name.clone(),
+            region,
+            id,
+            at: self.inner.sim.now(),
+        });
         Ok(())
     }
 
@@ -390,11 +418,12 @@ impl QueueStore {
 
     /// Resolves once message `id` is acknowledged in `region`.
     pub async fn wait_acked(&self, region: Region, id: u64) -> Result<(), StoreError> {
-        self.check_region(region)?;
         loop {
             let rx = {
                 let mut state = self.inner.state.borrow_mut();
-                let rs = state.get_mut(&region).expect("region checked above");
+                let rs = state
+                    .get_mut(&region)
+                    .ok_or(StoreError::NoSuchRegion(region))?;
                 if rs.acked.contains(&id) {
                     return Ok(());
                 }
@@ -453,15 +482,23 @@ impl QueueStore {
         else {
             return;
         };
-        let mut msg = Some(msg);
-        while let Some(tx) = gs.waiters.pop_front() {
-            match tx.send(msg.take().expect("present until sent")) {
-                Ok(()) => return,
-                Err(back) => msg = Some(back),
+        hand_to_group(gs, msg);
+    }
+}
+
+/// Hands `msg` to the first live waiter of a group, or queues it as pending.
+fn hand_to_group(group: &mut GroupState, msg: QueueMessage) {
+    let mut undelivered = Some(msg);
+    while let Some(m) = undelivered.take() {
+        match group.waiters.pop_front() {
+            Some(tx) => {
+                if let Err(back) = tx.send(m) {
+                    undelivered = Some(back); // dead waiter, try next
+                }
             }
-        }
-        if let Some(m) = msg {
-            gs.pending.push_back(m);
+            None => {
+                group.pending.push_back(m);
+            }
         }
     }
 }
@@ -482,12 +519,15 @@ impl GroupConsumer {
         loop {
             let rx = {
                 let mut state = self.store.inner.state.borrow_mut();
+                // The region was validated and the group created at join
+                // time; regions and groups are never removed, so re-creating
+                // the group entry on a miss is a deterministic no-op.
                 let gs = state
-                    .get_mut(&self.region)
-                    .expect("region validated at join")
+                    .entry(self.region)
+                    .or_default()
                     .groups
-                    .get_mut(&self.group)
-                    .expect("group created at join");
+                    .entry(self.group.clone())
+                    .or_default();
                 if let Some(m) = gs.pending.pop_front() {
                     drop(state);
                     self.arm_redelivery(&m);
@@ -715,7 +755,7 @@ mod tests {
         want.sort_unstable();
         assert_eq!(got, want);
         // …and the work actually spread over multiple workers.
-        let workers: HashSet<usize> = taken.iter().map(|(w, _)| *w).collect();
+        let workers: BTreeSet<usize> = taken.iter().map(|(w, _)| *w).collect();
         assert!(workers.len() >= 2, "work went to {workers:?}");
     }
 

@@ -14,7 +14,7 @@
 //! are thin wrappers over the plan.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 #[cfg(test)]
 use std::time::Duration;
@@ -26,6 +26,8 @@ use antipode_sim::rng::SimRng;
 use antipode_sim::sync::{oneshot, OneSender};
 use antipode_sim::{Region, Sim, SimTime};
 use bytes::Bytes;
+
+use crate::probe::{VisibilityEvent, VisibilityProbe};
 
 /// Latency and replication model for one datastore type.
 #[derive(Clone, Debug)]
@@ -101,7 +103,7 @@ struct Waiter {
 
 #[derive(Default)]
 struct ReplicaState {
-    data: HashMap<String, StoredValue>,
+    data: BTreeMap<String, StoredValue>,
     waiters: Vec<Waiter>,
 }
 
@@ -111,12 +113,14 @@ struct KvInner {
     net: Rc<Network>,
     profile: KvProfile,
     regions: Vec<Region>,
-    replicas: RefCell<HashMap<Region, ReplicaState>>,
+    replicas: RefCell<BTreeMap<Region, ReplicaState>>,
     next_version: Cell<u64>,
     rng: RefCell<SimRng>,
     /// The simulation-wide chaos schedule; every fault this store observes
     /// (drops, stalls, partitions, outages, congestion) comes from here.
     faults: FaultPlan,
+    /// Optional observation hook for dynamic analysis (race detection).
+    probe: RefCell<Option<VisibilityProbe>>,
 }
 
 /// A simulated geo-replicated key-value store.
@@ -141,7 +145,7 @@ impl KvStore {
         let replicas = regions
             .iter()
             .map(|r| (*r, ReplicaState::default()))
-            .collect::<HashMap<_, _>>();
+            .collect::<BTreeMap<_, _>>();
         KvStore {
             inner: Rc::new(KvInner {
                 name,
@@ -153,6 +157,7 @@ impl KvStore {
                 next_version: Cell::new(1),
                 rng,
                 faults: sim.faults(),
+                probe: RefCell::new(None),
             }),
         }
     }
@@ -281,9 +286,11 @@ impl KvStore {
     /// data.
     fn apply(&self, region: Region, key: &str, version: u64, value: Bytes) {
         let mut replicas = self.inner.replicas.borrow_mut();
-        let state = replicas
-            .get_mut(&region)
-            .expect("apply only to configured replicas");
+        // Replication only targets configured replicas; treat a miss as a
+        // dropped message rather than tearing the run down.
+        let Some(state) = replicas.get_mut(&region) else {
+            return;
+        };
         let newer_exists = state
             .data
             .get(key)
@@ -309,6 +316,22 @@ impl KvStore {
                 i += 1;
             }
         }
+        drop(replicas);
+        if let Some(p) = self.inner.probe.borrow().clone() {
+            p(&VisibilityEvent::KvApplied {
+                store: self.inner.name.clone(),
+                region,
+                key: key.to_string(),
+                watermark,
+                at: self.inner.sim.now(),
+            });
+        }
+    }
+
+    /// Installs an observation hook invoked at every replica apply; see
+    /// [`crate::probe`]. Pass `None` to remove it.
+    pub fn set_probe(&self, probe: Option<VisibilityProbe>) {
+        *self.inner.probe.borrow_mut() = probe;
     }
 
     /// Writes like [`KvStore::put`] but *synchronously*: returns only once
@@ -394,7 +417,9 @@ impl KvStore {
         loop {
             let rx = {
                 let mut replicas = self.inner.replicas.borrow_mut();
-                let state = replicas.get_mut(&region).expect("region checked above");
+                let state = replicas
+                    .get_mut(&region)
+                    .ok_or(StoreError::NoSuchRegion(region))?;
                 let visible = state
                     .data
                     .get(key)

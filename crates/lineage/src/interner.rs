@@ -19,6 +19,8 @@
 //! the v1 wire format, which still carries datastore names as strings.
 
 use std::cell::RefCell;
+// lint: allow(nondeterministic-map, lookup-only index — never iterated, so
+// iteration order cannot escape; hashing keeps interning O(1) on the hot path)
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
@@ -35,6 +37,8 @@ pub struct StoreId(u32);
 #[derive(Default)]
 struct Interner {
     names: Vec<Rc<str>>,
+    // lint: allow(nondeterministic-map, get/insert only; ids come from the
+    // insertion-ordered `names` vector, never from map iteration)
     index: HashMap<Rc<str>, u32>,
 }
 

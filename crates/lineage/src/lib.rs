@@ -38,6 +38,7 @@
 //! assert_eq!(remote.lineage().unwrap(), lineage);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baggage;
@@ -54,9 +55,9 @@ pub mod write_id;
 pub use baggage::{Baggage, BaggageError, LINEAGE_KEY};
 pub use interner::StoreId;
 pub use lineage::{Lineage, LineageId};
-pub use stats::LineageStats;
 pub use lineage_dag::{Action, DagError, LineageDag, ServiceId, Vertex};
 pub use model::{Causality, Execution, Op, ProcId, Violation};
+pub use stats::LineageStats;
 pub use varint::CodecError;
 pub use vector_clock::{ClockOrder, VectorClock};
 pub use write_id::WriteId;

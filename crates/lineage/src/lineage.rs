@@ -585,7 +585,10 @@ mod tests {
         assert!(Rc::ptr_eq(&first, &second), "unchanged lineage: cache hit");
         l.append(wid("s", "k2", 2));
         let third = l.wire_bytes();
-        assert!(!Rc::ptr_eq(&first, &third), "mutation invalidates the cache");
+        assert!(
+            !Rc::ptr_eq(&first, &third),
+            "mutation invalidates the cache"
+        );
         assert_eq!(third.as_ref(), l.serialize().as_slice());
     }
 

@@ -10,7 +10,7 @@
 //! [`LineageDag::write_projection`] computes it, and tests verify the two
 //! views agree.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use crate::lineage::{Lineage, LineageId};
 use crate::model::ProcId;
@@ -197,12 +197,12 @@ impl LineageDag {
         self.reachable_from(self.root()).contains(&v)
     }
 
-    fn reachable_from(&self, start: usize) -> HashSet<usize> {
-        let mut adj: HashMap<usize, Vec<usize>> = HashMap::new();
+    fn reachable_from(&self, start: usize) -> BTreeSet<usize> {
+        let mut adj: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for &(a, b) in &self.edges {
             adj.entry(a).or_default().push(b);
         }
-        let mut seen = HashSet::from([start]);
+        let mut seen = BTreeSet::from([start]);
         let mut q = VecDeque::from([start]);
         while let Some(u) = q.pop_front() {
             for &v in adj.get(&u).into_iter().flatten() {
@@ -231,7 +231,7 @@ impl LineageDag {
         // Kahn's algorithm.
         let n = self.vertices.len();
         let mut indeg = vec![0usize; n];
-        let mut adj: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut adj: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for &(a, b) in &self.edges {
             indeg[b] += 1;
             adj.entry(a).or_default().push(b);

@@ -213,8 +213,8 @@ impl Execution {
         let mut adj = vec![Vec::new(); n];
 
         // Rule 1a: program order within each process.
-        let mut last_of: std::collections::HashMap<ProcId, usize> =
-            std::collections::HashMap::new();
+        let mut last_of: std::collections::BTreeMap<ProcId, usize> =
+            std::collections::BTreeMap::new();
         for (i, op) in self.ops.iter().enumerate() {
             if let Some(&prev) = last_of.get(&op.proc()) {
                 adj[prev].push(i);

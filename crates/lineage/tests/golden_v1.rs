@@ -18,15 +18,15 @@ use antipode_lineage::{Lineage, LineageId, WriteId};
 
 /// DeathStarBench-shaped lineage: 4 deps across 4 stores.
 const FIXTURE1: &[u8] = &[
-    1, 188, 181, 226, 179, 197, 198, 4, 4, 13, 109, 101, 100, 105, 97, 45, 109, 111, 110, 103,
-    111, 100, 98, 20, 112, 111, 115, 116, 45, 115, 116, 111, 114, 97, 103, 101, 45, 109, 111,
-    110, 103, 111, 100, 98, 21, 117, 115, 101, 114, 45, 116, 105, 109, 101, 108, 105, 110, 101,
-    45, 109, 111, 110, 103, 111, 100, 98, 28, 119, 114, 105, 116, 101, 45, 104, 111, 109, 101,
-    45, 116, 105, 109, 101, 108, 105, 110, 101, 45, 114, 97, 98, 98, 105, 116, 109, 113, 4, 0,
-    10, 109, 101, 100, 105, 97, 45, 52, 52, 49, 49, 2, 1, 24, 112, 111, 115, 116, 45, 54, 57,
-    49, 55, 53, 50, 57, 48, 50, 55, 54, 52, 49, 48, 56, 49, 56, 53, 54, 3, 2, 9, 117, 115, 101,
-    114, 45, 49, 55, 50, 57, 12, 3, 23, 109, 115, 103, 45, 54, 57, 49, 55, 53, 50, 57, 48, 50,
-    55, 54, 52, 49, 48, 56, 49, 56, 53, 55, 1,
+    1, 188, 181, 226, 179, 197, 198, 4, 4, 13, 109, 101, 100, 105, 97, 45, 109, 111, 110, 103, 111,
+    100, 98, 20, 112, 111, 115, 116, 45, 115, 116, 111, 114, 97, 103, 101, 45, 109, 111, 110, 103,
+    111, 100, 98, 21, 117, 115, 101, 114, 45, 116, 105, 109, 101, 108, 105, 110, 101, 45, 109, 111,
+    110, 103, 111, 100, 98, 28, 119, 114, 105, 116, 101, 45, 104, 111, 109, 101, 45, 116, 105, 109,
+    101, 108, 105, 110, 101, 45, 114, 97, 98, 98, 105, 116, 109, 113, 4, 0, 10, 109, 101, 100, 105,
+    97, 45, 52, 52, 49, 49, 2, 1, 24, 112, 111, 115, 116, 45, 54, 57, 49, 55, 53, 50, 57, 48, 50,
+    55, 54, 52, 49, 48, 56, 49, 56, 53, 54, 3, 2, 9, 117, 115, 101, 114, 45, 49, 55, 50, 57, 12, 3,
+    23, 109, 115, 103, 45, 54, 57, 49, 55, 53, 50, 57, 48, 50, 55, 54, 52, 49, 48, 56, 49, 56, 53,
+    55, 1,
 ];
 
 /// Empty lineage, small id.
@@ -34,11 +34,11 @@ const FIXTURE2: &[u8] = &[1, 5, 0, 0];
 
 /// Max-valued id and versions (worst-case varints), one store, 5 deps.
 const FIXTURE3: &[u8] = &[
-    1, 255, 255, 255, 255, 255, 255, 255, 255, 255, 1, 1, 2, 100, 98, 5, 0, 2, 107, 48, 255,
-    255, 255, 255, 255, 255, 255, 255, 255, 1, 0, 2, 107, 49, 254, 255, 255, 255, 255, 255, 255,
-    255, 255, 1, 0, 2, 107, 50, 253, 255, 255, 255, 255, 255, 255, 255, 255, 1, 0, 2, 107, 51,
-    252, 255, 255, 255, 255, 255, 255, 255, 255, 1, 0, 2, 107, 52, 251, 255, 255, 255, 255, 255,
-    255, 255, 255, 1,
+    1, 255, 255, 255, 255, 255, 255, 255, 255, 255, 1, 1, 2, 100, 98, 5, 0, 2, 107, 48, 255, 255,
+    255, 255, 255, 255, 255, 255, 255, 1, 0, 2, 107, 49, 254, 255, 255, 255, 255, 255, 255, 255,
+    255, 1, 0, 2, 107, 50, 253, 255, 255, 255, 255, 255, 255, 255, 255, 1, 0, 2, 107, 51, 252, 255,
+    255, 255, 255, 255, 255, 255, 255, 1, 0, 2, 107, 52, 251, 255, 255, 255, 255, 255, 255, 255,
+    255, 1,
 ];
 
 fn fixture1_lineage() -> Lineage {
@@ -160,6 +160,7 @@ mod reference {
 
     /// Decodes per the v1 spec. Lenient like a spec-minimal reader: no
     /// canonicality checks beyond structural validity.
+    #[allow(clippy::type_complexity)]
     pub fn decode(bytes: &[u8]) -> Option<(u64, Vec<(String, String, u64)>)> {
         let mut pos = 0usize;
         if *bytes.first()? != 1 {

@@ -1,0 +1,375 @@
+//! A hand-rolled lexical pass over Rust source.
+//!
+//! The linter's rules are all lexical — "this token must not appear in this
+//! kind of file" — so a full parse (and the `syn` dependency it would drag
+//! in) is unnecessary. What *is* necessary is not being fooled by trivia: a
+//! `HashMap` inside a string literal, a doc comment, or a `#[cfg(test)]`
+//! module must not fire a determinism rule. This module strips source down
+//! to per-line *code* (strings and comments blanked) and *comment* text
+//! (for waivers), and computes which lines belong to test-only spans.
+//!
+//! Handled: line/doc comments, nested block comments, string/char/byte
+//! literals, raw strings (`r#"…"#` with any number of hashes), and the
+//! char-literal vs lifetime ambiguity (`'a'` vs `<'a>`).
+
+use std::collections::BTreeSet;
+
+/// One source line after lexing.
+#[derive(Clone, Debug, Default)]
+pub struct Line {
+    /// Code with every string, char literal, and comment blanked out.
+    pub code: String,
+    /// The text of any comment that appeared on this line.
+    pub comment: String,
+}
+
+enum State {
+    Normal,
+    LineComment,
+    /// Nested block comment, with current depth.
+    Block(u32),
+    Str,
+    /// Raw string, closed by `"` followed by this many `#`s.
+    RawStr(u32),
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Splits `source` into lexed [`Line`]s.
+pub fn split_lines(source: &str) -> Vec<Line> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines = Vec::new();
+    let mut cur = Line::default();
+    let mut state = State::Normal;
+    let mut i = 0;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(state, State::LineComment) {
+                state = State::Normal;
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Normal => {
+                let next = chars.get(i + 1).copied();
+                let starts_token = !cur.code.chars().next_back().is_some_and(is_ident);
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    cur.code.push(' ');
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::Block(1);
+                    cur.code.push(' ');
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str;
+                    cur.code.push(' ');
+                    i += 1;
+                } else if c == 'b' && next == Some('"') && starts_token {
+                    state = State::Str;
+                    cur.code.push(' ');
+                    i += 2;
+                } else if c == 'b' && next == Some('\'') && starts_token {
+                    i += 1; // fall through to the char-literal scan below
+                    i += skip_char_literal(&chars, i);
+                    cur.code.push(' ');
+                } else if (c == 'r' || (c == 'b' && next == Some('r'))) && starts_token {
+                    let start = if c == 'b' { i + 2 } else { i + 1 };
+                    if let Some(hashes) = raw_string_hashes(&chars, start) {
+                        state = State::RawStr(hashes);
+                        cur.code.push(' ');
+                        i = start + hashes as usize + 1;
+                    } else {
+                        cur.code.push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    let skipped = skip_char_literal(&chars, i);
+                    if skipped > 0 {
+                        cur.code.push(' ');
+                        i += skipped;
+                    } else {
+                        // A lifetime — keep the tick so tokens stay split.
+                        cur.code.push(c);
+                        i += 1;
+                    }
+                } else {
+                    cur.code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::Block(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::Block(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::Block(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Normal;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw_string(&chars, i + 1, hashes) {
+                    state = State::Normal;
+                    i += 1 + hashes as usize;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        lines.push(cur);
+    }
+    lines
+}
+
+/// If `chars[at..]` is `#*"` (a raw-string opener), returns the hash count.
+fn raw_string_hashes(chars: &[char], at: usize) -> Option<u32> {
+    let mut j = at;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(hashes)
+}
+
+fn closes_raw_string(chars: &[char], at: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| chars.get(at + k) == Some(&'#'))
+}
+
+/// If `chars[at..]` is a char literal (`'x'`, `'\n'`, `'\u{1F980}'`),
+/// returns its length in chars; `0` means it is a lifetime instead.
+fn skip_char_literal(chars: &[char], at: usize) -> usize {
+    debug_assert_eq!(chars.get(at), Some(&'\''));
+    let mut j = at + 1;
+    if chars.get(j) == Some(&'\\') {
+        // Escaped: scan (bounded) for the closing quote.
+        j += 1;
+        for _ in 0..12 {
+            match chars.get(j) {
+                Some('\'') => return j - at + 1,
+                Some(_) => j += 1,
+                None => return 0,
+            }
+        }
+        0
+    } else if chars.get(at + 2) == Some(&'\'') && chars.get(at + 1) != Some(&'\'') {
+        3 // 'x'
+    } else {
+        0 // lifetime
+    }
+}
+
+/// The rule waiver marker recognized in comments:
+/// `// lint: allow(<rule>, <reason…>)`.
+const WAIVER_MARKER: &str = "lint: allow(";
+
+/// Per-line sets of waived rule slugs.
+///
+/// A waiver on a line with code applies to that line; a waiver in a
+/// comment-only line applies to the first following line that has code
+/// (so multi-line justification comments above the flagged line work).
+pub fn waivers(lines: &[Line]) -> Vec<BTreeSet<String>> {
+    let mut out = vec![BTreeSet::new(); lines.len()];
+    for (i, line) in lines.iter().enumerate() {
+        let Some(at) = line.comment.find(WAIVER_MARKER) else {
+            continue;
+        };
+        let rest = &line.comment[at + WAIVER_MARKER.len()..];
+        let rule = rest
+            .split([',', ')'])
+            .next()
+            .unwrap_or("")
+            .trim()
+            .to_string();
+        if rule.is_empty() {
+            continue;
+        }
+        let target = if !line.code.trim().is_empty() {
+            Some(i)
+        } else {
+            // Walk to the first code-bearing line below the comment block.
+            (i + 1..lines.len()).find(|&j| !lines[j].code.trim().is_empty())
+        };
+        if let Some(t) = target {
+            out[t].insert(rule);
+        }
+    }
+    out
+}
+
+/// Marks the lines covered by `#[cfg(test)]` items (test modules and
+/// test-gated items), by brace-matching from the attribute.
+pub fn test_lines(lines: &[Line]) -> Vec<bool> {
+    let mut in_test = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if !lines[i].code.contains("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0i64;
+        let mut seen_brace = false;
+        let mut j = i;
+        'span: while j < lines.len() {
+            for c in lines[j].code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        seen_brace = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if seen_brace && depth == 0 {
+                            break 'span;
+                        }
+                    }
+                    // A braceless item (e.g. `#[cfg(test)] use …;`).
+                    ';' if !seen_brace && depth == 0 => break 'span,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        let end = j.min(lines.len() - 1);
+        for flag in &mut in_test[i..=end] {
+            *flag = true;
+        }
+        i = end + 1;
+    }
+    in_test
+}
+
+/// Iterates the identifier tokens of a lexed code line.
+pub fn idents(code: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = None;
+    for (at, c) in code.char_indices() {
+        if is_ident(c) {
+            start.get_or_insert(at);
+        } else if let Some(s) = start.take() {
+            out.push(&code[s..at]);
+        }
+    }
+    if let Some(s) = start {
+        out.push(&code[s..]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let lines = split_lines("let x = \"HashMap\"; // HashMap here\nuse HashMap;\n");
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(lines[0].comment.contains("HashMap"));
+        assert!(lines[1].code.contains("HashMap"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let lines = split_lines("let x = r#\"HashMap \"quoted\" \"#; HashSet\n");
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(lines[0].code.contains("HashSet"), "{:?}", lines[0].code);
+    }
+
+    #[test]
+    fn multiline_and_nested_block_comments() {
+        let src = "a /* one\n /* two */ still\n done */ b\n";
+        let lines = split_lines(src);
+        assert_eq!(lines[0].code.trim(), "a");
+        assert_eq!(lines[1].code.trim(), "");
+        assert_eq!(lines[2].code.trim(), "b");
+        assert!(lines[1].comment.contains("still"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_strings() {
+        let lines = split_lines("fn f<'a>(x: &'a str) -> &'a str { x } HashMap\n");
+        assert!(lines[0].code.contains("HashMap"));
+    }
+
+    #[test]
+    fn char_literals_are_blanked() {
+        let lines = split_lines("let c = 'x'; let nl = '\\n'; let q = '\\''; HashMap\n");
+        assert!(lines[0].code.contains("HashMap"));
+        assert!(!lines[0].code.contains('x'));
+    }
+
+    #[test]
+    fn byte_strings_are_blanked() {
+        let lines = split_lines("let b = b\"HashMap\"; let c = b'x'; ok\n");
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(lines[0].code.contains("ok"));
+    }
+
+    #[test]
+    fn waiver_on_same_line_and_above_block() {
+        let src = "\
+let a = 1; // lint: allow(wall-clock, fixture)
+// lint: allow(nondeterministic-map, two-line
+// justification comment)
+use std::collections::HashMap;
+";
+        let lines = split_lines(src);
+        let w = waivers(&lines);
+        assert!(w[0].contains("wall-clock"));
+        assert!(w[3].contains("nondeterministic-map"));
+        assert!(w[1].is_empty() && w[2].is_empty());
+    }
+
+    #[test]
+    fn cfg_test_spans_are_marked() {
+        let src = "\
+fn real() {}
+#[cfg(test)]
+mod tests {
+    fn t() {}
+}
+fn after() {}
+";
+        let lines = split_lines(src);
+        let t = test_lines(&lines);
+        assert_eq!(t, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn ident_tokenizer_splits_paths() {
+        assert_eq!(
+            idents("std::collections::HashMap::new()"),
+            vec!["std", "collections", "HashMap", "new"]
+        );
+    }
+}

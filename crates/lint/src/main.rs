@@ -1,0 +1,49 @@
+//! CLI entry point: `cargo run -p antipode-lint [workspace-root]`.
+//!
+//! Prints every finding with its location and fix hint, then exits with
+//! status 1 if any rule fired (so CI can gate on it), 0 on a clean tree.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match std::env::args_os().nth(1) {
+        Some(p) => PathBuf::from(p),
+        None => match std::env::current_dir() {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("antipode-lint: cannot resolve working directory: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    if !root.join("Cargo.toml").exists() {
+        eprintln!(
+            "antipode-lint: {} does not look like a workspace root (no Cargo.toml)",
+            root.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    let findings = match antipode_lint::scan_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("antipode-lint: scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if findings.is_empty() {
+        println!("antipode-lint: clean");
+        return ExitCode::SUCCESS;
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    println!(
+        "antipode-lint: {} finding{} — fix or waive with `// lint: allow(<rule>, <reason>)`",
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" }
+    );
+    ExitCode::FAILURE
+}

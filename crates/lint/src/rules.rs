@@ -1,0 +1,315 @@
+//! The rule set: what each rule forbids, where it applies, and the fix it
+//! suggests. See DESIGN.md § "Analysis plane" for the rationale table.
+
+use crate::lexer;
+
+/// The lint rules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// D1: `std::collections::HashMap`/`HashSet` in a deterministic crate.
+    /// Their iteration order is seeded per-process, so any order-dependent
+    /// behavior breaks the simulator's bit-determinism guarantee.
+    NondeterministicMap,
+    /// D2: wall-clock or OS-thread nondeterminism (`std::time::Instant`,
+    /// `SystemTime`, `thread::spawn`, `thread_rng`) outside `crates/bench`.
+    WallClock,
+    /// D3: `unwrap()`/`expect()` in fault-path modules — injected faults
+    /// must surface as errors, not panics.
+    FaultPathUnwrap,
+    /// X1: a cross-service write through a shim in app code with no
+    /// reachable `barrier`/checkpoint in the same module.
+    UncheckedXcyWrite,
+}
+
+impl Rule {
+    /// The waiver slug: `// lint: allow(<slug>, reason)`.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Rule::NondeterministicMap => "nondeterministic-map",
+            Rule::WallClock => "wall-clock",
+            Rule::FaultPathUnwrap => "fault-path-unwrap",
+            Rule::UncheckedXcyWrite => "unchecked-xcy-write",
+        }
+    }
+
+    /// All rules, for reporting.
+    pub fn all() -> [Rule; 4] {
+        [
+            Rule::NondeterministicMap,
+            Rule::WallClock,
+            Rule::FaultPathUnwrap,
+            Rule::UncheckedXcyWrite,
+        ]
+    }
+}
+
+/// One reported violation.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What was found.
+    pub message: String,
+    /// How to fix it.
+    pub hint: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    fix: {}",
+            self.file,
+            self.line,
+            self.rule.slug(),
+            self.message,
+            self.hint
+        )
+    }
+}
+
+/// Where a file sits in the workspace — decides which rules apply.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FileContext {
+    /// In a crate whose behavior must be bit-deterministic
+    /// (`sim`, `datastores`, `core`, `lineage`, `services`).
+    pub deterministic: bool,
+    /// In `crates/bench` (wall-clock timing is its whole point).
+    pub bench: bool,
+    /// A fault-path module (`fault.rs`, `replica.rs`, `queue.rs`, `rpc.rs`).
+    pub fault_path: bool,
+    /// Application code (`crates/apps`) — subject to X1.
+    pub app: bool,
+    /// A test/example file: determinism rules do not apply.
+    pub test_file: bool,
+}
+
+impl FileContext {
+    /// Classifies a workspace-relative path.
+    pub fn classify(rel: &str) -> FileContext {
+        let norm = rel.replace('\\', "/");
+        let comps: Vec<&str> = norm.split('/').collect();
+        let crate_name = (comps.first() == Some(&"crates"))
+            .then(|| comps.get(1).copied())
+            .flatten();
+        FileContext {
+            deterministic: matches!(
+                crate_name,
+                Some("sim" | "datastores" | "core" | "lineage" | "services")
+            ),
+            bench: crate_name == Some("bench"),
+            fault_path: matches!(
+                comps.last().copied(),
+                Some("fault.rs" | "replica.rs" | "queue.rs" | "rpc.rs")
+            ),
+            app: crate_name == Some("apps"),
+            test_file: comps
+                .iter()
+                .any(|c| matches!(*c, "tests" | "examples" | "benches")),
+        }
+    }
+}
+
+const D2_IDENTS: [&str; 3] = ["Instant", "SystemTime", "thread_rng"];
+const X1_CALLS: [&str; 2] = [".write(", ".publish("];
+const X1_CHECKPOINTS: [&str; 3] = ["barrier", "checkpoint", "wait_visible"];
+
+/// Lints one file's source under the given context.
+pub fn lint_source(file: &str, source: &str, ctx: &FileContext) -> Vec<Finding> {
+    let lines = lexer::split_lines(source);
+    let waived = lexer::waivers(&lines);
+    let in_test = lexer::test_lines(&lines);
+
+    // X1 reachability, approximated at module granularity: the app
+    // definitions are single-file, so a write is considered checked when
+    // any enforcement token appears in the same file.
+    let has_checkpoint = ctx.app
+        && lines.iter().any(|l| {
+            lexer::idents(&l.code)
+                .iter()
+                .any(|id| X1_CHECKPOINTS.iter().any(|c| id.contains(c)))
+        });
+
+    let mut findings = Vec::new();
+    let mut push = |rule: Rule, line_idx: usize, message: String, hint: &str| {
+        if !waived[line_idx].contains(rule.slug()) {
+            findings.push(Finding {
+                rule,
+                file: file.to_string(),
+                line: line_idx + 1,
+                message,
+                hint: hint.to_string(),
+            });
+        }
+    };
+
+    for (idx, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        let test_ctx = ctx.test_file || in_test[idx];
+
+        if !test_ctx {
+            if ctx.deterministic {
+                if let Some(tok) = lexer::idents(code)
+                    .iter()
+                    .find(|id| **id == "HashMap" || **id == "HashSet")
+                {
+                    push(
+                        Rule::NondeterministicMap,
+                        idx,
+                        format!("`{tok}` in a deterministic crate — iteration order is seeded per-process and leaks into simulation state"),
+                        "use BTreeMap/BTreeSet or a sorted Vec; if the map is \
+                         never iterated, waive with `// lint: allow(nondeterministic-map, <why>)`",
+                    );
+                }
+            }
+            if !ctx.bench {
+                let ident_hit = lexer::idents(code)
+                    .iter()
+                    .find(|id| D2_IDENTS.contains(&**id))
+                    .map(|s| s.to_string());
+                let hit = ident_hit.or_else(|| {
+                    code.contains("thread::spawn")
+                        .then(|| "thread::spawn".to_string())
+                });
+                if let Some(tok) = hit {
+                    push(
+                        Rule::WallClock,
+                        idx,
+                        format!("`{tok}` outside crates/bench — wall-clock time and OS threads are invisible to the deterministic scheduler"),
+                        "use Sim::now()/Sim::spawn and the sim's named RNG \
+                         streams; real time belongs only in the bench crate",
+                    );
+                }
+            }
+            if ctx.fault_path {
+                let hit = if code.contains(".unwrap()") {
+                    Some("unwrap()")
+                } else if code.contains(".expect(") {
+                    Some("expect(…)")
+                } else {
+                    None
+                };
+                if let Some(tok) = hit {
+                    push(
+                        Rule::FaultPathUnwrap,
+                        idx,
+                        format!("`{tok}` in a fault-path module — injected faults must surface as errors, not panics"),
+                        "propagate with `?` or match on the error; fault-path \
+                         modules are exercised by the chaos plane",
+                    );
+                }
+            }
+        }
+
+        if ctx.app && !test_ctx && !has_checkpoint {
+            for pat in X1_CALLS {
+                for (at, _) in code.match_indices(pat) {
+                    let recv: String = code[..at]
+                        .chars()
+                        .rev()
+                        .take_while(|c| c.is_alphanumeric() || *c == '_')
+                        .collect::<Vec<_>>()
+                        .into_iter()
+                        .rev()
+                        .collect();
+                    if recv.to_ascii_lowercase().contains("shim") {
+                        push(
+                            Rule::UncheckedXcyWrite,
+                            idx,
+                            format!("cross-service write through `{recv}` with no barrier/checkpoint reachable in this module"),
+                            "call `Antipode::barrier(&lineage, region)` (or a \
+                             `ConsistencyChecker::checkpoint`) on the consumer \
+                             side before dependent reads",
+                        );
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det() -> FileContext {
+        FileContext {
+            deterministic: true,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn classify_paths() {
+        let c = FileContext::classify("crates/sim/src/net.rs");
+        assert!(c.deterministic && !c.bench && !c.app && !c.test_file);
+        let c = FileContext::classify("crates/bench/src/perf.rs");
+        assert!(c.bench && !c.deterministic);
+        let c = FileContext::classify("crates/datastores/src/queue.rs");
+        assert!(c.deterministic && c.fault_path);
+        let c = FileContext::classify("crates/apps/src/social.rs");
+        assert!(c.app);
+        let c = FileContext::classify("tests/chaos_properties.rs");
+        assert!(c.test_file);
+        let c = FileContext::classify("crates/sim/tests/determinism.rs");
+        assert!(c.test_file && c.deterministic);
+    }
+
+    #[test]
+    fn d1_ignores_strings_comments_and_tests() {
+        let src = "\
+// a HashMap in a comment
+let s = \"HashMap\";
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+}
+";
+        assert!(lint_source("f.rs", src, &det()).is_empty());
+    }
+
+    #[test]
+    fn d1_fires_on_real_use() {
+        let f = lint_source("f.rs", "use std::collections::HashSet;\n", &det());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::NondeterministicMap);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn d2_distinguishes_sim_spawn_from_thread_spawn() {
+        let ctx = FileContext::default();
+        assert!(lint_source("f.rs", "sim.spawn(async {});\n", &ctx).is_empty());
+        let f = lint_source("f.rs", "std::thread::spawn(|| {});\n", &ctx);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::WallClock);
+    }
+
+    #[test]
+    fn x1_checked_module_is_clean() {
+        let ctx = FileContext {
+            app: true,
+            ..Default::default()
+        };
+        let racy = "post_shim.write(EU, key, body, lin).await;\n";
+        let f = lint_source("f.rs", racy, &ctx);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::UncheckedXcyWrite);
+        let checked = format!("{racy}ap.barrier(&lin, US).await;\n");
+        assert!(lint_source("f.rs", &checked, &ctx).is_empty());
+    }
+
+    #[test]
+    fn x1_ignores_non_shim_receivers() {
+        let ctx = FileContext {
+            app: true,
+            ..Default::default()
+        };
+        assert!(lint_source("f.rs", "file.write(buf);\nqueue.publish(m);\n", &ctx).is_empty());
+    }
+}

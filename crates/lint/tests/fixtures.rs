@@ -1,0 +1,99 @@
+//! Fixture corpus: every rule must fire exactly once on its `*_fires.rs`
+//! fixture, be silent on its `*_waived.rs` twin, and the workspace itself
+//! must be clean.
+
+use std::fs;
+use std::path::Path;
+
+use antipode_lint::{lint_source, FileContext, Finding, Rule};
+
+fn lint_fixture(name: &str, ctx: FileContext) -> Vec<Finding> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let source = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    lint_source(name, &source, &ctx)
+}
+
+fn det() -> FileContext {
+    FileContext {
+        deterministic: true,
+        ..Default::default()
+    }
+}
+
+fn fault() -> FileContext {
+    FileContext {
+        deterministic: true,
+        fault_path: true,
+        ..Default::default()
+    }
+}
+
+fn app() -> FileContext {
+    FileContext {
+        app: true,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn every_rule_fires_exactly_once_on_its_fixture() {
+    for (fixture, ctx, rule) in [
+        ("d1_fires.rs", det(), Rule::NondeterministicMap),
+        ("d2_fires.rs", FileContext::default(), Rule::WallClock),
+        ("d3_fires.rs", fault(), Rule::FaultPathUnwrap),
+        ("x1_fires.rs", app(), Rule::UncheckedXcyWrite),
+    ] {
+        let findings = lint_fixture(fixture, ctx);
+        assert_eq!(
+            findings.len(),
+            1,
+            "{fixture}: expected exactly one finding, got {findings:#?}"
+        );
+        assert_eq!(findings[0].rule, rule, "{fixture}");
+        assert!(findings[0].line > 0, "{fixture}: line must be 1-based");
+        assert!(!findings[0].hint.is_empty(), "{fixture}: hint required");
+    }
+}
+
+#[test]
+fn waivers_suppress_every_rule() {
+    for (fixture, ctx) in [
+        ("d1_waived.rs", det()),
+        ("d2_waived.rs", FileContext::default()),
+        ("d3_waived.rs", fault()),
+        ("x1_waived.rs", app()),
+    ] {
+        let findings = lint_fixture(fixture, ctx);
+        assert!(findings.is_empty(), "{fixture}: {findings:#?}");
+    }
+}
+
+#[test]
+fn module_with_reachable_barrier_is_clean() {
+    assert!(lint_fixture("x1_checked.rs", app()).is_empty());
+}
+
+/// The gate the CI job enforces, asserted here too so a plain
+/// `cargo test --workspace` catches a regression without the binary.
+#[test]
+fn workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf();
+    assert!(root.join("Cargo.toml").exists(), "{}", root.display());
+    let findings = antipode_lint::scan_workspace(&root).expect("scan");
+    assert!(
+        findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

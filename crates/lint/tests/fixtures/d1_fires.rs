@@ -1,0 +1,8 @@
+//! D1 fixture: one `HashMap` in a deterministic crate — fires exactly once.
+//! A `HashSet` in this doc comment and a "HashMap" in the string below must
+//! not fire.
+
+pub fn build() -> std::collections::HashMap<String, u64> {
+    let _doc = "a HashMap in a string is fine";
+    Default::default()
+}

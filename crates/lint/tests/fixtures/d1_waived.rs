@@ -1,0 +1,7 @@
+//! D1 fixture: the same `HashMap`, waived by the comment block above it.
+
+// lint: allow(nondeterministic-map, fixture — the map is a lookup-only
+// index that is never iterated)
+pub fn build() -> std::collections::HashMap<String, u64> {
+    Default::default()
+}

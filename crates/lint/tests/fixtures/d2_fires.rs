@@ -1,0 +1,6 @@
+//! D2 fixture: one wall-clock read outside crates/bench — fires exactly once.
+
+pub fn stamp() -> std::time::Duration {
+    let start = std::time::Instant::now();
+    start.elapsed()
+}

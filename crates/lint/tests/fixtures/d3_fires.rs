@@ -1,0 +1,15 @@
+//! D3 fixture: one `unwrap()` in a fault-path module — fires exactly once.
+//! The test module's unwrap below must not fire.
+
+pub fn deliver(slot: Option<u32>) -> u32 {
+    slot.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+    }
+}

@@ -1,0 +1,7 @@
+//! D3 fixture: the same `unwrap()`, waived by the comment above it.
+
+pub fn deliver(slot: Option<u32>) -> u32 {
+    // lint: allow(fault-path-unwrap, fixture — slot is populated by the
+    // caller on this path)
+    slot.unwrap()
+}

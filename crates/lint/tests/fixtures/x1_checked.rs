@@ -1,0 +1,10 @@
+//! X1 fixture: the same shim write, but the module also reaches a barrier
+//! on the consumer side — no finding.
+
+pub async fn create_post(post_shim: &KvShim, lin: &mut Lineage) {
+    post_shim.write(EU, "post-1", body(), lin).await.ok();
+}
+
+pub async fn consume(ap: &Antipode, lin: &Lineage) {
+    ap.barrier(lin, US).await.ok();
+}

@@ -1,0 +1,8 @@
+//! X1 fixture: a shim write with no barrier/checkpoint anywhere in the
+//! module — fires exactly once. The non-shim `file.write` must not fire.
+
+pub async fn create_post(post_shim: &KvShim, lin: &mut Lineage) {
+    post_shim.write(EU, "post-1", body(), lin).await.ok();
+    let mut file = sink();
+    file.write(b"audit").ok();
+}

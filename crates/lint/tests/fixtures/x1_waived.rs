@@ -1,0 +1,7 @@
+//! X1 fixture: the same shim write, waived in place.
+
+pub async fn create_post(post_shim: &KvShim, lin: &mut Lineage) {
+    // lint: allow(unchecked-xcy-write, fixture — enforcement happens in a
+    // sibling module)
+    post_shim.write(EU, "post-1", body(), lin).await.ok();
+}

@@ -13,6 +13,7 @@
 //! - [`workload`]: open-loop Poisson and closed-loop drivers with
 //!   latency/throughput metrics.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod request;

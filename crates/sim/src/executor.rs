@@ -9,7 +9,7 @@
 
 use std::cell::{Cell, RefCell};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -86,7 +86,7 @@ struct Inner {
     now: Cell<SimTime>,
     next_task: Cell<TaskId>,
     next_seq: Cell<u64>,
-    tasks: RefCell<HashMap<TaskId, BoxFuture>>,
+    tasks: RefCell<BTreeMap<TaskId, BoxFuture>>,
     ready: Arc<ReadyQueue>,
     timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
     seed: u64,
@@ -115,7 +115,7 @@ impl Sim {
                 now: Cell::new(SimTime::ZERO),
                 next_task: Cell::new(1),
                 next_seq: Cell::new(0),
-                tasks: RefCell::new(HashMap::new()),
+                tasks: RefCell::new(BTreeMap::new()),
                 ready: Arc::new(ReadyQueue::default()),
                 timers: RefCell::new(BinaryHeap::new()),
                 seed,

@@ -23,7 +23,7 @@
 //! change) — no polling loops, no nondeterministic spinning.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -118,11 +118,11 @@ impl FaultWindow {
 struct FaultInner {
     windows: RefCell<Vec<FaultWindow>>,
     // Imperative overrides, fed by the legacy per-store knobs.
-    repl_drop: RefCell<HashMap<String, f64>>,
-    repl_stalled: RefCell<HashMap<String, HashSet<Region>>>,
-    repl_lag: RefCell<HashMap<String, Dist>>,
-    delivery_drop: RefCell<HashMap<String, f64>>,
-    delivery_paused: RefCell<HashMap<String, HashSet<Region>>>,
+    repl_drop: RefCell<BTreeMap<String, f64>>,
+    repl_stalled: RefCell<BTreeMap<String, BTreeSet<Region>>>,
+    repl_lag: RefCell<BTreeMap<String, Dist>>,
+    delivery_drop: RefCell<BTreeMap<String, f64>>,
+    delivery_paused: RefCell<BTreeMap<String, BTreeSet<Region>>>,
     changed: Notify,
 }
 

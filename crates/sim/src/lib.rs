@@ -33,6 +33,7 @@
 //! assert_eq!(end, SimTime::from_secs(900));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dist;

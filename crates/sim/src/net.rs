@@ -5,7 +5,7 @@
 //! presets below are calibrated to public-cloud round-trip measurements
 //! (US↔EU ≈ 90 ms RTT, US↔SG ≈ 220 ms RTT).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Duration;
 
@@ -14,7 +14,10 @@ use rand::Rng;
 use crate::dist::Dist;
 
 /// A deployment region, identified by name.
-#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// Ordered by name so regions can key `BTreeMap`s and be iterated in a
+/// deterministic order everywhere in the simulator.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Region(pub &'static str);
 
 impl Region {
@@ -52,7 +55,7 @@ pub mod regions {
 /// One-way network latency model between regions.
 #[derive(Clone, Debug)]
 pub struct Network {
-    links: HashMap<(Region, Region), Dist>,
+    links: BTreeMap<(Region, Region), Dist>,
     intra: Dist,
     default_inter: Dist,
 }
@@ -62,7 +65,7 @@ impl Network {
     /// unspecified inter-region links follow `default_inter`.
     pub fn new(intra: Dist, default_inter: Dist) -> Self {
         Network {
-            links: HashMap::new(),
+            links: BTreeMap::new(),
             intra,
             default_inter,
         }

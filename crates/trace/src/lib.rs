@@ -5,6 +5,7 @@
 //! services per request; unique stateful services per request) and the §7.4
 //! worst-case lineage metadata sizing (avg ≈ 200 B, p99 < 1 KB).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod gen;

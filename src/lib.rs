@@ -16,6 +16,8 @@
 //! See `README.md` for the quickstart, `DESIGN.md` for the system inventory
 //! and `EXPERIMENTS.md` for paper-vs-measured results.
 
+#![forbid(unsafe_code)]
+
 pub use antipode;
 pub use antipode_app;
 pub use antipode_lineage;

@@ -9,8 +9,8 @@
 
 use std::thread;
 
-use antipode_lineage::{interner, stats, Baggage, Lineage, LineageId, LineageStats, StoreId};
 use antipode_lineage::WriteId;
+use antipode_lineage::{interner, stats, Baggage, Lineage, LineageId, LineageStats, StoreId};
 
 /// A fixed intern sequence with re-interns mixed in.
 const NAMES: [&str; 7] = [
@@ -62,7 +62,12 @@ fn workload(seed: u64) -> (Vec<String>, Vec<u8>, String, LineageStats) {
         .collect();
     let mut bag = Baggage::new();
     bag.set_lineage(&lineage);
-    (interned, lineage.serialize(), bag.to_header(), stats::snapshot())
+    (
+        interned,
+        lineage.serialize(),
+        bag.to_header(),
+        stats::snapshot(),
+    )
 }
 
 #[test]
