@@ -8,11 +8,12 @@
 //! not yet visible — the passive consistency checker developers use to find
 //! barrier placements.
 
+use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 use std::time::Duration;
 
-use antipode_lineage::{Lineage, StoreId, WriteId};
+use antipode_lineage::{Lineage, LineageId, StoreId, WriteId};
 use antipode_sim::{Region, Sim};
 
 use crate::registry::{ShimRegistry, UnknownStorePolicy};
@@ -145,6 +146,23 @@ impl BarrierReport {
         }
     }
 
+    /// Folds `other` into this report: counters add, per-store wait entries
+    /// merge by interned store id. Used when a barrier resumes across
+    /// attempts (degraded re-arm) or spans several regions — the merged
+    /// telemetry is the sum of everything every attempt did.
+    pub fn merge(&mut self, other: &BarrierReport) {
+        self.already_visible += other.already_visible;
+        self.waited_for += other.waited_for;
+        self.skipped += other.skipped;
+        self.blocked += other.blocked;
+        for w in &other.waits {
+            let entry = self.store_entry(w.store);
+            entry.deps += w.deps;
+            entry.retries += w.retries;
+            entry.blocked += w.blocked;
+        }
+    }
+
     fn store_entry(&mut self, store: StoreId) -> &mut StoreWait {
         // Integer compare per entry — the per-store grouping of a barrier
         // never re-hashes or re-compares datastore name strings.
@@ -179,6 +197,53 @@ impl DryRunReport {
     pub fn is_satisfied(&self) -> bool {
         self.unmet.is_empty()
     }
+}
+
+/// What a budgeted barrier ([`Antipode::barrier_budget`]) produced.
+///
+/// Unlike [`Antipode::barrier_with_timeout`] — which turns a missed deadline
+/// into an *error* and throws the partial work away — a budgeted barrier
+/// treats running out of time as a structured, expected outcome: the caller
+/// gets the exact dependencies still unmet plus the telemetry of everything
+/// the barrier did enforce, and can re-arm the remainder later.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BarrierOutcome {
+    /// Every dependency became visible within the budget.
+    Complete(BarrierReport),
+    /// The budget elapsed with dependencies still unmet. The application can
+    /// degrade (serve partial data, mark the response stale) and re-arm the
+    /// remainder via [`Antipode::rearm`].
+    Degraded(DegradedBarrier),
+}
+
+impl BarrierOutcome {
+    /// The telemetry of this outcome, complete or degraded.
+    pub fn report(&self) -> &BarrierReport {
+        match self {
+            BarrierOutcome::Complete(r) => r,
+            BarrierOutcome::Degraded(d) => &d.report,
+        }
+    }
+
+    /// Whether every dependency was enforced.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, BarrierOutcome::Complete(_))
+    }
+}
+
+/// A barrier that ran out of budget: the unmet remainder plus the partial
+/// telemetry, re-armable via [`Antipode::rearm`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegradedBarrier {
+    /// The lineage the barrier was enforcing (re-arm rebuilds from this).
+    pub lineage: LineageId,
+    /// Dependencies still not visible when the budget elapsed.
+    pub unmet: Vec<WriteId>,
+    /// Telemetry of the partial enforcement — per-store waits and retries
+    /// accumulated up to the moment the budget ran out.
+    pub report: BarrierReport,
+    /// The budget that elapsed.
+    pub budget: Duration,
 }
 
 /// The Antipode client of one service: a shim registry plus the simulation
@@ -243,7 +308,25 @@ impl Antipode {
         region: Region,
     ) -> Result<BarrierReport, BarrierError> {
         let start = self.sim.now();
-        let mut report = BarrierReport::empty();
+        let acc = RefCell::new(BarrierReport::empty());
+        self.enforce_deps(lineage, region, &acc).await?;
+        let mut report = acc.into_inner();
+        report.blocked = self.sim.now().since(start);
+        Ok(report)
+    }
+
+    /// The enforcement core shared by every barrier variant. Telemetry is
+    /// written into `acc` *incrementally* — after every wait attempt and
+    /// every backoff, not once per dependency — so a caller that cancels
+    /// this future mid-flight (a budgeted barrier whose budget elapsed)
+    /// still observes the per-store waits and retries accumulated so far,
+    /// and retries against the same store add up instead of overwriting.
+    async fn enforce_deps(
+        &self,
+        lineage: &Lineage,
+        region: Region,
+        acc: &RefCell<BarrierReport>,
+    ) -> Result<(), BarrierError> {
         for dep in lineage.deps() {
             let Some(shim) = self.registry.get_id(dep.store()) else {
                 match self.policy {
@@ -251,36 +334,116 @@ impl Antipode {
                         return Err(BarrierError::UnknownStore(dep.datastore().to_string()))
                     }
                     UnknownStorePolicy::Skip => {
-                        report.skipped += 1;
+                        acc.borrow_mut().skipped += 1;
                         continue;
                     }
                 }
             };
-            let dep_start = self.sim.now();
-            let mut retries = 0u32;
+            acc.borrow_mut().store_entry(dep.store()).deps += 1;
             if shim.is_visible(dep, region) {
-                report.already_visible += 1;
-            } else {
-                let max_attempts = self.retry.max_attempts.max(1);
-                loop {
-                    match shim.wait(dep, region).await {
-                        Ok(()) => break,
-                        Err(WaitError::StoreUnavailable(_)) if retries + 1 < max_attempts => {
-                            self.sim.sleep(self.retry.backoff(retries)).await;
-                            retries += 1;
-                        }
-                        Err(e) => return Err(e.into()),
-                    }
-                }
-                report.waited_for += 1;
+                acc.borrow_mut().already_visible += 1;
+                continue;
             }
-            let entry = report.store_entry(dep.store());
-            entry.deps += 1;
-            entry.retries += retries;
-            entry.blocked += self.sim.now().since(dep_start);
+            let max_attempts = self.retry.max_attempts.max(1);
+            let mut retries = 0u32;
+            loop {
+                let attempt_start = self.sim.now();
+                let res = shim.wait(dep, region).await;
+                let attempt = self.sim.now().since(attempt_start);
+                acc.borrow_mut().store_entry(dep.store()).blocked += attempt;
+                match res {
+                    Ok(()) => break,
+                    Err(WaitError::StoreUnavailable(_)) if retries + 1 < max_attempts => {
+                        let backoff = self.retry.backoff(retries);
+                        retries += 1;
+                        {
+                            let mut r = acc.borrow_mut();
+                            let entry = r.store_entry(dep.store());
+                            entry.retries += 1;
+                            entry.blocked += backoff;
+                        }
+                        self.sim.sleep(backoff).await;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            acc.borrow_mut().waited_for += 1;
         }
-        report.blocked = self.sim.now().since(start);
-        Ok(report)
+        Ok(())
+    }
+
+    /// Degradation-aware barrier: enforce as much of the lineage as `budget`
+    /// allows. Completes like [`Antipode::barrier`] when everything lands in
+    /// time; otherwise returns [`BarrierOutcome::Degraded`] carrying the
+    /// unmet remainder and the partial telemetry — a structured outcome, not
+    /// an error, so services can serve degraded responses during a fault and
+    /// [`Antipode::rearm`] the remainder once the storm passes.
+    pub async fn barrier_budget(
+        &self,
+        lineage: &Lineage,
+        region: Region,
+        budget: Duration,
+    ) -> Result<BarrierOutcome, BarrierError> {
+        let start = self.sim.now();
+        let acc = RefCell::new(BarrierReport::empty());
+        let enforced = {
+            let fut = self.enforce_deps(lineage, region, &acc);
+            antipode_sim::timeout(&self.sim, budget, fut).await
+        };
+        match enforced {
+            Ok(Ok(())) => {
+                let mut report = acc.into_inner();
+                report.blocked = self.sim.now().since(start);
+                Ok(BarrierOutcome::Complete(report))
+            }
+            Ok(Err(e)) => Err(e),
+            Err(_elapsed) => {
+                let dry = self.dry_run(lineage, region);
+                let mut report = acc.into_inner();
+                report.blocked = self.sim.now().since(start);
+                Ok(BarrierOutcome::Degraded(DegradedBarrier {
+                    lineage: lineage.id(),
+                    unmet: dry.unmet,
+                    report,
+                    budget,
+                }))
+            }
+        }
+    }
+
+    /// Re-arms a degraded barrier: enforces only the unmet remainder (with a
+    /// fresh budget, or unbounded when `budget` is `None`) and merges the
+    /// prior partial telemetry into the new outcome's report — the total
+    /// telemetry of a degraded-then-rearmed barrier equals one uninterrupted
+    /// barrier's. Dependencies are immutable facts, so re-arming is always
+    /// safe, any number of times.
+    pub async fn rearm(
+        &self,
+        degraded: &DegradedBarrier,
+        region: Region,
+        budget: Option<Duration>,
+    ) -> Result<BarrierOutcome, BarrierError> {
+        let mut remainder = Lineage::new(degraded.lineage);
+        for w in &degraded.unmet {
+            remainder.append(w.clone());
+        }
+        let outcome = match budget {
+            Some(b) => self.barrier_budget(&remainder, region, b).await?,
+            None => BarrierOutcome::Complete(self.barrier(&remainder, region).await?),
+        };
+        Ok(match outcome {
+            BarrierOutcome::Complete(r) => {
+                let mut merged = degraded.report.clone();
+                merged.merge(&r);
+                BarrierOutcome::Complete(merged)
+            }
+            BarrierOutcome::Degraded(mut d) => {
+                let mut merged = degraded.report.clone();
+                merged.merge(&d.report);
+                d.report = merged;
+                BarrierOutcome::Degraded(d)
+            }
+        })
     }
 
     /// Enforces the lineage's dependencies in **several** regions at once —
@@ -297,16 +460,10 @@ impl Antipode {
         let mut merged = BarrierReport::empty();
         for region in regions {
             let r = self.barrier(lineage, *region).await?;
-            merged.already_visible += r.already_visible;
-            merged.waited_for += r.waited_for;
-            merged.skipped += r.skipped;
-            for w in r.waits {
-                let entry = merged.store_entry(w.store);
-                entry.deps += w.deps;
-                entry.retries += w.retries;
-                entry.blocked += w.blocked;
-            }
+            merged.merge(&r);
         }
+        // `merge` also summed per-region blocked times; the regions were
+        // enforced sequentially, so wall-clock blocked is the span.
         merged.blocked = self.sim.now().since(start);
         Ok(merged)
     }
@@ -625,6 +782,150 @@ mod tests {
         assert_eq!(w.retries, 3);
         // Backoff 100 + 200 + 400 ms at minimum.
         assert!(w.blocked >= Duration::from_millis(700), "blocked {w:?}");
+    }
+
+    /// Satellite regression: per-store telemetry must *accumulate* across
+    /// `StoreUnavailable` retries, not be overwritten by the last attempt.
+    /// With 3 transient failures and the default policy the store entry must
+    /// hold exactly retries = 3 and blocked ≥ the pinned backoff sum
+    /// 100 + 200 + 400 ms — a single-attempt overwrite would report
+    /// retries ≤ 1 and only the final attempt's wait.
+    #[test]
+    fn retry_telemetry_accumulates_across_attempts() {
+        let sim = Sim::new(0);
+        let base = TestStore::new(&sim, "db");
+        base.visible_after("k", 1, Duration::from_millis(5));
+        let flaky = Rc::new(FlakyStore {
+            base,
+            remaining_failures: std::cell::Cell::new(3),
+        });
+        let mut ap = Antipode::new(sim.clone());
+        ap.register(flaky);
+        let l = lineage_with(&[("db", "k", 1)]);
+        let report = sim.block_on(async move { ap.barrier(&l, HERE).await.unwrap() });
+        let w = &report.waits[0];
+        assert_eq!(w.retries, 3, "each retry must add to the entry");
+        assert_eq!(w.deps, 1);
+        let backoff_sum = Duration::from_millis(100 + 200 + 400);
+        assert!(
+            w.blocked >= backoff_sum,
+            "blocked {:?} must include every backoff (≥ {backoff_sum:?})",
+            w.blocked
+        );
+        assert!(report.blocked >= w.blocked);
+    }
+
+    #[test]
+    fn budget_barrier_completes_within_budget() {
+        let sim = Sim::new(0);
+        let store = TestStore::new(&sim, "db");
+        store.visible_after("k", 1, Duration::from_millis(50));
+        let mut ap = Antipode::new(sim.clone());
+        ap.register(store);
+        let l = lineage_with(&[("db", "k", 1)]);
+        let outcome = sim.block_on(async move {
+            ap.barrier_budget(&l, HERE, Duration::from_secs(1))
+                .await
+                .unwrap()
+        });
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.report().waited_for, 1);
+    }
+
+    #[test]
+    fn budget_barrier_degrades_with_partial_telemetry_then_rearms() {
+        let sim = Sim::new(0);
+        let fast = TestStore::new(&sim, "fast");
+        let slow = TestStore::new(&sim, "slow");
+        fast.visible_after("a", 1, Duration::from_millis(100));
+        slow.visible_after("b", 1, Duration::from_secs(10));
+        let mut ap = Antipode::new(sim.clone());
+        ap.register(fast);
+        ap.register(slow);
+        let l = lineage_with(&[("fast", "a", 1), ("slow", "b", 1)]);
+        let ap2 = ap.clone();
+        sim.block_on(async move {
+            let outcome = ap2
+                .barrier_budget(&l, HERE, Duration::from_secs(1))
+                .await
+                .unwrap();
+            let degraded = match outcome {
+                BarrierOutcome::Degraded(d) => d,
+                other => panic!("10s dep cannot meet a 1s budget, got {other:?}"),
+            };
+            // Structured outcome: exactly the slow dep is unmet, and the
+            // partial telemetry still shows the fast store's enforced wait.
+            assert_eq!(degraded.unmet, vec![WriteId::new("slow", "b", 1)]);
+            assert_eq!(degraded.budget, Duration::from_secs(1));
+            let fast_wait = degraded
+                .report
+                .waits
+                .iter()
+                .find(|w| w.datastore == "fast")
+                .expect("cancelled barrier keeps partial telemetry");
+            assert!(fast_wait.blocked >= Duration::from_millis(100));
+            // Re-arm the remainder unbounded: it completes, and the merged
+            // report covers both phases.
+            let rearmed = ap2.rearm(&degraded, HERE, None).await.unwrap();
+            let report = match rearmed {
+                BarrierOutcome::Complete(r) => r,
+                other => panic!("unbounded rearm must complete, got {other:?}"),
+            };
+            let get = |n: &str| report.waits.iter().find(|w| w.datastore == n).unwrap();
+            assert!(get("fast").blocked >= Duration::from_millis(100));
+            assert!(get("slow").blocked > Duration::ZERO);
+            assert!(ap2.dry_run(&l, HERE).is_satisfied());
+        });
+        assert!(sim.now().since(antipode_sim::SimTime::ZERO) >= Duration::from_secs(10));
+    }
+
+    #[test]
+    fn rearm_with_budget_can_degrade_again_and_telemetry_keeps_merging() {
+        let sim = Sim::new(0);
+        let slow = TestStore::new(&sim, "slow");
+        slow.visible_after("b", 1, Duration::from_secs(10));
+        let mut ap = Antipode::new(sim.clone());
+        ap.register(slow);
+        let l = lineage_with(&[("slow", "b", 1)]);
+        sim.block_on(async move {
+            let first = match ap
+                .barrier_budget(&l, HERE, Duration::from_secs(1))
+                .await
+                .unwrap()
+            {
+                BarrierOutcome::Degraded(d) => d,
+                other => panic!("expected degraded, got {other:?}"),
+            };
+            let second = match ap
+                .rearm(&first, HERE, Some(Duration::from_secs(2)))
+                .await
+                .unwrap()
+            {
+                BarrierOutcome::Degraded(d) => d,
+                other => panic!("expected degraded again, got {other:?}"),
+            };
+            assert_eq!(second.unmet, vec![WriteId::new("slow", "b", 1)]);
+            // Merged blocked time spans both budget windows.
+            assert!(second.report.blocked >= Duration::from_secs(3));
+            // A final unbounded rearm drains the remainder.
+            let done = ap.rearm(&second, HERE, None).await.unwrap();
+            assert!(done.is_complete());
+            assert!(done.report().blocked >= Duration::from_secs(10) - Duration::from_secs(1));
+        });
+    }
+
+    #[test]
+    fn budget_barrier_with_empty_lineage_is_instantly_complete() {
+        let sim = Sim::new(0);
+        let ap = Antipode::new(sim.clone());
+        let l = Lineage::new(LineageId(1));
+        let outcome = sim.block_on(async move {
+            ap.barrier_budget(&l, HERE, Duration::from_millis(1))
+                .await
+                .unwrap()
+        });
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.report().blocked, Duration::ZERO);
     }
 
     #[test]

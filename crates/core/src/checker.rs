@@ -26,6 +26,11 @@ pub struct Checkpoint {
     pub at: SimTime,
     /// Region the dependencies were checked against.
     pub region: Region,
+    /// Whether the region was *degraded* at evaluation time — inside a
+    /// region-outage or replica-crash window of the fault plan. Unmet
+    /// dependencies observed while degraded usually mean "the recovery plane
+    /// has not caught up yet", not "a barrier is missing here".
+    pub degraded: bool,
     /// The dry-run outcome.
     pub report: DryRunReport,
 }
@@ -42,6 +47,10 @@ pub struct LocationStats {
     pub unmet_deps: usize,
     /// Dependencies on unregistered datastores (lack of a shim).
     pub unknown_deps: usize,
+    /// Evaluations made while the region was degraded (outage or replica
+    /// crash). Compare against `unsatisfied` to separate genuine missing
+    /// barriers from recovery-in-progress noise.
+    pub degraded_evaluations: usize,
 }
 
 impl LocationStats {
@@ -81,10 +90,14 @@ impl ConsistencyChecker {
         region: Region,
     ) -> DryRunReport {
         let report = self.ap.dry_run(lineage, region);
+        let now = self.ap.sim().now();
+        let faults = self.ap.sim().faults();
+        let degraded = faults.region_down(now, region) || faults.any_replica_crash(now, region);
         self.checkpoints.borrow_mut().push(Checkpoint {
             location: location.into(),
-            at: self.ap.sim().now(),
+            at: now,
             region,
+            degraded,
             report: report.clone(),
         });
         report
@@ -106,6 +119,9 @@ impl ConsistencyChecker {
             }
             s.unmet_deps += cp.report.unmet.len();
             s.unknown_deps += cp.report.unknown.len();
+            if cp.degraded {
+                s.degraded_evaluations += 1;
+            }
         }
         out
     }
@@ -204,6 +220,46 @@ mod tests {
         let report = checker.checkpoint("loc", &l, HERE);
         assert_eq!(report.unknown.len(), 1);
         assert_eq!(checker.summary()["loc"].unknown_deps, 1);
+    }
+
+    #[test]
+    fn checkpoints_flag_degraded_regions() {
+        use antipode_sim::{FaultKind, SimTime};
+        let sim = Sim::new(0);
+        let store = Rc::new(Flaky {
+            visible: Cell::new(false),
+        });
+        let mut ap = Antipode::new(sim.clone());
+        ap.register(store);
+        let checker = ConsistencyChecker::new(ap);
+        sim.faults().schedule(
+            SimTime::ZERO,
+            SimTime::from_secs(5),
+            FaultKind::RegionOutage { region: HERE },
+        );
+        sim.faults().schedule(
+            SimTime::from_secs(5),
+            SimTime::from_secs(10),
+            FaultKind::ReplicaCrash {
+                store: "flaky".into(),
+                region: HERE,
+            },
+        );
+        let l = lineage();
+        // t = 0: outage window → degraded.
+        checker.checkpoint("loc", &l, HERE);
+        // t = 6 s: a replica crash in the region also counts as degraded.
+        sim.run_until(SimTime::from_secs(6));
+        checker.checkpoint("loc", &l, HERE);
+        // t = 12 s: healthy.
+        sim.run_until(SimTime::from_secs(12));
+        checker.checkpoint("loc", &l, HERE);
+        let cps = checker.checkpoints();
+        assert_eq!(
+            cps.iter().map(|c| c.degraded).collect::<Vec<_>>(),
+            vec![true, true, false]
+        );
+        assert_eq!(checker.summary()["loc"].degraded_evaluations, 2);
     }
 
     #[test]

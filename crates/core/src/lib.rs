@@ -46,7 +46,10 @@ pub mod race;
 pub mod registry;
 pub mod wait;
 
-pub use barrier::{Antipode, BarrierError, BarrierReport, BarrierRetry, DryRunReport, StoreWait};
+pub use barrier::{
+    Antipode, BarrierError, BarrierOutcome, BarrierReport, BarrierRetry, DegradedBarrier,
+    DryRunReport, StoreWait,
+};
 pub use checker::{Checkpoint, ConsistencyChecker, LocationStats};
 pub use ctx::LineageCtx;
 pub use idgen::LineageIdGen;

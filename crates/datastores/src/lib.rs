@@ -55,7 +55,9 @@ pub mod probe;
 pub mod profiles;
 pub mod queue;
 pub mod rabbitmq;
+pub mod recovery;
 pub mod redis;
+pub mod repair;
 pub mod replica;
 pub mod s3;
 pub mod shim;
@@ -68,7 +70,9 @@ pub use mongodb::{MongoDb, MongoDbShim};
 pub use mysql::{MySql, MySqlShim};
 pub use queue::{GroupConsumer, QueueMessage, QueueProfile, QueueStore};
 pub use rabbitmq::{RabbitMq, RabbitMqShim};
+pub use recovery::{Hint, RecoveryConfig, WalEntry};
 pub use redis::{Redis, RedisShim};
+pub use repair::{RepairConfig, RepairReport};
 pub use replica::{KvProfile, KvStore, StoreError, StoredValue};
 pub use s3::{S3Shim, S3};
 pub use shim::{KvShim, QueueShim, ShimError, ShimMessage, ShimSubscription, WaitSemantics};

@@ -572,6 +572,20 @@ impl GroupConsumer {
         let sim = store.inner.sim.clone();
         sim.spawn(async move {
             store.inner.sim.sleep(timeout).await;
+            // If the broker is down (crash-restart window) when the timer
+            // fires, hold the redelivery decision until it restarts: the
+            // restarted broker reads the *current* ack state. Deciding
+            // mid-outage would redeliver a message whose ack raced the
+            // crash — a duplicate delivery the group already processed.
+            {
+                let faults = store.inner.faults.clone();
+                let q = store.clone();
+                faults
+                    .until_clear(&store.inner.sim, move |at| {
+                        q.inner.faults.queue_down(at, &q.inner.name)
+                    })
+                    .await;
+            }
             if !store.is_acked(region, msg.id) {
                 store.requeue_for_group(region, &group, msg);
             }

@@ -1,0 +1,491 @@
+//! The recovery plane of the KV framework: write-ahead logs, crash-restart,
+//! hinted handoff, and waiter hygiene.
+//!
+//! Three mechanisms, all driven off the simulation's [`FaultPlan`] by one
+//! per-store monitor task (spawned in [`KvStore::new`], parked on the plan's
+//! change notifier between window edges — no polling):
+//!
+//! - **Crash-restart** ([`antipode_sim::fault::FaultKind::ReplicaCrash`]):
+//!   on window entry the replica's volatile state (memtable, visibility
+//!   waiters, in-flight sends it originated, hints it queued) is lost; on the
+//!   heal edge the replica restarts and deterministically replays its
+//!   write-ahead log. With the WAL disabled the replica restarts empty and
+//!   relies entirely on anti-entropy repair ([`crate::repair`]).
+//! - **Hinted handoff**: a replication send suppressed by a partition,
+//!   outage, stall, or crashed destination parks as a [`Hint`] at its origin;
+//!   the monitor flushes hints the moment the fault plan says the path is
+//!   healthy again. Origin-crash drops that origin's queued hints — exactly
+//!   the writes anti-entropy repair exists to back-fill.
+//! - **Waiter hygiene**: visibility waiters subscribed at a replica that
+//!   goes dark are cancelled with [`StoreError::Unavailable`] (instead of
+//!   leaking forever), so barrier retry policies re-arm them after the fault.
+//!
+//! Everything is deterministic: the monitor wakes only at scheduled window
+//! edges and imperative plan changes, hint queues preserve push order, and
+//! WAL replay is a pure fold over the log.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use antipode_sim::fault::FaultPlan;
+use antipode_sim::{timeout, Region, SimTime};
+use bytes::Bytes;
+
+use crate::replica::{KvStore, StoreError, StoredValue};
+
+/// Per-store recovery knobs. Defaults model a production store: durable WAL
+/// and hinted handoff both on. [`RecoveryConfig::disabled`] is the ablation
+/// in which suppressed replication sends are dropped outright and a crashed
+/// replica restarts empty — the configuration the convergence-under-chaos
+/// property test demonstrates to be *not* eventually consistent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Queue suppressed replication sends as hints and flush them when the
+    /// path heals. Off: suppressed sends are silently dropped.
+    pub hinted_handoff: bool,
+    /// Append every apply to a per-replica write-ahead log and replay it at
+    /// crash-restart. Off: a crash loses the replica's entire dataset.
+    pub wal: bool,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            hinted_handoff: true,
+            wal: true,
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// No WAL, no handoff: the no-recovery ablation.
+    pub fn disabled() -> Self {
+        RecoveryConfig {
+            hinted_handoff: false,
+            wal: false,
+        }
+    }
+}
+
+/// One durable write-ahead-log record: an apply that changed the memtable.
+#[derive(Clone, Debug)]
+pub struct WalEntry {
+    /// The written key.
+    pub key: String,
+    /// The version applied.
+    pub version: u64,
+    /// The stored bytes.
+    pub bytes: Bytes,
+    /// When the apply originally became visible (preserved across replay so
+    /// post-restart timestamps keep their happens-before ordering).
+    pub visible_at: SimTime,
+}
+
+/// A replication send parked at its origin because a fault suppressed the
+/// path to `dest`; flushed when the fault plan says the path is healthy.
+#[derive(Clone, Debug)]
+pub struct Hint {
+    /// The region that committed the write (where the hint is stored).
+    pub origin: Region,
+    /// The replica the send was addressed to.
+    pub dest: Region,
+    /// The written key.
+    pub key: Rc<str>,
+    /// The version to apply.
+    pub version: u64,
+    /// The stored bytes.
+    pub bytes: Bytes,
+}
+
+/// Spawns the store's recovery monitor: one task that wakes at every fault
+/// transition (and imperative change) to run crash/restart edges, cancel
+/// waiters of dark replicas, and flush healed hints. Parks without a timer
+/// when the plan has no future transitions, so simulations still quiesce.
+pub(crate) fn spawn_monitor(store: &KvStore) {
+    let store = store.clone();
+    let sim = store.inner.sim.clone();
+    let faults: FaultPlan = store.inner.faults.clone();
+    let mut dark: BTreeMap<Region, bool> = BTreeMap::new();
+    let mut crashed: BTreeMap<Region, bool> = BTreeMap::new();
+    for &r in &store.inner.regions {
+        dark.insert(r, false);
+        crashed.insert(r, false);
+    }
+    sim.clone().spawn(async move {
+        loop {
+            let notified = faults.on_change();
+            let now = sim.now();
+            store.recovery_tick(now, &mut dark, &mut crashed);
+            match faults.next_transition_after(now) {
+                Some(t) => {
+                    let _ = timeout(&sim, t.since(now), notified).await;
+                }
+                None => notified.await,
+            }
+        }
+    });
+}
+
+impl KvStore {
+    /// One monitor pass at `now`: process crash/restart and dark/lit edges
+    /// per replica, then flush any hints whose paths healed.
+    fn recovery_tick(
+        &self,
+        now: SimTime,
+        dark: &mut BTreeMap<Region, bool>,
+        crashed: &mut BTreeMap<Region, bool>,
+    ) {
+        let regions = self.inner.regions.clone();
+        for region in regions {
+            let is_crashed = self
+                .inner
+                .faults
+                .replica_crashed(now, &self.inner.name, region);
+            let is_dark = is_crashed || self.inner.faults.region_down(now, region);
+            let was_crashed = crashed.insert(region, is_crashed).unwrap_or(false);
+            let was_dark = dark.insert(region, is_dark).unwrap_or(false);
+            if is_crashed && !was_crashed {
+                self.crash_replica(region);
+            }
+            if !is_crashed && was_crashed {
+                self.restart_replica(region);
+            }
+            if is_dark && !was_dark {
+                self.cancel_waiters(region);
+            }
+        }
+        self.flush_hints(now);
+    }
+
+    /// Crash entry: volatile state dies with the process. The memtable is
+    /// wiped (the WAL, being durable, survives), pending visibility waiters
+    /// are cancelled, hints queued at this origin are lost, and the epoch
+    /// bump aborts in-flight sends this replica originated.
+    fn crash_replica(&self, region: Region) {
+        let cancelled = {
+            let mut replicas = self.inner.replicas.borrow_mut();
+            let Some(state) = replicas.get_mut(&region) else {
+                return;
+            };
+            state.data.clear();
+            state.epoch += 1;
+            std::mem::take(&mut state.waiters)
+        };
+        for w in cancelled {
+            let _ = w.tx.send(Err(StoreError::Unavailable {
+                store: self.inner.name.clone(),
+                region,
+            }));
+        }
+        self.inner.hints.borrow_mut().retain(|h| h.origin != region);
+    }
+
+    /// Restart at the heal edge: deterministically replay the write-ahead
+    /// log into the fresh memtable (a no-op fold when the WAL is disabled —
+    /// the replica restarts empty and waits for anti-entropy repair).
+    fn restart_replica(&self, region: Region) {
+        let mut replicas = self.inner.replicas.borrow_mut();
+        let Some(state) = replicas.get_mut(&region) else {
+            return;
+        };
+        for entry in &state.wal {
+            let newer_exists = state
+                .data
+                .get(&entry.key)
+                .map(|v| v.version >= entry.version)
+                .unwrap_or(false);
+            if !newer_exists {
+                state.data.insert(
+                    entry.key.clone(),
+                    StoredValue {
+                        version: entry.version,
+                        bytes: entry.bytes.clone(),
+                        visible_at: entry.visible_at,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Cancels every visibility waiter at a replica that went dark, so
+    /// subscribers surface [`StoreError::Unavailable`] instead of leaking.
+    fn cancel_waiters(&self, region: Region) {
+        let cancelled = {
+            let mut replicas = self.inner.replicas.borrow_mut();
+            match replicas.get_mut(&region) {
+                Some(state) => std::mem::take(&mut state.waiters),
+                None => return,
+            }
+        };
+        for w in cancelled {
+            let _ = w.tx.send(Err(StoreError::Unavailable {
+                store: self.inner.name.clone(),
+                region,
+            }));
+        }
+    }
+
+    /// Flushes every queued hint whose origin→dest path is healthy at `now`,
+    /// in queue order. Hints whose paths are still faulted stay queued.
+    fn flush_hints(&self, now: SimTime) {
+        if self.inner.hints.borrow().is_empty() {
+            return;
+        }
+        let ready: Vec<Hint> = {
+            let mut hints = self.inner.hints.borrow_mut();
+            let mut ready = Vec::new();
+            hints.retain(|h| {
+                let suppressed =
+                    self.inner
+                        .faults
+                        .replication_stalled(now, &self.inner.name, h.dest)
+                        || self.inner.faults.link_blocked(now, h.origin, h.dest)
+                        || self
+                            .inner
+                            .faults
+                            .replica_crashed(now, &self.inner.name, h.dest)
+                        || self
+                            .inner
+                            .faults
+                            .replica_crashed(now, &self.inner.name, h.origin);
+                if suppressed {
+                    true
+                } else {
+                    ready.push(h.clone());
+                    false
+                }
+            });
+            ready
+        };
+        for h in ready {
+            self.apply(h.dest, &h.key, h.version, h.bytes);
+        }
+    }
+
+    /// Number of queued hinted-handoff entries (diagnostics).
+    pub fn pending_hints(&self) -> usize {
+        self.inner.hints.borrow().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antipode_sim::dist::Dist;
+    use antipode_sim::fault::FaultKind;
+    use antipode_sim::net::regions::{EU, SG, US};
+    use antipode_sim::net::Network;
+    use antipode_sim::{Sim, SimTime};
+
+    use crate::replica::KvProfile;
+
+    fn fast_profile() -> KvProfile {
+        KvProfile {
+            local_write: Dist::constant_ms(1.0),
+            local_read: Dist::constant_ms(0.5),
+            replication: Dist::constant_ms(100.0),
+            rtt_hops: 1.0,
+            retry_interval: Dist::constant_ms(50.0),
+        }
+    }
+
+    fn setup(seed: u64) -> (Sim, KvStore) {
+        let sim = Sim::new(seed);
+        let net = Rc::new(Network::global_triangle());
+        let store = KvStore::new(&sim, net, "db", &[EU, US, SG], fast_profile());
+        (sim, store)
+    }
+
+    #[test]
+    fn crash_wipes_volatile_state_and_wal_replay_restores_it() {
+        let (sim, store) = setup(11);
+        let s = store.clone();
+        sim.block_on(async move {
+            let v = s.put(US, "k", Bytes::from_static(b"x")).await.unwrap();
+            assert!(s.is_visible(US, "k", v));
+            assert_eq!(s.wal_len(US), 1);
+            v
+        });
+        sim.faults().schedule(
+            SimTime::from_secs(5),
+            SimTime::from_secs(8),
+            FaultKind::ReplicaCrash {
+                store: "db".into(),
+                region: US,
+            },
+        );
+        // Mid-window: the memtable is gone, operations are rejected.
+        sim.run_until(SimTime::from_secs(6));
+        assert!(store.get_sync(US, "k").is_none(), "crash wipes volatile");
+        let s = store.clone();
+        sim.block_on(async move {
+            assert!(matches!(
+                s.put(US, "k2", Bytes::new()).await.unwrap_err(),
+                StoreError::Unavailable { .. }
+            ));
+        });
+        // Post-restart: WAL replay restored the data at the heal edge.
+        sim.run_until(SimTime::from_secs(9));
+        let got = store.get_sync(US, "k").expect("WAL replay restores");
+        assert_eq!(got.bytes, Bytes::from_static(b"x"));
+    }
+
+    #[test]
+    fn crash_without_wal_restarts_empty() {
+        let (sim, store) = setup(12);
+        store.set_recovery(RecoveryConfig {
+            wal: false,
+            ..RecoveryConfig::default()
+        });
+        let s = store.clone();
+        sim.block_on(async move {
+            s.put(US, "k", Bytes::from_static(b"x")).await.unwrap();
+        });
+        assert_eq!(store.wal_len(US), 0);
+        sim.faults().schedule(
+            SimTime::from_secs(5),
+            SimTime::from_secs(8),
+            FaultKind::ReplicaCrash {
+                store: "db".into(),
+                region: US,
+            },
+        );
+        sim.run_until(SimTime::from_secs(9));
+        assert!(
+            store.get_sync(US, "k").is_none(),
+            "no WAL: the replica restarts empty until repair back-fills it"
+        );
+    }
+
+    #[test]
+    fn suppressed_sends_queue_hints_and_flush_at_heal() {
+        let (sim, store) = setup(13);
+        sim.faults().schedule(
+            SimTime::ZERO,
+            SimTime::from_secs(20),
+            FaultKind::Partition { a: EU, b: US },
+        );
+        let s = store.clone();
+        sim.block_on(async move {
+            let v = s.put(EU, "k", Bytes::from_static(b"x")).await.unwrap();
+            // SG applies directly; the EU→US send parks as a hint.
+            s.wait_visible(SG, "k", v).await.unwrap();
+            assert_eq!(s.pending_hints(), 1);
+            assert!(!s.is_visible(US, "k", v));
+            s.wait_visible(US, "k", v).await.unwrap();
+            assert!(s.inner.sim.now() >= SimTime::from_secs(20));
+            assert_eq!(s.pending_hints(), 0);
+        });
+    }
+
+    #[test]
+    fn disabled_handoff_drops_suppressed_sends() {
+        let (sim, store) = setup(14);
+        store.set_recovery(RecoveryConfig::disabled());
+        sim.faults().schedule(
+            SimTime::ZERO,
+            SimTime::from_secs(5),
+            FaultKind::Partition { a: EU, b: US },
+        );
+        let s = store.clone();
+        let v = sim.block_on(async move {
+            let v = s.put(EU, "k", Bytes::from_static(b"x")).await.unwrap();
+            s.wait_visible(SG, "k", v).await.unwrap();
+            v
+        });
+        assert_eq!(store.pending_hints(), 0, "no hint without handoff");
+        // Even long after the partition heals the write never reaches US:
+        // nothing retries a dropped send.
+        sim.run_until(SimTime::from_secs(60));
+        assert!(!store.is_visible(US, "k", v));
+    }
+
+    #[test]
+    fn origin_crash_drops_queued_hints() {
+        let (sim, store) = setup(15);
+        // EU→US partitioned, so the EU write parks a hint at EU…
+        sim.faults().schedule(
+            SimTime::ZERO,
+            SimTime::from_secs(30),
+            FaultKind::Partition { a: EU, b: US },
+        );
+        // …then the EU replica crash-restarts while the hint is queued.
+        sim.faults().schedule(
+            SimTime::from_secs(5),
+            SimTime::from_secs(10),
+            FaultKind::ReplicaCrash {
+                store: "db".into(),
+                region: EU,
+            },
+        );
+        let s = store.clone();
+        let v = sim.block_on(async move {
+            let v = s.put(EU, "k", Bytes::from_static(b"x")).await.unwrap();
+            s.wait_visible(SG, "k", v).await.unwrap();
+            assert_eq!(s.pending_hints(), 1);
+            v
+        });
+        sim.run_until(SimTime::from_secs(60));
+        assert_eq!(store.pending_hints(), 0, "crash lost the hint queue");
+        // The hint died with the EU process; without anti-entropy the US
+        // replica never converges (the repair module closes this gap).
+        assert!(!store.is_visible(US, "k", v));
+        // EU itself recovered its copy from the WAL.
+        assert!(store.is_visible(EU, "k", v));
+    }
+
+    #[test]
+    fn waiters_in_dark_region_are_cancelled_not_leaked() {
+        let (sim, store) = setup(16);
+        // Subscribe a waiter at US for a write that will never arrive before
+        // the outage, then let the outage start.
+        sim.faults().schedule(
+            SimTime::from_secs(2),
+            SimTime::from_secs(6),
+            FaultKind::RegionOutage { region: US },
+        );
+        let s = store.clone();
+        let outcome: Rc<std::cell::RefCell<Option<Result<(), StoreError>>>> =
+            Rc::new(std::cell::RefCell::new(None));
+        let slot = outcome.clone();
+        sim.spawn(async move {
+            let res = s.wait_visible(US, "never-written", 1).await;
+            *slot.borrow_mut() = Some(res);
+        });
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(store.waiter_count(US), 1, "waiter subscribed pre-outage");
+        sim.run_until(SimTime::from_secs(3));
+        // Regression (waiter leak): outage entry must cancel the waiter, not
+        // strand it past the window.
+        assert_eq!(store.waiter_count(US), 0, "outage entry drains waiters");
+        match outcome.borrow().clone() {
+            Some(Err(StoreError::Unavailable { region, .. })) => assert_eq!(region, US),
+            other => panic!("waiter should surface Unavailable, got {other:?}"),
+        }
+        // Re-armed waits after the heal succeed normally.
+        let s = store.clone();
+        sim.block_on({
+            let sim = sim.clone();
+            async move {
+                sim.sleep_until(SimTime::from_secs(6)).await;
+                let v = s.put(EU, "k", Bytes::new()).await.unwrap();
+                s.wait_visible(US, "k", v).await.unwrap();
+            }
+        });
+        assert_eq!(store.waiter_count(US), 0, "satisfied waiters drain too");
+    }
+
+    #[test]
+    fn recovery_monitor_does_not_prevent_quiescence() {
+        // A store with no faults: sim.run() must terminate even though the
+        // monitor task is parked (it holds no timer while the plan is empty).
+        let (sim, store) = setup(17);
+        let s = store.clone();
+        sim.spawn(async move {
+            s.put(EU, "k", Bytes::new()).await.unwrap();
+        });
+        sim.run();
+        assert!(store.is_visible(US, "k", 1));
+        assert!(store.is_visible(SG, "k", 1));
+    }
+}

@@ -1,0 +1,370 @@
+//! Anti-entropy repair: the background convergence mechanism of the
+//! recovery plane.
+//!
+//! Hinted handoff ([`crate::recovery`]) repairs the *common* failure — a
+//! suppressed send parks at its origin and flushes at the heal edge. But a
+//! hint is volatile state: when the origin replica crash-restarts, its queued
+//! hints die with the process, and nothing retries those sends. Anti-entropy
+//! closes exactly that gap (plus any other divergence, e.g. the no-handoff
+//! ablation) by periodically diffing replica version maps and back-filling
+//! stale replicas from whichever live replica holds the newest version —
+//! Dynamo-style read-repair run as a sweep.
+//!
+//! The sweep is deterministic: replicas and keys are walked in `BTreeMap`
+//! order, gossip transit is sampled from the store's seeded RNG stream, and
+//! the periodic loop *self-terminates* once the store has converged, no
+//! hints are queued, and the fault plan schedules no further transitions —
+//! so `sim.run()` still quiesces with anti-entropy enabled.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use antipode_sim::{Region, SimTime};
+use bytes::Bytes;
+
+use crate::replica::KvStore;
+
+/// Knobs for the periodic anti-entropy loop.
+#[derive(Clone, Copy, Debug)]
+pub struct RepairConfig {
+    /// Virtual time between sweeps.
+    pub period: Duration,
+    /// Hard stop: no sweep runs at or after this instant. Safety valve for
+    /// plans that can never converge (e.g. a permanent imperative stall,
+    /// which schedules no heal edge the loop could wait for).
+    pub horizon: Option<SimTime>,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        RepairConfig {
+            period: Duration::from_secs(5),
+            horizon: None,
+        }
+    }
+}
+
+/// What one [`KvStore::repair_sweep`] did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Distinct keys examined across live replicas.
+    pub examined: usize,
+    /// Stale (replica, key) pairs brought up to the newest live version.
+    pub backfilled: usize,
+}
+
+impl KvStore {
+    /// Whether every replica holds an identical key→version map. Crashed or
+    /// dark replicas are compared as-is (a mid-crash replica is empty, so a
+    /// store is never "converged" inside a crash window — by design).
+    pub fn converged(&self) -> bool {
+        let replicas = self.inner.replicas.borrow();
+        let mut iter = replicas.values();
+        let Some(first) = iter.next() else {
+            return true;
+        };
+        let reference: Vec<(&String, u64)> =
+            first.data.iter().map(|(k, v)| (k, v.version)).collect();
+        iter.all(|state| {
+            state.data.len() == reference.len()
+                && state
+                    .data
+                    .iter()
+                    .zip(reference.iter())
+                    .all(|((k, v), (rk, rv))| k == *rk && v.version == *rv)
+        })
+    }
+
+    /// One anti-entropy round: diff the version maps of live replicas, pick
+    /// the newest copy of every key, and back-fill each stale live replica
+    /// whose path from the source is healthy. Pays one sampled gossip
+    /// transit (the max over the repair paths used) before applying, and
+    /// re-checks every path at apply time — a window edge may have moved
+    /// while the messages were in flight.
+    pub async fn repair_sweep(&self) -> RepairReport {
+        let now = self.inner.sim.now();
+        let name = self.inner.name.clone();
+        let live: Vec<Region> = self
+            .inner
+            .regions
+            .iter()
+            .copied()
+            .filter(|&r| {
+                !self.inner.faults.region_down(now, r)
+                    && !self.inner.faults.replica_crashed(now, &name, r)
+            })
+            .collect();
+        // key → (newest version, bytes, source replica), in BTreeMap order.
+        let mut union: Vec<(String, u64, Bytes, Region)> = Vec::new();
+        {
+            let replicas = self.inner.replicas.borrow();
+            let mut newest: std::collections::BTreeMap<&String, (u64, &Bytes, Region)> =
+                std::collections::BTreeMap::new();
+            for &r in &live {
+                let Some(state) = replicas.get(&r) else {
+                    continue;
+                };
+                for (k, v) in &state.data {
+                    let stale = newest.get(k).map(|(ver, _, _)| *ver < v.version);
+                    if stale.unwrap_or(true) {
+                        newest.insert(k, (v.version, &v.bytes, r));
+                    }
+                }
+            }
+            for (k, (ver, bytes, src)) in newest {
+                union.push((k.clone(), ver, bytes.clone(), src));
+            }
+        }
+        let examined = union.len();
+        // Plan the back-fills against the snapshot.
+        let mut plan: Vec<(Region, Region, String, u64, Bytes)> = Vec::new();
+        for &dest in &live {
+            if self.inner.faults.replication_stalled(now, &name, dest) {
+                continue;
+            }
+            for (key, ver, bytes, src) in &union {
+                if dest == *src || self.inner.faults.link_blocked(now, *src, dest) {
+                    continue;
+                }
+                let dest_ver = self.get_sync(dest, key).map(|v| v.version).unwrap_or(0);
+                if dest_ver < *ver {
+                    plan.push((*src, dest, key.clone(), *ver, bytes.clone()));
+                }
+            }
+        }
+        if plan.is_empty() {
+            return RepairReport {
+                examined,
+                backfilled: 0,
+            };
+        }
+        // One gossip round: the sweep completes when the slowest repair path
+        // delivers. Paths are sampled in sorted order for determinism.
+        let pairs: BTreeSet<(Region, Region)> =
+            plan.iter().map(|(src, dest, ..)| (*src, *dest)).collect();
+        let transit = {
+            let mut rng = self.inner.rng.borrow_mut();
+            pairs
+                .iter()
+                .map(|&(src, dest)| {
+                    self.inner
+                        .net
+                        .delay_faulted(&mut *rng, src, dest, &self.inner.faults, now)
+                })
+                .max()
+                .unwrap_or_default()
+        };
+        self.inner.sim.sleep(transit).await;
+        let arrive = self.inner.sim.now();
+        let mut backfilled = 0usize;
+        for (src, dest, key, ver, bytes) in plan {
+            // Re-check at delivery: a fault window may have opened (message
+            // lost) and a concurrent apply may have superseded the repair.
+            if self.inner.faults.link_blocked(arrive, src, dest)
+                || self.inner.faults.replica_crashed(arrive, &name, dest)
+                || self.inner.faults.replication_stalled(arrive, &name, dest)
+            {
+                continue;
+            }
+            if !self.is_visible(dest, &key, ver) {
+                self.apply(dest, &key, ver, bytes);
+                backfilled += 1;
+            }
+        }
+        RepairReport {
+            examined,
+            backfilled,
+        }
+    }
+
+    /// Starts the periodic anti-entropy loop. The loop self-terminates when
+    /// the store has converged, no hints are queued, and the fault plan has
+    /// no scheduled transitions left — so enabling repair never prevents the
+    /// simulation from quiescing. `cfg.horizon` bounds pathological plans
+    /// that can never converge.
+    pub fn enable_anti_entropy(&self, cfg: RepairConfig) {
+        let store = self.clone();
+        self.inner.sim.clone().spawn(async move {
+            loop {
+                store.inner.sim.sleep(cfg.period).await;
+                let now = store.inner.sim.now();
+                if cfg.horizon.is_some_and(|h| now >= h) {
+                    break;
+                }
+                store.repair_sweep().await;
+                let after = store.inner.sim.now();
+                if store.converged()
+                    && store.pending_hints() == 0
+                    && store.inner.faults.next_transition_after(after).is_none()
+                {
+                    break;
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antipode_sim::dist::Dist;
+    use antipode_sim::fault::FaultKind;
+    use antipode_sim::net::regions::{EU, SG, US};
+    use antipode_sim::net::Network;
+    use antipode_sim::Sim;
+    use std::rc::Rc;
+
+    use crate::recovery::RecoveryConfig;
+    use crate::replica::KvProfile;
+
+    fn fast_profile() -> KvProfile {
+        KvProfile {
+            local_write: Dist::constant_ms(1.0),
+            local_read: Dist::constant_ms(0.5),
+            replication: Dist::constant_ms(100.0),
+            rtt_hops: 1.0,
+            retry_interval: Dist::constant_ms(50.0),
+        }
+    }
+
+    fn setup(seed: u64) -> (Sim, KvStore) {
+        let sim = Sim::new(seed);
+        let net = Rc::new(Network::global_triangle());
+        let store = KvStore::new(&sim, net, "db", &[EU, US, SG], fast_profile());
+        (sim, store)
+    }
+
+    #[test]
+    fn converged_after_normal_replication() {
+        let (sim, store) = setup(21);
+        let s = store.clone();
+        sim.block_on(async move {
+            let v = s.put(EU, "k", Bytes::from_static(b"x")).await.unwrap();
+            s.wait_visible(US, "k", v).await.unwrap();
+            s.wait_visible(SG, "k", v).await.unwrap();
+        });
+        assert!(store.converged());
+        assert_eq!(store.pending_hints(), 0);
+    }
+
+    #[test]
+    fn single_sweep_backfills_dropped_sends() {
+        let (sim, store) = setup(22);
+        // No handoff: the partitioned EU→US send is dropped outright…
+        store.set_recovery(RecoveryConfig {
+            hinted_handoff: false,
+            ..RecoveryConfig::default()
+        });
+        sim.faults().schedule(
+            SimTime::ZERO,
+            SimTime::from_secs(5),
+            FaultKind::Partition { a: EU, b: US },
+        );
+        let s = store.clone();
+        sim.block_on({
+            let sim = sim.clone();
+            async move {
+                let v = s.put(EU, "k", Bytes::from_static(b"x")).await.unwrap();
+                s.wait_visible(SG, "k", v).await.unwrap();
+                sim.sleep_until(SimTime::from_secs(10)).await;
+                assert!(!s.is_visible(US, "k", v), "dropped send never retried");
+                // …until one repair sweep diffs the replicas and back-fills.
+                let report = s.repair_sweep().await;
+                assert_eq!(report.examined, 1);
+                assert_eq!(report.backfilled, 1);
+                assert!(s.is_visible(US, "k", v));
+            }
+        });
+        assert!(store.converged());
+    }
+
+    #[test]
+    fn sweep_skips_blocked_paths_and_crashed_replicas() {
+        let (sim, store) = setup(23);
+        store.set_recovery(RecoveryConfig::disabled());
+        sim.faults().schedule(
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+            FaultKind::Partition { a: EU, b: US },
+        );
+        sim.faults().schedule(
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+            FaultKind::Partition { a: SG, b: US },
+        );
+        let s = store.clone();
+        sim.block_on(async move {
+            let v = s.put(EU, "k", Bytes::from_static(b"x")).await.unwrap();
+            s.wait_visible(SG, "k", v).await.unwrap();
+            // Every path into US is partitioned: the sweep must not repair
+            // through a blocked link.
+            let report = s.repair_sweep().await;
+            assert_eq!(report.backfilled, 0);
+            assert!(!s.is_visible(US, "k", v));
+        });
+    }
+
+    #[test]
+    fn anti_entropy_recovers_hints_lost_to_origin_crash() {
+        let (sim, store) = setup(24);
+        // EU↔US and SG↔US both partitioned, so the only copy of the write's
+        // pending send to US is the hint queued at EU…
+        sim.faults().schedule(
+            SimTime::ZERO,
+            SimTime::from_secs(30),
+            FaultKind::Partition { a: EU, b: US },
+        );
+        sim.faults().schedule(
+            SimTime::ZERO,
+            SimTime::from_secs(30),
+            FaultKind::Partition { a: SG, b: US },
+        );
+        // …and the EU crash at [5s, 10s) destroys that hint.
+        sim.faults().schedule(
+            SimTime::from_secs(5),
+            SimTime::from_secs(10),
+            FaultKind::ReplicaCrash {
+                store: "db".into(),
+                region: EU,
+            },
+        );
+        store.enable_anti_entropy(RepairConfig {
+            period: Duration::from_secs(2),
+            horizon: None,
+        });
+        let s = store.clone();
+        sim.spawn(async move {
+            let v = s.put(EU, "k", Bytes::from_static(b"x")).await.unwrap();
+            s.wait_visible(SG, "k", v).await.unwrap();
+        });
+        // The loop self-terminates once converged, so run() quiesces.
+        sim.run();
+        assert_eq!(store.pending_hints(), 0, "crash destroyed the hint");
+        assert!(
+            store.is_visible(US, "k", 1),
+            "anti-entropy back-filled the write handoff lost"
+        );
+        assert!(store.is_visible(EU, "k", 1), "WAL replay restored EU");
+        assert!(store.converged());
+    }
+
+    #[test]
+    fn horizon_stops_a_plan_that_cannot_converge() {
+        let (sim, store) = setup(25);
+        store.set_recovery(RecoveryConfig::disabled());
+        // Imperative stall: no scheduled heal edge exists, so without the
+        // horizon the loop would sweep forever and run() would never return.
+        store.pause_replication(US);
+        store.enable_anti_entropy(RepairConfig {
+            period: Duration::from_secs(1),
+            horizon: Some(SimTime::from_secs(20)),
+        });
+        let s = store.clone();
+        sim.spawn(async move {
+            s.put(EU, "k", Bytes::from_static(b"x")).await.unwrap();
+        });
+        sim.run();
+        assert!(sim.now() <= SimTime::from_secs(21));
+        assert!(!store.is_visible(US, "k", 1), "stalled replica stays stale");
+    }
+}

@@ -95,38 +95,54 @@ pub struct StoredValue {
     pub visible_at: SimTime,
 }
 
-struct Waiter {
-    key: String,
-    version: u64,
-    tx: OneSender<()>,
+pub(crate) struct Waiter {
+    pub(crate) key: String,
+    pub(crate) version: u64,
+    /// Resolved `Ok(())` when the awaited version lands, `Err(Unavailable)`
+    /// when the replica goes dark (region outage or replica crash) — so
+    /// waiters subscribed before a fault window never leak past it.
+    pub(crate) tx: OneSender<Result<(), StoreError>>,
 }
 
 #[derive(Default)]
-struct ReplicaState {
-    data: BTreeMap<String, StoredValue>,
-    waiters: Vec<Waiter>,
+pub(crate) struct ReplicaState {
+    pub(crate) data: BTreeMap<String, StoredValue>,
+    pub(crate) waiters: Vec<Waiter>,
+    /// Deterministic per-replica write-ahead log: every apply that changed
+    /// the memtable, in apply order. Crash-restart replays it (see
+    /// [`crate::recovery`]); disabled per [`crate::recovery::RecoveryConfig`].
+    pub(crate) wal: Vec<crate::recovery::WalEntry>,
+    /// Bumped on every crash; in-flight replication sends capture the origin
+    /// epoch and abort when it moved (the sending process died).
+    pub(crate) epoch: u64,
 }
 
-struct KvInner {
-    name: String,
-    sim: Sim,
-    net: Rc<Network>,
-    profile: KvProfile,
-    regions: Vec<Region>,
-    replicas: RefCell<BTreeMap<Region, ReplicaState>>,
-    next_version: Cell<u64>,
-    rng: RefCell<SimRng>,
+pub(crate) struct KvInner {
+    pub(crate) name: String,
+    pub(crate) sim: Sim,
+    pub(crate) net: Rc<Network>,
+    pub(crate) profile: KvProfile,
+    pub(crate) regions: Vec<Region>,
+    pub(crate) replicas: RefCell<BTreeMap<Region, ReplicaState>>,
+    pub(crate) next_version: Cell<u64>,
+    pub(crate) rng: RefCell<SimRng>,
     /// The simulation-wide chaos schedule; every fault this store observes
-    /// (drops, stalls, partitions, outages, congestion) comes from here.
-    faults: FaultPlan,
+    /// (drops, stalls, partitions, outages, congestion, crashes) comes from
+    /// here.
+    pub(crate) faults: FaultPlan,
+    /// Recovery knobs (WAL, hinted handoff); see [`crate::recovery`].
+    pub(crate) recovery: Cell<crate::recovery::RecoveryConfig>,
+    /// Hinted-handoff queue: replication sends suppressed by a fault, parked
+    /// at their origin until the path heals. Flushed by the recovery monitor.
+    pub(crate) hints: RefCell<Vec<crate::recovery::Hint>>,
     /// Optional observation hook for dynamic analysis (race detection).
-    probe: RefCell<Option<VisibilityProbe>>,
+    pub(crate) probe: RefCell<Option<VisibilityProbe>>,
 }
 
 /// A simulated geo-replicated key-value store.
 #[derive(Clone)]
 pub struct KvStore {
-    inner: Rc<KvInner>,
+    pub(crate) inner: Rc<KvInner>,
 }
 
 impl KvStore {
@@ -146,7 +162,7 @@ impl KvStore {
             .iter()
             .map(|r| (*r, ReplicaState::default()))
             .collect::<BTreeMap<_, _>>();
-        KvStore {
+        let store = KvStore {
             inner: Rc::new(KvInner {
                 name,
                 sim: sim.clone(),
@@ -157,9 +173,24 @@ impl KvStore {
                 next_version: Cell::new(1),
                 rng,
                 faults: sim.faults(),
+                recovery: Cell::new(crate::recovery::RecoveryConfig::default()),
+                hints: RefCell::new(Vec::new()),
                 probe: RefCell::new(None),
             }),
-        }
+        };
+        crate::recovery::spawn_monitor(&store);
+        store
+    }
+
+    /// Replaces the store's [`crate::recovery::RecoveryConfig`] (WAL and
+    /// hinted-handoff knobs). Effective for subsequent operations.
+    pub fn set_recovery(&self, cfg: crate::recovery::RecoveryConfig) {
+        self.inner.recovery.set(cfg);
+    }
+
+    /// The store's current recovery configuration.
+    pub fn recovery_config(&self) -> crate::recovery::RecoveryConfig {
+        self.inner.recovery.get()
     }
 
     /// The store's name (what write identifiers refer to).
@@ -186,10 +217,17 @@ impl KvStore {
     }
 
     /// Like [`KvStore::check_region`], but also rejects regions inside a
-    /// [`antipode_sim::fault::FaultKind::RegionOutage`] window.
+    /// [`antipode_sim::fault::FaultKind::RegionOutage`] or
+    /// [`antipode_sim::fault::FaultKind::ReplicaCrash`] window.
     fn check_available(&self, region: Region) -> Result<(), StoreError> {
         self.check_region(region)?;
-        if self.inner.faults.region_down(self.inner.sim.now(), region) {
+        let now = self.inner.sim.now();
+        if self.inner.faults.region_down(now, region)
+            || self
+                .inner
+                .faults
+                .replica_crashed(now, &self.inner.name, region)
+        {
             return Err(StoreError::Unavailable {
                 store: self.inner.name.clone(),
                 region,
@@ -232,6 +270,7 @@ impl KvStore {
         value: Bytes,
     ) {
         let store = self.clone();
+        let origin_epoch = self.replica_epoch(origin);
         self.inner.sim.spawn(async move {
             loop {
                 let now = store.inner.sim.now();
@@ -262,29 +301,68 @@ impl KvStore {
                     continue;
                 }
                 store.inner.sim.sleep(lag).await;
-                // A stalled destination, a partition, or a down region holds
-                // the message until the fault clears.
-                let faults = store.inner.faults.clone();
-                let blocked_store = store.clone();
-                faults
-                    .until_clear(&store.inner.sim, move |at| {
-                        blocked_store.inner.faults.replication_stalled(
-                            at,
-                            &blocked_store.inner.name,
-                            dest,
-                        ) || blocked_store.inner.faults.link_blocked(at, origin, dest)
-                    })
-                    .await;
-                store.apply(dest, &key, version, value);
+                store.finish_replication(origin, origin_epoch, dest, key, version, value);
                 return;
             }
         });
     }
 
+    /// Terminal step of one replication send: apply at the destination when
+    /// the path is healthy, or queue a hinted-handoff entry at the origin
+    /// when a fault suppresses the send (stall, partition, outage, crashed
+    /// destination). With handoff disabled the suppressed send is dropped
+    /// outright — the ablation that shows the recovery plane is load-bearing.
+    fn finish_replication(
+        &self,
+        origin: Region,
+        origin_epoch: u64,
+        dest: Region,
+        key: Rc<str>,
+        version: u64,
+        value: Bytes,
+    ) {
+        if self.replica_epoch(origin) != origin_epoch {
+            // The origin replica crash-restarted while this send was in
+            // flight: the sending process died with it. The origin copy is in
+            // the WAL; remote copies are recovered by anti-entropy repair.
+            return;
+        }
+        let now = self.inner.sim.now();
+        let suppressed = self
+            .inner
+            .faults
+            .replication_stalled(now, &self.inner.name, dest)
+            || self.inner.faults.link_blocked(now, origin, dest)
+            || self
+                .inner
+                .faults
+                .replica_crashed(now, &self.inner.name, dest);
+        if !suppressed {
+            self.apply(dest, &key, version, value);
+        } else if self.inner.recovery.get().hinted_handoff {
+            self.inner.hints.borrow_mut().push(crate::recovery::Hint {
+                origin,
+                dest,
+                key,
+                version,
+                bytes: value,
+            });
+        }
+    }
+
     /// Applies a version at a replica, waking matured waiters. Out-of-order
     /// (superseded) arrivals still satisfy waiters but do not clobber newer
-    /// data.
-    fn apply(&self, region: Region, key: &str, version: u64, value: Bytes) {
+    /// data. Messages addressed to a crashed replica are dropped (the
+    /// process is dead); anti-entropy repair back-fills them after restart.
+    pub(crate) fn apply(&self, region: Region, key: &str, version: u64, value: Bytes) {
+        if self
+            .inner
+            .faults
+            .replica_crashed(self.inner.sim.now(), &self.inner.name, region)
+        {
+            return;
+        }
+        let wal_enabled = self.inner.recovery.get().wal;
         let mut replicas = self.inner.replicas.borrow_mut();
         // Replication only targets configured replicas; treat a miss as a
         // dropped message rather than tearing the run down.
@@ -297,21 +375,30 @@ impl KvStore {
             .map(|v| v.version >= version)
             .unwrap_or(false);
         if !newer_exists {
+            let visible_at = self.inner.sim.now();
             state.data.insert(
                 key.to_string(),
                 StoredValue {
                     version,
-                    bytes: value,
-                    visible_at: self.inner.sim.now(),
+                    bytes: value.clone(),
+                    visible_at,
                 },
             );
+            if wal_enabled {
+                state.wal.push(crate::recovery::WalEntry {
+                    key: key.to_string(),
+                    version,
+                    bytes: value,
+                    visible_at,
+                });
+            }
         }
         let watermark = state.data.get(key).map(|v| v.version).unwrap_or(version);
         let mut i = 0;
         while i < state.waiters.len() {
             if state.waiters[i].key == key && state.waiters[i].version <= watermark {
                 let w = state.waiters.swap_remove(i);
-                let _ = w.tx.send(());
+                let _ = w.tx.send(Ok(()));
             } else {
                 i += 1;
             }
@@ -326,6 +413,27 @@ impl KvStore {
                 at: self.inner.sim.now(),
             });
         }
+    }
+
+    /// The crash epoch of a replica (bumped on every
+    /// [`antipode_sim::fault::FaultKind::ReplicaCrash`] entry).
+    pub(crate) fn replica_epoch(&self, region: Region) -> u64 {
+        self.inner
+            .replicas
+            .borrow()
+            .get(&region)
+            .map(|s| s.epoch)
+            .unwrap_or(0)
+    }
+
+    /// Number of write-ahead-log entries at a replica (diagnostics).
+    pub fn wal_len(&self, region: Region) -> usize {
+        self.inner
+            .replicas
+            .borrow()
+            .get(&region)
+            .map(|s| s.wal.len())
+            .unwrap_or(0)
     }
 
     /// Installs an observation hook invoked at every replica apply; see
@@ -413,8 +521,11 @@ impl KvStore {
         key: &str,
         version: u64,
     ) -> Result<(), StoreError> {
-        self.check_available(region)?;
         loop {
+            // Re-checked every lap: a replica that went dark mid-wait cancels
+            // its waiters (see [`crate::recovery`]), and a fresh subscription
+            // against a dark replica must not silently park forever.
+            self.check_available(region)?;
             let rx = {
                 let mut replicas = self.inner.replicas.borrow_mut();
                 let state = replicas
@@ -436,9 +547,14 @@ impl KvStore {
                 });
                 rx
             };
-            // A dropped sender (cannot happen today, but harmless) retries.
-            if rx.await.is_ok() {
-                return Ok(());
+            match rx.await {
+                Ok(Ok(())) => return Ok(()),
+                // The replica went dark while we were subscribed: surface
+                // the outage so barrier retry policies can re-arm the wait.
+                Ok(Err(e)) => return Err(e),
+                // A dropped sender (cannot happen today, but harmless)
+                // retries.
+                Err(_) => continue,
             }
         }
     }

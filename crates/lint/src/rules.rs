@@ -80,7 +80,8 @@ pub struct FileContext {
     pub deterministic: bool,
     /// In `crates/bench` (wall-clock timing is its whole point).
     pub bench: bool,
-    /// A fault-path module (`fault.rs`, `replica.rs`, `queue.rs`, `rpc.rs`).
+    /// A fault-path module (`fault.rs`, `replica.rs`, `queue.rs`, `rpc.rs`,
+    /// `recovery.rs`, `repair.rs`).
     pub fault_path: bool,
     /// Application code (`crates/apps`) — subject to X1.
     pub app: bool,
@@ -104,7 +105,9 @@ impl FileContext {
             bench: crate_name == Some("bench"),
             fault_path: matches!(
                 comps.last().copied(),
-                Some("fault.rs" | "replica.rs" | "queue.rs" | "rpc.rs")
+                Some(
+                    "fault.rs" | "replica.rs" | "queue.rs" | "rpc.rs" | "recovery.rs" | "repair.rs"
+                )
             ),
             app: crate_name == Some("apps"),
             test_file: comps
@@ -251,6 +254,10 @@ mod tests {
         let c = FileContext::classify("crates/bench/src/perf.rs");
         assert!(c.bench && !c.deterministic);
         let c = FileContext::classify("crates/datastores/src/queue.rs");
+        assert!(c.deterministic && c.fault_path);
+        let c = FileContext::classify("crates/datastores/src/recovery.rs");
+        assert!(c.deterministic && c.fault_path);
+        let c = FileContext::classify("crates/datastores/src/repair.rs");
         assert!(c.deterministic && c.fault_path);
         let c = FileContext::classify("crates/apps/src/social.rs");
         assert!(c.app);

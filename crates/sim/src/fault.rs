@@ -95,6 +95,18 @@ pub enum FaultKind {
         /// The service name (matches `ServiceSpec::name`).
         service: String,
     },
+    /// One replica of the named KV store crash-restarts: while the window is
+    /// active the replica is unreachable and its **volatile** state is lost
+    /// (in-flight replication sends originated there die with the process).
+    /// At the window's heal edge the replica restarts and replays its
+    /// write-ahead log; anything the WAL did not capture is back-filled by
+    /// hinted handoff and anti-entropy repair.
+    ReplicaCrash {
+        /// The store whose replica crashes.
+        store: String,
+        /// The region whose replica crashes.
+        region: Region,
+    },
 }
 
 /// A fault active over the virtual-time interval `[from, until)`.
@@ -409,6 +421,25 @@ impl FaultPlan {
         )
     }
 
+    /// Whether the named KV store's replica in `region` is inside a
+    /// [`FaultKind::ReplicaCrash`] window.
+    pub fn replica_crashed(&self, at: SimTime, store: &str, region: Region) -> bool {
+        self.any_window(at, |k| {
+            matches!(k, FaultKind::ReplicaCrash { store: s, region: r }
+                if s == store && *r == region)
+        })
+    }
+
+    /// Whether *any* store replica in `region` is inside a
+    /// [`FaultKind::ReplicaCrash`] window — used by observers (the
+    /// consistency checker) that know regions but not store names.
+    pub fn any_replica_crash(&self, at: SimTime, region: Region) -> bool {
+        self.any_window(
+            at,
+            |k| matches!(k, FaultKind::ReplicaCrash { region: r, .. } if *r == region),
+        )
+    }
+
     /// The next scheduled window edge (start or heal) strictly after `at`,
     /// if any — the instant at which some query above may change value.
     pub fn next_transition_after(&self, at: SimTime) -> Option<SimTime> {
@@ -424,6 +455,15 @@ impl FaultPlan {
     // ------------------------------------------------------------------
     // Waiting
     // ------------------------------------------------------------------
+
+    /// A future resolving at the next imperative change to the plan (or
+    /// immediately, if one happened since this call's creation epoch).
+    /// Recovery monitors combine this with [`FaultPlan::next_transition_after`]
+    /// to wake at every instant a fault query may change value, without
+    /// polling: `timeout(sim, edge - now, plan.on_change())`.
+    pub fn on_change(&self) -> crate::sync::Notified {
+        self.inner.changed.notified()
+    }
 
     /// Parks until `blocked(now)` turns false, waking deterministically at
     /// each scheduled window transition and on every imperative change.
@@ -591,6 +631,30 @@ mod tests {
         plan.schedule(t(9), t(2), FaultKind::RegionOutage { region: US });
         assert_eq!(plan.window_count(), 0);
         assert_eq!(plan.next_transition_after(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn replica_crash_is_per_store_and_per_region() {
+        let plan = FaultPlan::new();
+        plan.schedule(
+            t(2),
+            t(6),
+            FaultKind::ReplicaCrash {
+                store: "db".into(),
+                region: US,
+            },
+        );
+        assert!(!plan.replica_crashed(t(1), "db", US));
+        assert!(plan.replica_crashed(t(2), "db", US));
+        assert!(plan.replica_crashed(t(5), "db", US));
+        assert!(!plan.replica_crashed(t(6), "db", US), "heal edge exclusive");
+        assert!(!plan.replica_crashed(t(3), "db", EU));
+        assert!(!plan.replica_crashed(t(3), "other", US));
+        // Region-level view for store-agnostic observers.
+        assert!(plan.any_replica_crash(t(3), US));
+        assert!(!plan.any_replica_crash(t(3), EU));
+        // A crash is a transition source like any other window.
+        assert_eq!(plan.next_transition_after(t(2)), Some(t(6)));
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Region failover, end to end through the recovery plane:
+//!
+//! 1. An EU↔US partition opens, then a post is written in the EU — its
+//!    replication to the US is suppressed at delivery time and queued as a
+//!    **hinted handoff** at the origin.
+//! 2. The EU replica **crashes** mid-partition: its memtable (and the queued
+//!    hint) are lost. At the crash-window edge the replica restarts and
+//!    **WAL replay** restores its data — but nobody holds a hint for the US
+//!    anymore.
+//! 3. A second post written after the restart queues a fresh hint, which the
+//!    partition heal **flushes**; the first post's lost hint is repaired by
+//!    the periodic **anti-entropy** sweep diffing replica version maps.
+//! 4. A US reader runs a **budgeted barrier** the whole time: it degrades
+//!    (serving a partial response with the unmet dependencies listed),
+//!    re-arms, and turns complete the moment repair catches up.
+//!
+//! Run with `cargo run --release --example region_failover`.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use antipode::{Antipode, BarrierOutcome, Lineage, LineageId};
+use antipode_sim::dist::Dist;
+use antipode_sim::net::regions::{EU, SG, US};
+use antipode_sim::{FaultKind, Network, Sim, SimTime};
+use antipode_store::replica::{KvProfile, KvStore};
+use antipode_store::shim::KvShim;
+use antipode_store::RepairConfig;
+use bytes::Bytes;
+
+fn main() {
+    let sim = Sim::new(11);
+    let net = Rc::new(Network::global_triangle());
+    let posts = KvStore::new(
+        &sim,
+        net,
+        "post-storage",
+        &[EU, US, SG],
+        KvProfile {
+            local_write: Dist::constant_ms(1.0),
+            local_read: Dist::constant_ms(0.5),
+            replication: Dist::constant_ms(100.0),
+            rtt_hops: 1.0,
+            retry_interval: Dist::constant_ms(200.0),
+        },
+    );
+    // WAL + hinted handoff are on by default; anti-entropy is the opt-in
+    // piece of the recovery plane.
+    posts.enable_anti_entropy(RepairConfig {
+        period: Duration::from_secs(2),
+        horizon: None,
+    });
+    let shim = KvShim::new(posts.clone());
+    let mut ap = Antipode::new(sim.clone());
+    ap.register(Rc::new(shim.clone()));
+
+    sim.faults().schedule(
+        SimTime::from_secs(1),
+        SimTime::from_secs(20),
+        FaultKind::Partition { a: EU, b: US },
+    );
+    sim.faults().schedule(
+        SimTime::from_secs(5),
+        SimTime::from_secs(12),
+        FaultKind::ReplicaCrash {
+            store: "post-storage".into(),
+            region: EU,
+        },
+    );
+    println!("[plan]     EU↔US partition t=1s..20s; EU replica crash t=5s..12s");
+
+    // Narrator: observe the recovery plane at the fault edges.
+    let observer = posts.clone();
+    let sim2 = sim.clone();
+    sim.spawn(async move {
+        sim2.sleep_until(SimTime::from_millis(4_900)).await;
+        println!(
+            "[recovery] t={} pre-crash: {} hint(s) queued for the partitioned US replica",
+            sim2.now(),
+            observer.pending_hints()
+        );
+        sim2.sleep_until(SimTime::from_millis(5_100)).await;
+        println!(
+            "[fault]    t={} EU replica crashed: memtable wiped, {} hint(s) survive (origin lost), WAL holds {} record(s)",
+            sim2.now(),
+            observer.pending_hints(),
+            observer.wal_len(EU)
+        );
+        sim2.sleep_until(SimTime::from_millis(12_100)).await;
+        println!(
+            "[recovery] t={} EU replica restarted: WAL replay restored {} record(s)",
+            sim2.now(),
+            observer.wal_len(EU)
+        );
+    });
+
+    let sim3 = sim.clone();
+    let store = posts.clone();
+    sim.block_on(async move {
+        let sim = sim3;
+        let mut lineage = Lineage::new(LineageId(1));
+
+        // Post 1 lands behind the partition: its US send becomes a hint —
+        // which the t=5s crash will destroy.
+        sim.sleep_until(SimTime::from_secs(2)).await;
+        shim.write(EU, "post-1", Bytes::from_static(b"hello"), &mut lineage)
+            .await
+            .expect("EU healthy at t=2s");
+        println!("[writer]   t={} post-1 written in the EU (partition active)", sim.now());
+
+        // Post 2 lands after the WAL restart, still mid-partition: a fresh
+        // hint, flushed when the partition heals at t=20s.
+        sim.sleep_until(SimTime::from_secs(13)).await;
+        shim.write(EU, "post-2", Bytes::from_static(b"again"), &mut lineage)
+            .await
+            .expect("EU restarted at t=12s");
+        println!("[writer]   t={} post-2 written in the EU (after WAL restart)", sim.now());
+
+        // The US reader: a budgeted barrier that degrades instead of
+        // blocking the response, then re-arms until repair catches up.
+        let budget = Duration::from_secs(3);
+        let mut outcome = ap
+            .barrier_budget(&lineage, US, budget)
+            .await
+            .expect("store registered");
+        while let BarrierOutcome::Degraded(d) = outcome {
+            println!(
+                "[antipode] t={} barrier degraded: {} unmet ({}) — serving partial response, re-arming",
+                sim.now(),
+                d.unmet.len(),
+                d.unmet
+                    .iter()
+                    .map(|w| w.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            outcome = ap
+                .rearm(&d, US, Some(Duration::from_secs(5)))
+                .await
+                .expect("re-arm is always safe");
+        }
+        let report = outcome.report();
+        println!(
+            "[antipode] t={} barrier complete: blocked {:.1}s total across {} store wait(s)",
+            sim.now(),
+            report.blocked.as_secs_f64(),
+            report.waits.len()
+        );
+        assert!(
+            sim.now() >= SimTime::from_secs(20),
+            "completion required the partition to heal"
+        );
+        for key in ["post-1", "post-2"] {
+            let got = shim.read(US, key).await.expect("US healthy");
+            assert!(got.is_some(), "{key} visible in the US after the barrier");
+            println!("[reader]   t={} US read {key}: found", sim.now());
+        }
+    });
+
+    // Anti-entropy keeps sweeping until every replica converged, then stops.
+    sim.run();
+    assert!(store.converged(), "all replicas converged at quiescence");
+    assert_eq!(store.pending_hints(), 0, "no stranded hints");
+    println!(
+        "[repair]   t={} anti-entropy done: replicas converged, no hints pending",
+        sim.now()
+    );
+}

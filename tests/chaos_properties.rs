@@ -12,6 +12,7 @@ use antipode_lineage::{Lineage, LineageId};
 use antipode_sim::dist::Dist;
 use antipode_sim::net::regions::{EU, US};
 use antipode_sim::{FaultKind, Network, Sim, SimTime};
+use antipode_store::queue::{QueueProfile, QueueStore};
 use antipode_store::replica::{KvProfile, KvStore};
 use antipode_store::shim::KvShim;
 use bytes::Bytes;
@@ -207,4 +208,62 @@ proptest! {
         prop_assert_eq!(trace1, trace2, "same seed + plan must replay identically");
         prop_assert_eq!(v1, v2);
     }
+}
+
+/// A broker crash-restart must not duplicate-deliver a message whose ack
+/// raced the outage. The visibility timer fires *inside* the outage window
+/// (take ≈ 0s + 4s timeout, outage [3s, 8s)); the consumer's ack lands at
+/// 5s, also inside the window. The restarted broker must read the current
+/// ack state before deciding to redeliver — deciding mid-crash would requeue
+/// a message the group already processed.
+#[test]
+fn broker_restart_does_not_duplicate_acked_messages() {
+    let sim = Sim::new(42);
+    let net = Rc::new(Network::global_triangle());
+    let q = QueueStore::new(
+        &sim,
+        net,
+        "amq",
+        &[EU, US],
+        QueueProfile {
+            local_publish: Dist::constant_ms(1.0),
+            delivery: Dist::constant_ms(80.0),
+            local_delivery: Dist::constant_ms(2.0),
+            rtt_hops: 1.0,
+        },
+    );
+    q.set_visibility_timeout(Some(Duration::from_secs(4)));
+    sim.faults().schedule(
+        SimTime::from_secs(3),
+        SimTime::from_secs(8),
+        FaultKind::QueueOutage {
+            broker: "amq".into(),
+        },
+    );
+    let consumer = q.join_group(EU, "workers").unwrap();
+    let q2 = q.clone();
+    let sim2 = sim.clone();
+    let taken: Rc<std::cell::RefCell<Vec<u64>>> = Rc::new(std::cell::RefCell::new(Vec::new()));
+    let slot = taken.clone();
+    let c2 = consumer.clone();
+    sim.spawn(async move {
+        let id = q2.publish(EU, Bytes::from_static(b"job")).await.unwrap();
+        // Take immediately (arms the 4s visibility timer), process slowly,
+        // ack at t = 5s — one second after the timer fired mid-outage.
+        let m = c2.take().await;
+        assert_eq!(m.id, id);
+        slot.borrow_mut().push(m.id);
+        sim2.sleep_until(SimTime::from_secs(5)).await;
+        c2.ack(&m).unwrap();
+    });
+    sim.run();
+    assert!(
+        sim.now() >= SimTime::from_secs(8),
+        "the deferred redelivery decision waits for the broker restart"
+    );
+    assert_eq!(taken.borrow().len(), 1, "message processed exactly once");
+    assert!(
+        consumer.try_take().is_none(),
+        "restarted broker must not redeliver the acked message"
+    );
 }
