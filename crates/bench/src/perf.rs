@@ -5,7 +5,7 @@
 //! The baseline is split in two:
 //!
 //! - [`DeterministicMetrics`] — structural counters from a fixed hop
-//!   workload: lineage-plane stats ([`LineageStats`]: copy-on-write clones,
+//!   workload: lineage-plane stats ([`antipode_lineage::LineageStats`]: copy-on-write clones,
 //!   wire/base64 encodes vs cache hits, canonical decode adoptions), final
 //!   sizes, and interner population. These are an allocation/work *proxy*
 //!   that must be byte-identical across runs with the same seed — the

@@ -4,44 +4,22 @@
 //! Delivery ≈ 1 s: slow enough that MySQL/DynamoDB/Redis usually replicate
 //! first (Table 1's 7–13 % row), but not S3.
 
-use std::rc::Rc;
-
-use antipode::wait::{LocalBoxFuture, WaitError, WaitTarget};
 use antipode_lineage::{Lineage, WriteId};
-use antipode_sim::net::Network;
-use antipode_sim::{Region, Sim};
+use antipode_sim::Region;
 use bytes::Bytes;
 
-use crate::profiles;
-use crate::queue::{QueueProfile, QueueStore};
+use crate::facade::queue_facade;
 use crate::replica::StoreError;
-use crate::shim::{QueueShim, ShimError, ShimSubscription};
+use crate::shim::{ShimError, ShimSubscription};
 
-/// A simulated AMQ broker pair with forwarding between regions.
-#[derive(Clone)]
-pub struct Amq {
-    queue: QueueStore,
+queue_facade! {
+    /// A simulated AMQ broker pair with forwarding between regions.
+    store Amq(profile: crate::profiles::amq);
+    /// The Antipode shim for [`Amq`].
+    shim AmqShim;
 }
 
 impl Amq {
-    /// Creates a broker with the calibrated AMQ profile.
-    pub fn new(sim: &Sim, net: Rc<Network>, name: impl Into<String>, regions: &[Region]) -> Self {
-        Self::with_profile(sim, net, name, regions, profiles::amq())
-    }
-
-    /// Creates a broker with a custom profile.
-    pub fn with_profile(
-        sim: &Sim,
-        net: Rc<Network>,
-        name: impl Into<String>,
-        regions: &[Region],
-        profile: QueueProfile,
-    ) -> Self {
-        Amq {
-            queue: QueueStore::new(sim, net, name, regions, profile),
-        }
-    }
-
     /// Send a message (baseline path, no lineage).
     pub async fn send(&self, region: Region, payload: Bytes) -> Result<u64, StoreError> {
         self.queue.publish(region, payload).await
@@ -54,27 +32,9 @@ impl Amq {
     ) -> Result<antipode_sim::sync::Receiver<crate::queue::QueueMessage>, StoreError> {
         self.queue.subscribe(region)
     }
-
-    /// The underlying queue store.
-    pub fn queue(&self) -> &QueueStore {
-        &self.queue
-    }
-}
-
-/// The Antipode shim for [`Amq`].
-#[derive(Clone)]
-pub struct AmqShim {
-    inner: QueueShim,
 }
 
 impl AmqShim {
-    /// Wraps a broker.
-    pub fn new(amq: &Amq) -> Self {
-        AmqShim {
-            inner: QueueShim::new(amq.queue.clone()),
-        }
-    }
-
     /// Lineage-propagating send.
     pub async fn send(
         &self,
@@ -91,27 +51,14 @@ impl AmqShim {
     }
 }
 
-impl WaitTarget for AmqShim {
-    fn datastore_name(&self) -> &str {
-        self.inner.datastore_name()
-    }
-    fn wait<'a>(
-        &'a self,
-        write: &'a WriteId,
-        region: Region,
-    ) -> LocalBoxFuture<'a, Result<(), WaitError>> {
-        self.inner.wait(write, region)
-    }
-    fn is_visible(&self, write: &WriteId, region: Region) -> bool {
-        self.inner.is_visible(write, region)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use antipode_lineage::LineageId;
     use antipode_sim::net::regions::{EU, US};
+    use antipode_sim::net::Network;
+    use antipode_sim::Sim;
+    use std::rc::Rc;
     use std::time::Duration;
 
     #[test]

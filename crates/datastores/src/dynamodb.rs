@@ -7,44 +7,22 @@
 //! much slower for that payload type — Table 1's ≈ 0 % row). The notifier
 //! role is [`DynamoDbStream`].
 
-use std::rc::Rc;
-
-use antipode::wait::{LocalBoxFuture, WaitError, WaitTarget};
 use antipode_lineage::{Lineage, WriteId};
-use antipode_sim::net::Network;
-use antipode_sim::{Region, Sim};
+use antipode_sim::Region;
 use bytes::Bytes;
 
-use crate::profiles;
-use crate::queue::QueueStore;
-use crate::replica::{KvProfile, KvStore, StoreError, StoredValue};
-use crate::shim::{KvShim, QueueShim, ShimError, ShimMessage, ShimSubscription};
+use crate::facade::{kv_facade, queue_facade};
+use crate::replica::{StoreError, StoredValue};
+use crate::shim::{ShimError, ShimMessage, ShimSubscription};
 
-/// A simulated DynamoDB global table.
-#[derive(Clone)]
-pub struct DynamoDb {
-    store: KvStore,
+kv_facade! {
+    /// A simulated DynamoDB global table.
+    store DynamoDb(profile: crate::profiles::dynamodb);
+    /// The Antipode shim for [`DynamoDb`].
+    shim DynamoDbShim;
 }
 
 impl DynamoDb {
-    /// Creates a table with the calibrated DynamoDB profile.
-    pub fn new(sim: &Sim, net: Rc<Network>, name: impl Into<String>, regions: &[Region]) -> Self {
-        Self::with_profile(sim, net, name, regions, profiles::dynamodb())
-    }
-
-    /// Creates a table with a custom profile.
-    pub fn with_profile(
-        sim: &Sim,
-        net: Rc<Network>,
-        name: impl Into<String>,
-        regions: &[Region],
-        profile: KvProfile,
-    ) -> Self {
-        DynamoDb {
-            store: KvStore::new(sim, net, name, regions, profile),
-        }
-    }
-
     /// PutItem (baseline path, no lineage).
     pub async fn put_item(
         &self,
@@ -74,27 +52,9 @@ impl DynamoDb {
     ) -> Result<Option<StoredValue>, StoreError> {
         self.store.get_strong(region, key).await
     }
-
-    /// The underlying replicated store.
-    pub fn store(&self) -> &KvStore {
-        &self.store
-    }
-}
-
-/// The Antipode shim for [`DynamoDb`].
-#[derive(Clone)]
-pub struct DynamoDbShim {
-    inner: KvShim,
 }
 
 impl DynamoDbShim {
-    /// Wraps a table.
-    pub fn new(db: &DynamoDb) -> Self {
-        DynamoDbShim {
-            inner: KvShim::new(db.store.clone()),
-        }
-    }
-
     /// Lineage-propagating PutItem.
     pub async fn put_item(
         &self,
@@ -123,37 +83,15 @@ impl DynamoDbShim {
     }
 }
 
-impl WaitTarget for DynamoDbShim {
-    fn datastore_name(&self) -> &str {
-        self.inner.datastore_name()
-    }
-    fn wait<'a>(
-        &'a self,
-        write: &'a WriteId,
-        region: Region,
-    ) -> LocalBoxFuture<'a, Result<(), WaitError>> {
-        self.inner.wait(write, region)
-    }
-    fn is_visible(&self, write: &WriteId, region: Region) -> bool {
-        self.inner.is_visible(write, region)
-    }
-}
-
-/// DynamoDB in the notifier role: an item write whose arrival at the remote
-/// reader is observed through a streams-style poll loop.
-#[derive(Clone)]
-pub struct DynamoDbStream {
-    queue: QueueStore,
+queue_facade! {
+    /// DynamoDB in the notifier role: an item write whose arrival at the
+    /// remote reader is observed through a streams-style poll loop.
+    store DynamoDbStream(profile: crate::profiles::dynamodb_stream);
+    /// The Antipode shim for [`DynamoDbStream`].
+    shim DynamoDbStreamShim;
 }
 
 impl DynamoDbStream {
-    /// Creates a stream-backed notifier with the calibrated profile.
-    pub fn new(sim: &Sim, net: Rc<Network>, name: impl Into<String>, regions: &[Region]) -> Self {
-        DynamoDbStream {
-            queue: QueueStore::new(sim, net, name, regions, profiles::dynamodb_stream()),
-        }
-    }
-
     /// Publishes a notification item (baseline path).
     pub async fn publish(&self, region: Region, payload: Bytes) -> Result<u64, StoreError> {
         self.queue.publish(region, payload).await
@@ -166,27 +104,9 @@ impl DynamoDbStream {
     ) -> Result<antipode_sim::sync::Receiver<crate::queue::QueueMessage>, StoreError> {
         self.queue.subscribe(region)
     }
-
-    /// The underlying queue store.
-    pub fn queue(&self) -> &QueueStore {
-        &self.queue
-    }
-}
-
-/// The Antipode shim for [`DynamoDbStream`].
-#[derive(Clone)]
-pub struct DynamoDbStreamShim {
-    inner: QueueShim,
 }
 
 impl DynamoDbStreamShim {
-    /// Wraps a stream notifier.
-    pub fn new(s: &DynamoDbStream) -> Self {
-        DynamoDbStreamShim {
-            inner: QueueShim::new(s.queue.clone()),
-        }
-    }
-
     /// Lineage-propagating publish.
     pub async fn publish(
         &self,
@@ -208,27 +128,14 @@ impl DynamoDbStreamShim {
     }
 }
 
-impl WaitTarget for DynamoDbStreamShim {
-    fn datastore_name(&self) -> &str {
-        self.inner.datastore_name()
-    }
-    fn wait<'a>(
-        &'a self,
-        write: &'a WriteId,
-        region: Region,
-    ) -> LocalBoxFuture<'a, Result<(), WaitError>> {
-        self.inner.wait(write, region)
-    }
-    fn is_visible(&self, write: &WriteId, region: Region) -> bool {
-        self.inner.is_visible(write, region)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use antipode_lineage::LineageId;
     use antipode_sim::net::regions::{EU, US};
+    use antipode_sim::net::Network;
+    use antipode_sim::Sim;
+    use std::rc::Rc;
 
     #[test]
     fn eventually_consistent_read_can_miss_strong_read_cannot() {

@@ -1,0 +1,752 @@
+//! The shared replication engine underlying both store families.
+//!
+//! One [`Engine`] owns everything [`crate::replica::KvStore`] and
+//! [`crate::queue::QueueStore`] used to implement twice: per-region replica
+//! state with crash epochs, the commit → fan-out → apply pipeline with
+//! fault-plan consultation at every step, visibility watermarks and waiter
+//! registration/cancellation, [`crate::probe::VisibilityProbe`] emission,
+//! WAL append/replay, hinted-handoff queuing/flush, and the anti-entropy
+//! sweep hooks ([`crate::recovery`], [`crate::repair`] extend the engine
+//! with the recovery plane — generically, for both families).
+//!
+//! Family-specific behavior is delegated to the engine's
+//! [`crate::substrate::Substrate`]: admission policy (reject vs block on
+//! faults), latency sampling from the family profile, which fault predicates
+//! gate a send, and the local reaction to an apply (probe emission vs
+//! pub/sub fan-out).
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use antipode_sim::net::Network;
+use antipode_sim::rng::SimRng;
+use antipode_sim::sync::{oneshot, OneSender};
+use antipode_sim::{Region, Sim, SimTime};
+use bytes::Bytes;
+
+use crate::probe::{VisibilityEvent, VisibilityProbe};
+use crate::recovery::{Hint, RecoveryConfig, WalEntry};
+use crate::substrate::{stream_name, Admission, ApplyCtx, RetryStyle, StoreError, Substrate};
+
+/// A record as held by one engine replica. The KV facade re-exposes this as
+/// [`crate::replica::StoredValue`]; the queue facade reads it back as a
+/// [`crate::queue::QueueMessage`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Record {
+    /// The version the origin assigned (message id for the queue family).
+    pub version: u64,
+    /// The stored bytes.
+    pub bytes: Bytes,
+    /// Virtual time this record became visible at this replica.
+    pub visible_at: SimTime,
+    /// Virtual time the write committed at its origin (preserved across
+    /// hint flushes, WAL replay, and anti-entropy back-fills).
+    pub committed_at: SimTime,
+}
+
+pub(crate) struct Waiter {
+    pub(crate) key: String,
+    pub(crate) version: u64,
+    /// Resolved `Ok(())` when the awaited version lands, `Err(Unavailable)`
+    /// when the replica goes dark (region outage or replica crash) — so
+    /// waiters subscribed before a fault window never leak past it.
+    pub(crate) tx: OneSender<Result<(), StoreError>>,
+}
+
+#[derive(Default)]
+pub(crate) struct ReplicaState {
+    pub(crate) data: BTreeMap<String, Record>,
+    pub(crate) waiters: Vec<Waiter>,
+    /// Deterministic per-replica write-ahead log: every apply that changed
+    /// the memtable, in apply order — plus, for deferred-apply families
+    /// (queues), the commit itself. Crash-restart replays it (see
+    /// [`crate::recovery`]); disabled per [`RecoveryConfig`].
+    pub(crate) wal: Vec<WalEntry>,
+    /// Newest logged version per key, so the commit-time append and the
+    /// local delivery's apply never double-log one publish.
+    pub(crate) wal_index: BTreeMap<String, u64>,
+    /// Bumped on every crash; in-flight sends capture the origin epoch and
+    /// abort when it moved (the sending process died).
+    pub(crate) epoch: u64,
+}
+
+impl ReplicaState {
+    /// Appends `entry` to the WAL unless this key is already logged at
+    /// `entry.version` or newer. The index survives crashes with the WAL
+    /// (both model durable storage).
+    pub(crate) fn wal_append(&mut self, entry: WalEntry) {
+        let logged = self
+            .wal_index
+            .get(&entry.key)
+            .map(|v| *v >= entry.version)
+            .unwrap_or(false);
+        if !logged {
+            self.wal_index.insert(entry.key.clone(), entry.version);
+            self.wal.push(entry);
+        }
+    }
+}
+
+pub(crate) struct EngineInner<S: Substrate> {
+    pub(crate) name: String,
+    pub(crate) sim: Sim,
+    pub(crate) net: Rc<Network>,
+    pub(crate) regions: Vec<Region>,
+    pub(crate) substrate: S,
+    pub(crate) replicas: RefCell<BTreeMap<Region, ReplicaState>>,
+    pub(crate) next_version: Cell<u64>,
+    pub(crate) rng: RefCell<SimRng>,
+    /// The simulation-wide chaos schedule; every fault the engine observes
+    /// (drops, stalls, partitions, outages, congestion, crashes) comes from
+    /// here.
+    pub(crate) faults: antipode_sim::fault::FaultPlan,
+    /// Recovery knobs (WAL, hinted handoff); see [`crate::recovery`].
+    pub(crate) recovery: Cell<RecoveryConfig>,
+    /// Hinted-handoff queue: sends suppressed by a fault, parked at their
+    /// origin until the path heals. Flushed by the recovery monitor.
+    pub(crate) hints: RefCell<Vec<Hint>>,
+    /// Optional observation hook for dynamic analysis (race detection).
+    pub(crate) probe: RefCell<Option<VisibilityProbe>>,
+    /// Sends currently in flight (fan-out tasks that have not terminated).
+    pub(crate) inflight: Cell<usize>,
+    /// When set, a commit that would push `inflight` past this bound is
+    /// rejected with [`StoreError::Overloaded`] — simple back-pressure.
+    pub(crate) capacity: Cell<Option<usize>>,
+}
+
+/// The shared replication engine; see the module docs. Parameterized by the
+/// store family's [`Substrate`].
+pub struct Engine<S: Substrate> {
+    pub(crate) inner: Rc<EngineInner<S>>,
+}
+
+impl<S: Substrate> Clone for Engine<S> {
+    fn clone(&self) -> Self {
+        Engine {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<S: Substrate> Engine<S> {
+    /// Creates an engine named `name` with one replica per region (the first
+    /// region acts as the primary) and spawns its recovery monitor.
+    pub fn new(
+        sim: &Sim,
+        net: Rc<Network>,
+        name: impl Into<String>,
+        regions: &[Region],
+        substrate: S,
+    ) -> Self {
+        let name = name.into();
+        assert!(!regions.is_empty(), "a store needs at least one region");
+        let rng = RefCell::new(sim.rng(&stream_name(&substrate, &name)));
+        let replicas = regions
+            .iter()
+            .map(|r| (*r, ReplicaState::default()))
+            .collect::<BTreeMap<_, _>>();
+        let engine = Engine {
+            inner: Rc::new(EngineInner {
+                name,
+                sim: sim.clone(),
+                net,
+                regions: regions.to_vec(),
+                substrate,
+                replicas: RefCell::new(replicas),
+                next_version: Cell::new(1),
+                rng,
+                faults: sim.faults(),
+                recovery: Cell::new(RecoveryConfig::default()),
+                hints: RefCell::new(Vec::new()),
+                probe: RefCell::new(None),
+                inflight: Cell::new(0),
+                capacity: Cell::new(None),
+            }),
+        };
+        crate::recovery::spawn_monitor(&engine);
+        engine
+    }
+
+    pub(crate) fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    pub(crate) fn regions(&self) -> &[Region] {
+        &self.inner.regions
+    }
+
+    pub(crate) fn primary(&self) -> Region {
+        self.inner.regions[0]
+    }
+
+    pub(crate) fn sim(&self) -> &Sim {
+        &self.inner.sim
+    }
+
+    pub(crate) fn net(&self) -> &Rc<Network> {
+        &self.inner.net
+    }
+
+    pub(crate) fn faults(&self) -> &antipode_sim::fault::FaultPlan {
+        &self.inner.faults
+    }
+
+    pub(crate) fn substrate(&self) -> &S {
+        &self.inner.substrate
+    }
+
+    pub(crate) fn rng(&self) -> &RefCell<SimRng> {
+        &self.inner.rng
+    }
+
+    pub(crate) fn set_recovery(&self, cfg: RecoveryConfig) {
+        self.inner.recovery.set(cfg);
+    }
+
+    pub(crate) fn recovery_config(&self) -> RecoveryConfig {
+        self.inner.recovery.get()
+    }
+
+    pub(crate) fn set_probe(&self, probe: Option<VisibilityProbe>) {
+        *self.inner.probe.borrow_mut() = probe;
+    }
+
+    pub(crate) fn emit(&self, event: VisibilityEvent) {
+        if let Some(p) = self.inner.probe.borrow().clone() {
+            p(&event);
+        }
+    }
+
+    pub(crate) fn set_send_capacity(&self, cap: Option<usize>) {
+        self.inner.capacity.set(cap);
+    }
+
+    pub(crate) fn check_region(&self, region: Region) -> Result<(), StoreError> {
+        if self.inner.replicas.borrow().contains_key(&region) {
+            Ok(())
+        } else {
+            Err(StoreError::NoSuchRegion(region))
+        }
+    }
+
+    /// Like [`Engine::check_region`], but also rejects regions the substrate
+    /// considers gated by the fault plan at `now`.
+    pub(crate) fn check_available(&self, region: Region) -> Result<(), StoreError> {
+        self.check_region(region)?;
+        let now = self.inner.sim.now();
+        if self
+            .inner
+            .substrate
+            .op_blocked(&self.inner.faults, now, &self.inner.name, region)
+        {
+            return Err(StoreError::Unavailable {
+                store: self.inner.name.clone(),
+                region,
+            });
+        }
+        Ok(())
+    }
+
+    /// Commits a write at `origin` and fans out one send per replica.
+    ///
+    /// `key: None` derives the key from the assigned version (queue family).
+    /// Admission follows the substrate: `Reject` fails fast on a gated
+    /// region; `Block` parks until the fault plan clears. A crash of the
+    /// origin replica *during* the commit latency surfaces as
+    /// [`StoreError::CrashedEpoch`]; a full send queue as
+    /// [`StoreError::Overloaded`].
+    pub(crate) async fn commit(
+        &self,
+        origin: Region,
+        key: Option<&str>,
+        value: Bytes,
+    ) -> Result<u64, StoreError> {
+        self.check_region(origin)?;
+        match self.inner.substrate.admission() {
+            Admission::Reject => self.check_available(origin)?,
+            Admission::Block => {
+                let eng = self.clone();
+                self.inner
+                    .faults
+                    .until_clear(&self.inner.sim, move |at| {
+                        eng.inner.substrate.op_blocked(
+                            &eng.inner.faults,
+                            at,
+                            &eng.inner.name,
+                            origin,
+                        )
+                    })
+                    .await;
+            }
+        }
+        if let Some(cap) = self.inner.capacity.get() {
+            if self.inner.inflight.get() >= cap {
+                return Err(StoreError::Overloaded {
+                    store: self.inner.name.clone(),
+                });
+            }
+        }
+        let epoch0 = self.replica_epoch(origin);
+        let commit = {
+            let mut rng = self.inner.rng.borrow_mut();
+            self.inner.substrate.commit_latency(&mut rng)
+        };
+        self.inner.sim.sleep(commit).await;
+        if self.replica_epoch(origin) != epoch0 {
+            // The origin replica crash-restarted mid-commit: the committing
+            // process died before assigning a version.
+            return Err(StoreError::CrashedEpoch {
+                store: self.inner.name.clone(),
+                region: origin,
+            });
+        }
+        let version = self.inner.next_version.get();
+        self.inner.next_version.set(version + 1);
+        let committed_at = self.inner.sim.now();
+        // One shared key allocation for the whole fan-out (and `Bytes`
+        // clones are refcount bumps), so a commit's per-destination cost is
+        // independent of key and value size.
+        let key: Rc<str> = match key {
+            Some(k) => Rc::from(k),
+            None => Rc::from(self.inner.substrate.derived_key(version).as_str()),
+        };
+        let applies_at_commit = self.inner.substrate.origin_applies_at_commit();
+        if applies_at_commit {
+            self.apply(origin, &key, version, value.clone(), committed_at);
+        } else if self.inner.recovery.get().wal {
+            // Deferred-apply families (queues) become *visible* only when the
+            // local delivery lands, but the commit is the durability point:
+            // log it at the origin now so a crash that aborts the in-flight
+            // deliveries still leaves the publish recoverable — WAL replay
+            // restores the origin copy and anti-entropy back-fills the rest.
+            let mut replicas = self.inner.replicas.borrow_mut();
+            if let Some(state) = replicas.get_mut(&origin) {
+                state.wal_append(WalEntry {
+                    key: key.to_string(),
+                    version,
+                    bytes: value.clone(),
+                    visible_at: committed_at,
+                    committed_at,
+                });
+            }
+        }
+        for &dest in &self.inner.regions {
+            if dest != origin || !applies_at_commit {
+                self.spawn_send(
+                    origin,
+                    dest,
+                    Rc::clone(&key),
+                    version,
+                    value.clone(),
+                    committed_at,
+                );
+            }
+        }
+        Ok(version)
+    }
+
+    /// One asynchronous send: sample/retry per the substrate's
+    /// [`RetryStyle`], then hand the record to [`Engine::finish_send`].
+    fn spawn_send(
+        &self,
+        origin: Region,
+        dest: Region,
+        key: Rc<str>,
+        version: u64,
+        value: Bytes,
+        committed_at: SimTime,
+    ) {
+        let eng = self.clone();
+        let origin_epoch = self.replica_epoch(origin);
+        self.inner.inflight.set(self.inner.inflight.get() + 1);
+        self.inner.sim.spawn(async move {
+            match eng.inner.substrate.retry_style() {
+                RetryStyle::ResampleLag => loop {
+                    let now = eng.inner.sim.now();
+                    let drop_p = eng.inner.substrate.drop_probability(
+                        &eng.inner.faults,
+                        now,
+                        &eng.inner.name,
+                    );
+                    let (dropped, backoff, lag) = {
+                        let mut rng = eng.inner.rng.borrow_mut();
+                        let dropped = {
+                            use rand::Rng;
+                            drop_p > 0.0 && rng.random::<f64>() < drop_p
+                        };
+                        let backoff = eng.inner.substrate.retry_backoff(&mut rng);
+                        let lag = eng.inner.substrate.propagation_lag(
+                            &mut rng,
+                            &eng.inner.net,
+                            &eng.inner.faults,
+                            now,
+                            &eng.inner.name,
+                            origin,
+                            dest,
+                        );
+                        (dropped, backoff, lag)
+                    };
+                    if dropped {
+                        eng.inner.sim.sleep(backoff).await;
+                        continue;
+                    }
+                    eng.inner.sim.sleep(lag).await;
+                    break;
+                },
+                RetryStyle::LagOnce => {
+                    let lag = {
+                        let now = eng.inner.sim.now();
+                        let mut rng = eng.inner.rng.borrow_mut();
+                        eng.inner.substrate.propagation_lag(
+                            &mut rng,
+                            &eng.inner.net,
+                            &eng.inner.faults,
+                            now,
+                            &eng.inner.name,
+                            origin,
+                            dest,
+                        )
+                    };
+                    eng.inner.sim.sleep(lag).await;
+                    loop {
+                        let now = eng.inner.sim.now();
+                        let drop_p = eng.inner.substrate.drop_probability(
+                            &eng.inner.faults,
+                            now,
+                            &eng.inner.name,
+                        );
+                        let (dropped, backoff) = {
+                            let mut rng = eng.inner.rng.borrow_mut();
+                            let dropped = {
+                                use rand::Rng;
+                                drop_p > 0.0 && rng.random::<f64>() < drop_p
+                            };
+                            let backoff = eng.inner.substrate.retry_backoff(&mut rng);
+                            (dropped, backoff)
+                        };
+                        if !dropped {
+                            break;
+                        }
+                        eng.inner.sim.sleep(backoff).await;
+                    }
+                }
+            }
+            eng.finish_send(
+                origin,
+                origin_epoch,
+                dest,
+                key,
+                version,
+                value,
+                committed_at,
+            );
+            eng.inner.inflight.set(eng.inner.inflight.get() - 1);
+        });
+    }
+
+    /// Terminal step of one send: apply at the destination when the path is
+    /// healthy, or queue a hinted-handoff entry at the origin when a fault
+    /// suppresses it (stall, partition, pause, outage, crashed destination).
+    /// With handoff disabled the suppressed send is dropped outright — the
+    /// ablation that shows the recovery plane is load-bearing.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_send(
+        &self,
+        origin: Region,
+        origin_epoch: u64,
+        dest: Region,
+        key: Rc<str>,
+        version: u64,
+        value: Bytes,
+        committed_at: SimTime,
+    ) {
+        if self.replica_epoch(origin) != origin_epoch {
+            // The origin replica crash-restarted while this send was in
+            // flight: the sending process died with it. The origin copy is in
+            // the WAL; remote copies are recovered by anti-entropy repair.
+            return;
+        }
+        let now = self.inner.sim.now();
+        let suppressed = self.inner.substrate.send_suppressed(
+            &self.inner.faults,
+            now,
+            &self.inner.name,
+            origin,
+            dest,
+        ) || self
+            .inner
+            .faults
+            .replica_crashed(now, &self.inner.name, dest);
+        if !suppressed {
+            self.apply(dest, &key, version, value, committed_at);
+        } else if self.inner.recovery.get().hinted_handoff {
+            self.inner.hints.borrow_mut().push(Hint {
+                origin,
+                dest,
+                key,
+                version,
+                bytes: value,
+                committed_at,
+            });
+        }
+    }
+
+    /// Applies a record at a replica, waking matured waiters and invoking
+    /// the substrate's reaction. Out-of-order (superseded) arrivals still
+    /// satisfy waiters but do not clobber newer data. Records addressed to a
+    /// crashed replica are dropped (the process is dead); anti-entropy
+    /// repair back-fills them after restart.
+    pub(crate) fn apply(
+        &self,
+        region: Region,
+        key: &str,
+        version: u64,
+        value: Bytes,
+        committed_at: SimTime,
+    ) {
+        let now = self.inner.sim.now();
+        if self
+            .inner
+            .faults
+            .replica_crashed(now, &self.inner.name, region)
+        {
+            return;
+        }
+        let wal_enabled = self.inner.recovery.get().wal;
+        let (newly_inserted, watermark) = {
+            let mut replicas = self.inner.replicas.borrow_mut();
+            // Sends only target configured replicas; treat a miss as a
+            // dropped message rather than tearing the run down.
+            let Some(state) = replicas.get_mut(&region) else {
+                return;
+            };
+            let newer_exists = state
+                .data
+                .get(key)
+                .map(|v| v.version >= version)
+                .unwrap_or(false);
+            if !newer_exists {
+                state.data.insert(
+                    key.to_string(),
+                    Record {
+                        version,
+                        bytes: value.clone(),
+                        visible_at: now,
+                        committed_at,
+                    },
+                );
+                if wal_enabled {
+                    state.wal_append(WalEntry {
+                        key: key.to_string(),
+                        version,
+                        bytes: value.clone(),
+                        visible_at: now,
+                        committed_at,
+                    });
+                }
+            }
+            let watermark = state.data.get(key).map(|v| v.version).unwrap_or(version);
+            let mut i = 0;
+            while i < state.waiters.len() {
+                if state.waiters[i].key == key && state.waiters[i].version <= watermark {
+                    let w = state.waiters.swap_remove(i);
+                    let _ = w.tx.send(Ok(()));
+                } else {
+                    i += 1;
+                }
+            }
+            (!newer_exists, watermark)
+        };
+        let probe = self.inner.probe.borrow().clone();
+        self.inner.substrate.on_apply(&ApplyCtx {
+            store: &self.inner.name,
+            region,
+            key,
+            version,
+            bytes: &value,
+            committed_at,
+            newly_inserted,
+            watermark,
+            at: now,
+            probe: probe.as_ref(),
+        });
+    }
+
+    /// Zero-latency read of one replica record.
+    pub(crate) fn record(&self, region: Region, key: &str) -> Option<Record> {
+        self.inner
+            .replicas
+            .borrow()
+            .get(&region)?
+            .data
+            .get(key)
+            .cloned()
+    }
+
+    /// Whether `key` has reached at least `version` at `region`.
+    pub(crate) fn is_visible(&self, region: Region, key: &str, version: u64) -> bool {
+        self.record(region, key)
+            .map(|v| v.version >= version)
+            .unwrap_or(false)
+    }
+
+    /// Resolves once `key` reaches at least `version` at `region`,
+    /// subscribing a waiter rather than polling.
+    ///
+    /// Under `Reject` admission a dark replica surfaces
+    /// [`StoreError::Unavailable`] (re-checked every lap so a fresh
+    /// subscription against a dark replica never parks forever). Under
+    /// `Block` admission waits never error on faults: a waiter cancelled by
+    /// a dark-replica edge silently resubscribes and resolves when the
+    /// record eventually lands — queue consumers ride out broker windows.
+    pub(crate) async fn wait_visible(
+        &self,
+        region: Region,
+        key: &str,
+        version: u64,
+    ) -> Result<(), StoreError> {
+        loop {
+            if self.inner.substrate.admission() == Admission::Reject {
+                self.check_available(region)?;
+            }
+            let rx = {
+                let mut replicas = self.inner.replicas.borrow_mut();
+                let state = replicas
+                    .get_mut(&region)
+                    .ok_or(StoreError::NoSuchRegion(region))?;
+                let visible = state
+                    .data
+                    .get(key)
+                    .map(|v| v.version >= version)
+                    .unwrap_or(false);
+                if visible {
+                    return Ok(());
+                }
+                let (tx, rx) = oneshot();
+                state.waiters.push(Waiter {
+                    key: key.to_string(),
+                    version,
+                    tx,
+                });
+                rx
+            };
+            match rx.await {
+                Ok(Ok(())) => return Ok(()),
+                Ok(Err(e)) => match self.inner.substrate.admission() {
+                    // The replica went dark while we were subscribed: surface
+                    // the outage so barrier retry policies can re-arm.
+                    Admission::Reject => return Err(e),
+                    // Blocking families ride out the window: resubscribe.
+                    Admission::Block => continue,
+                },
+                // A dropped sender (cannot happen today, but harmless)
+                // retries.
+                Err(_) => continue,
+            }
+        }
+    }
+
+    /// The crash epoch of a replica (bumped on every
+    /// [`antipode_sim::fault::FaultKind::ReplicaCrash`] entry).
+    pub(crate) fn replica_epoch(&self, region: Region) -> u64 {
+        self.inner
+            .replicas
+            .borrow()
+            .get(&region)
+            .map(|s| s.epoch)
+            .unwrap_or(0)
+    }
+
+    /// Number of write-ahead-log entries at a replica (diagnostics).
+    pub(crate) fn wal_len(&self, region: Region) -> usize {
+        self.inner
+            .replicas
+            .borrow()
+            .get(&region)
+            .map(|s| s.wal.len())
+            .unwrap_or(0)
+    }
+
+    /// Number of pending visibility waiters at a replica (diagnostics).
+    pub(crate) fn waiter_count(&self, region: Region) -> usize {
+        self.inner
+            .replicas
+            .borrow()
+            .get(&region)
+            .map(|s| s.waiters.len())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replica::KvProfile;
+    use crate::substrate::KvSubstrate;
+    use antipode_sim::dist::Dist;
+    use antipode_sim::fault::FaultKind;
+    use antipode_sim::net::regions::{EU, US};
+
+    fn setup() -> (Sim, Engine<KvSubstrate>) {
+        let sim = Sim::new(9);
+        let net = Rc::new(Network::global_triangle());
+        let profile = KvProfile {
+            local_write: Dist::constant_ms(1.0),
+            local_read: Dist::constant_ms(0.5),
+            replication: Dist::constant_ms(100.0),
+            rtt_hops: 1.0,
+            retry_interval: Dist::constant_ms(50.0),
+        };
+        let eng = Engine::new(&sim, net, "db", &[EU, US], KvSubstrate::new(profile));
+        (sim, eng)
+    }
+
+    #[test]
+    fn overloaded_when_capacity_exhausted() {
+        let (sim, eng) = setup();
+        eng.set_send_capacity(Some(0));
+        let e = eng.clone();
+        sim.block_on(async move {
+            let err = e.commit(EU, Some("k"), Bytes::new()).await.unwrap_err();
+            assert_eq!(err, StoreError::Overloaded { store: "db".into() });
+            e.set_send_capacity(None);
+            e.commit(EU, Some("k"), Bytes::new()).await.unwrap();
+        });
+    }
+
+    #[test]
+    fn crash_mid_commit_surfaces_crashed_epoch() {
+        let (sim, eng) = setup();
+        // The commit sleeps 1ms; crash the origin inside that window. The
+        // pre-commit availability check at t=0 passes (window starts later).
+        sim.faults().schedule(
+            SimTime::from_nanos(500_000),
+            SimTime::from_secs(2),
+            FaultKind::ReplicaCrash {
+                store: "db".into(),
+                region: EU,
+            },
+        );
+        let e = eng.clone();
+        sim.block_on(async move {
+            let err = e.commit(EU, Some("k"), Bytes::new()).await.unwrap_err();
+            assert!(
+                matches!(err, StoreError::CrashedEpoch { region, .. } if region == EU),
+                "got {err:?}"
+            );
+        });
+    }
+
+    #[test]
+    fn inflight_counter_returns_to_zero() {
+        let (sim, eng) = setup();
+        let e = eng.clone();
+        sim.spawn(async move {
+            e.commit(EU, Some("k"), Bytes::new()).await.unwrap();
+        });
+        sim.run();
+        assert_eq!(eng.inner.inflight.get(), 0);
+        assert!(eng.is_visible(US, "k", 1));
+    }
+}

@@ -1,0 +1,189 @@
+//! Facade generators for the simulated store catalogue.
+//!
+//! Every store in the catalogue — KV family (MySQL, S3, Redis, MongoDB,
+//! DynamoDB) and queue family (SNS, AMQ, RabbitMQ, DynamoDB Streams) — used
+//! to hand-roll the same ~70 lines of plumbing: a newtype over
+//! [`crate::replica::KvStore`] or [`crate::queue::QueueStore`], the
+//! `new`/`with_profile` constructors, the raw-store accessor, the shim
+//! newtype over [`crate::shim::KvShim`]/[`crate::shim::QueueShim`], and the
+//! [`antipode::wait::WaitTarget`] delegation. These macros stamp out that
+//! plumbing; each store module keeps only its domain API (`insert`/`select`,
+//! `put_object`/`get_object`, …), its Table 3 overhead constants, and its
+//! tests.
+//!
+//! The macros expand *inside the invoking module*, so the generated private
+//! fields (`store`/`queue`, `inner`) remain accessible to the module's
+//! hand-written domain methods — no visibility widening needed.
+
+/// Generates a KV-family facade: `$store` wrapping a
+/// [`crate::replica::KvStore`] (field `store`, accessor `store()`), plus
+/// `$shim` wrapping a [`crate::shim::KvShim`] (field `inner`) with the full
+/// [`antipode::wait::WaitTarget`] delegation.
+macro_rules! kv_facade {
+    (
+        $(#[$store_meta:meta])*
+        store $store:ident(profile: $profile:path);
+        $(#[$shim_meta:meta])*
+        shim $shim:ident;
+    ) => {
+        $(#[$store_meta])*
+        #[derive(Clone)]
+        pub struct $store {
+            store: $crate::replica::KvStore,
+        }
+
+        impl $store {
+            /// Creates an instance with this store's calibrated profile.
+            pub fn new(
+                sim: &::antipode_sim::Sim,
+                net: ::std::rc::Rc<::antipode_sim::net::Network>,
+                name: impl ::std::convert::Into<::std::string::String>,
+                regions: &[::antipode_sim::Region],
+            ) -> Self {
+                Self::with_profile(sim, net, name, regions, $profile())
+            }
+
+            /// Creates an instance with a custom profile (used by experiments).
+            pub fn with_profile(
+                sim: &::antipode_sim::Sim,
+                net: ::std::rc::Rc<::antipode_sim::net::Network>,
+                name: impl ::std::convert::Into<::std::string::String>,
+                regions: &[::antipode_sim::Region],
+                profile: $crate::replica::KvProfile,
+            ) -> Self {
+                $store {
+                    store: $crate::replica::KvStore::new(sim, net, name, regions, profile),
+                }
+            }
+
+            /// The underlying replicated store.
+            pub fn store(&self) -> &$crate::replica::KvStore {
+                &self.store
+            }
+        }
+
+        $(#[$shim_meta])*
+        #[derive(Clone)]
+        pub struct $shim {
+            inner: $crate::shim::KvShim,
+        }
+
+        impl $shim {
+            /// Wraps a store instance.
+            pub fn new(db: &$store) -> Self {
+                $shim {
+                    inner: $crate::shim::KvShim::new(db.store.clone()),
+                }
+            }
+        }
+
+        impl ::antipode::wait::WaitTarget for $shim {
+            fn datastore_name(&self) -> &str {
+                ::antipode::wait::WaitTarget::datastore_name(&self.inner)
+            }
+            fn wait<'a>(
+                &'a self,
+                write: &'a ::antipode_lineage::WriteId,
+                region: ::antipode_sim::Region,
+            ) -> ::antipode::wait::LocalBoxFuture<'a, Result<(), ::antipode::wait::WaitError>>
+            {
+                ::antipode::wait::WaitTarget::wait(&self.inner, write, region)
+            }
+            fn is_visible(
+                &self,
+                write: &::antipode_lineage::WriteId,
+                region: ::antipode_sim::Region,
+            ) -> bool {
+                ::antipode::wait::WaitTarget::is_visible(&self.inner, write, region)
+            }
+        }
+    };
+}
+
+/// Generates a queue-family facade: `$store` wrapping a
+/// [`crate::queue::QueueStore`] (field `queue`, accessor `queue()`), plus
+/// `$shim` wrapping a [`crate::shim::QueueShim`] (field `inner`) with the
+/// full [`antipode::wait::WaitTarget`] delegation.
+macro_rules! queue_facade {
+    (
+        $(#[$store_meta:meta])*
+        store $store:ident(profile: $profile:path);
+        $(#[$shim_meta:meta])*
+        shim $shim:ident;
+    ) => {
+        $(#[$store_meta])*
+        #[derive(Clone)]
+        pub struct $store {
+            queue: $crate::queue::QueueStore,
+        }
+
+        impl $store {
+            /// Creates an instance with this broker's calibrated profile.
+            pub fn new(
+                sim: &::antipode_sim::Sim,
+                net: ::std::rc::Rc<::antipode_sim::net::Network>,
+                name: impl ::std::convert::Into<::std::string::String>,
+                regions: &[::antipode_sim::Region],
+            ) -> Self {
+                Self::with_profile(sim, net, name, regions, $profile())
+            }
+
+            /// Creates an instance with a custom profile.
+            pub fn with_profile(
+                sim: &::antipode_sim::Sim,
+                net: ::std::rc::Rc<::antipode_sim::net::Network>,
+                name: impl ::std::convert::Into<::std::string::String>,
+                regions: &[::antipode_sim::Region],
+                profile: $crate::queue::QueueProfile,
+            ) -> Self {
+                $store {
+                    queue: $crate::queue::QueueStore::new(sim, net, name, regions, profile),
+                }
+            }
+
+            /// The underlying queue store.
+            pub fn queue(&self) -> &$crate::queue::QueueStore {
+                &self.queue
+            }
+        }
+
+        $(#[$shim_meta])*
+        #[derive(Clone)]
+        pub struct $shim {
+            inner: $crate::shim::QueueShim,
+        }
+
+        impl $shim {
+            /// Wraps a broker instance (pub/sub delivery semantics).
+            pub fn new(q: &$store) -> Self {
+                $shim {
+                    inner: $crate::shim::QueueShim::new(q.queue.clone()),
+                }
+            }
+        }
+
+        impl ::antipode::wait::WaitTarget for $shim {
+            fn datastore_name(&self) -> &str {
+                ::antipode::wait::WaitTarget::datastore_name(&self.inner)
+            }
+            fn wait<'a>(
+                &'a self,
+                write: &'a ::antipode_lineage::WriteId,
+                region: ::antipode_sim::Region,
+            ) -> ::antipode::wait::LocalBoxFuture<'a, Result<(), ::antipode::wait::WaitError>>
+            {
+                ::antipode::wait::WaitTarget::wait(&self.inner, write, region)
+            }
+            fn is_visible(
+                &self,
+                write: &::antipode_lineage::WriteId,
+                region: ::antipode_sim::Region,
+            ) -> bool {
+                ::antipode::wait::WaitTarget::is_visible(&self.inner, write, region)
+            }
+        }
+    };
+}
+
+pub(crate) use kv_facade;
+pub(crate) use queue_facade;

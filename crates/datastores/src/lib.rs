@@ -5,16 +5,27 @@
 //! Redis, S3, MongoDB (key-value/object/document family) and SNS, AMQ,
 //! RabbitMQ plus DynamoDB-streams (notifier family).
 //!
-//! Two frameworks carry the shared mechanics:
-//! - [`replica::KvStore`] — versioned key-object replicas per region with
-//!   asynchronous replication, visibility waiters, strong reads, and failure
-//!   injection;
-//! - [`queue::QueueStore`] — publish/subscribe with per-region delivery.
+//! One replication engine carries the shared mechanics for *both* families:
+//! - [`engine::Engine`] — per-region replica state with crash epochs,
+//!   replication send/deliver with fault-plan consultation, visibility
+//!   watermarks and waiters, WAL append/replay, hinted handoff, and
+//!   anti-entropy repair;
+//! - [`substrate::Substrate`] — the small trait that injects everything the
+//!   families legitimately disagree on (admission policy, retry style,
+//!   latency profile, apply reactions), implemented by
+//!   [`substrate::KvSubstrate`] and [`substrate::QueueSubstrate`].
+//!
+//! [`replica::KvStore`] (versioned key-object replicas with strong reads)
+//! and [`queue::QueueStore`] (publish/subscribe with acks, consumer groups,
+//! and redelivery) are thin facades over the engine — which means queue
+//! brokers get the whole recovery plane (WAL crash-restart, hinted handoff,
+//! anti-entropy) for free.
 //!
 //! Each store module layers a typed facade (the "client crate") plus an
-//! Antipode shim over one of the frameworks. The shims are deliberately thin
-//! — the paper reports < 50 LoC per store — and differ only in naming, the
-//! calibrated [`profiles`], and the Table 3 storage-amplification model.
+//! Antipode shim over one of the two families, stamped out by the shared
+//! facade generators. The shims are deliberately thin — the paper reports
+//! < 50 LoC per store — and differ only in naming, the calibrated
+//! [`profiles`], and the Table 3 storage-amplification model.
 //!
 //! ```
 //! use antipode_lineage::{Lineage, LineageId};
@@ -48,7 +59,9 @@
 
 pub mod amq;
 pub mod dynamodb;
+pub mod engine;
 pub mod envelope;
+mod facade;
 pub mod mongodb;
 pub mod mysql;
 pub mod probe;
@@ -62,9 +75,11 @@ pub mod replica;
 pub mod s3;
 pub mod shim;
 pub mod sns;
+pub mod substrate;
 
 pub use amq::{Amq, AmqShim};
 pub use dynamodb::{DynamoDb, DynamoDbShim, DynamoDbStream, DynamoDbStreamShim};
+pub use engine::{Engine, Record};
 pub use envelope::Envelope;
 pub use mongodb::{MongoDb, MongoDbShim};
 pub use mysql::{MySql, MySqlShim};
@@ -77,3 +92,4 @@ pub use replica::{KvProfile, KvStore, StoreError, StoredValue};
 pub use s3::{S3Shim, S3};
 pub use shim::{KvShim, QueueShim, ShimError, ShimMessage, ShimSubscription, WaitSemantics};
 pub use sns::{Sns, SnsShim};
+pub use substrate::{Admission, ApplyCtx, KvSubstrate, QueueSubstrate, RetryStyle, Substrate};

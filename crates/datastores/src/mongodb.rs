@@ -6,44 +6,22 @@
 //! replication protocol); use [`crate::profiles::mongodb_wan_stressed`] for
 //! that deployment.
 
-use std::rc::Rc;
-
-use antipode::wait::{LocalBoxFuture, WaitError, WaitTarget};
 use antipode_lineage::{Lineage, WriteId};
-use antipode_sim::net::Network;
-use antipode_sim::{Region, Sim};
+use antipode_sim::Region;
 use bytes::Bytes;
 
-use crate::profiles;
-use crate::replica::{KvProfile, KvStore, StoreError, StoredValue};
-use crate::shim::{KvShim, ShimError};
+use crate::facade::kv_facade;
+use crate::replica::{StoreError, StoredValue};
+use crate::shim::ShimError;
 
-/// A simulated MongoDB deployment (one replica per region).
-#[derive(Clone)]
-pub struct MongoDb {
-    store: KvStore,
+kv_facade! {
+    /// A simulated MongoDB deployment (one replica per region).
+    store MongoDb(profile: crate::profiles::mongodb);
+    /// The Antipode shim for [`MongoDb`].
+    shim MongoDbShim;
 }
 
 impl MongoDb {
-    /// Creates a deployment with the calibrated healthy-WAN profile.
-    pub fn new(sim: &Sim, net: Rc<Network>, name: impl Into<String>, regions: &[Region]) -> Self {
-        Self::with_profile(sim, net, name, regions, profiles::mongodb())
-    }
-
-    /// Creates a deployment with a custom profile (e.g.
-    /// [`profiles::mongodb_wan_stressed`]).
-    pub fn with_profile(
-        sim: &Sim,
-        net: Rc<Network>,
-        name: impl Into<String>,
-        regions: &[Region],
-        profile: KvProfile,
-    ) -> Self {
-        MongoDb {
-            store: KvStore::new(sim, net, name, regions, profile),
-        }
-    }
-
     fn key(collection: &str, id: &str) -> String {
         format!("{collection}/{id}")
     }
@@ -70,27 +48,9 @@ impl MongoDb {
     ) -> Result<Option<StoredValue>, StoreError> {
         self.store.get(region, &Self::key(collection, id)).await
     }
-
-    /// The underlying replicated store.
-    pub fn store(&self) -> &KvStore {
-        &self.store
-    }
-}
-
-/// The Antipode shim for [`MongoDb`].
-#[derive(Clone)]
-pub struct MongoDbShim {
-    inner: KvShim,
 }
 
 impl MongoDbShim {
-    /// Wraps a deployment.
-    pub fn new(db: &MongoDb) -> Self {
-        MongoDbShim {
-            inner: KvShim::new(db.store.clone()),
-        }
-    }
-
     /// Lineage-propagating insertOne.
     pub async fn insert_one(
         &self,
@@ -122,28 +82,17 @@ impl MongoDbShim {
     }
 }
 
-impl WaitTarget for MongoDbShim {
-    fn datastore_name(&self) -> &str {
-        self.inner.datastore_name()
-    }
-    fn wait<'a>(
-        &'a self,
-        write: &'a WriteId,
-        region: Region,
-    ) -> LocalBoxFuture<'a, Result<(), WaitError>> {
-        self.inner.wait(write, region)
-    }
-    fn is_visible(&self, write: &WriteId, region: Region) -> bool {
-        self.inner.is_visible(write, region)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::profiles;
+    use crate::replica::KvProfile;
+    use antipode::wait::WaitTarget;
     use antipode_lineage::LineageId;
     use antipode_sim::net::regions::{EU, SG, US};
-    use antipode_sim::Samples;
+    use antipode_sim::net::Network;
+    use antipode_sim::{Samples, Sim};
+    use std::rc::Rc;
 
     #[test]
     fn insert_find_round_trip() {

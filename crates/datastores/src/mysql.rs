@@ -4,17 +4,13 @@
 //! `rowversion`-style column of §6.1. Cross-region replication follows the
 //! [`crate::profiles::mysql`] profile (propagation "within 1 second", §7.4).
 
-use std::rc::Rc;
-
-use antipode::wait::{LocalBoxFuture, WaitError, WaitTarget};
 use antipode_lineage::{Lineage, WriteId};
-use antipode_sim::net::Network;
-use antipode_sim::{Region, Sim};
+use antipode_sim::Region;
 use bytes::Bytes;
 
-use crate::profiles;
-use crate::replica::{KvProfile, KvStore, StoreError, StoredValue};
-use crate::shim::{KvShim, ShimError};
+use crate::facade::kv_facade;
+use crate::replica::{StoreError, StoredValue};
+use crate::shim::ShimError;
 
 /// Extra storage amplification per row from the lineage column **and its
 /// index** — the paper attributes MySQL's +14 kB (Table 3) to "more complex
@@ -22,31 +18,16 @@ use crate::shim::{KvShim, ShimError};
 /// identifiers".
 pub const INDEX_OVERHEAD_BYTES: usize = 13_900;
 
-/// A simulated geo-replicated MySQL instance.
-#[derive(Clone)]
-pub struct MySql {
-    store: KvStore,
+kv_facade! {
+    /// A simulated geo-replicated MySQL instance.
+    store MySql(profile: crate::profiles::mysql);
+    /// The Antipode shim for [`MySql`] — the paper's per-store shim layer
+    /// (< 50 LoC of real logic; the generic plumbing lives in
+    /// [`crate::shim::KvShim`]).
+    shim MySqlShim;
 }
 
 impl MySql {
-    /// Creates an instance with the calibrated MySQL profile.
-    pub fn new(sim: &Sim, net: Rc<Network>, name: impl Into<String>, regions: &[Region]) -> Self {
-        Self::with_profile(sim, net, name, regions, profiles::mysql())
-    }
-
-    /// Creates an instance with a custom profile (used by experiments).
-    pub fn with_profile(
-        sim: &Sim,
-        net: Rc<Network>,
-        name: impl Into<String>,
-        regions: &[Region],
-        profile: KvProfile,
-    ) -> Self {
-        MySql {
-            store: KvStore::new(sim, net, name, regions, profile),
-        }
-    }
-
     fn key(table: &str, id: &str) -> String {
         format!("{table}/{id}")
     }
@@ -71,29 +52,9 @@ impl MySql {
     ) -> Result<Option<StoredValue>, StoreError> {
         self.store.get(region, &Self::key(table, id)).await
     }
-
-    /// The underlying replicated store.
-    pub fn store(&self) -> &KvStore {
-        &self.store
-    }
-}
-
-/// The Antipode shim for [`MySql`] — the paper's per-store shim layer
-/// (< 50 LoC of real logic; the generic plumbing lives in
-/// [`crate::shim::KvShim`]).
-#[derive(Clone)]
-pub struct MySqlShim {
-    inner: KvShim,
 }
 
 impl MySqlShim {
-    /// Wraps a MySQL instance.
-    pub fn new(db: &MySql) -> Self {
-        MySqlShim {
-            inner: KvShim::new(db.store.clone()),
-        }
-    }
-
     /// Lineage-propagating INSERT.
     pub async fn insert(
         &self,
@@ -126,27 +87,15 @@ impl MySqlShim {
     }
 }
 
-impl WaitTarget for MySqlShim {
-    fn datastore_name(&self) -> &str {
-        self.inner.datastore_name()
-    }
-    fn wait<'a>(
-        &'a self,
-        write: &'a WriteId,
-        region: Region,
-    ) -> LocalBoxFuture<'a, Result<(), WaitError>> {
-        self.inner.wait(write, region)
-    }
-    fn is_visible(&self, write: &WriteId, region: Region) -> bool {
-        self.inner.is_visible(write, region)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use antipode::wait::WaitTarget;
     use antipode_lineage::LineageId;
     use antipode_sim::net::regions::{EU, US};
+    use antipode_sim::net::Network;
+    use antipode_sim::Sim;
+    use std::rc::Rc;
 
     fn setup() -> (Sim, MySql) {
         let sim = Sim::new(11);

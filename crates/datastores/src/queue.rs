@@ -1,26 +1,33 @@
-//! The geo-replicated queue / publish-subscribe framework underlying the
-//! simulated notifier stores (SNS, AMQ, RabbitMQ, DynamoDB streams).
+//! The geo-replicated queue / publish-subscribe family, as a facade over the
+//! shared replication engine.
 //!
-//! A publish commits at the origin, then a delivery event propagates to each
-//! region with a lag from the store's [`QueueProfile`]; subscribers in that
-//! region receive the message on their channel. Visibility waiters mirror
-//! the KV framework so shims can implement `wait` on queued messages too.
+//! A publish commits at the origin broker, then a delivery event propagates
+//! to each region with a lag from the store's [`QueueProfile`]; subscribers
+//! in that region receive the message on their channel. Deliveries are the
+//! engine's replica applies (keyed `msg-{id}`), so visibility waiters mirror
+//! the KV family and — new with the engine — queue brokers participate in
+//! the whole recovery plane: crash-restart with WAL replay, hinted handoff
+//! for suppressed deliveries, and anti-entropy repair
+//! ([`crate::recovery`], [`crate::repair`]).
+//!
+//! Acks, subscriber channels, and consumer groups are broker *metadata*
+//! layered above the replicated delivery record (see
+//! [`crate::substrate::QueueSubstrate`]); they model durable state and
+//! survive crash windows.
 
-use std::cell::{Cell, RefCell};
-use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 use std::time::Duration;
 
 use antipode_sim::dist::Dist;
-use antipode_sim::fault::FaultPlan;
 use antipode_sim::net::Network;
-use antipode_sim::rng::SimRng;
-use antipode_sim::sync::{channel, oneshot, OneSender, Receiver, Sender};
+use antipode_sim::sync::{channel, oneshot, Receiver};
 use antipode_sim::{Region, Sim, SimTime};
 use bytes::Bytes;
 
+use crate::engine::Engine;
 use crate::probe::{VisibilityEvent, VisibilityProbe};
-use crate::replica::StoreError;
+use crate::repair::{RepairConfig, RepairReport};
+use crate::substrate::{hand_to_group, AckWaiter, QueueSubstrate, StoreError};
 
 /// Latency model for one queue / pub-sub store type.
 #[derive(Clone, Debug)]
@@ -64,64 +71,14 @@ impl QueueMessage {
     }
 }
 
-struct Waiter {
-    id: u64,
-    tx: OneSender<()>,
-}
-
-#[derive(Default)]
-struct GroupState {
-    pending: std::collections::VecDeque<QueueMessage>,
-    waiters: std::collections::VecDeque<OneSender<QueueMessage>>,
-}
-
-#[derive(Default)]
-struct RegionState {
-    delivered: BTreeSet<u64>,
-    acked: BTreeSet<u64>,
-    subscribers: Vec<Sender<QueueMessage>>,
-    waiters: Vec<Waiter>,
-    ack_waiters: Vec<Waiter>,
-    // Iterated on every delivery (each group gets one copy of the message),
-    // so the order must be deterministic: a hash map here leaks iteration
-    // order into consumer wake-up order.
-    groups: BTreeMap<String, GroupState>,
-}
-
-struct QueueInner {
-    name: String,
-    sim: Sim,
-    net: Rc<Network>,
-    profile: QueueProfile,
-    regions: Vec<Region>,
-    state: RefCell<BTreeMap<Region, RegionState>>,
-    next_id: Cell<u64>,
-    rng: RefCell<SimRng>,
-    /// The simulation-wide chaos schedule (broker outages, delivery drops,
-    /// pauses, partitions).
-    faults: FaultPlan,
-    /// Backoff before a dropped delivery attempt is retried.
-    redelivery: RefCell<Dist>,
-    /// When set, a message taken by a group consumer that is not acked
-    /// within this interval is redelivered to the group — so a crashed
-    /// consumer cannot strand a message.
-    visibility_timeout: Cell<Option<Duration>>,
-    /// Optional observation hook for dynamic analysis (race detection).
-    probe: RefCell<Option<VisibilityProbe>>,
-}
-
-impl QueueInner {
-    fn emit(&self, event: VisibilityEvent) {
-        if let Some(p) = self.probe.borrow().clone() {
-            p(&event);
-        }
-    }
+fn msg_key(id: u64) -> String {
+    format!("msg-{id}")
 }
 
 /// A simulated geo-replicated queue / pub-sub system.
 #[derive(Clone)]
 pub struct QueueStore {
-    inner: Rc<QueueInner>,
+    pub(crate) engine: Engine<QueueSubstrate>,
 }
 
 impl QueueStore {
@@ -133,185 +90,68 @@ impl QueueStore {
         regions: &[Region],
         profile: QueueProfile,
     ) -> Self {
-        let name = name.into();
-        assert!(!regions.is_empty(), "a queue needs at least one region");
-        let rng = RefCell::new(sim.rng(&format!("queue:{name}")));
-        let state = regions
-            .iter()
-            .map(|r| (*r, RegionState::default()))
-            .collect();
         QueueStore {
-            inner: Rc::new(QueueInner {
-                name,
-                sim: sim.clone(),
+            engine: Engine::new(
+                sim,
                 net,
-                profile,
-                regions: regions.to_vec(),
-                state: RefCell::new(state),
-                next_id: Cell::new(1),
-                rng,
-                faults: sim.faults(),
-                redelivery: RefCell::new(Dist::constant_ms(200.0)),
-                visibility_timeout: Cell::new(None),
-                probe: RefCell::new(None),
-            }),
+                name,
+                regions,
+                QueueSubstrate::new(profile, regions),
+            ),
         }
     }
 
     /// The store's name (what write identifiers refer to).
     pub fn name(&self) -> &str {
-        &self.inner.name
+        self.engine.name()
     }
 
     /// The regions this queue spans.
     pub fn regions(&self) -> &[Region] {
-        &self.inner.regions
+        self.engine.regions()
     }
 
-    fn check_region(&self, region: Region) -> Result<(), StoreError> {
-        if self.inner.state.borrow().contains_key(&region) {
-            Ok(())
-        } else {
-            Err(StoreError::NoSuchRegion(region))
-        }
+    /// Replaces the broker's [`crate::recovery::RecoveryConfig`] (WAL and
+    /// hinted-handoff knobs). Effective for subsequent operations.
+    pub fn set_recovery(&self, cfg: crate::recovery::RecoveryConfig) {
+        self.engine.set_recovery(cfg);
+    }
+
+    /// The broker's current recovery configuration.
+    pub fn recovery_config(&self) -> crate::recovery::RecoveryConfig {
+        self.engine.recovery_config()
     }
 
     /// Publishes a message from `origin`; returns its id after the publish
     /// commits. Delivery to each region (including the origin) proceeds
-    /// asynchronously.
+    /// asynchronously. A broker outage blocks the publish itself; the
+    /// publisher resumes the moment the outage window closes. A broker
+    /// replica that crash-restarts *during* the commit surfaces
+    /// [`StoreError::CrashedEpoch`] (the publishing process died with it).
     pub async fn publish(&self, origin: Region, payload: Bytes) -> Result<u64, StoreError> {
-        self.check_region(origin)?;
-        // A broker outage blocks the publish itself; the publisher resumes
-        // the moment the outage window closes.
-        {
-            let faults = self.inner.faults.clone();
-            let q = self.clone();
-            faults
-                .until_clear(&self.inner.sim, move |at| {
-                    q.inner.faults.queue_down(at, &q.inner.name)
-                })
-                .await;
-        }
-        let lat = {
-            let mut rng = self.inner.rng.borrow_mut();
-            self.inner.profile.local_publish.sample_duration(&mut rng)
-        };
-        self.inner.sim.sleep(lat).await;
-        let id = self.inner.next_id.get();
-        self.inner.next_id.set(id + 1);
-        let published_at = self.inner.sim.now();
-        for dest in self.inner.regions.clone() {
-            let lag = {
-                let mut rng = self.inner.rng.borrow_mut();
-                if dest == origin {
-                    self.inner.profile.local_delivery.sample_duration(&mut rng)
-                } else {
-                    let extra = self.inner.profile.delivery.sample_duration(&mut rng);
-                    let transit = self
-                        .inner
-                        .net
-                        .delay(&mut *rng, origin, dest)
-                        .mul_f64(self.inner.profile.rtt_hops);
-                    extra + transit
-                }
-            };
-            let store = self.clone();
-            let payload = payload.clone();
-            self.inner.sim.spawn(async move {
-                store.inner.sim.sleep(lag).await;
-                // Each delivery attempt can be dropped (broker-side loss);
-                // dropped attempts are redelivered after a backoff.
-                loop {
-                    let drop_p = store
-                        .inner
-                        .faults
-                        .delivery_drop(store.inner.sim.now(), &store.inner.name);
-                    let (dropped, backoff) = {
-                        let mut rng = store.inner.rng.borrow_mut();
-                        let dropped = {
-                            use rand::Rng;
-                            drop_p > 0.0 && rng.random::<f64>() < drop_p
-                        };
-                        let backoff = store.inner.redelivery.borrow().sample_duration(&mut rng);
-                        (dropped, backoff)
-                    };
-                    if !dropped {
-                        break;
-                    }
-                    store.inner.sim.sleep(backoff).await;
-                }
-                // A paused destination, broker outage, or severed link holds
-                // the delivery until the fault clears.
-                let faults = store.inner.faults.clone();
-                let blocked = store.clone();
-                faults
-                    .until_clear(&store.inner.sim, move |at| {
-                        blocked
-                            .inner
-                            .faults
-                            .delivery_paused(at, &blocked.inner.name, dest)
-                            || blocked.inner.faults.queue_down(at, &blocked.inner.name)
-                            || (dest != origin
-                                && blocked.inner.faults.link_blocked(at, origin, dest))
-                    })
-                    .await;
-                store.deliver(
-                    dest,
-                    QueueMessage {
-                        id,
-                        payload,
-                        published_at,
-                    },
-                );
-            });
-        }
-        Ok(id)
-    }
-
-    fn deliver(&self, region: Region, msg: QueueMessage) {
-        let mut state = self.inner.state.borrow_mut();
-        // Deliveries only target configured regions; treat a miss as a
-        // dropped delivery rather than tearing the run down.
-        let Some(rs) = state.get_mut(&region) else {
-            return;
-        };
-        rs.delivered.insert(msg.id);
-        rs.subscribers.retain(|sub| sub.send(msg.clone()).is_ok());
-        // Each consumer group receives the message exactly once: hand it to
-        // a waiting consumer if any, else queue it for the next take.
-        for group in rs.groups.values_mut() {
-            hand_to_group(group, msg.clone());
-        }
-        let mut i = 0;
-        while i < rs.waiters.len() {
-            if rs.waiters[i].id == msg.id {
-                let w = rs.waiters.swap_remove(i);
-                let _ = w.tx.send(());
-            } else {
-                i += 1;
-            }
-        }
-        drop(state);
-        self.inner.emit(VisibilityEvent::QueueDelivered {
-            store: self.inner.name.clone(),
-            region,
-            id: msg.id,
-            at: self.inner.sim.now(),
-        });
+        self.engine.commit(origin, None, payload).await
     }
 
     /// Installs an observation hook invoked at every delivery and ack; see
     /// [`crate::probe`]. Pass `None` to remove it.
     pub fn set_probe(&self, probe: Option<VisibilityProbe>) {
-        *self.inner.probe.borrow_mut() = probe;
+        self.engine.set_probe(probe);
+    }
+
+    /// Back-pressure injection: bound the number of in-flight delivery
+    /// sends. A publish that would exceed the bound is rejected with
+    /// [`StoreError::Overloaded`]. Pass `None` to lift the bound.
+    pub fn set_send_capacity(&self, cap: Option<usize>) {
+        self.engine.set_send_capacity(cap);
     }
 
     /// Subscribes to messages delivered in `region`. Every subscriber
     /// receives every message delivered after it subscribed.
     pub fn subscribe(&self, region: Region) -> Result<Receiver<QueueMessage>, StoreError> {
         let (tx, rx) = channel();
-        self.inner
-            .state
+        self.engine
+            .substrate()
+            .pubsub
             .borrow_mut()
             .get_mut(&region)
             .ok_or(StoreError::NoSuchRegion(region))?
@@ -331,8 +171,9 @@ impl QueueStore {
         group: impl Into<String>,
     ) -> Result<GroupConsumer, StoreError> {
         let group = group.into();
-        self.inner
-            .state
+        self.engine
+            .substrate()
+            .pubsub
             .borrow_mut()
             .get_mut(&region)
             .ok_or(StoreError::NoSuchRegion(region))?
@@ -348,68 +189,53 @@ impl QueueStore {
 
     /// Whether message `id` has been delivered in `region`.
     pub fn is_visible(&self, region: Region, id: u64) -> bool {
-        self.inner
-            .state
-            .borrow()
-            .get(&region)
-            .map(|s| s.delivered.contains(&id))
-            .unwrap_or(false)
+        self.engine.is_visible(region, &msg_key(id), id)
     }
 
-    /// Resolves once message `id` is delivered in `region`.
+    /// Resolves once message `id` is delivered in `region`. Never errors on
+    /// faults: a waiter cancelled by a broker crash silently resubscribes
+    /// and resolves when the delivery eventually lands.
     pub async fn wait_visible(&self, region: Region, id: u64) -> Result<(), StoreError> {
-        loop {
-            let rx = {
-                let mut state = self.inner.state.borrow_mut();
-                let rs = state
-                    .get_mut(&region)
-                    .ok_or(StoreError::NoSuchRegion(region))?;
-                if rs.delivered.contains(&id) {
-                    return Ok(());
-                }
-                let (tx, rx) = oneshot();
-                rs.waiters.push(Waiter { id, tx });
-                rx
-            };
-            if rx.await.is_ok() {
-                return Ok(());
-            }
-        }
+        self.engine.wait_visible(region, &msg_key(id), id).await
     }
 
     /// Acknowledges message `id` in `region`: the consumer has finished
     /// processing it (and committed any resulting writes). Work-queue shims
     /// implement `wait` against acks rather than deliveries — a store-
     /// specific visibility semantic (§6.3: `wait` is opaque per store).
+    /// Ack state is durable broker metadata: it survives outage and
+    /// crash-restart windows.
     pub fn ack(&self, region: Region, id: u64) -> Result<(), StoreError> {
-        let mut state = self.inner.state.borrow_mut();
-        let rs = state
-            .get_mut(&region)
-            .ok_or(StoreError::NoSuchRegion(region))?;
-        rs.acked.insert(id);
-        let mut i = 0;
-        while i < rs.ack_waiters.len() {
-            if rs.ack_waiters[i].id == id {
-                let w = rs.ack_waiters.swap_remove(i);
-                let _ = w.tx.send(());
-            } else {
-                i += 1;
+        {
+            let mut pubsub = self.engine.substrate().pubsub.borrow_mut();
+            let rs = pubsub
+                .get_mut(&region)
+                .ok_or(StoreError::NoSuchRegion(region))?;
+            rs.acked.insert(id);
+            let mut i = 0;
+            while i < rs.ack_waiters.len() {
+                if rs.ack_waiters[i].id == id {
+                    let w = rs.ack_waiters.swap_remove(i);
+                    let _ = w.tx.send(());
+                } else {
+                    i += 1;
+                }
             }
         }
-        drop(state);
-        self.inner.emit(VisibilityEvent::QueueAcked {
-            store: self.inner.name.clone(),
+        self.engine.emit(VisibilityEvent::QueueAcked {
+            store: self.engine.name().to_string(),
             region,
             id,
-            at: self.inner.sim.now(),
+            at: self.engine.sim().now(),
         });
         Ok(())
     }
 
     /// Whether message `id` has been acknowledged in `region`.
     pub fn is_acked(&self, region: Region, id: u64) -> bool {
-        self.inner
-            .state
+        self.engine
+            .substrate()
+            .pubsub
             .borrow()
             .get(&region)
             .map(|s| s.acked.contains(&id))
@@ -420,15 +246,15 @@ impl QueueStore {
     pub async fn wait_acked(&self, region: Region, id: u64) -> Result<(), StoreError> {
         loop {
             let rx = {
-                let mut state = self.inner.state.borrow_mut();
-                let rs = state
+                let mut pubsub = self.engine.substrate().pubsub.borrow_mut();
+                let rs = pubsub
                     .get_mut(&region)
                     .ok_or(StoreError::NoSuchRegion(region))?;
                 if rs.acked.contains(&id) {
                     return Ok(());
                 }
                 let (tx, rx) = oneshot();
-                rs.ack_waiters.push(Waiter { id, tx });
+                rs.ack_waiters.push(AckWaiter { id, tx });
                 rx
             };
             if rx.await.is_ok() {
@@ -438,30 +264,32 @@ impl QueueStore {
     }
 
     /// Fault injection: hold deliveries to `region` until resumed. Thin
-    /// wrapper over the simulation's [`FaultPlan`].
+    /// wrapper over the simulation's [`antipode_sim::fault::FaultPlan`].
     pub fn pause_delivery(&self, region: Region) {
-        self.inner
-            .faults
-            .pause_queue_delivery(&self.inner.name, region);
+        self.engine
+            .faults()
+            .pause_queue_delivery(self.engine.name(), region);
     }
 
     /// Ends a [`QueueStore::pause_delivery`] stall.
     pub fn resume_delivery(&self, region: Region) {
-        self.inner
-            .faults
-            .resume_queue_delivery(&self.inner.name, region);
+        self.engine
+            .faults()
+            .resume_queue_delivery(self.engine.name(), region);
     }
 
     /// Fault injection: probability each delivery attempt is dropped
     /// (dropped attempts are redelivered after the redelivery interval).
-    /// Thin wrapper over the [`FaultPlan`].
+    /// Thin wrapper over the [`antipode_sim::fault::FaultPlan`].
     pub fn set_delivery_drop_probability(&self, p: f64) {
-        self.inner.faults.set_delivery_drop(&self.inner.name, p);
+        self.engine
+            .faults()
+            .set_delivery_drop(self.engine.name(), p);
     }
 
     /// Sets the backoff before a dropped delivery attempt is retried.
     pub fn set_redelivery_interval(&self, d: Dist) {
-        *self.inner.redelivery.borrow_mut() = d;
+        *self.engine.substrate().redelivery.borrow_mut() = d;
     }
 
     /// Enables (or disables, with `None`) the consumer-group visibility
@@ -469,37 +297,54 @@ impl QueueStore {
     /// within `t` is redelivered to the group, so a crashed consumer cannot
     /// strand it. Mirrors SQS-style at-least-once work queues.
     pub fn set_visibility_timeout(&self, t: Option<Duration>) {
-        self.inner.visibility_timeout.set(t);
+        self.engine.substrate().visibility_timeout.set(t);
+    }
+
+    /// Number of write-ahead-log entries at a broker replica (diagnostics).
+    pub fn wal_len(&self, region: Region) -> usize {
+        self.engine.wal_len(region)
+    }
+
+    /// Number of pending visibility waiters at a broker replica
+    /// (diagnostics).
+    pub fn waiter_count(&self, region: Region) -> usize {
+        self.engine.waiter_count(region)
+    }
+
+    /// Number of queued hinted-handoff entries (diagnostics).
+    pub fn pending_hints(&self) -> usize {
+        self.engine.pending_hints()
+    }
+
+    /// Whether every broker replica holds an identical delivery record; see
+    /// [`crate::repair`].
+    pub fn converged(&self) -> bool {
+        self.engine.converged()
+    }
+
+    /// One anti-entropy round over the broker replicas; see
+    /// [`crate::repair`]. Back-filled deliveries notify subscribers and
+    /// consumer groups exactly like first-time deliveries.
+    pub async fn repair_sweep(&self) -> RepairReport {
+        self.engine.repair_sweep().await
+    }
+
+    /// Starts the periodic anti-entropy loop; see [`crate::repair`].
+    pub fn enable_anti_entropy(&self, cfg: RepairConfig) {
+        self.engine.enable_anti_entropy(cfg);
     }
 
     /// Hands a message back to a group: a live waiter gets it immediately,
     /// otherwise it queues as pending.
     fn requeue_for_group(&self, region: Region, group: &str, msg: QueueMessage) {
-        let mut state = self.inner.state.borrow_mut();
-        let Some(gs) = state
+        let mut pubsub = self.engine.substrate().pubsub.borrow_mut();
+        let Some(gs) = pubsub
             .get_mut(&region)
             .and_then(|rs| rs.groups.get_mut(group))
         else {
             return;
         };
         hand_to_group(gs, msg);
-    }
-}
-
-/// Hands `msg` to the first live waiter of a group, or queues it as pending.
-fn hand_to_group(group: &mut GroupState, msg: QueueMessage) {
-    let mut undelivered = Some(msg);
-    while let Some(m) = undelivered.take() {
-        match group.waiters.pop_front() {
-            Some(tx) => {
-                if let Err(back) = tx.send(m) {
-                    undelivered = Some(back); // dead waiter, try next
-                }
-            }
-            None => {
-                group.pending.push_back(m);
-            }
-        }
     }
 }
 
@@ -518,18 +363,18 @@ impl GroupConsumer {
     pub async fn take(&self) -> QueueMessage {
         loop {
             let rx = {
-                let mut state = self.store.inner.state.borrow_mut();
+                let mut pubsub = self.store.engine.substrate().pubsub.borrow_mut();
                 // The region was validated and the group created at join
                 // time; regions and groups are never removed, so re-creating
                 // the group entry on a miss is a deterministic no-op.
-                let gs = state
+                let gs = pubsub
                     .entry(self.region)
                     .or_default()
                     .groups
                     .entry(self.group.clone())
                     .or_default();
                 if let Some(m) = gs.pending.pop_front() {
-                    drop(state);
+                    drop(pubsub);
                     self.arm_redelivery(&m);
                     return m;
                 }
@@ -547,8 +392,8 @@ impl GroupConsumer {
     /// Non-blocking take.
     pub fn try_take(&self) -> Option<QueueMessage> {
         let m = {
-            let mut state = self.store.inner.state.borrow_mut();
-            state
+            let mut pubsub = self.store.engine.substrate().pubsub.borrow_mut();
+            pubsub
                 .get_mut(&self.region)?
                 .groups
                 .get_mut(&self.group)?
@@ -562,27 +407,30 @@ impl GroupConsumer {
     /// If a visibility timeout is configured, schedule the message for
     /// redelivery to this group unless it gets acked in time.
     fn arm_redelivery(&self, msg: &QueueMessage) {
-        let Some(timeout) = self.store.inner.visibility_timeout.get() else {
+        let Some(timeout) = self.store.engine.substrate().visibility_timeout.get() else {
             return;
         };
         let store = self.store.clone();
         let region = self.region;
         let group = self.group.clone();
         let msg = msg.clone();
-        let sim = store.inner.sim.clone();
+        let sim = store.engine.sim().clone();
         sim.spawn(async move {
-            store.inner.sim.sleep(timeout).await;
-            // If the broker is down (crash-restart window) when the timer
-            // fires, hold the redelivery decision until it restarts: the
-            // restarted broker reads the *current* ack state. Deciding
-            // mid-outage would redeliver a message whose ack raced the
-            // crash — a duplicate delivery the group already processed.
+            store.engine.sim().sleep(timeout).await;
+            // If the broker is down (outage or crash-restart window) when
+            // the timer fires, hold the redelivery decision until it
+            // restarts: the restarted broker reads the *current* ack state.
+            // Deciding mid-outage would redeliver a message whose ack raced
+            // the crash — a duplicate delivery the group already processed.
             {
-                let faults = store.inner.faults.clone();
+                let faults = store.engine.faults().clone();
                 let q = store.clone();
                 faults
-                    .until_clear(&store.inner.sim, move |at| {
-                        q.inner.faults.queue_down(at, &q.inner.name)
+                    .until_clear(store.engine.sim(), move |at| {
+                        q.engine.faults().queue_down(at, q.engine.name())
+                            || q.engine
+                                .faults()
+                                .replica_crashed(at, q.engine.name(), region)
                     })
                     .await;
             }
@@ -602,6 +450,8 @@ impl GroupConsumer {
 mod tests {
     use super::*;
     use antipode_sim::net::regions::{EU, US};
+    use std::cell::RefCell;
+    use std::collections::BTreeSet;
     use std::time::Duration;
 
     fn setup() -> (Sim, QueueStore) {
@@ -813,5 +663,81 @@ mod tests {
             published_at: SimTime::ZERO,
         };
         assert_eq!(m.key(), "msg-42");
+    }
+
+    #[test]
+    fn broker_crash_wipes_delivery_record_and_wal_restores_it() {
+        use antipode_sim::fault::FaultKind;
+        let (sim, q) = setup();
+        let q2 = q.clone();
+        let id = sim.block_on(async move {
+            let id = q2.publish(EU, Bytes::from_static(b"m")).await.unwrap();
+            q2.wait_visible(US, id).await.unwrap();
+            id
+        });
+        assert!(q.wal_len(US) >= 1, "deliveries are WAL-logged");
+        sim.faults().schedule(
+            SimTime::from_secs(5),
+            SimTime::from_secs(8),
+            FaultKind::ReplicaCrash {
+                store: "sns".into(),
+                region: US,
+            },
+        );
+        // Mid-window: the broker's volatile delivery record is gone, but ack
+        // and group metadata (durable) survive.
+        sim.run_until(SimTime::from_secs(6));
+        assert!(!q.is_visible(US, id), "crash wipes the delivery record");
+        // Post-restart: WAL replay restored the record at the heal edge.
+        sim.run_until(SimTime::from_secs(9));
+        assert!(q.is_visible(US, id), "WAL replay restores deliveries");
+        assert!(q.converged());
+    }
+
+    #[test]
+    fn broker_crash_cancelled_wait_resubscribes_and_resolves() {
+        use antipode_sim::fault::FaultKind;
+        let (sim, q) = setup();
+        // Crash the US broker replica before the delivery can land; the
+        // in-flight delivery parks as a hint and flushes at the heal edge.
+        sim.faults().schedule(
+            SimTime::from_millis(10),
+            SimTime::from_secs(8),
+            FaultKind::ReplicaCrash {
+                store: "sns".into(),
+                region: US,
+            },
+        );
+        let q2 = q.clone();
+        sim.block_on(async move {
+            let id = q2.publish(EU, Bytes::from_static(b"m")).await.unwrap();
+            // Queue waits never error on faults: the waiter cancelled at the
+            // crash edge resubscribes and resolves after restart.
+            q2.wait_visible(US, id).await.unwrap();
+            assert!(q2.engine.sim().now() >= SimTime::from_secs(8));
+        });
+        assert_eq!(q.pending_hints(), 0, "hint flushed at the heal edge");
+    }
+
+    #[test]
+    fn partitioned_delivery_parks_as_hint_and_flushes_at_heal() {
+        use antipode_sim::fault::FaultKind;
+        let (sim, q) = setup();
+        sim.faults().schedule(
+            SimTime::ZERO,
+            SimTime::from_secs(20),
+            FaultKind::Partition { a: EU, b: US },
+        );
+        let q2 = q.clone();
+        sim.block_on(async move {
+            let id = q2.publish(EU, Bytes::from_static(b"m")).await.unwrap();
+            // EU's own delivery lands; the EU→US delivery parks as a hint.
+            q2.wait_visible(EU, id).await.unwrap();
+            assert!(!q2.is_visible(US, id));
+            q2.wait_visible(US, id).await.unwrap();
+            assert!(q2.engine.sim().now() >= SimTime::from_secs(20));
+        });
+        assert_eq!(q.pending_hints(), 0);
+        assert!(q.converged());
     }
 }

@@ -3,48 +3,26 @@
 //! DeathStarBench's write-home-timeline queue: federation forwards messages
 //! across regions essentially at network speed.
 
-use std::rc::Rc;
-
-use antipode::wait::{LocalBoxFuture, WaitError, WaitTarget};
 use antipode_lineage::{Lineage, WriteId};
-use antipode_sim::net::Network;
-use antipode_sim::{Region, Sim};
+use antipode_sim::Region;
 use bytes::Bytes;
 
-use crate::profiles;
-use crate::queue::{QueueProfile, QueueStore};
+use crate::facade::queue_facade;
 use crate::replica::StoreError;
-use crate::shim::{QueueShim, ShimError, ShimSubscription};
+use crate::shim::{ShimError, ShimSubscription};
 
 /// Extra per-message amplification from AMQP header framing (Table 3:
 /// +87 B total on a small message).
 pub const HEADER_OVERHEAD_BYTES: usize = 40;
 
-/// A simulated federated RabbitMQ deployment.
-#[derive(Clone)]
-pub struct RabbitMq {
-    queue: QueueStore,
+queue_facade! {
+    /// A simulated federated RabbitMQ deployment.
+    store RabbitMq(profile: crate::profiles::rabbitmq);
+    /// The Antipode shim for [`RabbitMq`].
+    shim RabbitMqShim;
 }
 
 impl RabbitMq {
-    /// Creates a deployment with the calibrated RabbitMQ profile.
-    pub fn new(sim: &Sim, net: Rc<Network>, name: impl Into<String>, regions: &[Region]) -> Self {
-        Self::with_profile(sim, net, name, regions, profiles::rabbitmq())
-    }
-
-    /// Creates a deployment with a custom profile.
-    pub fn with_profile(
-        sim: &Sim,
-        net: Rc<Network>,
-        name: impl Into<String>,
-        regions: &[Region],
-        profile: QueueProfile,
-    ) -> Self {
-        RabbitMq {
-            queue: QueueStore::new(sim, net, name, regions, profile),
-        }
-    }
-
     /// Publish to the exchange (baseline path, no lineage).
     pub async fn publish(&self, region: Region, payload: Bytes) -> Result<u64, StoreError> {
         self.queue.publish(region, payload).await
@@ -57,33 +35,15 @@ impl RabbitMq {
     ) -> Result<antipode_sim::sync::Receiver<crate::queue::QueueMessage>, StoreError> {
         self.queue.subscribe(region)
     }
-
-    /// The underlying queue store.
-    pub fn queue(&self) -> &QueueStore {
-        &self.queue
-    }
-}
-
-/// The Antipode shim for [`RabbitMq`].
-#[derive(Clone)]
-pub struct RabbitMqShim {
-    inner: QueueShim,
 }
 
 impl RabbitMqShim {
-    /// Wraps a deployment (pub/sub delivery semantics).
-    pub fn new(mq: &RabbitMq) -> Self {
-        RabbitMqShim {
-            inner: QueueShim::new(mq.queue.clone()),
-        }
-    }
-
     /// Wraps a deployment as a *work queue*: `wait` resolves when the
     /// message is processed (acked), not merely delivered — TrainTicket's
     /// refund queue uses this (§7.1, §7.4).
     pub fn new_work_queue(mq: &RabbitMq) -> Self {
         RabbitMqShim {
-            inner: QueueShim::new(mq.queue.clone())
+            inner: crate::shim::QueueShim::new(mq.queue.clone())
                 .with_semantics(crate::shim::WaitSemantics::Processed),
         }
     }
@@ -110,27 +70,14 @@ impl RabbitMqShim {
     }
 }
 
-impl WaitTarget for RabbitMqShim {
-    fn datastore_name(&self) -> &str {
-        self.inner.datastore_name()
-    }
-    fn wait<'a>(
-        &'a self,
-        write: &'a WriteId,
-        region: Region,
-    ) -> LocalBoxFuture<'a, Result<(), WaitError>> {
-        self.inner.wait(write, region)
-    }
-    fn is_visible(&self, write: &WriteId, region: Region) -> bool {
-        self.inner.is_visible(write, region)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use antipode_lineage::LineageId;
     use antipode_sim::net::regions::{SG, US};
+    use antipode_sim::net::Network;
+    use antipode_sim::Sim;
+    use std::rc::Rc;
     use std::time::Duration;
 
     #[test]

@@ -1,9 +1,11 @@
-//! The recovery plane of the KV framework: write-ahead logs, crash-restart,
-//! hinted handoff, and waiter hygiene.
+//! The recovery plane of the replication engine: write-ahead logs,
+//! crash-restart, hinted handoff, and waiter hygiene.
 //!
 //! Three mechanisms, all driven off the simulation's [`FaultPlan`] by one
-//! per-store monitor task (spawned in [`KvStore::new`], parked on the plan's
-//! change notifier between window edges — no polling):
+//! per-store monitor task (spawned in [`Engine::new`], parked on the plan's
+//! change notifier between window edges — no polling). Because the monitor
+//! is generic over the engine's [`Substrate`], *both* store families get it:
+//! KV stores and queue brokers recover identically.
 //!
 //! - **Crash-restart** ([`antipode_sim::fault::FaultKind::ReplicaCrash`]):
 //!   on window entry the replica's volatile state (memtable, visibility
@@ -11,14 +13,16 @@
 //!   heal edge the replica restarts and deterministically replays its
 //!   write-ahead log. With the WAL disabled the replica restarts empty and
 //!   relies entirely on anti-entropy repair ([`crate::repair`]).
-//! - **Hinted handoff**: a replication send suppressed by a partition,
-//!   outage, stall, or crashed destination parks as a [`Hint`] at its origin;
-//!   the monitor flushes hints the moment the fault plan says the path is
+//! - **Hinted handoff**: a send suppressed by a partition, outage, stall,
+//!   pause, or crashed destination parks as a [`Hint`] at its origin; the
+//!   monitor flushes hints the moment the fault plan says the path is
 //!   healthy again. Origin-crash drops that origin's queued hints — exactly
 //!   the writes anti-entropy repair exists to back-fill.
 //! - **Waiter hygiene**: visibility waiters subscribed at a replica that
 //!   goes dark are cancelled with [`StoreError::Unavailable`] (instead of
-//!   leaking forever), so barrier retry policies re-arm them after the fault.
+//!   leaking forever). The KV family surfaces the cancellation so barrier
+//!   retry policies re-arm; the queue family silently resubscribes (queue
+//!   waits never error on faults).
 //!
 //! Everything is deterministic: the monitor wakes only at scheduled window
 //! edges and imperative plan changes, hint queues preserve push order, and
@@ -31,17 +35,18 @@ use antipode_sim::fault::FaultPlan;
 use antipode_sim::{timeout, Region, SimTime};
 use bytes::Bytes;
 
-use crate::replica::{KvStore, StoreError, StoredValue};
+use crate::engine::{Engine, Record};
+use crate::substrate::{StoreError, Substrate};
 
 /// Per-store recovery knobs. Defaults model a production store: durable WAL
 /// and hinted handoff both on. [`RecoveryConfig::disabled`] is the ablation
-/// in which suppressed replication sends are dropped outright and a crashed
-/// replica restarts empty — the configuration the convergence-under-chaos
-/// property test demonstrates to be *not* eventually consistent.
+/// in which suppressed sends are dropped outright and a crashed replica
+/// restarts empty — the configuration the convergence-under-chaos property
+/// tests demonstrate to be *not* eventually consistent.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RecoveryConfig {
-    /// Queue suppressed replication sends as hints and flush them when the
-    /// path heals. Off: suppressed sends are silently dropped.
+    /// Queue suppressed sends as hints and flush them when the path heals.
+    /// Off: suppressed sends are silently dropped.
     pub hinted_handoff: bool,
     /// Append every apply to a per-replica write-ahead log and replay it at
     /// crash-restart. Off: a crash loses the replica's entire dataset.
@@ -79,10 +84,13 @@ pub struct WalEntry {
     /// When the apply originally became visible (preserved across replay so
     /// post-restart timestamps keep their happens-before ordering).
     pub visible_at: SimTime,
+    /// When the write committed at its origin (preserved so replayed queue
+    /// messages keep their publish timestamps).
+    pub committed_at: SimTime,
 }
 
-/// A replication send parked at its origin because a fault suppressed the
-/// path to `dest`; flushed when the fault plan says the path is healthy.
+/// A send parked at its origin because a fault suppressed the path to
+/// `dest`; flushed when the fault plan says the path is healthy.
 #[derive(Clone, Debug)]
 pub struct Hint {
     /// The region that committed the write (where the hint is stored).
@@ -95,19 +103,21 @@ pub struct Hint {
     pub version: u64,
     /// The stored bytes.
     pub bytes: Bytes,
+    /// When the write committed at its origin.
+    pub committed_at: SimTime,
 }
 
 /// Spawns the store's recovery monitor: one task that wakes at every fault
 /// transition (and imperative change) to run crash/restart edges, cancel
 /// waiters of dark replicas, and flush healed hints. Parks without a timer
 /// when the plan has no future transitions, so simulations still quiesce.
-pub(crate) fn spawn_monitor(store: &KvStore) {
-    let store = store.clone();
-    let sim = store.inner.sim.clone();
-    let faults: FaultPlan = store.inner.faults.clone();
+pub(crate) fn spawn_monitor<S: Substrate>(engine: &Engine<S>) {
+    let engine = engine.clone();
+    let sim = engine.sim().clone();
+    let faults: FaultPlan = engine.faults().clone();
     let mut dark: BTreeMap<Region, bool> = BTreeMap::new();
     let mut crashed: BTreeMap<Region, bool> = BTreeMap::new();
-    for &r in &store.inner.regions {
+    for &r in engine.regions() {
         dark.insert(r, false);
         crashed.insert(r, false);
     }
@@ -115,7 +125,7 @@ pub(crate) fn spawn_monitor(store: &KvStore) {
         loop {
             let notified = faults.on_change();
             let now = sim.now();
-            store.recovery_tick(now, &mut dark, &mut crashed);
+            engine.recovery_tick(now, &mut dark, &mut crashed);
             match faults.next_transition_after(now) {
                 Some(t) => {
                     let _ = timeout(&sim, t.since(now), notified).await;
@@ -126,7 +136,7 @@ pub(crate) fn spawn_monitor(store: &KvStore) {
     });
 }
 
-impl KvStore {
+impl<S: Substrate> Engine<S> {
     /// One monitor pass at `now`: process crash/restart and dark/lit edges
     /// per replica, then flush any hints whose paths healed.
     fn recovery_tick(
@@ -135,13 +145,19 @@ impl KvStore {
         dark: &mut BTreeMap<Region, bool>,
         crashed: &mut BTreeMap<Region, bool>,
     ) {
-        let regions = self.inner.regions.clone();
+        let regions = self.regions().to_vec();
         for region in regions {
             let is_crashed = self
                 .inner
                 .faults
                 .replica_crashed(now, &self.inner.name, region);
-            let is_dark = is_crashed || self.inner.faults.region_down(now, region);
+            let is_dark = is_crashed
+                || self.inner.substrate.op_blocked(
+                    &self.inner.faults,
+                    now,
+                    &self.inner.name,
+                    region,
+                );
             let was_crashed = crashed.insert(region, is_crashed).unwrap_or(false);
             let was_dark = dark.insert(region, is_dark).unwrap_or(false);
             if is_crashed && !was_crashed {
@@ -183,32 +199,60 @@ impl KvStore {
     /// Restart at the heal edge: deterministically replay the write-ahead
     /// log into the fresh memtable (a no-op fold when the WAL is disabled —
     /// the replica restarts empty and waits for anti-entropy repair).
+    /// Replay restores state without invoking the substrate's apply
+    /// reaction: observers were already notified by the original applies.
+    /// Waiters the replay satisfies *are* woken — queue waiters resubscribe
+    /// during the crash window, and for a publish that was durably logged
+    /// but never delivered (its in-flight sends died with the origin), the
+    /// replayed record is the only apply they will ever see.
     fn restart_replica(&self, region: Region) {
-        let mut replicas = self.inner.replicas.borrow_mut();
-        let Some(state) = replicas.get_mut(&region) else {
-            return;
-        };
-        for entry in &state.wal {
-            let newer_exists = state
-                .data
-                .get(&entry.key)
-                .map(|v| v.version >= entry.version)
-                .unwrap_or(false);
-            if !newer_exists {
-                state.data.insert(
-                    entry.key.clone(),
-                    StoredValue {
-                        version: entry.version,
-                        bytes: entry.bytes.clone(),
-                        visible_at: entry.visible_at,
-                    },
-                );
+        let woken = {
+            let mut replicas = self.inner.replicas.borrow_mut();
+            let Some(state) = replicas.get_mut(&region) else {
+                return;
+            };
+            for entry in &state.wal {
+                let newer_exists = state
+                    .data
+                    .get(&entry.key)
+                    .map(|v| v.version >= entry.version)
+                    .unwrap_or(false);
+                if !newer_exists {
+                    state.data.insert(
+                        entry.key.clone(),
+                        Record {
+                            version: entry.version,
+                            bytes: entry.bytes.clone(),
+                            visible_at: entry.visible_at,
+                            committed_at: entry.committed_at,
+                        },
+                    );
+                }
             }
+            let mut woken = Vec::new();
+            let mut i = 0;
+            while i < state.waiters.len() {
+                let satisfied = state
+                    .data
+                    .get(&state.waiters[i].key)
+                    .map(|v| v.version >= state.waiters[i].version)
+                    .unwrap_or(false);
+                if satisfied {
+                    woken.push(state.waiters.swap_remove(i).tx);
+                } else {
+                    i += 1;
+                }
+            }
+            woken
+        };
+        for tx in woken {
+            let _ = tx.send(Ok(()));
         }
     }
 
-    /// Cancels every visibility waiter at a replica that went dark, so
-    /// subscribers surface [`StoreError::Unavailable`] instead of leaking.
+    /// Cancels every visibility waiter at a replica that went dark. KV
+    /// subscribers surface [`StoreError::Unavailable`]; queue subscribers
+    /// silently resubscribe (see [`Engine::wait_visible`]).
     fn cancel_waiters(&self, region: Region) {
         let cancelled = {
             let mut replicas = self.inner.replicas.borrow_mut();
@@ -235,19 +279,21 @@ impl KvStore {
             let mut hints = self.inner.hints.borrow_mut();
             let mut ready = Vec::new();
             hints.retain(|h| {
-                let suppressed =
-                    self.inner
-                        .faults
-                        .replication_stalled(now, &self.inner.name, h.dest)
-                        || self.inner.faults.link_blocked(now, h.origin, h.dest)
-                        || self
-                            .inner
-                            .faults
-                            .replica_crashed(now, &self.inner.name, h.dest)
-                        || self
-                            .inner
-                            .faults
-                            .replica_crashed(now, &self.inner.name, h.origin);
+                let suppressed = self.inner.substrate.send_suppressed(
+                    &self.inner.faults,
+                    now,
+                    &self.inner.name,
+                    h.origin,
+                    h.dest,
+                ) || self.inner.faults.replica_crashed(
+                    now,
+                    &self.inner.name,
+                    h.dest,
+                ) || self.inner.faults.replica_crashed(
+                    now,
+                    &self.inner.name,
+                    h.origin,
+                );
                 if suppressed {
                     true
                 } else {
@@ -258,12 +304,12 @@ impl KvStore {
             ready
         };
         for h in ready {
-            self.apply(h.dest, &h.key, h.version, h.bytes);
+            self.apply(h.dest, &h.key, h.version, h.bytes, h.committed_at);
         }
     }
 
     /// Number of queued hinted-handoff entries (diagnostics).
-    pub fn pending_hints(&self) -> usize {
+    pub(crate) fn pending_hints(&self) -> usize {
         self.inner.hints.borrow().len()
     }
 }
@@ -277,7 +323,7 @@ mod tests {
     use antipode_sim::net::Network;
     use antipode_sim::{Sim, SimTime};
 
-    use crate::replica::KvProfile;
+    use crate::replica::{KvProfile, KvStore};
 
     fn fast_profile() -> KvProfile {
         KvProfile {
@@ -373,7 +419,7 @@ mod tests {
             assert_eq!(s.pending_hints(), 1);
             assert!(!s.is_visible(US, "k", v));
             s.wait_visible(US, "k", v).await.unwrap();
-            assert!(s.inner.sim.now() >= SimTime::from_secs(20));
+            assert!(s.engine.sim().now() >= SimTime::from_secs(20));
             assert_eq!(s.pending_hints(), 0);
         });
     }

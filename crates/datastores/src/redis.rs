@@ -4,47 +4,26 @@
 //! Table 1's 88 % against SNS comes from Redis occasionally beating SNS
 //! delivery.
 
-use std::rc::Rc;
-
-use antipode::wait::{LocalBoxFuture, WaitError, WaitTarget};
 use antipode_lineage::{Lineage, WriteId};
-use antipode_sim::net::Network;
-use antipode_sim::{Region, Sim};
+use antipode_sim::Region;
 use bytes::Bytes;
 
-use crate::profiles;
-use crate::replica::{KvProfile, KvStore, StoreError, StoredValue};
-use crate::shim::{KvShim, ShimError};
+use crate::facade::kv_facade;
+use crate::replica::{StoreError, StoredValue};
+use crate::shim::ShimError;
 
 /// Extra per-key storage amplification: the lineage is stored as a companion
 /// hash field, duplicating key metadata (Table 3: +105 B total).
 pub const KEY_METADATA_OVERHEAD_BYTES: usize = 56;
 
-/// A simulated geo-replicated Redis.
-#[derive(Clone)]
-pub struct Redis {
-    store: KvStore,
+kv_facade! {
+    /// A simulated geo-replicated Redis.
+    store Redis(profile: crate::profiles::redis);
+    /// The Antipode shim for [`Redis`].
+    shim RedisShim;
 }
 
 impl Redis {
-    /// Creates an instance with the calibrated Redis profile.
-    pub fn new(sim: &Sim, net: Rc<Network>, name: impl Into<String>, regions: &[Region]) -> Self {
-        Self::with_profile(sim, net, name, regions, profiles::redis())
-    }
-
-    /// Creates an instance with a custom profile.
-    pub fn with_profile(
-        sim: &Sim,
-        net: Rc<Network>,
-        name: impl Into<String>,
-        regions: &[Region],
-        profile: KvProfile,
-    ) -> Self {
-        Redis {
-            store: KvStore::new(sim, net, name, regions, profile),
-        }
-    }
-
     /// SET (baseline path, no lineage).
     pub async fn set(&self, region: Region, key: &str, value: Bytes) -> Result<u64, StoreError> {
         self.store.put(region, key, value).await
@@ -54,27 +33,9 @@ impl Redis {
     pub async fn get(&self, region: Region, key: &str) -> Result<Option<StoredValue>, StoreError> {
         self.store.get(region, key).await
     }
-
-    /// The underlying replicated store.
-    pub fn store(&self) -> &KvStore {
-        &self.store
-    }
-}
-
-/// The Antipode shim for [`Redis`].
-#[derive(Clone)]
-pub struct RedisShim {
-    inner: KvShim,
 }
 
 impl RedisShim {
-    /// Wraps a Redis instance.
-    pub fn new(db: &Redis) -> Self {
-        RedisShim {
-            inner: KvShim::new(db.store.clone()),
-        }
-    }
-
     /// Lineage-propagating SET.
     pub async fn set(
         &self,
@@ -102,27 +63,15 @@ impl RedisShim {
     }
 }
 
-impl WaitTarget for RedisShim {
-    fn datastore_name(&self) -> &str {
-        self.inner.datastore_name()
-    }
-    fn wait<'a>(
-        &'a self,
-        write: &'a WriteId,
-        region: Region,
-    ) -> LocalBoxFuture<'a, Result<(), WaitError>> {
-        self.inner.wait(write, region)
-    }
-    fn is_visible(&self, write: &WriteId, region: Region) -> bool {
-        self.inner.is_visible(write, region)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use antipode::wait::WaitTarget;
     use antipode_lineage::LineageId;
     use antipode_sim::net::regions::{EU, US};
+    use antipode_sim::net::Network;
+    use antipode_sim::Sim;
+    use std::rc::Rc;
 
     #[test]
     fn set_get_round_trip() {

@@ -10,6 +10,12 @@
 //! stale replicas from whichever live replica holds the newest version —
 //! Dynamo-style read-repair run as a sweep.
 //!
+//! Like the rest of the recovery plane, the sweep is generic over the
+//! engine's [`Substrate`], so queue brokers converge under chaos exactly
+//! like KV stores; a back-filled queue delivery notifies subscribers and
+//! consumer groups like a first-time delivery (the substrate's apply
+//! reaction runs).
+//!
 //! The sweep is deterministic: replicas and keys are walked in `BTreeMap`
 //! order, gossip transit is sampled from the store's seeded RNG stream, and
 //! the periodic loop *self-terminates* once the store has converged, no
@@ -22,7 +28,8 @@ use std::time::Duration;
 use antipode_sim::{Region, SimTime};
 use bytes::Bytes;
 
-use crate::replica::KvStore;
+use crate::engine::Engine;
+use crate::substrate::Substrate;
 
 /// Knobs for the periodic anti-entropy loop.
 #[derive(Clone, Copy, Debug)]
@@ -44,7 +51,8 @@ impl Default for RepairConfig {
     }
 }
 
-/// What one [`KvStore::repair_sweep`] did.
+/// What one repair sweep did (see [`crate::replica::KvStore::repair_sweep`]
+/// and [`crate::queue::QueueStore::repair_sweep`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RepairReport {
     /// Distinct keys examined across live replicas.
@@ -53,11 +61,11 @@ pub struct RepairReport {
     pub backfilled: usize,
 }
 
-impl KvStore {
+impl<S: Substrate> Engine<S> {
     /// Whether every replica holds an identical key→version map. Crashed or
     /// dark replicas are compared as-is (a mid-crash replica is empty, so a
     /// store is never "converged" inside a crash window — by design).
-    pub fn converged(&self) -> bool {
+    pub(crate) fn converged(&self) -> bool {
         let replicas = self.inner.replicas.borrow();
         let mut iter = replicas.values();
         let Some(first) = iter.next() else {
@@ -81,54 +89,54 @@ impl KvStore {
     /// transit (the max over the repair paths used) before applying, and
     /// re-checks every path at apply time — a window edge may have moved
     /// while the messages were in flight.
-    pub async fn repair_sweep(&self) -> RepairReport {
-        let now = self.inner.sim.now();
-        let name = self.inner.name.clone();
+    pub(crate) async fn repair_sweep(&self) -> RepairReport {
+        let now = self.sim().now();
+        let name = self.name().to_string();
         let live: Vec<Region> = self
-            .inner
-            .regions
+            .regions()
             .iter()
             .copied()
-            .filter(|&r| {
-                !self.inner.faults.region_down(now, r)
-                    && !self.inner.faults.replica_crashed(now, &name, r)
-            })
+            .filter(|&r| !self.substrate().op_blocked(self.faults(), now, &name, r))
             .collect();
-        // key → (newest version, bytes, source replica), in BTreeMap order.
-        let mut union: Vec<(String, u64, Bytes, Region)> = Vec::new();
+        // key → (newest version, bytes, commit time, source replica), in
+        // BTreeMap order.
+        let mut union: Vec<(String, u64, Bytes, SimTime, Region)> = Vec::new();
         {
             let replicas = self.inner.replicas.borrow();
-            let mut newest: std::collections::BTreeMap<&String, (u64, &Bytes, Region)> =
+            let mut newest: std::collections::BTreeMap<&String, (u64, &Bytes, SimTime, Region)> =
                 std::collections::BTreeMap::new();
             for &r in &live {
                 let Some(state) = replicas.get(&r) else {
                     continue;
                 };
                 for (k, v) in &state.data {
-                    let stale = newest.get(k).map(|(ver, _, _)| *ver < v.version);
+                    let stale = newest.get(k).map(|(ver, _, _, _)| *ver < v.version);
                     if stale.unwrap_or(true) {
-                        newest.insert(k, (v.version, &v.bytes, r));
+                        newest.insert(k, (v.version, &v.bytes, v.committed_at, r));
                     }
                 }
             }
-            for (k, (ver, bytes, src)) in newest {
-                union.push((k.clone(), ver, bytes.clone(), src));
+            for (k, (ver, bytes, committed_at, src)) in newest {
+                union.push((k.clone(), ver, bytes.clone(), committed_at, src));
             }
         }
         let examined = union.len();
-        // Plan the back-fills against the snapshot.
-        let mut plan: Vec<(Region, Region, String, u64, Bytes)> = Vec::new();
+        // Plan the back-fills against the snapshot. A pair whose path the
+        // substrate reports suppressed (stall, pause, partition, outage) is
+        // skipped this round; the next sweep retries it.
+        let mut plan: Vec<(Region, Region, String, u64, Bytes, SimTime)> = Vec::new();
         for &dest in &live {
-            if self.inner.faults.replication_stalled(now, &name, dest) {
-                continue;
-            }
-            for (key, ver, bytes, src) in &union {
-                if dest == *src || self.inner.faults.link_blocked(now, *src, dest) {
+            for (key, ver, bytes, committed_at, src) in &union {
+                if dest == *src
+                    || self
+                        .substrate()
+                        .send_suppressed(self.faults(), now, &name, *src, dest)
+                {
                     continue;
                 }
-                let dest_ver = self.get_sync(dest, key).map(|v| v.version).unwrap_or(0);
+                let dest_ver = self.record(dest, key).map(|v| v.version).unwrap_or(0);
                 if dest_ver < *ver {
-                    plan.push((*src, dest, key.clone(), *ver, bytes.clone()));
+                    plan.push((*src, dest, key.clone(), *ver, bytes.clone(), *committed_at));
                 }
             }
         }
@@ -143,31 +151,31 @@ impl KvStore {
         let pairs: BTreeSet<(Region, Region)> =
             plan.iter().map(|(src, dest, ..)| (*src, *dest)).collect();
         let transit = {
-            let mut rng = self.inner.rng.borrow_mut();
+            let mut rng = self.rng().borrow_mut();
             pairs
                 .iter()
                 .map(|&(src, dest)| {
-                    self.inner
-                        .net
-                        .delay_faulted(&mut *rng, src, dest, &self.inner.faults, now)
+                    self.net()
+                        .delay_faulted(&mut *rng, src, dest, self.faults(), now)
                 })
                 .max()
                 .unwrap_or_default()
         };
-        self.inner.sim.sleep(transit).await;
-        let arrive = self.inner.sim.now();
+        self.sim().sleep(transit).await;
+        let arrive = self.sim().now();
         let mut backfilled = 0usize;
-        for (src, dest, key, ver, bytes) in plan {
+        for (src, dest, key, ver, bytes, committed_at) in plan {
             // Re-check at delivery: a fault window may have opened (message
             // lost) and a concurrent apply may have superseded the repair.
-            if self.inner.faults.link_blocked(arrive, src, dest)
-                || self.inner.faults.replica_crashed(arrive, &name, dest)
-                || self.inner.faults.replication_stalled(arrive, &name, dest)
+            if self
+                .substrate()
+                .send_suppressed(self.faults(), arrive, &name, src, dest)
+                || self.faults().replica_crashed(arrive, &name, dest)
             {
                 continue;
             }
             if !self.is_visible(dest, &key, ver) {
-                self.apply(dest, &key, ver, bytes);
+                self.apply(dest, &key, ver, bytes, committed_at);
                 backfilled += 1;
             }
         }
@@ -182,20 +190,20 @@ impl KvStore {
     /// no scheduled transitions left — so enabling repair never prevents the
     /// simulation from quiescing. `cfg.horizon` bounds pathological plans
     /// that can never converge.
-    pub fn enable_anti_entropy(&self, cfg: RepairConfig) {
-        let store = self.clone();
-        self.inner.sim.clone().spawn(async move {
+    pub(crate) fn enable_anti_entropy(&self, cfg: RepairConfig) {
+        let engine = self.clone();
+        self.sim().clone().spawn(async move {
             loop {
-                store.inner.sim.sleep(cfg.period).await;
-                let now = store.inner.sim.now();
+                engine.sim().sleep(cfg.period).await;
+                let now = engine.sim().now();
                 if cfg.horizon.is_some_and(|h| now >= h) {
                     break;
                 }
-                store.repair_sweep().await;
-                let after = store.inner.sim.now();
-                if store.converged()
-                    && store.pending_hints() == 0
-                    && store.inner.faults.next_transition_after(after).is_none()
+                engine.repair_sweep().await;
+                let after = engine.sim().now();
+                if engine.converged()
+                    && engine.pending_hints() == 0
+                    && engine.faults().next_transition_after(after).is_none()
                 {
                     break;
                 }
@@ -214,8 +222,9 @@ mod tests {
     use antipode_sim::Sim;
     use std::rc::Rc;
 
+    use crate::queue::{QueueProfile, QueueStore};
     use crate::recovery::RecoveryConfig;
-    use crate::replica::KvProfile;
+    use crate::replica::{KvProfile, KvStore};
 
     fn fast_profile() -> KvProfile {
         KvProfile {
@@ -366,5 +375,54 @@ mod tests {
         sim.run();
         assert!(sim.now() <= SimTime::from_secs(21));
         assert!(!store.is_visible(US, "k", 1), "stalled replica stays stale");
+    }
+
+    #[test]
+    fn queue_sweep_backfills_and_notifies_consumers() {
+        // Queue-family parity: a delivery lost to the no-handoff ablation is
+        // back-filled by one sweep, and the back-fill notifies subscribers.
+        let sim = Sim::new(26);
+        let net = Rc::new(Network::global_triangle());
+        let q = QueueStore::new(
+            &sim,
+            net,
+            "amq",
+            &[EU, US],
+            QueueProfile {
+                local_publish: Dist::constant_ms(1.0),
+                delivery: Dist::constant_ms(80.0),
+                local_delivery: Dist::constant_ms(2.0),
+                rtt_hops: 1.0,
+            },
+        );
+        q.set_recovery(RecoveryConfig {
+            hinted_handoff: false,
+            ..RecoveryConfig::default()
+        });
+        sim.faults().schedule(
+            SimTime::ZERO,
+            SimTime::from_secs(5),
+            FaultKind::Partition { a: EU, b: US },
+        );
+        let q2 = q.clone();
+        sim.block_on({
+            let sim = sim.clone();
+            async move {
+                let mut sub = q2.subscribe(US).unwrap();
+                let id = q2.publish(EU, Bytes::from_static(b"m")).await.unwrap();
+                q2.wait_visible(EU, id).await.unwrap();
+                sim.sleep_until(SimTime::from_secs(10)).await;
+                assert!(!q2.is_visible(US, id), "dropped delivery never retried");
+                let report = q2.repair_sweep().await;
+                assert_eq!(report.backfilled, 1);
+                assert!(q2.is_visible(US, id));
+                // The back-fill fanned out to the subscriber like a normal
+                // delivery.
+                let got = sub.recv().await.unwrap();
+                assert_eq!(got.id, id);
+                assert_eq!(got.payload, Bytes::from_static(b"m"));
+            }
+        });
+        assert!(q.converged());
     }
 }

@@ -1,4 +1,5 @@
-//! The geo-replicated key-value framework underlying the simulated stores.
+//! The geo-replicated key-value family, as a facade over the shared
+//! replication engine.
 //!
 //! A [`KvStore`] keeps one replica per region. Writes commit at the origin
 //! replica, then replicate asynchronously to every other replica with a lag
@@ -7,27 +8,27 @@
 //! Table 1 / Fig 6 / Fig 7 results. Each replica maintains visibility
 //! waiters so shim `wait` implementations can subscribe instead of polling.
 //!
-//! Failure injection is driven by the simulation's [`FaultPlan`]: replication
-//! messages can be dropped (with retry), a destination can be stalled, links
-//! can partition, and whole regions can go dark. The store's legacy knobs
-//! ([`KvStore::set_drop_probability`], [`KvStore::pause_replication`], …)
-//! are thin wrappers over the plan.
+//! All shared mechanics (replica state, fan-out, waiters, WAL, hints,
+//! repair) live in [`crate::engine::Engine`]; this module contributes only
+//! the KV-specific read paths (local, strong) and re-exposes the engine
+//! surface under the store's historical API. Failure injection is driven by
+//! the simulation's [`antipode_sim::fault::FaultPlan`]: the store's legacy
+//! knobs ([`KvStore::set_drop_probability`], [`KvStore::pause_replication`],
+//! …) are thin wrappers over the plan.
 
-use std::cell::{Cell, RefCell};
-use std::collections::BTreeMap;
 use std::rc::Rc;
-#[cfg(test)]
-use std::time::Duration;
 
 use antipode_sim::dist::Dist;
-use antipode_sim::fault::FaultPlan;
 use antipode_sim::net::Network;
-use antipode_sim::rng::SimRng;
-use antipode_sim::sync::{oneshot, OneSender};
 use antipode_sim::{Region, Sim, SimTime};
 use bytes::Bytes;
 
-use crate::probe::{VisibilityEvent, VisibilityProbe};
+use crate::engine::Engine;
+use crate::probe::VisibilityProbe;
+use crate::repair::{RepairConfig, RepairReport};
+use crate::substrate::KvSubstrate;
+
+pub use crate::substrate::StoreError;
 
 /// Latency and replication model for one datastore type.
 #[derive(Clone, Debug)]
@@ -56,34 +57,6 @@ impl Default for KvProfile {
     }
 }
 
-/// Errors from datastore operations.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum StoreError {
-    /// The store has no replica in the named region.
-    NoSuchRegion(Region),
-    /// The replica exists but is inside a region-outage window: the store
-    /// rejects the operation until the region heals. Barrier retry policies
-    /// treat this as transient.
-    Unavailable {
-        /// The store name.
-        store: String,
-        /// The region that is down.
-        region: Region,
-    },
-}
-
-impl std::fmt::Display for StoreError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            StoreError::NoSuchRegion(r) => write!(f, "no replica in region {r}"),
-            StoreError::Unavailable { store, region } => {
-                write!(f, "store {store} unavailable in region {region} (outage)")
-            }
-        }
-    }
-}
-impl std::error::Error for StoreError {}
-
 /// A versioned value as stored at one replica.
 #[derive(Clone, Debug, PartialEq)]
 pub struct StoredValue {
@@ -95,54 +68,10 @@ pub struct StoredValue {
     pub visible_at: SimTime,
 }
 
-pub(crate) struct Waiter {
-    pub(crate) key: String,
-    pub(crate) version: u64,
-    /// Resolved `Ok(())` when the awaited version lands, `Err(Unavailable)`
-    /// when the replica goes dark (region outage or replica crash) — so
-    /// waiters subscribed before a fault window never leak past it.
-    pub(crate) tx: OneSender<Result<(), StoreError>>,
-}
-
-#[derive(Default)]
-pub(crate) struct ReplicaState {
-    pub(crate) data: BTreeMap<String, StoredValue>,
-    pub(crate) waiters: Vec<Waiter>,
-    /// Deterministic per-replica write-ahead log: every apply that changed
-    /// the memtable, in apply order. Crash-restart replays it (see
-    /// [`crate::recovery`]); disabled per [`crate::recovery::RecoveryConfig`].
-    pub(crate) wal: Vec<crate::recovery::WalEntry>,
-    /// Bumped on every crash; in-flight replication sends capture the origin
-    /// epoch and abort when it moved (the sending process died).
-    pub(crate) epoch: u64,
-}
-
-pub(crate) struct KvInner {
-    pub(crate) name: String,
-    pub(crate) sim: Sim,
-    pub(crate) net: Rc<Network>,
-    pub(crate) profile: KvProfile,
-    pub(crate) regions: Vec<Region>,
-    pub(crate) replicas: RefCell<BTreeMap<Region, ReplicaState>>,
-    pub(crate) next_version: Cell<u64>,
-    pub(crate) rng: RefCell<SimRng>,
-    /// The simulation-wide chaos schedule; every fault this store observes
-    /// (drops, stalls, partitions, outages, congestion, crashes) comes from
-    /// here.
-    pub(crate) faults: FaultPlan,
-    /// Recovery knobs (WAL, hinted handoff); see [`crate::recovery`].
-    pub(crate) recovery: Cell<crate::recovery::RecoveryConfig>,
-    /// Hinted-handoff queue: replication sends suppressed by a fault, parked
-    /// at their origin until the path heals. Flushed by the recovery monitor.
-    pub(crate) hints: RefCell<Vec<crate::recovery::Hint>>,
-    /// Optional observation hook for dynamic analysis (race detection).
-    pub(crate) probe: RefCell<Option<VisibilityProbe>>,
-}
-
 /// A simulated geo-replicated key-value store.
 #[derive(Clone)]
 pub struct KvStore {
-    pub(crate) inner: Rc<KvInner>,
+    pub(crate) engine: Engine<KvSubstrate>,
 }
 
 impl KvStore {
@@ -155,291 +84,68 @@ impl KvStore {
         regions: &[Region],
         profile: KvProfile,
     ) -> Self {
-        let name = name.into();
-        assert!(!regions.is_empty(), "a store needs at least one region");
-        let rng = RefCell::new(sim.rng(&format!("kv:{name}")));
-        let replicas = regions
-            .iter()
-            .map(|r| (*r, ReplicaState::default()))
-            .collect::<BTreeMap<_, _>>();
-        let store = KvStore {
-            inner: Rc::new(KvInner {
-                name,
-                sim: sim.clone(),
-                net,
-                profile,
-                regions: regions.to_vec(),
-                replicas: RefCell::new(replicas),
-                next_version: Cell::new(1),
-                rng,
-                faults: sim.faults(),
-                recovery: Cell::new(crate::recovery::RecoveryConfig::default()),
-                hints: RefCell::new(Vec::new()),
-                probe: RefCell::new(None),
-            }),
-        };
-        crate::recovery::spawn_monitor(&store);
-        store
+        KvStore {
+            engine: Engine::new(sim, net, name, regions, KvSubstrate::new(profile)),
+        }
     }
 
     /// Replaces the store's [`crate::recovery::RecoveryConfig`] (WAL and
     /// hinted-handoff knobs). Effective for subsequent operations.
     pub fn set_recovery(&self, cfg: crate::recovery::RecoveryConfig) {
-        self.inner.recovery.set(cfg);
+        self.engine.set_recovery(cfg);
     }
 
     /// The store's current recovery configuration.
     pub fn recovery_config(&self) -> crate::recovery::RecoveryConfig {
-        self.inner.recovery.get()
+        self.engine.recovery_config()
     }
 
     /// The store's name (what write identifiers refer to).
     pub fn name(&self) -> &str {
-        &self.inner.name
+        self.engine.name()
     }
 
     /// The regions this store is replicated across.
     pub fn regions(&self) -> &[Region] {
-        &self.inner.regions
+        self.engine.regions()
     }
 
     /// The primary region (first configured).
     pub fn primary(&self) -> Region {
-        self.inner.regions[0]
-    }
-
-    fn check_region(&self, region: Region) -> Result<(), StoreError> {
-        if self.inner.replicas.borrow().contains_key(&region) {
-            Ok(())
-        } else {
-            Err(StoreError::NoSuchRegion(region))
-        }
-    }
-
-    /// Like [`KvStore::check_region`], but also rejects regions inside a
-    /// [`antipode_sim::fault::FaultKind::RegionOutage`] or
-    /// [`antipode_sim::fault::FaultKind::ReplicaCrash`] window.
-    fn check_available(&self, region: Region) -> Result<(), StoreError> {
-        self.check_region(region)?;
-        let now = self.inner.sim.now();
-        if self.inner.faults.region_down(now, region)
-            || self
-                .inner
-                .faults
-                .replica_crashed(now, &self.inner.name, region)
-        {
-            return Err(StoreError::Unavailable {
-                store: self.inner.name.clone(),
-                region,
-            });
-        }
-        Ok(())
+        self.engine.primary()
     }
 
     /// Writes `value` under `key` at the replica in `origin`. Commits locally
     /// (after the profile's commit latency), kicks off asynchronous
     /// replication to every other replica, and returns the assigned version.
     pub async fn put(&self, origin: Region, key: &str, value: Bytes) -> Result<u64, StoreError> {
-        self.check_available(origin)?;
-        let commit = {
-            let mut rng = self.inner.rng.borrow_mut();
-            self.inner.profile.local_write.sample_duration(&mut rng)
-        };
-        self.inner.sim.sleep(commit).await;
-        let version = self.inner.next_version.get();
-        self.inner.next_version.set(version + 1);
-        self.apply(origin, key, version, value.clone());
-        // One shared key allocation for the whole replication fan-out (and
-        // `Bytes` clones are refcount bumps), so a put's per-destination cost
-        // is independent of key and value size.
-        let key: Rc<str> = Rc::from(key);
-        for &dest in &self.inner.regions {
-            if dest != origin {
-                self.spawn_replication(origin, dest, Rc::clone(&key), version, value.clone());
-            }
-        }
-        Ok(version)
+        self.engine.commit(origin, Some(key), value).await
     }
 
-    fn spawn_replication(
-        &self,
-        origin: Region,
-        dest: Region,
-        key: Rc<str>,
-        version: u64,
-        value: Bytes,
-    ) {
-        let store = self.clone();
-        let origin_epoch = self.replica_epoch(origin);
-        self.inner.sim.spawn(async move {
-            loop {
-                let now = store.inner.sim.now();
-                let drop_p = store.inner.faults.replication_drop(now, &store.inner.name);
-                let (dropped, backoff, lag) = {
-                    let mut rng = store.inner.rng.borrow_mut();
-                    let dropped = {
-                        use rand::Rng;
-                        rng.random::<f64>() < drop_p
-                    };
-                    let backoff = store.inner.profile.retry_interval.sample_duration(&mut rng);
-                    let extra = store.inner.profile.replication.sample_duration(&mut rng);
-                    let transit = store
-                        .inner
-                        .net
-                        .delay_faulted(&mut *rng, origin, dest, &store.inner.faults, now)
-                        .mul_f64(store.inner.profile.rtt_hops);
-                    let congestion = store
-                        .inner
-                        .faults
-                        .replication_extra_lag(&store.inner.name)
-                        .map(|d| d.sample_duration(&mut rng))
-                        .unwrap_or_default();
-                    (dropped, backoff, extra + transit + congestion)
-                };
-                if dropped {
-                    store.inner.sim.sleep(backoff).await;
-                    continue;
-                }
-                store.inner.sim.sleep(lag).await;
-                store.finish_replication(origin, origin_epoch, dest, key, version, value);
-                return;
-            }
-        });
-    }
-
-    /// Terminal step of one replication send: apply at the destination when
-    /// the path is healthy, or queue a hinted-handoff entry at the origin
-    /// when a fault suppresses the send (stall, partition, outage, crashed
-    /// destination). With handoff disabled the suppressed send is dropped
-    /// outright — the ablation that shows the recovery plane is load-bearing.
-    fn finish_replication(
-        &self,
-        origin: Region,
-        origin_epoch: u64,
-        dest: Region,
-        key: Rc<str>,
-        version: u64,
-        value: Bytes,
-    ) {
-        if self.replica_epoch(origin) != origin_epoch {
-            // The origin replica crash-restarted while this send was in
-            // flight: the sending process died with it. The origin copy is in
-            // the WAL; remote copies are recovered by anti-entropy repair.
-            return;
-        }
-        let now = self.inner.sim.now();
-        let suppressed = self
-            .inner
-            .faults
-            .replication_stalled(now, &self.inner.name, dest)
-            || self.inner.faults.link_blocked(now, origin, dest)
-            || self
-                .inner
-                .faults
-                .replica_crashed(now, &self.inner.name, dest);
-        if !suppressed {
-            self.apply(dest, &key, version, value);
-        } else if self.inner.recovery.get().hinted_handoff {
-            self.inner.hints.borrow_mut().push(crate::recovery::Hint {
-                origin,
-                dest,
-                key,
-                version,
-                bytes: value,
-            });
-        }
-    }
-
-    /// Applies a version at a replica, waking matured waiters. Out-of-order
-    /// (superseded) arrivals still satisfy waiters but do not clobber newer
-    /// data. Messages addressed to a crashed replica are dropped (the
-    /// process is dead); anti-entropy repair back-fills them after restart.
+    /// Applies a version at a replica directly, bypassing replication.
+    /// Test plumbing.
+    #[cfg(test)]
     pub(crate) fn apply(&self, region: Region, key: &str, version: u64, value: Bytes) {
-        if self
-            .inner
-            .faults
-            .replica_crashed(self.inner.sim.now(), &self.inner.name, region)
-        {
-            return;
-        }
-        let wal_enabled = self.inner.recovery.get().wal;
-        let mut replicas = self.inner.replicas.borrow_mut();
-        // Replication only targets configured replicas; treat a miss as a
-        // dropped message rather than tearing the run down.
-        let Some(state) = replicas.get_mut(&region) else {
-            return;
-        };
-        let newer_exists = state
-            .data
-            .get(key)
-            .map(|v| v.version >= version)
-            .unwrap_or(false);
-        if !newer_exists {
-            let visible_at = self.inner.sim.now();
-            state.data.insert(
-                key.to_string(),
-                StoredValue {
-                    version,
-                    bytes: value.clone(),
-                    visible_at,
-                },
-            );
-            if wal_enabled {
-                state.wal.push(crate::recovery::WalEntry {
-                    key: key.to_string(),
-                    version,
-                    bytes: value,
-                    visible_at,
-                });
-            }
-        }
-        let watermark = state.data.get(key).map(|v| v.version).unwrap_or(version);
-        let mut i = 0;
-        while i < state.waiters.len() {
-            if state.waiters[i].key == key && state.waiters[i].version <= watermark {
-                let w = state.waiters.swap_remove(i);
-                let _ = w.tx.send(Ok(()));
-            } else {
-                i += 1;
-            }
-        }
-        drop(replicas);
-        if let Some(p) = self.inner.probe.borrow().clone() {
-            p(&VisibilityEvent::KvApplied {
-                store: self.inner.name.clone(),
-                region,
-                key: key.to_string(),
-                watermark,
-                at: self.inner.sim.now(),
-            });
-        }
-    }
-
-    /// The crash epoch of a replica (bumped on every
-    /// [`antipode_sim::fault::FaultKind::ReplicaCrash`] entry).
-    pub(crate) fn replica_epoch(&self, region: Region) -> u64 {
-        self.inner
-            .replicas
-            .borrow()
-            .get(&region)
-            .map(|s| s.epoch)
-            .unwrap_or(0)
+        let committed_at = self.engine.sim().now();
+        self.engine.apply(region, key, version, value, committed_at);
     }
 
     /// Number of write-ahead-log entries at a replica (diagnostics).
     pub fn wal_len(&self, region: Region) -> usize {
-        self.inner
-            .replicas
-            .borrow()
-            .get(&region)
-            .map(|s| s.wal.len())
-            .unwrap_or(0)
+        self.engine.wal_len(region)
     }
 
     /// Installs an observation hook invoked at every replica apply; see
     /// [`crate::probe`]. Pass `None` to remove it.
     pub fn set_probe(&self, probe: Option<VisibilityProbe>) {
-        *self.inner.probe.borrow_mut() = probe;
+        self.engine.set_probe(probe);
+    }
+
+    /// Back-pressure injection: bound the number of in-flight replication
+    /// sends. A put that would exceed the bound is rejected with
+    /// [`StoreError::Overloaded`]. Pass `None` to lift the bound.
+    pub fn set_send_capacity(&self, cap: Option<usize>) {
+        self.engine.set_send_capacity(cap);
     }
 
     /// Writes like [`KvStore::put`] but *synchronously*: returns only once
@@ -455,7 +161,7 @@ impl KvStore {
         value: Bytes,
     ) -> Result<u64, StoreError> {
         let version = self.put(origin, key, value).await?;
-        for &region in &self.inner.regions {
+        for &region in self.engine.regions() {
             self.wait_visible(region, key, version).await?;
         }
         Ok(version)
@@ -463,24 +169,26 @@ impl KvStore {
 
     /// Reads the latest locally visible value (regular, possibly stale read).
     pub async fn get(&self, region: Region, key: &str) -> Result<Option<StoredValue>, StoreError> {
-        self.check_available(region)?;
+        self.engine.check_available(region)?;
         let lat = {
-            let mut rng = self.inner.rng.borrow_mut();
-            self.inner.profile.local_read.sample_duration(&mut rng)
+            let mut rng = self.engine.rng().borrow_mut();
+            self.engine
+                .substrate()
+                .profile
+                .local_read
+                .sample_duration(&mut rng)
         };
-        self.inner.sim.sleep(lat).await;
+        self.engine.sim().sleep(lat).await;
         Ok(self.get_sync(region, key))
     }
 
     /// Zero-latency read of the local replica, for checks and assertions.
     pub fn get_sync(&self, region: Region, key: &str) -> Option<StoredValue> {
-        self.inner
-            .replicas
-            .borrow()
-            .get(&region)?
-            .data
-            .get(key)
-            .cloned()
+        self.engine.record(region, key).map(|r| StoredValue {
+            version: r.version,
+            bytes: r.bytes,
+            visible_at: r.visible_at,
+        })
     }
 
     /// A strongly consistent read: consults the primary replica, paying a
@@ -491,112 +199,102 @@ impl KvStore {
         from: Region,
         key: &str,
     ) -> Result<Option<StoredValue>, StoreError> {
-        self.check_available(from)?;
+        self.engine.check_available(from)?;
         let primary = self.primary();
-        self.check_available(primary)?;
+        self.engine.check_available(primary)?;
         let rtt = {
-            let mut rng = self.inner.rng.borrow_mut();
-            let go = self.inner.net.delay(&mut *rng, from, primary);
-            let back = self.inner.net.delay(&mut *rng, primary, from);
-            let read = self.inner.profile.local_read.sample_duration(&mut rng);
+            let mut rng = self.engine.rng().borrow_mut();
+            let go = self.engine.net().delay(&mut *rng, from, primary);
+            let back = self.engine.net().delay(&mut *rng, primary, from);
+            let read = self
+                .engine
+                .substrate()
+                .profile
+                .local_read
+                .sample_duration(&mut rng);
             go + back + read
         };
-        self.inner.sim.sleep(rtt).await;
+        self.engine.sim().sleep(rtt).await;
         Ok(self.get_sync(primary, key))
     }
 
     /// Whether `key` has reached at least `version` at `region`.
     pub fn is_visible(&self, region: Region, key: &str, version: u64) -> bool {
-        self.get_sync(region, key)
-            .map(|v| v.version >= version)
-            .unwrap_or(false)
+        self.engine.is_visible(region, key, version)
     }
 
     /// Resolves once `key` reaches at least `version` at `region` — the
     /// store-specific `wait` (paper §6.3), implemented by subscription
-    /// rather than polling.
+    /// rather than polling. A replica that goes dark mid-wait surfaces
+    /// [`StoreError::Unavailable`] so barrier retry policies can re-arm.
     pub async fn wait_visible(
         &self,
         region: Region,
         key: &str,
         version: u64,
     ) -> Result<(), StoreError> {
-        loop {
-            // Re-checked every lap: a replica that went dark mid-wait cancels
-            // its waiters (see [`crate::recovery`]), and a fresh subscription
-            // against a dark replica must not silently park forever.
-            self.check_available(region)?;
-            let rx = {
-                let mut replicas = self.inner.replicas.borrow_mut();
-                let state = replicas
-                    .get_mut(&region)
-                    .ok_or(StoreError::NoSuchRegion(region))?;
-                let visible = state
-                    .data
-                    .get(key)
-                    .map(|v| v.version >= version)
-                    .unwrap_or(false);
-                if visible {
-                    return Ok(());
-                }
-                let (tx, rx) = oneshot();
-                state.waiters.push(Waiter {
-                    key: key.to_string(),
-                    version,
-                    tx,
-                });
-                rx
-            };
-            match rx.await {
-                Ok(Ok(())) => return Ok(()),
-                // The replica went dark while we were subscribed: surface
-                // the outage so barrier retry policies can re-arm the wait.
-                Ok(Err(e)) => return Err(e),
-                // A dropped sender (cannot happen today, but harmless)
-                // retries.
-                Err(_) => continue,
-            }
-        }
+        self.engine.wait_visible(region, key, version).await
     }
 
     /// Fault injection: probability each replication send attempt is dropped
     /// (dropped sends retry after the profile's `retry_interval`). Thin
-    /// wrapper over the simulation's [`FaultPlan`].
+    /// wrapper over the simulation's [`antipode_sim::fault::FaultPlan`].
     pub fn set_drop_probability(&self, p: f64) {
-        self.inner.faults.set_replication_drop(&self.inner.name, p);
+        self.engine
+            .faults()
+            .set_replication_drop(self.engine.name(), p);
     }
 
     /// Fault injection: stop applying replication at `region` until
-    /// [`KvStore::resume_replication`]. Thin wrapper over the [`FaultPlan`].
+    /// [`KvStore::resume_replication`]. Thin wrapper over the
+    /// [`antipode_sim::fault::FaultPlan`].
     pub fn pause_replication(&self, region: Region) {
-        self.inner
-            .faults
-            .stall_replication(&self.inner.name, region);
+        self.engine
+            .faults()
+            .stall_replication(self.engine.name(), region);
     }
 
     /// Ends a [`KvStore::pause_replication`] stall.
     pub fn resume_replication(&self, region: Region) {
-        self.inner
-            .faults
-            .unstall_replication(&self.inner.name, region);
+        self.engine
+            .faults()
+            .unstall_replication(self.engine.name(), region);
     }
 
     /// Congestion injection: adds `lag` to every replication send while set
     /// (pass `None` to clear). Used to model time-correlated congestion
     /// episodes, e.g. MongoDB oplog backlog under WAN stress (§7.3). Thin
-    /// wrapper over the [`FaultPlan`].
+    /// wrapper over the [`antipode_sim::fault::FaultPlan`].
     pub fn set_extra_replication_lag(&self, lag: Option<Dist>) {
-        self.inner.faults.set_replication_lag(&self.inner.name, lag);
+        self.engine
+            .faults()
+            .set_replication_lag(self.engine.name(), lag);
     }
 
     /// Number of pending visibility waiters at a replica (diagnostics).
     pub fn waiter_count(&self, region: Region) -> usize {
-        self.inner
-            .replicas
-            .borrow()
-            .get(&region)
-            .map(|s| s.waiters.len())
-            .unwrap_or(0)
+        self.engine.waiter_count(region)
+    }
+
+    /// Number of queued hinted-handoff entries (diagnostics).
+    pub fn pending_hints(&self) -> usize {
+        self.engine.pending_hints()
+    }
+
+    /// Whether every replica holds an identical key→version map; see
+    /// [`crate::repair`].
+    pub fn converged(&self) -> bool {
+        self.engine.converged()
+    }
+
+    /// One anti-entropy round; see [`crate::repair`].
+    pub async fn repair_sweep(&self) -> RepairReport {
+        self.engine.repair_sweep().await
+    }
+
+    /// Starts the periodic anti-entropy loop; see [`crate::repair`].
+    pub fn enable_anti_entropy(&self, cfg: RepairConfig) {
+        self.engine.enable_anti_entropy(cfg);
     }
 }
 
@@ -604,6 +302,7 @@ impl KvStore {
 mod tests {
     use super::*;
     use antipode_sim::net::regions::{EU, SG, US};
+    use std::time::Duration;
 
     fn setup(profile: KvProfile) -> (Sim, KvStore) {
         let sim = Sim::new(7);
@@ -666,11 +365,11 @@ mod tests {
         let (sim, store) = setup(fast_profile());
         let s = store.clone();
         let elapsed = sim.block_on(async move {
-            let start = s.inner.sim.now();
+            let start = s.engine.sim().now();
             let v = s.put(EU, "k", Bytes::from_static(b"x")).await.unwrap();
             s.wait_visible(US, "k", v).await.unwrap();
             assert!(s.is_visible(US, "k", v));
-            s.inner.sim.now().since(start)
+            s.engine.sim().now().since(start)
         });
         assert!(elapsed >= Duration::from_millis(100), "waited {elapsed:?}");
     }
@@ -681,9 +380,9 @@ mod tests {
         let s = store.clone();
         sim.block_on(async move {
             let v = s.put(EU, "k", Bytes::new()).await.unwrap();
-            let before = s.inner.sim.now();
+            let before = s.engine.sim().now();
             s.wait_visible(EU, "k", v).await.unwrap();
-            assert_eq!(s.inner.sim.now(), before);
+            assert_eq!(s.engine.sim().now(), before);
         });
     }
 
@@ -877,7 +576,7 @@ mod tests {
             assert!(!s.is_visible(US, "k", v));
             // The partitioned destination catches up right at the heal edge.
             s.wait_visible(US, "k", v).await.unwrap();
-            assert!(s.inner.sim.now() >= SimTime::from_secs(30));
+            assert!(s.engine.sim().now() >= SimTime::from_secs(30));
         });
     }
 
@@ -891,6 +590,21 @@ mod tests {
             let eu = s.get_sync(EU, "k").unwrap().visible_at;
             let us = s.get_sync(US, "k").unwrap().visible_at;
             assert!(us > eu);
+        });
+    }
+
+    #[test]
+    fn overload_backpressure_rejects_then_recovers() {
+        let (sim, store) = setup(fast_profile());
+        store.set_send_capacity(Some(0));
+        let s = store.clone();
+        sim.block_on(async move {
+            assert!(matches!(
+                s.put(EU, "k", Bytes::new()).await.unwrap_err(),
+                StoreError::Overloaded { .. }
+            ));
+            s.set_send_capacity(None);
+            s.put(EU, "k", Bytes::new()).await.unwrap();
         });
     }
 }

@@ -5,47 +5,26 @@
 //! barrier waits of ≈ 18 s on average, §7.4) — it is the 100 % column of
 //! Table 1.
 
-use std::rc::Rc;
-
-use antipode::wait::{LocalBoxFuture, WaitError, WaitTarget};
 use antipode_lineage::{Lineage, WriteId};
-use antipode_sim::net::Network;
-use antipode_sim::{Region, Sim};
+use antipode_sim::Region;
 use bytes::Bytes;
 
-use crate::profiles;
-use crate::replica::{KvProfile, KvStore, StoreError, StoredValue};
-use crate::shim::{KvShim, ShimError};
+use crate::facade::kv_facade;
+use crate::replica::{StoreError, StoredValue};
+use crate::shim::ShimError;
 
 /// Extra per-object amplification: the lineage rides as user metadata in the
 /// object's HTTP header block (Table 3: +320 B total).
 pub const USER_METADATA_OVERHEAD_BYTES: usize = 256;
 
-/// A simulated S3 bucket set with cross-region replication.
-#[derive(Clone)]
-pub struct S3 {
-    store: KvStore,
+kv_facade! {
+    /// A simulated S3 bucket set with cross-region replication.
+    store S3(profile: crate::profiles::s3);
+    /// The Antipode shim for [`S3`].
+    shim S3Shim;
 }
 
 impl S3 {
-    /// Creates a bucket with the calibrated S3 profile.
-    pub fn new(sim: &Sim, net: Rc<Network>, name: impl Into<String>, regions: &[Region]) -> Self {
-        Self::with_profile(sim, net, name, regions, profiles::s3())
-    }
-
-    /// Creates a bucket with a custom profile.
-    pub fn with_profile(
-        sim: &Sim,
-        net: Rc<Network>,
-        name: impl Into<String>,
-        regions: &[Region],
-        profile: KvProfile,
-    ) -> Self {
-        S3 {
-            store: KvStore::new(sim, net, name, regions, profile),
-        }
-    }
-
     /// PutObject (baseline path, no lineage).
     pub async fn put_object(
         &self,
@@ -64,27 +43,9 @@ impl S3 {
     ) -> Result<Option<StoredValue>, StoreError> {
         self.store.get(region, key).await
     }
-
-    /// The underlying replicated store.
-    pub fn store(&self) -> &KvStore {
-        &self.store
-    }
-}
-
-/// The Antipode shim for [`S3`].
-#[derive(Clone)]
-pub struct S3Shim {
-    inner: KvShim,
 }
 
 impl S3Shim {
-    /// Wraps a bucket set.
-    pub fn new(s3: &S3) -> Self {
-        S3Shim {
-            inner: KvShim::new(s3.store.clone()),
-        }
-    }
-
     /// Lineage-propagating PutObject.
     pub async fn put_object(
         &self,
@@ -112,27 +73,15 @@ impl S3Shim {
     }
 }
 
-impl WaitTarget for S3Shim {
-    fn datastore_name(&self) -> &str {
-        self.inner.datastore_name()
-    }
-    fn wait<'a>(
-        &'a self,
-        write: &'a WriteId,
-        region: Region,
-    ) -> LocalBoxFuture<'a, Result<(), WaitError>> {
-        self.inner.wait(write, region)
-    }
-    fn is_visible(&self, write: &WriteId, region: Region) -> bool {
-        self.inner.is_visible(write, region)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use antipode::wait::WaitTarget;
     use antipode_lineage::LineageId;
     use antipode_sim::net::regions::{EU, US};
+    use antipode_sim::net::Network;
+    use antipode_sim::Sim;
+    use std::rc::Rc;
 
     #[test]
     fn replication_takes_many_seconds() {

@@ -49,6 +49,12 @@ fn map_wait_err(e: StoreError) -> WaitError {
         StoreError::Unavailable { store, region } => {
             WaitError::StoreUnavailable(format!("{store}@{region}"))
         }
+        StoreError::CrashedEpoch { store, region } => {
+            WaitError::StoreUnavailable(format!("{store}@{region} (crash epoch)"))
+        }
+        StoreError::Overloaded { store } => {
+            WaitError::StoreUnavailable(format!("{store} (overloaded)"))
+        }
     }
 }
 

@@ -4,44 +4,23 @@
 //! is why nearly every post-storage store loses the replication race against
 //! it (the 88–100 % row).
 
-use std::rc::Rc;
-
-use antipode::wait::{LocalBoxFuture, WaitError, WaitTarget};
 use antipode_lineage::{Lineage, WriteId};
-use antipode_sim::net::Network;
-use antipode_sim::{Region, Sim};
+use antipode_sim::Region;
 use bytes::Bytes;
 
-use crate::profiles;
-use crate::queue::{QueueProfile, QueueStore};
+use crate::facade::queue_facade;
 use crate::replica::StoreError;
-use crate::shim::{QueueShim, ShimError, ShimSubscription};
+use crate::shim::{ShimError, ShimSubscription};
 
-/// A simulated SNS topic with cross-region subscriptions.
-#[derive(Clone)]
-pub struct Sns {
-    queue: QueueStore,
+queue_facade! {
+    /// A simulated SNS topic with cross-region subscriptions.
+    store Sns(profile: crate::profiles::sns);
+    /// The Antipode shim for [`Sns`]. Table 3 model: the lineage is one
+    /// message attribute (+32 B total on a 120 B notification).
+    shim SnsShim;
 }
 
 impl Sns {
-    /// Creates a topic with the calibrated SNS profile.
-    pub fn new(sim: &Sim, net: Rc<Network>, name: impl Into<String>, regions: &[Region]) -> Self {
-        Self::with_profile(sim, net, name, regions, profiles::sns())
-    }
-
-    /// Creates a topic with a custom profile.
-    pub fn with_profile(
-        sim: &Sim,
-        net: Rc<Network>,
-        name: impl Into<String>,
-        regions: &[Region],
-        profile: QueueProfile,
-    ) -> Self {
-        Sns {
-            queue: QueueStore::new(sim, net, name, regions, profile),
-        }
-    }
-
     /// Publish (baseline path, no lineage).
     pub async fn publish(&self, region: Region, payload: Bytes) -> Result<u64, StoreError> {
         self.queue.publish(region, payload).await
@@ -54,28 +33,9 @@ impl Sns {
     ) -> Result<antipode_sim::sync::Receiver<crate::queue::QueueMessage>, StoreError> {
         self.queue.subscribe(region)
     }
-
-    /// The underlying queue store.
-    pub fn queue(&self) -> &QueueStore {
-        &self.queue
-    }
-}
-
-/// The Antipode shim for [`Sns`]. Table 3 model: the lineage is one message
-/// attribute (+32 B total on a 120 B notification).
-#[derive(Clone)]
-pub struct SnsShim {
-    inner: QueueShim,
 }
 
 impl SnsShim {
-    /// Wraps a topic.
-    pub fn new(sns: &Sns) -> Self {
-        SnsShim {
-            inner: QueueShim::new(sns.queue.clone()),
-        }
-    }
-
     /// Lineage-propagating publish.
     pub async fn publish(
         &self,
@@ -92,27 +52,14 @@ impl SnsShim {
     }
 }
 
-impl WaitTarget for SnsShim {
-    fn datastore_name(&self) -> &str {
-        self.inner.datastore_name()
-    }
-    fn wait<'a>(
-        &'a self,
-        write: &'a WriteId,
-        region: Region,
-    ) -> LocalBoxFuture<'a, Result<(), WaitError>> {
-        self.inner.wait(write, region)
-    }
-    fn is_visible(&self, write: &WriteId, region: Region) -> bool {
-        self.inner.is_visible(write, region)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use antipode_lineage::LineageId;
     use antipode_sim::net::regions::{EU, US};
+    use antipode_sim::net::Network;
+    use antipode_sim::Sim;
+    use std::rc::Rc;
     use std::time::Duration;
 
     #[test]

@@ -129,8 +129,8 @@ impl LineageDag {
         0
     }
 
-    /// Adds a vertex, returning its index. Use [`LineageDag::connect`] or
-    /// [`LineageDag::seal`] to attach it per the rules.
+    /// Adds a vertex, returning its index. Use [`LineageDag::connect`] to
+    /// attach it per the rules.
     pub fn push(
         &mut self,
         proc: ProcId,

@@ -81,7 +81,7 @@ pub struct FileContext {
     /// In `crates/bench` (wall-clock timing is its whole point).
     pub bench: bool,
     /// A fault-path module (`fault.rs`, `replica.rs`, `queue.rs`, `rpc.rs`,
-    /// `recovery.rs`, `repair.rs`).
+    /// `engine.rs`, `substrate.rs`, `recovery.rs`, `repair.rs`).
     pub fault_path: bool,
     /// Application code (`crates/apps`) — subject to X1.
     pub app: bool,
@@ -106,7 +106,14 @@ impl FileContext {
             fault_path: matches!(
                 comps.last().copied(),
                 Some(
-                    "fault.rs" | "replica.rs" | "queue.rs" | "rpc.rs" | "recovery.rs" | "repair.rs"
+                    "fault.rs"
+                        | "replica.rs"
+                        | "queue.rs"
+                        | "rpc.rs"
+                        | "engine.rs"
+                        | "substrate.rs"
+                        | "recovery.rs"
+                        | "repair.rs"
                 )
             ),
             app: crate_name == Some("apps"),
@@ -119,7 +126,7 @@ impl FileContext {
 
 const D2_IDENTS: [&str; 3] = ["Instant", "SystemTime", "thread_rng"];
 const X1_CALLS: [&str; 2] = [".write(", ".publish("];
-const X1_CHECKPOINTS: [&str; 3] = ["barrier", "checkpoint", "wait_visible"];
+const X1_CHECKPOINTS: [&str; 4] = ["barrier", "checkpoint", "wait_visible", "wait_acked"];
 
 /// Lints one file's source under the given context.
 pub fn lint_source(file: &str, source: &str, ctx: &FileContext) -> Vec<Finding> {
@@ -258,6 +265,10 @@ mod tests {
         let c = FileContext::classify("crates/datastores/src/recovery.rs");
         assert!(c.deterministic && c.fault_path);
         let c = FileContext::classify("crates/datastores/src/repair.rs");
+        assert!(c.deterministic && c.fault_path);
+        let c = FileContext::classify("crates/datastores/src/engine.rs");
+        assert!(c.deterministic && c.fault_path);
+        let c = FileContext::classify("crates/datastores/src/substrate.rs");
         assert!(c.deterministic && c.fault_path);
         let c = FileContext::classify("crates/apps/src/social.rs");
         assert!(c.app);

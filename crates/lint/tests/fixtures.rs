@@ -76,6 +76,26 @@ fn module_with_reachable_barrier_is_clean() {
     assert!(lint_fixture("x1_checked.rs", app()).is_empty());
 }
 
+/// The substrate engine owns the fault/recovery paths for both store
+/// families, so D3 must fire inside `engine.rs`/`substrate.rs` under their
+/// *real* classified contexts — not a hand-rolled `FileContext`.
+#[test]
+fn d3_fires_in_engine_fault_paths() {
+    for module in [
+        "crates/datastores/src/engine.rs",
+        "crates/datastores/src/substrate.rs",
+    ] {
+        let ctx = FileContext::classify(module);
+        assert!(
+            ctx.deterministic && ctx.fault_path && !ctx.test_file,
+            "{module} must classify as a deterministic fault-path module"
+        );
+        let findings = lint_fixture("d3_engine_fires.rs", ctx);
+        assert_eq!(findings.len(), 1, "{module}: {findings:#?}");
+        assert_eq!(findings[0].rule, Rule::FaultPathUnwrap, "{module}");
+    }
+}
+
 /// The gate the CI job enforces, asserted here too so a plain
 /// `cargo test --workspace` catches a regression without the binary.
 #[test]

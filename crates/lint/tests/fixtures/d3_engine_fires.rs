@@ -1,0 +1,15 @@
+//! D3 fixture: an `unwrap()` inside a substrate-engine fault/recovery path —
+//! the exact shape the rule must keep catching now that the replication
+//! engine (`engine.rs`/`substrate.rs`) owns the fault handling for both
+//! store families. Fires exactly once.
+
+pub struct ReplicaState {
+    pub epoch: u64,
+}
+
+pub fn crash_restart(replicas: &mut std::collections::BTreeMap<u8, ReplicaState>, region: u8) {
+    // Recovering a crashed replica: assuming the entry exists is precisely
+    // the bug D3 exists to flag — a fault window can race replica teardown.
+    let state = replicas.get_mut(&region).unwrap();
+    state.epoch += 1;
+}

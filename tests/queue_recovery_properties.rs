@@ -1,0 +1,297 @@
+//! Queue-family recovery parity: the broker side of
+//! `recovery_properties.rs`. Since both store families run on the one
+//! substrate engine, queue brokers now carry the full recovery plane — WAL
+//! crash-restart, hinted handoff, anti-entropy — and must satisfy the same
+//! convergence property the KV stores do: for any randomized *bounded* fault
+//! plan (per-broker replica crashes, a broker outage, an EU↔US partition,
+//! delivery drops), every broker replica converges on the full message log,
+//! no hint is stranded, and the checker sees zero XCY violations once the
+//! storm passes.
+//!
+//! The deterministic ablation reruns one plan with
+//! [`RecoveryConfig::disabled`] and shows the brokers are then *not*
+//! eventually consistent — the parity this PR exists to establish.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use antipode::{Antipode, BarrierOutcome, ConsistencyChecker};
+use antipode_lineage::{Lineage, LineageId};
+use antipode_sim::dist::Dist;
+use antipode_sim::net::regions::{EU, SG, US};
+use antipode_sim::{FaultKind, Network, Region, Sim, SimTime};
+use antipode_store::queue::{QueueProfile, QueueStore};
+use antipode_store::shim::QueueShim;
+use antipode_store::{RecoveryConfig, RepairConfig};
+use bytes::Bytes;
+use proptest::prelude::*;
+
+const BROKERS: [&str; 3] = ["sns", "amq", "rabbit"];
+const REGIONS: [Region; 3] = [EU, US, SG];
+
+fn fast_profile() -> QueueProfile {
+    QueueProfile {
+        local_publish: Dist::constant_ms(1.0),
+        delivery: Dist::constant_ms(100.0),
+        local_delivery: Dist::constant_ms(2.0),
+        rtt_hops: 1.0,
+    }
+}
+
+/// Parameters of one randomized broker-recovery scenario. Every window is
+/// bounded, so the plan always heals; the property is convergence after.
+#[derive(Clone, Debug)]
+struct QueueRecoveryParams {
+    seed: u64,
+    /// Per-broker `(start_ms, len_ms, region_index)` replica-crash window.
+    crashes: [(u64, u64, u8); 3],
+    /// `(start_ms, len_ms)` of a full outage of the first broker.
+    outage: (u64, u64),
+    /// `(start_ms, len_ms)` of a US↔EU partition.
+    partition: (u64, u64),
+    /// Per-broker delivery drop probability (active for the first 5 s).
+    drops: (f64, f64, f64),
+}
+
+/// What one scenario produced.
+#[derive(Debug)]
+struct QueueRecoveryOutcome {
+    converged: bool,
+    pending_hints: usize,
+    rearms: usize,
+    violations: usize,
+}
+
+/// Builds three brokers, injects the plan, publishes through lineage-carrying
+/// shims, and runs to quiescence. `recover` toggles the whole plane exactly
+/// like the KV harness.
+fn run_queue_recovery(p: &QueueRecoveryParams, recover: bool) -> QueueRecoveryOutcome {
+    let sim = Sim::new(p.seed);
+    let net = Rc::new(Network::global_triangle());
+    let faults = sim.faults();
+    faults.schedule(
+        SimTime::from_millis(p.outage.0),
+        SimTime::from_millis(p.outage.0 + p.outage.1),
+        FaultKind::QueueOutage {
+            broker: BROKERS[0].to_string(),
+        },
+    );
+    faults.schedule(
+        SimTime::from_millis(p.partition.0),
+        SimTime::from_millis(p.partition.0 + p.partition.1),
+        FaultKind::Partition { a: EU, b: US },
+    );
+    let drops = [p.drops.0, p.drops.1, p.drops.2];
+    let mut ap = Antipode::new(sim.clone());
+    let mut shims = Vec::new();
+    let mut brokers = Vec::new();
+    for (i, name) in BROKERS.iter().enumerate() {
+        let (crash_start, crash_len, region_ix) = p.crashes[i];
+        faults.schedule(
+            SimTime::from_millis(crash_start),
+            SimTime::from_millis(crash_start + crash_len),
+            FaultKind::ReplicaCrash {
+                store: name.to_string(),
+                region: REGIONS[region_ix as usize % REGIONS.len()],
+            },
+        );
+        faults.schedule(
+            SimTime::ZERO,
+            SimTime::from_secs(5),
+            FaultKind::DeliveryDrop {
+                broker: name.to_string(),
+                probability: drops[i],
+            },
+        );
+        let q = QueueStore::new(&sim, net.clone(), *name, &REGIONS, fast_profile());
+        if recover {
+            q.enable_anti_entropy(RepairConfig {
+                period: Duration::from_secs(1),
+                horizon: Some(SimTime::from_secs(120)),
+            });
+        } else {
+            q.set_recovery(RecoveryConfig::disabled());
+        }
+        let shim = QueueShim::new(q.clone());
+        ap.register(Rc::new(shim.clone()));
+        shims.push(shim);
+        brokers.push(q);
+    }
+    let checker = ConsistencyChecker::new(ap.clone());
+    let sim2 = sim.clone();
+    let faults2 = faults.clone();
+    let (rearms, violations) = sim.block_on(async move {
+        let sim = sim2;
+        let faults = faults2;
+        // Publishes land in EU at t ≈ 0. Crash windows open at ≥ 500 ms and
+        // the broker outage at ≥ 500 ms, so the 1 ms commits are clean.
+        let mut lineage = Lineage::new(LineageId(1));
+        for shim in &shims {
+            for payload in [&b"m1"[..], &b"m2"[..]] {
+                shim.publish(EU, Bytes::copy_from_slice(payload), &mut lineage)
+                    .await
+                    .expect("EU brokers are healthy while the publishes land");
+            }
+        }
+        if !recover {
+            // Ablation: no barrier — it would block forever on a delivery
+            // the disabled plane dropped.
+            return (0usize, 0usize);
+        }
+        // Mid-chaos budgeted barrier over the queue deliveries: degrade as
+        // often as the storm forces, re-arm, require eventual completion.
+        let mut rearms = 0usize;
+        let budget = Duration::from_millis(500);
+        let mut outcome = ap
+            .barrier_budget(&lineage, US, budget)
+            .await
+            .expect("all brokers are registered");
+        while let BarrierOutcome::Degraded(d) = outcome {
+            rearms += 1;
+            assert!(
+                rearms < 512,
+                "budgeted barrier never completed: {} deps still unmet",
+                d.unmet.len()
+            );
+            outcome = ap
+                .rearm(&d, US, Some(budget))
+                .await
+                .expect("re-arming a degraded barrier is always safe");
+        }
+        // Let the plan play out fully (a later crash may wipe a replica the
+        // barrier already observed; WAL replay restores it).
+        let mut at = sim.now();
+        while let Some(t) = faults.next_transition_after(at) {
+            sim.sleep_until(t).await;
+            at = t;
+        }
+        ap.barrier(&lineage, US)
+            .await
+            .expect("post-storm barrier completes");
+        let dry = checker.checkpoint("consumer:post-storm", &lineage, US);
+        (rearms, dry.unmet.len())
+    });
+    sim.run();
+    QueueRecoveryOutcome {
+        converged: brokers.iter().all(|q| q.converged()),
+        pending_hints: brokers.iter().map(|q| q.pending_hints()).sum(),
+        rearms,
+        violations,
+    }
+}
+
+// splitmix64: deterministic parameter derivation for the soak.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn params_from_seed(seed: u64) -> QueueRecoveryParams {
+    let s = &mut seed.clone();
+    fn window(s: &mut u64, start_max: u64, len_min: u64, len_max: u64) -> (u64, u64) {
+        (
+            splitmix(s) % start_max,
+            len_min + splitmix(s) % (len_max - len_min),
+        )
+    }
+    fn crash(s: &mut u64) -> (u64, u64, u8) {
+        let (start, len) = window(s, 5_500, 200, 5_000);
+        (start + 500, len, (splitmix(s) % 3) as u8)
+    }
+    fn drop01(s: &mut u64) -> f64 {
+        (splitmix(s) % 1000) as f64 / 1000.0
+    }
+    let crashes = [crash(s), crash(s), crash(s)];
+    let (outage_start, outage_len) = window(s, 4_000, 500, 6_000);
+    QueueRecoveryParams {
+        seed,
+        crashes,
+        outage: (outage_start + 500, outage_len),
+        partition: window(s, 4_000, 500, 8_000),
+        drops: (drop01(s), drop01(s), drop01(s)),
+    }
+}
+
+fn assert_recovers(p: &QueueRecoveryParams) {
+    let out = run_queue_recovery(p, true);
+    assert!(out.converged, "scenario {p:?} did not converge: {out:?}");
+    assert_eq!(
+        out.pending_hints, 0,
+        "scenario {p:?} left hints queued: {out:?}"
+    );
+    assert_eq!(
+        out.violations, 0,
+        "scenario {p:?} violated XCY post-storm: {out:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Queue-family parity property: any bounded broker storm — per-broker
+    /// replica crashes in any region, a full outage of one broker, an EU↔US
+    /// partition, lossy delivery — heals into a state where every broker
+    /// replica holds the full message log, no hint is stranded, the budgeted
+    /// barrier completed, and the checker sees zero XCY violations.
+    #[test]
+    fn randomized_broker_storms_converge_with_recovery_enabled(
+        seed in any::<u64>(),
+        crash_a in (500u64..6000, 200u64..5000, 0u8..3),
+        crash_b in (500u64..6000, 200u64..5000, 0u8..3),
+        crash_c in (500u64..6000, 200u64..5000, 0u8..3),
+        outage in (500u64..4000, 500u64..6000),
+        partition in (0u64..4000, 500u64..8000),
+        drops in (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0),
+    ) {
+        let p = QueueRecoveryParams {
+            seed,
+            crashes: [crash_a, crash_b, crash_c],
+            outage,
+            partition,
+            drops,
+        };
+        let out = run_queue_recovery(&p, true);
+        prop_assert!(out.converged, "scenario {:?} did not converge: {:?}", p, out);
+        prop_assert_eq!(out.pending_hints, 0, "stranded hints in {:?}", p);
+        prop_assert_eq!(out.violations, 0, "XCY violation in {:?}", p);
+        prop_assert!(out.rearms < 512, "barrier re-armed unboundedly in {:?}", p);
+    }
+}
+
+/// Deterministic ablation: the same storm that converges with the plane on
+/// leaves broker replicas permanently stale with it off — queue stores used
+/// to live in this ablated world unconditionally.
+#[test]
+fn disabled_recovery_demonstrably_fails_to_converge() {
+    let p = QueueRecoveryParams {
+        seed: 7,
+        crashes: [(500, 1000, 0), (700, 1000, 1), (900, 1000, 2)],
+        outage: (1000, 2000),
+        partition: (0, 3000),
+        drops: (0.0, 0.0, 0.0),
+    };
+    let bare = run_queue_recovery(&p, false);
+    assert!(
+        !bare.converged,
+        "without WAL/handoff/anti-entropy the suppressed deliveries must be lost: {bare:?}"
+    );
+    let recovered = run_queue_recovery(&p, true);
+    assert!(
+        recovered.converged,
+        "the identical storm converges once the recovery plane is on: {recovered:?}"
+    );
+    assert_eq!(recovered.violations, 0);
+}
+
+/// 50-seed soak for the `chaos-soak` CI job (`--ignored`).
+#[test]
+#[ignore = "soak: run via `cargo test --test queue_recovery_properties -- --ignored`"]
+fn broker_convergence_soak_50_seeds() {
+    for seed in 0..50u64 {
+        let p = params_from_seed(seed);
+        assert_recovers(&p);
+    }
+}

@@ -1,0 +1,527 @@
+//! Substrate conformance: every store in the catalogue — both families —
+//! must exhibit the same engine-level behaviors, because they all run on the
+//! one replication engine. Each scenario below is parameterized over all
+//! five KV stores (MySQL, DynamoDB, Redis, S3, MongoDB) and all four queue
+//! brokers (SNS, AMQ, RabbitMQ, DynamoDB Streams):
+//!
+//! 1. write → replicate → visible in every region;
+//! 2. fault-window entry suppresses replication, exit heals it (handoff);
+//! 3. crash → WAL replay → hint flush → anti-entropy convergence;
+//! 4. waiter cancellation semantics (KV waits fail fast, queue waits park);
+//! 5. visibility-probe emission (applies, deliveries, acks);
+//! 6. same seed + same plan ⇒ byte-identical probe traces.
+//!
+//! All stores run one *uniform* fast profile (via each facade's
+//! `with_profile`) so the scenarios control timing exactly; the calibrated
+//! per-store profiles are covered by the facade modules' own tests.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use antipode_sim::dist::Dist;
+use antipode_sim::net::regions::{EU, US};
+use antipode_sim::{FaultKind, Network, Region, Sim, SimTime};
+use antipode_store::probe::VisibilityEvent;
+use antipode_store::replica::KvProfile;
+use antipode_store::{
+    Amq, DynamoDb, DynamoDbStream, KvStore, MongoDb, MySql, QueueProfile, QueueStore, RabbitMq,
+    RecoveryConfig, Redis, RepairConfig, Sns, StoreError, S3,
+};
+use bytes::Bytes;
+
+const REGIONS: [Region; 2] = [EU, US];
+
+fn kv_profile() -> KvProfile {
+    KvProfile {
+        local_write: Dist::constant_ms(1.0),
+        local_read: Dist::constant_ms(0.5),
+        replication: Dist::constant_ms(100.0),
+        rtt_hops: 1.0,
+        retry_interval: Dist::constant_ms(50.0),
+    }
+}
+
+fn queue_profile() -> QueueProfile {
+    QueueProfile {
+        local_publish: Dist::constant_ms(1.0),
+        delivery: Dist::constant_ms(80.0),
+        local_delivery: Dist::constant_ms(2.0),
+        rtt_hops: 1.0,
+    }
+}
+
+/// All five KV-family stores, named so fault plans can target each.
+fn kv_stores(sim: &Sim, net: &Rc<Network>) -> Vec<(&'static str, KvStore)> {
+    let p = kv_profile;
+    vec![
+        (
+            "mysql",
+            MySql::with_profile(sim, net.clone(), "mysql", &REGIONS, p())
+                .store()
+                .clone(),
+        ),
+        (
+            "ddb",
+            DynamoDb::with_profile(sim, net.clone(), "ddb", &REGIONS, p())
+                .store()
+                .clone(),
+        ),
+        (
+            "redis",
+            Redis::with_profile(sim, net.clone(), "redis", &REGIONS, p())
+                .store()
+                .clone(),
+        ),
+        (
+            "s3",
+            S3::with_profile(sim, net.clone(), "s3", &REGIONS, p())
+                .store()
+                .clone(),
+        ),
+        (
+            "mongo",
+            MongoDb::with_profile(sim, net.clone(), "mongo", &REGIONS, p())
+                .store()
+                .clone(),
+        ),
+    ]
+}
+
+/// All four queue-family brokers.
+fn queue_stores(sim: &Sim, net: &Rc<Network>) -> Vec<(&'static str, QueueStore)> {
+    let p = queue_profile;
+    vec![
+        (
+            "sns",
+            Sns::with_profile(sim, net.clone(), "sns", &REGIONS, p())
+                .queue()
+                .clone(),
+        ),
+        (
+            "amq",
+            Amq::with_profile(sim, net.clone(), "amq", &REGIONS, p())
+                .queue()
+                .clone(),
+        ),
+        (
+            "rabbit",
+            RabbitMq::with_profile(sim, net.clone(), "rabbit", &REGIONS, p())
+                .queue()
+                .clone(),
+        ),
+        (
+            "ddb-stream",
+            DynamoDbStream::with_profile(sim, net.clone(), "ddb-stream", &REGIONS, p())
+                .queue()
+                .clone(),
+        ),
+    ]
+}
+
+#[test]
+fn every_store_write_replicates_and_becomes_visible() {
+    let sim = Sim::new(101);
+    let net = Rc::new(Network::global_triangle());
+    let kvs = kv_stores(&sim, &net);
+    let queues = queue_stores(&sim, &net);
+    let (kvs2, queues2) = (kvs.clone(), queues.clone());
+    sim.block_on(async move {
+        for (name, s) in &kvs2 {
+            let v = s.put(EU, "k", Bytes::from_static(b"x")).await.unwrap();
+            s.wait_visible(US, "k", v).await.unwrap();
+            assert!(s.is_visible(EU, "k", v), "{name}: origin apply");
+        }
+        for (name, q) in &queues2 {
+            let id = q.publish(EU, Bytes::from_static(b"m")).await.unwrap();
+            q.wait_visible(EU, id).await.unwrap();
+            q.wait_visible(US, id).await.unwrap();
+            assert!(q.is_visible(US, id), "{name}: delivered");
+        }
+    });
+    sim.run();
+    for (name, s) in &kvs {
+        assert!(s.converged(), "{name}: replicas diverged");
+        assert_eq!(s.pending_hints(), 0, "{name}: stranded hints");
+    }
+    for (name, q) in &queues {
+        assert!(q.converged(), "{name}: broker replicas diverged");
+        assert_eq!(q.pending_hints(), 0, "{name}: stranded hints");
+    }
+}
+
+/// A crash window covering the replication arrival: the send parks as a
+/// hint at fault entry and flushes at fault exit — for every store.
+#[test]
+fn fault_window_entry_parks_sends_and_exit_heals_them() {
+    let sim = Sim::new(102);
+    let net = Rc::new(Network::global_triangle());
+    let kvs = kv_stores(&sim, &net);
+    let queues = queue_stores(&sim, &net);
+    let all_names: Vec<&str> = kvs
+        .iter()
+        .map(|(n, _)| *n)
+        .chain(queues.iter().map(|(n, _)| *n))
+        .collect();
+    for name in &all_names {
+        sim.faults().schedule(
+            SimTime::from_millis(10),
+            SimTime::from_secs(2),
+            FaultKind::ReplicaCrash {
+                store: name.to_string(),
+                region: US,
+            },
+        );
+    }
+    let (kvs2, queues2) = (kvs.clone(), queues.clone());
+    sim.block_on({
+        let sim = sim.clone();
+        async move {
+            let mut writes = Vec::new();
+            for (name, s) in &kvs2 {
+                let v = s.put(EU, "k", Bytes::from_static(b"x")).await.unwrap();
+                writes.push((*name, v));
+            }
+            let mut msgs = Vec::new();
+            for (name, q) in &queues2 {
+                let id = q.publish(EU, Bytes::from_static(b"m")).await.unwrap();
+                msgs.push((*name, id));
+            }
+            // Mid-window: the US arrival was suppressed everywhere.
+            sim.sleep_until(SimTime::from_secs(1)).await;
+            for ((name, s), (_, v)) in kvs2.iter().zip(&writes) {
+                assert!(!s.is_visible(US, "k", *v), "{name}: visible mid-crash");
+            }
+            for ((name, q), (_, id)) in queues2.iter().zip(&msgs) {
+                assert!(!q.is_visible(US, *id), "{name}: delivered mid-crash");
+            }
+        }
+    });
+    // Fault exit: hinted handoff replays every parked send.
+    sim.run();
+    assert!(sim.now() >= SimTime::from_secs(2));
+    for (name, s) in &kvs {
+        assert!(s.is_visible(US, "k", 1), "{name}: hint not flushed");
+        assert_eq!(s.pending_hints(), 0, "{name}");
+    }
+    for (name, q) in &queues {
+        assert!(q.is_visible(US, 1), "{name}: hint not flushed");
+        assert_eq!(q.pending_hints(), 0, "{name}");
+    }
+}
+
+/// Crash after the write landed: the memtable wipes, the WAL replays it at
+/// restart, and anti-entropy certifies convergence — both families.
+#[test]
+fn crash_wal_replay_and_anti_entropy_converge_for_every_store() {
+    let sim = Sim::new(103);
+    let net = Rc::new(Network::global_triangle());
+    let kvs = kv_stores(&sim, &net);
+    let queues = queue_stores(&sim, &net);
+    let all_names: Vec<&str> = kvs
+        .iter()
+        .map(|(n, _)| *n)
+        .chain(queues.iter().map(|(n, _)| *n))
+        .collect();
+    for name in &all_names {
+        sim.faults().schedule(
+            SimTime::from_secs(3),
+            SimTime::from_secs(6),
+            FaultKind::ReplicaCrash {
+                store: name.to_string(),
+                region: US,
+            },
+        );
+    }
+    for (_, s) in &kvs {
+        s.enable_anti_entropy(RepairConfig {
+            period: Duration::from_secs(1),
+            horizon: Some(SimTime::from_secs(60)),
+        });
+    }
+    for (_, q) in &queues {
+        q.enable_anti_entropy(RepairConfig {
+            period: Duration::from_secs(1),
+            horizon: Some(SimTime::from_secs(60)),
+        });
+    }
+    let (kvs2, queues2) = (kvs.clone(), queues.clone());
+    sim.block_on({
+        let sim = sim.clone();
+        async move {
+            for (_, s) in &kvs2 {
+                let v = s.put(EU, "k", Bytes::from_static(b"x")).await.unwrap();
+                s.wait_visible(US, "k", v).await.unwrap();
+            }
+            for (_, q) in &queues2 {
+                let id = q.publish(EU, Bytes::from_static(b"m")).await.unwrap();
+                q.wait_visible(US, id).await.unwrap();
+            }
+            // The write is durable in the US WAL before the crash hits.
+            for (name, s) in &kvs2 {
+                assert!(s.wal_len(US) >= 1, "{name}: WAL empty");
+            }
+            for (name, q) in &queues2 {
+                assert!(q.wal_len(US) >= 1, "{name}: broker WAL empty");
+            }
+            // Mid-crash: the volatile state is gone.
+            sim.sleep_until(SimTime::from_secs(4)).await;
+            for (name, s) in &kvs2 {
+                assert!(!s.is_visible(US, "k", 1), "{name}: survived the wipe?");
+            }
+            for (name, q) in &queues2 {
+                assert!(!q.is_visible(US, 1), "{name}: survived the wipe?");
+            }
+        }
+    });
+    sim.run();
+    for (name, s) in &kvs {
+        assert!(
+            s.is_visible(US, "k", 1),
+            "{name}: WAL replay lost the write"
+        );
+        assert!(s.converged(), "{name}");
+        assert_eq!(s.pending_hints(), 0, "{name}");
+    }
+    for (name, q) in &queues {
+        assert!(q.is_visible(US, 1), "{name}: WAL replay lost the message");
+        assert!(q.converged(), "{name}");
+        assert_eq!(q.pending_hints(), 0, "{name}");
+    }
+}
+
+/// The one behavior the families legitimately disagree on: a crash cancels
+/// KV waiters with an error (callers see unavailability and can fail over),
+/// while queue waiters silently re-park and resolve after the heal
+/// (consumers must never observe a transient broker fault as message loss).
+#[test]
+fn waiter_cancellation_fails_kv_waits_and_parks_queue_waits() {
+    let sim = Sim::new(104);
+    let net = Rc::new(Network::global_triangle());
+    let kvs = kv_stores(&sim, &net);
+    let queues = queue_stores(&sim, &net);
+    let all_names: Vec<&str> = kvs
+        .iter()
+        .map(|(n, _)| *n)
+        .chain(queues.iter().map(|(n, _)| *n))
+        .collect();
+    for name in &all_names {
+        sim.faults().schedule(
+            SimTime::from_millis(10),
+            SimTime::from_secs(5),
+            FaultKind::ReplicaCrash {
+                store: name.to_string(),
+                region: US,
+            },
+        );
+    }
+    sim.block_on({
+        let sim = sim.clone();
+        async move {
+            for (name, s) in &kvs {
+                let v = s.put(EU, "k", Bytes::from_static(b"x")).await.unwrap();
+                let err = s
+                    .wait_visible(US, "k", v)
+                    .await
+                    .expect_err("the crash must cancel the KV wait");
+                assert!(
+                    matches!(err, StoreError::Unavailable { .. }),
+                    "{name}: wrong cancellation error: {err}"
+                );
+            }
+            for (name, q) in &queues {
+                let id = q.publish(EU, Bytes::from_static(b"m")).await.unwrap();
+                q.wait_visible(US, id)
+                    .await
+                    .unwrap_or_else(|e| panic!("{name}: queue wait must not fail: {e}"));
+                assert!(
+                    sim.now() >= SimTime::from_secs(5),
+                    "{name}: queue wait resolved before the heal"
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn probes_fire_for_applies_deliveries_and_acks() {
+    let sim = Sim::new(105);
+    let net = Rc::new(Network::global_triangle());
+    let kvs = kv_stores(&sim, &net);
+    let queues = queue_stores(&sim, &net);
+    let events: Rc<RefCell<Vec<VisibilityEvent>>> = Rc::new(RefCell::new(Vec::new()));
+    for (_, s) in &kvs {
+        let events = events.clone();
+        s.set_probe(Some(Rc::new(move |e: &VisibilityEvent| {
+            events.borrow_mut().push(e.clone())
+        })));
+    }
+    for (_, q) in &queues {
+        let events = events.clone();
+        q.set_probe(Some(Rc::new(move |e: &VisibilityEvent| {
+            events.borrow_mut().push(e.clone())
+        })));
+    }
+    let (kvs2, queues2) = (kvs.clone(), queues.clone());
+    sim.block_on(async move {
+        for (_, s) in &kvs2 {
+            let v = s.put(EU, "k", Bytes::from_static(b"x")).await.unwrap();
+            s.wait_visible(US, "k", v).await.unwrap();
+        }
+        for (_, q) in &queues2 {
+            let id = q.publish(EU, Bytes::from_static(b"m")).await.unwrap();
+            q.wait_visible(US, id).await.unwrap();
+            q.ack(US, id).unwrap();
+        }
+    });
+    sim.run();
+    let events = events.borrow();
+    for (name, _) in &kvs {
+        let applies = events
+            .iter()
+            .filter(
+                |e| matches!(e, VisibilityEvent::KvApplied { store, .. } if store.as_str() == *name),
+            )
+            .count();
+        assert!(applies >= REGIONS.len(), "{name}: {applies} applies probed");
+    }
+    for (name, _) in &queues {
+        let delivered = events
+            .iter()
+            .filter(|e| {
+                matches!(e, VisibilityEvent::QueueDelivered { store, .. } if store.as_str() == *name)
+            })
+            .count();
+        let acked = events
+            .iter()
+            .filter(
+                |e| matches!(e, VisibilityEvent::QueueAcked { store, region, .. } if store.as_str() == *name && *region == US),
+            )
+            .count();
+        assert!(
+            delivered >= REGIONS.len(),
+            "{name}: {delivered} deliveries probed"
+        );
+        assert_eq!(acked, 1, "{name}: acks probed");
+    }
+}
+
+/// Determinism: the same seed and the same (chaotic) fault plan produce a
+/// byte-identical probe trace across the whole catalogue, run to run.
+#[test]
+fn identical_seeds_produce_identical_probe_traces() {
+    fn trace(seed: u64) -> String {
+        let sim = Sim::new(seed);
+        let net = Rc::new(Network::global_triangle());
+        let kvs = kv_stores(&sim, &net);
+        let queues = queue_stores(&sim, &net);
+        let all_names: Vec<&str> = kvs
+            .iter()
+            .map(|(n, _)| *n)
+            .chain(queues.iter().map(|(n, _)| *n))
+            .collect();
+        for name in &all_names {
+            sim.faults().schedule(
+                SimTime::from_millis(200),
+                SimTime::from_secs(3),
+                FaultKind::ReplicaCrash {
+                    store: name.to_string(),
+                    region: US,
+                },
+            );
+            sim.faults().schedule(
+                SimTime::ZERO,
+                SimTime::from_secs(2),
+                FaultKind::ReplicationDrop {
+                    store: name.to_string(),
+                    probability: 0.5,
+                },
+            );
+        }
+        let events: Rc<RefCell<Vec<VisibilityEvent>>> = Rc::new(RefCell::new(Vec::new()));
+        for (_, s) in &kvs {
+            let events = events.clone();
+            s.set_probe(Some(Rc::new(move |e: &VisibilityEvent| {
+                events.borrow_mut().push(e.clone())
+            })));
+        }
+        for (_, q) in &queues {
+            let events = events.clone();
+            q.set_probe(Some(Rc::new(move |e: &VisibilityEvent| {
+                events.borrow_mut().push(e.clone())
+            })));
+        }
+        let (kvs2, queues2) = (kvs.clone(), queues.clone());
+        sim.block_on(async move {
+            for (_, s) in &kvs2 {
+                for key in ["a", "b"] {
+                    s.put(EU, key, Bytes::from_static(b"x")).await.unwrap();
+                }
+            }
+            for (_, q) in &queues2 {
+                q.publish(EU, Bytes::from_static(b"m")).await.unwrap();
+            }
+        });
+        sim.run();
+        let out = events
+            .borrow()
+            .iter()
+            .map(|e| format!("{e:?}"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(!out.is_empty(), "probe trace must not be empty");
+        out
+    }
+    assert_eq!(trace(42), trace(42), "same seed diverged");
+    assert_ne!(trace(42), trace(43), "different seeds identical");
+}
+
+/// `RecoveryConfig::disabled` is honored uniformly: with the plane off, the
+/// crash-covered send is lost for *every* store — the ablation contrast that
+/// motivates queue-family recovery parity.
+#[test]
+fn disabled_recovery_strands_the_send_for_every_store() {
+    let sim = Sim::new(106);
+    let net = Rc::new(Network::global_triangle());
+    let kvs = kv_stores(&sim, &net);
+    let queues = queue_stores(&sim, &net);
+    let all_names: Vec<&str> = kvs
+        .iter()
+        .map(|(n, _)| *n)
+        .chain(queues.iter().map(|(n, _)| *n))
+        .collect();
+    for name in &all_names {
+        sim.faults().schedule(
+            SimTime::from_millis(10),
+            SimTime::from_secs(2),
+            FaultKind::ReplicaCrash {
+                store: name.to_string(),
+                region: US,
+            },
+        );
+    }
+    for (_, s) in &kvs {
+        s.set_recovery(RecoveryConfig::disabled());
+    }
+    for (_, q) in &queues {
+        q.set_recovery(RecoveryConfig::disabled());
+    }
+    let (kvs2, queues2) = (kvs.clone(), queues.clone());
+    sim.block_on(async move {
+        for (_, s) in &kvs2 {
+            s.put(EU, "k", Bytes::from_static(b"x")).await.unwrap();
+        }
+        for (_, q) in &queues2 {
+            q.publish(EU, Bytes::from_static(b"m")).await.unwrap();
+        }
+    });
+    sim.run();
+    for (name, s) in &kvs {
+        assert!(!s.is_visible(US, "k", 1), "{name}: send survived ablation");
+        assert!(!s.converged(), "{name}");
+    }
+    for (name, q) in &queues {
+        assert!(!q.is_visible(US, 1), "{name}: send survived ablation");
+        assert!(!q.converged(), "{name}");
+    }
+}
