@@ -10,7 +10,10 @@
 //! - [`train_ticket`]: the TrainTicket cancel/refund flow (Fig 9);
 //! - [`acl`]: the §5.1 ACL `transfer` scenario (Alice blocks Bob);
 //! - [`hotel`]: the hotel-reservation negative control (no cross-datastore
-//!   references, hence no XCY violations — §7.1 footnote).
+//!   references, hence no XCY violations — §7.1 footnote);
+//! - [`speculation_cell`]: the S3×SNS Post-Notification cell rerun through
+//!   the speculation plane, measuring speculative vs blocking barrier
+//!   latency under chaos.
 //!
 //! Every application runs in a *baseline* variant (reproducing the paper's
 //! observed XCY violations) and an *Antipode* variant (shims + barriers)
@@ -23,4 +26,5 @@ pub mod acl;
 pub mod hotel;
 pub mod post_notification;
 pub mod social;
+pub mod speculation_cell;
 pub mod train_ticket;

@@ -1,0 +1,51 @@
+//! Writes the speculation-plane baseline to `BENCH_speculation.json`.
+//!
+//! Usage: `speculation_baseline [seed] [output-path]`. The default seed is
+//! fixed so CI runs and the committed artifact describe the same workload.
+//! Latencies are virtual-time (deterministic per seed and build, but
+//! floating-point derived) — the artifact documents the blocking vs
+//! speculative divergence rather than gating CI bit-for-bit.
+
+use antipode_bench::speculation;
+
+const DEFAULT_SEED: u64 = 0x5BEC_BA55;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed = args
+        .next()
+        .map(|s| s.parse().expect("seed must be an integer"))
+        .unwrap_or(DEFAULT_SEED);
+    let path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_speculation.json".to_string());
+
+    let baseline = speculation::run(seed);
+    let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
+    std::fs::write(&path, format!("{json}\n")).expect("baseline file writes");
+
+    println!("[artifact] {path}");
+    for (name, cell) in [
+        ("blocking", &baseline.blocking),
+        ("speculative", &baseline.speculative),
+        ("speculative+chaos", &baseline.speculative_chaos),
+    ] {
+        println!(
+            "{name}: p50={:.2}s p99={:.2}s speculated={} confirmed={} violated={} \
+             rollback_rate={:.2} buffer_hwm={} observed_violations={} leaked={}",
+            cell.handler_latency.p50,
+            cell.handler_latency.p99,
+            cell.speculated,
+            cell.confirmed,
+            cell.violated,
+            cell.rollback_rate,
+            cell.buffer_high_water,
+            cell.observed_violations,
+            cell.leaked_writes,
+        );
+    }
+    println!(
+        "p99 speedup (blocking / speculative): {:.1}x",
+        baseline.p99_speedup
+    );
+}

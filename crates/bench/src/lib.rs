@@ -21,6 +21,7 @@
 
 pub mod experiments;
 pub mod perf;
+pub mod speculation;
 
 use std::fs;
 use std::path::PathBuf;

@@ -1,0 +1,187 @@
+//! Speculation-plane baseline: blocking vs speculative barrier latency on
+//! the S3×SNS Post-Notification cell, behind `speculation_baseline` (which
+//! writes `BENCH_speculation.json`).
+//!
+//! Three cells, all fixed-seed:
+//!
+//! - **blocking** — kill switch thrown, every Reader sits behind S3's
+//!   heavy-tail replication before rendering;
+//! - **speculative** — the Reader proceeds after the speculation budget
+//!   with effects confined, committing on confirmation;
+//! - **speculative + chaos** — same, with the reader-side S3 replica
+//!   crashed for 80 s, exercising the violate → rollback → redeliver path.
+//!
+//! Latencies are *virtual-time* measurements: deterministic for a given
+//! seed on a given build, but derived from floating-point latency
+//! distributions — so the artifact is committed for inspection, not
+//! compared bit-for-bit across machines in CI.
+
+use antipode_app::speculation_cell::{run_speculation, SpecCellConfig, SpecCellResult};
+use antipode_sim::Samples;
+use serde::Serialize;
+
+/// Latency summary in seconds.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct LatencySummary {
+    /// Sample count.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl LatencySummary {
+    fn of(samples: &Samples) -> LatencySummary {
+        let s = samples.summary().unwrap_or(antipode_sim::Summary {
+            count: 0,
+            mean: 0.0,
+            min: 0.0,
+            max: 0.0,
+            p50: 0.0,
+            p90: 0.0,
+            p95: 0.0,
+            p99: 0.0,
+        });
+        LatencySummary {
+            count: s.count,
+            mean: s.mean,
+            p50: s.p50,
+            p99: s.p99,
+            max: s.max,
+        }
+    }
+}
+
+/// One cell's measurements.
+#[derive(Clone, Debug, Serialize)]
+pub struct CellMetrics {
+    /// End-to-end handler latency (notification receipt → handler value).
+    pub handler_latency: LatencySummary,
+    /// Requests that opened a speculation frontier.
+    pub speculated: u64,
+    /// Speculations confirmed.
+    pub confirmed: u64,
+    /// Speculations violated (rolled back + redelivered).
+    pub violated: u64,
+    /// Violations as a fraction of speculations.
+    pub rollback_rate: f64,
+    /// Confined writes discarded by rollbacks.
+    pub rolled_back_writes: u64,
+    /// Largest confinement buffer any execution held.
+    pub buffer_high_water: usize,
+    /// Non-speculative unsatisfied checkpoints — must be 0.
+    pub observed_violations: usize,
+    /// Discarded confined writes that reached a store — must be 0.
+    pub leaked_writes: usize,
+}
+
+impl CellMetrics {
+    fn of(r: &SpecCellResult) -> CellMetrics {
+        CellMetrics {
+            handler_latency: LatencySummary::of(&r.handler_latency),
+            speculated: r.stats.speculated,
+            confirmed: r.stats.confirmed,
+            violated: r.stats.violated,
+            rollback_rate: if r.stats.speculated == 0 {
+                0.0
+            } else {
+                r.stats.violated as f64 / r.stats.speculated as f64
+            },
+            rolled_back_writes: r.stats.rolled_back_writes,
+            buffer_high_water: r.stats.buffer_high_water,
+            observed_violations: r.observed_violations,
+            leaked_writes: r.leaked_writes,
+        }
+    }
+}
+
+/// The full baseline document written to `BENCH_speculation.json`.
+#[derive(Clone, Debug, Serialize)]
+pub struct SpeculationBaseline {
+    /// Artifact name.
+    pub bench: String,
+    /// Workload seed.
+    pub seed: u64,
+    /// Requests per cell.
+    pub requests: usize,
+    /// Kill switch thrown: blocking barriers.
+    pub blocking: CellMetrics,
+    /// Speculative barriers, fault-free.
+    pub speculative: CellMetrics,
+    /// Speculative barriers under an 80 s reader-side S3 replica crash.
+    pub speculative_chaos: CellMetrics,
+    /// Blocking p99 over speculative p99 (fault-free cells).
+    pub p99_speedup: f64,
+}
+
+/// Requests per cell (small enough for the CI smoke run, large enough for
+/// a stable p99).
+pub const DEFAULT_REQUESTS: usize = 48;
+
+/// Runs the three cells and assembles the baseline.
+pub fn run(seed: u64) -> SpeculationBaseline {
+    let requests = DEFAULT_REQUESTS;
+    let blocking = run_speculation(
+        &SpecCellConfig::blocking()
+            .with_seed(seed)
+            .with_requests(requests),
+    );
+    let speculative = run_speculation(
+        &SpecCellConfig::speculative()
+            .with_seed(seed)
+            .with_requests(requests),
+    );
+    let chaos = run_speculation(
+        &SpecCellConfig::speculative()
+            .with_seed(seed)
+            .with_requests(requests)
+            .with_chaos(),
+    );
+    let b = CellMetrics::of(&blocking);
+    let s = CellMetrics::of(&speculative);
+    let p99_speedup = if s.handler_latency.p99 > 0.0 {
+        b.handler_latency.p99 / s.handler_latency.p99
+    } else {
+        0.0
+    };
+    SpeculationBaseline {
+        bench: "speculation_plane".to_string(),
+        seed,
+        requests,
+        blocking: b,
+        speculative: s,
+        speculative_chaos: CellMetrics::of(&chaos),
+        p99_speedup,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_shows_the_speedup_and_holds_the_invariants() {
+        let base = run(7);
+        assert!(
+            base.p99_speedup > 5.0,
+            "speculation must cut p99 ≥ 5×, got {}",
+            base.p99_speedup
+        );
+        for cell in [&base.blocking, &base.speculative, &base.speculative_chaos] {
+            assert_eq!(cell.observed_violations, 0);
+            assert_eq!(cell.leaked_writes, 0);
+        }
+        assert_eq!(base.blocking.speculated, 0);
+        assert!(
+            base.speculative_chaos.violated > 0,
+            "chaos must force rollbacks"
+        );
+        assert!(base.speculative_chaos.rollback_rate > 0.0);
+        assert!(base.speculative_chaos.buffer_high_water >= 2);
+    }
+}

@@ -31,6 +31,12 @@ pub struct Checkpoint {
     /// dependencies observed while degraded usually mean "the recovery plane
     /// has not caught up yet", not "a barrier is missing here".
     pub degraded: bool,
+    /// Whether the evaluation happened under an open speculation frontier
+    /// ([`ConsistencyChecker::checkpoint_speculative`]). Unmet dependencies
+    /// at a speculative checkpoint are *not* observed XCY violations: the
+    /// execution's effects are confined until the frontier confirms, so
+    /// nothing downstream can read state that is still missing them.
+    pub speculative: bool,
     /// The dry-run outcome.
     pub report: DryRunReport,
 }
@@ -51,6 +57,11 @@ pub struct LocationStats {
     /// crash). Compare against `unsatisfied` to separate genuine missing
     /// barriers from recovery-in-progress noise.
     pub degraded_evaluations: usize,
+    /// Evaluations made under an open speculation frontier.
+    pub speculative_evaluations: usize,
+    /// Unsatisfied evaluations that were speculative — unmet dependencies
+    /// the execution deliberately proceeded past with its effects confined.
+    pub speculative_unsatisfied: usize,
 }
 
 impl LocationStats {
@@ -60,6 +71,25 @@ impl LocationStats {
             0.0
         } else {
             self.unsatisfied as f64 / self.evaluations as f64
+        }
+    }
+
+    /// Unsatisfied evaluations that were *observable*: speculative
+    /// evaluations are excluded, because their effects were confined and no
+    /// reader could witness the missing dependencies. With the speculation
+    /// plane the invariant becomes "zero observed violations" — this is the
+    /// number that must be zero.
+    pub fn observed_violations(&self) -> usize {
+        self.unsatisfied - self.speculative_unsatisfied
+    }
+
+    /// Fraction of non-speculative evaluations that observably violated XCY.
+    pub fn observed_violation_rate(&self) -> f64 {
+        let observable = self.evaluations - self.speculative_evaluations;
+        if observable == 0 {
+            0.0
+        } else {
+            self.observed_violations() as f64 / observable as f64
         }
     }
 }
@@ -89,15 +119,40 @@ impl ConsistencyChecker {
         lineage: &Lineage,
         region: Region,
     ) -> DryRunReport {
+        self.record(location.into(), lineage, region, false)
+    }
+
+    /// Like [`ConsistencyChecker::checkpoint`], but marks the evaluation as
+    /// made under an open speculation frontier. Unmet dependencies recorded
+    /// here are expected — the execution is deliberately running ahead of
+    /// them with its effects confined — and are excluded from
+    /// [`LocationStats::observed_violations`].
+    pub fn checkpoint_speculative(
+        &self,
+        location: impl Into<String>,
+        lineage: &Lineage,
+        region: Region,
+    ) -> DryRunReport {
+        self.record(location.into(), lineage, region, true)
+    }
+
+    fn record(
+        &self,
+        location: String,
+        lineage: &Lineage,
+        region: Region,
+        speculative: bool,
+    ) -> DryRunReport {
         let report = self.ap.dry_run(lineage, region);
         let now = self.ap.sim().now();
         let faults = self.ap.sim().faults();
         let degraded = faults.region_down(now, region) || faults.any_replica_crash(now, region);
         self.checkpoints.borrow_mut().push(Checkpoint {
-            location: location.into(),
+            location,
             at: now,
             region,
             degraded,
+            speculative,
             report: report.clone(),
         });
         report
@@ -122,17 +177,36 @@ impl ConsistencyChecker {
             if cp.degraded {
                 s.degraded_evaluations += 1;
             }
+            if cp.speculative {
+                s.speculative_evaluations += 1;
+                if !cp.report.unmet.is_empty() {
+                    s.speculative_unsatisfied += 1;
+                }
+            }
         }
         out
     }
 
-    /// Locations that had at least one unsatisfied evaluation — the
-    /// candidate `barrier` placements, most-violating first.
+    /// Total observed XCY violations across every location — unsatisfied
+    /// evaluations that were *not* made under an open speculation frontier.
+    /// With speculative barriers in play this is the system invariant: it
+    /// must be zero even when speculations are violated and rolled back.
+    pub fn observed_violations(&self) -> usize {
+        self.summary()
+            .values()
+            .map(|s| s.observed_violations())
+            .sum()
+    }
+
+    /// Locations that had at least one *observed* unsatisfied evaluation —
+    /// the candidate `barrier` placements, most-violating first. Locations
+    /// whose only unmet evaluations were speculative already sit behind a
+    /// (speculative) barrier and are not suggested again.
     pub fn suggested_barriers(&self) -> Vec<(String, LocationStats)> {
         let mut v: Vec<(String, LocationStats)> = self
             .summary()
             .into_iter()
-            .filter(|(_, s)| s.unsatisfied > 0)
+            .filter(|(_, s)| s.observed_violations() > 0)
             .collect();
         v.sort_by(|a, b| b.1.unsatisfied.cmp(&a.1.unsatisfied).then(a.0.cmp(&b.0)));
         v
@@ -260,6 +334,52 @@ mod tests {
             vec![true, true, false]
         );
         assert_eq!(checker.summary()["loc"].degraded_evaluations, 2);
+    }
+
+    /// Speculative checkpoints with unmet dependencies do not count as
+    /// observed violations — the speculation plane's invariant is "zero
+    /// *observed* XCY violations", and a location whose only unmet
+    /// evaluations were speculative needs no additional barrier.
+    #[test]
+    fn speculative_checkpoints_are_not_observed_violations() {
+        let sim = Sim::new(0);
+        let store = Rc::new(Flaky {
+            visible: Cell::new(false),
+        });
+        let mut ap = Antipode::new(sim.clone());
+        ap.register(store.clone());
+        let checker = ConsistencyChecker::new(ap);
+        let l = lineage();
+        // Two speculative evaluations run ahead of the unmet dep (effects
+        // confined), then the dep lands and a plain post-commit checkpoint
+        // is satisfied.
+        assert!(!checker
+            .checkpoint_speculative("reader:speculate", &l, HERE)
+            .is_satisfied());
+        assert!(!checker
+            .checkpoint_speculative("reader:speculate", &l, HERE)
+            .is_satisfied());
+        store.visible.set(true);
+        assert!(checker.checkpoint("reader:commit", &l, HERE).is_satisfied());
+
+        let summary = checker.summary();
+        let spec = &summary["reader:speculate"];
+        assert_eq!(spec.evaluations, 2);
+        assert_eq!(spec.unsatisfied, 2);
+        assert_eq!(spec.speculative_evaluations, 2);
+        assert_eq!(spec.speculative_unsatisfied, 2);
+        assert_eq!(spec.observed_violations(), 0);
+        assert_eq!(spec.observed_violation_rate(), 0.0);
+        assert_eq!(checker.observed_violations(), 0);
+        assert!(
+            checker.suggested_barriers().is_empty(),
+            "speculative locations already sit behind a barrier"
+        );
+        // A plain checkpoint with the store rolled back *is* observed.
+        store.visible.set(false);
+        checker.checkpoint("reader:naked", &l, HERE);
+        assert_eq!(checker.observed_violations(), 1);
+        assert_eq!(checker.suggested_barriers()[0].0, "reader:naked");
     }
 
     #[test]

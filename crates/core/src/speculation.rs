@@ -1,0 +1,526 @@
+//! The speculation plane (core half): proceed past a heavy-tail barrier.
+//!
+//! The paper's §7.4 shows S3-style stores with heavy-tailed cross-region
+//! replication keeping barriers blocked for tens of seconds. A *speculative*
+//! barrier turns that blocking wait into optimistic progress: when the
+//! blocking budget elapses with dependencies still unmet, the caller gets a
+//! [`SpeculationFrontier`] recording exactly the writes it is speculating
+//! past, and execution proceeds — provided every externally-visible effect
+//! stays confined until the frontier resolves. A deterministic confirmation
+//! watcher keeps enforcing the remainder in the background and resolves the
+//! frontier to *confirmed* (the deps became visible) or *violated* (an
+//! outage or crash made them unsatisfiable within the confirmation budget).
+//!
+//! The datastore half (the confinement buffer) lives in `antipode-store`;
+//! the rollback/redelivery orchestration lives in `antipode-runtime`.
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::rc::Rc;
+use std::time::Duration;
+
+use antipode_lineage::{Lineage, LineageId, WriteId};
+use antipode_sim::sync::Notify;
+use antipode_sim::{Region, SimTime};
+
+use crate::barrier::{Antipode, BarrierError, BarrierOutcome, BarrierReport, SpeculativeBarrier};
+
+/// Budgets governing one speculative barrier.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpeculationConfig {
+    /// How long the barrier blocks before giving up and speculating — the
+    /// budget handed to [`Antipode::barrier_budget`].
+    pub budget: Duration,
+    /// How long the confirmation watcher keeps enforcing the unmet
+    /// remainder before declaring the speculation violated.
+    pub confirm_budget: Duration,
+}
+
+impl Default for SpeculationConfig {
+    fn default() -> Self {
+        SpeculationConfig {
+            budget: Duration::from_millis(500),
+            confirm_budget: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Resolution state of a [`SpeculationFrontier`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpecState {
+    /// Execution is proceeding past unmet dependencies. Every
+    /// externally-visible effect issued under this frontier must stay
+    /// confined.
+    Open,
+    /// The dependencies became visible within the confirmation budget —
+    /// confined effects may be committed.
+    Confirmed,
+    /// The dependencies could not be satisfied within the confirmation
+    /// budget — confined effects must be discarded and the work redelivered.
+    Violated,
+}
+
+/// Why a frontier resolved to [`SpecState::Violated`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ViolationCause {
+    /// The confirmation budget elapsed with dependencies still unmet (e.g. a
+    /// replica crash outlasting the budget).
+    BudgetElapsed,
+    /// The confirmation barrier surfaced a hard error — typically retry
+    /// exhaustion against a store the chaos plane keeps down.
+    Barrier(String),
+}
+
+impl fmt::Display for ViolationCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViolationCause::BudgetElapsed => write!(f, "confirmation budget elapsed"),
+            ViolationCause::Barrier(e) => write!(f, "confirmation barrier failed: {e}"),
+        }
+    }
+}
+
+struct FrontierInner {
+    lineage: LineageId,
+    region: Region,
+    deps: Vec<WriteId>,
+    opened_at: SimTime,
+    state: Cell<SpecState>,
+    resolved_at: Cell<Option<SimTime>>,
+    confirmation: RefCell<Option<BarrierReport>>,
+    cause: RefCell<Option<ViolationCause>>,
+    still_unmet: RefCell<Vec<WriteId>>,
+    notify: Notify,
+}
+
+/// One open speculation: the exact unmet dependencies execution proceeded
+/// past, plus the resolution the confirmation watcher eventually reaches.
+///
+/// Cheap to clone (shared handle); equality is identity — two handles are
+/// equal iff they refer to the same speculation.
+#[derive(Clone)]
+pub struct SpeculationFrontier {
+    inner: Rc<FrontierInner>,
+}
+
+impl PartialEq for SpeculationFrontier {
+    fn eq(&self, other: &Self) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+impl Eq for SpeculationFrontier {}
+
+impl fmt::Debug for SpeculationFrontier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SpeculationFrontier")
+            .field("lineage", &self.inner.lineage)
+            .field("region", &self.inner.region)
+            .field("deps", &self.inner.deps.len())
+            .field("state", &self.state())
+            .finish()
+    }
+}
+
+impl SpeculationFrontier {
+    pub(crate) fn open(
+        lineage: LineageId,
+        region: Region,
+        deps: Vec<WriteId>,
+        opened_at: SimTime,
+    ) -> Self {
+        SpeculationFrontier {
+            inner: Rc::new(FrontierInner {
+                lineage,
+                region,
+                deps,
+                opened_at,
+                state: Cell::new(SpecState::Open),
+                resolved_at: Cell::new(None),
+                confirmation: RefCell::new(None),
+                cause: RefCell::new(None),
+                still_unmet: RefCell::new(Vec::new()),
+                notify: Notify::new(),
+            }),
+        }
+    }
+
+    /// The lineage this speculation belongs to.
+    pub fn lineage(&self) -> LineageId {
+        self.inner.lineage
+    }
+
+    /// The region the unmet dependencies were (not) visible at.
+    pub fn region(&self) -> Region {
+        self.inner.region
+    }
+
+    /// The dependencies execution is speculating past.
+    pub fn deps(&self) -> &[WriteId] {
+        &self.inner.deps
+    }
+
+    /// Virtual time the frontier opened.
+    pub fn opened_at(&self) -> SimTime {
+        self.inner.opened_at
+    }
+
+    /// Current resolution state.
+    pub fn state(&self) -> SpecState {
+        self.inner.state.get()
+    }
+
+    /// Whether the speculation is still unresolved.
+    pub fn is_open(&self) -> bool {
+        self.state() == SpecState::Open
+    }
+
+    /// Virtual time the watcher resolved the frontier, once it has.
+    pub fn resolved_at(&self) -> Option<SimTime> {
+        self.inner.resolved_at.get()
+    }
+
+    /// The confirmation barrier's telemetry, present once confirmed.
+    pub fn confirmation_report(&self) -> Option<BarrierReport> {
+        self.inner.confirmation.borrow().clone()
+    }
+
+    /// Why the speculation violated, present once violated.
+    pub fn violation_cause(&self) -> Option<ViolationCause> {
+        self.inner.cause.borrow().clone()
+    }
+
+    /// The dependencies still unmet at violation time (a subset of
+    /// [`SpeculationFrontier::deps`]). Empty before resolution and after a
+    /// confirmation.
+    pub fn violation_unmet(&self) -> Vec<WriteId> {
+        self.inner.still_unmet.borrow().clone()
+    }
+
+    /// Waits until the confirmation watcher resolves the frontier and
+    /// returns the terminal state ([`SpecState::Confirmed`] or
+    /// [`SpecState::Violated`]). Returns immediately if already resolved.
+    pub async fn resolved(&self) -> SpecState {
+        loop {
+            let notified = self.inner.notify.notified();
+            let s = self.state();
+            if s != SpecState::Open {
+                return s;
+            }
+            notified.await;
+        }
+    }
+
+    pub(crate) fn confirm(&self, at: SimTime, report: BarrierReport) {
+        if !self.is_open() {
+            return;
+        }
+        *self.inner.confirmation.borrow_mut() = Some(report);
+        self.inner.resolved_at.set(Some(at));
+        self.inner.state.set(SpecState::Confirmed);
+        self.inner.notify.notify_all();
+    }
+
+    pub(crate) fn violate(&self, at: SimTime, cause: ViolationCause, unmet: Vec<WriteId>) {
+        if !self.is_open() {
+            return;
+        }
+        *self.inner.cause.borrow_mut() = Some(cause);
+        *self.inner.still_unmet.borrow_mut() = unmet;
+        self.inner.resolved_at.set(Some(at));
+        self.inner.state.set(SpecState::Violated);
+        self.inner.notify.notify_all();
+    }
+}
+
+impl Antipode {
+    /// Speculative barrier: block like [`Antipode::barrier_budget`] for
+    /// `cfg.budget`; if dependencies are still unmet when the budget
+    /// elapses, *proceed anyway* — returning
+    /// [`BarrierOutcome::Speculative`] with an open
+    /// [`SpeculationFrontier`] recording the writes being speculated past,
+    /// and spawning a deterministic confirmation watcher that resolves the
+    /// frontier to confirmed or violated within `cfg.confirm_budget`.
+    ///
+    /// The contract mirrors speculative execution for cloud applications:
+    /// the caller may run its handler immediately, but every
+    /// externally-visible effect issued while the frontier is open must be
+    /// confined (see `ConfinementBuffer` in `antipode-store`) until the
+    /// frontier resolves.
+    pub async fn barrier_speculative(
+        &self,
+        lineage: &Lineage,
+        region: Region,
+        cfg: &SpeculationConfig,
+    ) -> Result<BarrierOutcome, BarrierError> {
+        match self.barrier_budget(lineage, region, cfg.budget).await? {
+            BarrierOutcome::Degraded(d) => {
+                let frontier =
+                    SpeculationFrontier::open(d.lineage, region, d.unmet.clone(), self.sim().now());
+                self.spawn_confirmation(frontier.clone(), cfg.confirm_budget);
+                Ok(BarrierOutcome::Speculative(SpeculativeBarrier {
+                    frontier,
+                    report: d.report,
+                    budget: cfg.budget,
+                }))
+            }
+            done => Ok(done),
+        }
+    }
+
+    /// The confirmation watcher: a detached task re-enforcing the unmet
+    /// remainder with the client's usual retry policy, bounded by
+    /// `confirm_budget`. Deterministic — it runs on the simulation's
+    /// single-threaded scheduler, so the same seed and fault plan resolve
+    /// every frontier at the same virtual time.
+    fn spawn_confirmation(&self, frontier: SpeculationFrontier, confirm_budget: Duration) {
+        let this = self.clone();
+        self.sim().spawn(async move {
+            let mut remainder = Lineage::new(frontier.lineage());
+            for w in frontier.deps() {
+                remainder.append(w.clone());
+            }
+            let region = frontier.region();
+            let sim = this.sim().clone();
+            let enforce = this.barrier(&remainder, region);
+            match antipode_sim::timeout(&sim, confirm_budget, enforce).await {
+                Ok(Ok(report)) => frontier.confirm(sim.now(), report),
+                Ok(Err(e)) => {
+                    let unmet = this.dry_run(&remainder, region).unmet;
+                    frontier.violate(sim.now(), ViolationCause::Barrier(e.to_string()), unmet);
+                }
+                Err(_elapsed) => {
+                    let unmet = this.dry_run(&remainder, region).unmet;
+                    frontier.violate(sim.now(), ViolationCause::BudgetElapsed, unmet);
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wait::{LocalBoxFuture, WaitError, WaitTarget};
+    use antipode_sim::Sim;
+    use std::collections::HashSet;
+
+    const HERE: Region = Region("spec-region");
+
+    struct TestStore {
+        name: String,
+        sim: Sim,
+        visible: Rc<RefCell<HashSet<(String, u64)>>>,
+        unavailable: Cell<bool>,
+    }
+
+    impl TestStore {
+        fn new(sim: &Sim, name: &str) -> Rc<Self> {
+            Rc::new(TestStore {
+                name: name.to_string(),
+                sim: sim.clone(),
+                visible: Rc::new(RefCell::new(HashSet::new())),
+                unavailable: Cell::new(false),
+            })
+        }
+
+        fn visible_after(&self, key: &str, version: u64, d: Duration) {
+            let visible = self.visible.clone();
+            let key = key.to_string();
+            let sim = self.sim.clone();
+            self.sim.spawn(async move {
+                sim.sleep(d).await;
+                visible.borrow_mut().insert((key, version));
+            });
+        }
+    }
+
+    impl WaitTarget for TestStore {
+        fn datastore_name(&self) -> &str {
+            &self.name
+        }
+        fn wait<'a>(
+            &'a self,
+            write: &'a WriteId,
+            region: Region,
+        ) -> LocalBoxFuture<'a, Result<(), WaitError>> {
+            Box::pin(async move {
+                if self.unavailable.get() {
+                    return Err(WaitError::StoreUnavailable(format!("{}@down", self.name)));
+                }
+                while !self.is_visible(write, region) {
+                    self.sim.sleep(Duration::from_millis(1)).await;
+                }
+                Ok(())
+            })
+        }
+        fn is_visible(&self, write: &WriteId, _region: Region) -> bool {
+            self.visible
+                .borrow()
+                .contains(&(write.key().to_string(), write.version()))
+        }
+    }
+
+    fn lineage_with(deps: &[(&str, &str, u64)]) -> Lineage {
+        let mut l = Lineage::new(LineageId(1));
+        for (s, k, v) in deps {
+            l.append(WriteId::new(*s, *k, *v));
+        }
+        l
+    }
+
+    fn cfg(budget_ms: u64, confirm_secs: u64) -> SpeculationConfig {
+        SpeculationConfig {
+            budget: Duration::from_millis(budget_ms),
+            confirm_budget: Duration::from_secs(confirm_secs),
+        }
+    }
+
+    #[test]
+    fn fast_dependencies_complete_without_speculating() {
+        let sim = Sim::new(0);
+        let store = TestStore::new(&sim, "db");
+        store.visible_after("k", 1, Duration::from_millis(50));
+        let mut ap = Antipode::new(sim.clone());
+        ap.register(store);
+        let l = lineage_with(&[("db", "k", 1)]);
+        let outcome = sim.block_on(async move {
+            ap.barrier_speculative(&l, HERE, &cfg(500, 30))
+                .await
+                .unwrap()
+        });
+        assert!(outcome.is_complete());
+        assert!(!outcome.is_speculative());
+    }
+
+    #[test]
+    fn slow_dependency_opens_a_frontier_then_confirms() {
+        let sim = Sim::new(0);
+        let store = TestStore::new(&sim, "s3");
+        store.visible_after("k", 1, Duration::from_secs(10));
+        let mut ap = Antipode::new(sim.clone());
+        ap.register(store);
+        let l = lineage_with(&[("s3", "k", 1)]);
+        let sim2 = sim.clone();
+        sim.block_on(async move {
+            let outcome = ap
+                .barrier_speculative(&l, HERE, &cfg(500, 30))
+                .await
+                .unwrap();
+            let spec = match outcome {
+                BarrierOutcome::Speculative(s) => s,
+                other => panic!("10s dep past a 500ms budget must speculate, got {other:?}"),
+            };
+            assert!(spec.frontier.is_open());
+            assert_eq!(spec.frontier.deps(), &[WriteId::new("s3", "k", 1)]);
+            assert_eq!(spec.frontier.opened_at(), sim2.now());
+            let state = spec.frontier.resolved().await;
+            assert_eq!(state, SpecState::Confirmed);
+            assert!(spec.frontier.resolved_at().unwrap() >= SimTime::from_secs(10));
+            let report = spec.frontier.confirmation_report().unwrap();
+            assert_eq!(report.waited_for, 1);
+            assert!(spec.frontier.violation_cause().is_none());
+            assert!(spec.frontier.violation_unmet().is_empty());
+        });
+    }
+
+    #[test]
+    fn unsatisfiable_dependency_violates_within_confirm_budget() {
+        let sim = Sim::new(0);
+        let store = TestStore::new(&sim, "s3");
+        // Never becomes visible.
+        let mut ap = Antipode::new(sim.clone());
+        ap.register(store);
+        let l = lineage_with(&[("s3", "k", 1)]);
+        sim.block_on(async move {
+            let outcome = ap
+                .barrier_speculative(&l, HERE, &cfg(100, 5))
+                .await
+                .unwrap();
+            let spec = match outcome {
+                BarrierOutcome::Speculative(s) => s,
+                other => panic!("expected speculation, got {other:?}"),
+            };
+            let state = spec.frontier.resolved().await;
+            assert_eq!(state, SpecState::Violated);
+            assert_eq!(
+                spec.frontier.violation_cause(),
+                Some(ViolationCause::BudgetElapsed)
+            );
+            assert_eq!(
+                spec.frontier.violation_unmet(),
+                vec![WriteId::new("s3", "k", 1)]
+            );
+        });
+    }
+
+    #[test]
+    fn store_outage_exhausting_retries_violates_with_barrier_cause() {
+        let sim = Sim::new(0);
+        let store = TestStore::new(&sim, "s3");
+        store.unavailable.set(true);
+        let mut ap = Antipode::new(sim.clone()).with_retry(crate::BarrierRetry {
+            max_attempts: 2,
+            ..crate::BarrierRetry::default()
+        });
+        ap.register(store);
+        let l = lineage_with(&[("s3", "k", 1)]);
+        sim.block_on(async move {
+            let outcome = ap
+                .barrier_speculative(&l, HERE, &cfg(50, 60))
+                .await
+                .unwrap();
+            let spec = match outcome {
+                BarrierOutcome::Speculative(s) => s,
+                other => panic!("expected speculation, got {other:?}"),
+            };
+            let state = spec.frontier.resolved().await;
+            assert_eq!(state, SpecState::Violated);
+            match spec.frontier.violation_cause() {
+                Some(ViolationCause::Barrier(msg)) => {
+                    assert!(msg.contains("s3@down"), "cause carries the store: {msg}")
+                }
+                other => panic!("expected a barrier cause, got {other:?}"),
+            }
+        });
+    }
+
+    #[test]
+    fn resolved_is_idempotent_and_multi_waiter() {
+        let sim = Sim::new(7);
+        let store = TestStore::new(&sim, "db");
+        store.visible_after("k", 1, Duration::from_secs(2));
+        let mut ap = Antipode::new(sim.clone());
+        ap.register(store);
+        let l = lineage_with(&[("db", "k", 1)]);
+        let resolutions: Rc<RefCell<Vec<SpecState>>> = Rc::new(RefCell::new(Vec::new()));
+        let sim2 = sim.clone();
+        let slot = resolutions.clone();
+        sim.block_on(async move {
+            let spec = match ap
+                .barrier_speculative(&l, HERE, &cfg(100, 30))
+                .await
+                .unwrap()
+            {
+                BarrierOutcome::Speculative(s) => s,
+                other => panic!("expected speculation, got {other:?}"),
+            };
+            for _ in 0..3 {
+                let f = spec.frontier.clone();
+                let slot = slot.clone();
+                sim2.spawn(async move {
+                    let state = f.resolved().await;
+                    slot.borrow_mut().push(state);
+                });
+            }
+            assert_eq!(spec.frontier.resolved().await, SpecState::Confirmed);
+            // Resolving again returns instantly with the same state.
+            assert_eq!(spec.frontier.resolved().await, SpecState::Confirmed);
+        });
+        sim.run();
+        assert_eq!(
+            &*resolutions.borrow(),
+            &[SpecState::Confirmed; 3],
+            "every waiter observes the same resolution"
+        );
+    }
+}

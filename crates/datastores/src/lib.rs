@@ -75,6 +75,7 @@ pub mod replica;
 pub mod s3;
 pub mod shim;
 pub mod sns;
+pub mod speculation;
 pub mod substrate;
 
 pub use amq::{Amq, AmqShim};
@@ -92,4 +93,5 @@ pub use replica::{KvProfile, KvStore, StoreError, StoredValue};
 pub use s3::{S3Shim, S3};
 pub use shim::{KvShim, QueueShim, ShimError, ShimMessage, ShimSubscription, WaitSemantics};
 pub use sns::{Sns, SnsShim};
+pub use speculation::{BufferState, ConfinedOp, ConfinementBuffer};
 pub use substrate::{Admission, ApplyCtx, KvSubstrate, QueueSubstrate, RetryStyle, Substrate};

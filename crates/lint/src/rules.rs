@@ -19,6 +19,11 @@ pub enum Rule {
     /// X1: a cross-service write through a shim in app code with no
     /// reachable `barrier`/checkpoint in the same module.
     UncheckedXcyWrite,
+    /// X2: a direct shim write in a module that speculates (opens
+    /// speculation frontiers) without routing effects through a
+    /// `ConfinementBuffer` — a violated speculation could not roll the
+    /// write back.
+    UnconfinedSpeculativeWrite,
 }
 
 impl Rule {
@@ -29,16 +34,18 @@ impl Rule {
             Rule::WallClock => "wall-clock",
             Rule::FaultPathUnwrap => "fault-path-unwrap",
             Rule::UncheckedXcyWrite => "unchecked-xcy-write",
+            Rule::UnconfinedSpeculativeWrite => "unconfined-speculative-write",
         }
     }
 
     /// All rules, for reporting.
-    pub fn all() -> [Rule; 4] {
+    pub fn all() -> [Rule; 5] {
         [
             Rule::NondeterministicMap,
             Rule::WallClock,
             Rule::FaultPathUnwrap,
             Rule::UncheckedXcyWrite,
+            Rule::UnconfinedSpeculativeWrite,
         ]
     }
 }
@@ -81,7 +88,8 @@ pub struct FileContext {
     /// In `crates/bench` (wall-clock timing is its whole point).
     pub bench: bool,
     /// A fault-path module (`fault.rs`, `replica.rs`, `queue.rs`, `rpc.rs`,
-    /// `engine.rs`, `substrate.rs`, `recovery.rs`, `repair.rs`).
+    /// `engine.rs`, `substrate.rs`, `recovery.rs`, `repair.rs`,
+    /// `speculation.rs`).
     pub fault_path: bool,
     /// Application code (`crates/apps`) — subject to X1.
     pub app: bool,
@@ -114,6 +122,7 @@ impl FileContext {
                         | "substrate.rs"
                         | "recovery.rs"
                         | "repair.rs"
+                        | "speculation.rs"
                 )
             ),
             app: crate_name == Some("apps"),
@@ -127,6 +136,34 @@ impl FileContext {
 const D2_IDENTS: [&str; 3] = ["Instant", "SystemTime", "thread_rng"];
 const X1_CALLS: [&str; 2] = [".write(", ".publish("];
 const X1_CHECKPOINTS: [&str; 4] = ["barrier", "checkpoint", "wait_visible", "wait_acked"];
+const X2_SPECULATION: [&str; 4] = [
+    "barrier_speculative",
+    "SpeculationFrontier",
+    "open_frontier",
+    "Speculator",
+];
+const X2_CONFINEMENT: [&str; 3] = ["ConfinementBuffer", "confine_write", "confine_publish"];
+
+/// The `shim`-named receivers of `.write(`/`.publish(` calls on a line.
+fn shim_receivers(code: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for pat in X1_CALLS {
+        for (at, _) in code.match_indices(pat) {
+            let recv: String = code[..at]
+                .chars()
+                .rev()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect::<Vec<_>>()
+                .into_iter()
+                .rev()
+                .collect();
+            if recv.to_ascii_lowercase().contains("shim") {
+                out.push(recv);
+            }
+        }
+    }
+    out
+}
 
 /// Lints one file's source under the given context.
 pub fn lint_source(file: &str, source: &str, ctx: &FileContext) -> Vec<Finding> {
@@ -143,6 +180,22 @@ pub fn lint_source(file: &str, source: &str, ctx: &FileContext) -> Vec<Finding> 
                 .iter()
                 .any(|id| X1_CHECKPOINTS.iter().any(|c| id.contains(c)))
         });
+
+    // X2 reachability, same module granularity: a module that opens
+    // speculation frontiers must route its shim effects through a
+    // confinement buffer, else a violated speculation cannot roll them
+    // back.
+    let speculates = (ctx.app || ctx.deterministic)
+        && lines.iter().any(|l| {
+            lexer::idents(&l.code)
+                .iter()
+                .any(|id| X2_SPECULATION.contains(id))
+        });
+    let has_confinement = lines.iter().any(|l| {
+        lexer::idents(&l.code)
+            .iter()
+            .any(|id| X2_CONFINEMENT.contains(id))
+    });
 
     let mut findings = Vec::new();
     let mut push = |rule: Rule, line_idx: usize, message: String, hint: &str| {
@@ -216,27 +269,28 @@ pub fn lint_source(file: &str, source: &str, ctx: &FileContext) -> Vec<Finding> 
         }
 
         if ctx.app && !test_ctx && !has_checkpoint {
-            for pat in X1_CALLS {
-                for (at, _) in code.match_indices(pat) {
-                    let recv: String = code[..at]
-                        .chars()
-                        .rev()
-                        .take_while(|c| c.is_alphanumeric() || *c == '_')
-                        .collect::<Vec<_>>()
-                        .into_iter()
-                        .rev()
-                        .collect();
-                    if recv.to_ascii_lowercase().contains("shim") {
-                        push(
-                            Rule::UncheckedXcyWrite,
-                            idx,
-                            format!("cross-service write through `{recv}` with no barrier/checkpoint reachable in this module"),
-                            "call `Antipode::barrier(&lineage, region)` (or a \
-                             `ConsistencyChecker::checkpoint`) on the consumer \
-                             side before dependent reads",
-                        );
-                    }
-                }
+            for recv in shim_receivers(code) {
+                push(
+                    Rule::UncheckedXcyWrite,
+                    idx,
+                    format!("cross-service write through `{recv}` with no barrier/checkpoint reachable in this module"),
+                    "call `Antipode::barrier(&lineage, region)` (or a \
+                     `ConsistencyChecker::checkpoint`) on the consumer \
+                     side before dependent reads",
+                );
+            }
+        }
+
+        if speculates && !has_confinement && !test_ctx {
+            for recv in shim_receivers(code) {
+                push(
+                    Rule::UnconfinedSpeculativeWrite,
+                    idx,
+                    format!("direct write through `{recv}` in a module that speculates — a violated speculation cannot roll it back"),
+                    "park the effect in a `ConfinementBuffer` \
+                     (confine_write/confine_publish) and let the speculator \
+                     commit it on confirmation or discard it on violation",
+                );
             }
         }
     }
@@ -272,6 +326,12 @@ mod tests {
         assert!(c.deterministic && c.fault_path);
         let c = FileContext::classify("crates/apps/src/social.rs");
         assert!(c.app);
+        let c = FileContext::classify("crates/core/src/speculation.rs");
+        assert!(c.deterministic && c.fault_path);
+        let c = FileContext::classify("crates/datastores/src/speculation.rs");
+        assert!(c.deterministic && c.fault_path);
+        let c = FileContext::classify("crates/services/src/speculation.rs");
+        assert!(c.deterministic && c.fault_path);
         let c = FileContext::classify("tests/chaos_properties.rs");
         assert!(c.test_file);
         let c = FileContext::classify("crates/sim/tests/determinism.rs");
@@ -320,6 +380,40 @@ mod tests {
         assert_eq!(f[0].rule, Rule::UncheckedXcyWrite);
         let checked = format!("{racy}ap.barrier(&lin, US).await;\n");
         assert!(lint_source("f.rs", &checked, &ctx).is_empty());
+    }
+
+    #[test]
+    fn x2_fires_only_in_unconfined_speculating_modules() {
+        let ctx = FileContext {
+            app: true,
+            ..Default::default()
+        };
+        // A speculating module with a raw shim write (the barrier token
+        // also satisfies X1's checkpoint reachability, isolating X2).
+        let racy = "ap.barrier_speculative(&lin, US, &cfg).await;\n\
+                    feed_shim.write(US, key, body, lin).await;\n";
+        let f = lint_source("f.rs", racy, &ctx);
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert_eq!(f[0].rule, Rule::UnconfinedSpeculativeWrite);
+        assert_eq!(f[0].line, 2);
+        // Same module routed through a confinement buffer: clean.
+        let confined = "ap.barrier_speculative(&lin, US, &cfg).await;\n\
+                        buf.confine_write(&feed_shim, US, key, body);\n";
+        assert!(lint_source("f.rs", confined, &ctx).is_empty());
+        // A non-speculating module with the same write only concerns X1.
+        let plain = "ap.barrier(&lin, US).await;\nfeed_shim.write(US, key, body, lin).await;\n";
+        assert!(lint_source("f.rs", plain, &ctx).is_empty());
+    }
+
+    #[test]
+    fn x2_applies_to_deterministic_service_code_too() {
+        let f = lint_source(
+            "f.rs",
+            "let s = Speculator::new(ap, policy);\nnotif_shim.publish(US, payload, lin).await;\n",
+            &det(),
+        );
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert_eq!(f[0].rule, Rule::UnconfinedSpeculativeWrite);
     }
 
     #[test]

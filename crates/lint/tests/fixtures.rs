@@ -45,6 +45,7 @@ fn every_rule_fires_exactly_once_on_its_fixture() {
         ("d2_fires.rs", FileContext::default(), Rule::WallClock),
         ("d3_fires.rs", fault(), Rule::FaultPathUnwrap),
         ("x1_fires.rs", app(), Rule::UncheckedXcyWrite),
+        ("x2_fires.rs", app(), Rule::UnconfinedSpeculativeWrite),
     ] {
         let findings = lint_fixture(fixture, ctx);
         assert_eq!(
@@ -65,6 +66,7 @@ fn waivers_suppress_every_rule() {
         ("d2_waived.rs", FileContext::default()),
         ("d3_waived.rs", fault()),
         ("x1_waived.rs", app()),
+        ("x2_waived.rs", app()),
     ] {
         let findings = lint_fixture(fixture, ctx);
         assert!(findings.is_empty(), "{fixture}: {findings:#?}");
@@ -74,6 +76,32 @@ fn waivers_suppress_every_rule() {
 #[test]
 fn module_with_reachable_barrier_is_clean() {
     assert!(lint_fixture("x1_checked.rs", app()).is_empty());
+}
+
+#[test]
+fn confined_speculating_module_is_clean() {
+    assert!(lint_fixture("x2_confined.rs", app()).is_empty());
+}
+
+/// Every layer of the speculation plane (`crates/{core,datastores,
+/// services}/src/speculation.rs`) sits on the confirmation/rollback fault
+/// path, so D3 must fire there under the *real* classified contexts.
+#[test]
+fn d3_covers_the_speculation_modules() {
+    for module in [
+        "crates/core/src/speculation.rs",
+        "crates/datastores/src/speculation.rs",
+        "crates/services/src/speculation.rs",
+    ] {
+        let ctx = FileContext::classify(module);
+        assert!(
+            ctx.deterministic && ctx.fault_path && !ctx.test_file,
+            "{module} must classify as a deterministic fault-path module"
+        );
+        let findings = lint_fixture("d3_speculation_fires.rs", ctx);
+        assert_eq!(findings.len(), 1, "{module}: {findings:#?}");
+        assert_eq!(findings[0].rule, Rule::FaultPathUnwrap, "{module}");
+    }
 }
 
 /// The substrate engine owns the fault/recovery paths for both store

@@ -1,0 +1,7 @@
+//! D3 fixture for the speculation modules: one `expect(…)` on a
+//! confirmation fault path — fires exactly once under the real classified
+//! context of each `speculation.rs`.
+
+pub fn confirmation_report(report: Option<BarrierReport>) -> BarrierReport {
+    report.expect("frontier resolved with a report")
+}

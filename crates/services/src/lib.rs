@@ -11,7 +11,11 @@
 //!   retries with deterministic jitter, and circuit breakers for riding out
 //!   chaos-plane faults;
 //! - [`workload`]: open-loop Poisson and closed-loop drivers with
-//!   latency/throughput metrics.
+//!   latency/throughput metrics;
+//! - [`speculation`]: the service half of the speculation plane — a
+//!   [`Speculator`] that runs handlers past heavy-tail barriers with side
+//!   effects confined, commits on confirmation, and rolls back + redelivers
+//!   on violation, governed by per-endpoint caps and a kill switch.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,6 +24,7 @@ pub mod request;
 pub mod rpc;
 pub mod runtime;
 pub mod service;
+pub mod speculation;
 pub mod workload;
 
 pub use request::RequestCtx;
@@ -28,4 +33,5 @@ pub use rpc::{
 };
 pub use runtime::Runtime;
 pub use service::{Service, ServiceSpec};
+pub use speculation::{SpecError, SpecOutcome, SpecStats, SpeculationPolicy, Speculator};
 pub use workload::{run_open_loop, ClosedLoop, LoadMetrics, OpenLoop};

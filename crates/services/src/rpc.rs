@@ -354,6 +354,34 @@ impl<Req: 'static, Resp: 'static> Endpoint<Req, Resp> {
     pub fn service(&self) -> &Service {
         &self.service
     }
+
+    /// Rolls back the resumable-call record of `request_id`, forgetting the
+    /// cached response so the next [`Endpoint::call_resumable`] with the
+    /// same id re-runs the handler — the redelivery half of the speculation
+    /// plane's violation path. The exactly-once dedup machinery is reused
+    /// as-is: after the rollback, redelivery is indistinguishable from a
+    /// first delivery.
+    ///
+    /// Only call this when the original execution's effects were confined
+    /// and discarded (a violated speculation): rolling back a request whose
+    /// effects escaped would re-apply them on redelivery. A request whose
+    /// server task is still in flight cannot be rolled back — the handler
+    /// has not produced its (confined) effects yet — so this returns `false`
+    /// and the caller should await completion first. Returns whether a
+    /// cached response was forgotten.
+    pub fn rollback_resumable(&self, request_id: u64) -> bool {
+        if self.resume_inflight.borrow().contains(&request_id) {
+            return false;
+        }
+        let removed = self.resume_cache.borrow_mut().remove(&request_id).is_some();
+        if removed {
+            // Waiter-cancellation discipline: anyone parked on the resume
+            // notify must re-check the cache, find the entry gone, and
+            // redeliver rather than sleep on a record that no longer exists.
+            self.resume_done.notify_all();
+        }
+        removed
+    }
 }
 
 impl<Req: Clone + 'static, Resp: 'static> Endpoint<Req, Resp> {
@@ -777,6 +805,85 @@ mod tests {
             assert_eq!(resp, "done");
         });
         assert_eq!(count.get(), 1);
+    }
+
+    /// Speculation-plane redelivery: after a rollback the same request id
+    /// re-runs the handler exactly once more, while an in-flight request
+    /// refuses the rollback.
+    #[test]
+    fn rollback_resumable_forgets_the_response_and_redelivers() {
+        use std::cell::Cell;
+        let (sim, rt) = setup();
+        let svc = Service::new(
+            &sim,
+            ServiceSpec::new("api", EU).service_time(antipode_sim::Dist::constant_ms(1.0)),
+        );
+        let count = Rc::new(Cell::new(0u32));
+        let c = count.clone();
+        let endpoint = Endpoint::new(&rt, svc, move |(): (), ctx: RequestCtx| {
+            c.set(c.get() + 1);
+            async move { ("done", ctx) }
+        });
+        let e2 = endpoint.clone();
+        sim.block_on(async move {
+            let ctx = RequestCtx::default();
+            // Unknown ids roll back to nothing.
+            assert!(!e2.rollback_resumable(7));
+            let (resp, _) = e2.call_resumable(EU, &ctx, 7, ()).await;
+            assert_eq!(resp, "done");
+            // Cached: a redelivery does not re-run the handler…
+            let _ = e2.call_resumable(EU, &ctx, 7, ()).await;
+            // …until the speculation violates and the record is rolled back.
+            assert!(e2.rollback_resumable(7));
+            assert!(!e2.rollback_resumable(7), "rollback is idempotent");
+            let (resp, _) = e2.call_resumable(EU, &ctx, 7, ()).await;
+            assert_eq!(resp, "done");
+        });
+        assert_eq!(
+            count.get(),
+            2,
+            "one original run plus exactly one post-rollback redelivery"
+        );
+    }
+
+    #[test]
+    fn rollback_resumable_refuses_inflight_requests() {
+        use antipode_sim::{FaultKind, SimTime};
+        let (sim, rt) = setup();
+        let svc = Service::new(
+            &sim,
+            ServiceSpec::new("api", EU).service_time(antipode_sim::Dist::constant_ms(1.0)),
+        );
+        // Crash window parks the server task: the request stays in flight.
+        sim.faults().schedule(
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+            FaultKind::ServiceCrash {
+                service: "api".into(),
+            },
+        );
+        let endpoint = Endpoint::new(
+            &rt,
+            svc,
+            |(): (), ctx: RequestCtx| async move { ("done", ctx) },
+        )
+        .with_timeout(Duration::from_secs(1));
+        let e2 = endpoint.clone();
+        let sim2 = sim.clone();
+        sim.spawn(async move {
+            let ctx = RequestCtx::default();
+            let _ = e2.call_resumable(EU, &ctx, 9, ()).await;
+        });
+        let e3 = endpoint.clone();
+        sim.spawn(async move {
+            sim2.sleep(Duration::from_secs(5)).await;
+            // Mid-crash the server task is parked but in flight: the
+            // rollback must refuse rather than tear out the dedup record.
+            assert!(!e3.rollback_resumable(9));
+        });
+        sim.run();
+        // Once complete, the rollback succeeds.
+        assert!(endpoint.rollback_resumable(9));
     }
 
     #[test]
