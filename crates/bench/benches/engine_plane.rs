@@ -1,0 +1,68 @@
+//! Criterion benchmarks for the engine hot path: the commit → fan-out →
+//! apply pipeline behind every replicated write, swept over offered batch
+//! size.
+//!
+//! Each measurement runs the `engine_perf` workload — a persistent writer
+//! fleet spread across three regions issuing sequential enveloped puts with
+//! constant latencies, so every round's writes commit at the same virtual
+//! instant and the (origin, dest) pair queues see the full offered batch
+//! (≈ writers/3 entries). Reported per write via `Throughput::Elements`:
+//! the `hop_batched/{writers}` curve shows per-write cost falling as the
+//! flusher amortizes over bigger batches, while `hop_unbatched/{writers}`
+//! (one virtual-time event per send entry, same trace) stays flat — the gap
+//! is what batching buys at each scale. The committed `BENCH_engine.json`
+//! pins the headline 256-writer numbers; this sweep makes the curve
+//! visible.
+
+use std::time::Duration;
+
+use antipode_bench::engine_perf;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const SEED: u64 = 0xE6E1_0E57;
+
+/// Measured sequential puts per writer. Small enough that one workload run
+/// stays in the low milliseconds at every sweep point; the per-write cost
+/// is already steady at this depth (each run also does its own one-put
+/// warmup to fill slab and caches).
+const ROUNDS: usize = 8;
+
+fn bench_hop_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_plane");
+    // One sample is a whole workload run (thousands of writes at the top
+    // sweep point); a handful of samples beats criterion's default 100.
+    group.sample_size(10);
+    for writers in [3usize, 24, 96, 256] {
+        group.throughput(Throughput::Elements((writers * ROUNDS) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("hop_batched", writers),
+            &writers,
+            |b, &writers| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        total += engine_perf::timed_workload(SEED, writers, ROUNDS, true);
+                    }
+                    total
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hop_unbatched", writers),
+            &writers,
+            |b, &writers| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        total += engine_perf::timed_workload(SEED, writers, ROUNDS, false);
+                    }
+                    total
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hop_sweep);
+criterion_main!(benches);

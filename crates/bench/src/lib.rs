@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine_perf;
 pub mod experiments;
 pub mod perf;
 pub mod speculation;

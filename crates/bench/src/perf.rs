@@ -54,6 +54,8 @@ pub struct DeterministicMetrics {
     pub final_deps: usize,
     /// Wire-format size of the final lineage, bytes.
     pub final_wire_bytes: usize,
+    /// Flat v2 frame size of the final lineage, bytes.
+    pub final_frame_bytes: usize,
     /// Header size of baggage carrying the final lineage, bytes.
     pub final_header_bytes: usize,
     /// Distinct datastore names interned by the workload thread.
@@ -68,6 +70,10 @@ pub struct DeterministicMetrics {
     pub b64_encodes: u64,
     /// Base64 requests served from cache.
     pub b64_cache_hits: u64,
+    /// Flat v2 frame encodes performed.
+    pub frame_encodes: u64,
+    /// Frame requests served from cache.
+    pub frame_cache_hits: u64,
     /// Decodes that adopted canonical input bytes as the wire cache.
     pub canonical_decodes: u64,
 }
@@ -125,11 +131,17 @@ pub fn build_lineage(seed: u64, deps: usize) -> Lineage {
 /// Runs the fixed hop workload and returns its structural counters.
 ///
 /// Each hop models a service boundary: the lineage is injected into
-/// baggage, rendered to a header, parsed on the far side, and extracted.
-/// Every fourth hop the receiving service starts a request of
-/// its own — transferring the received lineage in and appending a write —
-/// while the other hops forward the lineage unchanged, the pass-through
-/// case the wire/base64 caches exist for.
+/// baggage, carried across the edge, parsed on the far side, and extracted.
+/// Half the edges are text (header render/parse, the HTTP path); the other
+/// half are binary (flat v2 frame, the RPC/engine path) — in alternating
+/// runs of four, so pass-through hops forward over the same transport that
+/// delivered them and the adopted caches get re-used. On arrival the
+/// receiving service persists the value, which serializes the lineage into
+/// a datastore envelope — the wire-cache consumer that canonical decode
+/// adoption exists for. Every fourth hop the receiving service starts a
+/// request of its own — transferring the received lineage in and appending
+/// a write — while the other hops forward the lineage unchanged, the
+/// pass-through case the wire/base64/frame caches exist for.
 pub fn deterministic_workload(seed: u64, deps: usize, hops: usize) -> DeterministicMetrics {
     let mut state = seed ^ 0x5eed;
     let mut lineage = build_lineage(seed, deps);
@@ -137,9 +149,16 @@ pub fn deterministic_workload(seed: u64, deps: usize, hops: usize) -> Determinis
     for hop in 0..hops as u64 {
         let mut out = Baggage::new();
         out.set_lineage(&lineage);
-        let header = out.to_header();
-        let incoming = Baggage::from_header(&header);
+        let incoming = if hop % 8 < 4 {
+            Baggage::from_header(&out.to_header())
+        } else {
+            Baggage::from_frame(&out.to_frame()).expect("frame round-trips")
+        };
         let received = incoming.lineage().expect("hop carries a lineage");
+        // The receiver stores the value: the shim envelopes it under the
+        // received lineage, which asks for the wire form. After a canonical
+        // text-edge decode this must be a cache hit, not a re-encode.
+        std::hint::black_box(received.wire_size());
         lineage = if hop % 4 == 0 {
             let mut request = Lineage::new(LineageId(seed ^ (hop + 1)));
             request.transfer_from(&received);
@@ -151,19 +170,26 @@ pub fn deterministic_workload(seed: u64, deps: usize, hops: usize) -> Determinis
             received
         };
     }
-    let stats = stats::snapshot();
     let mut carrier = Baggage::new();
     carrier.set_lineage(&lineage);
+    let final_wire_bytes = lineage.wire_size();
+    let final_frame_bytes = lineage.frame_size();
+    let final_header_bytes = carrier.header_size();
+    // Snapshot last so the final-size probes above are themselves counted.
+    let stats = stats::snapshot();
     DeterministicMetrics {
         final_deps: lineage.len(),
-        final_wire_bytes: lineage.wire_size(),
-        final_header_bytes: carrier.header_size(),
+        final_wire_bytes,
+        final_frame_bytes,
+        final_header_bytes,
         interned_stores: interner::interned_count(),
         cow_dep_clones: stats.cow_dep_clones,
         wire_encodes: stats.wire_encodes,
         wire_cache_hits: stats.wire_cache_hits,
         b64_encodes: stats.b64_encodes,
         b64_cache_hits: stats.b64_cache_hits,
+        frame_encodes: stats.frame_encodes,
+        frame_cache_hits: stats.frame_cache_hits,
         canonical_decodes: stats.canonical_decodes,
     }
 }
@@ -264,17 +290,26 @@ mod tests {
             m.canonical_decodes > 0,
             "hop decodes must adopt canonical inputs: {m:?}"
         );
-        // 3 of every 4 hops forward the lineage unchanged: injecting it
-        // again must re-use the adopted base64, not re-encode.
+        // The envelope write on every text-edge hop asks for the wire form
+        // of a just-decoded lineage; canonical adoption must serve it from
+        // cache. Both text edges of every 4-hop cycle qualify, so the hit
+        // count is bounded below by half the hops — this pins the
+        // historical regression where the counter sat at zero because no
+        // consumer ever re-asked for the wire bytes.
         assert!(
-            m.b64_cache_hits > m.b64_encodes,
+            m.wire_cache_hits >= DEFAULT_HOPS as u64 / 2,
+            "envelope writes after canonical decodes must hit the wire cache: {m:?}"
+        );
+        // Pass-through text hops forward the adopted base64 unchanged.
+        assert!(
+            m.b64_cache_hits > 0,
             "pass-through hops must be base64 cache hits: {m:?}"
         );
-        // Mutation hops (1 in 4) plus the very first injection are the only
-        // ones allowed to encode.
+        // Binary edges: the first frame render of a binary run encodes,
+        // later pass-through hops forward the adopted frame from cache.
         assert!(
-            m.wire_encodes <= (DEFAULT_HOPS as u64).div_ceil(4) + 1,
-            "only mutation hops may re-encode the wire form: {m:?}"
+            m.frame_encodes > 0 && m.frame_cache_hits > 0,
+            "binary hops must exercise the frame codec and its cache: {m:?}"
         );
     }
 }

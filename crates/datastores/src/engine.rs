@@ -25,9 +25,11 @@ use antipode_sim::sync::{oneshot, OneSender};
 use antipode_sim::{Region, Sim, SimTime};
 use bytes::Bytes;
 
+use crate::batch::PairQueue;
 use crate::probe::{VisibilityEvent, VisibilityProbe};
 use crate::recovery::{Hint, RecoveryConfig, WalEntry};
-use crate::substrate::{stream_name, Admission, ApplyCtx, RetryStyle, StoreError, Substrate};
+use crate::stats;
+use crate::substrate::{stream_name, Admission, ApplyCtx, StoreError, Substrate};
 
 /// A record as held by one engine replica. The KV facade re-exposes this as
 /// [`crate::replica::StoredValue`]; the queue facade reads it back as a
@@ -46,7 +48,7 @@ pub struct Record {
 }
 
 pub(crate) struct Waiter {
-    pub(crate) key: String,
+    pub(crate) key: Rc<str>,
     pub(crate) version: u64,
     /// Resolved `Ok(())` when the awaited version lands, `Err(Unavailable)`
     /// when the replica goes dark (region outage or replica crash) — so
@@ -54,9 +56,22 @@ pub(crate) struct Waiter {
     pub(crate) tx: OneSender<Result<(), StoreError>>,
 }
 
+/// One delivery handed to [`Engine::apply_batch`]: a send entry that
+/// completed transit. `key`/`bytes` are refcount bumps off the commit's
+/// allocations, so a steady-state apply allocates nothing.
+pub(crate) struct ApplyItem {
+    pub(crate) key: Rc<str>,
+    pub(crate) version: u64,
+    pub(crate) bytes: Bytes,
+    pub(crate) committed_at: SimTime,
+    /// Origin crash epoch captured at commit (checked per batch before
+    /// delivery; unused on the direct-apply paths).
+    pub(crate) origin_epoch: u64,
+}
+
 #[derive(Default)]
 pub(crate) struct ReplicaState {
-    pub(crate) data: BTreeMap<String, Record>,
+    pub(crate) data: BTreeMap<Rc<str>, Record>,
     pub(crate) waiters: Vec<Waiter>,
     /// Deterministic per-replica write-ahead log: every apply that changed
     /// the memtable, in apply order — plus, for deferred-apply families
@@ -65,7 +80,7 @@ pub(crate) struct ReplicaState {
     pub(crate) wal: Vec<WalEntry>,
     /// Newest logged version per key, so the commit-time append and the
     /// local delivery's apply never double-log one publish.
-    pub(crate) wal_index: BTreeMap<String, u64>,
+    pub(crate) wal_index: BTreeMap<Rc<str>, u64>,
     /// Bumped on every crash; in-flight sends capture the origin epoch and
     /// abort when it moved (the sending process died).
     pub(crate) epoch: u64,
@@ -74,17 +89,36 @@ pub(crate) struct ReplicaState {
 impl ReplicaState {
     /// Appends `entry` to the WAL unless this key is already logged at
     /// `entry.version` or newer. The index survives crashes with the WAL
-    /// (both model durable storage).
+    /// (both model durable storage). Keys are shared `Rc<str>`s, so the
+    /// index entry is a refcount bump, not a string copy.
     pub(crate) fn wal_append(&mut self, entry: WalEntry) {
-        let logged = self
-            .wal_index
-            .get(&entry.key)
-            .map(|v| *v >= entry.version)
-            .unwrap_or(false);
-        if !logged {
-            self.wal_index.insert(entry.key.clone(), entry.version);
-            self.wal.push(entry);
+        match self.wal_index.entry(Rc::clone(&entry.key)) {
+            std::collections::btree_map::Entry::Occupied(mut logged) => {
+                if *logged.get() >= entry.version {
+                    return;
+                }
+                logged.insert(entry.version);
+            }
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                slot.insert(entry.version);
+            }
         }
+        // Modeled on-log footprint: key + value + fixed header
+        // (version, two timestamps, length prefixes).
+        stats::count_wal_append((entry.key.len() + entry.bytes.len() + 32) as u64);
+        self.wal.push(entry);
+    }
+
+    /// Appends without consulting the dedupe index. Sound only for appends
+    /// that follow a memtable advancement in a family that never pre-logs
+    /// at commit (`origin_applies_at_commit()`): there every logged version
+    /// tracks the data version exactly, so the index could never dedupe —
+    /// its tree walk is pure hot-path overhead. Deferred-apply families
+    /// (queues) log the commit before the delivery applies and must go
+    /// through [`ReplicaState::wal_append`].
+    pub(crate) fn wal_append_fresh(&mut self, entry: WalEntry) {
+        stats::count_wal_append((entry.key.len() + entry.bytes.len() + 32) as u64);
+        self.wal.push(entry);
     }
 }
 
@@ -108,11 +142,21 @@ pub(crate) struct EngineInner<S: Substrate> {
     pub(crate) hints: RefCell<Vec<Hint>>,
     /// Optional observation hook for dynamic analysis (race detection).
     pub(crate) probe: RefCell<Option<VisibilityProbe>>,
-    /// Sends currently in flight (fan-out tasks that have not terminated).
+    /// Sends currently in flight (queued entries that have not reached their
+    /// terminal step).
     pub(crate) inflight: Cell<usize>,
     /// When set, a commit that would push `inflight` past this bound is
     /// rejected with [`StoreError::Overloaded`] — simple back-pressure.
     pub(crate) capacity: Cell<Option<usize>>,
+    /// Per-(origin, dest) send queues; see [`crate::batch`].
+    pub(crate) pairs: RefCell<BTreeMap<(Region, Region), PairQueue>>,
+    /// Batched fan-out (default) vs the one-event-per-entry ablation.
+    pub(crate) batching: Cell<bool>,
+    /// Reusable delivery scratch for [`crate::batch`] flushes (taken/replaced
+    /// around each flush, so steady-state flushes allocate nothing).
+    pub(crate) deliver_scratch: RefCell<Vec<ApplyItem>>,
+    /// Reusable (newly_inserted, watermark) scratch for apply batches.
+    pub(crate) apply_outcomes: RefCell<Vec<(bool, u64)>>,
 }
 
 /// The shared replication engine; see the module docs. Parameterized by the
@@ -162,6 +206,10 @@ impl<S: Substrate> Engine<S> {
                 probe: RefCell::new(None),
                 inflight: Cell::new(0),
                 capacity: Cell::new(None),
+                pairs: RefCell::new(BTreeMap::new()),
+                batching: Cell::new(true),
+                deliver_scratch: RefCell::new(Vec::new()),
+                apply_outcomes: RefCell::new(Vec::new()),
             }),
         };
         crate::recovery::spawn_monitor(&engine);
@@ -222,6 +270,18 @@ impl<S: Substrate> Engine<S> {
         self.inner.capacity.set(cap);
     }
 
+    /// Toggles batched fan-out. `false` is the determinism ablation: the
+    /// same pair-queue machinery, but every entry costs one executor event —
+    /// identical traces, unbatched event counts (see [`crate::batch`]).
+    pub(crate) fn set_batching(&self, on: bool) {
+        self.inner.batching.set(on);
+    }
+
+    /// Whether batched fan-out is enabled.
+    pub(crate) fn batching(&self) -> bool {
+        self.inner.batching.get()
+    }
+
     pub(crate) fn check_region(&self, region: Region) -> Result<(), StoreError> {
         if self.inner.replicas.borrow().contains_key(&region) {
             Ok(())
@@ -262,10 +322,11 @@ impl<S: Substrate> Engine<S> {
         key: Option<&str>,
         value: Bytes,
     ) -> Result<u64, StoreError> {
-        self.check_region(origin)?;
         match self.inner.substrate.admission() {
+            // `check_available` re-checks region existence itself.
             Admission::Reject => self.check_available(origin)?,
             Admission::Block => {
+                self.check_region(origin)?;
                 let eng = self.clone();
                 self.inner
                     .faults
@@ -293,7 +354,8 @@ impl<S: Substrate> Engine<S> {
             self.inner.substrate.commit_latency(&mut rng)
         };
         self.inner.sim.sleep(commit).await;
-        if self.replica_epoch(origin) != epoch0 {
+        let epoch = self.replica_epoch(origin);
+        if epoch != epoch0 {
             // The origin replica crash-restarted mid-commit: the committing
             // process died before assigning a version.
             return Err(StoreError::CrashedEpoch {
@@ -304,15 +366,25 @@ impl<S: Substrate> Engine<S> {
         let version = self.inner.next_version.get();
         self.inner.next_version.set(version + 1);
         let committed_at = self.inner.sim.now();
+        stats::count_commit();
         // One shared key allocation for the whole fan-out (and `Bytes`
         // clones are refcount bumps), so a commit's per-destination cost is
-        // independent of key and value size.
+        // independent of key and value size. Re-writes of a key the origin
+        // already holds reuse its interned `Rc<str>` instead of allocating.
         let key: Rc<str> = match key {
-            Some(k) => Rc::from(k),
+            Some(k) => {
+                let replicas = self.inner.replicas.borrow();
+                match replicas
+                    .get(&origin)
+                    .and_then(|state| state.data.get_key_value(k))
+                {
+                    Some((interned, _)) => Rc::clone(interned),
+                    None => Rc::from(k),
+                }
+            }
             None => Rc::from(self.inner.substrate.derived_key(version).as_str()),
         };
-        let applies_at_commit = self.inner.substrate.origin_applies_at_commit();
-        if applies_at_commit {
+        if self.inner.substrate.origin_applies_at_commit() {
             self.apply(origin, &key, version, value.clone(), committed_at);
         } else if self.inner.recovery.get().wal {
             // Deferred-apply families (queues) become *visible* only when the
@@ -323,7 +395,7 @@ impl<S: Substrate> Engine<S> {
             let mut replicas = self.inner.replicas.borrow_mut();
             if let Some(state) = replicas.get_mut(&origin) {
                 state.wal_append(WalEntry {
-                    key: key.to_string(),
+                    key: Rc::clone(&key),
                     version,
                     bytes: value.clone(),
                     visible_at: committed_at,
@@ -331,246 +403,142 @@ impl<S: Substrate> Engine<S> {
                 });
             }
         }
-        for &dest in &self.inner.regions {
-            if dest != origin || !applies_at_commit {
-                self.spawn_send(
-                    origin,
-                    dest,
-                    Rc::clone(&key),
-                    version,
-                    value.clone(),
-                    committed_at,
-                );
-            }
-        }
+        self.enqueue_sends(origin, epoch, &key, version, &value, committed_at);
         Ok(version)
     }
 
-    /// One asynchronous send: sample/retry per the substrate's
-    /// [`RetryStyle`], then hand the record to [`Engine::finish_send`].
-    fn spawn_send(
-        &self,
-        origin: Region,
-        dest: Region,
-        key: Rc<str>,
-        version: u64,
-        value: Bytes,
-        committed_at: SimTime,
-    ) {
-        let eng = self.clone();
-        let origin_epoch = self.replica_epoch(origin);
-        self.inner.inflight.set(self.inner.inflight.get() + 1);
-        self.inner.sim.spawn(async move {
-            match eng.inner.substrate.retry_style() {
-                RetryStyle::ResampleLag => loop {
-                    let now = eng.inner.sim.now();
-                    let drop_p = eng.inner.substrate.drop_probability(
-                        &eng.inner.faults,
-                        now,
-                        &eng.inner.name,
-                    );
-                    let (dropped, backoff, lag) = {
-                        let mut rng = eng.inner.rng.borrow_mut();
-                        let dropped = {
-                            use rand::Rng;
-                            drop_p > 0.0 && rng.random::<f64>() < drop_p
-                        };
-                        let backoff = eng.inner.substrate.retry_backoff(&mut rng);
-                        let lag = eng.inner.substrate.propagation_lag(
-                            &mut rng,
-                            &eng.inner.net,
-                            &eng.inner.faults,
-                            now,
-                            &eng.inner.name,
-                            origin,
-                            dest,
-                        );
-                        (dropped, backoff, lag)
-                    };
-                    if dropped {
-                        eng.inner.sim.sleep(backoff).await;
-                        continue;
-                    }
-                    eng.inner.sim.sleep(lag).await;
-                    break;
-                },
-                RetryStyle::LagOnce => {
-                    let lag = {
-                        let now = eng.inner.sim.now();
-                        let mut rng = eng.inner.rng.borrow_mut();
-                        eng.inner.substrate.propagation_lag(
-                            &mut rng,
-                            &eng.inner.net,
-                            &eng.inner.faults,
-                            now,
-                            &eng.inner.name,
-                            origin,
-                            dest,
-                        )
-                    };
-                    eng.inner.sim.sleep(lag).await;
-                    loop {
-                        let now = eng.inner.sim.now();
-                        let drop_p = eng.inner.substrate.drop_probability(
-                            &eng.inner.faults,
-                            now,
-                            &eng.inner.name,
-                        );
-                        let (dropped, backoff) = {
-                            let mut rng = eng.inner.rng.borrow_mut();
-                            let dropped = {
-                                use rand::Rng;
-                                drop_p > 0.0 && rng.random::<f64>() < drop_p
-                            };
-                            let backoff = eng.inner.substrate.retry_backoff(&mut rng);
-                            (dropped, backoff)
-                        };
-                        if !dropped {
-                            break;
-                        }
-                        eng.inner.sim.sleep(backoff).await;
-                    }
-                }
-            }
-            eng.finish_send(
-                origin,
-                origin_epoch,
-                dest,
-                key,
-                version,
-                value,
-                committed_at,
-            );
-            eng.inner.inflight.set(eng.inner.inflight.get() - 1);
-        });
-    }
-
-    /// Terminal step of one send: apply at the destination when the path is
-    /// healthy, or queue a hinted-handoff entry at the origin when a fault
-    /// suppresses it (stall, partition, pause, outage, crashed destination).
-    /// With handoff disabled the suppressed send is dropped outright — the
-    /// ablation that shows the recovery plane is load-bearing.
-    #[allow(clippy::too_many_arguments)]
-    fn finish_send(
-        &self,
-        origin: Region,
-        origin_epoch: u64,
-        dest: Region,
-        key: Rc<str>,
-        version: u64,
-        value: Bytes,
-        committed_at: SimTime,
-    ) {
-        if self.replica_epoch(origin) != origin_epoch {
-            // The origin replica crash-restarted while this send was in
-            // flight: the sending process died with it. The origin copy is in
-            // the WAL; remote copies are recovered by anti-entropy repair.
-            return;
-        }
-        let now = self.inner.sim.now();
-        let suppressed = self.inner.substrate.send_suppressed(
-            &self.inner.faults,
-            now,
-            &self.inner.name,
-            origin,
-            dest,
-        ) || self
-            .inner
-            .faults
-            .replica_crashed(now, &self.inner.name, dest);
-        if !suppressed {
-            self.apply(dest, &key, version, value, committed_at);
-        } else if self.inner.recovery.get().hinted_handoff {
-            self.inner.hints.borrow_mut().push(Hint {
-                origin,
-                dest,
-                key,
-                version,
-                bytes: value,
-                committed_at,
-            });
-        }
-    }
-
-    /// Applies a record at a replica, waking matured waiters and invoking
-    /// the substrate's reaction. Out-of-order (superseded) arrivals still
-    /// satisfy waiters but do not clobber newer data. Records addressed to a
-    /// crashed replica are dropped (the process is dead); anti-entropy
-    /// repair back-fills them after restart.
+    /// Applies one record at a replica — the single-delivery path used by
+    /// hint flushes, anti-entropy back-fills, and test plumbing. Hot-path
+    /// deliveries go through [`Engine::apply_batch`] directly.
     pub(crate) fn apply(
         &self,
         region: Region,
-        key: &str,
+        key: &Rc<str>,
         version: u64,
         value: Bytes,
         committed_at: SimTime,
     ) {
+        let mut items = self.inner.deliver_scratch.take();
+        items.clear();
+        items.push(ApplyItem {
+            key: Rc::clone(key),
+            version,
+            bytes: value,
+            committed_at,
+            origin_epoch: 0,
+        });
+        self.apply_batch(region, &mut items);
+        self.inner.deliver_scratch.replace(items);
+    }
+
+    /// Applies a batch of records at one replica: one crash check, one
+    /// replica-map borrow, and one WAL index pass for the whole batch, then
+    /// the substrate's per-record reactions. Semantically identical to
+    /// applying the items one at a time in order — out-of-order (superseded)
+    /// arrivals still satisfy waiters but do not clobber newer data, and
+    /// records addressed to a crashed replica are dropped (the process is
+    /// dead; anti-entropy repair back-fills them after restart). Drains
+    /// `items`.
+    pub(crate) fn apply_batch(&self, region: Region, items: &mut Vec<ApplyItem>) {
+        if items.is_empty() {
+            return;
+        }
         let now = self.inner.sim.now();
         if self
             .inner
             .faults
             .replica_crashed(now, &self.inner.name, region)
         {
+            items.clear();
             return;
         }
+        stats::count_batch_flush(items.len() as u64);
         let wal_enabled = self.inner.recovery.get().wal;
-        let (newly_inserted, watermark) = {
+        // Families that never pre-log at commit can skip the WAL dedupe
+        // index (see `wal_append_fresh`).
+        let fresh_log = self.inner.substrate.origin_applies_at_commit();
+        let mut outcomes = self.inner.apply_outcomes.take();
+        outcomes.clear();
+        {
             let mut replicas = self.inner.replicas.borrow_mut();
             // Sends only target configured replicas; treat a miss as a
             // dropped message rather than tearing the run down.
             let Some(state) = replicas.get_mut(&region) else {
+                items.clear();
+                self.inner.apply_outcomes.replace(outcomes);
                 return;
             };
-            let newer_exists = state
-                .data
-                .get(key)
-                .map(|v| v.version >= version)
-                .unwrap_or(false);
-            if !newer_exists {
-                state.data.insert(
-                    key.to_string(),
-                    Record {
-                        version,
-                        bytes: value.clone(),
+            for item in items.iter() {
+                // One tree walk per record: the entry resolves superseded-vs-
+                // fresh, performs the insert, and yields the watermark.
+                let (newly_inserted, watermark) = match state.data.entry(Rc::clone(&item.key)) {
+                    std::collections::btree_map::Entry::Occupied(mut existing) => {
+                        if existing.get().version >= item.version {
+                            (false, existing.get().version)
+                        } else {
+                            existing.insert(Record {
+                                version: item.version,
+                                bytes: item.bytes.clone(),
+                                visible_at: now,
+                                committed_at: item.committed_at,
+                            });
+                            (true, item.version)
+                        }
+                    }
+                    std::collections::btree_map::Entry::Vacant(slot) => {
+                        slot.insert(Record {
+                            version: item.version,
+                            bytes: item.bytes.clone(),
+                            visible_at: now,
+                            committed_at: item.committed_at,
+                        });
+                        (true, item.version)
+                    }
+                };
+                if newly_inserted && wal_enabled {
+                    let entry = WalEntry {
+                        key: Rc::clone(&item.key),
+                        version: item.version,
+                        bytes: item.bytes.clone(),
                         visible_at: now,
-                        committed_at,
-                    },
-                );
-                if wal_enabled {
-                    state.wal_append(WalEntry {
-                        key: key.to_string(),
-                        version,
-                        bytes: value.clone(),
-                        visible_at: now,
-                        committed_at,
-                    });
+                        committed_at: item.committed_at,
+                    };
+                    if fresh_log {
+                        state.wal_append_fresh(entry);
+                    } else {
+                        state.wal_append(entry);
+                    }
                 }
-            }
-            let watermark = state.data.get(key).map(|v| v.version).unwrap_or(version);
-            let mut i = 0;
-            while i < state.waiters.len() {
-                if state.waiters[i].key == key && state.waiters[i].version <= watermark {
-                    let w = state.waiters.swap_remove(i);
-                    let _ = w.tx.send(Ok(()));
-                } else {
-                    i += 1;
+                let mut i = 0;
+                while i < state.waiters.len() {
+                    if state.waiters[i].key == item.key && state.waiters[i].version <= watermark {
+                        let w = state.waiters.swap_remove(i);
+                        let _ = w.tx.send(Ok(()));
+                    } else {
+                        i += 1;
+                    }
                 }
+                outcomes.push((newly_inserted, watermark));
             }
-            (!newer_exists, watermark)
-        };
+        }
         let probe = self.inner.probe.borrow().clone();
-        self.inner.substrate.on_apply(&ApplyCtx {
-            store: &self.inner.name,
-            region,
-            key,
-            version,
-            bytes: &value,
-            committed_at,
-            newly_inserted,
-            watermark,
-            at: now,
-            probe: probe.as_ref(),
-        });
+        stats::count_applies(items.len() as u64);
+        for (item, &(newly_inserted, watermark)) in items.iter().zip(outcomes.iter()) {
+            self.inner.substrate.on_apply(&ApplyCtx {
+                store: &self.inner.name,
+                region,
+                key: &item.key,
+                version: item.version,
+                bytes: &item.bytes,
+                committed_at: item.committed_at,
+                newly_inserted,
+                watermark,
+                at: now,
+                probe: probe.as_ref(),
+            });
+        }
+        items.clear();
+        self.inner.apply_outcomes.replace(outcomes);
     }
 
     /// Zero-latency read of one replica record.
@@ -625,7 +593,7 @@ impl<S: Substrate> Engine<S> {
                 }
                 let (tx, rx) = oneshot();
                 state.waiters.push(Waiter {
-                    key: key.to_string(),
+                    key: Rc::from(key),
                     version,
                     tx,
                 });

@@ -37,18 +37,23 @@ impl Envelope {
 
     /// Encodes the envelope to the stored byte representation. The lineage
     /// part comes from the lineage's cached wire encoding, so re-encoding an
-    /// unchanged lineage across writes costs a memcpy, not a serialization.
+    /// unchanged lineage across writes costs a memcpy, not a serialization —
+    /// and the assembly scratch comes from (and returns to) the hot-path
+    /// [`crate::slab`], so a steady-state encode's only allocation is the
+    /// frozen `Bytes` itself.
     pub fn encode(&self) -> Bytes {
         let lin = self.lineage.as_ref().map(Lineage::wire_bytes);
         let lin_len = lin.as_ref().map_or(0, |l| l.len());
-        let mut buf = Vec::with_capacity(self.data.len() + lin_len + 10);
+        let mut buf = crate::slab::take(self.data.len() + lin_len + 10);
         put_varint(&mut buf, self.data.len() as u64);
         buf.extend_from_slice(&self.data);
         put_varint(&mut buf, lin_len as u64);
         if let Some(l) = lin {
             buf.extend_from_slice(&l);
         }
-        Bytes::from(buf)
+        let frozen = Bytes::copy_from_slice(&buf);
+        crate::slab::give(buf);
+        frozen
     }
 
     /// Decodes a stored byte representation.

@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod amq;
+pub mod batch;
 pub mod dynamodb;
 pub mod engine;
 pub mod envelope;
@@ -74,8 +75,10 @@ pub mod repair;
 pub mod replica;
 pub mod s3;
 pub mod shim;
+pub mod slab;
 pub mod sns;
 pub mod speculation;
+pub mod stats;
 pub mod substrate;
 
 pub use amq::{Amq, AmqShim};
@@ -92,6 +95,8 @@ pub use repair::{RepairConfig, RepairReport};
 pub use replica::{KvProfile, KvStore, StoreError, StoredValue};
 pub use s3::{S3Shim, S3};
 pub use shim::{KvShim, QueueShim, ShimError, ShimMessage, ShimSubscription, WaitSemantics};
+pub use slab::SlabStats;
 pub use sns::{Sns, SnsShim};
 pub use speculation::{BufferState, ConfinedOp, ConfinementBuffer};
+pub use stats::EngineStats;
 pub use substrate::{Admission, ApplyCtx, KvSubstrate, QueueSubstrate, RetryStyle, Substrate};

@@ -145,6 +145,24 @@ impl QueueStore {
         self.engine.set_send_capacity(cap);
     }
 
+    /// Toggles batched delivery fan-out (on by default). `false` selects
+    /// the determinism ablation: one virtual-time event per delivery entry
+    /// instead of one per batch — same trace, unbatched event counts (see
+    /// [`crate::batch`]).
+    pub fn set_batching(&self, on: bool) {
+        self.engine.set_batching(on);
+    }
+
+    /// Whether batched fan-out is enabled.
+    pub fn batching(&self) -> bool {
+        self.engine.batching()
+    }
+
+    /// Queued-but-undelivered delivery sends (diagnostics).
+    pub fn pending_sends(&self) -> usize {
+        self.engine.pending_sends()
+    }
+
     /// Subscribes to messages delivered in `region`. Every subscriber
     /// receives every message delivered after it subscribed.
     pub fn subscribe(&self, region: Region) -> Result<Receiver<QueueMessage>, StoreError> {

@@ -73,10 +73,12 @@ impl RecoveryConfig {
 }
 
 /// One durable write-ahead-log record: an apply that changed the memtable.
+/// The key is a shared `Rc<str>` — one allocation per commit, refcount
+/// bumps everywhere else (WAL, index, memtable, hints, batch entries).
 #[derive(Clone, Debug)]
 pub struct WalEntry {
     /// The written key.
-    pub key: String,
+    pub key: Rc<str>,
     /// The version applied.
     pub version: u64,
     /// The stored bytes.
@@ -219,7 +221,7 @@ impl<S: Substrate> Engine<S> {
                     .unwrap_or(false);
                 if !newer_exists {
                     state.data.insert(
-                        entry.key.clone(),
+                        Rc::clone(&entry.key),
                         Record {
                             version: entry.version,
                             bytes: entry.bytes.clone(),

@@ -23,6 +23,7 @@
 //! so `sim.run()` still quiesces with anti-entropy enabled.
 
 use std::collections::BTreeSet;
+use std::rc::Rc;
 use std::time::Duration;
 
 use antipode_sim::{Region, SimTime};
@@ -71,7 +72,7 @@ impl<S: Substrate> Engine<S> {
         let Some(first) = iter.next() else {
             return true;
         };
-        let reference: Vec<(&String, u64)> =
+        let reference: Vec<(&Rc<str>, u64)> =
             first.data.iter().map(|(k, v)| (k, v.version)).collect();
         iter.all(|state| {
             state.data.len() == reference.len()
@@ -99,11 +100,12 @@ impl<S: Substrate> Engine<S> {
             .filter(|&r| !self.substrate().op_blocked(self.faults(), now, &name, r))
             .collect();
         // key → (newest version, bytes, commit time, source replica), in
-        // BTreeMap order.
-        let mut union: Vec<(String, u64, Bytes, SimTime, Region)> = Vec::new();
+        // BTreeMap order. Keys and values are shared `Rc`/`Bytes` handles,
+        // so snapshotting the union is refcount bumps, not copies.
+        let mut union: Vec<(Rc<str>, u64, Bytes, SimTime, Region)> = Vec::new();
         {
             let replicas = self.inner.replicas.borrow();
-            let mut newest: std::collections::BTreeMap<&String, (u64, &Bytes, SimTime, Region)> =
+            let mut newest: std::collections::BTreeMap<&Rc<str>, (u64, &Bytes, SimTime, Region)> =
                 std::collections::BTreeMap::new();
             for &r in &live {
                 let Some(state) = replicas.get(&r) else {
@@ -117,14 +119,14 @@ impl<S: Substrate> Engine<S> {
                 }
             }
             for (k, (ver, bytes, committed_at, src)) in newest {
-                union.push((k.clone(), ver, bytes.clone(), committed_at, src));
+                union.push((Rc::clone(k), ver, bytes.clone(), committed_at, src));
             }
         }
         let examined = union.len();
         // Plan the back-fills against the snapshot. A pair whose path the
         // substrate reports suppressed (stall, pause, partition, outage) is
         // skipped this round; the next sweep retries it.
-        let mut plan: Vec<(Region, Region, String, u64, Bytes, SimTime)> = Vec::new();
+        let mut plan: Vec<(Region, Region, Rc<str>, u64, Bytes, SimTime)> = Vec::new();
         for &dest in &live {
             for (key, ver, bytes, committed_at, src) in &union {
                 if dest == *src
@@ -136,7 +138,14 @@ impl<S: Substrate> Engine<S> {
                 }
                 let dest_ver = self.record(dest, key).map(|v| v.version).unwrap_or(0);
                 if dest_ver < *ver {
-                    plan.push((*src, dest, key.clone(), *ver, bytes.clone(), *committed_at));
+                    plan.push((
+                        *src,
+                        dest,
+                        Rc::clone(key),
+                        *ver,
+                        bytes.clone(),
+                        *committed_at,
+                    ));
                 }
             }
         }

@@ -127,7 +127,26 @@ impl KvStore {
     #[cfg(test)]
     pub(crate) fn apply(&self, region: Region, key: &str, version: u64, value: Bytes) {
         let committed_at = self.engine.sim().now();
-        self.engine.apply(region, key, version, value, committed_at);
+        self.engine
+            .apply(region, &Rc::from(key), version, value, committed_at);
+    }
+
+    /// Toggles batched replication fan-out (on by default). `false` selects
+    /// the determinism ablation: the same pair-queue machinery, paying one
+    /// virtual-time event per send entry instead of one per batch — same
+    /// trace, unbatched event counts (see [`crate::batch`]).
+    pub fn set_batching(&self, on: bool) {
+        self.engine.set_batching(on);
+    }
+
+    /// Whether batched fan-out is enabled.
+    pub fn batching(&self) -> bool {
+        self.engine.batching()
+    }
+
+    /// Queued-but-undelivered replication sends (diagnostics).
+    pub fn pending_sends(&self) -> usize {
+        self.engine.pending_sends()
     }
 
     /// Number of write-ahead-log entries at a replica (diagnostics).

@@ -2,23 +2,37 @@
 //! §6.4: "Antipode piggybacks lineage metadata on OpenTelemetry baggage").
 //!
 //! Baggage is a string-keyed map propagated with every RPC and queue message.
-//! The lineage travels under [`LINEAGE_KEY`] as base64 of the compact wire
-//! format; [`Baggage::to_header`]/[`Baggage::from_header`] give the textual
-//! on-the-wire form whose size the metadata experiments measure.
+//! The lineage rides in a structural slot next to the entries, so injecting
+//! it ([`Baggage::set_lineage`]) is an O(1) clone — no encoding happens until
+//! the baggage actually crosses a wire. Two wire forms exist:
+//!
+//! - [`Baggage::to_header`]/[`Baggage::from_header`] — the textual v1 form
+//!   (`k=v` pairs, lineage as base64 under [`LINEAGE_KEY`]), byte-identical
+//!   to the pre-slot implementation and kept as the compat codec;
+//! - [`Baggage::to_frame`]/[`Baggage::from_frame`] — the flat binary form:
+//!   varint-prefixed entry strings plus the lineage's self-delimiting v2
+//!   frame, with no base64 expansion and no percent-escaping.
 
 use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use bytes::{Buf, BufMut};
 
 use crate::base64;
 use crate::lineage::Lineage;
-use crate::varint::CodecError;
+use crate::varint::{get_str, get_varint, put_str, put_varint, CodecError};
 
 /// Baggage key under which the serialized lineage travels.
 pub const LINEAGE_KEY: &str = "antipode-lineage";
 
 /// A propagated string-keyed context map.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default)]
 pub struct Baggage {
     entries: BTreeMap<String, String>,
+    /// The structural lineage slot. Invariant: when this is `Some`, the
+    /// entry map holds no [`LINEAGE_KEY`] entry (raw string entries — e.g.
+    /// parsed headers — live in the map until decoded on demand).
+    lineage: Option<Lineage>,
 }
 
 /// Errors from extracting a lineage out of baggage.
@@ -43,51 +57,93 @@ impl std::fmt::Display for BaggageError {
 }
 impl std::error::Error for BaggageError {}
 
+impl PartialEq for Baggage {
+    fn eq(&self, other: &Self) -> bool {
+        // Compare the non-lineage entries structurally and the lineage by
+        // value, regardless of whether it sits in the slot or (as after
+        // `from_header`) as an undecoded base64 entry.
+        let a = self
+            .entries
+            .iter()
+            .filter(|(k, _)| k.as_str() != LINEAGE_KEY);
+        let b = other
+            .entries
+            .iter()
+            .filter(|(k, _)| k.as_str() != LINEAGE_KEY);
+        a.eq(b) && self.lineage_b64() == other.lineage_b64()
+    }
+}
+
+impl Eq for Baggage {}
+
 impl Baggage {
     /// Creates empty baggage.
     pub fn new() -> Self {
         Baggage::default()
     }
 
-    /// Sets an entry, returning the previous value.
+    /// Sets an entry, returning the previous value. Setting [`LINEAGE_KEY`]
+    /// directly stores the raw string (the compat path for hand-built
+    /// headers) and displaces any structural lineage.
     pub fn set(&mut self, key: impl Into<String>, value: impl Into<String>) -> Option<String> {
-        self.entries.insert(key.into(), value.into())
+        let key = key.into();
+        let displaced = if key == LINEAGE_KEY {
+            self.lineage.take().map(|l| l.wire_b64().to_string())
+        } else {
+            None
+        };
+        self.entries.insert(key, value.into()).or(displaced)
     }
 
-    /// Looks up an entry.
+    /// Looks up an entry. The structural lineage is not visible here — use
+    /// [`Baggage::lineage`] (raw [`LINEAGE_KEY`] entries set via
+    /// [`Baggage::set`] or parsed from headers are).
     pub fn get(&self, key: &str) -> Option<&str> {
         self.entries.get(key).map(String::as_str)
     }
 
-    /// Removes an entry.
+    /// Removes an entry, returning its value ([`LINEAGE_KEY`] removes the
+    /// structural lineage too, rendering it to base64 if needed).
     pub fn remove(&mut self, key: &str) -> Option<String> {
-        self.entries.remove(key)
+        let displaced = if key == LINEAGE_KEY {
+            self.lineage.take().map(|l| l.wire_b64().to_string())
+        } else {
+            None
+        };
+        self.entries.remove(key).or(displaced)
     }
 
-    /// Number of entries.
+    /// Number of entries, counting the lineage (slot or raw) as one.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.len() + usize::from(self.lineage.is_some())
     }
 
     /// Whether the baggage is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.entries.is_empty() && self.lineage.is_none()
     }
 
-    /// Stores a lineage under [`LINEAGE_KEY`]. Uses the lineage's cached
-    /// wire/base64 encoding, so injecting an unchanged lineage on every hop
-    /// costs one string copy instead of a full re-serialization.
+    /// Stores a lineage in the structural slot: an O(1) clone (`Rc` bumps),
+    /// no encoding. The textual or binary form is produced lazily — and
+    /// served from the lineage's own caches — only when the baggage is
+    /// rendered by [`Baggage::to_header`] or [`Baggage::to_frame`].
     pub fn set_lineage(&mut self, lineage: &Lineage) {
-        self.set(LINEAGE_KEY, lineage.wire_b64().to_string());
+        self.entries.remove(LINEAGE_KEY);
+        self.lineage = Some(lineage.clone());
     }
 
     /// Extracts the lineage, if any.
     ///
-    /// When the payload is canonical, the decoded lineage adopts both the
-    /// wire bytes and the incoming base64 string as its caches: forwarding
-    /// it unchanged into the next hop's baggage re-uses the exact header
-    /// value, no re-encoding at either layer.
+    /// A structural lineage (set by [`Baggage::set_lineage`] or decoded by
+    /// [`Baggage::from_frame`]) is returned by clone. Otherwise the raw
+    /// [`LINEAGE_KEY`] entry is decoded; when that payload is canonical, the
+    /// decoded lineage adopts both the wire bytes and the incoming base64
+    /// string as its caches, so forwarding it unchanged into the next hop's
+    /// baggage re-uses the exact header value with no re-encoding.
     pub fn lineage(&self) -> Result<Lineage, BaggageError> {
+        if let Some(l) = &self.lineage {
+            return Ok(l.clone());
+        }
         let raw = self.get(LINEAGE_KEY).ok_or(BaggageError::Missing)?;
         let bytes = base64::decode(raw).map_err(|_| BaggageError::Encoding)?;
         let lineage = Lineage::deserialize(&bytes).map_err(BaggageError::Codec)?;
@@ -100,27 +156,66 @@ impl Baggage {
     /// Removes the lineage entry (the paper's `stop`: execution ends and the
     /// context drops the ongoing dependency set).
     pub fn clear_lineage(&mut self) {
-        self.remove(LINEAGE_KEY);
+        self.lineage = None;
+        self.entries.remove(LINEAGE_KEY);
+    }
+
+    /// The base64 rendering of the lineage, from whichever representation
+    /// holds it (slot wins; raw entries pass through verbatim).
+    fn lineage_b64(&self) -> Option<Rc<str>> {
+        match &self.lineage {
+            Some(l) => Some(l.wire_b64()),
+            None => self.entries.get(LINEAGE_KEY).map(|s| s.as_str().into()),
+        }
     }
 
     /// Renders the W3C-baggage-style header `k1=v1,k2=v2` with percent
-    /// escaping of `%`, `,` and `=` in keys and values.
+    /// escaping of `%`, `,` and `=` in keys and values. The structural
+    /// lineage renders under [`LINEAGE_KEY`] at its sorted position, so the
+    /// bytes are identical to the pre-slot implementation (asserted by the
+    /// golden header test).
     pub fn to_header(&self) -> String {
+        let lin_b64 = self.lineage.as_ref().map(|l| l.wire_b64());
+        let mut lin_pending = lin_b64.is_some();
         let mut out = String::new();
-        for (i, (k, v)) in self.entries.iter().enumerate() {
-            if i > 0 {
+        let mut first = true;
+        let push_item = |out: &mut String, first: &mut bool, k: &str, v: &str| {
+            if !*first {
                 out.push(',');
             }
+            *first = false;
             out.push_str(&escape(k));
             out.push('=');
             out.push_str(&escape(v));
+        };
+        for (k, v) in &self.entries {
+            if lin_pending && k.as_str() > LINEAGE_KEY {
+                push_item(
+                    &mut out,
+                    &mut first,
+                    LINEAGE_KEY,
+                    lin_b64.as_deref().expect("pending implies present"),
+                );
+                lin_pending = false;
+            }
+            push_item(&mut out, &mut first, k, v);
+        }
+        if lin_pending {
+            push_item(
+                &mut out,
+                &mut first,
+                LINEAGE_KEY,
+                lin_b64.as_deref().expect("pending implies present"),
+            );
         }
         out
     }
 
     /// Parses a header produced by [`Baggage::to_header`]. Malformed items
     /// (no `=`) are skipped, matching the lenient posture of real
-    /// propagators.
+    /// propagators. The lineage entry stays a raw string until
+    /// [`Baggage::lineage`] decodes it (lenient: a corrupt entry surfaces at
+    /// extraction, not at parse).
     pub fn from_header(header: &str) -> Baggage {
         let mut b = Baggage::new();
         for item in header.split(',') {
@@ -138,6 +233,84 @@ impl Baggage {
     /// adds to each RPC.
     pub fn header_size(&self) -> usize {
         self.to_header().len()
+    }
+
+    /// Renders the flat binary frame: `[varint n][k v string pairs…]`
+    /// followed by a presence byte and, if present, the lineage's
+    /// self-delimiting v2 frame. No base64 (saves the ~33% expansion), no
+    /// escaping, and the lineage bytes come straight from the frame cache —
+    /// a pass-through hop memcpys cached bytes and encodes nothing.
+    pub fn to_frame(&self) -> Vec<u8> {
+        let lin_frame = match &self.lineage {
+            Some(l) => Some(l.frame_bytes()),
+            // Compat: a raw base64 entry still travels as a binary frame.
+            None => match self.lineage() {
+                Ok(l) => Some(l.frame_bytes()),
+                Err(_) => None,
+            },
+        };
+        let mut buf = Vec::with_capacity(64 + lin_frame.as_ref().map_or(0, |f| f.len()));
+        let n = self
+            .entries
+            .iter()
+            .filter(|(k, _)| k.as_str() != LINEAGE_KEY)
+            .count();
+        put_varint(&mut buf, n as u64);
+        for (k, v) in &self.entries {
+            if k.as_str() == LINEAGE_KEY {
+                continue;
+            }
+            put_str(&mut buf, k);
+            put_str(&mut buf, v);
+        }
+        match lin_frame {
+            Some(f) => {
+                buf.put_u8(1);
+                buf.extend_from_slice(&f);
+            }
+            None => buf.put_u8(0),
+        }
+        buf
+    }
+
+    /// Parses a frame produced by [`Baggage::to_frame`]. Unlike headers,
+    /// frames are machine-built, so corruption is an error, not something to
+    /// skip past. A canonical embedded lineage lands in the structural slot
+    /// with its frame cache adopted — re-rendering is a memcpy.
+    pub fn from_frame(bytes: &[u8]) -> Result<Baggage, BaggageError> {
+        let total_len = bytes.len();
+        let mut slice = bytes;
+        let buf = &mut slice;
+        let n = get_varint(buf).map_err(BaggageError::Codec)? as usize;
+        // Each entry costs at least two 1-byte length prefixes.
+        if n > buf.remaining() / 2 {
+            return Err(BaggageError::Codec(CodecError::LengthOutOfBounds));
+        }
+        let mut b = Baggage::new();
+        for _ in 0..n {
+            let k = get_str(buf).map_err(BaggageError::Codec)?;
+            let v = get_str(buf).map_err(BaggageError::Codec)?;
+            b.entries.insert(k, v);
+        }
+        if !buf.has_remaining() {
+            return Err(BaggageError::Codec(CodecError::UnexpectedEof));
+        }
+        match buf.get_u8() {
+            0 => {}
+            1 => {
+                let consumed = total_len - buf.remaining();
+                let (lineage, _) =
+                    Lineage::decode_frame(&bytes[consumed..]).map_err(BaggageError::Codec)?;
+                b.lineage = Some(lineage);
+            }
+            _ => return Err(BaggageError::Codec(CodecError::LengthOutOfBounds)),
+        }
+        Ok(b)
+    }
+
+    /// Size in bytes of the binary frame form.
+    pub fn frame_size(&self) -> usize {
+        self.to_frame().len()
     }
 }
 
@@ -214,6 +387,26 @@ mod tests {
     }
 
     #[test]
+    fn set_lineage_is_encode_free() {
+        let mut l = Lineage::new(LineageId(7));
+        l.append(WriteId::new("mysql", "post-1", 3));
+        let before = crate::stats::snapshot();
+        let mut b = Baggage::new();
+        b.set_lineage(&l);
+        let _ = b.lineage().unwrap();
+        let after = crate::stats::snapshot();
+        assert_eq!(
+            (after.wire_encodes, after.b64_encodes, after.frame_encodes),
+            (
+                before.wire_encodes,
+                before.b64_encodes,
+                before.frame_encodes
+            ),
+            "slot-based inject/extract must not touch any codec"
+        );
+    }
+
+    #[test]
     fn missing_lineage() {
         assert_eq!(Baggage::new().lineage(), Err(BaggageError::Missing));
     }
@@ -225,6 +418,17 @@ mod tests {
         assert_eq!(b.lineage(), Err(BaggageError::Encoding));
         b.set(LINEAGE_KEY, crate::base64::encode(&[0xFF, 0x00]));
         assert!(matches!(b.lineage(), Err(BaggageError::Codec(_))));
+    }
+
+    #[test]
+    fn raw_entry_displaces_structural_lineage() {
+        let mut l = Lineage::new(LineageId(4));
+        l.append(WriteId::new("s", "k", 1));
+        let mut b = Baggage::new();
+        b.set_lineage(&l);
+        b.set(LINEAGE_KEY, "!!!not-base64!!!");
+        assert_eq!(b.lineage(), Err(BaggageError::Encoding));
+        assert_eq!(b.len(), 1);
     }
 
     #[test]
@@ -250,6 +454,24 @@ mod tests {
     }
 
     #[test]
+    fn slot_header_matches_raw_entry_header() {
+        // The structural slot must render byte-identically to the old
+        // entry-map representation, keys sorting around LINEAGE_KEY.
+        let mut l = Lineage::new(LineageId(42));
+        l.append(WriteId::new("s3", "obj/1", 1));
+        let mut slot = Baggage::new();
+        slot.set("aardvark", "1"); // sorts before "antipode-lineage"
+        slot.set("zebra", "2"); // sorts after
+        slot.set_lineage(&l);
+        let mut raw = Baggage::new();
+        raw.set("aardvark", "1");
+        raw.set("zebra", "2");
+        raw.set(LINEAGE_KEY, l.wire_b64().to_string());
+        assert_eq!(slot.to_header(), raw.to_header());
+        assert_eq!(slot, raw);
+    }
+
+    #[test]
     fn from_header_skips_malformed_items() {
         let b = Baggage::from_header("good=1,,bad-item,also=2");
         assert_eq!(b.len(), 2);
@@ -263,5 +485,62 @@ mod tests {
         b.set_lineage(&Lineage::new(LineageId(1)));
         b.clear_lineage();
         assert_eq!(b.lineage(), Err(BaggageError::Missing));
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let mut l = Lineage::new(LineageId(42));
+        l.append(WriteId::new("s3", "obj/1", 1));
+        let mut b = Baggage::new();
+        b.set_lineage(&l);
+        b.set("request-id", "r-17");
+        let frame = b.to_frame();
+        let back = Baggage::from_frame(&frame).unwrap();
+        assert_eq!(back.lineage().unwrap(), l);
+        assert_eq!(back.get("request-id"), Some("r-17"));
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn frame_without_lineage() {
+        let mut b = Baggage::new();
+        b.set("k", "v");
+        let back = Baggage::from_frame(&b.to_frame()).unwrap();
+        assert_eq!(back, b);
+        assert_eq!(back.lineage(), Err(BaggageError::Missing));
+    }
+
+    #[test]
+    fn frame_is_smaller_than_header_with_lineage() {
+        let mut l = Lineage::new(LineageId(7));
+        for i in 0..16 {
+            l.append(WriteId::new("post-storage", format!("post-{i}"), i + 1));
+        }
+        let mut b = Baggage::new();
+        b.set_lineage(&l);
+        assert!(
+            b.frame_size() < b.header_size(),
+            "binary frame ({}) must beat base64 header ({})",
+            b.frame_size(),
+            b.header_size()
+        );
+    }
+
+    #[test]
+    fn frame_rejects_garbage() {
+        assert!(Baggage::from_frame(&[]).is_err());
+        // Hostile entry count with no bytes behind it.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, u64::MAX);
+        assert!(Baggage::from_frame(&buf).is_err());
+        // Truncated: presence byte missing.
+        let mut b = Baggage::new();
+        b.set("k", "v");
+        let frame = b.to_frame();
+        assert!(Baggage::from_frame(&frame[..frame.len() - 1]).is_err());
+        // Bad presence byte.
+        let mut bad = frame.clone();
+        *bad.last_mut().unwrap() = 7;
+        assert!(Baggage::from_frame(&bad).is_err());
     }
 }

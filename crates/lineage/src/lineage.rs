@@ -46,6 +46,13 @@ impl fmt::Display for LineageId {
 /// Wire format version for [`Lineage::serialize`].
 const WIRE_VERSION: u8 = 1;
 
+/// Version byte of the flat v2 frame: `[0x02][varint body-len][body]` where
+/// the body is byte-identical to the v1 payload minus its version byte. The
+/// length prefix makes the frame self-delimiting, so it can be embedded in
+/// larger binary messages ([`crate::Baggage::to_frame`], engine envelopes)
+/// without base64 or escaping.
+const FRAME_VERSION: u8 = 2;
+
 /// The shared empty dep vector: `Lineage::new` is allocation-free until the
 /// first append materializes a private vector via copy-on-write.
 fn empty_deps() -> Rc<Vec<WriteId>> {
@@ -64,6 +71,8 @@ pub struct Lineage {
     wire: RefCell<Option<Rc<[u8]>>>,
     /// Cached base64 of the wire encoding (the baggage form).
     b64: RefCell<Option<Rc<str>>>,
+    /// Cached v2 flat frame (the binary baggage/envelope form).
+    frame: RefCell<Option<Rc<[u8]>>>,
 }
 
 impl Clone for Lineage {
@@ -73,6 +82,7 @@ impl Clone for Lineage {
             deps: Rc::clone(&self.deps),
             wire: RefCell::new(self.wire.borrow().clone()),
             b64: RefCell::new(self.b64.borrow().clone()),
+            frame: RefCell::new(self.frame.borrow().clone()),
         }
     }
 }
@@ -100,6 +110,7 @@ impl Lineage {
             deps: empty_deps(),
             wire: RefCell::new(None),
             b64: RefCell::new(None),
+            frame: RefCell::new(None),
         }
     }
 
@@ -111,6 +122,7 @@ impl Lineage {
     fn invalidate_cache(&mut self) {
         *self.wire.borrow_mut() = None;
         *self.b64.borrow_mut() = None;
+        *self.frame.borrow_mut() = None;
     }
 
     /// Mutable access to the dep vector, materializing a private copy if the
@@ -246,6 +258,41 @@ impl Lineage {
         rc
     }
 
+    /// The flat v2 frame as shared bytes, (re-)encoding only if the lineage
+    /// changed since the last call. The frame is `[0x02][varint body-len]`
+    /// followed by the v1 body, so it is self-delimiting: it can be embedded
+    /// directly in binary messages with no base64 expansion (~33%) and no
+    /// percent-escaping. Cached with the same dirty-tracking as
+    /// [`Lineage::wire_bytes`].
+    pub fn frame_bytes(&self) -> Rc<[u8]> {
+        if let Some(cached) = &*self.frame.borrow() {
+            stats::count_frame_cache_hit();
+            return Rc::clone(cached);
+        }
+        stats::count_frame_encode();
+        let rc: Rc<[u8]> = self.encode_frame().into();
+        *self.frame.borrow_mut() = Some(Rc::clone(&rc));
+        rc
+    }
+
+    /// The v2 frame size in bytes. Served from the frame cache.
+    pub fn frame_size(&self) -> usize {
+        self.frame_bytes().len()
+    }
+
+    /// Assembles the v2 frame from the (cached) v1 wire form: the body is
+    /// shared byte-for-byte between the two versions, so this is a memcpy
+    /// plus a ≤10-byte prefix — no second dep traversal.
+    fn encode_frame(&self) -> Vec<u8> {
+        let wire = self.wire_bytes();
+        let body = &wire[1..];
+        let mut buf = Vec::with_capacity(1 + varint_len(body.len() as u64) + body.len());
+        buf.put_u8(FRAME_VERSION);
+        put_varint(&mut buf, body.len() as u64);
+        buf.extend_from_slice(body);
+        buf
+    }
+
     /// Adopts `b64` as the cached base64 form. Crate-internal: the caller
     /// guarantees `b64` is the canonical base64 of this lineage's cached
     /// wire bytes (baggage extraction decodes with a strict — bijective —
@@ -302,7 +349,10 @@ impl Lineage {
         buf
     }
 
-    /// Decodes the wire format produced by [`Lineage::serialize`].
+    /// Decodes the wire format produced by [`Lineage::serialize`] (v1) or
+    /// [`Lineage::frame_bytes`] (v2): the version byte selects the codec, so
+    /// a v2-speaking reader transparently accepts v1 writers (and vice
+    /// versa — v1 bytes are never reinterpreted).
     ///
     /// Length guards are strict: declared counts are validated against the
     /// bytes actually remaining (a name costs ≥ 1 byte, a dependency ≥ 3),
@@ -313,6 +363,41 @@ impl Lineage {
     /// adopts it as the cached wire form, making a decode→forward hop free
     /// of re-encoding.
     pub fn deserialize(bytes: &[u8]) -> Result<Lineage, CodecError> {
+        match bytes.first() {
+            None => Err(CodecError::UnexpectedEof),
+            Some(&WIRE_VERSION) => Self::decode_v1(bytes),
+            Some(&FRAME_VERSION) => Self::decode_frame(bytes).map(|(lineage, _)| lineage),
+            Some(&other) => Err(CodecError::UnknownVersion(other)),
+        }
+    }
+
+    /// The v1 compat path: body decode plus canonical adoption into the
+    /// wire cache.
+    fn decode_v1(bytes: &[u8]) -> Result<Lineage, CodecError> {
+        let total_len = bytes.len();
+        let mut slice = &bytes[1..]; // version byte checked by the dispatcher
+        let buf = &mut slice;
+        let body = decode_body(buf)?;
+        let consumed = total_len - buf.remaining();
+        // Minimal-varint check: the consumed length must equal the canonical
+        // minimal length (version byte + body).
+        let canonical = body.canonical && consumed == 1 + body.canonical_len;
+        let lineage = body.into_lineage(canonical);
+        if canonical {
+            stats::count_canonical_decode();
+            *lineage.wire.borrow_mut() = Some(bytes[..consumed].into());
+            debug_assert_eq!(lineage.encode().as_slice(), &bytes[..consumed]);
+        }
+        Ok(lineage)
+    }
+
+    /// Decodes a v2 flat frame from the front of `bytes`, returning the
+    /// lineage and the number of bytes consumed. The frame is
+    /// self-delimiting, so trailing bytes are left for the caller — this is
+    /// what lets frames embed in binary baggage and engine envelopes.
+    /// Canonical frames are adopted as the cached frame form: decode→forward
+    /// of an unchanged lineage re-emits the exact input bytes.
+    pub fn decode_frame(bytes: &[u8]) -> Result<(Lineage, usize), CodecError> {
         let total_len = bytes.len();
         let mut slice = bytes;
         let buf = &mut slice;
@@ -320,110 +405,33 @@ impl Lineage {
             return Err(CodecError::UnexpectedEof);
         }
         let version = buf.get_u8();
-        if version != WIRE_VERSION {
+        if version != FRAME_VERSION {
             return Err(CodecError::UnknownVersion(version));
         }
-        let id = get_varint(buf)?;
-        // Canonical minimal length, accumulated as we parse; compared to the
-        // consumed length at the end to detect non-minimal varints.
-        let mut canonical_len = 1 + varint_len(id);
-        let n_names = get_varint(buf)? as usize;
-        // Each table entry consumes at least its 1-byte length prefix.
-        if n_names > buf.remaining() {
+        let body_len = get_varint(buf)? as usize;
+        if body_len > buf.remaining() {
             return Err(CodecError::LengthOutOfBounds);
         }
-        canonical_len += varint_len(n_names as u64);
-        let mut stores: Vec<StoreId> = Vec::with_capacity(n_names.min(buf.remaining()));
-        let mut names_sorted = true;
-        let mut prev_name: Option<String> = None;
-        for _ in 0..n_names {
-            let name = get_str(buf)?;
-            canonical_len += varint_len(name.len() as u64) + name.len();
-            if prev_name.as_deref().is_some_and(|p| p >= name.as_str()) {
-                names_sorted = false;
-            }
-            stores.push(StoreId::intern(&name));
-            prev_name = Some(name);
-        }
-        let n_deps = get_varint(buf)? as usize;
-        // Each dependency consumes at least 3 bytes: a table index varint, a
-        // key length varint, and a version varint.
-        if n_deps > buf.remaining() / 3 {
+        let prefix_len = total_len - buf.remaining();
+        // The declared length delimits the body exactly: a decode that stops
+        // short of it is a framing violation, not trailing data.
+        let mut body_slice = &bytes[prefix_len..prefix_len + body_len];
+        let body_buf = &mut body_slice;
+        let body = decode_body(body_buf)?;
+        if body_buf.has_remaining() {
             return Err(CodecError::LengthOutOfBounds);
         }
-        canonical_len += varint_len(n_deps as u64);
-        let mut deps: Vec<WriteId> = Vec::with_capacity(n_deps);
-        // Canonical index pattern: starts at 0, steps by at most 1, ends at
-        // n_names - 1 (every table entry used), deps strictly increasing.
-        let mut canonical = names_sorted;
-        let mut prev_idx: Option<u64> = None;
-        for _ in 0..n_deps {
-            let idx = get_varint(buf)?;
-            let store = *stores
-                .get(idx as usize)
-                .ok_or(CodecError::LengthOutOfBounds)?;
-            let key = get_str(buf)?;
-            let version = get_varint(buf)?;
-            canonical_len +=
-                varint_len(idx) + varint_len(key.len() as u64) + key.len() + varint_len(version);
-            let dep = WriteId::from_parts(store, key.into(), version);
-            match prev_idx {
-                None => {
-                    if idx != 0 {
-                        canonical = false;
-                    }
-                }
-                Some(p) => {
-                    if idx != p && idx != p + 1 {
-                        canonical = false;
-                    }
-                    if idx == p && canonical {
-                        // Same store: names are equal, so WriteId order
-                        // reduces to (key, version) — must strictly increase.
-                        if deps.last().is_some_and(|prev| *prev >= dep) {
-                            canonical = false;
-                        }
-                    }
-                }
-            }
-            prev_idx = Some(idx);
-            deps.push(dep);
-        }
-        canonical &= match prev_idx {
-            Some(last) => last as usize == n_names - 1,
-            None => n_names == 0,
-        };
-        let consumed = total_len - buf.remaining();
-        canonical &= consumed == canonical_len;
-        let lineage = if canonical {
+        let consumed = prefix_len + body_len;
+        let canonical = body.canonical
+            && body_len == body.canonical_len
+            && prefix_len == 1 + varint_len(body_len as u64);
+        let lineage = body.into_lineage(canonical);
+        if canonical {
             stats::count_canonical_decode();
-            let l = Lineage {
-                id: LineageId(id),
-                deps: if deps.is_empty() {
-                    empty_deps()
-                } else {
-                    Rc::new(deps)
-                },
-                wire: RefCell::new(Some(bytes[..consumed].into())),
-                b64: RefCell::new(None),
-            };
-            debug_assert_eq!(l.encode().as_slice(), &bytes[..consumed]);
-            l
-        } else {
-            deps.sort_unstable();
-            deps.dedup();
-            Lineage {
-                id: LineageId(id),
-                deps: if deps.is_empty() {
-                    empty_deps()
-                } else {
-                    Rc::new(deps)
-                },
-                wire: RefCell::new(None),
-                b64: RefCell::new(None),
-            }
-        };
-        Ok(lineage)
+            *lineage.frame.borrow_mut() = Some(bytes[..consumed].into());
+            debug_assert_eq!(&lineage.encode()[1..], &bytes[prefix_len..consumed]);
+        }
+        Ok((lineage, consumed))
     }
 
     /// The serialized size in bytes. Served from the wire cache — never
@@ -431,6 +439,122 @@ impl Lineage {
     pub fn wire_size(&self) -> usize {
         self.wire_bytes().len()
     }
+}
+
+/// Result of decoding the body shared by the v1 and v2 wire forms:
+/// `[varint id][string table][deps]`.
+struct BodyDecode {
+    id: u64,
+    deps: Vec<WriteId>,
+    /// Whether the body was structurally canonical: sorted names, first-use
+    /// table order, strictly increasing same-store deps, every table entry
+    /// used. Minimal-varint detection is the caller's length comparison.
+    canonical: bool,
+    /// Minimal encoding length of the parsed body.
+    canonical_len: usize,
+}
+
+impl BodyDecode {
+    /// Builds the lineage, sorting/deduplicating unless the input was
+    /// canonical. Caches start empty; the caller adopts the input bytes.
+    fn into_lineage(self, canonical: bool) -> Lineage {
+        let mut deps = self.deps;
+        if !canonical {
+            deps.sort_unstable();
+            deps.dedup();
+        }
+        Lineage {
+            id: LineageId(self.id),
+            deps: if deps.is_empty() {
+                empty_deps()
+            } else {
+                Rc::new(deps)
+            },
+            wire: RefCell::new(None),
+            b64: RefCell::new(None),
+            frame: RefCell::new(None),
+        }
+    }
+}
+
+/// Decodes the version-independent body, tracking canonicality as it parses.
+fn decode_body(buf: &mut &[u8]) -> Result<BodyDecode, CodecError> {
+    let id = get_varint(buf)?;
+    // Canonical minimal length, accumulated as we parse; the caller compares
+    // it to the consumed length to detect non-minimal varints.
+    let mut canonical_len = varint_len(id);
+    let n_names = get_varint(buf)? as usize;
+    // Each table entry consumes at least its 1-byte length prefix.
+    if n_names > buf.remaining() {
+        return Err(CodecError::LengthOutOfBounds);
+    }
+    canonical_len += varint_len(n_names as u64);
+    let mut stores: Vec<StoreId> = Vec::with_capacity(n_names.min(buf.remaining()));
+    let mut names_sorted = true;
+    let mut prev_name: Option<String> = None;
+    for _ in 0..n_names {
+        let name = get_str(buf)?;
+        canonical_len += varint_len(name.len() as u64) + name.len();
+        if prev_name.as_deref().is_some_and(|p| p >= name.as_str()) {
+            names_sorted = false;
+        }
+        stores.push(StoreId::intern(&name));
+        prev_name = Some(name);
+    }
+    let n_deps = get_varint(buf)? as usize;
+    // Each dependency consumes at least 3 bytes: a table index varint, a
+    // key length varint, and a version varint.
+    if n_deps > buf.remaining() / 3 {
+        return Err(CodecError::LengthOutOfBounds);
+    }
+    canonical_len += varint_len(n_deps as u64);
+    let mut deps: Vec<WriteId> = Vec::with_capacity(n_deps);
+    // Canonical index pattern: starts at 0, steps by at most 1, ends at
+    // n_names - 1 (every table entry used), deps strictly increasing.
+    let mut canonical = names_sorted;
+    let mut prev_idx: Option<u64> = None;
+    for _ in 0..n_deps {
+        let idx = get_varint(buf)?;
+        let store = *stores
+            .get(idx as usize)
+            .ok_or(CodecError::LengthOutOfBounds)?;
+        let key = get_str(buf)?;
+        let version = get_varint(buf)?;
+        canonical_len +=
+            varint_len(idx) + varint_len(key.len() as u64) + key.len() + varint_len(version);
+        let dep = WriteId::from_parts(store, key.into(), version);
+        match prev_idx {
+            None => {
+                if idx != 0 {
+                    canonical = false;
+                }
+            }
+            Some(p) => {
+                if idx != p && idx != p + 1 {
+                    canonical = false;
+                }
+                if idx == p && canonical {
+                    // Same store: names are equal, so WriteId order
+                    // reduces to (key, version) — must strictly increase.
+                    if deps.last().is_some_and(|prev| *prev >= dep) {
+                        canonical = false;
+                    }
+                }
+            }
+        }
+        prev_idx = Some(idx);
+        deps.push(dep);
+    }
+    canonical &= match prev_idx {
+        Some(last) => last as usize == n_names - 1,
+        None => n_names == 0,
+    };
+    Ok(BodyDecode {
+        id,
+        deps,
+        canonical,
+        canonical_len,
+    })
 }
 
 /// Merges two sorted deduplicated WriteId vectors into a new one.
@@ -694,6 +818,95 @@ mod tests {
             Lineage::deserialize(&buf),
             Err(CodecError::LengthOutOfBounds)
         );
+    }
+
+    #[test]
+    fn frame_round_trip_and_cache() {
+        let mut l = Lineage::new(LineageId(0xabc));
+        l.append(wid("posts", "p-1", 3));
+        l.append(wid("notifier", "n-9", 1));
+        let frame = l.frame_bytes();
+        assert_eq!(frame[0], 2, "v2 frames carry version byte 2");
+        let again = l.frame_bytes();
+        assert!(
+            Rc::ptr_eq(&frame, &again),
+            "unchanged lineage: frame cached"
+        );
+        let (back, consumed) = Lineage::decode_frame(&frame).unwrap();
+        assert_eq!(consumed, frame.len());
+        assert_eq!(back, l);
+        // deserialize dispatches on the version byte: both codecs accepted.
+        assert_eq!(Lineage::deserialize(&frame).unwrap(), l);
+        assert_eq!(Lineage::deserialize(&l.serialize()).unwrap(), l);
+    }
+
+    #[test]
+    fn frame_shares_body_with_v1() {
+        let mut l = Lineage::new(LineageId(7));
+        l.append(wid("s", "k", 1));
+        let wire = l.wire_bytes();
+        let frame = l.frame_bytes();
+        // [0x02][varint body-len][v1 body]
+        let body = &wire[1..];
+        assert_eq!(&frame[frame.len() - body.len()..], body);
+    }
+
+    #[test]
+    fn frame_is_self_delimiting() {
+        let mut l = Lineage::new(LineageId(9));
+        l.append(wid("s", "k", 4));
+        let mut buf = l.frame_bytes().to_vec();
+        buf.extend_from_slice(b"trailing-payload");
+        let (back, consumed) = Lineage::decode_frame(&buf).unwrap();
+        assert_eq!(back, l);
+        assert_eq!(&buf[consumed..], b"trailing-payload");
+    }
+
+    #[test]
+    fn canonical_frame_decode_adopts_input() {
+        let mut l = Lineage::new(LineageId(3));
+        l.append(wid("a", "k1", 1));
+        let frame = l.frame_bytes().to_vec();
+        let before = stats::snapshot().frame_encodes;
+        let (back, _) = Lineage::decode_frame(&frame).unwrap();
+        assert_eq!(back.frame_bytes().as_ref(), frame.as_slice());
+        assert_eq!(
+            stats::snapshot().frame_encodes,
+            before,
+            "decode→forward of a canonical frame must be encode-free"
+        );
+    }
+
+    #[test]
+    fn frame_rejects_bad_length_prefix() {
+        let mut l = Lineage::new(LineageId(1));
+        l.append(wid("s", "k", 1));
+        let frame = l.frame_bytes().to_vec();
+        // Truncated body.
+        assert!(Lineage::decode_frame(&frame[..frame.len() - 1]).is_err());
+        // Length prefix larger than the remaining bytes.
+        let mut over = frame.clone();
+        over[1] = over[1].wrapping_add(40);
+        assert_eq!(
+            Lineage::decode_frame(&over),
+            Err(CodecError::LengthOutOfBounds)
+        );
+        // Length prefix that under-declares the body (decode stops short).
+        let mut under = frame.clone();
+        under[1] -= 1;
+        assert!(Lineage::decode_frame(&under).is_err());
+    }
+
+    #[test]
+    fn mutation_invalidates_the_frame_cache() {
+        let mut l = Lineage::new(LineageId(5));
+        l.append(wid("s", "k", 1));
+        let first = l.frame_bytes();
+        l.append(wid("s", "k2", 2));
+        let second = l.frame_bytes();
+        assert!(!Rc::ptr_eq(&first, &second));
+        let (back, _) = Lineage::decode_frame(&second).unwrap();
+        assert_eq!(back, l);
     }
 
     #[test]

@@ -16,6 +16,8 @@ thread_local! {
     static WIRE_CACHE_HITS: Cell<u64> = const { Cell::new(0) };
     static B64_ENCODES: Cell<u64> = const { Cell::new(0) };
     static B64_CACHE_HITS: Cell<u64> = const { Cell::new(0) };
+    static FRAME_ENCODES: Cell<u64> = const { Cell::new(0) };
+    static FRAME_CACHE_HITS: Cell<u64> = const { Cell::new(0) };
     static CANONICAL_DECODES: Cell<u64> = const { Cell::new(0) };
 }
 
@@ -34,6 +36,11 @@ pub struct LineageStats {
     pub b64_encodes: u64,
     /// Times the base64 baggage form was served from the cache.
     pub b64_cache_hits: u64,
+    /// Times the v2 binary frame was actually assembled (one buffer
+    /// allocation each).
+    pub frame_encodes: u64,
+    /// Times `frame_bytes` was served from the cache (no allocation).
+    pub frame_cache_hits: u64,
     /// Decodes whose input was byte-for-byte canonical, letting the decoder
     /// adopt the input as the cached wire form (re-serialization is free).
     pub canonical_decodes: u64,
@@ -47,6 +54,8 @@ pub fn snapshot() -> LineageStats {
         wire_cache_hits: WIRE_CACHE_HITS.with(Cell::get),
         b64_encodes: B64_ENCODES.with(Cell::get),
         b64_cache_hits: B64_CACHE_HITS.with(Cell::get),
+        frame_encodes: FRAME_ENCODES.with(Cell::get),
+        frame_cache_hits: FRAME_CACHE_HITS.with(Cell::get),
         canonical_decodes: CANONICAL_DECODES.with(Cell::get),
     }
 }
@@ -58,6 +67,8 @@ pub fn reset() {
     WIRE_CACHE_HITS.with(|c| c.set(0));
     B64_ENCODES.with(|c| c.set(0));
     B64_CACHE_HITS.with(|c| c.set(0));
+    FRAME_ENCODES.with(|c| c.set(0));
+    FRAME_CACHE_HITS.with(|c| c.set(0));
     CANONICAL_DECODES.with(|c| c.set(0));
 }
 
@@ -79,6 +90,14 @@ pub(crate) fn count_b64_encode() {
 
 pub(crate) fn count_b64_cache_hit() {
     B64_CACHE_HITS.with(|c| c.set(c.get() + 1));
+}
+
+pub(crate) fn count_frame_encode() {
+    FRAME_ENCODES.with(|c| c.set(c.get() + 1));
+}
+
+pub(crate) fn count_frame_cache_hit() {
+    FRAME_CACHE_HITS.with(|c| c.set(c.get() + 1));
 }
 
 pub(crate) fn count_canonical_decode() {

@@ -1,0 +1,366 @@
+//! Compat suite for the flat v2 wire frame.
+//!
+//! The v2 frame is `[0x02][varint body-len][body]` where the body is
+//! byte-identical to the v1 body (everything after v1's version byte). This
+//! suite pins the mixed-version contract a rolling deployment depends on:
+//!
+//! - the v1 golden bytes still decode through the version-dispatching
+//!   [`Lineage::deserialize`] (a v2-speaking reader accepts v1 writers);
+//! - v2 frames round-trip against an independent, spec-derived reference
+//!   codec that shares no code with the production implementation;
+//! - garbage and truncation never panic and never decode;
+//! - canonical inputs are adopted as caches in both directions, so a
+//!   decode→forward hop re-emits the incoming bytes without re-encoding.
+
+use antipode_lineage::{stats, Lineage, LineageId, WriteId};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Golden fixtures: the v1 constants from `golden_v1.rs`, plus the v2 frames
+// derived from them per the spec (shared body, new prefix).
+// ---------------------------------------------------------------------------
+
+/// DeathStarBench-shaped lineage: 4 deps across 4 stores (v1 bytes).
+const V1_FIXTURE1: &[u8] = &[
+    1, 188, 181, 226, 179, 197, 198, 4, 4, 13, 109, 101, 100, 105, 97, 45, 109, 111, 110, 103, 111,
+    100, 98, 20, 112, 111, 115, 116, 45, 115, 116, 111, 114, 97, 103, 101, 45, 109, 111, 110, 103,
+    111, 100, 98, 21, 117, 115, 101, 114, 45, 116, 105, 109, 101, 108, 105, 110, 101, 45, 109, 111,
+    110, 103, 111, 100, 98, 28, 119, 114, 105, 116, 101, 45, 104, 111, 109, 101, 45, 116, 105, 109,
+    101, 108, 105, 110, 101, 45, 114, 97, 98, 98, 105, 116, 109, 113, 4, 0, 10, 109, 101, 100, 105,
+    97, 45, 52, 52, 49, 49, 2, 1, 24, 112, 111, 115, 116, 45, 54, 57, 49, 55, 53, 50, 57, 48, 50,
+    55, 54, 52, 49, 48, 56, 49, 56, 53, 54, 3, 2, 9, 117, 115, 101, 114, 45, 49, 55, 50, 57, 12, 3,
+    23, 109, 115, 103, 45, 54, 57, 49, 55, 53, 50, 57, 48, 50, 55, 54, 52, 49, 48, 56, 49, 56, 53,
+    55, 1,
+];
+
+/// Empty lineage, small id (v1 bytes).
+const V1_FIXTURE2: &[u8] = &[1, 5, 0, 0];
+
+fn fixture1_lineage() -> Lineage {
+    let mut l = Lineage::new(LineageId(0x1234_5678_9abc));
+    l.append(WriteId::new(
+        "post-storage-mongodb",
+        "post-6917529027641081856",
+        3,
+    ));
+    l.append(WriteId::new(
+        "write-home-timeline-rabbitmq",
+        "msg-6917529027641081857",
+        1,
+    ));
+    l.append(WriteId::new("user-timeline-mongodb", "user-1729", 12));
+    l.append(WriteId::new("media-mongodb", "media-4411", 2));
+    l
+}
+
+/// Builds the expected v2 frame for a v1 byte string, straight from the
+/// spec: version byte 2, minimal-varint body length, then the shared body.
+fn v2_frame_of(v1: &[u8]) -> Vec<u8> {
+    let body = &v1[1..];
+    let mut out = vec![2u8];
+    reference::put_varint(&mut out, body.len() as u64);
+    out.extend_from_slice(body);
+    out
+}
+
+#[test]
+fn golden_v1_bytes_decode_through_the_dispatcher() {
+    // A v2-speaking reader must accept a v1 writer unchanged: same entry
+    // point, version byte selects the codec.
+    let decoded = Lineage::deserialize(V1_FIXTURE1).expect("v1 golden bytes decode");
+    assert_eq!(decoded, fixture1_lineage());
+    let empty = Lineage::deserialize(V1_FIXTURE2).expect("v1 golden bytes decode");
+    assert_eq!(empty, Lineage::new(LineageId(5)));
+}
+
+#[test]
+fn golden_v2_frames_match_the_spec_derivation() {
+    for (v1, expect) in [
+        (V1_FIXTURE1, fixture1_lineage()),
+        (V1_FIXTURE2, Lineage::new(LineageId(5))),
+    ] {
+        let frame = v2_frame_of(v1);
+        assert_eq!(
+            expect.frame_bytes().as_ref(),
+            frame.as_slice(),
+            "production frame must be the spec derivation of the v1 bytes"
+        );
+        let (back, consumed) = Lineage::decode_frame(&frame).expect("spec frame decodes");
+        assert_eq!(consumed, frame.len());
+        assert_eq!(back, expect);
+    }
+}
+
+#[test]
+fn v1_writer_to_v2_reader_adopts_canonical_input() {
+    // Canonical v1 bytes are adopted as the wire cache: a pass-through hop
+    // re-serializes the exact input without an encode, and the v2 frame it
+    // then renders shares the body byte-for-byte.
+    let decoded = Lineage::deserialize(V1_FIXTURE1).unwrap();
+    let before = stats::snapshot().wire_encodes;
+    assert_eq!(
+        decoded.serialize(),
+        V1_FIXTURE1,
+        "decode→forward is identity"
+    );
+    assert_eq!(
+        stats::snapshot().wire_encodes,
+        before,
+        "canonical v1 adoption must make re-serialization encode-free"
+    );
+    let frame = decoded.frame_bytes();
+    assert_eq!(
+        &frame[frame.len() - (V1_FIXTURE1.len() - 1)..],
+        &V1_FIXTURE1[1..]
+    );
+}
+
+#[test]
+fn v2_reader_adopts_canonical_frames() {
+    let l = fixture1_lineage();
+    let frame = l.frame_bytes().to_vec();
+    let (back, _) = Lineage::decode_frame(&frame).unwrap();
+    let before = stats::snapshot().frame_encodes;
+    assert_eq!(back.frame_bytes().as_ref(), frame.as_slice());
+    assert_eq!(
+        stats::snapshot().frame_encodes,
+        before,
+        "decode→forward of a canonical v2 frame must be encode-free"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Independent reference codec (spec-derived, shares nothing with production).
+// ---------------------------------------------------------------------------
+
+mod reference {
+    /// LEB128 unsigned varint.
+    pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                buf.push(byte);
+                return;
+            }
+            buf.push(byte | 0x80);
+        }
+    }
+
+    pub fn get_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+        let mut out: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = *buf.get(*pos)?;
+            *pos += 1;
+            out |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Some(out);
+            }
+        }
+        None
+    }
+
+    fn put_str(buf: &mut Vec<u8>, s: &str) {
+        put_varint(buf, s.len() as u64);
+        buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn get_str(buf: &[u8], pos: &mut usize) -> Option<String> {
+        let len = get_varint(buf, pos)? as usize;
+        let bytes = buf.get(*pos..*pos + len)?;
+        *pos += len;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    /// Encodes the shared body: id varint, sorted-name string table, then
+    /// (table-index, key, version) per dep. `deps` must be in canonical
+    /// (datastore, key, version) order, deduplicated.
+    fn encode_body(buf: &mut Vec<u8>, id: u64, deps: &[(String, String, u64)]) {
+        put_varint(buf, id);
+        let mut names: Vec<&str> = Vec::new();
+        for (store, _, _) in deps {
+            if names.last() != Some(&store.as_str()) {
+                names.push(store);
+            }
+        }
+        put_varint(buf, names.len() as u64);
+        for name in &names {
+            put_str(buf, name);
+        }
+        put_varint(buf, deps.len() as u64);
+        let mut idx = 0u64;
+        for (i, (store, key, version)) in deps.iter().enumerate() {
+            if i > 0 && deps[i - 1].0 != *store {
+                idx += 1;
+            }
+            put_varint(buf, idx);
+            put_str(buf, key);
+            put_varint(buf, *version);
+        }
+    }
+
+    fn decode_body(bytes: &[u8], pos: &mut usize) -> Option<(u64, Vec<(String, String, u64)>)> {
+        let id = get_varint(bytes, pos)?;
+        let n_names = get_varint(bytes, pos)? as usize;
+        let mut names = Vec::new();
+        for _ in 0..n_names {
+            names.push(get_str(bytes, pos)?);
+        }
+        let n_deps = get_varint(bytes, pos)? as usize;
+        let mut deps = Vec::new();
+        for _ in 0..n_deps {
+            let idx = get_varint(bytes, pos)? as usize;
+            let key = get_str(bytes, pos)?;
+            let version = get_varint(bytes, pos)?;
+            deps.push((names.get(idx)?.clone(), key, version));
+        }
+        Some((id, deps))
+    }
+
+    /// Encodes a v2 frame per the spec: version byte 2, minimal-varint body
+    /// length, shared body.
+    pub fn encode_frame(id: u64, deps: &[(String, String, u64)]) -> Vec<u8> {
+        let mut body = Vec::new();
+        encode_body(&mut body, id, deps);
+        let mut out = vec![2u8];
+        put_varint(&mut out, body.len() as u64);
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decodes a v2 frame per the spec, returning the lineage triples and
+    /// bytes consumed. Strict about framing: the declared length must
+    /// delimit the body exactly.
+    #[allow(clippy::type_complexity)]
+    pub fn decode_frame(bytes: &[u8]) -> Option<(u64, Vec<(String, String, u64)>, usize)> {
+        let mut pos = 0usize;
+        if *bytes.first()? != 2 {
+            return None;
+        }
+        pos += 1;
+        let body_len = get_varint(bytes, &mut pos)? as usize;
+        let body_end = pos.checked_add(body_len)?;
+        if body_end > bytes.len() {
+            return None;
+        }
+        let (id, deps) = decode_body(&bytes[..body_end], &mut pos)?;
+        if pos != body_end {
+            return None;
+        }
+        Some((id, deps, body_end))
+    }
+}
+
+/// Canonical (store, key, version) triples of a lineage.
+fn triples(l: &Lineage) -> Vec<(String, String, u64)> {
+    l.deps()
+        .map(|d| (d.datastore().to_string(), d.key().to_string(), d.version()))
+        .collect()
+}
+
+#[test]
+fn reference_codec_agrees_on_generated_lineages() {
+    // Deterministic pseudo-random lineages, both directions of a
+    // mid-upgrade deployment: production frames must decode under the
+    // reference decoder, reference frames under the production decoder, and
+    // the two encoders must agree byte for byte (both emit canonical form).
+    let mut state = 0x51f0u64;
+    let mut mix = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for case in 0..50u64 {
+        let mut l = Lineage::new(LineageId(mix()));
+        for _ in 0..(mix() % 24) {
+            let r = mix();
+            l.append(WriteId::new(
+                format!("store-{}", r % 5),
+                format!("key-{}", r >> 40),
+                (r & 0xff) + 1,
+            ));
+        }
+        let frame = l.frame_bytes();
+
+        // Production → reference.
+        let (id, deps, consumed) = reference::decode_frame(&frame)
+            .unwrap_or_else(|| panic!("case {case}: reference rejects production frame"));
+        assert_eq!(consumed, frame.len(), "case {case}");
+        assert_eq!(id, l.id().0, "case {case}");
+        assert_eq!(deps, triples(&l), "case {case}");
+
+        // Reference → production (byte-identical too).
+        let ref_frame = reference::encode_frame(id, &deps);
+        assert_eq!(
+            ref_frame.as_slice(),
+            frame.as_ref(),
+            "case {case}: encoders must agree"
+        );
+        let (back, n) = Lineage::decode_frame(&ref_frame)
+            .unwrap_or_else(|e| panic!("case {case}: production rejects reference frame: {e}"));
+        assert_eq!(n, ref_frame.len(), "case {case}");
+        assert_eq!(back, l, "case {case}");
+    }
+}
+
+#[test]
+fn frames_are_self_delimiting_with_trailing_data() {
+    let l = fixture1_lineage();
+    let mut buf = l.frame_bytes().to_vec();
+    let frame_len = buf.len();
+    buf.extend_from_slice(b"trailing payload the caller owns");
+    let (back, consumed) = Lineage::decode_frame(&buf).expect("trailing bytes are not an error");
+    assert_eq!(consumed, frame_len);
+    assert_eq!(back, l);
+    // The reference decoder agrees on the boundary.
+    let (_, _, ref_consumed) = reference::decode_frame(&buf).unwrap();
+    assert_eq!(ref_consumed, frame_len);
+}
+
+// ---------------------------------------------------------------------------
+// Hostile-input proptests.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Arbitrary bytes never panic; they either decode or error cleanly —
+    /// and whatever one decoder accepts, lineage equality aside, must not
+    /// crash the other.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Lineage::decode_frame(&bytes);
+        let _ = Lineage::deserialize(&bytes);
+        let _ = reference::decode_frame(&bytes);
+    }
+
+    /// Every strict prefix of a valid frame is rejected: the length prefix
+    /// makes truncation detectable at any cut point.
+    #[test]
+    fn truncated_frames_never_decode(n_deps in 0usize..12, cut_fraction in 0.0f64..1.0) {
+        let mut l = Lineage::new(LineageId(77));
+        for i in 0..n_deps {
+            l.append(WriteId::new(format!("s-{}", i % 3), format!("k-{i}"), i as u64 + 1));
+        }
+        let frame = l.frame_bytes();
+        let cut = ((frame.len() - 1) as f64 * cut_fraction) as usize;
+        prop_assert!(
+            Lineage::decode_frame(&frame[..cut]).is_err(),
+            "truncation to {cut}/{} bytes must not decode", frame.len()
+        );
+    }
+
+    /// Corrupting the body-length varint (without touching the version byte)
+    /// either errors or consumes a different boundary — it never silently
+    /// yields the original lineage with the original length.
+    #[test]
+    fn corrupt_length_prefix_is_caught(delta in 1u8..255) {
+        let l = fixture1_lineage();
+        let mut frame = l.frame_bytes().to_vec();
+        frame[1] = frame[1].wrapping_add(delta);
+        match Lineage::decode_frame(&frame) {
+            Err(_) => {}
+            Ok((_, consumed)) => prop_assert_ne!(consumed, frame.len()),
+        }
+    }
+}

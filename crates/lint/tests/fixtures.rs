@@ -38,6 +38,14 @@ fn app() -> FileContext {
     }
 }
 
+fn hot() -> FileContext {
+    FileContext {
+        deterministic: true,
+        hot_path: true,
+        ..Default::default()
+    }
+}
+
 #[test]
 fn every_rule_fires_exactly_once_on_its_fixture() {
     for (fixture, ctx, rule) in [
@@ -46,6 +54,7 @@ fn every_rule_fires_exactly_once_on_its_fixture() {
         ("d3_fires.rs", fault(), Rule::FaultPathUnwrap),
         ("x1_fires.rs", app(), Rule::UncheckedXcyWrite),
         ("x2_fires.rs", app(), Rule::UnconfinedSpeculativeWrite),
+        ("h1_fires.rs", hot(), Rule::HotPathAlloc),
     ] {
         let findings = lint_fixture(fixture, ctx);
         assert_eq!(
@@ -67,6 +76,7 @@ fn waivers_suppress_every_rule() {
         ("d3_waived.rs", fault()),
         ("x1_waived.rs", app()),
         ("x2_waived.rs", app()),
+        ("h1_waived.rs", hot()),
     ] {
         let findings = lint_fixture(fixture, ctx);
         assert!(findings.is_empty(), "{fixture}: {findings:#?}");
@@ -122,6 +132,38 @@ fn d3_fires_in_engine_fault_paths() {
         assert_eq!(findings.len(), 1, "{module}: {findings:#?}");
         assert_eq!(findings[0].rule, Rule::FaultPathUnwrap, "{module}");
     }
+}
+
+/// The engine hot path's batching and slab modules sit on both the fault
+/// path (redelivery/retry phases consult the plan) and the hot path (per-
+/// write frames), so D1, D3, and H1 must all fire there under the *real*
+/// classified contexts.
+#[test]
+fn hot_path_modules_get_d1_d3_and_h1_coverage() {
+    for module in [
+        "crates/datastores/src/batch.rs",
+        "crates/datastores/src/slab.rs",
+    ] {
+        let ctx = FileContext::classify(module);
+        assert!(
+            ctx.deterministic && ctx.fault_path && ctx.hot_path && !ctx.test_file,
+            "{module} must classify as deterministic, fault-path, and hot-path"
+        );
+        let d1 = lint_fixture("d1_fires.rs", ctx);
+        assert_eq!(d1.len(), 1, "{module}: {d1:#?}");
+        assert_eq!(d1[0].rule, Rule::NondeterministicMap, "{module}");
+        let d3 = lint_fixture("d3_engine_fires.rs", ctx);
+        assert_eq!(d3.len(), 1, "{module}: {d3:#?}");
+        assert_eq!(d3[0].rule, Rule::FaultPathUnwrap, "{module}");
+        let h1 = lint_fixture("h1_fires.rs", ctx);
+        assert_eq!(h1.len(), 1, "{module}: {h1:#?}");
+        assert_eq!(h1[0].rule, Rule::HotPathAlloc, "{module}");
+    }
+    // The envelope module is hot-path but not fault-path: H1 applies, D3
+    // does not.
+    let ctx = FileContext::classify("crates/datastores/src/envelope.rs");
+    assert!(ctx.hot_path && !ctx.fault_path);
+    assert!(lint_fixture("d3_engine_fires.rs", ctx).is_empty());
 }
 
 /// The gate the CI job enforces, asserted here too so a plain

@@ -1,0 +1,15 @@
+//! H1 fixture: a fresh Vec allocated per envelope in a hot-path module.
+
+pub fn encode_envelope(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(payload.len() + 16);
+    frame.extend_from_slice(payload);
+    frame
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may allocate freely.
+    pub fn scratch() -> Vec<u8> {
+        vec![0u8; 64]
+    }
+}

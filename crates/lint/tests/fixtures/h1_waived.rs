@@ -1,0 +1,18 @@
+//! H1 waived twin: the same allocation, justified — plus the clean slab
+//! bracket the rule steers toward.
+
+pub fn encode_envelope(payload: &[u8]) -> Vec<u8> {
+    // lint: allow(hot-path-vec-alloc, cold one-shot setup fixture — not a
+    // per-write frame)
+    let mut frame = Vec::with_capacity(payload.len() + 16);
+    frame.extend_from_slice(payload);
+    frame
+}
+
+pub fn encode_envelope_pooled(payload: &[u8]) -> usize {
+    let mut frame = slab::take(payload.len() + 16);
+    frame.extend_from_slice(payload);
+    let n = frame.len();
+    slab::give(frame);
+    n
+}

@@ -9,7 +9,7 @@
 
 use std::cell::{Cell, RefCell};
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -24,10 +24,40 @@ use crate::rng::{derived_rng, SimRng};
 use crate::sync::{oneshot, OneReceiver, RecvError};
 use crate::time::SimTime;
 
+/// Packed task handle: slot index in the low 32 bits, slot generation in
+/// the high 32. The generation guards against stale wakes targeting a
+/// recycled slot (ABA).
 type TaskId = u64;
 type BoxFuture = Pin<Box<dyn Future<Output = ()>>>;
 
-/// Queue of runnable task ids, shared with wakers (which must be `Send`).
+fn pack_task(slot: u32, generation: u32) -> TaskId {
+    ((generation as u64) << 32) | slot as u64
+}
+
+fn unpack_task(id: TaskId) -> (u32, u32) {
+    (id as u32, (id >> 32) as u32)
+}
+
+/// One entry of the task slab. The waker is created once at spawn and
+/// cloned per poll (an `Arc` bump) instead of re-allocated — task polling
+/// is the engine's hottest executor path.
+struct TaskSlot {
+    generation: u32,
+    waker: Option<Waker>,
+    state: SlotState,
+}
+
+enum SlotState {
+    /// No task; the slot is on the free list.
+    Vacant,
+    /// The task's future is checked out by `poll_task`.
+    Polling,
+    /// A live task waiting to be polled.
+    Occupied(BoxFuture),
+}
+
+/// Queue of runnable task ids, shared with wakers (which must be `Send`;
+/// the simulator is single-threaded, so the mutex is never contended).
 #[derive(Default)]
 struct ReadyQueue {
     queue: Mutex<VecDeque<TaskId>>,
@@ -84,11 +114,16 @@ impl Ord for TimerEntry {
 
 struct Inner {
     now: Cell<SimTime>,
-    next_task: Cell<TaskId>,
     next_seq: Cell<u64>,
-    tasks: RefCell<BTreeMap<TaskId, BoxFuture>>,
+    tasks: RefCell<Vec<TaskSlot>>,
+    free: RefCell<Vec<u32>>,
+    live: Cell<usize>,
     ready: Arc<ReadyQueue>,
     timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    /// Recycled timer cancellation flags (a flag re-enters the pool only
+    /// once no heap entry or `Sleep` holds it) — sleeping is the hottest
+    /// allocation site in a replication-heavy run.
+    flag_pool: RefCell<Vec<Rc<Cell<bool>>>>,
     seed: u64,
     faults: FaultPlan,
 }
@@ -113,11 +148,13 @@ impl Sim {
         Sim {
             inner: Rc::new(Inner {
                 now: Cell::new(SimTime::ZERO),
-                next_task: Cell::new(1),
                 next_seq: Cell::new(0),
-                tasks: RefCell::new(BTreeMap::new()),
+                tasks: RefCell::new(Vec::new()),
+                free: RefCell::new(Vec::new()),
+                live: Cell::new(0),
                 ready: Arc::new(ReadyQueue::default()),
                 timers: RefCell::new(BinaryHeap::new()),
+                flag_pool: RefCell::new(Vec::new()),
                 seed,
                 faults: FaultPlan::new(),
             }),
@@ -156,22 +193,57 @@ impl Sim {
     /// output; dropping it detaches the task.
     pub fn spawn<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
         let (tx, rx) = oneshot();
-        let id = self.inner.next_task.get();
-        self.inner.next_task.set(id + 1);
         let wrapped: BoxFuture = Box::pin(async move {
             let out = fut.await;
             // The receiver may have been dropped (detached task): ignore.
             let _ = tx.send(out);
         });
-        self.inner.tasks.borrow_mut().insert(id, wrapped);
-        self.inner.ready.push(id);
+        self.insert_task(wrapped);
         JoinHandle { rx }
+    }
+
+    /// Spawns a task nobody will join: skips the [`JoinHandle`] oneshot
+    /// allocation of [`Sim::spawn`]. The fire-and-forget path (replication
+    /// flusher wakes, per-write client tasks) is hot enough for the
+    /// difference to show up in end-to-end throughput.
+    pub fn spawn_detached(&self, fut: impl Future<Output = ()> + 'static) {
+        self.insert_task(Box::pin(fut));
+    }
+
+    fn insert_task(&self, fut: BoxFuture) {
+        let mut tasks = self.inner.tasks.borrow_mut();
+        let slot = match self.inner.free.borrow_mut().pop() {
+            Some(slot) => slot,
+            None => {
+                tasks.push(TaskSlot {
+                    generation: 0,
+                    waker: None,
+                    state: SlotState::Vacant,
+                });
+                (tasks.len() - 1) as u32
+            }
+        };
+        let entry = &mut tasks[slot as usize];
+        let id = pack_task(slot, entry.generation);
+        entry.waker = Some(Waker::from(Arc::new(TaskWaker {
+            id,
+            ready: self.inner.ready.clone(),
+        })));
+        entry.state = SlotState::Occupied(fut);
+        self.inner.live.set(self.inner.live.get() + 1);
+        self.inner.ready.push(id);
     }
 
     /// Registers a timer waking `waker` at `at`; returns the cancellation
     /// flag.
     pub(crate) fn register_timer(&self, at: SimTime, waker: Waker) -> Rc<Cell<bool>> {
-        let cancelled = Rc::new(Cell::new(false));
+        let cancelled = match self.inner.flag_pool.borrow_mut().pop() {
+            Some(flag) => {
+                flag.set(false);
+                flag
+            }
+            None => Rc::new(Cell::new(false)),
+        };
         self.inner.timers.borrow_mut().push(Reverse(TimerEntry {
             at,
             seq: self.next_seq(),
@@ -179,6 +251,14 @@ impl Sim {
             cancelled: cancelled.clone(),
         }));
         cancelled
+    }
+
+    /// Returns a timer flag to the pool once it has no other holder (no
+    /// heap entry, no other `Sleep`).
+    pub(crate) fn recycle_timer_flag(&self, flag: Rc<Cell<bool>>) {
+        if Rc::strong_count(&flag) == 1 {
+            self.inner.flag_pool.borrow_mut().push(flag);
+        }
     }
 
     /// A future resolving after `d` of virtual time.
@@ -201,18 +281,42 @@ impl Sim {
     }
 
     fn poll_task(&self, id: TaskId) {
-        let Some(mut fut) = self.inner.tasks.borrow_mut().remove(&id) else {
-            return; // completed, or a stale wake
+        let (slot, generation) = unpack_task(id);
+        // Check the future out of its slot; the task table cannot stay
+        // borrowed across the poll (the future may spawn or wake).
+        let (mut fut, waker) = {
+            let mut tasks = self.inner.tasks.borrow_mut();
+            let Some(entry) = tasks.get_mut(slot as usize) else {
+                return;
+            };
+            if entry.generation != generation {
+                return; // stale wake for a recycled slot
+            }
+            match std::mem::replace(&mut entry.state, SlotState::Polling) {
+                SlotState::Occupied(fut) => {
+                    let waker = entry.waker.clone().expect("occupied slots have a waker");
+                    (fut, waker)
+                }
+                // Completed (duplicate wake) — restore and ignore.
+                other => {
+                    entry.state = other;
+                    return;
+                }
+            }
         };
-        let waker = Waker::from(Arc::new(TaskWaker {
-            id,
-            ready: self.inner.ready.clone(),
-        }));
         let mut cx = Context::from_waker(&waker);
         match fut.as_mut().poll(&mut cx) {
-            Poll::Ready(()) => {}
+            Poll::Ready(()) => {
+                let mut tasks = self.inner.tasks.borrow_mut();
+                let entry = &mut tasks[slot as usize];
+                entry.state = SlotState::Vacant;
+                entry.waker = None;
+                entry.generation = entry.generation.wrapping_add(1);
+                self.inner.free.borrow_mut().push(slot);
+                self.inner.live.set(self.inner.live.get() - 1);
+            }
             Poll::Pending => {
-                self.inner.tasks.borrow_mut().insert(id, fut);
+                self.inner.tasks.borrow_mut()[slot as usize].state = SlotState::Occupied(fut);
             }
         }
     }
@@ -231,6 +335,7 @@ impl Sim {
                 None => return false,
             };
             if entry.cancelled.get() {
+                self.recycle_timer_flag(entry.cancelled);
                 continue;
             }
             debug_assert!(entry.at >= self.now(), "clock must be monotonic");
@@ -304,7 +409,7 @@ impl Sim {
 
     /// Number of live (spawned, not yet completed) tasks. Diagnostic only.
     pub fn task_count(&self) -> usize {
-        self.inner.tasks.borrow().len()
+        self.inner.live.get()
     }
 }
 
@@ -328,6 +433,7 @@ impl Future for Sleep {
         if self.sim.now() >= self.deadline {
             if let Some(r) = self.registration.take() {
                 r.set(true);
+                self.sim.recycle_timer_flag(r);
             }
             return Poll::Ready(());
         }
@@ -335,6 +441,7 @@ impl Future for Sleep {
         // register afresh with the current waker.
         if let Some(r) = self.registration.take() {
             r.set(true);
+            self.sim.recycle_timer_flag(r);
         }
         let reg = self.sim.register_timer(self.deadline, cx.waker().clone());
         self.registration = Some(reg);
@@ -346,6 +453,7 @@ impl Drop for Sleep {
     fn drop(&mut self) {
         if let Some(r) = self.registration.take() {
             r.set(true);
+            self.sim.recycle_timer_flag(r);
         }
     }
 }

@@ -22,7 +22,7 @@
 //! deterministically at the next scheduled transition (or on an imperative
 //! change) — no polling loops, no nondeterministic spinning.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 use std::time::Duration;
@@ -136,6 +136,12 @@ struct FaultInner {
     delivery_drop: RefCell<BTreeMap<String, f64>>,
     delivery_paused: RefCell<BTreeMap<String, BTreeSet<Region>>>,
     changed: Notify,
+    /// Fast-path flag: `false` while the plan schedules no windows and sets
+    /// no imperative override, letting the hot-path queries (a replicated
+    /// write consults the plan a dozen times) return without touching the
+    /// tables. Maintained by every mutator; purely a cache, never observable
+    /// beyond query cost.
+    noisy: Cell<bool>,
 }
 
 /// The deterministic fault schedule shared by every layer of a simulation.
@@ -151,6 +157,25 @@ impl FaultPlan {
         FaultPlan::default()
     }
 
+    /// Re-derives the fast-path flag from the tables. Called by every
+    /// mutator; an override map holding an empty set still counts as noisy
+    /// (conservative — correctness never depends on the flag being tight).
+    fn recompute_noisy(&self) {
+        let i = &self.inner;
+        let noisy = !i.windows.borrow().is_empty()
+            || !i.repl_drop.borrow().is_empty()
+            || !i.repl_stalled.borrow().is_empty()
+            || !i.repl_lag.borrow().is_empty()
+            || !i.delivery_drop.borrow().is_empty()
+            || !i.delivery_paused.borrow().is_empty();
+        i.noisy.set(noisy);
+    }
+
+    /// Whether the plan currently schedules nothing and overrides nothing.
+    fn quiet(&self) -> bool {
+        !self.inner.noisy.get()
+    }
+
     // ------------------------------------------------------------------
     // Scheduling
     // ------------------------------------------------------------------
@@ -164,6 +189,7 @@ impl FaultPlan {
             .windows
             .borrow_mut()
             .push(FaultWindow { from, until, kind });
+        self.recompute_noisy();
         self.inner.changed.notify_all();
     }
 
@@ -175,6 +201,7 @@ impl FaultPlan {
     /// Removes every scheduled window (imperative overrides are untouched).
     pub fn clear_windows(&self) {
         self.inner.windows.borrow_mut().clear();
+        self.recompute_noisy();
         self.inner.changed.notify_all();
     }
 
@@ -197,6 +224,7 @@ impl FaultPlan {
         } else {
             self.inner.repl_drop.borrow_mut().insert(store.into(), p);
         }
+        self.recompute_noisy();
         self.inner.changed.notify_all();
     }
 
@@ -209,6 +237,7 @@ impl FaultPlan {
             .entry(store.into())
             .or_default()
             .insert(region);
+        self.recompute_noisy();
         self.inner.changed.notify_all();
     }
 
@@ -217,6 +246,7 @@ impl FaultPlan {
         if let Some(set) = self.inner.repl_stalled.borrow_mut().get_mut(store) {
             set.remove(&region);
         }
+        self.recompute_noisy();
         self.inner.changed.notify_all();
     }
 
@@ -231,6 +261,7 @@ impl FaultPlan {
                 self.inner.repl_lag.borrow_mut().remove(store);
             }
         }
+        self.recompute_noisy();
         self.inner.changed.notify_all();
     }
 
@@ -247,6 +278,7 @@ impl FaultPlan {
                 .borrow_mut()
                 .insert(broker.into(), p);
         }
+        self.recompute_noisy();
         self.inner.changed.notify_all();
     }
 
@@ -259,6 +291,7 @@ impl FaultPlan {
             .entry(broker.into())
             .or_default()
             .insert(region);
+        self.recompute_noisy();
         self.inner.changed.notify_all();
     }
 
@@ -267,6 +300,7 @@ impl FaultPlan {
         if let Some(set) = self.inner.delivery_paused.borrow_mut().get_mut(broker) {
             set.remove(&region);
         }
+        self.recompute_noisy();
         self.inner.changed.notify_all();
     }
 
@@ -275,11 +309,13 @@ impl FaultPlan {
     // ------------------------------------------------------------------
 
     fn any_window(&self, at: SimTime, pred: impl Fn(&FaultKind) -> bool) -> bool {
-        self.inner
-            .windows
-            .borrow()
-            .iter()
-            .any(|w| w.active(at) && pred(&w.kind))
+        !self.quiet()
+            && self
+                .inner
+                .windows
+                .borrow()
+                .iter()
+                .any(|w| w.active(at) && pred(&w.kind))
     }
 
     /// Whether `region` is inside a [`FaultKind::RegionOutage`] window.
@@ -307,6 +343,9 @@ impl FaultPlan {
     /// Extra one-way delay on the `from`↔`to` link from any active
     /// [`FaultKind::LinkDegraded`] window (first match wins).
     pub fn link_extra_delay(&self, at: SimTime, from: Region, to: Region) -> Option<Dist> {
+        if self.quiet() {
+            return None;
+        }
         self.inner
             .windows
             .borrow()
@@ -325,6 +364,9 @@ impl FaultPlan {
     /// active [`FaultKind::ReplicationDrop`] windows and the imperative
     /// override.
     pub fn replication_drop(&self, at: SimTime, store: &str) -> f64 {
+        if self.quiet() {
+            return 0.0;
+        }
         let windows = self
             .inner
             .windows
@@ -350,6 +392,9 @@ impl FaultPlan {
 
     /// Whether replication applies of `store` are stalled at `region`.
     pub fn replication_stalled(&self, at: SimTime, store: &str, region: Region) -> bool {
+        if self.quiet() {
+            return false;
+        }
         if self
             .inner
             .repl_stalled
@@ -367,6 +412,9 @@ impl FaultPlan {
 
     /// Extra replication lag for `store`, if a congestion episode is set.
     pub fn replication_extra_lag(&self, store: &str) -> Option<Dist> {
+        if self.quiet() {
+            return None;
+        }
         self.inner.repl_lag.borrow().get(store).cloned()
     }
 
@@ -381,6 +429,9 @@ impl FaultPlan {
     /// Per-attempt delivery-drop probability for `broker` (maximum of
     /// windows and the imperative override).
     pub fn delivery_drop(&self, at: SimTime, broker: &str) -> f64 {
+        if self.quiet() {
+            return 0.0;
+        }
         let windows = self
             .inner
             .windows
@@ -406,6 +457,9 @@ impl FaultPlan {
 
     /// Whether deliveries of `broker` to `region` are held.
     pub fn delivery_paused(&self, _at: SimTime, broker: &str, region: Region) -> bool {
+        if self.quiet() {
+            return false;
+        }
         self.inner
             .delivery_paused
             .borrow()
@@ -443,6 +497,9 @@ impl FaultPlan {
     /// The next scheduled window edge (start or heal) strictly after `at`,
     /// if any — the instant at which some query above may change value.
     pub fn next_transition_after(&self, at: SimTime) -> Option<SimTime> {
+        if self.quiet() {
+            return None;
+        }
         self.inner
             .windows
             .borrow()

@@ -5,12 +5,26 @@
 use std::ops::{Deref, RangeBounds};
 use std::sync::Arc;
 
+/// Backing storage: shared heap bytes, or a borrowed `'static` slice
+/// (no allocation — `from_static` is free, as in the real crate).
+#[derive(Clone)]
+enum Repr {
+    Shared(Arc<[u8]>),
+    Static(&'static [u8]),
+}
+
 /// A cheaply cloneable, sliceable, immutable byte buffer.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Repr,
     start: usize,
     end: usize,
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::from_static(&[])
+    }
 }
 
 impl Bytes {
@@ -21,12 +35,20 @@ impl Bytes {
 
     /// Wraps a static byte slice without copying.
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes::from(bytes.to_vec())
+        Bytes {
+            data: Repr::Static(bytes),
+            start: 0,
+            end: bytes.len(),
+        }
     }
 
-    /// Copies a slice into a new buffer.
+    /// Copies a slice into a new buffer (one allocation, one copy).
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes::from(data.to_vec())
+        Bytes {
+            data: Repr::Shared(Arc::from(data)),
+            start: 0,
+            end: data.len(),
+        }
     }
 
     /// Number of bytes in the buffer.
@@ -62,7 +84,11 @@ impl Bytes {
 
     /// The bytes as a plain slice.
     pub fn as_ref_slice(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        let whole: &[u8] = match &self.data {
+            Repr::Shared(arc) => arc,
+            Repr::Static(s) => s,
+        };
+        &whole[self.start..self.end]
     }
 
     /// Copies the bytes into a `Vec`.
@@ -89,7 +115,7 @@ impl From<Vec<u8>> for Bytes {
         let data: Arc<[u8]> = v.into();
         let end = data.len();
         Bytes {
-            data,
+            data: Repr::Shared(data),
             start: 0,
             end,
         }

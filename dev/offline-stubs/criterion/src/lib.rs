@@ -30,6 +30,7 @@ impl Criterion {
         BenchmarkGroup {
             _c: self,
             name: name.to_string(),
+            elements: None,
         }
     }
 }
@@ -38,15 +39,42 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     _c: &'a mut Criterion,
     name: String,
+    elements: Option<u64>,
+}
+
+/// Per-iteration throughput declaration, mirroring criterion 0.5.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Bytes per iteration, reported in decimal multiples.
+    BytesDecimal(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
 }
 
 impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted and ignored in this stub).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declares per-iteration throughput. The stub records the element
+    /// count so per-element times can be printed alongside ns/iter.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.elements = match throughput {
+            Throughput::Elements(n) => Some(n),
+            Throughput::Bytes(n) | Throughput::BytesDecimal(n) => Some(n),
+        };
+        self
+    }
+
     /// Runs a benchmark inside the group.
     pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&format!("{}/{}", self.name, name), &mut f);
+        run_group_one(&format!("{}/{}", self.name, name), self.elements, &mut f);
         self
     }
 
@@ -60,7 +88,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        run_one(&format!("{}/{}", self.name, id.label), &mut |b| {
+        run_group_one(&format!("{}/{}", self.name, id.label), self.elements, &mut |b| {
             f(b, input)
         });
         self
@@ -114,9 +142,29 @@ impl Bencher {
         self.total = start.elapsed();
         self.iters = iters;
     }
+
+    /// Runs `f` with an iteration count and trusts its returned duration —
+    /// for workloads that time themselves (criterion's `iter_custom`). One
+    /// warm-up call, then ≥3 timed batches or ~50 ms, whichever is more.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        black_box(f(1));
+        let budget = Duration::from_millis(50);
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while iters < 3 || total < budget {
+            total += f(1);
+            iters += 1;
+        }
+        self.total = total;
+        self.iters = iters;
+    }
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
+    run_group_one(name, None, f)
+}
+
+fn run_group_one<F: FnMut(&mut Bencher)>(name: &str, elements: Option<u64>, f: &mut F) {
     let mut b = Bencher {
         total: Duration::ZERO,
         iters: 0,
@@ -124,7 +172,14 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
     f(&mut b);
     if b.iters > 0 {
         let ns = b.total.as_nanos() as f64 / b.iters as f64;
-        println!("{name:<50} {ns:>12.1} ns/iter ({} iters)", b.iters);
+        match elements {
+            Some(n) if n > 0 => println!(
+                "{name:<50} {ns:>12.1} ns/iter ({} iters, {:.1} ns/elem)",
+                b.iters,
+                ns / n as f64
+            ),
+            _ => println!("{name:<50} {ns:>12.1} ns/iter ({} iters)", b.iters),
+        }
     } else {
         println!("{name:<50} (no iterations recorded)");
     }
