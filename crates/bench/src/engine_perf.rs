@@ -309,8 +309,8 @@ fn best_of(seed: u64, writers: usize, rounds: usize, batched: bool) -> RunOutcom
         let rep = run_workload(seed, writers, rounds, batched);
         if let Some(prev) = &best {
             assert_eq!(
-                (prev.engine.clone(), prev.slab.clone()),
-                (rep.engine.clone(), rep.slab.clone()),
+                (prev.engine, prev.slab),
+                (rep.engine, rep.slab),
                 "same-seed repetitions must replay the same counters"
             );
             if rep.elapsed < prev.elapsed {

@@ -212,6 +212,39 @@ impl ConsistencyChecker {
         v
     }
 
+    /// Canonical one-line signatures of every *observed* XCY violation
+    /// (unsatisfied, non-speculative checkpoint), sorted. Two executions
+    /// violated the same invariant in the same way iff their signature sets
+    /// are equal — this is the identity the `antipode-mc` model checker
+    /// uses to compare an explored schedule against its replayed
+    /// counterexample, and to check sampled violations are a subset of the
+    /// exhaustively-found ones.
+    pub fn violation_signatures(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .checkpoints
+            .borrow()
+            .iter()
+            .filter(|cp| !cp.speculative && !cp.report.unmet.is_empty())
+            .map(|cp| {
+                let mut unmet: Vec<String> = cp
+                    .report
+                    .unmet
+                    .iter()
+                    .map(|w| format!("{}/{}@v{}", w.datastore(), w.key(), w.version()))
+                    .collect();
+                unmet.sort();
+                format!(
+                    "{}@{}: unmet=[{}]",
+                    cp.location,
+                    cp.region.name(),
+                    unmet.join(",")
+                )
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
     /// Discards recorded checkpoints (e.g. between test iterations).
     pub fn reset(&self) {
         self.checkpoints.borrow_mut().clear();

@@ -9,13 +9,13 @@
 //! took their first samples at the commit instant anyway), pushes an entry,
 //! and arms at most one timer wake per pair. When the wake fires, every due
 //! entry of the pair advances in one virtual-time event, and entries that
-//! reached delivery are applied as one batch ([`Engine::apply_batch`]): one
+//! reached delivery are applied as one batch (`Engine::apply_batch`): one
 //! fault-plan consultation, one replica borrow, one WAL index pass.
 //!
 //! ## Determinism
 //!
 //! `seed + plan ⇒ identical trace` is preserved, and the unbatched ablation
-//! ([`Engine::set_batching`]`(false)`) produces the *same* trace while paying
+//! (`Engine::set_batching(false)`) produces the *same* trace while paying
 //! one executor event per entry:
 //!
 //! - Phase-one samples are drawn at commit time in destination order — in

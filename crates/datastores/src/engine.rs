@@ -266,6 +266,23 @@ impl<S: Substrate> Engine<S> {
         }
     }
 
+    /// Reports a `(store, region, key)` touch to the schedule-exploration
+    /// footprint recorder (see `antipode_sim::schedule`). Steps of two tasks
+    /// touching the same replica key are *dependent* — reordering them can
+    /// change visibility outcomes — so the model checker must explore both
+    /// orders; disjoint keys commute and get pruned. The `is_recording`
+    /// guard keeps the uncontrolled hot path at a single thread-local read.
+    #[inline]
+    fn note_key_access(&self, region: Region, key: &str) {
+        if antipode_sim::schedule::is_recording() {
+            antipode_sim::schedule::note_access(antipode_sim::schedule::resource_id(&[
+                &self.inner.name,
+                region.name(),
+                key,
+            ]));
+        }
+    }
+
     pub(crate) fn set_send_capacity(&self, cap: Option<usize>) {
         self.inner.capacity.set(cap);
     }
@@ -384,6 +401,7 @@ impl<S: Substrate> Engine<S> {
             }
             None => Rc::from(self.inner.substrate.derived_key(version).as_str()),
         };
+        self.note_key_access(origin, &key);
         if self.inner.substrate.origin_applies_at_commit() {
             self.apply(origin, &key, version, value.clone(), committed_at);
         } else if self.inner.recovery.get().wal {
@@ -469,6 +487,7 @@ impl<S: Substrate> Engine<S> {
                 return;
             };
             for item in items.iter() {
+                self.note_key_access(region, &item.key);
                 // One tree walk per record: the entry resolves superseded-vs-
                 // fresh, performs the insert, and yields the watermark.
                 let (newly_inserted, watermark) = match state.data.entry(Rc::clone(&item.key)) {
@@ -512,6 +531,9 @@ impl<S: Substrate> Engine<S> {
                 let mut i = 0;
                 while i < state.waiters.len() {
                     if state.waiters[i].key == item.key && state.waiters[i].version <= watermark {
+                        // lint: allow(scheduler-bypass, visibility waiters are store
+                        // bookkeeping — the woken barrier future still runs only when
+                        // the executor's Schedule picks it)
                         let w = state.waiters.swap_remove(i);
                         let _ = w.tx.send(Ok(()));
                     } else {
@@ -543,6 +565,7 @@ impl<S: Substrate> Engine<S> {
 
     /// Zero-latency read of one replica record.
     pub(crate) fn record(&self, region: Region, key: &str) -> Option<Record> {
+        self.note_key_access(region, key);
         self.inner
             .replicas
             .borrow()
@@ -579,6 +602,7 @@ impl<S: Substrate> Engine<S> {
                 self.check_available(region)?;
             }
             let rx = {
+                self.note_key_access(region, key);
                 let mut replicas = self.inner.replicas.borrow_mut();
                 let state = replicas
                     .get_mut(&region)

@@ -225,6 +225,7 @@ impl QueueStore {
     /// crash-restart windows.
     pub fn ack(&self, region: Region, id: u64) -> Result<(), StoreError> {
         {
+            self.note_ack_access(region, id);
             let mut pubsub = self.engine.substrate().pubsub.borrow_mut();
             let rs = pubsub
                 .get_mut(&region)
@@ -233,6 +234,9 @@ impl QueueStore {
             let mut i = 0;
             while i < rs.ack_waiters.len() {
                 if rs.ack_waiters[i].id == id {
+                    // lint: allow(scheduler-bypass, ack waiters are store bookkeeping —
+                    // the woken wait_acked future still runs only when the executor's
+                    // Schedule picks it)
                     let w = rs.ack_waiters.swap_remove(i);
                     let _ = w.tx.send(());
                 } else {
@@ -249,8 +253,23 @@ impl QueueStore {
         Ok(())
     }
 
+    /// Reports an ack-state touch to the schedule-exploration footprint
+    /// recorder: ack metadata is shared broker state outside the engine's
+    /// replica maps, so it needs its own dependence key.
+    fn note_ack_access(&self, region: Region, id: u64) {
+        if antipode_sim::schedule::is_recording() {
+            antipode_sim::schedule::note_access(antipode_sim::schedule::resource_id(&[
+                self.engine.name(),
+                region.name(),
+                "ack",
+                &id.to_string(),
+            ]));
+        }
+    }
+
     /// Whether message `id` has been acknowledged in `region`.
     pub fn is_acked(&self, region: Region, id: u64) -> bool {
+        self.note_ack_access(region, id);
         self.engine
             .substrate()
             .pubsub
@@ -264,6 +283,7 @@ impl QueueStore {
     pub async fn wait_acked(&self, region: Region, id: u64) -> Result<(), StoreError> {
         loop {
             let rx = {
+                self.note_ack_access(region, id);
                 let mut pubsub = self.engine.substrate().pubsub.borrow_mut();
                 let rs = pubsub
                     .get_mut(&region)

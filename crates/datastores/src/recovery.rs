@@ -240,6 +240,8 @@ impl<S: Substrate> Engine<S> {
                     .map(|v| v.version >= state.waiters[i].version)
                     .unwrap_or(false);
                 if satisfied {
+                    // lint: allow(scheduler-bypass, replaying the WAL completes store
+                    // visibility waiters — bookkeeping, not a run-next decision)
                     woken.push(state.waiters.swap_remove(i).tx);
                 } else {
                     i += 1;

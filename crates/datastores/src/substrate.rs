@@ -462,6 +462,9 @@ impl Substrate for QueueSubstrate {
 pub(crate) fn hand_to_group(group: &mut GroupState, msg: QueueMessage) {
     let mut undelivered = Some(msg);
     while let Some(m) = undelivered.take() {
+        // lint: allow(scheduler-bypass, FIFO hand-off to consumer-group waiters is
+        // queue-delivery semantics — the receiving task still runs only when the
+        // executor's Schedule picks it)
         match group.waiters.pop_front() {
             Some(tx) => {
                 if let Err(back) = tx.send(m) {

@@ -199,6 +199,7 @@ mod reference {
         }
     }
 
+    #[allow(clippy::type_complexity)]
     fn decode_body(bytes: &[u8], pos: &mut usize) -> Option<(u64, Vec<(String, String, u64)>)> {
         let id = get_varint(bytes, pos)?;
         let n_names = get_varint(bytes, pos)? as usize;

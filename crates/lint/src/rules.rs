@@ -31,6 +31,14 @@ pub enum Rule {
     /// allocation the slab exists to remove, and it silently breaks the
     /// `slab_allocated == 0` steady-state claim `BENCH_engine.json` pins.
     HotPathAlloc,
+    /// S1: a pop/reorder of a scheduler-adjacent collection (`ready*`,
+    /// `runnable*`, `waiter*`, `waker*`, `task*`, `wake*`) outside the
+    /// Schedule API (`crates/sim/src/{executor,schedule}.rs`). Which task
+    /// runs next must flow through `Schedule::choose` — an ad-hoc pop or
+    /// sort is a scheduling decision the model checker cannot enumerate,
+    /// reintroducing exactly the unexplored nondeterminism `antipode-mc`
+    /// exists to close.
+    SchedulerBypass,
 }
 
 impl Rule {
@@ -43,11 +51,12 @@ impl Rule {
             Rule::UncheckedXcyWrite => "unchecked-xcy-write",
             Rule::UnconfinedSpeculativeWrite => "unconfined-speculative-write",
             Rule::HotPathAlloc => "hot-path-vec-alloc",
+            Rule::SchedulerBypass => "scheduler-bypass",
         }
     }
 
     /// All rules, for reporting.
-    pub fn all() -> [Rule; 6] {
+    pub fn all() -> [Rule; 7] {
         [
             Rule::NondeterministicMap,
             Rule::WallClock,
@@ -55,6 +64,7 @@ impl Rule {
             Rule::UncheckedXcyWrite,
             Rule::UnconfinedSpeculativeWrite,
             Rule::HotPathAlloc,
+            Rule::SchedulerBypass,
         ]
     }
 }
@@ -105,6 +115,10 @@ pub struct FileContext {
     pub hot_path: bool,
     /// Application code (`crates/apps`) — subject to X1.
     pub app: bool,
+    /// The Schedule API's home (`crates/sim/src/{executor,schedule}.rs`) —
+    /// the one place allowed to pop ready queues and order runnable sets,
+    /// so S1 does not apply.
+    pub scheduler_api: bool,
     /// A test/example file: determinism rules do not apply.
     pub test_file: bool,
 }
@@ -144,6 +158,8 @@ impl FileContext {
                 Some("envelope.rs" | "batch.rs" | "slab.rs")
             ),
             app: crate_name == Some("apps"),
+            scheduler_api: crate_name == Some("sim")
+                && matches!(comps.last().copied(), Some("executor.rs" | "schedule.rs")),
             test_file: comps
                 .iter()
                 .any(|c| matches!(*c, "tests" | "examples" | "benches")),
@@ -161,6 +177,42 @@ const X2_SPECULATION: [&str; 4] = [
     "Speculator",
 ];
 const X2_CONFINEMENT: [&str; 3] = ["ConfinementBuffer", "confine_write", "confine_publish"];
+const S1_MUTATIONS: [&str; 8] = [
+    ".pop_front(",
+    ".pop_back(",
+    ".pop(",
+    ".swap_remove(",
+    ".sort(",
+    ".sort_by",
+    ".sort_unstable",
+    ".shuffle(",
+];
+const S1_COLLECTIONS: [&str; 6] = ["ready", "runnable", "waiter", "waker", "wake", "task"];
+
+/// The receiver of the first scheduler-collection mutation on a line:
+/// `state.waiters.swap_remove(i)` → `("waiters", ".swap_remove(")`.
+fn scheduler_mutation(code: &str) -> Option<(String, &'static str)> {
+    let mut best: Option<(usize, String, &'static str)> = None;
+    for pat in S1_MUTATIONS {
+        for (at, _) in code.match_indices(pat) {
+            let recv: String = code[..at]
+                .chars()
+                .rev()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect::<Vec<_>>()
+                .into_iter()
+                .rev()
+                .collect();
+            let lower = recv.to_ascii_lowercase();
+            if S1_COLLECTIONS.iter().any(|k| lower.contains(k))
+                && best.as_ref().is_none_or(|(a, _, _)| at < *a)
+            {
+                best = Some((at, recv, pat));
+            }
+        }
+    }
+    best.map(|(_, recv, pat)| (recv, pat))
+}
 
 /// The `shim`-named receivers of `.write(`/`.publish(` calls on a line.
 fn shim_receivers(code: &str) -> Vec<String> {
@@ -284,6 +336,20 @@ pub fn lint_source(file: &str, source: &str, ctx: &FileContext) -> Vec<Finding> 
                     );
                 }
             }
+            if ctx.deterministic && !ctx.scheduler_api {
+                if let Some((recv, op)) = scheduler_mutation(code) {
+                    push(
+                        Rule::SchedulerBypass,
+                        idx,
+                        format!("`{recv}{}` pops/reorders a scheduler-adjacent collection outside the Schedule API — a task-ordering decision the model checker cannot enumerate", op.trim_end_matches('(')),
+                        "route run-next decisions through the executor's \
+                         Schedule choice points (Sim::set_schedule); if this \
+                         collection holds store waiters or permits rather \
+                         than runnable tasks, waive with \
+                         `// lint: allow(scheduler-bypass, <why>)`",
+                    );
+                }
+            }
             if ctx.fault_path {
                 let hit = if code.contains(".unwrap()") {
                     Some("unwrap()")
@@ -374,6 +440,14 @@ mod tests {
         assert!(c.deterministic && c.fault_path);
         let c = FileContext::classify("crates/services/src/speculation.rs");
         assert!(c.deterministic && c.fault_path);
+        let c = FileContext::classify("crates/sim/src/executor.rs");
+        assert!(c.deterministic && c.scheduler_api);
+        let c = FileContext::classify("crates/sim/src/schedule.rs");
+        assert!(c.deterministic && c.scheduler_api);
+        let c = FileContext::classify("crates/sim/src/sync.rs");
+        assert!(c.deterministic && !c.scheduler_api);
+        let c = FileContext::classify("crates/datastores/src/engine.rs");
+        assert!(!c.scheduler_api);
         let c = FileContext::classify("tests/chaos_properties.rs");
         assert!(c.test_file);
         let c = FileContext::classify("crates/sim/tests/determinism.rs");
@@ -482,6 +556,35 @@ mod tests {
             ..Default::default()
         };
         assert!(lint_source("f.rs", "let mut buf = Vec::new();\n", &cold).is_empty());
+    }
+
+    #[test]
+    fn s1_fires_on_scheduler_collection_mutation_outside_the_api() {
+        for src in [
+            "let next = ready_queue.pop_front();\n",
+            "runnable.swap_remove(i);\n",
+            "self.tasks.sort_by(|a, b| a.cmp(b));\n",
+            "let w = waiters.pop();\n",
+        ] {
+            let f = lint_source("f.rs", src, &det());
+            assert_eq!(f.len(), 1, "{src:?}: {f:#?}");
+            assert_eq!(f[0].rule, Rule::SchedulerBypass, "{src:?}");
+        }
+    }
+
+    #[test]
+    fn s1_exempts_the_schedule_api_home_and_plain_collections() {
+        let exempt = FileContext {
+            deterministic: true,
+            scheduler_api: true,
+            ..Default::default()
+        };
+        assert!(lint_source("f.rs", "let next = ready_queue.pop_front();\n", &exempt).is_empty());
+        // Collections without a scheduler-ish name are not S1's business.
+        assert!(lint_source("f.rs", "let top = stack.pop();\nitems.sort();\n", &det()).is_empty());
+        // Outside deterministic crates the rule is off entirely.
+        let plain = FileContext::default();
+        assert!(lint_source("f.rs", "ready_queue.pop_front();\n", &plain).is_empty());
     }
 
     #[test]

@@ -55,6 +55,7 @@ fn every_rule_fires_exactly_once_on_its_fixture() {
         ("x1_fires.rs", app(), Rule::UncheckedXcyWrite),
         ("x2_fires.rs", app(), Rule::UnconfinedSpeculativeWrite),
         ("h1_fires.rs", hot(), Rule::HotPathAlloc),
+        ("s1_fires.rs", det(), Rule::SchedulerBypass),
     ] {
         let findings = lint_fixture(fixture, ctx);
         assert_eq!(
@@ -77,6 +78,7 @@ fn waivers_suppress_every_rule() {
         ("x1_waived.rs", app()),
         ("x2_waived.rs", app()),
         ("h1_waived.rs", hot()),
+        ("s1_waived.rs", det()),
     ] {
         let findings = lint_fixture(fixture, ctx);
         assert!(findings.is_empty(), "{fixture}: {findings:#?}");

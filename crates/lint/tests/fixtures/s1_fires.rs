@@ -1,0 +1,14 @@
+//! S1 fixture: an ad-hoc ready-queue pop outside the Schedule API — a
+//! task-ordering decision the model checker cannot enumerate.
+
+pub fn run_next(ready_tasks: &mut Vec<u64>) -> Option<u64> {
+    ready_tasks.pop()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may juggle its own queues.
+    pub fn drain(ready_tasks: &mut Vec<u64>) {
+        while ready_tasks.pop().is_some() {}
+    }
+}

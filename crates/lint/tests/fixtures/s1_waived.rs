@@ -1,0 +1,10 @@
+//! S1 waived twin: the same mutation, justified — the collection holds
+//! store visibility waiters (bookkeeping), not runnable tasks.
+
+pub struct Waiter(u64);
+
+pub fn complete_waiter(waiters: &mut Vec<Waiter>, i: usize) -> Waiter {
+    // lint: allow(scheduler-bypass, visibility waiters are store bookkeeping —
+    // the woken future still runs only when the executor's Schedule picks it)
+    waiters.swap_remove(i)
+}

@@ -1,0 +1,142 @@
+//! Replayable counterexamples: a violating schedule, serialized.
+//!
+//! A counterexample is nothing but `(cell, seed, choice indices)` — the
+//! complete recipe for steering the deterministic simulator back into the
+//! violating interleaving with a [`ReplaySchedule`]. The wire form is a
+//! single line, easy to paste into `antipode-mc --replay`:
+//!
+//! ```text
+//! cell=barrier_removed;seed=1;choices=2,0,1
+//! ```
+//!
+//! Minimization is **prefix trimming**: the shortest prefix of the recorded
+//! choices that — with a FIFO tail — still reproduces the identical
+//! violation signatures. Everything after the decisive wrong turn is
+//! schedule noise the FIFO tail regenerates on its own.
+
+use antipode_sim::ReplaySchedule;
+
+use crate::cells::{cell, run_cell, CellOutcome};
+
+/// A serialized, replayable violating schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Counterexample {
+    /// Cell the schedule violates.
+    pub cell: String,
+    /// Simulation seed of the violating run.
+    pub seed: u64,
+    /// Choice index per branching choice point (a [`ReplaySchedule`]
+    /// prefix; the tail is FIFO).
+    pub choices: Vec<usize>,
+}
+
+impl Counterexample {
+    /// Creates a counterexample from a recorded schedule.
+    pub fn new(cell: impl Into<String>, seed: u64, choices: Vec<usize>) -> Self {
+        Counterexample {
+            cell: cell.into(),
+            seed,
+            choices,
+        }
+    }
+
+    /// One-line wire form: `cell=<name>;seed=<n>;choices=<i,j,k>`.
+    pub fn serialize(&self) -> String {
+        let choices: Vec<String> = self.choices.iter().map(usize::to_string).collect();
+        format!(
+            "cell={};seed={};choices={}",
+            self.cell,
+            self.seed,
+            choices.join(",")
+        )
+    }
+
+    /// Parses the wire form produced by [`Counterexample::serialize`].
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut cell = None;
+        let mut seed = None;
+        let mut choices = None;
+        for part in s.trim().split(';') {
+            let (k, v) = part
+                .split_once('=')
+                .ok_or_else(|| format!("malformed field {part:?} (expected key=value)"))?;
+            match k {
+                "cell" => cell = Some(v.to_string()),
+                "seed" => {
+                    seed = Some(
+                        v.parse::<u64>()
+                            .map_err(|e| format!("bad seed {v:?}: {e}"))?,
+                    )
+                }
+                "choices" => {
+                    let parsed: Result<Vec<usize>, _> = if v.is_empty() {
+                        Ok(Vec::new())
+                    } else {
+                        v.split(',').map(str::parse).collect()
+                    };
+                    choices = Some(parsed.map_err(|e| format!("bad choices {v:?}: {e}"))?);
+                }
+                other => return Err(format!("unknown field {other:?}")),
+            }
+        }
+        Ok(Counterexample {
+            cell: cell.ok_or("missing cell=")?,
+            seed: seed.ok_or("missing seed=")?,
+            choices: choices.ok_or("missing choices=")?,
+        })
+    }
+
+    /// Re-executes the counterexample's schedule and returns the outcome.
+    /// Deterministic: two replays produce identical outcomes.
+    pub fn replay(&self) -> Result<CellOutcome, String> {
+        let spec = cell(&self.cell).ok_or_else(|| format!("unknown cell {:?}", self.cell))?;
+        Ok(run_cell(
+            &spec,
+            self.seed,
+            Box::new(ReplaySchedule::new(self.choices.clone())),
+        ))
+    }
+
+    /// Shrinks by prefix trimming: the shortest choice prefix whose
+    /// FIFO-tail replay reproduces exactly the violation signatures of the
+    /// full schedule. Returns `self` unchanged (and the full outcome) if
+    /// the full replay does not violate.
+    pub fn shrink(&self) -> Result<(Counterexample, CellOutcome), String> {
+        let full = self.replay()?;
+        if !full.violated() {
+            return Ok((self.clone(), full));
+        }
+        for k in 0..self.choices.len() {
+            let candidate =
+                Counterexample::new(self.cell.clone(), self.seed, self.choices[..k].to_vec());
+            let out = candidate.replay()?;
+            if out.completed && out.verdict.violations == full.verdict.violations {
+                return Ok((candidate, out));
+            }
+        }
+        Ok((self.clone(), full))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_form_round_trips() {
+        let cx = Counterexample::new("barrier_removed", 7, vec![2, 0, 1]);
+        let s = cx.serialize();
+        assert_eq!(s, "cell=barrier_removed;seed=7;choices=2,0,1");
+        assert_eq!(Counterexample::parse(&s).unwrap(), cx);
+        // Empty choice list (violation on the pure-FIFO schedule).
+        let cx = Counterexample::new("barrier_removed", 7, vec![]);
+        assert_eq!(Counterexample::parse(&cx.serialize()).unwrap(), cx);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Counterexample::parse("cell=x;seed=nope;choices=1").is_err());
+        assert!(Counterexample::parse("seed=1;choices=1").is_err());
+        assert!(Counterexample::parse("cell=x;seed=1;choices=1;bogus=2").is_err());
+    }
+}

@@ -1,0 +1,522 @@
+//! Depth-first schedule-space exploration with sleep-set reduction.
+//!
+//! The explorer is *stateless* in the model-checking sense: it cannot fork
+//! the simulator at a choice point, so it re-executes the cell from scratch
+//! for every branch, steering each run with a [`Schedule`] that follows the
+//! recorded choice prefix and then extends it. This is the classic
+//! VeriSoft/CHESS architecture; it trades CPU for zero snapshotting
+//! machinery and keeps every run bit-reproducible.
+//!
+//! # Reduction
+//!
+//! Exhaustively enumerating raw interleavings is wasteful: two schedules
+//! that only swap *independent* steps (disjoint access footprints — see
+//! [`StepRecord::accesses`](antipode_sim::StepRecord)) reach the same
+//! state. The explorer prunes with **sleep sets** (Godefroid): after fully
+//! exploring sibling `t` at a node, `t` is put to sleep for the remaining
+//! siblings' subtrees and stays asleep until some step *dependent* on `t`'s
+//! step executes. Choosing a sleeping task is provably redundant, so a run
+//! whose only runnable tasks are asleep is abandoned
+//! ([`ExploreReport::sleep_pruned`]). Sleep sets prune *executions*, never
+//! *behaviours*: with [`Pruning::SleepSets`] the explorer still visits every
+//! inequivalent interleaving that [`Pruning::Raw`] does.
+//!
+//! # Bounding
+//!
+//! Orthogonally, a **preemption bound** (CHESS-style) restricts exploration
+//! to schedules with at most `n` preemptions — switches away from a task
+//! that is still runnable. Most concurrency bugs manifest within two
+//! preemptions, and the bound turns an exponential space into a polynomial
+//! one; runs cut off by the bound are counted in
+//! [`ExploreReport::bound_pruned`] (unlike sleep pruning, bounding *is*
+//! incomplete — it is a search heuristic, not a reduction).
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use antipode_sim::{footprints_conflict, Schedule, SimTime, StepRecord, TaskRef};
+
+use crate::cells::{run_cell, CellSpec};
+use crate::counterexample::Counterexample;
+
+/// Which equivalence-pruning strategy to explore with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pruning {
+    /// No reduction: enumerate every schedule (within the preemption
+    /// bound). Exists to *measure* the reduction, not to use.
+    Raw,
+    /// Sleep-set reduction keyed on per-step access footprints.
+    SleepSets,
+}
+
+/// Result of exploring one cell's schedule space.
+#[derive(Clone, Debug)]
+pub struct ExploreReport {
+    /// Cell that was explored.
+    pub cell: String,
+    /// Simulation seed every run used.
+    pub seed: u64,
+    /// Completed executions judged by the oracle.
+    pub schedules: u64,
+    /// Executions abandoned because every runnable task was asleep
+    /// (redundant with an already-explored interleaving).
+    pub sleep_pruned: u64,
+    /// Executions abandoned by the preemption bound.
+    pub bound_pruned: u64,
+    /// Deepest branching-choice-point count seen in any run.
+    pub max_depth: usize,
+    /// `true` if the run budget was hit before the space was exhausted —
+    /// the absence of violations is then *not* a proof.
+    pub budget_exhausted: bool,
+    /// Whether a violation stopped the search early
+    /// ([`Explorer::stop_on_violation`]).
+    pub stopped_early: bool,
+    /// Union of oracle violation signatures across all explored schedules.
+    pub violations: BTreeSet<String>,
+    /// Harness-integrity failures: oracle divergence, runs that ended
+    /// without completing, or a prefix that replayed to a different
+    /// runnable set. Any entry here invalidates the whole exploration.
+    pub divergences: Vec<String>,
+    /// The first violating schedule found, replayable as recorded (not yet
+    /// shrunk — see [`Counterexample::shrink`]).
+    pub counterexample: Option<Counterexample>,
+}
+
+impl ExploreReport {
+    /// Total executions started (completed + pruned).
+    pub fn runs(&self) -> u64 {
+        self.schedules + self.sleep_pruned + self.bound_pruned
+    }
+
+    /// Whether the space was exhausted with no violation and an intact
+    /// harness.
+    pub fn verified(&self) -> bool {
+        !self.budget_exhausted
+            && !self.stopped_early
+            && self.violations.is_empty()
+            && self.divergences.is_empty()
+    }
+}
+
+/// A task put to sleep: its id plus the footprint of the step it would
+/// take, used to decide which later steps wake it.
+#[derive(Clone, Debug)]
+struct SleepEntry {
+    task: u64,
+    footprint: Vec<u64>,
+}
+
+/// One branching choice point on the current DFS path.
+#[derive(Clone, Debug)]
+struct Node {
+    /// Task ids runnable at this point (deterministic for a fixed prefix).
+    enabled: Vec<u64>,
+    /// Index currently being explored.
+    chosen: usize,
+    /// Footprint of the `chosen` branch's first step, recorded when it
+    /// first executed; moved into `tried` on rotation.
+    cur_step: Option<SleepEntry>,
+    /// Fully-explored siblings: `(index, step)` — their steps become sleep
+    /// entries for the remaining siblings' subtrees.
+    tried: Vec<(usize, SleepEntry)>,
+    /// Sleep set on first entry to this node (tasks already redundant
+    /// here); such siblings are never tried.
+    sleep_on_entry: Vec<SleepEntry>,
+    /// Task that executed the step immediately before this choice point
+    /// (preemption accounting).
+    prev_task: Option<u64>,
+    /// Preemptions already spent on the path to this node.
+    preemptions_before: u32,
+}
+
+/// Why a run was abandoned mid-flight.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum AbortKind {
+    Sleep,
+    Bound,
+    /// The replayed prefix produced a different runnable set than the run
+    /// that recorded it — determinism is broken, results are void.
+    Divergence,
+}
+
+/// Seed for a node discovered during a run (at a depth beyond the plan).
+#[derive(Clone, Debug)]
+struct NodeSeed {
+    enabled: Vec<u64>,
+    chosen: usize,
+    sleep_on_entry: Vec<SleepEntry>,
+    prev_task: Option<u64>,
+    preemptions_before: u32,
+}
+
+/// Everything one steered run reports back to the explorer.
+#[derive(Default)]
+struct RunLog {
+    new_nodes: Vec<NodeSeed>,
+    /// Per branching depth: the executed step (task + footprint).
+    steps: Vec<Option<SleepEntry>>,
+    /// Per branching depth: the index chosen (a full replay schedule).
+    taken: Vec<usize>,
+    abort: Option<AbortKind>,
+}
+
+/// The [`Schedule`] that steers one DFS run: follows `plan`, then extends
+/// depth-first, maintaining the sleep set online.
+struct DfsSchedule {
+    plan: Vec<usize>,
+    /// Expected runnable sets along the plan (determinism check).
+    plan_enabled: Vec<Vec<u64>>,
+    /// Per plan depth: sleep entries for already-explored siblings, merged
+    /// into the live sleep set on entry.
+    sleep_adds: Vec<Vec<SleepEntry>>,
+    use_sleep: bool,
+    bound: Option<u32>,
+    depth: usize,
+    preemptions: u32,
+    prev_task: Option<u64>,
+    cur_sleep: Vec<SleepEntry>,
+    /// Whether the step about to be observed was a branching choice.
+    pending_branch: bool,
+    log: Rc<RefCell<RunLog>>,
+}
+
+impl DfsSchedule {
+    fn asleep(&self, task: u64) -> bool {
+        self.use_sleep && self.cur_sleep.iter().any(|e| e.task == task)
+    }
+
+    /// Picks the next task at a fresh (beyond-plan) choice point:
+    /// continuing the previous task is preferred (free under the bound),
+    /// then FIFO order. Returns `None` (with the abort reason logged) if
+    /// every candidate is asleep or over the bound.
+    fn pick_extension(&mut self, ids: &[u64]) -> Option<usize> {
+        let prev_idx = self
+            .prev_task
+            .and_then(|p| ids.iter().position(|&t| t == p));
+        let order = prev_idx
+            .into_iter()
+            .chain((0..ids.len()).filter(|i| Some(*i) != prev_idx));
+        let mut saw_awake = false;
+        for i in order {
+            if self.asleep(ids[i]) {
+                continue;
+            }
+            saw_awake = true;
+            let cost = u32::from(prev_idx.is_some() && Some(i) != prev_idx);
+            if self.bound.is_some_and(|b| self.preemptions + cost > b) {
+                continue;
+            }
+            return Some(i);
+        }
+        self.log.borrow_mut().abort = Some(if saw_awake {
+            AbortKind::Bound
+        } else {
+            AbortKind::Sleep
+        });
+        None
+    }
+}
+
+impl Schedule for DfsSchedule {
+    fn choose(&mut self, runnable: &[TaskRef], _now: SimTime) -> usize {
+        if self.log.borrow().abort.is_some() {
+            return 0;
+        }
+        if runnable.len() == 1 {
+            // Forced step. If the sole runnable task is asleep, this whole
+            // execution is equivalent to one already explored.
+            if self.asleep(runnable[0].id()) {
+                self.log.borrow_mut().abort = Some(AbortKind::Sleep);
+            }
+            self.pending_branch = false;
+            return 0;
+        }
+        let d = self.depth;
+        if self.use_sleep {
+            if let Some(adds) = self.sleep_adds.get(d) {
+                for e in adds {
+                    if !self.cur_sleep.iter().any(|x| x.task == e.task) {
+                        self.cur_sleep.push(e.clone());
+                    }
+                }
+            }
+        }
+        let ids: Vec<u64> = runnable.iter().map(TaskRef::id).collect();
+        let idx = if d < self.plan.len() {
+            if ids != self.plan_enabled[d] {
+                self.log.borrow_mut().abort = Some(AbortKind::Divergence);
+                return 0;
+            }
+            self.plan[d].min(ids.len() - 1)
+        } else {
+            match self.pick_extension(&ids) {
+                Some(i) => {
+                    self.log.borrow_mut().new_nodes.push(NodeSeed {
+                        enabled: ids.clone(),
+                        chosen: i,
+                        sleep_on_entry: self.cur_sleep.clone(),
+                        prev_task: self.prev_task,
+                        preemptions_before: self.preemptions,
+                    });
+                    i
+                }
+                None => return 0,
+            }
+        };
+        if let Some(p) = self.prev_task {
+            if ids.contains(&p) && ids[idx] != p {
+                self.preemptions += 1;
+            }
+        }
+        self.depth += 1;
+        self.pending_branch = true;
+        let mut log = self.log.borrow_mut();
+        log.taken.push(idx);
+        log.steps.push(None);
+        idx
+    }
+
+    fn observe(&mut self, step: &StepRecord) {
+        if self.log.borrow().abort.is_some() {
+            return;
+        }
+        if self.pending_branch {
+            self.pending_branch = false;
+            let mut log = self.log.borrow_mut();
+            let last = log.steps.len() - 1;
+            log.steps[last] = Some(SleepEntry {
+                task: step.task,
+                footprint: step.accesses.clone(),
+            });
+        }
+        if self.use_sleep {
+            // A dependent step wakes a sleeping task: the commutation
+            // argument that justified its sleep no longer holds.
+            self.cur_sleep
+                .retain(|e| !footprints_conflict(&e.footprint, &step.accesses));
+        }
+        self.prev_task = Some(step.task);
+    }
+
+    fn aborted(&self) -> bool {
+        self.log.borrow().abort.is_some()
+    }
+}
+
+/// Configurable DFS explorer. Build with [`Explorer::new`], tune with the
+/// builder methods, run with [`Explorer::explore`].
+#[derive(Clone, Debug)]
+pub struct Explorer {
+    pruning: Pruning,
+    preemption_bound: Option<u32>,
+    budget: Option<u64>,
+    stop_on_violation: bool,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Explorer::new()
+    }
+}
+
+impl Explorer {
+    /// Sleep-set pruning, no preemption bound, no budget.
+    pub fn new() -> Self {
+        Explorer {
+            pruning: Pruning::SleepSets,
+            preemption_bound: None,
+            budget: None,
+            stop_on_violation: false,
+        }
+    }
+
+    /// Sets the pruning strategy.
+    pub fn pruning(mut self, p: Pruning) -> Self {
+        self.pruning = p;
+        self
+    }
+
+    /// Caps the number of preemptions per schedule (`None` = unbounded).
+    pub fn preemption_bound(mut self, b: Option<u32>) -> Self {
+        self.preemption_bound = b;
+        self
+    }
+
+    /// Hard cap on executions started; exceeding it sets
+    /// [`ExploreReport::budget_exhausted`].
+    pub fn budget(mut self, b: Option<u64>) -> Self {
+        self.budget = b;
+        self
+    }
+
+    /// Stop at the first violating schedule instead of mapping the whole
+    /// space.
+    pub fn stop_on_violation(mut self, stop: bool) -> Self {
+        self.stop_on_violation = stop;
+        self
+    }
+
+    /// Explores `spec`'s schedule space, judging every completed run with
+    /// the oracle stack.
+    pub fn explore(&self, spec: &CellSpec, seed: u64) -> ExploreReport {
+        let mut report = ExploreReport {
+            cell: spec.name.to_string(),
+            seed,
+            schedules: 0,
+            sleep_pruned: 0,
+            bound_pruned: 0,
+            max_depth: 0,
+            budget_exhausted: false,
+            stopped_early: false,
+            violations: BTreeSet::new(),
+            divergences: Vec::new(),
+            counterexample: None,
+        };
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut first = true;
+        loop {
+            if !first && !self.backtrack(&mut nodes) {
+                break; // space exhausted
+            }
+            first = false;
+            if self.budget.is_some_and(|b| report.runs() >= b) {
+                report.budget_exhausted = true;
+                break;
+            }
+            let log = Rc::new(RefCell::new(RunLog::default()));
+            let sched = DfsSchedule {
+                plan: nodes.iter().map(|n| n.chosen).collect(),
+                plan_enabled: nodes.iter().map(|n| n.enabled.clone()).collect(),
+                sleep_adds: nodes
+                    .iter()
+                    .map(|n| n.tried.iter().map(|(_, e)| e.clone()).collect())
+                    .collect(),
+                use_sleep: self.pruning == Pruning::SleepSets,
+                bound: self.preemption_bound,
+                depth: 0,
+                preemptions: 0,
+                prev_task: None,
+                cur_sleep: Vec::new(),
+                pending_branch: false,
+                log: log.clone(),
+            };
+            let outcome = run_cell(spec, seed, Box::new(sched));
+            let log = log.borrow();
+
+            for seed_node in &log.new_nodes {
+                nodes.push(Node {
+                    enabled: seed_node.enabled.clone(),
+                    chosen: seed_node.chosen,
+                    cur_step: None,
+                    tried: Vec::new(),
+                    sleep_on_entry: seed_node.sleep_on_entry.clone(),
+                    prev_task: seed_node.prev_task,
+                    preemptions_before: seed_node.preemptions_before,
+                });
+            }
+            for (d, s) in log.steps.iter().enumerate() {
+                if let (Some(node), Some(entry)) = (nodes.get_mut(d), s) {
+                    if node.cur_step.is_none() {
+                        node.cur_step = Some(entry.clone());
+                    }
+                }
+            }
+            report.max_depth = report.max_depth.max(log.taken.len());
+
+            match log.abort {
+                Some(AbortKind::Sleep) => report.sleep_pruned += 1,
+                Some(AbortKind::Bound) => report.bound_pruned += 1,
+                Some(AbortKind::Divergence) => {
+                    report
+                        .divergences
+                        .push("prefix replay diverged: runnable set mismatch".to_string());
+                    break;
+                }
+                None => {
+                    report.schedules += 1;
+                    if !outcome.completed {
+                        report
+                            .divergences
+                            .push("run ended without abort but tasks did not complete".to_string());
+                    } else {
+                        if let Some(d) = &outcome.verdict.divergence {
+                            report.divergences.push(d.clone());
+                        }
+                        if outcome.violated() {
+                            for v in &outcome.verdict.violations {
+                                report.violations.insert(v.clone());
+                            }
+                            if report.counterexample.is_none() {
+                                report.counterexample =
+                                    Some(Counterexample::new(spec.name, seed, log.taken.clone()));
+                            }
+                            if self.stop_on_violation {
+                                report.stopped_early = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        report
+    }
+
+    /// Rotates the deepest node with an untried, non-redundant sibling to
+    /// that sibling and truncates the path below it. Returns `false` when
+    /// the whole space is exhausted.
+    fn backtrack(&self, nodes: &mut Vec<Node>) -> bool {
+        while !nodes.is_empty() {
+            let pos = nodes.len() - 1;
+            match self.next_candidate(&nodes[pos]) {
+                Some(alt) => {
+                    let node = &mut nodes[pos];
+                    let step = node
+                        .cur_step
+                        .take()
+                        .expect("chosen branch of a backtracked node was executed");
+                    node.tried.push((node.chosen, step));
+                    node.chosen = alt;
+                    return true;
+                }
+                None => {
+                    nodes.pop();
+                }
+            }
+        }
+        false
+    }
+
+    /// The next unexplored sibling at `node`, honouring sleep sets and the
+    /// preemption bound, in the same candidate order as
+    /// [`DfsSchedule::pick_extension`].
+    fn next_candidate(&self, node: &Node) -> Option<usize> {
+        let ids = &node.enabled;
+        let prev_idx = node
+            .prev_task
+            .and_then(|p| ids.iter().position(|&t| t == p));
+        let order = prev_idx
+            .into_iter()
+            .chain((0..ids.len()).filter(|i| Some(*i) != prev_idx));
+        for i in order {
+            if i == node.chosen || node.tried.iter().any(|&(j, _)| j == i) {
+                continue;
+            }
+            if self.pruning == Pruning::SleepSets
+                && node.sleep_on_entry.iter().any(|e| e.task == ids[i])
+            {
+                continue;
+            }
+            let cost = u32::from(prev_idx.is_some() && Some(i) != prev_idx);
+            if self
+                .preemption_bound
+                .is_some_and(|b| node.preemptions_before + cost > b)
+            {
+                continue;
+            }
+            return Some(i);
+        }
+        None
+    }
+}

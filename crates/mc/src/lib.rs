@@ -1,0 +1,39 @@
+//! `antipode-mc` — a systematic schedule-space model checker for XCY
+//! invariants, in the style of loom, shuttle and CHESS.
+//!
+//! The deterministic simulator executes one schedule per seed; chaos testing
+//! samples many seeds. Neither is *exhaustive*: a cross-service causality
+//! bug that only manifests under one specific interleaving of replication
+//! applies, queue deliveries and application reads can survive both. This
+//! crate closes that gap for small, closed scenarios (**cells**,
+//! [`cells`]): it drives the simulator's schedule choice points
+//! ([`antipode_sim::Schedule`]) with a depth-first explorer that enumerates
+//! every *inequivalent* interleaving — pruning schedules that merely
+//! reorder independent steps (sleep-set reduction over per-step access
+//! footprints) and, optionally, schedules that exceed a preemption bound.
+//!
+//! Every explored schedule is judged by an oracle stack ([`oracle`]):
+//! Antipode's lineage-replay [`ConsistencyChecker`] plus the independent
+//! happens-before [`RaceDetector`], cross-validated against each other. A
+//! violating schedule is shrunk to a minimal prefix and serialized as a
+//! replayable counterexample ([`counterexample`]).
+//!
+//! [`ConsistencyChecker`]: antipode::ConsistencyChecker
+//! [`RaceDetector`]: antipode::RaceDetector
+//!
+//! # Quickstart
+//!
+//! ```text
+//! cargo run -p antipode-mc -- --cell barrier_basic      # exhausts clean
+//! cargo run -p antipode-mc -- --cell barrier_removed    # finds a witness
+//! ```
+
+pub mod cells;
+pub mod counterexample;
+pub mod explorer;
+pub mod oracle;
+
+pub use cells::{cell, run_cell, CellOutcome, CellSpec, ALL_CELLS, BARRIER_BASIC, BARRIER_REMOVED};
+pub use counterexample::Counterexample;
+pub use explorer::{ExploreReport, Explorer, Pruning};
+pub use oracle::OracleVerdict;

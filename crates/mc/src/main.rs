@@ -1,0 +1,214 @@
+//! `antipode-mc` CLI: explore a cell's schedule space or replay a
+//! counterexample.
+//!
+//! ```text
+//! antipode-mc --cell barrier_basic                 # exhaust; exit 2 on violation
+//! antipode-mc --cell barrier_removed --expect-violation
+//! antipode-mc --replay 'cell=barrier_removed;seed=1;choices=2'
+//! antipode-mc --list
+//! ```
+
+use std::process::ExitCode;
+
+use antipode_mc::{cell, Counterexample, Explorer, Pruning, ALL_CELLS};
+
+struct Args {
+    cell: Option<String>,
+    replay: Option<String>,
+    seed: u64,
+    bound: Option<u32>,
+    budget: Option<u64>,
+    raw: bool,
+    expect_violation: bool,
+    stop_on_violation: bool,
+    list: bool,
+}
+
+const USAGE: &str = "usage: antipode-mc --cell <name> [options]
+       antipode-mc --replay '<counterexample>'
+       antipode-mc --list
+
+options:
+  --cell <name>        cell to explore (see --list)
+  --seed <n>           simulation seed for every run (default 1)
+  --bound <n>          preemption bound (default: unbounded)
+  --budget <n>         hard cap on executions started (default: unbounded)
+  --raw                disable sleep-set reduction (measurement mode)
+  --expect-violation   invert the exit code: fail unless a violation is found
+  --stop-on-violation  stop at the first witness instead of mapping the space
+  --replay <cx>        replay a serialized counterexample and print its trace
+  --list               list registered cells";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        cell: None,
+        replay: None,
+        seed: 1,
+        bound: None,
+        budget: None,
+        raw: false,
+        expect_violation: false,
+        stop_on_violation: false,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match a.as_str() {
+            "--cell" => args.cell = Some(value("--cell")?),
+            "--replay" => args.replay = Some(value("--replay")?),
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--bound" => {
+                args.bound = Some(
+                    value("--bound")?
+                        .parse()
+                        .map_err(|e| format!("--bound: {e}"))?,
+                )
+            }
+            "--budget" => {
+                args.budget = Some(
+                    value("--budget")?
+                        .parse()
+                        .map_err(|e| format!("--budget: {e}"))?,
+                )
+            }
+            "--raw" => args.raw = true,
+            "--expect-violation" => args.expect_violation = true,
+            "--stop-on-violation" => args.stop_on_violation = true,
+            "--list" => args.list = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(64);
+        }
+    };
+
+    if args.list {
+        for c in ALL_CELLS {
+            println!("{:<16} {}", c.name, c.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(cx) = &args.replay {
+        return replay(cx);
+    }
+
+    let Some(name) = &args.cell else {
+        eprintln!("error: one of --cell, --replay or --list is required\n\n{USAGE}");
+        return ExitCode::from(64);
+    };
+    let Some(spec) = cell(name) else {
+        eprintln!("error: unknown cell {name:?} (try --list)");
+        return ExitCode::from(64);
+    };
+
+    let explorer = Explorer::new()
+        .pruning(if args.raw {
+            Pruning::Raw
+        } else {
+            Pruning::SleepSets
+        })
+        .preemption_bound(args.bound)
+        .budget(args.budget)
+        .stop_on_violation(args.stop_on_violation);
+    let report = explorer.explore(&spec, args.seed);
+
+    println!(
+        "cell {}: {} schedules explored ({} sleep-set pruned, {} bound pruned, max depth {})",
+        report.cell, report.schedules, report.sleep_pruned, report.bound_pruned, report.max_depth
+    );
+    if report.budget_exhausted {
+        println!("budget exhausted — exploration is INCOMPLETE");
+    }
+    for d in &report.divergences {
+        eprintln!("harness divergence: {d}");
+    }
+    if !report.divergences.is_empty() {
+        return ExitCode::from(3);
+    }
+
+    if report.violations.is_empty() {
+        let verdict = if report.budget_exhausted || report.stopped_early {
+            "no violation found (incomplete)"
+        } else {
+            "schedule space exhausted: no XCY violation"
+        };
+        println!("{verdict}");
+        return if args.expect_violation {
+            eprintln!("error: --expect-violation, but the cell verified clean");
+            ExitCode::from(2)
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    println!("XCY violations found:");
+    for v in &report.violations {
+        println!("  {v}");
+    }
+    if let Some(cx) = &report.counterexample {
+        match cx.shrink() {
+            Ok((minimal, outcome)) => {
+                println!("counterexample (minimal): {}", minimal.serialize());
+                println!("witness trace:");
+                for line in &outcome.trace {
+                    println!("  {line}");
+                }
+            }
+            Err(e) => eprintln!("shrink failed: {e}"),
+        }
+    }
+    if args.expect_violation {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}
+
+fn replay(serialized: &str) -> ExitCode {
+    let cx = match Counterexample::parse(serialized) {
+        Ok(cx) => cx,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(64);
+        }
+    };
+    match cx.replay() {
+        Ok(outcome) => {
+            for line in &outcome.trace {
+                println!("{line}");
+            }
+            if outcome.violated() {
+                println!("replay reproduced the violation:");
+                for v in &outcome.verdict.violations {
+                    println!("  {v}");
+                }
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("replay did NOT violate");
+                ExitCode::from(2)
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(64)
+        }
+    }
+}

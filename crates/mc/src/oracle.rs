@@ -1,0 +1,81 @@
+//! The oracle stack: judges one explored interleaving.
+//!
+//! Two independent analyses run over every schedule the explorer visits:
+//!
+//! 1. the [`ConsistencyChecker`] — lineage replay: at each checkpoint it
+//!    asks the shims whether every dependency is visible (paper §6.3);
+//! 2. the [`RaceDetector`] — happens-before reconstruction from the event
+//!    trace alone (program order + message edges), blind to lineages.
+//!
+//! A schedule is a violation witness if the checker recorded at least one
+//! non-speculative checkpoint with unmet dependencies. The detector is the
+//! cross-check: the two analyses must agree on *which* checkpoints were
+//! unsatisfied — a disagreement means the instrumentation itself is broken
+//! and is reported as a [`OracleVerdict::divergence`], which the explorer
+//! treats as fatal (it would silently invalidate every verdict).
+
+use antipode::{ConsistencyChecker, RaceDetector, TraceEvent};
+
+/// What the oracle concluded about one execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OracleVerdict {
+    /// Canonical checker violation signatures
+    /// ([`ConsistencyChecker::violation_signatures`]) — sorted, so two
+    /// executions violating identically compare equal.
+    pub violations: Vec<String>,
+    /// Race-detector findings with unmet causal dependencies, as
+    /// `location@region` labels (sorted).
+    pub race_unsatisfied: Vec<String>,
+    /// Set when the two analyses disagree on which checkpoints were
+    /// unsatisfied. Always a bug in the harness, never in the cell.
+    pub divergence: Option<String>,
+}
+
+impl OracleVerdict {
+    /// A verdict for an execution that produced nothing to judge.
+    pub fn empty() -> Self {
+        OracleVerdict::default()
+    }
+}
+
+/// Runs the oracle stack over one completed execution.
+pub fn evaluate(checker: &ConsistencyChecker, trace: &[TraceEvent]) -> OracleVerdict {
+    let violations = checker.violation_signatures();
+
+    let detector = RaceDetector::analyze(trace);
+    let mut race_unsatisfied: Vec<String> = detector
+        .findings()
+        .iter()
+        .filter(|f| !f.is_satisfied())
+        .map(|f| format!("{}@{}", f.location, f.region.name()))
+        .collect();
+    race_unsatisfied.sort();
+
+    // Cross-validate per checkpoint location: the checker's violating
+    // locations must be exactly the detector's.
+    // Signatures look like `location@region: unmet=[...]` — strip the
+    // unmet list to get the `location@region` label the detector also uses
+    // (the location itself may contain ':').
+    let mut checker_locs: Vec<String> = violations
+        .iter()
+        .filter_map(|sig| sig.split(": unmet=").next().map(str::to_string))
+        .collect();
+    checker_locs.sort();
+    checker_locs.dedup();
+    let mut race_locs = race_unsatisfied.clone();
+    race_locs.dedup();
+    let divergence = (checker_locs != race_locs).then(|| {
+        format!(
+            "oracle divergence: lineage replay flagged [{}] but happens-before \
+             reconstruction flagged [{}]",
+            checker_locs.join(", "),
+            race_locs.join(", ")
+        )
+    });
+
+    OracleVerdict {
+        violations,
+        race_unsatisfied,
+        divergence,
+    }
+}

@@ -1,0 +1,148 @@
+//! Acceptance tests for the model checker: the barriered cell exhausts
+//! clean with a pinned schedule count, the ablated cell yields a minimal
+//! replayable counterexample, and sleep-set reduction prunes the majority
+//! of raw interleavings without losing any violation.
+
+use antipode_mc::{Counterexample, Explorer, Pruning, BARRIER_BASIC, BARRIER_REMOVED};
+
+const SEED: u64 = 1;
+
+#[test]
+fn barriered_cell_exhausts_clean_with_pinned_count() {
+    let report = Explorer::new().explore(&BARRIER_BASIC, SEED);
+    assert!(report.verified(), "barriered cell must verify: {report:?}");
+    assert!(report.divergences.is_empty(), "{:?}", report.divergences);
+    // Pinned: the inequivalent-schedule count of the 2-writes x 2-regions
+    // cell. A change here means the cell's concurrency structure changed —
+    // deliberate executor/engine work, or an accidental new race.
+    assert_eq!(
+        report.schedules, 4,
+        "completed schedules changed: {report:?}"
+    );
+    assert_eq!(
+        report.sleep_pruned, 16,
+        "sleep-pruned count changed: {report:?}"
+    );
+    assert_eq!(
+        report.max_depth, 7,
+        "choice-point depth changed: {report:?}"
+    );
+}
+
+#[test]
+fn ablated_cell_yields_minimal_replayable_counterexample() {
+    let report = Explorer::new().explore(&BARRIER_REMOVED, SEED);
+    assert!(!report.verified());
+    assert_eq!(
+        report.violations.len(),
+        1,
+        "exactly one violating checkpoint expected: {:?}",
+        report.violations
+    );
+    let sig = report.violations.iter().next().unwrap();
+    assert!(
+        sig.contains("posts/post-1@v1"),
+        "violation must name the missing post write: {sig}"
+    );
+    assert!(report.divergences.is_empty(), "{:?}", report.divergences);
+
+    let cx = report.counterexample.as_ref().expect("witness recorded");
+    let (minimal, shrunk_outcome) = cx.shrink().expect("replayable");
+    assert!(minimal.choices.len() <= cx.choices.len());
+    assert_eq!(
+        shrunk_outcome.verdict.violations,
+        report.violations.iter().cloned().collect::<Vec<_>>()
+    );
+
+    // Minimality: no strictly shorter prefix reproduces the violation.
+    for k in 0..minimal.choices.len() {
+        let shorter = Counterexample::new(
+            minimal.cell.clone(),
+            minimal.seed,
+            minimal.choices[..k].to_vec(),
+        );
+        let out = shorter.replay().expect("replayable");
+        assert_ne!(
+            out.verdict.violations, shrunk_outcome.verdict.violations,
+            "prefix of length {k} already reproduces — shrink missed it"
+        );
+    }
+
+    // Replay determinism: two replays of the minimal witness are
+    // byte-identical, trace included.
+    let a = minimal.replay().expect("replayable");
+    let b = minimal.replay().expect("replayable");
+    assert!(a.violated());
+    assert_eq!(a.verdict, b.verdict);
+    assert_eq!(a.trace, b.trace);
+
+    // The wire form round-trips through parse.
+    let parsed = Counterexample::parse(&minimal.serialize()).expect("parses");
+    assert_eq!(parsed, minimal);
+}
+
+#[test]
+fn sleep_set_reduction_prunes_majority_of_raw_interleavings() {
+    let raw = Explorer::new()
+        .pruning(Pruning::Raw)
+        .explore(&BARRIER_REMOVED, SEED);
+    let reduced = Explorer::new().explore(&BARRIER_REMOVED, SEED);
+    assert!(raw.schedules > 0 && reduced.schedules > 0);
+    // The reduction must prune at least half of the raw interleavings —
+    // in practice it executes ~20 runs against 432 raw schedules.
+    assert!(
+        reduced.runs() * 2 <= raw.schedules,
+        "reduction too weak: {} runs (incl. pruned) vs {} raw schedules",
+        reduced.runs(),
+        raw.schedules
+    );
+    // Soundness: pruning drops executions, never behaviours — the two
+    // explorations must find the identical violation set.
+    assert_eq!(raw.violations, reduced.violations);
+    assert!(raw.divergences.is_empty() && reduced.divergences.is_empty());
+}
+
+#[test]
+fn raw_and_reduced_agree_on_the_clean_cell() {
+    let raw = Explorer::new()
+        .pruning(Pruning::Raw)
+        .explore(&BARRIER_BASIC, SEED);
+    let reduced = Explorer::new().explore(&BARRIER_BASIC, SEED);
+    assert!(raw.verified() && reduced.verified());
+    assert_eq!(raw.violations, reduced.violations);
+}
+
+#[test]
+fn preemption_bound_two_suffices_for_the_ablation() {
+    let report = Explorer::new()
+        .preemption_bound(Some(2))
+        .budget(Some(10_000))
+        .explore(&BARRIER_REMOVED, SEED);
+    assert!(!report.budget_exhausted);
+    assert_eq!(report.violations.len(), 1);
+    assert!(report.counterexample.is_some());
+}
+
+#[test]
+fn budget_cuts_exploration_off_and_says_so() {
+    let report = Explorer::new()
+        .pruning(Pruning::Raw)
+        .budget(Some(3))
+        .explore(&BARRIER_REMOVED, SEED);
+    assert!(report.budget_exhausted);
+    assert_eq!(report.runs(), 3);
+}
+
+#[test]
+fn stop_on_violation_halts_the_search_early() {
+    let full = Explorer::new()
+        .pruning(Pruning::Raw)
+        .explore(&BARRIER_REMOVED, SEED);
+    let early = Explorer::new()
+        .pruning(Pruning::Raw)
+        .stop_on_violation(true)
+        .explore(&BARRIER_REMOVED, SEED);
+    assert!(early.stopped_early);
+    assert!(early.runs() < full.runs());
+    assert!(early.counterexample.is_some());
+}

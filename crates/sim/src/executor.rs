@@ -21,6 +21,9 @@ use parking_lot::Mutex;
 
 use crate::fault::FaultPlan;
 use crate::rng::{derived_rng, SimRng};
+use crate::schedule::{
+    self, BlockedOn, Schedule, StepRecord, TaskRef, WakeSource, WAKE_EXTERNAL, WAKE_TIMER,
+};
 use crate::sync::{oneshot, OneReceiver, RecvError};
 use crate::time::SimTime;
 
@@ -45,6 +48,16 @@ struct TaskSlot {
     generation: u32,
     waker: Option<Waker>,
     state: SlotState,
+    /// Debug name from [`Sim::spawn_named`], surfaced in choice points and
+    /// the deadlock stall report.
+    name: Option<Rc<str>>,
+    /// What the task's last `Pending` poll blocked on (diagnostic).
+    blocked_on: Option<BlockedOn>,
+    /// Raw wake source of the wake that led to the task's last poll
+    /// ([`WAKE_EXTERNAL`] until first polled).
+    last_wake: u32,
+    /// Whether the task has been polled at least once.
+    polled: bool,
 }
 
 enum SlotState {
@@ -58,16 +71,25 @@ enum SlotState {
 
 /// Queue of runnable task ids, shared with wakers (which must be `Send`;
 /// the simulator is single-threaded, so the mutex is never contended).
+/// Each entry carries the raw wake source (the slot of the task whose poll
+/// triggered the wake, or a [`WAKE_TIMER`]/[`WAKE_EXTERNAL`] sentinel) for
+/// the deadlock stall report.
+///
+/// This queue is the *only* source of runnable tasks, and [`Sim::step`] /
+/// `Sim::step_controlled` below are the only consumers: every pop flows
+/// through the `Schedule` choice-point API so a model checker sees (and can
+/// reorder) every scheduling decision.
 #[derive(Default)]
 struct ReadyQueue {
-    queue: Mutex<VecDeque<TaskId>>,
+    queue: Mutex<VecDeque<(TaskId, u32)>>,
 }
 
 impl ReadyQueue {
     fn push(&self, id: TaskId) {
-        self.queue.lock().push_back(id);
+        let src = schedule::current_slot();
+        self.queue.lock().push_back((id, src));
     }
-    fn pop(&self) -> Option<TaskId> {
+    fn pop(&self) -> Option<(TaskId, u32)> {
         self.queue.lock().pop_front()
     }
 }
@@ -126,6 +148,18 @@ struct Inner {
     flag_pool: RefCell<Vec<Rc<Cell<bool>>>>,
     seed: u64,
     faults: FaultPlan,
+    /// Installed scheduling strategy; `None` means the default FIFO fast
+    /// path (uncontrolled mode).
+    sched: RefCell<Option<Box<dyn Schedule>>>,
+    /// Whether a schedule is installed (cheap flag so the hot path pays a
+    /// single `Cell` read, not a `RefCell` borrow).
+    controlled: Cell<bool>,
+    /// Controlled-mode staging area: runnable tasks drained from `ready`
+    /// awaiting a schedule decision. Always empty in uncontrolled mode.
+    staged: RefCell<VecDeque<(TaskId, u32)>>,
+    /// Choice points seen so far (controlled steps with ≥ 2 runnable
+    /// tasks). Diagnostic.
+    choice_points: Cell<u64>,
 }
 
 /// Handle to the simulation. Cheap to clone; every service, datastore and
@@ -145,6 +179,11 @@ impl Sim {
     /// Creates a simulation with the given master seed. All randomness in the
     /// run derives from this seed via named streams ([`Sim::rng`]).
     pub fn new(seed: u64) -> Self {
+        // Start every simulation from the same thread-local origin (resource
+        // ids, recording state) so back-to-back executions are comparable —
+        // the model checker relies on this when it diffs footprints across
+        // executions sharing a choice prefix.
+        schedule::reset_thread_state();
         Sim {
             inner: Rc::new(Inner {
                 now: Cell::new(SimTime::ZERO),
@@ -157,8 +196,38 @@ impl Sim {
                 flag_pool: RefCell::new(Vec::new()),
                 seed,
                 faults: FaultPlan::new(),
+                sched: RefCell::new(None),
+                controlled: Cell::new(false),
+                staged: RefCell::new(VecDeque::new()),
+                choice_points: Cell::new(0),
             }),
         }
+    }
+
+    /// Installs a [`Schedule`] strategy, switching the executor into
+    /// *controlled* mode: every "which runnable task polls next?" decision
+    /// becomes an explicit choice point routed through the strategy, and
+    /// per-step access footprints are recorded (see [`crate::schedule`]).
+    ///
+    /// Two semantic differences from the default mode, both confined to
+    /// controlled runs: duplicate wakes of the same task coalesce into one
+    /// runnable entry, and *all* timers due at the earliest pending instant
+    /// fire together (so same-instant concurrency surfaces as a single
+    /// choice point instead of an arbitrary FIFO interleaving).
+    pub fn set_schedule(&self, s: Box<dyn Schedule>) {
+        *self.inner.sched.borrow_mut() = Some(s);
+        self.inner.controlled.set(true);
+    }
+
+    /// Whether a schedule is installed ([`Sim::set_schedule`]).
+    pub fn is_controlled(&self) -> bool {
+        self.inner.controlled.get()
+    }
+
+    /// Number of choice points encountered so far (controlled steps with
+    /// two or more runnable tasks).
+    pub fn choice_points(&self) -> u64 {
+        self.inner.choice_points.get()
     }
 
     /// The current virtual time.
@@ -198,7 +267,24 @@ impl Sim {
             // The receiver may have been dropped (detached task): ignore.
             let _ = tx.send(out);
         });
-        self.insert_task(wrapped);
+        self.insert_task(wrapped, None);
+        JoinHandle { rx }
+    }
+
+    /// [`Sim::spawn`] with a debug name. The name shows up in schedule
+    /// choice points ([`TaskRef::name`]) and the deadlock stall report; it
+    /// has no effect on execution.
+    pub fn spawn_named<T: 'static>(
+        &self,
+        name: &str,
+        fut: impl Future<Output = T> + 'static,
+    ) -> JoinHandle<T> {
+        let (tx, rx) = oneshot();
+        let wrapped: BoxFuture = Box::pin(async move {
+            let out = fut.await;
+            let _ = tx.send(out);
+        });
+        self.insert_task(wrapped, Some(Rc::from(name)));
         JoinHandle { rx }
     }
 
@@ -207,10 +293,10 @@ impl Sim {
     /// flusher wakes, per-write client tasks) is hot enough for the
     /// difference to show up in end-to-end throughput.
     pub fn spawn_detached(&self, fut: impl Future<Output = ()> + 'static) {
-        self.insert_task(Box::pin(fut));
+        self.insert_task(Box::pin(fut), None);
     }
 
-    fn insert_task(&self, fut: BoxFuture) {
+    fn insert_task(&self, fut: BoxFuture, name: Option<Rc<str>>) {
         let mut tasks = self.inner.tasks.borrow_mut();
         let slot = match self.inner.free.borrow_mut().pop() {
             Some(slot) => slot,
@@ -219,6 +305,10 @@ impl Sim {
                     generation: 0,
                     waker: None,
                     state: SlotState::Vacant,
+                    name: None,
+                    blocked_on: None,
+                    last_wake: WAKE_EXTERNAL,
+                    polled: false,
                 });
                 (tasks.len() - 1) as u32
             }
@@ -230,6 +320,10 @@ impl Sim {
             ready: self.inner.ready.clone(),
         })));
         entry.state = SlotState::Occupied(fut);
+        entry.name = name;
+        entry.blocked_on = None;
+        entry.last_wake = WAKE_EXTERNAL;
+        entry.polled = false;
         self.inner.live.set(self.inner.live.get() + 1);
         self.inner.ready.push(id);
     }
@@ -280,43 +374,61 @@ impl Sim {
         YieldNow { polled: false }
     }
 
-    fn poll_task(&self, id: TaskId) {
+    /// Polls the task `id`, returning `true` if the task completed. `src`
+    /// is the raw wake source that made the task runnable (stall-report
+    /// bookkeeping only).
+    fn poll_task(&self, id: TaskId, src: u32) -> bool {
         let (slot, generation) = unpack_task(id);
         // Check the future out of its slot; the task table cannot stay
         // borrowed across the poll (the future may spawn or wake).
         let (mut fut, waker) = {
             let mut tasks = self.inner.tasks.borrow_mut();
             let Some(entry) = tasks.get_mut(slot as usize) else {
-                return;
+                return false;
             };
             if entry.generation != generation {
-                return; // stale wake for a recycled slot
+                return false; // stale wake for a recycled slot
             }
             match std::mem::replace(&mut entry.state, SlotState::Polling) {
                 SlotState::Occupied(fut) => {
                     let waker = entry.waker.clone().expect("occupied slots have a waker");
+                    entry.last_wake = src;
+                    entry.polled = true;
                     (fut, waker)
                 }
                 // Completed (duplicate wake) — restore and ignore.
                 other => {
                     entry.state = other;
-                    return;
+                    return false;
                 }
             }
         };
         let mut cx = Context::from_waker(&waker);
-        match fut.as_mut().poll(&mut cx) {
+        // Attribute wakes performed by this poll to the task, and clear any
+        // stale blocked-on note before the poll sets a fresh one.
+        let prev_slot = schedule::set_current_slot(slot);
+        schedule::take_block_note();
+        let poll = fut.as_mut().poll(&mut cx);
+        schedule::set_current_slot(prev_slot);
+        match poll {
             Poll::Ready(()) => {
                 let mut tasks = self.inner.tasks.borrow_mut();
                 let entry = &mut tasks[slot as usize];
                 entry.state = SlotState::Vacant;
                 entry.waker = None;
+                entry.name = None;
+                entry.blocked_on = None;
                 entry.generation = entry.generation.wrapping_add(1);
                 self.inner.free.borrow_mut().push(slot);
                 self.inner.live.set(self.inner.live.get() - 1);
+                true
             }
             Poll::Pending => {
-                self.inner.tasks.borrow_mut()[slot as usize].state = SlotState::Occupied(fut);
+                let mut tasks = self.inner.tasks.borrow_mut();
+                let entry = &mut tasks[slot as usize];
+                entry.state = SlotState::Occupied(fut);
+                entry.blocked_on = schedule::take_block_note();
+                false
             }
         }
     }
@@ -324,9 +436,17 @@ impl Sim {
     /// Runs one scheduling step: polls one runnable task, or fires the next
     /// timer (advancing the clock). Returns `false` when the simulation is
     /// quiescent.
+    ///
+    /// In the default (uncontrolled) mode the runnable task is always the
+    /// FIFO head of the ready queue and exactly one timer fires per step —
+    /// the byte-identical schedule every golden-trace test pins. With a
+    /// [`Schedule`] installed the decision is delegated to the strategy.
     pub fn step(&self) -> bool {
-        if let Some(id) = self.inner.ready.pop() {
-            self.poll_task(id);
+        if self.inner.controlled.get() {
+            return self.step_controlled();
+        }
+        if let Some((id, src)) = self.inner.ready.pop() {
+            self.poll_task(id, src);
             return true;
         }
         loop {
@@ -340,9 +460,150 @@ impl Sim {
             }
             debug_assert!(entry.at >= self.now(), "clock must be monotonic");
             self.inner.now.set(entry.at);
+            let prev = schedule::set_current_slot(WAKE_TIMER);
             entry.waker.wake();
+            schedule::set_current_slot(prev);
             return true;
         }
+    }
+
+    /// Controlled-mode step: drains fresh wakes into the staging list,
+    /// presents the normalized runnable set to the installed [`Schedule`],
+    /// polls the chosen task with access recording on, and reports the
+    /// resulting [`StepRecord`] back to the strategy.
+    fn step_controlled(&self) -> bool {
+        self.drain_ready(None);
+        if let Some(s) = self.inner.sched.borrow().as_deref() {
+            if s.aborted() {
+                return false;
+            }
+        }
+        let list = self.normalize_staged();
+        if list.is_empty() {
+            return self.fire_timer_batch();
+        }
+        let refs: Vec<TaskRef> = {
+            let tasks = self.inner.tasks.borrow();
+            list.iter()
+                .map(|&(id, _)| {
+                    let (slot, _) = unpack_task(id);
+                    TaskRef {
+                        id,
+                        slot,
+                        name: tasks[slot as usize].name.clone(),
+                    }
+                })
+                .collect()
+        };
+        if refs.len() > 1 {
+            self.inner
+                .choice_points
+                .set(self.inner.choice_points.get() + 1);
+        }
+        let idx = {
+            let mut sched = self.inner.sched.borrow_mut();
+            match sched.as_deref_mut() {
+                Some(s) => s.choose(&refs, self.now()).min(refs.len() - 1),
+                None => 0,
+            }
+        };
+        let (id, src) = list[idx];
+        let (slot, _) = unpack_task(id);
+        self.inner
+            .staged
+            .borrow_mut()
+            .retain(|&(other, _)| other != id);
+        schedule::set_recording(true);
+        let completed = self.poll_task(id, src);
+        schedule::set_recording(false);
+        let accesses = schedule::take_accesses();
+        let mut woke = Vec::new();
+        self.drain_ready(Some(&mut woke));
+        let record = StepRecord {
+            task: id,
+            slot,
+            name: refs[idx].name.clone(),
+            at: self.now(),
+            accesses,
+            woke,
+            completed,
+        };
+        if let Some(s) = self.inner.sched.borrow_mut().as_deref_mut() {
+            s.observe(&record);
+        }
+        true
+    }
+
+    /// Moves every entry of the shared ready queue into the controlled-mode
+    /// staging list, optionally collecting the drained task ids.
+    fn drain_ready(&self, mut woke: Option<&mut Vec<TaskId>>) {
+        let mut q = self.inner.ready.queue.lock();
+        let mut staged = self.inner.staged.borrow_mut();
+        while let Some((id, src)) = q.pop_front() {
+            if let Some(w) = woke.as_deref_mut() {
+                w.push(id);
+            }
+            staged.push_back((id, src));
+        }
+    }
+
+    /// Prunes stale entries and duplicate wakes from the staging list,
+    /// returning the normalized runnable set in FIFO wake order. A task
+    /// woken twice before being polled appears once (first position), so a
+    /// strategy never sees the same task as two distinct choices.
+    fn normalize_staged(&self) -> Vec<(TaskId, u32)> {
+        let mut staged = self.inner.staged.borrow_mut();
+        let tasks = self.inner.tasks.borrow();
+        let mut seen: Vec<TaskId> = Vec::with_capacity(staged.len());
+        let mut out: Vec<(TaskId, u32)> = Vec::with_capacity(staged.len());
+        for &(id, src) in staged.iter() {
+            let (slot, generation) = unpack_task(id);
+            let live = tasks.get(slot as usize).is_some_and(|e| {
+                e.generation == generation && matches!(e.state, SlotState::Occupied(_))
+            });
+            if live && !seen.contains(&id) {
+                seen.push(id);
+                out.push((id, src));
+            }
+        }
+        staged.clear();
+        staged.extend(out.iter().copied());
+        out
+    }
+
+    /// Fires *all* timers due at the earliest pending instant (skipping
+    /// cancelled entries), advancing the clock once. Batching the wakes
+    /// makes same-instant concurrency visible to the schedule as one choice
+    /// point with every woken task runnable, instead of an arbitrary
+    /// one-timer-per-step interleaving. Returns `false` if no timer fired
+    /// (quiescent).
+    fn fire_timer_batch(&self) -> bool {
+        let mut fire_at: Option<SimTime> = None;
+        loop {
+            let entry = {
+                let mut timers = self.inner.timers.borrow_mut();
+                match timers.peek() {
+                    Some(Reverse(e)) if fire_at.is_none_or(|t| e.at == t) || e.cancelled.get() => {
+                        let Reverse(e) = timers.pop().expect("peeked entry exists");
+                        e
+                    }
+                    _ => break,
+                }
+            };
+            if entry.cancelled.get() {
+                self.recycle_timer_flag(entry.cancelled);
+                continue;
+            }
+            if fire_at.is_none() {
+                debug_assert!(entry.at >= self.now(), "clock must be monotonic");
+                self.inner.now.set(entry.at);
+                fire_at = Some(entry.at);
+            }
+            let prev = schedule::set_current_slot(WAKE_TIMER);
+            entry.waker.wake();
+            schedule::set_current_slot(prev);
+        }
+        fire_at.is_some()
     }
 
     /// Runs until no tasks are runnable and no timers are pending.
@@ -355,7 +616,9 @@ impl Sim {
     /// left at `deadline` if it was reached.
     pub fn run_until(&self, deadline: SimTime) {
         loop {
-            if self.inner.ready.queue.lock().is_empty() {
+            let no_runnable = self.inner.ready.queue.lock().is_empty()
+                && (!self.inner.controlled.get() || self.normalize_staged().is_empty());
+            if no_runnable {
                 let next_at = self.inner.timers.borrow().peek().map(|Reverse(e)| e.at);
                 match next_at {
                     Some(at) if at > deadline => {
@@ -400,7 +663,10 @@ impl Sim {
         });
         while result.borrow().is_none() {
             if !self.step() {
-                panic!("simulation went quiescent before block_on future completed (deadlock)");
+                panic!(
+                    "simulation went quiescent before block_on future completed (deadlock)\n{}",
+                    self.stall_report()
+                );
             }
         }
         let r = result.borrow_mut().take().expect("slot was just filled");
@@ -410,6 +676,76 @@ impl Sim {
     /// Number of live (spawned, not yet completed) tasks. Diagnostic only.
     pub fn task_count(&self) -> usize {
         self.inner.live.get()
+    }
+
+    /// The set of live-but-parked tasks at this instant, with what each is
+    /// blocked on and where its last wake came from. Meaningful once the
+    /// simulation has gone quiescent with live tasks remaining — that is a
+    /// deadlock, and this is its diagnosis.
+    pub fn stuck_tasks(&self) -> Vec<StuckTask> {
+        let tasks = self.inner.tasks.borrow();
+        tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e.state, SlotState::Occupied(_)))
+            .map(|(slot, e)| StuckTask {
+                slot: slot as u32,
+                name: e.name.as_deref().map(str::to_owned),
+                blocked_on: e.blocked_on,
+                last_wake: e.polled.then(|| WakeSource::from_raw(e.last_wake)),
+            })
+            .collect()
+    }
+
+    /// Human-readable deadlock diagnosis: one line per stuck task. Appended
+    /// to the [`Sim::block_on`] panic message when the simulation stalls.
+    pub fn stall_report(&self) -> String {
+        use std::fmt::Write as _;
+        let stuck = self.stuck_tasks();
+        if stuck.is_empty() {
+            return "no live tasks remain".to_owned();
+        }
+        let mut out = format!(
+            "{} stuck task(s) at t={}ns:",
+            stuck.len(),
+            self.now().as_nanos()
+        );
+        for t in &stuck {
+            write!(out, "\n  {t}").expect("writing to String cannot fail");
+        }
+        out
+    }
+}
+
+/// One stuck task in a deadlock diagnosis ([`Sim::stuck_tasks`]).
+#[derive(Debug, Clone)]
+pub struct StuckTask {
+    /// Slab slot of the task.
+    pub slot: u32,
+    /// Debug name from [`Sim::spawn_named`], if any.
+    pub name: Option<String>,
+    /// What the task's last poll blocked on, if the parking primitive
+    /// reported it (see [`crate::schedule::note_blocked`]).
+    pub blocked_on: Option<BlockedOn>,
+    /// Source of the wake that led to the task's last poll; `None` if the
+    /// task was never polled.
+    pub last_wake: Option<WakeSource>,
+}
+
+impl std::fmt::Display for StuckTask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.name {
+            Some(n) => write!(f, "task {} ({n})", self.slot)?,
+            None => write!(f, "task {}", self.slot)?,
+        }
+        match &self.blocked_on {
+            Some(b) => write!(f, ": blocked on {b}")?,
+            None => write!(f, ": blocked (no parking note)")?,
+        }
+        match &self.last_wake {
+            Some(w) => write!(f, ", last woken by {w}"),
+            None => write!(f, ", never polled"),
+        }
     }
 }
 
@@ -445,6 +781,7 @@ impl Future for Sleep {
         }
         let reg = self.sim.register_timer(self.deadline, cx.waker().clone());
         self.registration = Some(reg);
+        schedule::note_blocked(BlockedOn::Timer(self.deadline));
         Poll::Pending
     }
 }
@@ -821,6 +1158,129 @@ mod tests {
     fn block_on_detects_deadlock() {
         let sim = Sim::new(0);
         sim.block_on(std::future::pending::<()>());
+    }
+
+    #[test]
+    #[should_panic(expected = "blocked on channel")]
+    fn block_on_deadlock_panic_names_the_blocking_primitive() {
+        let sim = Sim::new(0);
+        let (_tx, mut rx) = crate::sync::channel::<u8>();
+        // The sender is kept alive but never sends: an intentional deadlock.
+        sim.block_on(async move {
+            rx.recv().await;
+        });
+    }
+
+    #[test]
+    fn stuck_tasks_report_block_reason_and_wake_source() {
+        let sim = Sim::new(0);
+        let (tx, mut rx) = crate::sync::channel::<u8>();
+        let s = sim.clone();
+        sim.spawn_named("consumer", async move {
+            // Woken once by the producer, then parked forever on the second
+            // recv (the producer holds its sender but never sends again).
+            rx.recv().await;
+            rx.recv().await;
+        });
+        sim.spawn_named("producer", async move {
+            s.sleep(Duration::from_millis(1)).await;
+            tx.send(7).unwrap();
+            std::future::pending::<()>().await;
+        });
+        sim.run();
+        let stuck = sim.stuck_tasks();
+        assert_eq!(stuck.len(), 2, "both tasks deadlock: {stuck:?}");
+        let consumer = stuck
+            .iter()
+            .find(|t| t.name.as_deref() == Some("consumer"))
+            .expect("consumer is stuck");
+        assert!(
+            matches!(consumer.blocked_on, Some(BlockedOn::Channel(_))),
+            "consumer parked on the channel: {consumer:?}"
+        );
+        // The consumer's last poll was triggered by the producer's send.
+        let producer = stuck
+            .iter()
+            .find(|t| t.name.as_deref() == Some("producer"))
+            .expect("producer is stuck");
+        assert_eq!(consumer.last_wake, Some(WakeSource::Task(producer.slot)));
+        // The report renders every stuck task.
+        let report = sim.stall_report();
+        assert!(
+            report.contains("consumer") && report.contains("producer"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn controlled_fifo_matches_default_schedule() {
+        // Distinct timer deadlines: controlled mode batch-fires *same-instant*
+        // timers (an intentional semantic difference), but with all instants
+        // distinct the FIFO strategy must reproduce the default schedule.
+        fn run(controlled: bool) -> Vec<u32> {
+            let sim = Sim::new(3);
+            if controlled {
+                sim.set_schedule(Box::new(crate::schedule::FifoSchedule));
+            }
+            let log: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+            for (i, ms) in [(1u32, 30u64), (2, 10), (3, 15), (4, 20)] {
+                let s = sim.clone();
+                let log = log.clone();
+                sim.spawn(async move {
+                    s.sleep(Duration::from_millis(ms)).await;
+                    log.borrow_mut().push(i);
+                    s.yield_now().await;
+                    log.borrow_mut().push(i + 100);
+                });
+            }
+            sim.run();
+            let v = log.borrow().clone();
+            v
+        }
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn replay_schedule_reorders_same_instant_tasks() {
+        fn run(choices: Vec<usize>) -> Vec<&'static str> {
+            let sim = Sim::new(0);
+            sim.set_schedule(Box::new(crate::schedule::ReplaySchedule::new(choices)));
+            let log: Rc<RefCell<Vec<&'static str>>> = Rc::new(RefCell::new(Vec::new()));
+            for name in ["a", "b", "c"] {
+                let log = log.clone();
+                sim.spawn(async move {
+                    log.borrow_mut().push(name);
+                });
+            }
+            sim.run();
+            let v = log.borrow().clone();
+            v
+        }
+        assert_eq!(run(vec![]), vec!["a", "b", "c"], "FIFO tail");
+        assert_eq!(run(vec![2, 1]), vec!["c", "b", "a"], "reversed by replay");
+    }
+
+    #[test]
+    fn controlled_mode_batches_same_instant_timers_into_one_choice_point() {
+        let sim = Sim::new(0);
+        sim.set_schedule(Box::new(crate::schedule::FifoSchedule));
+        for _ in 0..3 {
+            let s = sim.clone();
+            sim.spawn(async move {
+                s.sleep(Duration::from_millis(5)).await;
+            });
+        }
+        // Initial spawns are one 3-way choice point; after the sleeps the
+        // batched timer wake is another. (Each polled task immediately
+        // re-enters the runnable set shrinking by one: 3,2 then 3,2 again —
+        // a choice point is any step with >= 2 runnable.)
+        sim.run();
+        assert!(
+            sim.choice_points() >= 2,
+            "same-instant timers must surface as a multi-way choice point; saw {}",
+            sim.choice_points()
+        );
+        assert_eq!(sim.task_count(), 0);
     }
 
     #[test]

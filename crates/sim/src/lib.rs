@@ -12,6 +12,9 @@
 //! Components:
 //! - [`executor`]: the [`Sim`] executor, tasks, sleeping, timeouts;
 //! - [`sync`]: oneshot/mpsc channels, a fair [`sync::Semaphore`], [`sync::Notify`];
+//! - [`schedule`]: pluggable [`Schedule`] strategies turning "which task
+//!   runs next?" into explicit choice points (the hook `antipode-mc`'s
+//!   systematic explorer drives);
 //! - [`net`]: [`net::Region`]s and inter-region latency models;
 //! - [`fault`]: the [`FaultPlan`] chaos schedule (outages, partitions,
 //!   drop/stall episodes) consulted by every layer;
@@ -42,13 +45,18 @@ pub mod fault;
 pub mod metrics;
 pub mod net;
 pub mod rng;
+pub mod schedule;
 pub mod sync;
 pub mod time;
 
 pub use dist::Dist;
-pub use executor::{join_all, timeout, Elapsed, Interval, JoinHandle, Sim, Sleep};
+pub use executor::{join_all, timeout, Elapsed, Interval, JoinHandle, Sim, Sleep, StuckTask};
 pub use fault::{FaultKind, FaultPlan, FaultWindow};
 pub use metrics::{Histogram, RateCounter, Samples, Summary};
 pub use net::{Network, Region};
 pub use rng::SimRng;
+pub use schedule::{
+    footprints_conflict, FifoSchedule, RandomSchedule, ReplaySchedule, Schedule, StepRecord,
+    TaskRef,
+};
 pub use time::SimTime;

@@ -1,0 +1,451 @@
+//! Schedule choice points for systematic concurrency exploration.
+//!
+//! By default the [`Sim`](crate::Sim) executor pops its ready queue FIFO,
+//! which — combined with seeded RNG streams — makes every run bit-for-bit
+//! reproducible from its seed. That determinism is also a blind spot: a
+//! property that holds under the FIFO interleaving may break under another
+//! legal ordering of the same events. This module turns the executor's
+//! "which runnable task polls next?" decision into an explicit **choice
+//! point** owned by a pluggable [`Schedule`] strategy, the way loom, shuttle
+//! and CHESS instrument their runtimes.
+//!
+//! Three strategies ship with the simulator:
+//! - [`FifoSchedule`] — always index 0; byte-identical to the uncontrolled
+//!   executor's FIFO order (used by tests that pin golden traces);
+//! - [`ReplaySchedule`] — follows a recorded list of choice indices, then
+//!   falls back to FIFO; this is how a model-checker counterexample replays;
+//! - [`RandomSchedule`] — seeded random choices, for schedule *sampling*
+//!   (the probabilistic cousin of exhaustive exploration).
+//!
+//! The systematic DFS explorer itself lives in the `antipode-mc` crate; this
+//! module only provides the mechanism (choice points, per-step access
+//! footprints, blocked-on notes) so the sim crate stays dependency-free.
+//!
+//! # Access footprints
+//!
+//! While a schedule is installed, the executor records the set of shared
+//! resources each poll touches ([`StepRecord::accesses`]). Sync primitives
+//! ([`crate::sync`]) and the datastore engine report touches via
+//! [`note_access`]; two steps with disjoint footprints commute, which is the
+//! independence relation the explorer's sleep-set reduction is keyed on.
+//! Recording is thread-local and only active inside a controlled poll, so
+//! the uncontrolled hot path pays a single `Cell` read per note.
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::rc::Rc;
+
+use crate::time::SimTime;
+
+/// Wake-source sentinel: the wake came from outside any task (driver code,
+/// `block_on` setup, tests poking state directly).
+pub(crate) const WAKE_EXTERNAL: u32 = u32::MAX;
+/// Wake-source sentinel: the wake came from a fired timer.
+pub(crate) const WAKE_TIMER: u32 = u32::MAX - 1;
+
+thread_local! {
+    /// Slot of the task currently being polled (wake-source attribution).
+    static CURRENT_SLOT: Cell<u32> = const { Cell::new(WAKE_EXTERNAL) };
+    /// Whether access notes are being collected (controlled poll in flight).
+    static RECORDING: Cell<bool> = const { Cell::new(false) };
+    /// Access notes collected during the current controlled poll.
+    static ACCESSES: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// What the current poll blocked on, if it returned `Pending`.
+    static BLOCK_NOTE: Cell<Option<BlockedOn>> = const { Cell::new(None) };
+    /// Monotonic resource-id allocator for sync primitives. Reset by
+    /// `Sim::new` so back-to-back executions of the same program assign
+    /// identical ids (the explorer compares footprints across executions
+    /// that share a choice prefix).
+    static NEXT_RESOURCE: Cell<u64> = const { Cell::new(1) };
+}
+
+/// Allocates a fresh resource id for a shared object (channel, semaphore,
+/// notify, …). Ids are deterministic given a deterministic creation order,
+/// which [`crate::Sim::new`]'s thread-state reset guarantees across
+/// back-to-back executions.
+pub fn next_resource_id() -> u64 {
+    NEXT_RESOURCE.with(|c| {
+        let id = c.get();
+        c.set(id + 1);
+        id
+    })
+}
+
+/// Stable id for a *named* shared resource (datastore key, queue message),
+/// FNV-1a over the parts with a separator so `("a", "bc")` and `("ab", "c")`
+/// differ. The high bit is set to keep the space disjoint from
+/// [`next_resource_id`] counters.
+pub fn resource_id(parts: &[&str]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for p in parts {
+        for &b in p.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= 0x1f;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h | (1 << 63)
+}
+
+/// Whether a controlled poll is currently collecting access notes. Callers
+/// with an expensive resource-id computation can guard on this.
+pub fn is_recording() -> bool {
+    RECORDING.with(Cell::get)
+}
+
+/// Reports that the currently-polled task touched `resource`. No-op unless
+/// a controlled poll is in flight ([`is_recording`]).
+pub fn note_access(resource: u64) {
+    RECORDING.with(|r| {
+        if r.get() {
+            ACCESSES.with(|a| a.borrow_mut().push(resource));
+        }
+    });
+}
+
+/// Records what the currently-polled task is about to block on. The
+/// executor attaches the note to the task when the poll returns `Pending`;
+/// it feeds the deadlock stall report. Cheap enough to call unconditionally.
+pub fn note_blocked(on: BlockedOn) {
+    BLOCK_NOTE.with(|b| b.set(Some(on)));
+}
+
+pub(crate) fn current_slot() -> u32 {
+    CURRENT_SLOT.with(Cell::get)
+}
+
+pub(crate) fn set_current_slot(slot: u32) -> u32 {
+    CURRENT_SLOT.with(|c| c.replace(slot))
+}
+
+pub(crate) fn set_recording(on: bool) {
+    RECORDING.with(|r| r.set(on));
+    if on {
+        ACCESSES.with(|a| a.borrow_mut().clear());
+    }
+}
+
+/// Drains the collected access notes, sorted and deduplicated.
+pub(crate) fn take_accesses() -> Vec<u64> {
+    let mut v = ACCESSES.with(|a| std::mem::take(&mut *a.borrow_mut()));
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+pub(crate) fn take_block_note() -> Option<BlockedOn> {
+    BLOCK_NOTE.with(Cell::take)
+}
+
+/// Resets all thread-local scheduling state. Called by `Sim::new` so each
+/// simulation starts from the same resource-id origin regardless of what ran
+/// before it on this thread.
+pub(crate) fn reset_thread_state() {
+    CURRENT_SLOT.with(|c| c.set(WAKE_EXTERNAL));
+    RECORDING.with(|r| r.set(false));
+    ACCESSES.with(|a| a.borrow_mut().clear());
+    BLOCK_NOTE.with(Cell::take);
+    NEXT_RESOURCE.with(|c| c.set(1));
+}
+
+/// What a pending task is blocked on, as reported by the primitive that
+/// parked it. Diagnostic: rendered in the deadlock stall report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockedOn {
+    /// Awaiting a oneshot receiver (includes `JoinHandle`s).
+    Oneshot(u64),
+    /// Awaiting an mpsc channel receive.
+    Channel(u64),
+    /// Queued on a semaphore.
+    Semaphore(u64),
+    /// Awaiting a [`crate::sync::Notify`] notification.
+    Notify(u64),
+    /// Sleeping until a virtual-time deadline (always wakeable).
+    Timer(SimTime),
+    /// Awaiting a datastore visibility waiter (barrier/`wait_visible`).
+    StoreWaiter(u64),
+}
+
+impl fmt::Display for BlockedOn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockedOn::Oneshot(id) => write!(f, "oneshot#{id}"),
+            BlockedOn::Channel(id) => write!(f, "channel#{id}"),
+            BlockedOn::Semaphore(id) => write!(f, "semaphore#{id}"),
+            BlockedOn::Notify(id) => write!(f, "notify#{id}"),
+            BlockedOn::Timer(at) => write!(f, "timer@{}ns", at.as_nanos()),
+            BlockedOn::StoreWaiter(id) => write!(f, "store-waiter#{id:x}"),
+        }
+    }
+}
+
+/// Where a task's most recent wake came from. Diagnostic: rendered in the
+/// deadlock stall report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeSource {
+    /// Woken by the task in the given slot.
+    Task(u32),
+    /// Woken by a fired timer.
+    Timer,
+    /// Woken from outside any task (spawn, driver code).
+    External,
+}
+
+impl WakeSource {
+    pub(crate) fn from_raw(raw: u32) -> WakeSource {
+        match raw {
+            WAKE_EXTERNAL => WakeSource::External,
+            WAKE_TIMER => WakeSource::Timer,
+            slot => WakeSource::Task(slot),
+        }
+    }
+}
+
+impl fmt::Display for WakeSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WakeSource::Task(slot) => write!(f, "task {slot}"),
+            WakeSource::Timer => write!(f, "timer"),
+            WakeSource::External => write!(f, "external"),
+        }
+    }
+}
+
+/// A runnable task as presented to [`Schedule::choose`].
+#[derive(Clone, Debug)]
+pub struct TaskRef {
+    pub(crate) id: u64,
+    pub(crate) slot: u32,
+    pub(crate) name: Option<Rc<str>>,
+}
+
+impl TaskRef {
+    /// Opaque task identity, stable for the task's lifetime. Two executions
+    /// sharing a choice prefix assign identical ids to the same logical
+    /// tasks (slot allocation is deterministic).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Slab slot of the task (low half of [`TaskRef::id`]). Diagnostic.
+    pub fn slot(&self) -> u32 {
+        self.slot
+    }
+
+    /// The task's debug name, if it was spawned with
+    /// [`crate::Sim::spawn_named`].
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+}
+
+/// What one controlled scheduling step did: which task ran, what it
+/// touched, and whom it woke. Fed to [`Schedule::observe`] after every
+/// controlled poll so explorers can maintain sleep sets and happens-before
+/// state online.
+#[derive(Clone, Debug)]
+pub struct StepRecord {
+    /// Id of the task that was polled.
+    pub task: u64,
+    /// Slab slot of the task.
+    pub slot: u32,
+    /// Debug name, if any.
+    pub name: Option<Rc<str>>,
+    /// Virtual instant of the poll.
+    pub at: SimTime,
+    /// Sorted, deduplicated resource footprint of the poll. Two steps with
+    /// disjoint footprints are independent (they commute).
+    pub accesses: Vec<u64>,
+    /// Tasks woken (or spawned) by the poll, in wake order.
+    pub woke: Vec<u64>,
+    /// Whether the task completed during this poll.
+    pub completed: bool,
+}
+
+impl StepRecord {
+    /// Whether this step's footprint intersects `other` (sorted slices).
+    pub fn conflicts_with(&self, other: &[u64]) -> bool {
+        footprints_conflict(&self.accesses, other)
+    }
+}
+
+/// Whether two sorted resource footprints intersect. Steps of *different*
+/// tasks with intersecting footprints are dependent: reordering them can
+/// change the outcome.
+pub fn footprints_conflict(a: &[u64], b: &[u64]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// A scheduling strategy: decides which runnable task the executor polls at
+/// each step. Installed with [`crate::Sim::set_schedule`]; while installed
+/// the executor runs in *controlled* mode (see the module docs).
+pub trait Schedule {
+    /// Picks the next task to poll from `runnable` (never empty; order is
+    /// FIFO wake order, so index 0 reproduces the default schedule).
+    /// Called for every controlled step, including forced ones
+    /// (`runnable.len() == 1`). Out-of-range returns are clamped.
+    fn choose(&mut self, runnable: &[TaskRef], now: SimTime) -> usize;
+
+    /// Observes the step that was just executed (the task chosen by the
+    /// preceding [`Schedule::choose`] call), including its access footprint
+    /// and wake-ups.
+    fn observe(&mut self, _step: &StepRecord) {}
+
+    /// When `true`, the executor stops stepping (the current execution is
+    /// abandoned). Explorers use this to cut off redundant interleavings.
+    fn aborted(&self) -> bool {
+        false
+    }
+}
+
+/// Always picks index 0: the FIFO wake order of the default executor. A
+/// controlled run under `FifoSchedule` produces the same schedule as an
+/// uncontrolled run (modulo duplicate-wake coalescing; see
+/// `Sim::step_controlled`).
+#[derive(Default)]
+pub struct FifoSchedule;
+
+impl Schedule for FifoSchedule {
+    fn choose(&mut self, _runnable: &[TaskRef], _now: SimTime) -> usize {
+        0
+    }
+}
+
+/// Replays a recorded list of choice indices (one per choice point with two
+/// or more runnable tasks), then falls back to FIFO. This is the consumer
+/// side of a model-checker counterexample: the recorded prefix steers the
+/// run back into the violating interleaving, and the FIFO tail finishes it
+/// deterministically.
+pub struct ReplaySchedule {
+    choices: Vec<usize>,
+    pos: usize,
+}
+
+impl ReplaySchedule {
+    /// Creates a replay of `choices`.
+    pub fn new(choices: Vec<usize>) -> Self {
+        ReplaySchedule { choices, pos: 0 }
+    }
+
+    /// How many recorded choices have been consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+}
+
+impl Schedule for ReplaySchedule {
+    fn choose(&mut self, runnable: &[TaskRef], _now: SimTime) -> usize {
+        if runnable.len() == 1 {
+            // Forced step: consumes no recorded choice.
+            return 0;
+        }
+        let c = match self.choices.get(self.pos) {
+            Some(&c) => c,
+            None => 0, // FIFO tail
+        };
+        self.pos += 1;
+        c.min(runnable.len() - 1)
+    }
+}
+
+/// Seeded random schedule, for sampling the schedule space. Records the
+/// choices it makes so a violating sample can be replayed with
+/// [`ReplaySchedule`].
+pub struct RandomSchedule {
+    rng: crate::rng::SimRng,
+    taken: Rc<RefCell<Vec<usize>>>,
+}
+
+impl RandomSchedule {
+    /// Creates a random schedule derived from `seed`.
+    pub fn new(seed: u64) -> Self {
+        RandomSchedule {
+            rng: crate::rng::derived_rng(seed, "schedule.random"),
+            taken: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// Shared handle to the list of choices taken so far (one entry per
+    /// choice point with ≥ 2 runnable tasks). Clone it before installing
+    /// the schedule; after the run it holds the full schedule, suitable for
+    /// [`ReplaySchedule::new`].
+    pub fn taken(&self) -> Rc<RefCell<Vec<usize>>> {
+        self.taken.clone()
+    }
+}
+
+impl Schedule for RandomSchedule {
+    fn choose(&mut self, runnable: &[TaskRef], _now: SimTime) -> usize {
+        if runnable.len() == 1 {
+            return 0;
+        }
+        use rand::Rng;
+        let c = self.rng.random_range(0..runnable.len());
+        self.taken.borrow_mut().push(c);
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resource_ids_are_deterministic_and_disjoint() {
+        assert_eq!(
+            resource_id(&["kv", "eu", "k1"]),
+            resource_id(&["kv", "eu", "k1"])
+        );
+        assert_ne!(resource_id(&["a", "bc"]), resource_id(&["ab", "c"]));
+        // Named-resource space never collides with the counter space.
+        assert_ne!(resource_id(&["x"]) & (1 << 63), 0);
+    }
+
+    #[test]
+    fn footprint_conflict_is_set_intersection() {
+        assert!(footprints_conflict(&[1, 5, 9], &[2, 5]));
+        assert!(!footprints_conflict(&[1, 3], &[2, 4]));
+        assert!(!footprints_conflict(&[], &[1]));
+    }
+
+    #[test]
+    fn replay_consumes_choices_only_at_branching_points() {
+        let mut r = ReplaySchedule::new(vec![1, 0]);
+        let t = |slot: u32| TaskRef {
+            id: u64::from(slot),
+            slot,
+            name: None,
+        };
+        // Forced step: no choice consumed.
+        assert_eq!(r.choose(&[t(0)], SimTime::ZERO), 0);
+        assert_eq!(r.consumed(), 0);
+        // Branching: recorded choices, clamped, then FIFO tail.
+        assert_eq!(r.choose(&[t(0), t(1)], SimTime::ZERO), 1);
+        assert_eq!(r.choose(&[t(0), t(1), t(2)], SimTime::ZERO), 0);
+        assert_eq!(r.choose(&[t(0), t(1)], SimTime::ZERO), 0);
+        assert_eq!(r.consumed(), 3);
+    }
+
+    #[test]
+    fn random_schedule_records_taken_choices() {
+        let mut r = RandomSchedule::new(7);
+        let taken = r.taken();
+        let t = |slot: u32| TaskRef {
+            id: u64::from(slot),
+            slot,
+            name: None,
+        };
+        let c = r.choose(&[t(0), t(1), t(2)], SimTime::ZERO);
+        assert!(c < 3);
+        assert_eq!(*taken.borrow(), vec![c]);
+    }
+}

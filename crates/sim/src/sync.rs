@@ -13,11 +13,16 @@ use std::pin::Pin;
 use std::rc::{Rc, Weak};
 use std::task::{Context, Poll, Waker};
 
+use crate::schedule::{next_resource_id, note_access, note_blocked, BlockedOn};
+
 // ---------------------------------------------------------------------------
 // oneshot
 // ---------------------------------------------------------------------------
 
 struct OneInner<T> {
+    /// Resource id for schedule-exploration footprints (see
+    /// [`crate::schedule`]); deterministic given creation order.
+    id: u64,
     value: Option<T>,
     waker: Option<Waker>,
     sender_alive: bool,
@@ -48,6 +53,7 @@ impl std::error::Error for RecvError {}
 /// Creates a oneshot channel.
 pub fn oneshot<T>() -> (OneSender<T>, OneReceiver<T>) {
     let inner = Rc::new(RefCell::new(OneInner {
+        id: next_resource_id(),
         value: None,
         waker: None,
         sender_alive: true,
@@ -65,6 +71,7 @@ impl<T> OneSender<T> {
     /// Sends the value, failing (returning it back) if the receiver is gone.
     pub fn send(self, value: T) -> Result<(), T> {
         let mut inner = self.inner.borrow_mut();
+        note_access(inner.id);
         if !inner.receiver_alive {
             return Err(value);
         }
@@ -84,6 +91,7 @@ impl<T> OneSender<T> {
 impl<T> Drop for OneSender<T> {
     fn drop(&mut self) {
         let mut inner = self.inner.borrow_mut();
+        note_access(inner.id);
         inner.sender_alive = false;
         if let Some(w) = inner.waker.take() {
             w.wake();
@@ -93,7 +101,9 @@ impl<T> Drop for OneSender<T> {
 
 impl<T> Drop for OneReceiver<T> {
     fn drop(&mut self) {
-        self.inner.borrow_mut().receiver_alive = false;
+        let mut inner = self.inner.borrow_mut();
+        note_access(inner.id);
+        inner.receiver_alive = false;
     }
 }
 
@@ -101,6 +111,7 @@ impl<T> Future for OneReceiver<T> {
     type Output = Result<T, RecvError>;
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
         let mut inner = self.inner.borrow_mut();
+        note_access(inner.id);
         if let Some(v) = inner.value.take() {
             return Poll::Ready(Ok(v));
         }
@@ -108,6 +119,7 @@ impl<T> Future for OneReceiver<T> {
             return Poll::Ready(Err(RecvError));
         }
         inner.waker = Some(cx.waker().clone());
+        note_blocked(BlockedOn::Oneshot(inner.id));
         Poll::Pending
     }
 }
@@ -117,6 +129,8 @@ impl<T> Future for OneReceiver<T> {
 // ---------------------------------------------------------------------------
 
 struct ChanInner<T> {
+    /// Resource id for schedule-exploration footprints.
+    id: u64,
     queue: VecDeque<T>,
     waker: Option<Waker>,
     senders: usize,
@@ -140,6 +154,7 @@ pub struct SendError<T>(pub T);
 /// Creates an unbounded MPSC channel.
 pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
     let inner = Rc::new(RefCell::new(ChanInner {
+        id: next_resource_id(),
         queue: VecDeque::new(),
         waker: None,
         senders: 1,
@@ -166,6 +181,7 @@ impl<T> Sender<T> {
     /// Enqueues a message, failing if the receiver was dropped.
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
         let mut inner = self.inner.borrow_mut();
+        note_access(inner.id);
         if !inner.receiver_alive {
             return Err(SendError(value));
         }
@@ -187,6 +203,7 @@ impl<T> Drop for Sender<T> {
         let mut inner = self.inner.borrow_mut();
         inner.senders -= 1;
         if inner.senders == 0 {
+            note_access(inner.id);
             if let Some(w) = inner.waker.take() {
                 w.wake();
             }
@@ -196,7 +213,9 @@ impl<T> Drop for Sender<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        self.inner.borrow_mut().receiver_alive = false;
+        let mut inner = self.inner.borrow_mut();
+        note_access(inner.id);
+        inner.receiver_alive = false;
     }
 }
 
@@ -209,7 +228,9 @@ impl<T> Receiver<T> {
 
     /// Non-blocking receive.
     pub fn try_recv(&mut self) -> Option<T> {
-        self.inner.borrow_mut().queue.pop_front()
+        let mut inner = self.inner.borrow_mut();
+        note_access(inner.id);
+        inner.queue.pop_front()
     }
 
     /// Number of queued messages.
@@ -232,6 +253,7 @@ impl<T> Future for Recv<'_, T> {
     type Output = Option<T>;
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
         let mut inner = self.chan.inner.borrow_mut();
+        note_access(inner.id);
         if let Some(v) = inner.queue.pop_front() {
             return Poll::Ready(Some(v));
         }
@@ -239,6 +261,7 @@ impl<T> Future for Recv<'_, T> {
             return Poll::Ready(None);
         }
         inner.waker = Some(cx.waker().clone());
+        note_blocked(BlockedOn::Channel(inner.id));
         Poll::Pending
     }
 }
@@ -248,6 +271,8 @@ impl<T> Future for Recv<'_, T> {
 // ---------------------------------------------------------------------------
 
 struct SemInner {
+    /// Resource id for schedule-exploration footprints.
+    id: u64,
     permits: usize,
     waiters: VecDeque<OneSender<()>>,
 }
@@ -269,6 +294,7 @@ impl Semaphore {
     pub fn new(permits: usize) -> Self {
         Semaphore {
             inner: Rc::new(RefCell::new(SemInner {
+                id: next_resource_id(),
                 permits,
                 waiters: VecDeque::new(),
             })),
@@ -280,6 +306,7 @@ impl Semaphore {
         loop {
             let rx = {
                 let mut inner = self.inner.borrow_mut();
+                note_access(inner.id);
                 if inner.permits > 0 {
                     inner.permits -= 1;
                     return Permit {
@@ -302,6 +329,7 @@ impl Semaphore {
     /// Attempts to acquire without waiting.
     pub fn try_acquire(&self) -> Option<Permit> {
         let mut inner = self.inner.borrow_mut();
+        note_access(inner.id);
         if inner.permits > 0 {
             inner.permits -= 1;
             Some(Permit {
@@ -324,7 +352,12 @@ impl Semaphore {
 
     fn release(inner: &RefCell<SemInner>) {
         let mut inner = inner.borrow_mut();
+        note_access(inner.id);
         // Hand the permit to the first waiter whose receiver is still alive.
+        // FIFO hand-off is this primitive's *specified fairness contract*
+        // (see `semaphore_is_fifo_fair`), not a scheduling decision — the
+        // woken waiter still runs only when the executor's Schedule picks it.
+        // lint: allow(scheduler-bypass, fair permit hand-off is semaphore semantics, not task ordering)
         while let Some(tx) = inner.waiters.pop_front() {
             if tx.send(()).is_ok() {
                 return;
@@ -347,6 +380,8 @@ impl Drop for Permit {
 // ---------------------------------------------------------------------------
 
 struct NotifyInner {
+    /// Resource id for schedule-exploration footprints.
+    id: u64,
     epoch: u64,
     waiters: Vec<Waker>,
 }
@@ -370,6 +405,7 @@ impl Notify {
     pub fn new() -> Self {
         Notify {
             inner: Rc::new(RefCell::new(NotifyInner {
+                id: next_resource_id(),
                 epoch: 0,
                 waiters: Vec::new(),
             })),
@@ -379,6 +415,7 @@ impl Notify {
     /// Wakes every pending and future `notified()` created before this call.
     pub fn notify_all(&self) {
         let mut inner = self.inner.borrow_mut();
+        note_access(inner.id);
         inner.epoch += 1;
         for w in inner.waiters.drain(..) {
             w.wake();
@@ -405,10 +442,12 @@ impl Future for Notified {
     type Output = ();
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
         let mut inner = self.inner.borrow_mut();
+        note_access(inner.id);
         if inner.epoch > self.created_at {
             return Poll::Ready(());
         }
         inner.waiters.push(cx.waker().clone());
+        note_blocked(BlockedOn::Notify(inner.id));
         Poll::Pending
     }
 }

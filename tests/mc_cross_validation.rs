@@ -1,0 +1,120 @@
+//! Cross-validation of the systematic model checker against schedule
+//! *sampling*: random schedules are the probabilistic cousin of exhaustive
+//! exploration, so every violation a sampler stumbles into must already be
+//! in the model checker's exhaustive findings — and any sampled violating
+//! schedule must replay deterministically to the identical violation.
+
+use antipode_mc::{run_cell, Counterexample, Explorer, Pruning, BARRIER_BASIC, BARRIER_REMOVED};
+use antipode_sim::RandomSchedule;
+
+const CELL_SEED: u64 = 1;
+
+/// Samples one random schedule of the ablated cell; returns the recorded
+/// choices and the outcome.
+fn sample(schedule_seed: u64) -> (Vec<usize>, antipode_mc::CellOutcome) {
+    let sched = RandomSchedule::new(schedule_seed);
+    let taken = sched.taken();
+    let outcome = run_cell(&BARRIER_REMOVED, CELL_SEED, Box::new(sched));
+    let choices = taken.borrow().clone();
+    (choices, outcome)
+}
+
+#[test]
+fn sampled_violations_are_a_subset_of_mc_findings() {
+    let report = Explorer::new().explore(&BARRIER_REMOVED, CELL_SEED);
+    assert!(!report.violations.is_empty(), "ablation must violate");
+
+    let mut violating_samples = 0;
+    for schedule_seed in 0..50 {
+        let (_, outcome) = sample(schedule_seed);
+        assert!(outcome.completed, "sampling never aborts");
+        for sig in &outcome.verdict.violations {
+            violating_samples += 1;
+            assert!(
+                report.violations.contains(sig),
+                "sampler (schedule seed {schedule_seed}) found a violation the \
+                 exhaustive explorer missed: {sig}\nMC findings: {:?}",
+                report.violations
+            );
+        }
+        assert!(
+            outcome.verdict.divergence.is_none(),
+            "oracle divergence under sampling: {:?}",
+            outcome.verdict.divergence
+        );
+    }
+    // The race is real, so 50 random schedules must hit it at least once —
+    // otherwise this test validates nothing.
+    assert!(
+        violating_samples > 0,
+        "no random schedule violated; sampling exercised nothing"
+    );
+}
+
+#[test]
+fn sampled_counterexamples_replay_identically_twice() {
+    let mut checked = 0;
+    for schedule_seed in 0..50 {
+        let (choices, outcome) = sample(schedule_seed);
+        if !outcome.violated() {
+            continue;
+        }
+        checked += 1;
+        let cx = Counterexample::new("barrier_removed", CELL_SEED, choices);
+        let first = cx.replay().expect("replayable");
+        let second = cx.replay().expect("replayable");
+        assert_eq!(
+            first.verdict, outcome.verdict,
+            "replay of schedule seed {schedule_seed} diverged from the sample"
+        );
+        assert_eq!(first.verdict, second.verdict, "replay is not deterministic");
+        assert_eq!(first.trace, second.trace, "replay traces differ");
+    }
+    assert!(checked > 0, "no violating sample to replay");
+}
+
+#[test]
+fn mc_counterexample_replays_on_the_barriered_cell_without_violation() {
+    // The same adversarial schedule that breaks the ablated cell must be
+    // harmless once the barrier is back: replaying the witness choices
+    // against `barrier_basic` stays clean. (The two cells share their
+    // concurrency structure, so the choice indices line up.)
+    let report = Explorer::new().explore(&BARRIER_REMOVED, CELL_SEED);
+    let cx = report.counterexample.expect("ablation yields a witness");
+    let fixed = Counterexample::new("barrier_basic", CELL_SEED, cx.choices.clone());
+    let out = fixed.replay().expect("replayable");
+    assert!(out.completed);
+    assert!(
+        !out.violated(),
+        "barrier failed to mask the adversarial schedule: {:?}",
+        out.verdict.violations
+    );
+}
+
+/// Exhaustive raw-mode sweep of both cells — minutes of re-executions, so
+/// chaos-soak only: `cargo test --release -- --ignored mc_exhaustive`.
+#[test]
+#[ignore = "exhaustive raw-mode sweep; run in chaos-soak"]
+fn mc_exhaustive_raw_sweep_agrees_with_reduction() {
+    for spec in [BARRIER_BASIC, BARRIER_REMOVED] {
+        let raw = Explorer::new()
+            .pruning(Pruning::Raw)
+            .explore(&spec, CELL_SEED);
+        let reduced = Explorer::new().explore(&spec, CELL_SEED);
+        assert!(raw.divergences.is_empty() && reduced.divergences.is_empty());
+        assert_eq!(
+            raw.violations, reduced.violations,
+            "cell {}: reduction changed the violation set",
+            spec.name
+        );
+        assert!(!raw.budget_exhausted && !reduced.budget_exhausted);
+        // Sampling over many schedule seeds agrees with both.
+        for schedule_seed in 0..500 {
+            let sched = RandomSchedule::new(schedule_seed);
+            let outcome = run_cell(&spec, CELL_SEED, Box::new(sched));
+            for sig in &outcome.verdict.violations {
+                assert!(raw.violations.contains(sig), "cell {}: {sig}", spec.name);
+            }
+        }
+    }
+}
