@@ -39,7 +39,7 @@ fn main() {
         d.slab_reused,
     );
     println!(
-        "timing: hop={:.1}ns ({:.0} hops/s) unbatched={:.1}ns speedup={:.2}x commits/s={:.0} fanout_events/s={:.0} wal/commit={:.1}B avg_batch={:.1}",
+        "timing: hop={:.1}ns ({:.0} hops/s) unbatched={:.1}ns speedup={:.2}x commits/s={:.0} fanout_events/s={:.0} wal/commit={:.1}B crc/commit={:.1}ns avg_batch={:.1}",
         t.batched_hop_ns,
         t.hop_ops_per_sec,
         t.unbatched_hop_ns,
@@ -47,6 +47,7 @@ fn main() {
         t.commits_per_sec,
         t.fanout_events_per_sec,
         t.wal_bytes_per_commit,
+        t.crc_ns_per_commit,
         t.avg_batch,
     );
 }

@@ -111,6 +111,15 @@ pub struct EngineTimingMetrics {
     /// Average WAL bytes logged per commit (from the deterministic
     /// counters; kept here so the deterministic section stays integral).
     pub wal_bytes_per_commit: f64,
+    /// CRC32C cost of sealing one commit's WAL frames: the checksum of a
+    /// representative framed body, times the appends each commit fans out
+    /// to (one per replica). Sealing runs off the commit path (the WAL
+    /// stages appends and seals at observation, group-commit style), so
+    /// this is the deferred flush-side bill per commit — reported next to
+    /// `batched_hop_ns` to keep the integrity plane's overhead visible and
+    /// to show why it must stay off the hop: on the commit path it would
+    /// blow the < 5 % hop budget roughly twentyfold.
+    pub crc_ns_per_commit: f64,
     /// Average send entries per flusher wake — the realized batch size.
     pub avg_batch: f64,
 }
@@ -323,6 +332,31 @@ fn best_of(seed: u64, writers: usize, rounds: usize, batched: bool) -> RunOutcom
     best.expect("at least one repetition runs")
 }
 
+/// Measures the per-commit checksum cost of the self-validating WAL
+/// framing: CRC32C over a body sized to the workload's own average append
+/// (`wal_bytes / wal_appends` minus the 8-byte frame header), scaled by
+/// the appends each commit produces. Min-of-reps like the hop timings, so
+/// the number is the host-noise floor, not an average.
+fn measure_crc_ns_per_commit(m: &EngineDeterministicMetrics) -> f64 {
+    use antipode_lineage::crc32c::crc32c;
+    let body_len = (m.wal_bytes / m.wal_appends).saturating_sub(8) as usize;
+    let body: Vec<u8> = (0..body_len).map(|i| i as u8).collect();
+    const ITERS: u32 = 100_000;
+    let mut best = Duration::MAX;
+    for _ in 0..5 {
+        let start = Instant::now();
+        let mut acc = 0u32;
+        for _ in 0..ITERS {
+            acc ^= crc32c(std::hint::black_box(&body));
+        }
+        let elapsed = start.elapsed();
+        std::hint::black_box(acc);
+        best = best.min(elapsed);
+    }
+    let per_append = best.as_nanos() as f64 / ITERS as f64;
+    per_append * (m.wal_appends as f64 / m.commits as f64)
+}
+
 /// Runs the full baseline (deterministic counters + wall-clock timings).
 pub fn run(seed: u64) -> EngineBaseline {
     let batched = best_of(seed, DEFAULT_WRITERS, DEFAULT_ROUNDS, true);
@@ -341,6 +375,7 @@ pub fn run(seed: u64) -> EngineBaseline {
         commits_per_sec: deterministic.commits as f64 / secs,
         fanout_events_per_sec: deterministic.fanout_events as f64 / secs,
         wal_bytes_per_commit: deterministic.wal_bytes as f64 / deterministic.commits as f64,
+        crc_ns_per_commit: measure_crc_ns_per_commit(&deterministic),
         avg_batch: deterministic.send_entries as f64 / deterministic.fanout_events as f64,
     };
     EngineBaseline {

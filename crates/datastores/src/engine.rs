@@ -30,6 +30,7 @@ use crate::probe::{VisibilityEvent, VisibilityProbe};
 use crate::recovery::{Hint, RecoveryConfig, WalEntry};
 use crate::stats;
 use crate::substrate::{stream_name, Admission, ApplyCtx, StoreError, Substrate};
+use crate::wal::WalLog;
 
 /// A record as held by one engine replica. The KV facade re-exposes this as
 /// [`crate::replica::StoredValue`]; the queue facade reads it back as a
@@ -69,21 +70,42 @@ pub(crate) struct ApplyItem {
     pub(crate) origin_epoch: u64,
 }
 
+/// Integrity standing of one replica, as judged by WAL verification (crash
+/// replay or a scrub sweep). Exposed through
+/// [`crate::replica::KvStore::replica_health`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReplicaHealth {
+    /// The replica's log verified clean (torn tails count as clean after
+    /// truncation — the loss is bounded and known).
+    #[default]
+    Healthy,
+    /// WAL verification found mid-log corruption the replica cannot bound:
+    /// reads are refused with [`StoreError::IntegrityFault`] until
+    /// anti-entropy back-fills the replica and it rejoins with a bumped
+    /// epoch (see [`crate::repair`]).
+    Tainted,
+}
+
 #[derive(Default)]
 pub(crate) struct ReplicaState {
     pub(crate) data: BTreeMap<Rc<str>, Record>,
     pub(crate) waiters: Vec<Waiter>,
     /// Deterministic per-replica write-ahead log: every apply that changed
     /// the memtable, in apply order — plus, for deferred-apply families
-    /// (queues), the commit itself. Crash-restart replays it (see
+    /// (queues), the commit itself. Framed and checksummed per record (see
+    /// [`crate::wal`]); crash-restart replays the verified prefix (see
     /// [`crate::recovery`]); disabled per [`RecoveryConfig`].
-    pub(crate) wal: Vec<WalEntry>,
+    pub(crate) wal: WalLog,
     /// Newest logged version per key, so the commit-time append and the
-    /// local delivery's apply never double-log one publish.
+    /// local delivery's apply never double-log one publish. Rebuilt from
+    /// the surviving records whenever replay truncates the log, so the
+    /// index never vouches for a frame that corruption took.
     pub(crate) wal_index: BTreeMap<Rc<str>, u64>,
     /// Bumped on every crash; in-flight sends capture the origin epoch and
     /// abort when it moved (the sending process died).
     pub(crate) epoch: u64,
+    /// Quarantine flag; see [`ReplicaHealth`].
+    pub(crate) health: ReplicaHealth,
 }
 
 impl ReplicaState {
@@ -103,10 +125,8 @@ impl ReplicaState {
                 slot.insert(entry.version);
             }
         }
-        // Modeled on-log footprint: key + value + fixed header
-        // (version, two timestamps, length prefixes).
-        stats::count_wal_append((entry.key.len() + entry.bytes.len() + 32) as u64);
-        self.wal.push(entry);
+        let framed = self.wal.append(entry);
+        stats::count_wal_append(framed as u64);
     }
 
     /// Appends without consulting the dedupe index. Sound only for appends
@@ -117,8 +137,26 @@ impl ReplicaState {
     /// (queues) log the commit before the delivery applies and must go
     /// through [`ReplicaState::wal_append`].
     pub(crate) fn wal_append_fresh(&mut self, entry: WalEntry) {
-        stats::count_wal_append((entry.key.len() + entry.bytes.len() + 32) as u64);
-        self.wal.push(entry);
+        let framed = self.wal.append(entry);
+        stats::count_wal_append(framed as u64);
+    }
+
+    /// Rebuilds the dedupe index from an authoritative record set — called
+    /// whenever the log itself was truncated or rewritten, so the index
+    /// never vouches for a version the log no longer holds (a stale entry
+    /// would make the dedupe append skip re-logging it, turning a bounded
+    /// truncation into a permanent durability hole on the next crash).
+    pub(crate) fn rebuild_wal_index<'a>(&mut self, entries: impl Iterator<Item = &'a WalEntry>) {
+        self.wal_index.clear();
+        for entry in entries {
+            let logged = self
+                .wal_index
+                .entry(Rc::clone(&entry.key))
+                .or_insert(entry.version);
+            if *logged < entry.version {
+                *logged = entry.version;
+            }
+        }
     }
 }
 
@@ -322,6 +360,16 @@ impl<S: Substrate> Engine<S> {
                 region,
             });
         }
+        // A quarantined replica refuses service: its log hid corruption the
+        // replica cannot bound, so nothing it serves can be trusted until
+        // anti-entropy back-fills it from healthy peers.
+        if self.replica_health(region) == ReplicaHealth::Tainted {
+            stats::count_integrity_refusal();
+            return Err(StoreError::IntegrityFault {
+                store: self.inner.name.clone(),
+                region,
+            });
+        }
         Ok(())
     }
 
@@ -410,15 +458,24 @@ impl<S: Substrate> Engine<S> {
             // log it at the origin now so a crash that aborts the in-flight
             // deliveries still leaves the publish recoverable — WAL replay
             // restores the origin copy and anti-entropy back-fills the rest.
-            let mut replicas = self.inner.replicas.borrow_mut();
-            if let Some(state) = replicas.get_mut(&origin) {
-                state.wal_append(WalEntry {
-                    key: Rc::clone(&key),
-                    version,
-                    bytes: value.clone(),
-                    visible_at: committed_at,
-                    committed_at,
-                });
+            // A LostAppend disk-fault window silently swallows the append:
+            // the memtable and the ack proceed, but durability is gone —
+            // exactly the failure the scrub sweep exists to catch.
+            if !self
+                .inner
+                .faults
+                .append_lost(committed_at, &self.inner.name, origin)
+            {
+                let mut replicas = self.inner.replicas.borrow_mut();
+                if let Some(state) = replicas.get_mut(&origin) {
+                    state.wal_append(WalEntry {
+                        key: Rc::clone(&key),
+                        version,
+                        bytes: value.clone(),
+                        visible_at: committed_at,
+                        committed_at,
+                    });
+                }
             }
         }
         self.enqueue_sends(origin, epoch, &key, version, &value, committed_at);
@@ -471,7 +528,11 @@ impl<S: Substrate> Engine<S> {
             return;
         }
         stats::count_batch_flush(items.len() as u64);
-        let wal_enabled = self.inner.recovery.get().wal;
+        // One fault-plan probe per batch: inside a LostAppend window every
+        // append this batch would make silently vanishes (memtable and acks
+        // are unaffected — that is the point of the fault).
+        let wal_enabled = self.inner.recovery.get().wal
+            && !self.inner.faults.append_lost(now, &self.inner.name, region);
         // Families that never pre-log at commit can skip the WAL dedupe
         // index (see `wal_append_fresh`).
         let fresh_log = self.inner.substrate.origin_applies_at_commit();
@@ -658,6 +719,27 @@ impl<S: Substrate> Engine<S> {
             .get(&region)
             .map(|s| s.wal.len())
             .unwrap_or(0)
+    }
+
+    /// Total framed bytes in a replica's write-ahead log (diagnostics).
+    pub(crate) fn wal_byte_len(&self, region: Region) -> usize {
+        self.inner
+            .replicas
+            .borrow()
+            .get(&region)
+            .map(|s| s.wal.byte_len())
+            .unwrap_or(0)
+    }
+
+    /// Integrity standing of a replica (see [`ReplicaHealth`]). Unknown
+    /// regions report `Healthy`, matching the epoch accessor's tolerance.
+    pub(crate) fn replica_health(&self, region: Region) -> ReplicaHealth {
+        self.inner
+            .replicas
+            .borrow()
+            .get(&region)
+            .map(|s| s.health)
+            .unwrap_or_default()
     }
 
     /// Number of pending visibility waiters at a replica (diagnostics).

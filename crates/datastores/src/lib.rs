@@ -80,10 +80,11 @@ pub mod sns;
 pub mod speculation;
 pub mod stats;
 pub mod substrate;
+pub mod wal;
 
 pub use amq::{Amq, AmqShim};
 pub use dynamodb::{DynamoDb, DynamoDbShim, DynamoDbStream, DynamoDbStreamShim};
-pub use engine::{Engine, Record};
+pub use engine::{Engine, Record, ReplicaHealth};
 pub use envelope::Envelope;
 pub use mongodb::{MongoDb, MongoDbShim};
 pub use mysql::{MySql, MySqlShim};
@@ -91,7 +92,7 @@ pub use queue::{GroupConsumer, QueueMessage, QueueProfile, QueueStore};
 pub use rabbitmq::{RabbitMq, RabbitMqShim};
 pub use recovery::{Hint, RecoveryConfig, WalEntry};
 pub use redis::{Redis, RedisShim};
-pub use repair::{RepairConfig, RepairReport};
+pub use repair::{RepairConfig, RepairReport, ScrubReport};
 pub use replica::{KvProfile, KvStore, StoreError, StoredValue};
 pub use s3::{S3Shim, S3};
 pub use shim::{KvShim, QueueShim, ShimError, ShimMessage, ShimSubscription, WaitSemantics};
@@ -100,3 +101,4 @@ pub use sns::{Sns, SnsShim};
 pub use speculation::{BufferState, ConfinedOp, ConfinementBuffer};
 pub use stats::EngineStats;
 pub use substrate::{Admission, ApplyCtx, KvSubstrate, QueueSubstrate, RetryStyle, Substrate};
+pub use wal::{WalFault, WalFaultKind, WalLog, WalScan};

@@ -24,9 +24,9 @@ use antipode_sim::sync::{channel, oneshot, Receiver};
 use antipode_sim::{Region, Sim, SimTime};
 use bytes::Bytes;
 
-use crate::engine::Engine;
+use crate::engine::{Engine, ReplicaHealth};
 use crate::probe::{VisibilityEvent, VisibilityProbe};
-use crate::repair::{RepairConfig, RepairReport};
+use crate::repair::{RepairConfig, RepairReport, ScrubReport};
 use crate::substrate::{hand_to_group, AckWaiter, QueueSubstrate, StoreError};
 
 /// Latency model for one queue / pub-sub store type.
@@ -370,6 +370,29 @@ impl QueueStore {
     /// Starts the periodic anti-entropy loop; see [`crate::repair`].
     pub fn enable_anti_entropy(&self, cfg: RepairConfig) {
         self.engine.enable_anti_entropy(cfg);
+    }
+
+    /// Integrity standing of a broker replica; see
+    /// [`crate::engine::ReplicaHealth`] and [`crate::repair`].
+    pub fn replica_health(&self, region: Region) -> ReplicaHealth {
+        self.engine.replica_health(region)
+    }
+
+    /// Whether every broker replica holds byte-identical delivery records;
+    /// see [`crate::repair`].
+    pub fn converged_bytes(&self) -> bool {
+        self.engine.converged_bytes()
+    }
+
+    /// One scrub round over the broker replicas' WALs; see
+    /// [`crate::repair`].
+    pub fn scrub_sweep(&self) -> ScrubReport {
+        self.engine.scrub_sweep()
+    }
+
+    /// Starts the periodic scrub loop; see [`crate::repair`].
+    pub fn enable_scrub(&self, cfg: RepairConfig) {
+        self.engine.enable_scrub(cfg);
     }
 
     /// Hands a message back to a group: a live waiter gets it immediately,

@@ -24,19 +24,29 @@
 //!   retry policies re-arm; the queue family silently resubscribes (queue
 //!   waits never error on faults).
 //!
+//! A fourth mechanism closes the loop with the storage-integrity plane
+//! ([`crate::wal`], [`crate::repair`]): the monitor also applies scheduled
+//! **disk faults** ([`antipode_sim::fault::FaultKind::DiskFault`]) to the
+//! durable log at their window edges — torn tail writes, bit flips —
+//! and crash-restart replay *verifies* every record's checksum. A torn
+//! tail truncates cleanly (bounded, known loss); a mid-log checksum
+//! mismatch quarantines the replica ([`crate::engine::ReplicaHealth`])
+//! until anti-entropy back-fills it.
+//!
 //! Everything is deterministic: the monitor wakes only at scheduled window
 //! edges and imperative plan changes, hint queues preserve push order, and
-//! WAL replay is a pure fold over the log.
+//! WAL replay is a pure fold over the verified prefix of the log.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
-use antipode_sim::fault::FaultPlan;
+use antipode_sim::fault::{DiskFaultKind, FaultPlan};
 use antipode_sim::{timeout, Region, SimTime};
 use bytes::Bytes;
 
-use crate::engine::{Engine, Record};
+use crate::engine::{Engine, Record, ReplicaHealth};
 use crate::substrate::{StoreError, Substrate};
+use crate::wal::WalFaultKind;
 
 /// Per-store recovery knobs. Defaults model a production store: durable WAL
 /// and hinted handoff both on. [`RecoveryConfig::disabled`] is the ablation
@@ -51,6 +61,12 @@ pub struct RecoveryConfig {
     /// Append every apply to a per-replica write-ahead log and replay it at
     /// crash-restart. Off: a crash loses the replica's entire dataset.
     pub wal: bool,
+    /// Verify each WAL record's CRC32C during replay and scrub sweeps. Off
+    /// is the integrity ablation: replay trusts the declared frame lengths
+    /// and silently rehydrates bit-rotted values into the memtable — the
+    /// behavior `tests/integrity_properties.rs` demonstrates the checksums
+    /// to prevent.
+    pub verify_checksums: bool,
 }
 
 impl Default for RecoveryConfig {
@@ -58,6 +74,7 @@ impl Default for RecoveryConfig {
         RecoveryConfig {
             hinted_handoff: true,
             wal: true,
+            verify_checksums: true,
         }
     }
 }
@@ -68,6 +85,7 @@ impl RecoveryConfig {
         RecoveryConfig {
             hinted_handoff: false,
             wal: false,
+            verify_checksums: false,
         }
     }
 }
@@ -119,6 +137,9 @@ pub(crate) fn spawn_monitor<S: Substrate>(engine: &Engine<S>) {
     let faults: FaultPlan = engine.faults().clone();
     let mut dark: BTreeMap<Region, bool> = BTreeMap::new();
     let mut crashed: BTreeMap<Region, bool> = BTreeMap::new();
+    // Disk-fault windows already applied to a replica's log, keyed by the
+    // plan's window index — each scheduled corruption strikes exactly once.
+    let mut injected: BTreeSet<(Region, usize)> = BTreeSet::new();
     for &r in engine.regions() {
         dark.insert(r, false);
         crashed.insert(r, false);
@@ -127,7 +148,7 @@ pub(crate) fn spawn_monitor<S: Substrate>(engine: &Engine<S>) {
         loop {
             let notified = faults.on_change();
             let now = sim.now();
-            engine.recovery_tick(now, &mut dark, &mut crashed);
+            engine.recovery_tick(now, &mut dark, &mut crashed, &mut injected);
             match faults.next_transition_after(now) {
                 Some(t) => {
                     let _ = timeout(&sim, t.since(now), notified).await;
@@ -146,9 +167,11 @@ impl<S: Substrate> Engine<S> {
         now: SimTime,
         dark: &mut BTreeMap<Region, bool>,
         crashed: &mut BTreeMap<Region, bool>,
+        injected: &mut BTreeSet<(Region, usize)>,
     ) {
         let regions = self.regions().to_vec();
         for region in regions {
+            self.inject_disk_faults(now, region, injected);
             let is_crashed = self
                 .inner
                 .faults
@@ -175,6 +198,38 @@ impl<S: Substrate> Engine<S> {
         self.flush_hints(now);
     }
 
+    /// Applies any newly active disk-fault windows to a replica's durable
+    /// log. The corruption is *latent*: memtable and reads are untouched
+    /// until crash-restart replay or a scrub sweep re-reads the bytes and
+    /// discovers the damage — exactly the silent-until-read failure mode of
+    /// real storage. `LostAppend` windows have no edge action; they are
+    /// consulted continuously at the append sites in [`crate::engine`].
+    fn inject_disk_faults(
+        &self,
+        now: SimTime,
+        region: Region,
+        injected: &mut BTreeSet<(Region, usize)>,
+    ) {
+        for (ix, fault) in self.inner.faults.disk_faults(now, &self.inner.name, region) {
+            if !injected.insert((region, ix)) {
+                continue;
+            }
+            let mut replicas = self.inner.replicas.borrow_mut();
+            let Some(state) = replicas.get_mut(&region) else {
+                continue;
+            };
+            match fault {
+                DiskFaultKind::TornWrite => {
+                    state.wal.tear_tail();
+                }
+                DiskFaultKind::BitFlip { offset_seed } => {
+                    state.wal.flip_byte(offset_seed);
+                }
+                DiskFaultKind::LostAppend => {}
+            }
+        }
+    }
+
     /// Crash entry: volatile state dies with the process. The memtable is
     /// wiped (the WAL, being durable, survives), pending visibility waiters
     /// are cancelled, hints queued at this origin are lost, and the epoch
@@ -198,9 +253,28 @@ impl<S: Substrate> Engine<S> {
         self.inner.hints.borrow_mut().retain(|h| h.origin != region);
     }
 
-    /// Restart at the heal edge: deterministically replay the write-ahead
-    /// log into the fresh memtable (a no-op fold when the WAL is disabled —
-    /// the replica restarts empty and waits for anti-entropy repair).
+    /// Restart at the heal edge: *verify* the write-ahead log and
+    /// deterministically replay its verified prefix into the fresh memtable
+    /// (a no-op fold when the WAL is disabled — the replica restarts empty
+    /// and waits for anti-entropy repair).
+    ///
+    /// Verification gives the replay an integrity policy:
+    /// - a torn tail frame ([`WalFaultKind::TornFrame`]) is an interrupted
+    ///   final append — the log truncates to its verified prefix and the
+    ///   replica restarts `Healthy` with a bounded, known loss;
+    /// - a mid-log checksum mismatch ([`WalFaultKind::ChecksumMismatch`])
+    ///   means the replica cannot bound what else rotted — the log still
+    ///   truncates (so future appends extend a clean log), but the replica
+    ///   restarts [`ReplicaHealth::Tainted`]: reads refuse with
+    ///   [`StoreError::IntegrityFault`] until anti-entropy back-fills it and
+    ///   it rejoins with a bumped epoch.
+    ///
+    /// The WAL dedupe index is rebuilt from the *surviving* records, never
+    /// carried over: a stale index entry for a truncated frame would make
+    /// the deferred-apply families' dedupe append silently skip re-logging
+    /// a version the log no longer holds — a second crash would then lose
+    /// it permanently.
+    ///
     /// Replay restores state without invoking the substrate's apply
     /// reaction: observers were already notified by the original applies.
     /// Waiters the replay satisfies *are* woken — queue waiters resubscribe
@@ -208,12 +282,22 @@ impl<S: Substrate> Engine<S> {
     /// but never delivered (its in-flight sends died with the origin), the
     /// replayed record is the only apply they will ever see.
     fn restart_replica(&self, region: Region) {
-        let woken = {
+        let verify = self.inner.recovery.get().verify_checksums;
+        let (woken, tainted) = {
             let mut replicas = self.inner.replicas.borrow_mut();
             let Some(state) = replicas.get_mut(&region) else {
                 return;
             };
-            for entry in &state.wal {
+            let scan = state.wal.scan(verify);
+            let tainted = match scan.fault.map(|f| f.kind) {
+                Some(WalFaultKind::ChecksumMismatch) => true,
+                Some(WalFaultKind::TornFrame) | None => false,
+            };
+            if scan.fault.is_some() {
+                state.wal.truncate_to(&scan);
+            }
+            state.rebuild_wal_index(scan.entries.iter());
+            for entry in &scan.entries {
                 let newer_exists = state
                     .data
                     .get(&entry.key)
@@ -231,26 +315,45 @@ impl<S: Substrate> Engine<S> {
                     );
                 }
             }
+            if tainted {
+                // Quarantine sticks until the repair plane rejoins the
+                // replica — a clean-looking log after truncation must not
+                // clear it.
+                state.health = ReplicaHealth::Tainted;
+            }
             let mut woken = Vec::new();
-            let mut i = 0;
-            while i < state.waiters.len() {
-                let satisfied = state
-                    .data
-                    .get(&state.waiters[i].key)
-                    .map(|v| v.version >= state.waiters[i].version)
-                    .unwrap_or(false);
-                if satisfied {
-                    // lint: allow(scheduler-bypass, replaying the WAL completes store
-                    // visibility waiters — bookkeeping, not a run-next decision)
-                    woken.push(state.waiters.swap_remove(i).tx);
-                } else {
-                    i += 1;
+            if tainted {
+                // A quarantined replica serves nothing — even waiters whose
+                // versions the replayed prefix holds. Drain them all.
+                woken.extend(std::mem::take(&mut state.waiters).into_iter().map(|w| w.tx));
+            } else {
+                let mut i = 0;
+                while i < state.waiters.len() {
+                    let satisfied = state
+                        .data
+                        .get(&state.waiters[i].key)
+                        .map(|v| v.version >= state.waiters[i].version)
+                        .unwrap_or(false);
+                    if satisfied {
+                        // lint: allow(scheduler-bypass, replaying the WAL completes store
+                        // visibility waiters — bookkeeping, not a run-next decision)
+                        woken.push(state.waiters.swap_remove(i).tx);
+                    } else {
+                        i += 1;
+                    }
                 }
             }
-            woken
+            (woken, tainted)
         };
         for tx in woken {
-            let _ = tx.send(Ok(()));
+            let _ = tx.send(if tainted {
+                Err(StoreError::IntegrityFault {
+                    store: self.inner.name.clone(),
+                    region,
+                })
+            } else {
+                Ok(())
+            });
         }
     }
 
@@ -327,6 +430,7 @@ mod tests {
     use antipode_sim::net::Network;
     use antipode_sim::{Sim, SimTime};
 
+    use crate::queue::{QueueProfile, QueueStore};
     use crate::replica::{KvProfile, KvStore};
 
     fn fast_profile() -> KvProfile {
@@ -405,6 +509,180 @@ mod tests {
             store.get_sync(US, "k").is_none(),
             "no WAL: the replica restarts empty until repair back-fills it"
         );
+    }
+
+    #[test]
+    fn torn_tail_truncates_cleanly_and_replay_restores_the_prefix() {
+        let (sim, store) = setup(18);
+        let s = store.clone();
+        sim.block_on(async move {
+            let v1 = s.put(US, "k1", Bytes::from_static(b"one")).await.unwrap();
+            let v2 = s.put(US, "k2", Bytes::from_static(b"two")).await.unwrap();
+            (v1, v2)
+        });
+        assert_eq!(store.wal_len(US), 2);
+        // The torn write strikes at 4s, then the replica crash-restarts.
+        sim.faults().schedule(
+            SimTime::from_secs(4),
+            SimTime::from_secs(5),
+            FaultKind::DiskFault {
+                store: "db".into(),
+                region: US,
+                fault: DiskFaultKind::TornWrite,
+            },
+        );
+        sim.faults().schedule(
+            SimTime::from_secs(5),
+            SimTime::from_secs(8),
+            FaultKind::ReplicaCrash {
+                store: "db".into(),
+                region: US,
+            },
+        );
+        sim.run_until(SimTime::from_secs(9));
+        // Verified replay stopped at the torn frame and truncated: the
+        // prefix record survives, the torn one is a bounded, known loss,
+        // and the replica is NOT quarantined.
+        assert!(store.is_visible(US, "k1", 1), "prefix replays");
+        assert!(!store.is_visible(US, "k2", 2), "torn record is lost");
+        assert_eq!(store.wal_len(US), 1);
+        assert_eq!(
+            store.replica_health(US),
+            crate::engine::ReplicaHealth::Healthy
+        );
+        // Anti-entropy back-fills the lost record from the healthy peers.
+        let s = store.clone();
+        sim.block_on(async move {
+            s.repair_sweep().await;
+        });
+        assert!(store.is_visible(US, "k2", 2));
+        assert!(store.engine.converged_bytes());
+    }
+
+    #[test]
+    fn truncated_wal_index_is_rebuilt_so_backfills_relog() {
+        // Regression for the dedupe-index/WAL divergence: the queue family
+        // logs through the dedupe index, so a stale index entry for a
+        // record that truncation removed would make the back-fill's append
+        // a silent no-op — and a second crash would lose the record
+        // permanently. Replay must rebuild the index from the records that
+        // actually survived.
+        let sim = Sim::new(31);
+        let net = Rc::new(Network::global_triangle());
+        let q = QueueStore::new(
+            &sim,
+            net,
+            "amq",
+            &[EU, US],
+            QueueProfile {
+                local_publish: Dist::constant_ms(1.0),
+                delivery: Dist::constant_ms(80.0),
+                local_delivery: Dist::constant_ms(2.0),
+                rtt_hops: 1.0,
+            },
+        );
+        let q2 = q.clone();
+        let (id1, id2) = sim.block_on(async move {
+            let id1 = q2.publish(EU, Bytes::from_static(b"m1")).await.unwrap();
+            let id2 = q2.publish(EU, Bytes::from_static(b"m2")).await.unwrap();
+            q2.wait_visible(US, id1).await.unwrap();
+            q2.wait_visible(US, id2).await.unwrap();
+            (id1, id2)
+        });
+        assert_eq!(q.wal_len(EU), 2);
+        // Tear EU's tail frame (the id2 record), then crash-restart EU.
+        sim.faults().schedule(
+            SimTime::from_secs(4),
+            SimTime::from_secs(5),
+            FaultKind::DiskFault {
+                store: "amq".into(),
+                region: EU,
+                fault: DiskFaultKind::TornWrite,
+            },
+        );
+        sim.faults().schedule(
+            SimTime::from_secs(5),
+            SimTime::from_secs(8),
+            FaultKind::ReplicaCrash {
+                store: "amq".into(),
+                region: EU,
+            },
+        );
+        sim.run_until(SimTime::from_secs(9));
+        assert!(q.is_visible(EU, id1));
+        assert!(!q.is_visible(EU, id2), "torn record lost at EU");
+        assert_eq!(q.wal_len(EU), 1);
+        // Anti-entropy back-fills id2 from US. With the rebuilt index the
+        // dedupe append re-logs it; with a stale index it would skip.
+        let q2 = q.clone();
+        sim.block_on(async move {
+            q2.repair_sweep().await;
+        });
+        assert!(q.is_visible(EU, id2));
+        assert_eq!(
+            q.wal_len(EU),
+            2,
+            "back-fill must re-log the record truncation removed"
+        );
+        // The proof: a second crash replays the re-logged record.
+        sim.faults().schedule(
+            SimTime::from_secs(20),
+            SimTime::from_secs(22),
+            FaultKind::ReplicaCrash {
+                store: "amq".into(),
+                region: EU,
+            },
+        );
+        sim.run_until(SimTime::from_secs(23));
+        assert!(
+            q.is_visible(EU, id2),
+            "a stale dedupe index would have lost this record for good"
+        );
+        assert!(q.is_visible(EU, id1));
+    }
+
+    #[test]
+    fn lost_append_window_drops_durability_until_repair() {
+        let (sim, store) = setup(19);
+        // Appends at US silently vanish while the window is active…
+        sim.faults().schedule(
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+            FaultKind::DiskFault {
+                store: "db".into(),
+                region: US,
+                fault: DiskFaultKind::LostAppend,
+            },
+        );
+        let s = store.clone();
+        sim.block_on(async move {
+            let v = s.put(US, "k", Bytes::from_static(b"x")).await.unwrap();
+            // …but the memtable and the ack are unaffected: the loss is
+            // silent until something re-reads the log.
+            assert!(s.is_visible(US, "k", v));
+            s.wait_visible(EU, "k", v).await.unwrap();
+        });
+        assert_eq!(store.wal_len(US), 0, "the append never hit the log");
+        assert_eq!(store.wal_len(EU), 1, "other replicas logged normally");
+        sim.faults().schedule(
+            SimTime::from_secs(12),
+            SimTime::from_secs(15),
+            FaultKind::ReplicaCrash {
+                store: "db".into(),
+                region: US,
+            },
+        );
+        sim.run_until(SimTime::from_secs(16));
+        assert!(
+            !store.is_visible(US, "k", 1),
+            "nothing durable to replay: the crash exposes the lost append"
+        );
+        let s = store.clone();
+        sim.block_on(async move {
+            s.repair_sweep().await;
+        });
+        assert!(store.is_visible(US, "k", 1));
+        assert_eq!(store.wal_len(US), 1, "the back-fill logs it (window over)");
     }
 
     #[test]

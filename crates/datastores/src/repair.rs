@@ -16,6 +16,17 @@
 //! consumer groups like a first-time delivery (the substrate's apply
 //! reaction runs).
 //!
+//! The repair plane also closes the storage-integrity loop (see
+//! [`crate::wal`]): the **scrub sweep** re-verifies every live replica's WAL
+//! checksums on a cadence, truncating torn tails in place and quarantining
+//! replicas whose logs hide mid-log corruption
+//! ([`crate::engine::ReplicaHealth::Tainted`]). Anti-entropy then treats
+//! quarantined replicas as back-fill *destinations only* — never as repair
+//! sources — and, once a tainted replica's data covers everything its
+//! healthy peers hold, **rejoins** it: health flips back, the epoch bumps
+//! (so anything the dead durability promised is visibly a new incarnation),
+//! and the WAL is re-framed from the healed memtable.
+//!
 //! The sweep is deterministic: replicas and keys are walked in `BTreeMap`
 //! order, gossip transit is sampled from the store's seeded RNG stream, and
 //! the periodic loop *self-terminates* once the store has converged, no
@@ -29,8 +40,11 @@ use std::time::Duration;
 use antipode_sim::{Region, SimTime};
 use bytes::Bytes;
 
-use crate::engine::Engine;
-use crate::substrate::Substrate;
+use crate::engine::{Engine, ReplicaHealth};
+use crate::recovery::WalEntry;
+use crate::stats;
+use crate::substrate::{StoreError, Substrate};
+use crate::wal::WalFaultKind;
 
 /// Knobs for the periodic anti-entropy loop.
 #[derive(Clone, Copy, Debug)]
@@ -60,6 +74,23 @@ pub struct RepairReport {
     pub examined: usize,
     /// Stale (replica, key) pairs brought up to the newest live version.
     pub backfilled: usize,
+    /// Quarantined replicas that covered the healthy union after this sweep
+    /// and rejoined with a bumped epoch.
+    pub rejoined: usize,
+}
+
+/// What one scrub sweep found (see
+/// [`crate::replica::KvStore::scrub_sweep`]): a re-verification of every
+/// live replica's WAL checksums against latent disk damage.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// WAL records whose checksums re-verified clean.
+    pub verified: usize,
+    /// Torn tail frames truncated in place (bounded loss, replica stays
+    /// healthy — the memtable still holds the live copy).
+    pub torn_tails: usize,
+    /// Replicas newly quarantined for mid-log checksum mismatches.
+    pub quarantined: usize,
 }
 
 impl<S: Substrate> Engine<S> {
@@ -90,6 +121,11 @@ impl<S: Substrate> Engine<S> {
     /// transit (the max over the repair paths used) before applying, and
     /// re-checks every path at apply time — a window edge may have moved
     /// while the messages were in flight.
+    ///
+    /// Quarantined replicas ([`ReplicaHealth::Tainted`]) are back-fill
+    /// *destinations only*: their data never seeds the union (nothing a
+    /// corrupt log rehydrated may propagate). Once a tainted replica covers
+    /// the healthy union, the sweep rejoins it — see [`RepairReport::rejoined`].
     pub(crate) async fn repair_sweep(&self) -> RepairReport {
         let now = self.sim().now();
         let name = self.name().to_string();
@@ -99,6 +135,11 @@ impl<S: Substrate> Engine<S> {
             .copied()
             .filter(|&r| !self.substrate().op_blocked(self.faults(), now, &name, r))
             .collect();
+        let healthy: Vec<Region> = live
+            .iter()
+            .copied()
+            .filter(|&r| self.replica_health(r) == ReplicaHealth::Healthy)
+            .collect();
         // key → (newest version, bytes, commit time, source replica), in
         // BTreeMap order. Keys and values are shared `Rc`/`Bytes` handles,
         // so snapshotting the union is refcount bumps, not copies.
@@ -107,7 +148,7 @@ impl<S: Substrate> Engine<S> {
             let replicas = self.inner.replicas.borrow();
             let mut newest: std::collections::BTreeMap<&Rc<str>, (u64, &Bytes, SimTime, Region)> =
                 std::collections::BTreeMap::new();
-            for &r in &live {
+            for &r in &healthy {
                 let Some(state) = replicas.get(&r) else {
                     continue;
                 };
@@ -150,9 +191,11 @@ impl<S: Substrate> Engine<S> {
             }
         }
         if plan.is_empty() {
+            let rejoined = self.try_rejoin(&union);
             return RepairReport {
                 examined,
                 backfilled: 0,
+                rejoined,
             };
         }
         // One gossip round: the sweep completes when the slowest repair path
@@ -188,10 +231,187 @@ impl<S: Substrate> Engine<S> {
                 backfilled += 1;
             }
         }
+        let rejoined = self.try_rejoin(&union);
         RepairReport {
             examined,
             backfilled,
+            rejoined,
         }
+    }
+
+    /// Rejoins every quarantined replica whose memtable now covers the
+    /// healthy union snapshot: health flips back, the crash epoch bumps (the
+    /// old incarnation's durability promises are dead — in-flight work keyed
+    /// to them must not resume silently), and the WAL is re-framed from the
+    /// healed memtable so the replica's durable truth is clean again.
+    fn try_rejoin(&self, union: &[(Rc<str>, u64, Bytes, SimTime, Region)]) -> usize {
+        let mut rejoined = 0usize;
+        let mut replicas = self.inner.replicas.borrow_mut();
+        for state in replicas.values_mut() {
+            if state.health != ReplicaHealth::Tainted {
+                continue;
+            }
+            let covered = union.iter().all(|(key, ver, ..)| {
+                state
+                    .data
+                    .get(key)
+                    .map(|r| r.version >= *ver)
+                    .unwrap_or(false)
+            });
+            if !covered {
+                continue;
+            }
+            state.epoch += 1;
+            let entries: Vec<WalEntry> = state
+                .data
+                .iter()
+                .map(|(k, r)| WalEntry {
+                    key: Rc::clone(k),
+                    version: r.version,
+                    bytes: r.bytes.clone(),
+                    visible_at: r.visible_at,
+                    committed_at: r.committed_at,
+                })
+                .collect();
+            state.wal.rebuild(entries.iter());
+            state.rebuild_wal_index(entries.iter());
+            state.health = ReplicaHealth::Healthy;
+            rejoined += 1;
+        }
+        rejoined
+    }
+
+    /// One scrub round: re-verify every live replica's WAL checksums,
+    /// truncating torn tails in place (the memtable still holds the live
+    /// copy — no quarantine for a bounded, known loss) and quarantining
+    /// replicas whose logs hide mid-log corruption. Crashed replicas are
+    /// skipped: the process is dead, and restart replay verifies their logs
+    /// at the heal edge anyway. Synchronous — scrubbing reads local disk,
+    /// not the network.
+    pub(crate) fn scrub_sweep(&self) -> ScrubReport {
+        let now = self.sim().now();
+        let name = self.name().to_string();
+        let verify = self.inner.recovery.get().verify_checksums;
+        let mut report = ScrubReport::default();
+        let newly_tainted: Vec<Region> = {
+            let mut replicas = self.inner.replicas.borrow_mut();
+            let mut newly_tainted = Vec::new();
+            for (&region, state) in replicas.iter_mut() {
+                if self.inner.faults.replica_crashed(now, &name, region) {
+                    continue;
+                }
+                let scan = state.wal.scan(verify);
+                report.verified += scan.entries.len();
+                stats::count_scrub_records(scan.entries.len() as u64);
+                match scan.fault.map(|f| f.kind) {
+                    None => {}
+                    Some(WalFaultKind::TornFrame) => {
+                        state.wal.truncate_to(&scan);
+                        state.rebuild_wal_index(scan.entries.iter());
+                        report.torn_tails += 1;
+                    }
+                    Some(WalFaultKind::ChecksumMismatch) => {
+                        state.wal.truncate_to(&scan);
+                        state.rebuild_wal_index(scan.entries.iter());
+                        if state.health != ReplicaHealth::Tainted {
+                            newly_tainted.push(region);
+                        }
+                        state.health = ReplicaHealth::Tainted;
+                        report.quarantined += 1;
+                    }
+                }
+            }
+            newly_tainted
+        };
+        // Waiters parked at a replica that just entered quarantine surface
+        // the integrity fault (KV) or silently resubscribe (queues) — the
+        // same hygiene dark-replica edges get.
+        for region in newly_tainted {
+            let cancelled = {
+                let mut replicas = self.inner.replicas.borrow_mut();
+                match replicas.get_mut(&region) {
+                    Some(state) => std::mem::take(&mut state.waiters),
+                    None => continue,
+                }
+            };
+            for w in cancelled {
+                let _ = w.tx.send(Err(StoreError::IntegrityFault {
+                    store: self.inner.name.clone(),
+                    region,
+                }));
+            }
+        }
+        report
+    }
+
+    /// Whether every replica is [`ReplicaHealth::Healthy`]. The periodic
+    /// loops refuse to self-terminate while any replica sits in quarantine —
+    /// a tainted replica at quiescence would mean the plane detected damage
+    /// and then abandoned the repair.
+    pub(crate) fn all_healthy(&self) -> bool {
+        self.inner
+            .replicas
+            .borrow()
+            .values()
+            .all(|state| state.health == ReplicaHealth::Healthy)
+    }
+
+    /// Starts the periodic scrub loop. When a sweep quarantines a replica —
+    /// or any replica is still tainted from an earlier restart replay — the
+    /// loop immediately runs a repair sweep rather than waiting out the
+    /// anti-entropy cadence: scrub *detects*, and detection without repair
+    /// would strand the quarantine if the anti-entropy loop already
+    /// self-terminated. The loop itself self-terminates once a sweep finds
+    /// no new damage, every replica is healthy, and the fault plan schedules
+    /// no further transitions (no window left that could inject more) — so
+    /// enabling scrub never prevents the simulation from quiescing.
+    pub(crate) fn enable_scrub(&self, cfg: RepairConfig) {
+        let engine = self.clone();
+        self.sim().clone().spawn(async move {
+            loop {
+                engine.sim().sleep(cfg.period).await;
+                if cfg.horizon.is_some_and(|h| engine.sim().now() >= h) {
+                    break;
+                }
+                let report = engine.scrub_sweep();
+                if report.quarantined > 0 || !engine.all_healthy() {
+                    engine.repair_sweep().await;
+                }
+                if report.torn_tails == 0
+                    && report.quarantined == 0
+                    && engine.all_healthy()
+                    && engine
+                        .faults()
+                        .next_transition_after(engine.sim().now())
+                        .is_none()
+                {
+                    break;
+                }
+            }
+        });
+    }
+
+    /// Whether every replica holds byte-identical data: same keys, same
+    /// versions, same stored bytes. Strictly stronger than
+    /// [`Engine::converged`] — the integrity property tests use it to show
+    /// post-storm convergence is not just version agreement but value
+    /// agreement.
+    pub(crate) fn converged_bytes(&self) -> bool {
+        let replicas = self.inner.replicas.borrow();
+        let mut iter = replicas.values();
+        let Some(first) = iter.next() else {
+            return true;
+        };
+        iter.all(|state| {
+            state.data.len() == first.data.len()
+                && state
+                    .data
+                    .iter()
+                    .zip(first.data.iter())
+                    .all(|((k, v), (rk, rv))| {
+                        k == rk && v.version == rv.version && v.bytes == rv.bytes
+                    })
+        })
     }
 
     /// Starts the periodic anti-entropy loop. The loop self-terminates when
@@ -211,6 +431,7 @@ impl<S: Substrate> Engine<S> {
                 engine.repair_sweep().await;
                 let after = engine.sim().now();
                 if engine.converged()
+                    && engine.all_healthy()
                     && engine.pending_hints() == 0
                     && engine.faults().next_transition_after(after).is_none()
                 {
@@ -364,6 +585,155 @@ mod tests {
         );
         assert!(store.is_visible(EU, "k", 1), "WAL replay restored EU");
         assert!(store.converged());
+    }
+
+    async fn seed_three_keys(s: &KvStore) {
+        for (k, v) in [
+            ("k1", &b"value-one"[..]),
+            ("k2", &b"value-two"[..]),
+            ("k3", &b"value-three"[..]),
+        ] {
+            let ver = s.put(EU, k, Bytes::copy_from_slice(v)).await.unwrap();
+            s.wait_visible(US, k, ver).await.unwrap();
+            s.wait_visible(SG, k, ver).await.unwrap();
+        }
+    }
+
+    #[test]
+    fn bitflip_quarantines_at_restart_and_anti_entropy_rejoins() {
+        use crate::engine::ReplicaHealth;
+        use antipode_sim::fault::DiskFaultKind;
+
+        let (sim, store) = setup(27);
+        let s = store.clone();
+        sim.block_on(async move { seed_three_keys(&s).await });
+        assert_eq!(store.wal_len(US), 3);
+        // Bit rot strikes the US log at 4s; the crash-restart at [5s, 8s)
+        // forces replay to read the damaged bytes.
+        sim.faults().schedule(
+            SimTime::from_secs(4),
+            SimTime::from_secs(5),
+            FaultKind::DiskFault {
+                store: "db".into(),
+                region: US,
+                fault: DiskFaultKind::BitFlip { offset_seed: 3 },
+            },
+        );
+        sim.faults().schedule(
+            SimTime::from_secs(5),
+            SimTime::from_secs(8),
+            FaultKind::ReplicaCrash {
+                store: "db".into(),
+                region: US,
+            },
+        );
+        sim.run_until(SimTime::from_secs(9));
+        assert_eq!(store.replica_health(US), ReplicaHealth::Tainted);
+        let epoch_before = store.engine.replica_epoch(US);
+        let s = store.clone();
+        let report = sim.block_on(async move {
+            // Quarantined reads refuse rather than serve unbounded loss.
+            assert!(matches!(
+                s.get(US, "k1").await.unwrap_err(),
+                StoreError::IntegrityFault { .. }
+            ));
+            assert!(matches!(
+                s.put(US, "kx", Bytes::new()).await.unwrap_err(),
+                StoreError::IntegrityFault { .. }
+            ));
+            s.repair_sweep().await
+        });
+        assert_eq!(report.rejoined, 1, "back-fill covered the union: rejoin");
+        assert_eq!(store.replica_health(US), ReplicaHealth::Healthy);
+        assert!(
+            store.engine.replica_epoch(US) > epoch_before,
+            "rejoin is a new incarnation"
+        );
+        assert!(store.converged_bytes());
+        assert_eq!(
+            store.wal_len(US),
+            3,
+            "the WAL was re-framed from the healed memtable"
+        );
+        let s = store.clone();
+        sim.block_on(async move {
+            let got = s.get(US, "k1").await.unwrap().unwrap();
+            assert_eq!(got.bytes, Bytes::from_static(b"value-one"));
+        });
+    }
+
+    #[test]
+    fn scrub_detects_latent_bitrot_before_any_crash() {
+        use crate::engine::ReplicaHealth;
+        use antipode_sim::fault::DiskFaultKind;
+
+        let (sim, store) = setup(28);
+        let s = store.clone();
+        sim.block_on(async move { seed_three_keys(&s).await });
+        sim.faults().schedule(
+            SimTime::from_secs(4),
+            SimTime::from_secs(5),
+            FaultKind::DiskFault {
+                store: "db".into(),
+                region: SG,
+                fault: DiskFaultKind::BitFlip { offset_seed: 3 },
+            },
+        );
+        sim.run_until(SimTime::from_secs(6));
+        // The damage is latent: nothing re-read the log yet.
+        assert_eq!(store.replica_health(SG), ReplicaHealth::Healthy);
+        let scrub = store.scrub_sweep();
+        assert_eq!(scrub.quarantined, 1, "scrub finds the rot");
+        assert_eq!(store.replica_health(SG), ReplicaHealth::Tainted);
+        // The memtable never crashed, so it already covers the healthy
+        // union: one sweep rejoins without back-filling anything.
+        let s = store.clone();
+        let report = sim.block_on(async move { s.repair_sweep().await });
+        assert_eq!(report.backfilled, 0);
+        assert_eq!(report.rejoined, 1);
+        assert_eq!(store.replica_health(SG), ReplicaHealth::Healthy);
+        assert!(store.converged_bytes());
+        // The rebuilt log re-verifies clean end to end (3 records at each
+        // of the three replicas).
+        let clean = store.scrub_sweep();
+        assert_eq!(clean.verified, 9);
+        assert_eq!(clean.torn_tails, 0);
+        assert_eq!(clean.quarantined, 0);
+    }
+
+    #[test]
+    fn scrub_loop_self_terminates_and_heals_with_anti_entropy() {
+        use crate::engine::ReplicaHealth;
+        use antipode_sim::fault::DiskFaultKind;
+
+        let (sim, store) = setup(29);
+        store.enable_scrub(RepairConfig {
+            period: Duration::from_secs(3),
+            horizon: None,
+        });
+        store.enable_anti_entropy(RepairConfig {
+            period: Duration::from_secs(4),
+            horizon: None,
+        });
+        sim.faults().schedule(
+            SimTime::from_secs(6),
+            SimTime::from_secs(7),
+            FaultKind::DiskFault {
+                store: "db".into(),
+                region: US,
+                fault: DiskFaultKind::BitFlip { offset_seed: 5 },
+            },
+        );
+        let s = store.clone();
+        sim.spawn(async move { seed_three_keys(&s).await });
+        // Both loops self-terminate, so run() quiesces — and by then the
+        // scrub has detected, anti-entropy has healed, and the store is
+        // byte-identical everywhere.
+        sim.run();
+        assert_eq!(store.replica_health(US), ReplicaHealth::Healthy);
+        assert!(store.converged_bytes());
+        let clean = store.scrub_sweep();
+        assert_eq!(clean.torn_tails + clean.quarantined, 0);
     }
 
     #[test]

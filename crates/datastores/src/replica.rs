@@ -23,9 +23,9 @@ use antipode_sim::net::Network;
 use antipode_sim::{Region, Sim, SimTime};
 use bytes::Bytes;
 
-use crate::engine::Engine;
+use crate::engine::{Engine, ReplicaHealth};
 use crate::probe::VisibilityProbe;
-use crate::repair::{RepairConfig, RepairReport};
+use crate::repair::{RepairConfig, RepairReport, ScrubReport};
 use crate::substrate::KvSubstrate;
 
 pub use crate::substrate::StoreError;
@@ -152,6 +152,19 @@ impl KvStore {
     /// Number of write-ahead-log entries at a replica (diagnostics).
     pub fn wal_len(&self, region: Region) -> usize {
         self.engine.wal_len(region)
+    }
+
+    /// Total framed bytes in a replica's write-ahead log (diagnostics).
+    pub fn wal_byte_len(&self, region: Region) -> usize {
+        self.engine.wal_byte_len(region)
+    }
+
+    /// Integrity standing of a replica: `Healthy`, or `Tainted` when WAL
+    /// verification found mid-log corruption and quarantined it (reads
+    /// refuse with [`StoreError::IntegrityFault`] until anti-entropy
+    /// rejoins it). See [`crate::wal`] and [`crate::repair`].
+    pub fn replica_health(&self, region: Region) -> ReplicaHealth {
+        self.engine.replica_health(region)
     }
 
     /// Installs an observation hook invoked at every replica apply; see
@@ -306,14 +319,35 @@ impl KvStore {
         self.engine.converged()
     }
 
+    /// Whether every replica holds byte-identical data (same keys, versions,
+    /// *and* stored bytes) — strictly stronger than [`KvStore::converged`];
+    /// see [`crate::repair`].
+    pub fn converged_bytes(&self) -> bool {
+        self.engine.converged_bytes()
+    }
+
     /// One anti-entropy round; see [`crate::repair`].
     pub async fn repair_sweep(&self) -> RepairReport {
         self.engine.repair_sweep().await
     }
 
+    /// One scrub round: re-verify every live replica's WAL checksums,
+    /// truncating torn tails and quarantining mid-log corruption; see
+    /// [`crate::repair`].
+    pub fn scrub_sweep(&self) -> ScrubReport {
+        self.engine.scrub_sweep()
+    }
+
     /// Starts the periodic anti-entropy loop; see [`crate::repair`].
     pub fn enable_anti_entropy(&self, cfg: RepairConfig) {
         self.engine.enable_anti_entropy(cfg);
+    }
+
+    /// Starts the periodic scrub loop (detection only — pair with
+    /// [`KvStore::enable_anti_entropy`] for back-fill and rejoin); see
+    /// [`crate::repair`].
+    pub fn enable_scrub(&self, cfg: RepairConfig) {
+        self.engine.enable_scrub(cfg);
     }
 }
 

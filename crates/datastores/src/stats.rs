@@ -18,6 +18,8 @@ thread_local! {
     static WAL_BYTES: Cell<u64> = const { Cell::new(0) };
     static BATCH_FLUSHES: Cell<u64> = const { Cell::new(0) };
     static MAX_BATCH: Cell<u64> = const { Cell::new(0) };
+    static SCRUB_RECORDS: Cell<u64> = const { Cell::new(0) };
+    static INTEGRITY_REFUSALS: Cell<u64> = const { Cell::new(0) };
 }
 
 /// A snapshot of the engine-plane counters on this thread.
@@ -42,6 +44,12 @@ pub struct EngineStats {
     pub batch_flushes: u64,
     /// Largest apply batch observed.
     pub max_batch: u64,
+    /// WAL records re-verified by scrub sweeps (see
+    /// [`crate::repair::ScrubReport`]).
+    pub scrub_records: u64,
+    /// Operations refused with [`crate::replica::StoreError::IntegrityFault`]
+    /// because the replica was quarantined.
+    pub integrity_refusals: u64,
 }
 
 /// Reads the counters.
@@ -55,6 +63,8 @@ pub fn snapshot() -> EngineStats {
         wal_bytes: WAL_BYTES.with(Cell::get),
         batch_flushes: BATCH_FLUSHES.with(Cell::get),
         max_batch: MAX_BATCH.with(Cell::get),
+        scrub_records: SCRUB_RECORDS.with(Cell::get),
+        integrity_refusals: INTEGRITY_REFUSALS.with(Cell::get),
     }
 }
 
@@ -68,6 +78,8 @@ pub fn reset() {
     WAL_BYTES.with(|c| c.set(0));
     BATCH_FLUSHES.with(|c| c.set(0));
     MAX_BATCH.with(|c| c.set(0));
+    SCRUB_RECORDS.with(|c| c.set(0));
+    INTEGRITY_REFUSALS.with(|c| c.set(0));
 }
 
 pub(crate) fn count_commit() {
@@ -89,6 +101,14 @@ pub(crate) fn count_applies(n: u64) {
 pub(crate) fn count_wal_append(bytes: u64) {
     WAL_APPENDS.with(|c| c.set(c.get() + 1));
     WAL_BYTES.with(|c| c.set(c.get() + bytes));
+}
+
+pub(crate) fn count_scrub_records(n: u64) {
+    SCRUB_RECORDS.with(|c| c.set(c.get() + n));
+}
+
+pub(crate) fn count_integrity_refusal() {
+    INTEGRITY_REFUSALS.with(|c| c.set(c.get() + 1));
 }
 
 pub(crate) fn count_batch_flush(batch: u64) {
@@ -114,6 +134,8 @@ mod tests {
         count_wal_append(40);
         count_batch_flush(3);
         count_batch_flush(1);
+        count_scrub_records(5);
+        count_integrity_refusal();
         let s = snapshot();
         assert_eq!(s.commits, 1);
         assert_eq!(s.fanout_events, 1);
@@ -123,6 +145,8 @@ mod tests {
         assert_eq!(s.wal_bytes, 40);
         assert_eq!(s.batch_flushes, 2);
         assert_eq!(s.max_batch, 3);
+        assert_eq!(s.scrub_records, 5);
+        assert_eq!(s.integrity_refusals, 1);
         reset();
         assert_eq!(snapshot(), EngineStats::default());
     }

@@ -61,6 +61,16 @@ pub enum StoreError {
         /// The store name.
         store: String,
     },
+    /// WAL replay found mid-log corruption (a checksum mismatch), so the
+    /// replica is quarantined: its reads refuse to serve until anti-entropy
+    /// back-fills it from healthy peers and it rejoins with a bumped epoch.
+    /// Barriers observe this as a degraded replica, exactly like an outage.
+    IntegrityFault {
+        /// The store name.
+        store: String,
+        /// The quarantined region.
+        region: Region,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -78,6 +88,12 @@ impl std::fmt::Display for StoreError {
             }
             StoreError::Overloaded { store } => {
                 write!(f, "store {store} overloaded (send capacity exhausted)")
+            }
+            StoreError::IntegrityFault { store, region } => {
+                write!(
+                    f,
+                    "store {store} quarantined in region {region} (WAL integrity fault)"
+                )
             }
         }
     }

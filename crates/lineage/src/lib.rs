@@ -11,6 +11,8 @@
 //!   copy-on-write sharing, a cached compact wire format whose size the
 //!   paper's §7.4 metadata experiments measure;
 //! - [`interner`]: the deterministic datastore-name interner;
+//! - [`crc32c`]: hand-rolled Castagnoli checksum (like the hand-rolled
+//!   [`base64`]) sealing WAL records and v2 wire frames;
 //! - [`stats`]: lineage-plane counters (allocation proxy for perf baselines);
 //! - [`Baggage`]: OpenTelemetry-style request-context propagation (§6.2);
 //! - [`model`]: the formal ↝ relation and an execution checker that
@@ -43,6 +45,7 @@
 
 pub mod baggage;
 pub mod base64;
+pub mod crc32c;
 pub mod interner;
 pub mod lineage;
 pub mod lineage_dag;

@@ -46,12 +46,18 @@ impl fmt::Display for LineageId {
 /// Wire format version for [`Lineage::serialize`].
 const WIRE_VERSION: u8 = 1;
 
-/// Version byte of the flat v2 frame: `[0x02][varint body-len][body]` where
-/// the body is byte-identical to the v1 payload minus its version byte. The
-/// length prefix makes the frame self-delimiting, so it can be embedded in
-/// larger binary messages ([`crate::Baggage::to_frame`], engine envelopes)
-/// without base64 or escaping.
+/// Version byte of the flat v2 frame: `[0x02][varint len][body][crc]` where
+/// the body is byte-identical to the v1 payload minus its version byte and
+/// `crc` is the little-endian CRC32C of the body. The length prefix (which
+/// covers body + trailer) makes the frame self-delimiting, so it can be
+/// embedded in larger binary messages ([`crate::Baggage::to_frame`], engine
+/// envelopes) without base64 or escaping; the trailer makes in-frame
+/// corruption detectable instead of decodable. Early v2 frames carried no
+/// trailer; the decoder still accepts them (see [`Lineage::decode_frame`]).
 const FRAME_VERSION: u8 = 2;
+
+/// Width of the v2 frame's trailing CRC32C.
+const FRAME_CRC_LEN: usize = 4;
 
 /// The shared empty dep vector: `Lineage::new` is allocation-free until the
 /// first append materializes a private vector via copy-on-write.
@@ -282,14 +288,17 @@ impl Lineage {
 
     /// Assembles the v2 frame from the (cached) v1 wire form: the body is
     /// shared byte-for-byte between the two versions, so this is a memcpy
-    /// plus a ≤10-byte prefix — no second dep traversal.
+    /// plus a ≤10-byte prefix and a 4-byte CRC32C trailer — no second dep
+    /// traversal.
     fn encode_frame(&self) -> Vec<u8> {
         let wire = self.wire_bytes();
         let body = &wire[1..];
-        let mut buf = Vec::with_capacity(1 + varint_len(body.len() as u64) + body.len());
+        let declared = body.len() + FRAME_CRC_LEN;
+        let mut buf = Vec::with_capacity(1 + varint_len(declared as u64) + declared);
         buf.put_u8(FRAME_VERSION);
-        put_varint(&mut buf, body.len() as u64);
+        put_varint(&mut buf, declared as u64);
         buf.extend_from_slice(body);
+        buf.extend_from_slice(&crate::crc32c::crc32c(body).to_le_bytes());
         buf
     }
 
@@ -395,8 +404,14 @@ impl Lineage {
     /// lineage and the number of bytes consumed. The frame is
     /// self-delimiting, so trailing bytes are left for the caller — this is
     /// what lets frames embed in binary baggage and engine envelopes.
-    /// Canonical frames are adopted as the cached frame form: decode→forward
-    /// of an unchanged lineage re-emits the exact input bytes.
+    ///
+    /// The declared length must delimit the payload exactly: either the body
+    /// alone (an early v2 writer, pre-CRC — accepted for compatibility) or
+    /// the body plus a 4-byte CRC32C trailer, which is then verified —
+    /// a mismatch is [`CodecError::ChecksumMismatch`], never a silently
+    /// different lineage. Canonical sealed frames are adopted as the cached
+    /// frame form: decode→forward of an unchanged lineage re-emits the exact
+    /// input bytes.
     pub fn decode_frame(bytes: &[u8]) -> Result<(Lineage, usize), CodecError> {
         let total_len = bytes.len();
         let mut slice = bytes;
@@ -408,28 +423,44 @@ impl Lineage {
         if version != FRAME_VERSION {
             return Err(CodecError::UnknownVersion(version));
         }
-        let body_len = get_varint(buf)? as usize;
-        if body_len > buf.remaining() {
+        let declared = get_varint(buf)? as usize;
+        if declared > buf.remaining() {
             return Err(CodecError::LengthOutOfBounds);
         }
         let prefix_len = total_len - buf.remaining();
-        // The declared length delimits the body exactly: a decode that stops
-        // short of it is a framing violation, not trailing data.
-        let mut body_slice = &bytes[prefix_len..prefix_len + body_len];
+        let mut body_slice = &bytes[prefix_len..prefix_len + declared];
         let body_buf = &mut body_slice;
         let body = decode_body(body_buf)?;
-        if body_buf.has_remaining() {
-            return Err(CodecError::LengthOutOfBounds);
-        }
-        let consumed = prefix_len + body_len;
-        let canonical = body.canonical
+        let body_len = declared - body_buf.remaining();
+        // What remains of the declared window after the body is the trailer:
+        // absent (legacy v2 writer) or exactly one CRC32C. Anything else is
+        // a framing violation, not trailing data.
+        let sealed = match body_buf.remaining() {
+            0 => false,
+            FRAME_CRC_LEN => {
+                let body_bytes = &bytes[prefix_len..prefix_len + body_len];
+                let mut trailer = [0u8; FRAME_CRC_LEN];
+                trailer.copy_from_slice(&bytes[prefix_len + body_len..prefix_len + declared]);
+                if crate::crc32c::crc32c(body_bytes) != u32::from_le_bytes(trailer) {
+                    return Err(CodecError::ChecksumMismatch);
+                }
+                true
+            }
+            _ => return Err(CodecError::LengthOutOfBounds),
+        };
+        let consumed = prefix_len + declared;
+        let canonical = sealed
+            && body.canonical
             && body_len == body.canonical_len
-            && prefix_len == 1 + varint_len(body_len as u64);
+            && prefix_len == 1 + varint_len(declared as u64);
         let lineage = body.into_lineage(canonical);
         if canonical {
             stats::count_canonical_decode();
             *lineage.frame.borrow_mut() = Some(bytes[..consumed].into());
-            debug_assert_eq!(&lineage.encode()[1..], &bytes[prefix_len..consumed]);
+            debug_assert_eq!(
+                &lineage.encode()[1..],
+                &bytes[prefix_len..prefix_len + body_len]
+            );
         }
         Ok((lineage, consumed))
     }
@@ -846,9 +877,56 @@ mod tests {
         l.append(wid("s", "k", 1));
         let wire = l.wire_bytes();
         let frame = l.frame_bytes();
-        // [0x02][varint body-len][v1 body]
+        // [0x02][varint len][v1 body][crc32c(body)]
         let body = &wire[1..];
-        assert_eq!(&frame[frame.len() - body.len()..], body);
+        let crc_at = frame.len() - 4;
+        assert_eq!(&frame[crc_at - body.len()..crc_at], body);
+        assert_eq!(&frame[crc_at..], crate::crc32c::crc32c(body).to_le_bytes());
+    }
+
+    #[test]
+    fn legacy_v2_frame_without_crc_still_decodes() {
+        // An early v2 writer emitted [0x02][varint body-len][body] with no
+        // trailer; the declared length delimiting exactly the body is what
+        // identifies it.
+        let mut l = Lineage::new(LineageId(7));
+        l.append(wid("s", "k", 1));
+        let wire = l.wire_bytes();
+        let body = &wire[1..];
+        let mut legacy = vec![2u8];
+        put_varint(&mut legacy, body.len() as u64);
+        legacy.extend_from_slice(body);
+        let (back, consumed) = Lineage::decode_frame(&legacy).unwrap();
+        assert_eq!(consumed, legacy.len());
+        assert_eq!(back, l);
+        // Legacy frames are never adopted as the cache: re-encoding seals
+        // them with the trailer.
+        let sealed = back.frame_bytes();
+        assert_eq!(sealed.len(), legacy.len() + 4);
+    }
+
+    #[test]
+    fn corrupt_frame_body_is_a_checksum_mismatch() {
+        let mut l = Lineage::new(LineageId(7));
+        l.append(wid("s", "k", 1));
+        let frame = l.frame_bytes().to_vec();
+        // Flip the final body byte (the dep's version varint): structurally
+        // the body still decodes, so only the trailer can catch it.
+        let mut bad = frame.clone();
+        let victim = bad.len() - 5;
+        bad[victim] ^= 0x01;
+        assert_eq!(
+            Lineage::decode_frame(&bad),
+            Err(CodecError::ChecksumMismatch)
+        );
+        // A flipped trailer byte is equally fatal.
+        let mut bad_crc = frame;
+        let last = bad_crc.len() - 1;
+        bad_crc[last] ^= 0x80;
+        assert_eq!(
+            Lineage::decode_frame(&bad_crc),
+            Err(CodecError::ChecksumMismatch)
+        );
     }
 
     #[test]

@@ -1,18 +1,25 @@
 //! Compat suite for the flat v2 wire frame.
 //!
-//! The v2 frame is `[0x02][varint body-len][body]` where the body is
-//! byte-identical to the v1 body (everything after v1's version byte). This
-//! suite pins the mixed-version contract a rolling deployment depends on:
+//! The v2 frame is `[0x02][varint len][body][crc]` where the body is
+//! byte-identical to the v1 body (everything after v1's version byte), the
+//! declared length covers body + trailer, and the trailer is the
+//! little-endian CRC32C of the body. This suite pins the mixed-version
+//! contract a rolling deployment depends on:
 //!
 //! - the v1 golden bytes still decode through the version-dispatching
 //!   [`Lineage::deserialize`] (a v2-speaking reader accepts v1 writers);
+//! - pre-CRC v2 frames (`[0x02][varint body-len][body]`, no trailer) still
+//!   decode: the declared length delimiting exactly the body identifies them;
 //! - v2 frames round-trip against an independent, spec-derived reference
-//!   codec that shares no code with the production implementation;
-//! - garbage and truncation never panic and never decode;
+//!   codec that shares no code with the production implementation —
+//!   including an independent bit-at-a-time CRC32C;
+//! - garbage, truncation, and in-body corruption never panic and never
+//!   silently reproduce the original lineage; sealed-frame body corruption
+//!   that still parses is caught by the trailer;
 //! - canonical inputs are adopted as caches in both directions, so a
 //!   decode→forward hop re-emits the incoming bytes without re-encoding.
 
-use antipode_lineage::{stats, Lineage, LineageId, WriteId};
+use antipode_lineage::{stats, CodecError, Lineage, LineageId, WriteId};
 use proptest::prelude::*;
 
 // ---------------------------------------------------------------------------
@@ -54,8 +61,20 @@ fn fixture1_lineage() -> Lineage {
 }
 
 /// Builds the expected v2 frame for a v1 byte string, straight from the
-/// spec: version byte 2, minimal-varint body length, then the shared body.
+/// spec: version byte 2, minimal-varint declared length (body + 4-byte
+/// trailer), the shared body, then the little-endian CRC32C of the body.
 fn v2_frame_of(v1: &[u8]) -> Vec<u8> {
+    let body = &v1[1..];
+    let mut out = vec![2u8];
+    reference::put_varint(&mut out, (body.len() + 4) as u64);
+    out.extend_from_slice(body);
+    out.extend_from_slice(&reference::crc32c(body).to_le_bytes());
+    out
+}
+
+/// Builds the pre-CRC form of the frame (an early v2 writer): declared
+/// length delimits exactly the body, no trailer.
+fn v2_legacy_frame_of(v1: &[u8]) -> Vec<u8> {
     let body = &v1[1..];
     let mut out = vec![2u8];
     reference::put_varint(&mut out, body.len() as u64);
@@ -109,10 +128,32 @@ fn v1_writer_to_v2_reader_adopts_canonical_input() {
         "canonical v1 adoption must make re-serialization encode-free"
     );
     let frame = decoded.frame_bytes();
+    let crc_at = frame.len() - 4;
     assert_eq!(
-        &frame[frame.len() - (V1_FIXTURE1.len() - 1)..],
+        &frame[crc_at - (V1_FIXTURE1.len() - 1)..crc_at],
         &V1_FIXTURE1[1..]
     );
+}
+
+#[test]
+fn legacy_v2_frames_without_crc_still_decode() {
+    // Pre-CRC v2 writers emitted no trailer; a CRC-aware reader must accept
+    // them (the declared length delimiting exactly the body is the tell) and
+    // seal them on re-encode.
+    for (v1, expect) in [
+        (V1_FIXTURE1, fixture1_lineage()),
+        (V1_FIXTURE2, Lineage::new(LineageId(5))),
+    ] {
+        let legacy = v2_legacy_frame_of(v1);
+        let (back, consumed) = Lineage::decode_frame(&legacy).expect("legacy frame decodes");
+        assert_eq!(consumed, legacy.len());
+        assert_eq!(back, expect);
+        assert_eq!(
+            back.frame_bytes().as_ref(),
+            v2_frame_of(v1).as_slice(),
+            "re-encoding a legacy frame seals it with the trailer"
+        );
+    }
 }
 
 #[test]
@@ -134,6 +175,24 @@ fn v2_reader_adopts_canonical_frames() {
 // ---------------------------------------------------------------------------
 
 mod reference {
+    /// Bit-at-a-time CRC32C straight from the reflected Castagnoli
+    /// polynomial — deliberately naive, sharing nothing with the production
+    /// slicing-by-8 tables.
+    pub fn crc32c(bytes: &[u8]) -> u32 {
+        let mut crc = !0u32;
+        for &b in bytes {
+            crc ^= b as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0x82F6_3B78
+                } else {
+                    crc >> 1
+                };
+            }
+        }
+        !crc
+    }
+
     /// LEB128 unsigned varint.
     pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
         loop {
@@ -218,20 +277,23 @@ mod reference {
         Some((id, deps))
     }
 
-    /// Encodes a v2 frame per the spec: version byte 2, minimal-varint body
-    /// length, shared body.
+    /// Encodes a v2 frame per the spec: version byte 2, minimal-varint
+    /// declared length (body + 4), shared body, little-endian CRC32C of the
+    /// body.
     pub fn encode_frame(id: u64, deps: &[(String, String, u64)]) -> Vec<u8> {
         let mut body = Vec::new();
         encode_body(&mut body, id, deps);
         let mut out = vec![2u8];
-        put_varint(&mut out, body.len() as u64);
+        put_varint(&mut out, (body.len() + 4) as u64);
         out.extend_from_slice(&body);
+        out.extend_from_slice(&crc32c(&body).to_le_bytes());
         out
     }
 
     /// Decodes a v2 frame per the spec, returning the lineage triples and
-    /// bytes consumed. Strict about framing: the declared length must
-    /// delimit the body exactly.
+    /// bytes consumed. Strict about framing: after the body, the declared
+    /// window must hold either nothing (a legacy pre-CRC frame) or exactly a
+    /// matching 4-byte CRC32C trailer.
     #[allow(clippy::type_complexity)]
     pub fn decode_frame(bytes: &[u8]) -> Option<(u64, Vec<(String, String, u64)>, usize)> {
         let mut pos = 0usize;
@@ -239,16 +301,24 @@ mod reference {
             return None;
         }
         pos += 1;
-        let body_len = get_varint(bytes, &mut pos)? as usize;
-        let body_end = pos.checked_add(body_len)?;
-        if body_end > bytes.len() {
+        let declared = get_varint(bytes, &mut pos)? as usize;
+        let window_end = pos.checked_add(declared)?;
+        if window_end > bytes.len() {
             return None;
         }
-        let (id, deps) = decode_body(&bytes[..body_end], &mut pos)?;
-        if pos != body_end {
-            return None;
+        let body_start = pos;
+        let (id, deps) = decode_body(&bytes[..window_end], &mut pos)?;
+        match window_end - pos {
+            0 => {}
+            4 => {
+                let expect = u32::from_le_bytes(bytes[pos..window_end].try_into().ok()?);
+                if crc32c(&bytes[body_start..pos]) != expect {
+                    return None;
+                }
+            }
+            _ => return None,
         }
-        Some((id, deps, body_end))
+        Some((id, deps, window_end))
     }
 }
 
@@ -364,4 +434,70 @@ proptest! {
             Ok((_, consumed)) => prop_assert_ne!(consumed, frame.len()),
         }
     }
+
+    /// Flipping any single bit of a sealed frame — body or trailer — never
+    /// silently reproduces the original lineage: the decode errors (usually
+    /// `ChecksumMismatch`) or visibly yields something else.
+    #[test]
+    fn sealed_frame_bit_flips_never_reproduce_the_lineage(
+        pos_fraction in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let l = fixture1_lineage();
+        let frame = l.frame_bytes().to_vec();
+        // Skip the version byte and length varint: those are covered above;
+        // here we corrupt the CRC-protected region (body + trailer).
+        let payload_start = 3; // [0x02] + 2-byte length varint for this fixture
+        let pos = payload_start
+            + ((frame.len() - payload_start - 1) as f64 * pos_fraction) as usize;
+        let mut bad = frame.clone();
+        bad[pos] ^= 1 << bit;
+        match Lineage::decode_frame(&bad) {
+            Err(_) => {}
+            Ok((back, _)) => prop_assert_ne!(back, l),
+        }
+    }
+
+    /// Flipping any single bit of the trailer itself always errors: the body
+    /// still parses to 4 bytes short of the window, so the frame cannot be
+    /// misread as a legacy (no-CRC) one.
+    #[test]
+    fn trailer_bit_flips_always_error(offset in 0usize..4, bit in 0u8..8) {
+        let l = fixture1_lineage();
+        let mut frame = l.frame_bytes().to_vec();
+        let pos = frame.len() - 4 + offset;
+        frame[pos] ^= 1 << bit;
+        prop_assert_eq!(
+            Lineage::decode_frame(&frame),
+            Err(CodecError::ChecksumMismatch)
+        );
+    }
+}
+
+/// The violation the trailer exists to prevent, pinned deterministically: a
+/// one-bit flip in a dependency's version varint leaves the body perfectly
+/// parseable, so the pre-CRC format decodes it *silently* into a different
+/// lineage (a barrier would then wait on the wrong version). The sealed
+/// frame turns the same corruption into `ChecksumMismatch`.
+#[test]
+fn crc_catches_corruption_the_legacy_format_silently_accepts() {
+    let l = fixture1_lineage();
+
+    // Legacy pre-CRC frame: flip the final body byte (version varint of the
+    // last dep, 1 → 0). Structurally valid → silent wrong decode.
+    let mut legacy = v2_legacy_frame_of(V1_FIXTURE1);
+    let last = legacy.len() - 1;
+    legacy[last] ^= 0x01;
+    let (corrupted, _) =
+        Lineage::decode_frame(&legacy).expect("legacy format cannot detect the flip");
+    assert_ne!(corrupted, l, "the silent decode names a different version");
+
+    // Sealed frame: same flip, same byte — now a hard error.
+    let mut sealed = v2_frame_of(V1_FIXTURE1);
+    let victim = sealed.len() - 5; // last body byte, just before the trailer
+    sealed[victim] ^= 0x01;
+    assert_eq!(
+        Lineage::decode_frame(&sealed),
+        Err(CodecError::ChecksumMismatch)
+    );
 }

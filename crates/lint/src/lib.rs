@@ -1,7 +1,7 @@
 //! # antipode-lint
 //!
 //! A determinism/XCY static-analysis pass for this workspace, run as a CI
-//! gate (`cargo run -p antipode-lint`). Four rules:
+//! gate (`cargo run -p antipode-lint`). The rules:
 //!
 //! - **D1** `nondeterministic-map` — no `HashMap`/`HashSet` in the
 //!   deterministic crates (`sim`, `datastores`, `core`, `lineage`,
@@ -10,9 +10,19 @@
 //! - **D2** `wall-clock` — no `std::time::Instant`/`SystemTime`,
 //!   `thread::spawn`, or `thread_rng` outside `crates/bench`.
 //! - **D3** `fault-path-unwrap` — no `unwrap()`/`expect()` in fault-path
-//!   modules (`fault.rs`, `replica.rs`, `queue.rs`, `rpc.rs`).
+//!   modules (`fault.rs`, `replica.rs`, `queue.rs`, `rpc.rs`, the engine
+//!   and recovery-plane modules).
 //! - **X1** `unchecked-xcy-write` — app code performing a cross-service
 //!   shim write with no reachable `barrier`/checkpoint in the module.
+//! - **X2** `unconfined-speculative-write` — a direct shim write in a
+//!   module that speculates without a `ConfinementBuffer` to roll it back.
+//! - **H1** `hot-path-vec-alloc` — a fresh `Vec` in a per-write hot-path
+//!   module; frames belong in slab scratch brackets.
+//! - **S1** `scheduler-bypass` — a pop/reorder of a scheduler-adjacent
+//!   collection outside the Schedule API in `crates/sim`.
+//! - **W1** `unchecked-wal-read` — a byte-level read of a WAL buffer
+//!   outside the codec (`crates/datastores/src/wal.rs`); logged bytes are
+//!   only read through the verified, CRC-checked scan.
 //!
 //! Violations can be waived in place with
 //! `// lint: allow(<rule>, <reason>)` — on the flagged line or in the

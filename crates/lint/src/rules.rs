@@ -39,6 +39,15 @@ pub enum Rule {
     /// reintroducing exactly the unexplored nondeterminism `antipode-mc`
     /// exists to close.
     SchedulerBypass,
+    /// W1: a byte-level read of a WAL buffer (`*wal*[…]`, `.iter()`,
+    /// `.chunks…`, `.windows(…)`, `.split_at(…)`, `.first()`, `.last()`)
+    /// outside the WAL codec module (`crates/datastores/src/wal.rs`).
+    /// Every read of logged bytes must flow through the codec's verified
+    /// scan (`WalLog::scan` / `scan_frames`), which checks each frame's
+    /// CRC and reports the exact failing offset — an ad-hoc byte read
+    /// skips exactly the verification the storage-integrity plane exists
+    /// to enforce, and would happily rehydrate bit-rotted records.
+    UncheckedWalRead,
 }
 
 impl Rule {
@@ -52,11 +61,12 @@ impl Rule {
             Rule::UnconfinedSpeculativeWrite => "unconfined-speculative-write",
             Rule::HotPathAlloc => "hot-path-vec-alloc",
             Rule::SchedulerBypass => "scheduler-bypass",
+            Rule::UncheckedWalRead => "unchecked-wal-read",
         }
     }
 
     /// All rules, for reporting.
-    pub fn all() -> [Rule; 7] {
+    pub fn all() -> [Rule; 8] {
         [
             Rule::NondeterministicMap,
             Rule::WallClock,
@@ -65,6 +75,7 @@ impl Rule {
             Rule::UnconfinedSpeculativeWrite,
             Rule::HotPathAlloc,
             Rule::SchedulerBypass,
+            Rule::UncheckedWalRead,
         ]
     }
 }
@@ -119,6 +130,9 @@ pub struct FileContext {
     /// the one place allowed to pop ready queues and order runnable sets,
     /// so S1 does not apply.
     pub scheduler_api: bool,
+    /// The WAL codec's home (`crates/datastores/src/wal.rs`) — the one
+    /// place allowed to touch raw framed log bytes, so W1 does not apply.
+    pub wal_codec: bool,
     /// A test/example file: determinism rules do not apply.
     pub test_file: bool,
 }
@@ -160,6 +174,7 @@ impl FileContext {
             app: crate_name == Some("apps"),
             scheduler_api: crate_name == Some("sim")
                 && matches!(comps.last().copied(), Some("executor.rs" | "schedule.rs")),
+            wal_codec: crate_name == Some("datastores") && comps.last().copied() == Some("wal.rs"),
             test_file: comps
                 .iter()
                 .any(|c| matches!(*c, "tests" | "examples" | "benches")),
@@ -188,6 +203,16 @@ const S1_MUTATIONS: [&str; 8] = [
     ".shuffle(",
 ];
 const S1_COLLECTIONS: [&str; 6] = ["ready", "runnable", "waiter", "waker", "wake", "task"];
+const W1_READS: [&str; 8] = [
+    "[",
+    ".iter(",
+    ".chunks",
+    ".windows(",
+    ".split_at(",
+    ".first(",
+    ".last(",
+    ".as_bytes(",
+];
 
 /// The receiver of the first scheduler-collection mutation on a line:
 /// `state.waiters.swap_remove(i)` → `("waiters", ".swap_remove(")`.
@@ -207,6 +232,37 @@ fn scheduler_mutation(code: &str) -> Option<(String, &'static str)> {
             if S1_COLLECTIONS.iter().any(|k| lower.contains(k))
                 && best.as_ref().is_none_or(|(a, _, _)| at < *a)
             {
+                best = Some((at, recv, pat));
+            }
+        }
+    }
+    best.map(|(_, recv, pat)| (recv, pat))
+}
+
+/// The first byte-level read whose receiver path names a WAL buffer:
+/// `state.wal.as_bytes().first()` → `("state.wal.as_bytes()", ".first(")`.
+/// The receiver capture walks whole field paths (dots included) so
+/// `self.wal.bytes[off]` is caught, while WAL-adjacent bookkeeping
+/// (`wal_index`, `wal_len`) stays out of scope — those hold offsets and
+/// counts, not framed bytes needing verification.
+fn wal_byte_read(code: &str) -> Option<(String, &'static str)> {
+    let mut best: Option<(usize, String, &'static str)> = None;
+    for pat in W1_READS {
+        for (at, _) in code.match_indices(pat) {
+            let recv: String = code[..at]
+                .chars()
+                .rev()
+                .take_while(|c| c.is_alphanumeric() || *c == '_' || *c == '.')
+                .collect::<Vec<_>>()
+                .into_iter()
+                .rev()
+                .collect();
+            let recv = recv.trim_matches('.').to_string();
+            let named_wal = recv
+                .to_ascii_lowercase()
+                .split('.')
+                .any(|seg| seg.contains("wal") && !seg.contains("index") && !seg.contains("len"));
+            if named_wal && best.as_ref().is_none_or(|(a, _, _)| at < *a) {
                 best = Some((at, recv, pat));
             }
         }
@@ -350,6 +406,20 @@ pub fn lint_source(file: &str, source: &str, ctx: &FileContext) -> Vec<Finding> 
                     );
                 }
             }
+            if ctx.deterministic && !ctx.wal_codec {
+                if let Some((recv, op)) = wal_byte_read(code) {
+                    push(
+                        Rule::UncheckedWalRead,
+                        idx,
+                        format!("`{recv}{}` reads raw WAL bytes outside the codec — an ad-hoc byte read skips the per-frame CRC verification the integrity plane depends on", op.trim_end_matches('(')),
+                        "decode through the verified scan \
+                         (`WalLog::scan(true)` / `wal::scan_frames`), which \
+                         checks every frame's checksum and reports the exact \
+                         failing offset; if this buffer is not framed log \
+                         bytes, waive with `// lint: allow(unchecked-wal-read, <why>)`",
+                    );
+                }
+            }
             if ctx.fault_path {
                 let hit = if code.contains(".unwrap()") {
                     Some("unwrap()")
@@ -440,6 +510,10 @@ mod tests {
         assert!(c.deterministic && c.fault_path);
         let c = FileContext::classify("crates/services/src/speculation.rs");
         assert!(c.deterministic && c.fault_path);
+        let c = FileContext::classify("crates/datastores/src/wal.rs");
+        assert!(c.deterministic && c.wal_codec && !c.test_file);
+        let c = FileContext::classify("crates/datastores/src/engine.rs");
+        assert!(!c.wal_codec);
         let c = FileContext::classify("crates/sim/src/executor.rs");
         assert!(c.deterministic && c.scheduler_api);
         let c = FileContext::classify("crates/sim/src/schedule.rs");
@@ -585,6 +659,56 @@ mod tests {
         // Outside deterministic crates the rule is off entirely.
         let plain = FileContext::default();
         assert!(lint_source("f.rs", "ready_queue.pop_front();\n", &plain).is_empty());
+    }
+
+    #[test]
+    fn w1_fires_on_raw_wal_byte_reads_outside_the_codec() {
+        for src in [
+            "let b = self.wal.bytes[off];\n",
+            "for b in wal_bytes.iter() {\n",
+            "for frame in wal_buf.chunks(8) {\n",
+            "let (head, tail) = wal_slice.split_at(mid);\n",
+            "let raw = state.wal.as_bytes();\n",
+            "let first = wal.first();\n",
+            "let tail = replica_wal.last();\n",
+        ] {
+            let f = lint_source("f.rs", src, &det());
+            assert_eq!(f.len(), 1, "{src:?}: {f:#?}");
+            assert_eq!(f[0].rule, Rule::UncheckedWalRead, "{src:?}");
+        }
+    }
+
+    #[test]
+    fn w1_exempts_the_codec_bookkeeping_and_verified_scans() {
+        // The codec module itself is the one place allowed to touch bytes.
+        let codec = FileContext {
+            deterministic: true,
+            wal_codec: true,
+            ..Default::default()
+        };
+        assert!(lint_source("f.rs", "let b = self.bytes[at];\n", &codec).is_empty());
+        assert!(lint_source("f.rs", "let b = wal_bytes[at];\n", &codec).is_empty());
+        // Verified scans, appends, and WAL bookkeeping are the sanctioned
+        // surface — none of them read raw bytes.
+        for src in [
+            "let scan = state.wal.scan(verify);\n",
+            "let framed = self.wal.append(&entry);\n",
+            "state.wal.rebuild(entries.iter());\n",
+            "assert_eq!(store.wal_len(EU), 3);\n",
+            "self.wal_index.entry(key);\n",
+            "let n = state.wal.len();\n",
+            "queue.push(item);\n",
+        ] {
+            assert!(
+                lint_source("f.rs", src, &det()).is_empty(),
+                "{src:?} must not fire W1"
+            );
+        }
+        // Non-WAL buffers index freely.
+        assert!(lint_source("f.rs", "let b = buf[off];\n", &det()).is_empty());
+        // Outside deterministic crates the rule is off entirely.
+        let plain = FileContext::default();
+        assert!(lint_source("f.rs", "let b = wal_bytes[off];\n", &plain).is_empty());
     }
 
     #[test]

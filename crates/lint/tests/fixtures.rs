@@ -56,6 +56,7 @@ fn every_rule_fires_exactly_once_on_its_fixture() {
         ("x2_fires.rs", app(), Rule::UnconfinedSpeculativeWrite),
         ("h1_fires.rs", hot(), Rule::HotPathAlloc),
         ("s1_fires.rs", det(), Rule::SchedulerBypass),
+        ("w1_fires.rs", det(), Rule::UncheckedWalRead),
     ] {
         let findings = lint_fixture(fixture, ctx);
         assert_eq!(
@@ -79,6 +80,7 @@ fn waivers_suppress_every_rule() {
         ("x2_waived.rs", app()),
         ("h1_waived.rs", hot()),
         ("s1_waived.rs", det()),
+        ("w1_waived.rs", det()),
     ] {
         let findings = lint_fixture(fixture, ctx);
         assert!(findings.is_empty(), "{fixture}: {findings:#?}");
@@ -166,6 +168,27 @@ fn hot_path_modules_get_d1_d3_and_h1_coverage() {
     let ctx = FileContext::classify("crates/datastores/src/envelope.rs");
     assert!(ctx.hot_path && !ctx.fault_path);
     assert!(lint_fixture("d3_engine_fires.rs", ctx).is_empty());
+}
+
+/// The WAL codec is the one module allowed to touch raw framed bytes, so
+/// W1 must not fire there under its *real* classified context — while the
+/// engine and recovery modules next door stay covered.
+#[test]
+fn w1_exempts_the_wal_codec_home() {
+    let codec = FileContext::classify("crates/datastores/src/wal.rs");
+    assert!(codec.deterministic && codec.wal_codec && !codec.test_file);
+    assert!(lint_fixture("w1_fires.rs", codec).is_empty());
+    for module in [
+        "crates/datastores/src/engine.rs",
+        "crates/datastores/src/recovery.rs",
+        "crates/datastores/src/repair.rs",
+    ] {
+        let ctx = FileContext::classify(module);
+        assert!(!ctx.wal_codec, "{module}");
+        let findings = lint_fixture("w1_fires.rs", ctx);
+        assert_eq!(findings.len(), 1, "{module}: {findings:#?}");
+        assert_eq!(findings[0].rule, Rule::UncheckedWalRead, "{module}");
+    }
 }
 
 /// The gate the CI job enforces, asserted here too so a plain

@@ -1,0 +1,15 @@
+//! W1 fixture: an ad-hoc byte read of a WAL buffer outside the codec —
+//! replaying frames by hand skips the per-frame CRC verification the
+//! storage-integrity plane depends on.
+
+pub fn replay_by_hand(wal_bytes: &[u8]) -> u8 {
+    wal_bytes[8]
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may poke raw log bytes to stage corruption.
+    pub fn stage_flip(wal_bytes: &mut [u8]) {
+        wal_bytes[3] ^= 1;
+    }
+}

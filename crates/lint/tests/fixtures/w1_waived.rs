@@ -1,0 +1,8 @@
+//! W1 waived twin: the same read, justified — the buffer is a network
+//! frame that merely mentions the WAL in its name, not framed log bytes.
+
+pub fn peek_header(wal_ack_frame: &[u8]) -> u8 {
+    // lint: allow(unchecked-wal-read, this is a replication ack frame —
+    // the WAL itself is only ever decoded through the verified scan)
+    wal_ack_frame[0]
+}

@@ -107,6 +107,43 @@ pub enum FaultKind {
         /// The region whose replica crashes.
         region: Region,
     },
+    /// The storage under one replica lies: its write-ahead log is damaged
+    /// ([`DiskFaultKind::TornWrite`], [`DiskFaultKind::BitFlip`]) at the
+    /// window's start edge, or acked appends silently vanish
+    /// ([`DiskFaultKind::LostAppend`]) while the window is active. The
+    /// replica itself stays up — the whole point is that the damage is
+    /// invisible until the integrity plane (checksummed WAL frames, scrub
+    /// sweeps) looks.
+    DiskFault {
+        /// The store whose replica's storage misbehaves.
+        store: String,
+        /// The region whose replica's storage misbehaves.
+        region: Region,
+        /// How the storage lies.
+        fault: DiskFaultKind,
+    },
+}
+
+/// The ways a [`FaultKind::DiskFault`] window damages a replica's WAL. All
+/// three are deterministic given the plan and the store's RNG streams, so
+/// chaos seeds stay replayable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DiskFaultKind {
+    /// The tail record of the WAL is torn mid-write: its frame is cut short,
+    /// as if the process lost power with the final `write(2)` half-applied.
+    /// Recovery truncates the torn tail and proceeds — a clean, bounded loss.
+    TornWrite,
+    /// Bit rot: bytes sampled deterministically from `offset_seed` flip in
+    /// place somewhere inside the log, leaving earlier *and later* records
+    /// intact-looking. Only per-record checksums can localize this.
+    BitFlip {
+        /// Seed mixed with the log length to pick the flipped offsets, so a
+        /// given window always damages the same bytes.
+        offset_seed: u64,
+    },
+    /// An acked append is silently dropped: while the window is active the
+    /// store acknowledges writes whose WAL frames never persist.
+    LostAppend,
 }
 
 /// A fault active over the virtual-time interval `[from, until)`.
@@ -484,6 +521,45 @@ impl FaultPlan {
         })
     }
 
+    /// The disk faults active against `store`'s replica in `region`,
+    /// each tagged with its window's stable index (windows are append-only
+    /// until [`FaultPlan::clear_windows`]), so a recovery monitor can apply
+    /// one-shot damage (torn tail, bit flips) exactly once per window.
+    pub fn disk_faults(
+        &self,
+        at: SimTime,
+        store: &str,
+        region: Region,
+    ) -> Vec<(usize, DiskFaultKind)> {
+        if self.quiet() {
+            return Vec::new();
+        }
+        self.inner
+            .windows
+            .borrow()
+            .iter()
+            .enumerate()
+            .filter_map(|(ix, w)| match &w.kind {
+                FaultKind::DiskFault {
+                    store: s,
+                    region: r,
+                    fault,
+                } if w.active(at) && s == store && *r == region => Some((ix, fault.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether a [`DiskFaultKind::LostAppend`] window is active against
+    /// `store`'s replica in `region`: WAL appends are acked but not
+    /// persisted while this holds.
+    pub fn append_lost(&self, at: SimTime, store: &str, region: Region) -> bool {
+        self.any_window(at, |k| {
+            matches!(k, FaultKind::DiskFault { store: s, region: r, fault: DiskFaultKind::LostAppend }
+                if s == store && *r == region)
+        })
+    }
+
     /// Whether *any* store replica in `region` is inside a
     /// [`FaultKind::ReplicaCrash`] window — used by observers (the
     /// consistency checker) that know regions but not store names.
@@ -712,6 +788,79 @@ mod tests {
         assert!(!plan.any_replica_crash(t(3), EU));
         // A crash is a transition source like any other window.
         assert_eq!(plan.next_transition_after(t(2)), Some(t(6)));
+    }
+
+    #[test]
+    fn disk_faults_are_per_store_per_region_and_window_indexed() {
+        let plan = FaultPlan::new();
+        plan.schedule(
+            t(2),
+            t(6),
+            FaultKind::DiskFault {
+                store: "db".into(),
+                region: US,
+                fault: DiskFaultKind::TornWrite,
+            },
+        );
+        plan.schedule(
+            t(4),
+            t(8),
+            FaultKind::DiskFault {
+                store: "db".into(),
+                region: US,
+                fault: DiskFaultKind::BitFlip { offset_seed: 7 },
+            },
+        );
+        assert!(plan.disk_faults(t(1), "db", US).is_empty());
+        assert_eq!(
+            plan.disk_faults(t(2), "db", US),
+            vec![(0, DiskFaultKind::TornWrite)]
+        );
+        assert_eq!(
+            plan.disk_faults(t(5), "db", US),
+            vec![
+                (0, DiskFaultKind::TornWrite),
+                (1, DiskFaultKind::BitFlip { offset_seed: 7 }),
+            ]
+        );
+        assert!(plan.disk_faults(t(5), "db", EU).is_empty());
+        assert!(plan.disk_faults(t(5), "other", US).is_empty());
+        assert!(plan.disk_faults(t(8), "db", US).is_empty(), "heal edge");
+        // Disk faults are transition sources like any other window, so the
+        // recovery monitor wakes at their edges.
+        assert_eq!(plan.next_transition_after(t(2)), Some(t(4)));
+        assert_eq!(plan.next_transition_after(t(6)), Some(t(8)));
+    }
+
+    #[test]
+    fn lost_append_is_active_only_inside_its_window() {
+        let plan = FaultPlan::new();
+        plan.schedule(
+            t(3),
+            t(5),
+            FaultKind::DiskFault {
+                store: "db".into(),
+                region: EU,
+                fault: DiskFaultKind::LostAppend,
+            },
+        );
+        assert!(!plan.append_lost(t(2), "db", EU));
+        assert!(plan.append_lost(t(3), "db", EU));
+        assert!(plan.append_lost(t(4), "db", EU));
+        assert!(!plan.append_lost(t(5), "db", EU));
+        assert!(!plan.append_lost(t(4), "db", US));
+        // The other disk faults do not count as lost appends.
+        let torn = FaultPlan::new();
+        torn.schedule(
+            t(0),
+            t(9),
+            FaultKind::DiskFault {
+                store: "db".into(),
+                region: EU,
+                fault: DiskFaultKind::TornWrite,
+            },
+        );
+        assert!(!torn.append_lost(t(1), "db", EU));
     }
 
     #[test]

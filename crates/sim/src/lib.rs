@@ -51,7 +51,7 @@ pub mod time;
 
 pub use dist::Dist;
 pub use executor::{join_all, timeout, Elapsed, Interval, JoinHandle, Sim, Sleep, StuckTask};
-pub use fault::{FaultKind, FaultPlan, FaultWindow};
+pub use fault::{DiskFaultKind, FaultKind, FaultPlan, FaultWindow};
 pub use metrics::{Histogram, RateCounter, Samples, Summary};
 pub use net::{Network, Region};
 pub use rng::SimRng;

@@ -1,0 +1,485 @@
+//! Storage-integrity properties: for any randomized corruption storm —
+//! torn tail writes, deterministic bit rot, lost appends, each mixed with
+//! replica crashes that force the damaged logs through restart replay —
+//! the integrity plane (checksummed WAL frames, verified replay, scrub
+//! sweeps, quarantine, anti-entropy back-fill and epoch-bumped rejoin)
+//! guarantees:
+//!
+//! 1. **Zero silently-served corrupt versions.** Every successful read,
+//!    during the storm and after it, returns a `(version, bytes)` pair that
+//!    some committed write actually produced. Corrupt state either never
+//!    reaches the memtable (verified replay truncates or quarantines) or is
+//!    refused loudly ([`StoreError::IntegrityFault`]).
+//! 2. **Byte-identical convergence post-storm.** Once the plan drains and
+//!    the repair loops quiesce, every replica of every store holds the same
+//!    keys, versions, *and bytes*, and every replica is healthy again.
+//! 3. **Determinism.** The same seed replays the same storm to the same
+//!    outcome, byte for byte — corruption injection rides the fault plan,
+//!    not wall-clock entropy.
+//!
+//! The ablation at the bottom runs the bit-rot scenario with
+//! `verify_checksums: false`: the identical damaged log replays without a
+//! second look, nothing quarantines, reads serve happily — and flipping
+//! verification back on exposes the corruption that was being served. That
+//! contrast is the whole point of the plane.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+use antipode_sim::dist::Dist;
+use antipode_sim::net::regions::{EU, SG, US};
+use antipode_sim::{DiskFaultKind, FaultKind, Network, Region, Sim, SimTime};
+use antipode_store::replica::{KvProfile, KvStore, StoreError};
+use antipode_store::wal::scan_frames;
+use antipode_store::{RecoveryConfig, RepairConfig, ReplicaHealth, WalEntry, WalLog};
+use bytes::Bytes;
+use proptest::prelude::*;
+
+const STORES: [&str; 3] = ["db-a", "db-b", "db-c"];
+const REGIONS: [Region; 3] = [EU, US, SG];
+const KEYS: [&str; 4] = ["k0", "k1", "k2", "k3"];
+
+fn fast_profile() -> KvProfile {
+    KvProfile {
+        local_write: Dist::constant_ms(1.0),
+        local_read: Dist::constant_ms(0.5),
+        replication: Dist::constant_ms(100.0),
+        rtt_hops: 1.0,
+        retry_interval: Dist::constant_ms(200.0),
+    }
+}
+
+/// One disk-fault window: `(start_ms, len_ms, region_ix, kind_ix, offset_seed)`.
+/// `kind_ix % 3` selects torn write / bit flip / lost append.
+type DiskWindow = (u64, u64, u8, u8, u64);
+
+/// Parameters of one randomized corruption storm. Every window is bounded,
+/// so the plan always heals; the property is that no corruption is ever
+/// *served* on the way there and the stores converge byte-identically after.
+#[derive(Clone, Debug)]
+struct StormParams {
+    seed: u64,
+    /// Two disk-fault windows per store.
+    disk: [[DiskWindow; 2]; 3],
+    /// Per-store `(start_ms, len_ms, region_ix)` replica-crash window — the
+    /// crash is what forces a damaged log through restart replay.
+    crashes: [(u64, u64, u8); 3],
+}
+
+/// What one storm produced. `PartialEq` + the digest make the determinism
+/// property a single `assert_eq!`.
+#[derive(Debug, PartialEq, Eq)]
+struct StormOutcome {
+    /// Successful reads whose `(version, bytes)` no committed write produced.
+    corrupt_serves: usize,
+    /// Reads refused with [`StoreError::IntegrityFault`] (quarantine doing
+    /// its job — loud refusal instead of silent corruption).
+    refusals: usize,
+    /// Every store byte-identical across its replicas at quiescence.
+    converged_bytes: bool,
+    /// Every replica healthy (no quarantine stranded) at quiescence.
+    all_healthy: bool,
+    /// Full final state: every stored record plus per-replica WAL footprint.
+    digest: Vec<String>,
+}
+
+fn schedule_disk(faults: &antipode_sim::FaultPlan, store: &str, w: DiskWindow) {
+    let (start, len, region_ix, kind_ix, offset_seed) = w;
+    let fault = match kind_ix % 3 {
+        0 => DiskFaultKind::TornWrite,
+        1 => DiskFaultKind::BitFlip { offset_seed },
+        _ => DiskFaultKind::LostAppend,
+    };
+    faults.schedule(
+        SimTime::from_millis(start),
+        SimTime::from_millis(start + len),
+        FaultKind::DiskFault {
+            store: store.to_string(),
+            region: REGIONS[region_ix as usize % REGIONS.len()],
+            fault,
+        },
+    );
+}
+
+/// Audits every replica of every store: a successful read must return a
+/// `(version, bytes)` pair recorded at commit time, an integrity refusal is
+/// counted, and any other error (crash window, outage) is legitimate.
+async fn audit(
+    stores: &[KvStore],
+    truth: &HashMap<(usize, String, u64), Bytes>,
+    corrupt: &mut usize,
+    refusals: &mut usize,
+) {
+    for (i, store) in stores.iter().enumerate() {
+        for &region in &REGIONS {
+            for key in KEYS {
+                match store.get(region, key).await {
+                    Ok(Some(v)) => {
+                        if truth.get(&(i, key.to_string(), v.version)) != Some(&v.bytes) {
+                            *corrupt += 1;
+                        }
+                    }
+                    Ok(None) => {}
+                    Err(StoreError::IntegrityFault { .. }) => *refusals += 1,
+                    Err(_) => {}
+                }
+            }
+        }
+    }
+}
+
+/// Builds the stack, injects the storm, writes in waves while it rages,
+/// audits every read against the commit-time ground truth, and judges the
+/// final state at quiescence.
+fn run_storm(p: &StormParams, verify: bool) -> StormOutcome {
+    let sim = Sim::new(p.seed);
+    let net = Rc::new(Network::global_triangle());
+    let faults = sim.faults();
+    let mut stores = Vec::new();
+    for (i, name) in STORES.iter().enumerate() {
+        for w in p.disk[i] {
+            schedule_disk(&faults, name, w);
+        }
+        let (crash_start, crash_len, region_ix) = p.crashes[i];
+        faults.schedule(
+            SimTime::from_millis(crash_start),
+            SimTime::from_millis(crash_start + crash_len),
+            FaultKind::ReplicaCrash {
+                store: name.to_string(),
+                region: REGIONS[region_ix as usize % REGIONS.len()],
+            },
+        );
+        let store = KvStore::new(&sim, net.clone(), *name, &REGIONS, fast_profile());
+        if !verify {
+            store.set_recovery(RecoveryConfig {
+                verify_checksums: false,
+                ..RecoveryConfig::default()
+            });
+        }
+        store.enable_scrub(RepairConfig {
+            period: Duration::from_millis(700),
+            horizon: Some(SimTime::from_secs(120)),
+        });
+        store.enable_anti_entropy(RepairConfig {
+            period: Duration::from_secs(1),
+            horizon: Some(SimTime::from_secs(120)),
+        });
+        stores.push(store);
+    }
+    let sim2 = sim.clone();
+    let faults2 = faults.clone();
+    let stores2 = stores.clone();
+    let (truth, mut corrupt, refusals) = sim.block_on(async move {
+        let (sim, faults, stores) = (sim2, faults2, stores2);
+        // Ground truth: (store, key, version) → the bytes that commit wrote.
+        // Recorded only on Ok — a put refused mid-crash committed nothing.
+        let mut truth: HashMap<(usize, String, u64), Bytes> = HashMap::new();
+        let mut corrupt = 0usize;
+        let mut refusals = 0usize;
+        // Write waves *during* the storm (windows open from 500 ms), from a
+        // rotating origin so lost-append windows see live commits, auditing
+        // every replica between waves.
+        for wave in 0u64..8 {
+            for (i, store) in stores.iter().enumerate() {
+                for key in KEYS {
+                    let value = Bytes::from(format!("{}:{key}:wave{wave}", STORES[i]));
+                    let origin = REGIONS[(wave as usize + i) % REGIONS.len()];
+                    if let Ok(version) = store.put(origin, key, value.clone()).await {
+                        truth.insert((i, key.to_string(), version), value);
+                    }
+                }
+            }
+            audit(&stores, &truth, &mut corrupt, &mut refusals).await;
+            sim.sleep(Duration::from_millis(800)).await;
+        }
+        // Let the plan drain fully, auditing at every remaining edge — the
+        // reads right after a heal edge are the ones that would catch a
+        // replay serving corrupt bytes.
+        let mut at = sim.now();
+        while let Some(t) = faults.next_transition_after(at) {
+            sim.sleep_until(t).await;
+            at = t;
+            audit(&stores, &truth, &mut corrupt, &mut refusals).await;
+        }
+        (truth, corrupt, refusals)
+    });
+    // Quiescence: the scrub and anti-entropy loops keep sweeping until no
+    // damage remains, every replica is healthy, and the plan is spent.
+    sim.run();
+    let mut digest = Vec::new();
+    for (i, store) in stores.iter().enumerate() {
+        for &region in &REGIONS {
+            for key in KEYS {
+                if let Some(v) = store.get_sync(region, key) {
+                    if truth.get(&(i, key.to_string(), v.version)) != Some(&v.bytes) {
+                        corrupt += 1;
+                    }
+                    digest.push(format!(
+                        "{}/{region}/{key}@{}={:?}",
+                        STORES[i], v.version, v.bytes
+                    ));
+                }
+            }
+            digest.push(format!(
+                "{}/{region} wal={} bytes={}",
+                STORES[i],
+                store.wal_len(region),
+                store.wal_byte_len(region)
+            ));
+        }
+    }
+    StormOutcome {
+        corrupt_serves: corrupt,
+        refusals,
+        converged_bytes: stores.iter().all(|s| s.converged_bytes()),
+        all_healthy: stores.iter().all(|s| {
+            REGIONS
+                .iter()
+                .all(|&r| s.replica_health(r) == ReplicaHealth::Healthy)
+        }),
+        digest,
+    }
+}
+
+// splitmix64: cheap, deterministic parameter derivation for the soak.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn params_from_seed(seed: u64) -> StormParams {
+    let s = &mut seed.clone();
+    fn disk(s: &mut u64) -> DiskWindow {
+        (
+            500 + splitmix(s) % 4_500,
+            200 + splitmix(s) % 1_800,
+            (splitmix(s) % 3) as u8,
+            (splitmix(s) % 3) as u8,
+            splitmix(s),
+        )
+    }
+    fn crash(s: &mut u64) -> (u64, u64, u8) {
+        (
+            1_000 + splitmix(s) % 5_000,
+            500 + splitmix(s) % 2_500,
+            (splitmix(s) % 3) as u8,
+        )
+    }
+    StormParams {
+        seed,
+        disk: [[disk(s), disk(s)], [disk(s), disk(s)], [disk(s), disk(s)]],
+        crashes: [crash(s), crash(s), crash(s)],
+    }
+}
+
+fn assert_storm_safe(p: &StormParams) {
+    let out = run_storm(p, true);
+    assert_eq!(
+        out.corrupt_serves, 0,
+        "storm {p:?} served corrupt bytes: {out:?}"
+    );
+    assert!(out.converged_bytes, "storm {p:?} did not converge: {out:?}");
+    assert!(
+        out.all_healthy,
+        "storm {p:?} stranded a quarantine: {out:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Tentpole property: **no corruption storm ever serves corrupt bytes**.
+    /// Any bounded plan of torn writes, bit flips, and lost appends — each
+    /// compounded by replica crashes that replay the damaged logs — ends
+    /// with zero silently-served corrupt versions, every store byte-identical
+    /// across its replicas, and every quarantined replica rejoined.
+    #[test]
+    fn corruption_storms_never_serve_corrupt_bytes(seed in any::<u64>()) {
+        let p = params_from_seed(seed);
+        let out = run_storm(&p, true);
+        prop_assert_eq!(out.corrupt_serves, 0, "served corrupt bytes in {:?}", p);
+        prop_assert!(out.converged_bytes, "no byte convergence in {:?}", p);
+        prop_assert!(out.all_healthy, "stranded quarantine in {:?}", p);
+    }
+
+    /// Satellite: raw-byte fuzz of the WAL codec. Arbitrary truncation plus
+    /// arbitrary bit flips of a valid framed log never panic the scan; the
+    /// scan stops at a frame boundary, reports the failing record's exact
+    /// offset, and the verified prefix decodes back to the original entries.
+    #[test]
+    fn wal_scan_survives_arbitrary_damage(
+        seed in any::<u64>(),
+        cut in any::<u64>(),
+        flips in (any::<u64>(), 0u64..4),
+    ) {
+        let s = &mut seed.clone();
+        let n = 1 + (splitmix(s) % 6) as usize;
+        let mut log = WalLog::default();
+        let mut entries = Vec::new();
+        let mut boundaries = vec![0usize];
+        for i in 0..n {
+            let klen = 1 + (splitmix(s) % 8) as usize;
+            let vlen = (splitmix(s) % 24) as usize;
+            let entry = WalEntry {
+                key: Rc::from(format!("{:0>width$}", i, width = klen)),
+                version: i as u64 + 1,
+                bytes: Bytes::from(vec![splitmix(s) as u8; vlen]),
+                visible_at: SimTime::from_millis(i as u64),
+                committed_at: SimTime::from_millis(i as u64),
+            };
+            log.append(entry.clone());
+            boundaries.push(log.byte_len());
+            entries.push(entry);
+        }
+        let mut raw = log.as_bytes().to_vec();
+        raw.truncate((cut % (raw.len() as u64 + 1)) as usize);
+        let (flip_seed, flip_count) = flips;
+        let f = &mut flip_seed.clone();
+        for _ in 0..flip_count {
+            if raw.is_empty() {
+                break;
+            }
+            let at = (splitmix(f) % raw.len() as u64) as usize;
+            raw[at] ^= 1 << (splitmix(f) % 8);
+        }
+        let scan = scan_frames(&raw, true);
+        // The verified prefix always ends on a frame boundary of the
+        // original log (damage never shifts framing backwards)…
+        prop_assert!(scan.verified_len <= raw.len());
+        prop_assert!(boundaries.contains(&scan.verified_len));
+        // …a fault pinpoints exactly where verification stopped…
+        if let Some(fault) = scan.fault {
+            prop_assert_eq!(fault.offset, scan.verified_len);
+        } else {
+            prop_assert_eq!(scan.verified_len, raw.len());
+        }
+        // …and everything the scan *does* accept is the original data.
+        prop_assert!(scan.entries.len() <= entries.len());
+        for (got, want) in scan.entries.iter().zip(entries.iter()) {
+            prop_assert_eq!(&got.key, &want.key);
+            prop_assert_eq!(got.version, want.version);
+            prop_assert_eq!(&got.bytes, &want.bytes);
+            prop_assert_eq!(got.visible_at, want.visible_at);
+            prop_assert_eq!(got.committed_at, want.committed_at);
+        }
+    }
+}
+
+/// Determinism: the same storm replayed from the same seed produces the
+/// same outcome down to every stored byte and every WAL footprint — the
+/// corruption plane rides the fault plan's determinism, so chaos seeds
+/// found by the soak reproduce exactly.
+#[test]
+fn identical_seeds_replay_to_identical_outcomes() {
+    let p = params_from_seed(0xA11CE);
+    let a = run_storm(&p, true);
+    let b = run_storm(&p, true);
+    assert_eq!(a, b);
+    assert_eq!(a.corrupt_serves, 0);
+    assert!(a.converged_bytes);
+}
+
+/// Shared scenario for the ablation: three replicated keys, bit rot on the
+/// US log at 4 s, and a crash window at [5 s, 8 s) that forces the damaged
+/// bytes through restart replay. Only `verify` differs between the runs.
+fn bitflip_then_crash(verify: bool) -> (Sim, KvStore) {
+    let sim = Sim::new(27);
+    let net = Rc::new(Network::global_triangle());
+    let store = KvStore::new(&sim, net, "db", &REGIONS, fast_profile());
+    store.set_recovery(RecoveryConfig {
+        verify_checksums: verify,
+        ..RecoveryConfig::default()
+    });
+    let s = store.clone();
+    sim.block_on(async move {
+        for (k, v) in [
+            ("k1", &b"value-one"[..]),
+            ("k2", &b"value-two"[..]),
+            ("k3", &b"value-three"[..]),
+        ] {
+            let ver = s.put(EU, k, Bytes::copy_from_slice(v)).await.unwrap();
+            s.wait_visible(US, k, ver).await.unwrap();
+            s.wait_visible(SG, k, ver).await.unwrap();
+        }
+    });
+    sim.faults().schedule(
+        SimTime::from_secs(4),
+        SimTime::from_secs(5),
+        FaultKind::DiskFault {
+            store: "db".into(),
+            region: US,
+            fault: DiskFaultKind::BitFlip { offset_seed: 3 },
+        },
+    );
+    sim.faults().schedule(
+        SimTime::from_secs(5),
+        SimTime::from_secs(8),
+        FaultKind::ReplicaCrash {
+            store: "db".into(),
+            region: US,
+        },
+    );
+    sim.run_until(SimTime::from_secs(9));
+    (sim, store)
+}
+
+/// The ablation the checksums exist for: with `verify_checksums: false` the
+/// identical damaged log replays without a second look — no quarantine, no
+/// refusal, scrub blind — and re-enabling verification exposes the
+/// corruption that was being served. Fully deterministic, so the contrast
+/// is not luck.
+#[test]
+fn checksum_ablation_accepts_the_damage_verification_refuses() {
+    // Verification on: restart replay catches the flip, quarantines the
+    // replica, and reads refuse loudly until repair rejoins it.
+    let (sim, store) = bitflip_then_crash(true);
+    assert_eq!(store.replica_health(US), ReplicaHealth::Tainted);
+    let s = store.clone();
+    sim.block_on(async move {
+        assert!(matches!(
+            s.get(US, "k1").await,
+            Err(StoreError::IntegrityFault { .. })
+        ));
+    });
+
+    // Verification off: the same bytes replay as truth. Nothing notices.
+    let (sim, store) = bitflip_then_crash(false);
+    assert_eq!(
+        store.replica_health(US),
+        ReplicaHealth::Healthy,
+        "the ablated plane saw nothing wrong"
+    );
+    let s = store.clone();
+    sim.block_on(async move {
+        s.get(US, "k1")
+            .await
+            .expect("no quarantine ever happened: the read is served");
+    });
+    // Scrub is equally blind with verification off…
+    let blind = store.scrub_sweep();
+    assert_eq!(blind.quarantined, 0, "scrub without checksums sees nothing");
+    // …but the damage was there all along: flip verification back on and
+    // the very next scrub finds what the ablated plane was serving.
+    store.set_recovery(RecoveryConfig::default());
+    let seeing = store.scrub_sweep();
+    assert!(
+        seeing.quarantined + seeing.torn_tails > 0 || !store.converged_bytes(),
+        "re-enabled verification must expose the silently accepted damage"
+    );
+}
+
+/// 50-seed soak for the `chaos-soak` CI job (`--ignored`): the no-corrupt-
+/// serves + byte-convergence property over a wider randomized sweep than the
+/// tier-1 proptest budget.
+#[test]
+#[ignore = "soak: run via `cargo test --test integrity_properties -- --ignored`"]
+fn corruption_storm_soak_50_seeds() {
+    for seed in 0..50u64 {
+        let p = params_from_seed(seed);
+        assert_storm_safe(&p);
+    }
+}
